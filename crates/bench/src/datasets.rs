@@ -1,0 +1,95 @@
+//! Dataset registry for the harness: real-dataset proxies and the eight
+//! synthetic graphs of Table 8, each at harness-friendly scale.
+
+use crate::Cfg;
+use relmax_gen::prob::ProbModel;
+use relmax_gen::proxy::DatasetProxy;
+use relmax_gen::synth;
+use relmax_ugraph::UncertainGraph;
+
+/// Harness-default scale per proxy, on top of which `Cfg::scale`
+/// multiplies. Tuned so each table finishes in minutes, not hours.
+pub fn harness_scale(p: DatasetProxy) -> f64 {
+    match p {
+        DatasetProxy::IntelLab => 1.0,
+        DatasetProxy::LastFm => 0.15,
+        DatasetProxy::AsTopology => 0.03,
+        DatasetProxy::Dblp => 0.002,
+        DatasetProxy::Twitter => 0.0008,
+    }
+}
+
+/// Materialize a proxy at harness scale.
+pub fn load_proxy(p: DatasetProxy, cfg: &Cfg) -> UncertainGraph {
+    let scale = (harness_scale(p) * cfg.scale).clamp(1e-6, 1.0);
+    p.generate(scale, cfg.seed)
+}
+
+/// The four network proxies used by most single-`s-t` tables.
+pub fn network_proxies() -> [DatasetProxy; 4] {
+    [DatasetProxy::LastFm, DatasetProxy::AsTopology, DatasetProxy::Dblp, DatasetProxy::Twitter]
+}
+
+/// One synthetic dataset of Table 8 at harness scale (`n` nodes instead of
+/// the paper's 1M; edge multiplier 2.5 or 5 matching "1"/"2" variants).
+pub fn synthetic(name: &str, cfg: &Cfg) -> UncertainGraph {
+    let n = ((4000.0 * cfg.scale) as usize).max(500);
+    let seed = cfg.seed ^ 0xabcd;
+    let mut g = match name {
+        "Random 1" => synth::erdos_renyi(n, (n as f64 * 2.5) as usize, seed),
+        "Random 2" => synth::erdos_renyi(n, n * 5, seed),
+        "Regular 1" => synth::random_regular(n, 5, seed),
+        "Regular 2" => synth::random_regular(n, 10, seed),
+        "SmallWorld 1" => synth::watts_strogatz(n, 4, 0.3, seed),
+        "SmallWorld 2" => synth::watts_strogatz(n, 10, 0.3, seed),
+        "ScaleFree 1" => synth::barabasi_albert(n, 0, Some((2, 3)), seed),
+        "ScaleFree 2" => synth::barabasi_albert(n, 5, None, seed),
+        other => panic!("unknown synthetic dataset {other}"),
+    };
+    // The paper assigns synthetic probabilities uniformly from (0, 0.6].
+    ProbModel::Uniform { lo: 0.01, hi: 0.6 }.apply(&mut g, seed ^ 0x77);
+    g
+}
+
+/// Names of the eight synthetic datasets, Table 8 order.
+pub fn synthetic_names() -> [&'static str; 8] {
+    [
+        "Random 1",
+        "Random 2",
+        "Regular 1",
+        "Regular 2",
+        "SmallWorld 1",
+        "SmallWorld 2",
+        "ScaleFree 1",
+        "ScaleFree 2",
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proxies_load_at_harness_scale() {
+        let cfg = Cfg::default();
+        let g = load_proxy(DatasetProxy::LastFm, &cfg);
+        assert!((800..1500).contains(&g.num_nodes()), "n={}", g.num_nodes());
+    }
+
+    #[test]
+    fn all_synthetics_generate() {
+        let cfg = Cfg { scale: 0.25, ..Cfg::default() };
+        for name in synthetic_names() {
+            let g = synthetic(name, &cfg);
+            assert!(g.num_nodes() >= 500, "{name}");
+            assert!(g.num_edges() > 500, "{name}");
+            assert!(g.edges().iter().all(|e| e.prob > 0.0 && e.prob <= 0.6), "{name}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown synthetic")]
+    fn unknown_synthetic_panics() {
+        let _ = synthetic("nope", &Cfg::default());
+    }
+}

@@ -1,0 +1,66 @@
+//! Process memory probes for the memory columns of Tables 9/10/16/22.
+//!
+//! Reads Linux `/proc/self/status`. `VmRSS` is the current resident set;
+//! it includes the whole process (allocator slack, other experiments'
+//! leftovers), so the tables report it alongside the exactly-accounted
+//! graph bytes from [`relmax_ugraph::UncertainGraph::resident_bytes`].
+
+use std::fs;
+
+/// Current resident set size in bytes, or `None` off-Linux.
+pub fn vm_rss_bytes() -> Option<u64> {
+    read_status_field("VmRSS:")
+}
+
+/// Peak resident set size in bytes, or `None` off-Linux.
+pub fn vm_hwm_bytes() -> Option<u64> {
+    read_status_field("VmHWM:")
+}
+
+fn read_status_field(field: &str) -> Option<u64> {
+    let status = fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix(field) {
+            let kb: u64 = rest.trim().trim_end_matches(" kB").trim().parse().ok()?;
+            return Some(kb * 1024);
+        }
+    }
+    None
+}
+
+/// Human-readable byte count ("1.3 GB", "87 MB").
+pub fn fmt_bytes(bytes: u64) -> String {
+    const GB: f64 = 1024.0 * 1024.0 * 1024.0;
+    const MB: f64 = 1024.0 * 1024.0;
+    let b = bytes as f64;
+    if b >= GB {
+        format!("{:.2} GB", b / GB)
+    } else {
+        format!("{:.0} MB", b / MB)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rss_is_positive_on_linux() {
+        if let Some(rss) = vm_rss_bytes() {
+            assert!(rss > 1024 * 1024, "rss={rss}");
+        }
+    }
+
+    #[test]
+    fn hwm_at_least_rss() {
+        if let (Some(h), Some(r)) = (vm_hwm_bytes(), vm_rss_bytes()) {
+            assert!(h + (64 << 20) >= r, "hwm={h} rss={r}");
+        }
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(fmt_bytes(50 * 1024 * 1024), "50 MB");
+        assert_eq!(fmt_bytes(3 * 1024 * 1024 * 1024), "3.00 GB");
+    }
+}

@@ -1,0 +1,144 @@
+//! Shared experiment drivers: run a set of selection methods over a query
+//! workload and aggregate gain / time / memory, the common skeleton behind
+//! Tables 4–5, 9–10 and 12–21.
+
+use crate::mem::vm_rss_bytes;
+use crate::Cfg;
+use relmax_core::baselines::{
+    CentralitySelector, EigenSelector, HillClimbingSelector, IndividualTopKSelector,
+};
+use relmax_core::{
+    BatchEdgeSelector, CandidateEdge, EdgeSelector, IndividualPathSelector, MrpSelector,
+    SearchSpaceElimination, StQuery,
+};
+use relmax_sampling::Estimator;
+use relmax_ugraph::{NodeId, UncertainGraph};
+use std::time::Instant;
+
+/// Aggregated result of running one method over a workload.
+#[derive(Debug, Clone)]
+pub struct MethodResult {
+    /// Method display name.
+    pub name: &'static str,
+    /// Mean reliability gain across queries.
+    pub gain: f64,
+    /// Mean end-to-end wall time per query (seconds).
+    pub time_s: f64,
+    /// Process RSS after the run (bytes), if measurable.
+    pub rss: Option<u64>,
+}
+
+/// The standard method line-ups.
+pub fn proposed_and_hc() -> Vec<Box<dyn EdgeSelector>> {
+    vec![
+        Box::new(HillClimbingSelector),
+        Box::new(MrpSelector),
+        Box::new(IndividualPathSelector),
+        Box::new(BatchEdgeSelector),
+    ]
+}
+
+/// All eight single-`s-t` methods of Tables 4–5.
+pub fn all_methods() -> Vec<Box<dyn EdgeSelector>> {
+    vec![
+        Box::new(IndividualTopKSelector),
+        Box::new(HillClimbingSelector),
+        Box::new(CentralitySelector::degree()),
+        Box::new(CentralitySelector::betweenness()),
+        Box::new(EigenSelector::default()),
+        Box::new(MrpSelector),
+        Box::new(IndividualPathSelector),
+        Box::new(BatchEdgeSelector),
+    ]
+}
+
+/// Build a query from the harness config.
+pub fn make_query(cfg: &Cfg, s: NodeId, t: NodeId) -> StQuery {
+    StQuery::new(s, t, cfg.k, cfg.zeta).with_hop_limit(cfg.h).with_r(cfg.r).with_l(cfg.l)
+}
+
+/// Run each method on each query with per-query candidate generation via
+/// search-space elimination (the §8 protocol). Returns one aggregate row
+/// per method, in input order.
+pub fn run_methods(
+    g: &UncertainGraph,
+    queries: &[(NodeId, NodeId)],
+    methods: &[Box<dyn EdgeSelector>],
+    cfg: &Cfg,
+    est: &dyn Estimator,
+) -> Vec<MethodResult> {
+    // Candidates are shared across methods per query (identical search
+    // space, as in Table 5) and generated once.
+    let prepared: Vec<(StQuery, Vec<CandidateEdge>)> = queries
+        .iter()
+        .map(|&(s, t)| {
+            let q = make_query(cfg, s, t);
+            let cands = SearchSpaceElimination::new(cfg.r).candidate_edges(g, &q, est);
+            (q, cands)
+        })
+        .collect();
+    run_methods_prepared(g, &prepared, methods, est)
+}
+
+/// Like [`run_methods`] but with explicit (query, candidates) pairs —
+/// used by the no-elimination ablation (Table 4) and the candidate-model
+/// sweeps (Table 16).
+pub fn run_methods_prepared(
+    g: &UncertainGraph,
+    prepared: &[(StQuery, Vec<CandidateEdge>)],
+    methods: &[Box<dyn EdgeSelector>],
+    est: &dyn Estimator,
+) -> Vec<MethodResult> {
+    let mut out = Vec::with_capacity(methods.len());
+    for m in methods {
+        let mut gain = 0.0;
+        let start = Instant::now();
+        for (q, cands) in prepared {
+            let res = m
+                .select_with_candidates(g, q, cands, est)
+                .unwrap_or_else(|e| panic!("{} failed: {e}", m.name()));
+            gain += res.gain();
+        }
+        let time_s = start.elapsed().as_secs_f64() / prepared.len().max(1) as f64;
+        out.push(MethodResult {
+            name: m.name(),
+            gain: gain / prepared.len().max(1) as f64,
+            time_s,
+            rss: vm_rss_bytes(),
+        });
+    }
+    out
+}
+
+/// Time one closure, returning (result, seconds).
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let v = f();
+    (v, start.elapsed().as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relmax_gen::queries::st_queries;
+    use relmax_sampling::McEstimator;
+
+    #[test]
+    fn runner_produces_one_row_per_method() {
+        let cfg = Cfg { queries: 2, z: 200, k: 3, r: 15, l: 8, ..Cfg::default() };
+        let g = crate::datasets::load_proxy(relmax_gen::proxy::DatasetProxy::LastFm, &cfg);
+        let est = McEstimator::new(cfg.z, cfg.seed);
+        let queries = st_queries(&g, cfg.queries, 3, 5, cfg.seed);
+        let methods = proposed_and_hc();
+        let rows = run_methods(&g, &queries, &methods, &cfg, &est);
+        assert_eq!(rows.len(), 4);
+        for r in &rows {
+            assert!(r.time_s >= 0.0);
+            assert!(r.gain.is_finite());
+        }
+        // BE's gain should not be catastrophically below HC's.
+        let hc = rows.iter().find(|r| r.name == "HC").unwrap().gain;
+        let be = rows.iter().find(|r| r.name == "BE").unwrap().gain;
+        assert!(be >= hc - 0.2, "be={be} hc={hc}");
+    }
+}

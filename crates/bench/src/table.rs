@@ -1,0 +1,103 @@
+//! Minimal aligned-table printer for `repro` output (markdown-flavored so
+//! results paste straight into EXPERIMENTS.md).
+
+/// A simple column-aligned table builder.
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with the given column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        Table { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Append a row (must match the header arity).
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Render as a markdown table with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, c) in widths.iter_mut().zip(row) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            let mut out = String::from("|");
+            for (c, w) in cells.iter().zip(&widths) {
+                out.push_str(&format!(" {c:<w$} |"));
+            }
+            out
+        };
+        let mut out = fmt_row(&self.header);
+        out.push('\n');
+        out.push('|');
+        for w in &widths {
+            out.push_str(&format!("{:-<1$}|", "", w + 2));
+        }
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Print to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Format a float with 3 decimals.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Format seconds with adaptive precision.
+pub fn secs(s: f64) -> String {
+    if s < 0.01 {
+        format!("{:.1} ms", s * 1e3)
+    } else if s < 10.0 {
+        format!("{s:.2} s")
+    } else {
+        format!("{s:.0} s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_markdown() {
+        let mut t = Table::new(vec!["method", "gain"]);
+        t.row(vec!["BE", "0.33"]);
+        t.row(vec!["HillClimb", "0.31"]);
+        let s = t.render();
+        assert!(s.contains("| method    | gain |"));
+        assert!(s.contains("| BE        | 0.33 |"));
+        assert!(s.lines().count() == 4);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(f3(0.12345), "0.123");
+        assert_eq!(secs(0.005), "5.0 ms");
+        assert_eq!(secs(1.5), "1.50 s");
+        assert_eq!(secs(120.0), "120 s");
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_checked() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["only-one"]);
+    }
+}

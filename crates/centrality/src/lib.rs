@@ -1,0 +1,15 @@
+//! # relmax-centrality
+//!
+//! Node-importance measures used by the paper's structural baselines
+//! (§3.3–3.4): probability-weighted degree centrality, betweenness
+//! centrality (Brandes' algorithm), and the leading eigenvalue with its
+//! left/right eigenvectors (power iteration), which drive the
+//! eigenvalue-based edge-addition method of Chen et al. (Algorithm 2).
+
+pub mod betweenness;
+pub mod degree;
+pub mod eigen;
+
+pub use betweenness::betweenness_centrality;
+pub use degree::{degree_centrality, top_k_nodes};
+pub use eigen::{leading_eigen, EigenResult};

@@ -1,0 +1,25 @@
+//! Baseline methods (§3) and the multi-source/target competitors (§8.3).
+//!
+//! | Method | Paper | Idea | Weakness the paper identifies |
+//! |---|---|---|---|
+//! | [`IndividualTopKSelector`] | §3.1 | rank candidates by *individual* gain | ignores interactions between added edges |
+//! | [`HillClimbingSelector`] | §3.2, Alg. 1 | greedy marginal gain | slow; cold-start when all marginal gains ≈ 0 |
+//! | [`CentralitySelector`] | §3.3 | connect hub nodes | not query-specific |
+//! | [`EigenSelector`] | §3.4, Alg. 2 | maximize leading-eigenvalue gain | global objective ≠ `s-t` reliability |
+//! | [`ExactSelector`] | §8.2, Table 11 | enumerate all `C(\|cand\|, k)` subsets | exponential; tiny inputs only |
+//! | [`esssp::select_esssp`] | [36] | minimize Σ expected shortest-path length | different objective |
+//! | [`ima::select_ima`] | [38] | maximize IC influence spread | different objective |
+
+pub mod centrality_based;
+pub mod eigen_based;
+pub mod esssp;
+pub mod exact;
+pub mod hill_climbing;
+pub mod ima;
+pub mod individual_topk;
+
+pub use centrality_based::{CentralityKind, CentralitySelector};
+pub use eigen_based::EigenSelector;
+pub use exact::ExactSelector;
+pub use hill_climbing::HillClimbingSelector;
+pub use individual_topk::IndividualTopKSelector;

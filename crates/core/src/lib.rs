@@ -1,0 +1,59 @@
+//! # relmax-core
+//!
+//! The paper's contribution: algorithms for **budgeted reliability
+//! maximization** — add `k` new edges (each with probability `ζ`) to an
+//! uncertain graph so that the `s-t` reliability is maximized (Problem 1).
+//!
+//! The problem is NP-hard even with polynomial-time reliability estimation,
+//! admits no PTAS, and its objective is neither submodular nor
+//! supermodular (§2.2), so everything here is heuristic except
+//! [`mrp`] (exact for the *restricted* Problem 2) and
+//! [`baselines::ExactSelector`] (exhaustive, tiny instances only).
+//!
+//! ## The proposed pipeline (§5)
+//!
+//! 1. **Search-space elimination** ([`elimination`], Algorithm 4): keep
+//!    only candidate edges between the top-`r` nodes most reliable *from*
+//!    `s` and the top-`r` most reliable *to* `t`, intersected with the
+//!    physical `h`-hop constraint ([`candidates`]);
+//! 2. **Top-`l` most reliable paths** over the candidate-augmented graph
+//!    `G⁺` ([`path_selection`], §5.1.2);
+//! 3. **Edge selection** under budget `k`: greedily include whole paths
+//!    ([`path_selection::IndividualPathSelector`], Algorithm 5) or *path
+//!    batches* that share candidate-edge sets, with gain normalized per
+//!    new edge ([`path_selection::BatchEdgeSelector`], Algorithm 6 — the
+//!    paper's best method, "BE").
+//!
+//! ## Baselines (§3)
+//!
+//! [`baselines`] implements everything the paper compares against:
+//! individual top-k, hill climbing (Algorithm 1), degree/betweenness
+//! centrality, the eigenvalue method (Algorithm 2), exhaustive search, and
+//! the multi-source/target competitors ESSSP and IMA.
+//!
+//! ## Extensions
+//!
+//! [`multi`] generalizes to source *sets* and target *sets* with
+//! Average / Minimum / Maximum aggregates (Problem 4, §6), including the
+//! `k1`-batched refinement loops for Min and Max.
+//!
+//! Every algorithm is generic over the [`relmax_sampling::Estimator`]
+//! trait — the paper's "our solution is orthogonal to the specific
+//! sampling method" made into an API guarantee.
+
+pub mod baselines;
+pub mod candidates;
+pub mod elimination;
+pub mod mrp;
+pub mod multi;
+pub mod path_selection;
+pub mod query;
+pub mod selector;
+
+pub use candidates::{CandidateEdge, CandidateSpace};
+pub use elimination::SearchSpaceElimination;
+pub use mrp::MrpSelector;
+pub use multi::{Aggregate, MultiQuery, MultiSelector};
+pub use path_selection::{BatchEdgeSelector, IndividualPathSelector};
+pub use query::StQuery;
+pub use selector::{EdgeSelector, Outcome, SelectError};

@@ -1,0 +1,98 @@
+//! Query specification for single-source-target reliability maximization.
+
+use relmax_ugraph::NodeId;
+
+/// A Problem-1 instance: maximize `R(s, t)` by adding `k` edges with
+/// probability `zeta`, under the practical knobs of §5/§8.
+///
+/// ```
+/// use relmax_core::StQuery;
+/// use relmax_ugraph::NodeId;
+///
+/// let q = StQuery::new(NodeId(0), NodeId(9), 10, 0.5)
+///     .with_hop_limit(Some(3))
+///     .with_r(100)
+///     .with_l(30);
+/// assert_eq!(q.k, 10);
+/// assert_eq!(q.h, Some(3));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct StQuery {
+    /// Source node.
+    pub s: NodeId,
+    /// Target node.
+    pub t: NodeId,
+    /// Budget: number of new edges to add.
+    pub k: usize,
+    /// Probability assigned to each new edge (the paper's `ζ`).
+    pub zeta: f64,
+    /// Distance constraint: a new edge `(u, v)` is only allowed if `v` is
+    /// within `h` hops of `u` in the input graph (§2.1 Remarks). `None`
+    /// disables the constraint (the "generalized case").
+    pub h: Option<u32>,
+    /// Search-space elimination width: top-`r` nodes from `s` and to `t`
+    /// (Algorithm 4). The paper's default is 100.
+    pub r: usize,
+    /// Number of most reliable paths extracted from `G⁺` (§5.1.2). The
+    /// paper's default is 30.
+    pub l: usize,
+}
+
+impl StQuery {
+    /// A query with the paper's default parameters (`h = 3`, `r = 100`,
+    /// `l = 30`).
+    pub fn new(s: NodeId, t: NodeId, k: usize, zeta: f64) -> Self {
+        assert!(zeta > 0.0 && zeta <= 1.0, "zeta must be in (0, 1]");
+        StQuery { s, t, k, zeta, h: Some(3), r: 100, l: 30 }
+    }
+
+    /// Set the `h`-hop constraint (`None` allows any missing pair).
+    pub fn with_hop_limit(mut self, h: Option<u32>) -> Self {
+        self.h = h;
+        self
+    }
+
+    /// Set the elimination width `r`.
+    pub fn with_r(mut self, r: usize) -> Self {
+        assert!(r >= 1);
+        self.r = r;
+        self
+    }
+
+    /// Set the number of reliable paths `l`.
+    pub fn with_l(mut self, l: usize) -> Self {
+        assert!(l >= 1);
+        self.l = l;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let q = StQuery::new(NodeId(1), NodeId(2), 10, 0.5);
+        assert_eq!(q.r, 100);
+        assert_eq!(q.l, 30);
+        assert_eq!(q.h, Some(3));
+    }
+
+    #[test]
+    fn builders_override() {
+        let q = StQuery::new(NodeId(1), NodeId(2), 5, 1.0)
+            .with_hop_limit(None)
+            .with_r(20)
+            .with_l(10);
+        assert_eq!(q.h, None);
+        assert_eq!(q.r, 20);
+        assert_eq!(q.l, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "zeta")]
+    fn zero_zeta_rejected() {
+        let _ = StQuery::new(NodeId(0), NodeId(1), 1, 0.0);
+    }
+}

@@ -1,0 +1,130 @@
+//! The common interface every edge-selection method implements, and the
+//! shared outcome type the experiment harness consumes.
+
+use crate::candidates::CandidateEdge;
+use crate::elimination::SearchSpaceElimination;
+use crate::query::StQuery;
+use relmax_sampling::Estimator;
+use relmax_ugraph::{GraphView, UncertainGraph};
+use std::fmt;
+
+/// Result of running a selection method on a query.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// The edges the method chose to add (at most `k`).
+    pub added: Vec<CandidateEdge>,
+    /// `R(s, t)` on the input graph, estimated with the same estimator.
+    pub base_reliability: f64,
+    /// `R(s, t)` after adding `added`.
+    pub new_reliability: f64,
+}
+
+impl Outcome {
+    /// Reliability gain — the paper's headline metric.
+    pub fn gain(&self) -> f64 {
+        self.new_reliability - self.base_reliability
+    }
+}
+
+/// Errors a selection method can report.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectError {
+    /// Exhaustive search would exceed its combination budget.
+    TooManyCombinations {
+        /// Number of candidate edges.
+        candidates: usize,
+        /// Requested subset size.
+        k: usize,
+    },
+}
+
+impl fmt::Display for SelectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SelectError::TooManyCombinations { candidates, k } => write!(
+                f,
+                "exhaustive search over C({candidates}, {k}) combinations exceeds the safety budget"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SelectError {}
+
+/// A method that selects up to `k` edges to add for a single `s-t` query.
+///
+/// All methods receive an explicit candidate set so the harness can run
+/// them with or without search-space elimination (Tables 4 vs 5); the
+/// provided [`EdgeSelector::select`] convenience applies Algorithm 4
+/// first, which is how the paper's §8 experiments run.
+pub trait EdgeSelector {
+    /// Short name used in result tables ("HC", "MRP", "IP", "BE", ...).
+    fn name(&self) -> &'static str;
+
+    /// Choose up to `query.k` edges from `candidates`.
+    fn select_with_candidates(
+        &self,
+        g: &UncertainGraph,
+        query: &StQuery,
+        candidates: &[CandidateEdge],
+        est: &dyn Estimator,
+    ) -> Result<Outcome, SelectError>;
+
+    /// End-to-end run: search-space elimination with `query.r`, then
+    /// selection.
+    fn select(
+        &self,
+        g: &UncertainGraph,
+        query: &StQuery,
+        est: &dyn Estimator,
+    ) -> Result<Outcome, SelectError> {
+        let cands = SearchSpaceElimination::new(query.r).candidate_edges(g, query, est);
+        self.select_with_candidates(g, query, &cands, est)
+    }
+}
+
+/// Build an [`Outcome`]: estimate base and post-addition reliability for a
+/// chosen edge set. Shared by every selector implementation.
+pub fn finish_outcome(
+    g: &UncertainGraph,
+    query: &StQuery,
+    added: Vec<CandidateEdge>,
+    est: &dyn Estimator,
+) -> Outcome {
+    let base_reliability = est.st_reliability(g, query.s, query.t);
+    let view = GraphView::new(g, added.clone());
+    let new_reliability = est.st_reliability(&view, query.s, query.t);
+    Outcome { added, base_reliability, new_reliability }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relmax_sampling::McEstimator;
+    use relmax_ugraph::NodeId;
+
+    #[test]
+    fn outcome_gain_is_difference() {
+        let o = Outcome { added: vec![], base_reliability: 0.3, new_reliability: 0.75 };
+        assert!((o.gain() - 0.45).abs() < 1e-12);
+    }
+
+    #[test]
+    fn finish_outcome_measures_gain_with_crn() {
+        let mut g = UncertainGraph::new(3, true);
+        g.add_edge(NodeId(0), NodeId(1), 0.5).unwrap();
+        let q = StQuery::new(NodeId(0), NodeId(2), 1, 0.9);
+        let est = McEstimator::new(20_000, 7);
+        let added = vec![CandidateEdge { src: NodeId(1), dst: NodeId(2), prob: 0.9 }];
+        let o = finish_outcome(&g, &q, added, &est);
+        assert_eq!(o.base_reliability, 0.0);
+        assert!((o.new_reliability - 0.45).abs() < 0.02, "{}", o.new_reliability);
+        assert!(o.gain() > 0.4);
+    }
+
+    #[test]
+    fn select_error_displays() {
+        let e = SelectError::TooManyCombinations { candidates: 100, k: 5 };
+        assert!(e.to_string().contains("100"));
+    }
+}

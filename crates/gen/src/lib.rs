@@ -1,0 +1,36 @@
+//! # relmax-gen
+//!
+//! Workload generation for the experiments in §8 of the paper:
+//!
+//! - [`synth`] — the four synthetic families of Table 8 (Erdős–Rényi
+//!   random, k-regular, Watts–Strogatz small-world, Barabási–Albert
+//!   scale-free), all seed-deterministic;
+//! - [`prob`] — edge-probability models (§8.1 "Edge probability models"):
+//!   fixed, uniform, clamped normal, inverse out-degree (LastFM), and the
+//!   exponential-CDF-of-counts model `1 − e^{−t/μ}` (DBLP, Twitter);
+//! - [`proxy`] — scaled lookalikes of the five real datasets (Intel Lab,
+//!   LastFM, AS Topology, DBLP, Twitter). The originals are not
+//!   redistributable / downloadable offline, so each proxy matches the
+//!   *recorded* statistics of Table 8 (size up to a documented scale
+//!   factor, degree model family, probability distribution); see DESIGN.md
+//!   for why that preserves the evaluation's shape;
+//! - [`sensor`] — the Intel-Lab-like 54-mote sensor network with planar
+//!   coordinates and distance-decay link probabilities (§8.4.1 case study);
+//! - [`stats`] — the Table 8 statistics (probability moments/quartiles,
+//!   average and longest shortest-path length, clustering coefficient);
+//! - [`queries`] — query workloads: single `s-t` pairs a prescribed number
+//!   of hops apart, and disjoint multi-source/multi-target sets (§8.1
+//!   "Queries").
+
+pub mod prob;
+pub mod proxy;
+pub mod queries;
+pub mod sensor;
+pub mod stats;
+pub mod synth;
+
+pub use prob::ProbModel;
+pub use proxy::DatasetProxy;
+pub use queries::{multi_queries, st_queries, st_queries_at_distance};
+pub use sensor::SensorLab;
+pub use stats::GraphStats;

@@ -1,0 +1,175 @@
+//! Edge-probability models (§8.1 of the paper).
+//!
+//! The paper's problem statement is "orthogonal to the specific way of
+//! assigning edge probabilities"; these are the assignment schemes its
+//! evaluation actually uses, each applied post-hoc to a generated topology.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use relmax_ugraph::{EdgeId, UncertainGraph};
+
+/// A scheme for assigning existence probabilities to every edge.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ProbModel {
+    /// Every edge gets the same probability.
+    Fixed(f64),
+    /// Uniform draw from `[lo, hi]` (the paper's synthetic datasets use
+    /// `(0, 0.6]`; Table 16 uses several ranges).
+    Uniform {
+        /// Inclusive lower bound.
+        lo: f64,
+        /// Inclusive upper bound.
+        hi: f64,
+    },
+    /// Normal draw clamped into `(0, 1]` (Table 16 uses `N(0.5, 0.038)`).
+    Normal {
+        /// Mean of the distribution.
+        mean: f64,
+        /// Standard deviation.
+        sd: f64,
+    },
+    /// `p(u → v) = 1 / out-degree(u)` — the LastFM model (and the classic
+    /// weighted-cascade influence model). For undirected edges the source
+    /// endpoint as inserted is used.
+    InverseOutDegree,
+    /// `p(e) = 1 − e^{−t/μ}` where `t` is an interaction count — the
+    /// DBLP/Twitter model [Jin et al.]. Counts are drawn geometrically
+    /// with the given mean since the proxies have no real interaction logs.
+    ExponentialCounts {
+        /// Mean `μ` of the exponential CDF (the paper uses 20).
+        mu: f64,
+        /// Mean of the synthetic interaction counts.
+        mean_count: f64,
+    },
+}
+
+impl ProbModel {
+    /// Assign probabilities to every edge of `g`, deterministically in
+    /// `seed`.
+    pub fn apply(&self, g: &mut UncertainGraph, seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m = g.num_edges();
+        match *self {
+            ProbModel::Fixed(p) => {
+                assert!((0.0..=1.0).contains(&p), "fixed probability out of range");
+                for e in 0..m as u32 {
+                    g.set_prob(EdgeId(e), p).expect("validated");
+                }
+            }
+            ProbModel::Uniform { lo, hi } => {
+                assert!(0.0 <= lo && lo <= hi && hi <= 1.0, "bad uniform range");
+                for e in 0..m as u32 {
+                    let p = rng.gen_range(lo..=hi);
+                    g.set_prob(EdgeId(e), p).expect("validated");
+                }
+            }
+            ProbModel::Normal { mean, sd } => {
+                for e in 0..m as u32 {
+                    // Box-Muller; clamp into (0, 1].
+                    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                    let u2: f64 = rng.gen();
+                    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                    let p = (mean + sd * z).clamp(0.001, 1.0);
+                    g.set_prob(EdgeId(e), p).expect("clamped");
+                }
+            }
+            ProbModel::InverseOutDegree => {
+                let probs: Vec<f64> = (0..m as u32)
+                    .map(|e| {
+                        let src = g.edge(EdgeId(e)).src;
+                        1.0 / g.out_degree(src).max(1) as f64
+                    })
+                    .collect();
+                for (e, p) in probs.into_iter().enumerate() {
+                    g.set_prob(EdgeId(e as u32), p).expect("degree >= 1");
+                }
+            }
+            ProbModel::ExponentialCounts { mu, mean_count } => {
+                assert!(mu > 0.0 && mean_count >= 1.0);
+                // Geometric counts with the requested mean: P(t) ~ (1-q)^(t-1) q,
+                // mean 1/q.
+                let q = 1.0 / mean_count;
+                for e in 0..m as u32 {
+                    let mut t = 1u32;
+                    while t < 10_000 && !rng.gen_bool(q) {
+                        t += 1;
+                    }
+                    let p = 1.0 - (-(t as f64) / mu).exp();
+                    g.set_prob(EdgeId(e), p.clamp(0.0, 1.0)).expect("validated");
+                }
+            }
+        }
+    }
+}
+
+/// Summary of assigned probabilities (used by Table 8 and tests).
+pub fn prob_summary(g: &UncertainGraph) -> (f64, f64) {
+    let m = g.num_edges().max(1) as f64;
+    let mean = g.edges().iter().map(|e| e.prob).sum::<f64>() / m;
+    let var = g.edges().iter().map(|e| (e.prob - mean).powi(2)).sum::<f64>() / m;
+    (mean, var.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::erdos_renyi;
+
+    #[test]
+    fn fixed_sets_everything() {
+        let mut g = erdos_renyi(50, 100, 1);
+        ProbModel::Fixed(0.37).apply(&mut g, 0);
+        assert!(g.edges().iter().all(|e| e.prob == 0.37));
+    }
+
+    #[test]
+    fn uniform_stays_in_range_with_matching_mean() {
+        let mut g = erdos_renyi(100, 1000, 2);
+        ProbModel::Uniform { lo: 0.2, hi: 0.6 }.apply(&mut g, 3);
+        assert!(g.edges().iter().all(|e| (0.2..=0.6).contains(&e.prob)));
+        let (mean, _) = prob_summary(&g);
+        assert!((mean - 0.4).abs() < 0.02, "mean={mean}");
+    }
+
+    #[test]
+    fn normal_is_clamped_and_centered() {
+        let mut g = erdos_renyi(100, 2000, 4);
+        ProbModel::Normal { mean: 0.5, sd: 0.038 }.apply(&mut g, 5);
+        assert!(g.edges().iter().all(|e| e.prob > 0.0 && e.prob <= 1.0));
+        let (mean, sd) = prob_summary(&g);
+        assert!((mean - 0.5).abs() < 0.01, "mean={mean}");
+        assert!((sd - 0.038).abs() < 0.01, "sd={sd}");
+    }
+
+    #[test]
+    fn inverse_out_degree() {
+        let mut g = relmax_ugraph::UncertainGraph::new(4, true);
+        g.add_edge(relmax_ugraph::NodeId(0), relmax_ugraph::NodeId(1), 0.5).unwrap();
+        g.add_edge(relmax_ugraph::NodeId(0), relmax_ugraph::NodeId(2), 0.5).unwrap();
+        g.add_edge(relmax_ugraph::NodeId(3), relmax_ugraph::NodeId(1), 0.5).unwrap();
+        ProbModel::InverseOutDegree.apply(&mut g, 0);
+        assert_eq!(g.edges()[0].prob, 0.5); // deg(0) = 2
+        assert_eq!(g.edges()[1].prob, 0.5);
+        assert_eq!(g.edges()[2].prob, 1.0); // deg(3) = 1
+    }
+
+    #[test]
+    fn exponential_counts_mean_tracks_paper() {
+        // With mu=20 and small counts, probabilities are low (DBLP's 0.11).
+        let mut g = erdos_renyi(100, 3000, 6);
+        ProbModel::ExponentialCounts { mu: 20.0, mean_count: 2.5 }.apply(&mut g, 7);
+        let (mean, _) = prob_summary(&g);
+        assert!((0.05..0.2).contains(&mean), "mean={mean}");
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let mut a = erdos_renyi(50, 200, 9);
+        let mut b = erdos_renyi(50, 200, 9);
+        ProbModel::Uniform { lo: 0.0, hi: 0.6 }.apply(&mut a, 42);
+        ProbModel::Uniform { lo: 0.0, hi: 0.6 }.apply(&mut b, 42);
+        for (x, y) in a.edges().iter().zip(b.edges()) {
+            assert_eq!(x.prob, y.prob);
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! Scaled lookalikes of the paper's real datasets (Table 8).
+//!
+//! The five real datasets are not redistributable/downloadable in this
+//! environment, so each proxy reproduces the *recorded* characteristics of
+//! its original: node/edge counts (up to an explicit scale factor for the
+//! multi-million-edge graphs), degree-distribution family (heavy-tailed
+//! preferential attachment for the social networks; hub-and-spoke for the
+//! AS topology), directedness, and the edge-probability model the paper
+//! assigned to that dataset. The algorithms under evaluation consume only
+//! topology + probabilities, so matching these statistics preserves the
+//! comparisons' shape; see DESIGN.md ("Substitutions").
+
+use crate::prob::ProbModel;
+use crate::sensor::SensorLab;
+use crate::synth::barabasi_albert;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use relmax_ugraph::{NodeId, UncertainGraph};
+
+/// One of the paper's real datasets, reproduced as a synthetic proxy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DatasetProxy {
+    /// Intel Berkeley Lab sensor network: 54 nodes, 969 directed links,
+    /// real delivery probabilities (mean 0.33).
+    IntelLab,
+    /// LastFM social network: 6 899 nodes, 23 696 undirected edges,
+    /// `p = 1/out-degree` (mean 0.29).
+    LastFm,
+    /// CAIDA AS topology: 45 535 nodes, 172 294 directed edges, empirical
+    /// snapshot frequencies (mean 0.23).
+    AsTopology,
+    /// DBLP co-authorship: 1 291 298 nodes, 7 123 632 undirected edges,
+    /// `p = 1 − e^{−t/20}` over collaboration counts (mean 0.11).
+    Dblp,
+    /// Twitter re-tweets: 6 294 565 nodes, 11 063 034 undirected edges,
+    /// `p = 1 − e^{−t/20}` over re-tweet counts (mean 0.14).
+    Twitter,
+}
+
+impl DatasetProxy {
+    /// All proxies, in the order Table 8 lists them.
+    pub const ALL: [DatasetProxy; 5] = [
+        DatasetProxy::IntelLab,
+        DatasetProxy::LastFm,
+        DatasetProxy::AsTopology,
+        DatasetProxy::Dblp,
+        DatasetProxy::Twitter,
+    ];
+
+    /// Display name matching the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DatasetProxy::IntelLab => "Intel Lab Data",
+            DatasetProxy::LastFm => "LastFM",
+            DatasetProxy::AsTopology => "AS Topology",
+            DatasetProxy::Dblp => "DBLP",
+            DatasetProxy::Twitter => "Twitter",
+        }
+    }
+
+    /// `(nodes, edges, directed)` of the *original* dataset as recorded in
+    /// Table 8.
+    pub fn paper_size(&self) -> (usize, usize, bool) {
+        match self {
+            DatasetProxy::IntelLab => (54, 969, true),
+            DatasetProxy::LastFm => (6_899, 23_696, false),
+            DatasetProxy::AsTopology => (45_535, 172_294, true),
+            DatasetProxy::Dblp => (1_291_298, 7_123_632, false),
+            DatasetProxy::Twitter => (6_294_565, 11_063_034, false),
+        }
+    }
+
+    /// Mean edge probability recorded in Table 8 (for validation).
+    pub fn paper_prob_mean(&self) -> f64 {
+        match self {
+            DatasetProxy::IntelLab => 0.33,
+            DatasetProxy::LastFm => 0.29,
+            DatasetProxy::AsTopology => 0.23,
+            DatasetProxy::Dblp => 0.11,
+            DatasetProxy::Twitter => 0.14,
+        }
+    }
+
+    /// Default scale the experiment harness uses so that `repro all` stays
+    /// laptop-sized (1.0 = paper size).
+    pub fn default_scale(&self) -> f64 {
+        match self {
+            DatasetProxy::IntelLab => 1.0,
+            DatasetProxy::LastFm => 1.0,
+            DatasetProxy::AsTopology => 0.25,
+            DatasetProxy::Dblp => 0.02,
+            DatasetProxy::Twitter => 0.005,
+        }
+    }
+
+    /// Generate the proxy at the given `scale` (fraction of the original
+    /// node count, clamped to at least 500 nodes for the network proxies).
+    pub fn generate(&self, scale: f64, seed: u64) -> UncertainGraph {
+        assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
+        let (n0, _, _) = self.paper_size();
+        let n = ((n0 as f64 * scale) as usize).max(500.min(n0));
+        match self {
+            DatasetProxy::IntelLab => SensorLab::generate(seed).graph,
+            DatasetProxy::LastFm => {
+                // Social, undirected, avg degree ~6.9 -> BA alternating 3/4.
+                let mut g = barabasi_albert(n, 0, Some((3, 4)), seed);
+                ProbModel::InverseOutDegree.apply(&mut g, seed);
+                g
+            }
+            DatasetProxy::AsTopology => {
+                // Device, directed, heavy-tailed; avg out-degree ~3.8.
+                // Build an undirected BA backbone (m=2) and emit both arc
+                // directions, which matches BGP peering's mutual sessions.
+                let und = barabasi_albert(n, 2, None, seed);
+                let mut g = UncertainGraph::with_capacity(n, true, und.num_edges() * 2);
+                for e in und.edges() {
+                    g.add_edge(e.src, e.dst, 0.5).expect("unique arcs");
+                    g.add_edge(e.dst, e.src, 0.5).expect("unique arcs");
+                }
+                ProbModel::ExponentialCounts { mu: 20.0, mean_count: 5.5 }.apply(&mut g, seed);
+                g
+            }
+            DatasetProxy::Dblp => {
+                // Social, undirected, avg degree ~11 -> BA alternating 5/6.
+                let mut g = barabasi_albert(n, 0, Some((5, 6)), seed);
+                ProbModel::ExponentialCounts { mu: 20.0, mean_count: 2.4 }.apply(&mut g, seed);
+                g
+            }
+            DatasetProxy::Twitter => {
+                // Social, undirected, sparse (avg degree ~3.5) -> BA 1/2.
+                let mut g = barabasi_albert(n, 0, Some((1, 2)), seed);
+                ProbModel::ExponentialCounts { mu: 20.0, mean_count: 3.1 }.apply(&mut g, seed);
+                g
+            }
+        }
+    }
+}
+
+/// Induced subgraph on `keep` uniformly random nodes, relabeled densely —
+/// the paper's Table 22 scalability protocol ("select 1M..6M nodes
+/// uniformly at random to generate subgraphs").
+pub fn subsample_nodes(g: &UncertainGraph, keep: usize, seed: u64) -> UncertainGraph {
+    let n = g.num_nodes();
+    let keep = keep.min(n);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut nodes: Vec<u32> = (0..n as u32).collect();
+    nodes.shuffle(&mut rng);
+    nodes.truncate(keep);
+    let mut relabel = vec![u32::MAX; n];
+    for (new, &old) in nodes.iter().enumerate() {
+        relabel[old as usize] = new as u32;
+    }
+    let mut out = UncertainGraph::new(keep, g.directed());
+    for e in g.edges() {
+        let (ru, rv) = (relabel[e.src.index()], relabel[e.dst.index()]);
+        if ru != u32::MAX && rv != u32::MAX {
+            out.add_edge(NodeId(ru), NodeId(rv), e.prob)
+                .expect("relabeled edges stay unique");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prob::prob_summary;
+    use crate::stats::GraphStats;
+
+    #[test]
+    fn lastfm_proxy_matches_recorded_stats() {
+        let g = DatasetProxy::LastFm.generate(1.0, 1);
+        assert_eq!(g.num_nodes(), 6_899);
+        assert!(!g.directed());
+        let m = g.num_edges();
+        assert!((20_000..28_000).contains(&m), "m={m}");
+        // The paper's inverse-out-degree model on a BA topology lands a bit
+        // below the real LastFM's 0.29 (its degree mix differs); the model
+        // family is what matters for the algorithms.
+        let (mean, _) = prob_summary(&g);
+        assert!((0.15..0.35).contains(&mean), "mean={mean}");
+    }
+
+    #[test]
+    fn as_topology_proxy_is_directed_with_matching_probs() {
+        let g = DatasetProxy::AsTopology.generate(0.1, 2);
+        assert!(g.directed());
+        let (mean, _) = prob_summary(&g);
+        assert!((mean - 0.23).abs() < 0.08, "mean={mean}");
+        let avg_deg = g.num_edges() as f64 / g.num_nodes() as f64;
+        assert!((3.0..4.6).contains(&avg_deg), "deg={avg_deg}");
+    }
+
+    #[test]
+    fn dblp_and_twitter_probability_means() {
+        let d = DatasetProxy::Dblp.generate(0.005, 3);
+        let (dm, _) = prob_summary(&d);
+        assert!((dm - 0.11).abs() < 0.05, "dblp mean={dm}");
+        let t = DatasetProxy::Twitter.generate(0.002, 4);
+        let (tm, _) = prob_summary(&t);
+        assert!((tm - 0.14).abs() < 0.06, "twitter mean={tm}");
+        // Twitter is the sparsest (the paper leans on this).
+        let dd = 2.0 * d.num_edges() as f64 / d.num_nodes() as f64;
+        let td = 2.0 * t.num_edges() as f64 / t.num_nodes() as f64;
+        assert!(td < dd, "twitter deg {td} vs dblp deg {dd}");
+    }
+
+    #[test]
+    fn scaling_controls_node_count() {
+        let small = DatasetProxy::LastFm.generate(0.1, 5);
+        assert!((600..800).contains(&small.num_nodes()), "n={}", small.num_nodes());
+    }
+
+    #[test]
+    fn subsample_preserves_probabilities_and_direction() {
+        let g = DatasetProxy::AsTopology.generate(0.05, 6);
+        let sub = subsample_nodes(&g, g.num_nodes() / 2, 7);
+        assert_eq!(sub.num_nodes(), g.num_nodes() / 2);
+        assert!(sub.directed());
+        assert!(sub.num_edges() < g.num_edges());
+        assert!(sub.num_edges() > 0);
+        let (mean, _) = prob_summary(&sub);
+        assert!((mean - 0.23).abs() < 0.1, "mean={mean}");
+    }
+
+    #[test]
+    fn subsample_full_size_is_isomorphic_in_counts() {
+        let g = DatasetProxy::LastFm.generate(0.1, 8);
+        let sub = subsample_nodes(&g, g.num_nodes(), 9);
+        assert_eq!(sub.num_nodes(), g.num_nodes());
+        assert_eq!(sub.num_edges(), g.num_edges());
+    }
+
+    #[test]
+    fn social_proxies_are_heavy_tailed() {
+        let g = DatasetProxy::LastFm.generate(0.3, 10);
+        let s = GraphStats::compute(&g, 50, 0);
+        let avg_deg = 2.0 * s.edges as f64 / s.nodes as f64;
+        let max_deg = g.nodes().map(|v| g.out_degree(v)).max().unwrap();
+        assert!(max_deg as f64 > 5.0 * avg_deg, "max={max_deg} avg={avg_deg}");
+    }
+}

@@ -1,0 +1,182 @@
+//! Query workload generation (§8.1 "Queries").
+//!
+//! The paper selects `s-t` pairs 3–5 hops apart ("if two nodes are too
+//! close ... their original reliability will be naturally high") and, for
+//! multi-source/target experiments, draws disjoint sets `S`, `T` of
+//! within-5-hop neighbors of a base pair.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use relmax_ugraph::traverse::{hop_distances, UNREACHABLE};
+use relmax_ugraph::{NodeId, ProbGraph};
+
+/// Draw up to `count` `s-t` pairs whose hop distance lies in
+/// `[min_hops, max_hops]`. Fewer pairs are returned if the graph cannot
+/// supply them within a bounded number of attempts.
+pub fn st_queries<G: ProbGraph + ?Sized>(
+    g: &G,
+    count: usize,
+    min_hops: u32,
+    max_hops: u32,
+    seed: u64,
+) -> Vec<(NodeId, NodeId)> {
+    assert!(min_hops <= max_hops && min_hops >= 1);
+    let n = g.num_nodes();
+    if n < 2 {
+        return Vec::new();
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(count);
+    let max_attempts = count * 50 + 100;
+    for _ in 0..max_attempts {
+        if out.len() >= count {
+            break;
+        }
+        let s = NodeId(rng.gen_range(0..n as u32));
+        let dist = hop_distances(g, s);
+        let eligible: Vec<NodeId> = dist
+            .iter()
+            .enumerate()
+            .filter(|&(_, &d)| d != UNREACHABLE && d >= min_hops && d <= max_hops)
+            .map(|(i, _)| NodeId(i as u32))
+            .collect();
+        if let Some(&t) = eligible.as_slice().choose(&mut rng) {
+            out.push((s, t));
+        }
+    }
+    out
+}
+
+/// Like [`st_queries`] but with an exact hop distance `d` (Table 19 varies
+/// the query distance).
+pub fn st_queries_at_distance<G: ProbGraph + ?Sized>(
+    g: &G,
+    count: usize,
+    d: u32,
+    seed: u64,
+) -> Vec<(NodeId, NodeId)> {
+    st_queries(g, count, d, d, seed)
+}
+
+/// A multi-source/multi-target query: disjoint sets `S` and `T`.
+pub type MultiQueryPair = (Vec<NodeId>, Vec<NodeId>);
+
+/// Draw up to `count` multi-queries. Each starts from a base `s-t` pair
+/// 3–5 hops apart; `S` gathers `set_size` nodes within `hops` of `s`
+/// (including `s`), `T` gathers `set_size` within `hops` of `t`, and the
+/// sets are made disjoint as the paper requires.
+pub fn multi_queries<G: ProbGraph + ?Sized>(
+    g: &G,
+    count: usize,
+    set_size: usize,
+    hops: u32,
+    seed: u64,
+) -> Vec<MultiQueryPair> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let base = st_queries(g, count * 3, 3, 5, seed.wrapping_add(1));
+    let mut out = Vec::with_capacity(count);
+    for (s, t) in base {
+        if out.len() >= count {
+            break;
+        }
+        let ds = hop_distances(g, s);
+        let dt = hop_distances(g, t);
+        let mut s_pool: Vec<NodeId> = ds
+            .iter()
+            .enumerate()
+            .filter(|&(_, &d)| d != UNREACHABLE && d <= hops)
+            .map(|(i, _)| NodeId(i as u32))
+            .collect();
+        s_pool.shuffle(&mut rng);
+        s_pool.truncate(set_size);
+        if !s_pool.contains(&s) && !s_pool.is_empty() {
+            s_pool[0] = s;
+        }
+        let mut t_pool: Vec<NodeId> = dt
+            .iter()
+            .enumerate()
+            .filter(|&(_, &d)| d != UNREACHABLE && d <= hops)
+            .map(|(i, _)| NodeId(i as u32))
+            .filter(|v| !s_pool.contains(v))
+            .collect();
+        t_pool.shuffle(&mut rng);
+        t_pool.truncate(set_size);
+        if s_pool.len() == set_size && t_pool.len() == set_size {
+            out.push((s_pool, t_pool));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prob::ProbModel;
+    use crate::synth::watts_strogatz;
+    use relmax_ugraph::UncertainGraph;
+
+    fn sample_graph() -> UncertainGraph {
+        let mut g = watts_strogatz(300, 6, 0.2, 7);
+        ProbModel::Uniform { lo: 0.1, hi: 0.6 }.apply(&mut g, 8);
+        g
+    }
+
+    #[test]
+    fn st_queries_respect_distance_band() {
+        let g = sample_graph();
+        let qs = st_queries(&g, 20, 3, 5, 1);
+        assert!(!qs.is_empty());
+        for &(s, t) in &qs {
+            let d = hop_distances(&g, s)[t.index()];
+            assert!((3..=5).contains(&d), "distance {d}");
+        }
+    }
+
+    #[test]
+    fn exact_distance_queries() {
+        let g = sample_graph();
+        let qs = st_queries_at_distance(&g, 10, 4, 2);
+        for &(s, t) in &qs {
+            assert_eq!(hop_distances(&g, s)[t.index()], 4);
+        }
+    }
+
+    #[test]
+    fn st_queries_deterministic() {
+        let g = sample_graph();
+        assert_eq!(st_queries(&g, 10, 3, 5, 9), st_queries(&g, 10, 3, 5, 9));
+    }
+
+    #[test]
+    fn multi_queries_are_disjoint_and_sized() {
+        let g = sample_graph();
+        let qs = multi_queries(&g, 5, 4, 5, 3);
+        assert!(!qs.is_empty());
+        for (s_set, t_set) in &qs {
+            assert_eq!(s_set.len(), 4);
+            assert_eq!(t_set.len(), 4);
+            for v in t_set {
+                assert!(!s_set.contains(v), "S and T overlap at {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_graph_yields_no_queries() {
+        let g = UncertainGraph::new(1, true);
+        assert!(st_queries(&g, 5, 3, 5, 0).is_empty());
+    }
+
+    #[test]
+    fn path_graph_distance_selection() {
+        let mut g = UncertainGraph::new(10, false);
+        for i in 0..9u32 {
+            g.add_edge(NodeId(i), NodeId(i + 1), 0.5).unwrap();
+        }
+        let qs = st_queries(&g, 30, 3, 3, 5);
+        for &(s, t) in &qs {
+            assert_eq!((s.0 as i32 - t.0 as i32).abs(), 3);
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! Dataset statistics matching Table 8's columns.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use relmax_ugraph::traverse::{approx_diameter, hop_distances, UNREACHABLE};
+use relmax_ugraph::{NodeId, UncertainGraph};
+
+/// The per-dataset properties the paper reports in Table 8.
+#[derive(Debug, Clone)]
+pub struct GraphStats {
+    /// Node count.
+    pub nodes: usize,
+    /// Edge count.
+    pub edges: usize,
+    /// Mean edge probability.
+    pub prob_mean: f64,
+    /// Standard deviation of edge probabilities.
+    pub prob_sd: f64,
+    /// 25 / 50 / 75% quartiles of edge probabilities.
+    pub prob_quartiles: [f64; 3],
+    /// Average shortest-path length (hops), sampled.
+    pub avg_spl: f64,
+    /// Longest shortest-path length observed (approximate diameter).
+    pub longest_spl: u32,
+    /// Average local clustering coefficient, sampled.
+    pub clustering: f64,
+}
+
+impl GraphStats {
+    /// Compute statistics, sampling `probes` source nodes for the
+    /// path-length and clustering estimates (exact when `probes >= n`).
+    pub fn compute(g: &UncertainGraph, probes: usize, seed: u64) -> Self {
+        let n = g.num_nodes();
+        let m = g.num_edges();
+        let mut probs: Vec<f64> = g.edges().iter().map(|e| e.prob).collect();
+        probs.sort_by(|a, b| a.partial_cmp(b).expect("probabilities never NaN"));
+        let quartile = |q: f64| -> f64 {
+            if probs.is_empty() {
+                return 0.0;
+            }
+            let idx = ((probs.len() - 1) as f64 * q).round() as usize;
+            probs[idx]
+        };
+        let mean = probs.iter().sum::<f64>() / m.max(1) as f64;
+        let var = probs.iter().map(|p| (p - mean).powi(2)).sum::<f64>() / m.max(1) as f64;
+
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut nodes: Vec<NodeId> = (0..n as u32).map(NodeId).collect();
+        nodes.shuffle(&mut rng);
+        let sample = &nodes[..probes.min(n)];
+
+        // Average shortest path length over sampled sources.
+        let mut spl_sum = 0u64;
+        let mut spl_cnt = 0u64;
+        for &s in sample {
+            for &d in hop_distances(g, s).iter() {
+                if d != UNREACHABLE && d > 0 {
+                    spl_sum += d as u64;
+                    spl_cnt += 1;
+                }
+            }
+        }
+        let avg_spl = if spl_cnt > 0 { spl_sum as f64 / spl_cnt as f64 } else { 0.0 };
+
+        // Local clustering coefficient over sampled nodes with degree >= 2,
+        // on the undirected-ized neighborhood.
+        let mut cc_sum = 0.0;
+        let mut cc_cnt = 0usize;
+        for &v in sample {
+            let mut neigh: Vec<NodeId> = g.out_edges(v).iter().map(|&(u, _)| u).collect();
+            if g.directed() {
+                neigh.extend(g.in_edges(v).iter().map(|&(u, _)| u));
+            }
+            neigh.sort_unstable();
+            neigh.dedup();
+            let d = neigh.len();
+            if d < 2 {
+                continue;
+            }
+            let mut links = 0usize;
+            for i in 0..d {
+                for j in (i + 1)..d {
+                    if g.has_edge(neigh[i], neigh[j]) || g.has_edge(neigh[j], neigh[i]) {
+                        links += 1;
+                    }
+                }
+            }
+            cc_sum += links as f64 / (d * (d - 1) / 2) as f64;
+            cc_cnt += 1;
+        }
+        let clustering = if cc_cnt > 0 { cc_sum / cc_cnt as f64 } else { 0.0 };
+
+        GraphStats {
+            nodes: n,
+            edges: m,
+            prob_mean: mean,
+            prob_sd: var.sqrt(),
+            prob_quartiles: [quartile(0.25), quartile(0.5), quartile(0.75)],
+            avg_spl,
+            longest_spl: approx_diameter(g, 4),
+            clustering,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prob::ProbModel;
+    use crate::synth::{erdos_renyi, watts_strogatz};
+
+    #[test]
+    fn triangle_statistics() {
+        let mut g = UncertainGraph::new(3, false);
+        g.add_edge(NodeId(0), NodeId(1), 0.2).unwrap();
+        g.add_edge(NodeId(1), NodeId(2), 0.4).unwrap();
+        g.add_edge(NodeId(0), NodeId(2), 0.6).unwrap();
+        let s = GraphStats::compute(&g, 10, 0);
+        assert_eq!(s.nodes, 3);
+        assert_eq!(s.edges, 3);
+        assert!((s.prob_mean - 0.4).abs() < 1e-12);
+        assert_eq!(s.prob_quartiles[1], 0.4);
+        assert!((s.clustering - 1.0).abs() < 1e-12);
+        assert_eq!(s.longest_spl, 1);
+        assert!((s.avg_spl - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn path_graph_has_zero_clustering() {
+        let mut g = UncertainGraph::new(5, false);
+        for i in 0..4u32 {
+            g.add_edge(NodeId(i), NodeId(i + 1), 0.5).unwrap();
+        }
+        let s = GraphStats::compute(&g, 5, 0);
+        assert_eq!(s.clustering, 0.0);
+        assert_eq!(s.longest_spl, 4);
+        assert!(s.avg_spl > 1.0);
+    }
+
+    #[test]
+    fn small_world_has_higher_clustering_than_random() {
+        let mut ws = watts_strogatz(300, 8, 0.1, 1);
+        let mut er = erdos_renyi(300, 1200, 1);
+        ProbModel::Fixed(0.5).apply(&mut ws, 0);
+        ProbModel::Fixed(0.5).apply(&mut er, 0);
+        let sw = GraphStats::compute(&ws, 60, 2);
+        let se = GraphStats::compute(&er, 60, 2);
+        assert!(
+            sw.clustering > 2.0 * se.clustering,
+            "ws={} er={}",
+            sw.clustering,
+            se.clustering
+        );
+    }
+
+    #[test]
+    fn quartiles_are_ordered() {
+        let mut g = erdos_renyi(100, 400, 3);
+        ProbModel::Uniform { lo: 0.0, hi: 0.6 }.apply(&mut g, 1);
+        let s = GraphStats::compute(&g, 30, 0);
+        assert!(s.prob_quartiles[0] <= s.prob_quartiles[1]);
+        assert!(s.prob_quartiles[1] <= s.prob_quartiles[2]);
+        assert!(s.prob_sd > 0.0);
+    }
+}

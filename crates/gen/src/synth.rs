@@ -1,0 +1,247 @@
+//! Synthetic graph generators (§8.1, Table 8's Random/Regular/SmallWorld/
+//! ScaleFree families). All generators are deterministic in their seed and
+//! produce undirected graphs (as the paper's synthetic datasets are), with
+//! every edge probability initialized to 0.5 — apply a
+//! [`crate::prob::ProbModel`] afterwards.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use relmax_ugraph::fxhash::FxHashSet;
+use relmax_ugraph::{NodeId, UncertainGraph};
+
+const PLACEHOLDER_PROB: f64 = 0.5;
+
+/// Erdős–Rényi `G(n, m)`: `m` distinct undirected edges drawn uniformly.
+///
+/// Matches the paper's "Random 1/2" datasets (they fix an edge count by
+/// choosing `p = m / C(n,2)`). Panics if `m` exceeds the number of node
+/// pairs.
+pub fn erdos_renyi(n: usize, m: usize, seed: u64) -> UncertainGraph {
+    assert!(n >= 2, "need at least two nodes");
+    let max_m = n * (n - 1) / 2;
+    assert!(m <= max_m, "requested {m} edges but only {max_m} pairs exist");
+    let mut g = UncertainGraph::with_capacity(n, false, m);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut seen: FxHashSet<(u32, u32)> = FxHashSet::default();
+    while g.num_edges() < m {
+        let u = rng.gen_range(0..n as u32);
+        let v = rng.gen_range(0..n as u32);
+        if u == v {
+            continue;
+        }
+        let key = (u.min(v), u.max(v));
+        if seen.insert(key) {
+            g.add_edge(NodeId(key.0), NodeId(key.1), PLACEHOLDER_PROB)
+                .expect("deduplicated edge cannot fail");
+        }
+    }
+    g
+}
+
+/// Random `k`-regular graph via the configuration model with retry.
+///
+/// Every node gets exactly degree `k` (`n·k` must be even, `k < n`).
+/// Stub pairing occasionally produces self-loops/duplicates; those rounds
+/// are rejected and re-shuffled, which terminates quickly for the sparse
+/// `k ≪ n` regimes the paper uses (k = 5, 10).
+pub fn random_regular(n: usize, k: usize, seed: u64) -> UncertainGraph {
+    assert!(k < n, "degree must be below node count");
+    assert!(n * k % 2 == 0, "n*k must be even");
+    let mut rng = StdRng::seed_from_u64(seed);
+    'attempt: for _ in 0..200 {
+        let mut stubs: Vec<u32> =
+            (0..n as u32).flat_map(|v| std::iter::repeat(v).take(k)).collect();
+        stubs.shuffle(&mut rng);
+        let mut g = UncertainGraph::with_capacity(n, false, n * k / 2);
+        let mut i = 0;
+        while i < stubs.len() {
+            let u = stubs[i];
+            // Find a partner stub that forms a fresh, non-loop edge; swap it
+            // into position i+1. Whole-pairing rejection would almost never
+            // succeed for k >= 4, local repair almost always does.
+            let mut found = false;
+            for j in (i + 1)..stubs.len() {
+                let v = stubs[j];
+                if v != u && !g.has_edge(NodeId(u), NodeId(v)) {
+                    stubs.swap(i + 1, j);
+                    g.add_edge(NodeId(u), NodeId(v), PLACEHOLDER_PROB).expect("checked");
+                    found = true;
+                    break;
+                }
+            }
+            if !found {
+                continue 'attempt;
+            }
+            i += 2;
+        }
+        return g;
+    }
+    panic!("configuration model failed to produce a simple {k}-regular graph on {n} nodes");
+}
+
+/// Watts–Strogatz small-world graph: ring lattice with `k` neighbors per
+/// node (`k` even), each edge rewired with probability `beta`.
+pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> UncertainGraph {
+    assert!(k % 2 == 0 && k >= 2, "k must be even and >= 2");
+    assert!(k < n, "k must be below n");
+    assert!((0.0..=1.0).contains(&beta));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = UncertainGraph::with_capacity(n, false, n * k / 2);
+    for v in 0..n as u32 {
+        for j in 1..=(k / 2) as u32 {
+            let u = (v + j) % n as u32;
+            let (mut a, mut b) = (v, u);
+            if rng.gen_bool(beta) {
+                // Rewire: keep endpoint v, resample the other.
+                for _ in 0..32 {
+                    let w = rng.gen_range(0..n as u32);
+                    if w != v && !g.has_edge(NodeId(v), NodeId(w)) {
+                        b = w;
+                        a = v;
+                        break;
+                    }
+                }
+            }
+            if a != b && !g.has_edge(NodeId(a), NodeId(b)) {
+                g.add_edge(NodeId(a), NodeId(b), PLACEHOLDER_PROB).expect("checked");
+            }
+        }
+    }
+    g
+}
+
+/// Barabási–Albert preferential attachment.
+///
+/// Starts from a small clique and attaches each new node with `m` edges
+/// chosen preferentially by degree. `alternate` reproduces the paper's
+/// ScaleFree 1 variant, which alternates `m = 2` and `m = 3` per node to
+/// hit an average degree of 5.
+pub fn barabasi_albert(n: usize, m: usize, alternate: Option<(usize, usize)>, seed: u64) -> UncertainGraph {
+    let m_max = alternate.map_or(m, |(a, b)| a.max(b));
+    assert!(m_max >= 1 && m_max + 1 <= n, "m too large for n");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = UncertainGraph::with_capacity(n, false, n * m_max);
+    // Repeated-node list: each node appears once per unit of degree, which
+    // makes degree-proportional sampling O(1).
+    let mut pool: Vec<u32> = Vec::with_capacity(2 * n * m_max);
+    let seed_nodes = m_max + 1;
+    for u in 0..seed_nodes as u32 {
+        for v in (u + 1)..seed_nodes as u32 {
+            g.add_edge(NodeId(u), NodeId(v), PLACEHOLDER_PROB).expect("clique");
+            pool.push(u);
+            pool.push(v);
+        }
+    }
+    for v in seed_nodes as u32..n as u32 {
+        let mv = match alternate {
+            Some((a, b)) => {
+                if v % 2 == 0 {
+                    a
+                } else {
+                    b
+                }
+            }
+            None => m,
+        };
+        let mut chosen: FxHashSet<u32> = FxHashSet::default();
+        let mut guard = 0;
+        while chosen.len() < mv && guard < 1000 {
+            guard += 1;
+            let u = pool[rng.gen_range(0..pool.len())];
+            if u != v {
+                chosen.insert(u);
+            }
+        }
+        for &u in &chosen {
+            g.add_edge(NodeId(v), NodeId(u), PLACEHOLDER_PROB).expect("new node edge");
+            pool.push(v);
+            pool.push(u);
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relmax_ugraph::traverse::hop_distances;
+    use relmax_ugraph::ProbGraph;
+
+    #[test]
+    fn erdos_renyi_respects_counts() {
+        let g = erdos_renyi(100, 250, 1);
+        assert_eq!(g.num_nodes(), 100);
+        assert_eq!(g.num_edges(), 250);
+        assert!(!g.is_directed());
+    }
+
+    #[test]
+    fn erdos_renyi_is_deterministic() {
+        let a = erdos_renyi(50, 100, 7);
+        let b = erdos_renyi(50, 100, 7);
+        assert_eq!(a.edges().len(), b.edges().len());
+        for (ea, eb) in a.edges().iter().zip(b.edges()) {
+            assert_eq!((ea.src, ea.dst), (eb.src, eb.dst));
+        }
+        let c = erdos_renyi(50, 100, 8);
+        let same = a.edges().iter().zip(c.edges()).all(|(x, y)| (x.src, x.dst) == (y.src, y.dst));
+        assert!(!same);
+    }
+
+    #[test]
+    fn regular_graph_has_uniform_degree() {
+        let k = 6;
+        let g = random_regular(60, k, 3);
+        assert_eq!(g.num_edges(), 60 * k / 2);
+        for v in g.nodes() {
+            assert_eq!(g.out_degree(v), k, "node {v}");
+        }
+    }
+
+    #[test]
+    fn watts_strogatz_preserves_edge_budget_roughly() {
+        let g = watts_strogatz(200, 6, 0.3, 5);
+        // Rewiring can drop an edge only when 32 resample attempts fail.
+        assert!(g.num_edges() >= 590 && g.num_edges() <= 600, "m={}", g.num_edges());
+        // Small world: short average path from node 0.
+        let d = hop_distances(&g, NodeId(0));
+        let reachable = d.iter().filter(|&&x| x != u32::MAX).count();
+        assert!(reachable > 190, "reachable={reachable}");
+    }
+
+    #[test]
+    fn watts_strogatz_zero_beta_is_ring_lattice() {
+        let g = watts_strogatz(20, 4, 0.0, 1);
+        assert_eq!(g.num_edges(), 40);
+        for v in g.nodes() {
+            assert_eq!(g.out_degree(v), 4);
+        }
+        assert!(g.has_edge(NodeId(0), NodeId(1)));
+        assert!(g.has_edge(NodeId(0), NodeId(2)));
+        assert!(!g.has_edge(NodeId(0), NodeId(3)));
+    }
+
+    #[test]
+    fn barabasi_albert_grows_hubs() {
+        let g = barabasi_albert(500, 3, None, 11);
+        assert_eq!(g.num_nodes(), 500);
+        let max_deg = g.nodes().map(|v| g.out_degree(v)).max().unwrap();
+        let avg_deg = 2.0 * g.num_edges() as f64 / 500.0;
+        // Scale-free: max degree far above average.
+        assert!(max_deg as f64 > 4.0 * avg_deg, "max={max_deg} avg={avg_deg}");
+    }
+
+    #[test]
+    fn barabasi_albert_alternating_m() {
+        let g = barabasi_albert(400, 0, Some((2, 3)), 13);
+        let avg_deg = 2.0 * g.num_edges() as f64 / 400.0;
+        assert!((avg_deg - 5.0).abs() < 0.5, "avg={avg_deg}");
+    }
+
+    #[test]
+    #[should_panic(expected = "n*k must be even")]
+    fn regular_rejects_odd_stub_count() {
+        let _ = random_regular(5, 3, 1);
+    }
+}

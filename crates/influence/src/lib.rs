@@ -1,0 +1,15 @@
+//! # relmax-influence
+//!
+//! Influence spread under the Independent Cascade (IC) model (§8.4.2).
+//!
+//! Under IC with edge activation probabilities `p(u, v)`, the expected
+//! number of activated nodes equals the expected number of nodes reachable
+//! from the seed set in a random possible world of the uncertain graph —
+//! Eq. 13 of the paper. That equivalence lets this crate reuse the same
+//! deterministic coin machinery as `relmax-sampling`, so influence
+//! estimates share worlds with reliability estimates (common random
+//! numbers) and stay reproducible.
+
+pub mod ic;
+
+pub use ic::{activation_probability, influence_spread};

@@ -1,0 +1,237 @@
+//! Top-`l` most reliable simple paths (Yen's loopless algorithm).
+//!
+//! The paper's pipeline extracts the `l` most reliable paths between `s`
+//! and `t` in the candidate-augmented graph `G⁺` (§5.1.2) and then selects
+//! additions among the candidate edges those paths use. The reference
+//! implementation cites Eppstein's k-shortest-paths; Eppstein's paths may
+//! revisit nodes, which is useless for reachability (a non-simple walk is
+//! dominated by the simple path it contains), so we enumerate loopless
+//! paths with Yen's algorithm on `−log p` weights instead. Output contract:
+//! simple paths, strictly distinct, sorted by probability (descending),
+//! ties broken deterministically.
+
+use crate::dijkstra::{most_reliable_path, most_reliable_path_filtered, ReliablePath};
+use relmax_ugraph::fxhash::FxHashSet;
+use relmax_ugraph::{NodeId, ProbGraph};
+
+/// The `l` most reliable simple paths from `s` to `t`, best first.
+///
+/// Returns fewer than `l` paths when the graph does not contain that many
+/// distinct simple paths with positive probability. `O(l · n · Dijkstra)`
+/// worst case.
+///
+/// ```
+/// use relmax_ugraph::{UncertainGraph, NodeId};
+/// use relmax_paths::top_l_reliable_paths;
+///
+/// let mut g = UncertainGraph::new(4, true);
+/// g.add_edge(NodeId(0), NodeId(1), 0.9).unwrap();
+/// g.add_edge(NodeId(1), NodeId(3), 0.9).unwrap();
+/// g.add_edge(NodeId(0), NodeId(2), 0.8).unwrap();
+/// g.add_edge(NodeId(2), NodeId(3), 0.8).unwrap();
+/// let paths = top_l_reliable_paths(&g, NodeId(0), NodeId(3), 5);
+/// assert_eq!(paths.len(), 2);
+/// assert!(paths[0].prob >= paths[1].prob);
+/// ```
+pub fn top_l_reliable_paths<G: ProbGraph + ?Sized>(
+    g: &G,
+    s: NodeId,
+    t: NodeId,
+    l: usize,
+) -> Vec<ReliablePath> {
+    if l == 0 {
+        return Vec::new();
+    }
+    let mut accepted: Vec<ReliablePath> = Vec::with_capacity(l);
+    match most_reliable_path(g, s, t) {
+        Some(p) => accepted.push(p),
+        None => return Vec::new(),
+    }
+    // Candidate pool, deduplicated by node sequence.
+    let mut candidates: Vec<ReliablePath> = Vec::new();
+    let mut seen: FxHashSet<Vec<u32>> = FxHashSet::default();
+    seen.insert(accepted[0].nodes.iter().map(|n| n.0).collect());
+
+    while accepted.len() < l {
+        let prev = accepted.last().expect("at least one accepted path").clone();
+        // Deviate at every node of the previous path except t.
+        for i in 0..prev.nodes.len() - 1 {
+            let spur = prev.nodes[i];
+            let root_nodes = &prev.nodes[..=i];
+            let root_coins = &prev.coins[..i];
+            let root_prob: f64 = root_coins.iter().map(|&c| g.coin_prob(c)).product();
+            if root_prob <= 0.0 {
+                continue;
+            }
+            // Ban coins that would recreate an already-known path sharing
+            // this root.
+            let mut banned_coins: FxHashSet<u32> = FxHashSet::default();
+            for known in accepted.iter().chain(candidates.iter()) {
+                if known.nodes.len() > i && known.nodes[..=i] == *root_nodes {
+                    if let Some(&c) = known.coins.get(i) {
+                        banned_coins.insert(c);
+                    }
+                }
+            }
+            // Ban root nodes (except the spur) to keep paths simple.
+            let mut banned_nodes = vec![false; g.num_nodes()];
+            for &v in &root_nodes[..i] {
+                banned_nodes[v.index()] = true;
+            }
+            let spur_path = most_reliable_path_filtered(
+                g,
+                spur,
+                t,
+                |v| banned_nodes[v.index()],
+                |c| banned_coins.contains(&c),
+            );
+            let Some(sp) = spur_path else { continue };
+            // Stitch root + spur.
+            let mut nodes: Vec<NodeId> = root_nodes.to_vec();
+            nodes.extend_from_slice(&sp.nodes[1..]);
+            let key: Vec<u32> = nodes.iter().map(|n| n.0).collect();
+            if !seen.insert(key) {
+                continue;
+            }
+            let mut coins = root_coins.to_vec();
+            coins.extend_from_slice(&sp.coins);
+            candidates.push(ReliablePath { nodes, coins, prob: root_prob * sp.prob });
+        }
+        // Promote the best candidate.
+        let Some(best_idx) = candidates
+            .iter()
+            .enumerate()
+            .max_by(|(ai, a), (bi, b)| {
+                a.prob
+                    .partial_cmp(&b.prob)
+                    .expect("path probabilities are never NaN")
+                    .then_with(|| bi.cmp(ai)) // deterministic tie-break: earlier candidate wins
+            })
+            .map(|(i, _)| i)
+        else {
+            break;
+        };
+        accepted.push(candidates.swap_remove(best_idx));
+    }
+    accepted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relmax_ugraph::UncertainGraph;
+
+    /// All simple paths by brute-force DFS, for cross-checking.
+    fn all_simple_paths(g: &UncertainGraph, s: NodeId, t: NodeId) -> Vec<(Vec<NodeId>, f64)> {
+        fn dfs(
+            g: &UncertainGraph,
+            v: NodeId,
+            t: NodeId,
+            path: &mut Vec<NodeId>,
+            prob: f64,
+            out: &mut Vec<(Vec<NodeId>, f64)>,
+        ) {
+            if v == t {
+                out.push((path.clone(), prob));
+                return;
+            }
+            for &(u, e) in g.out_edges(v) {
+                let p = g.prob(e);
+                if p > 0.0 && !path.contains(&u) {
+                    path.push(u);
+                    dfs(g, u, t, path, prob * p, out);
+                    path.pop();
+                }
+            }
+        }
+        let mut out = Vec::new();
+        let mut path = vec![s];
+        dfs(g, s, t, &mut path, 1.0, &mut out);
+        out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        out
+    }
+
+    fn diamond_plus() -> UncertainGraph {
+        let mut g = UncertainGraph::new(5, true);
+        g.add_edge(NodeId(0), NodeId(1), 0.9).unwrap();
+        g.add_edge(NodeId(1), NodeId(4), 0.9).unwrap();
+        g.add_edge(NodeId(0), NodeId(2), 0.8).unwrap();
+        g.add_edge(NodeId(2), NodeId(4), 0.8).unwrap();
+        g.add_edge(NodeId(0), NodeId(3), 0.7).unwrap();
+        g.add_edge(NodeId(3), NodeId(4), 0.7).unwrap();
+        g.add_edge(NodeId(1), NodeId(2), 0.5).unwrap();
+        g.add_edge(NodeId(2), NodeId(3), 0.5).unwrap();
+        g
+    }
+
+    #[test]
+    fn matches_brute_force_enumeration() {
+        let g = diamond_plus();
+        let truth = all_simple_paths(&g, NodeId(0), NodeId(4));
+        let paths = top_l_reliable_paths(&g, NodeId(0), NodeId(4), truth.len() + 5);
+        assert_eq!(paths.len(), truth.len());
+        for (got, want) in paths.iter().zip(&truth) {
+            assert!(
+                (got.prob - want.1).abs() < 1e-12,
+                "got {:?} want {:?}",
+                got.prob,
+                want.1
+            );
+        }
+    }
+
+    #[test]
+    fn paths_are_sorted_distinct_and_simple() {
+        let g = diamond_plus();
+        let paths = top_l_reliable_paths(&g, NodeId(0), NodeId(4), 10);
+        for w in paths.windows(2) {
+            assert!(w[0].prob >= w[1].prob - 1e-12);
+            assert_ne!(w[0].nodes, w[1].nodes);
+        }
+        for p in &paths {
+            assert!(p.is_simple(), "non-simple path {:?}", p.nodes);
+            assert_eq!(p.nodes.first(), Some(&NodeId(0)));
+            assert_eq!(p.nodes.last(), Some(&NodeId(4)));
+            // Coin/product consistency.
+            let prod: f64 = p.coins.iter().map(|&c| g.prob(relmax_ugraph::EdgeId(c))).product();
+            assert!((prod - p.prob).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn respects_l_budget() {
+        let g = diamond_plus();
+        assert_eq!(top_l_reliable_paths(&g, NodeId(0), NodeId(4), 2).len(), 2);
+        assert!(top_l_reliable_paths(&g, NodeId(0), NodeId(4), 0).is_empty());
+        assert_eq!(top_l_reliable_paths(&g, NodeId(0), NodeId(4), 1).len(), 1);
+    }
+
+    #[test]
+    fn disconnected_yields_nothing() {
+        let g = UncertainGraph::new(3, true);
+        assert!(top_l_reliable_paths(&g, NodeId(0), NodeId(2), 5).is_empty());
+    }
+
+    #[test]
+    fn undirected_enumeration_matches_brute_force_count() {
+        let mut g = UncertainGraph::new(4, false);
+        g.add_edge(NodeId(0), NodeId(1), 0.6).unwrap();
+        g.add_edge(NodeId(1), NodeId(3), 0.6).unwrap();
+        g.add_edge(NodeId(0), NodeId(2), 0.5).unwrap();
+        g.add_edge(NodeId(2), NodeId(3), 0.5).unwrap();
+        g.add_edge(NodeId(1), NodeId(2), 0.4).unwrap();
+        let paths = top_l_reliable_paths(&g, NodeId(0), NodeId(3), 10);
+        // 0-1-3, 0-2-3, 0-1-2-3, 0-2-1-3: all four simple paths.
+        assert_eq!(paths.len(), 4);
+        assert!((paths[0].prob - 0.36).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_edge_graph() {
+        let mut g = UncertainGraph::new(2, true);
+        g.add_edge(NodeId(0), NodeId(1), 0.3).unwrap();
+        let paths = top_l_reliable_paths(&g, NodeId(0), NodeId(1), 3);
+        assert_eq!(paths.len(), 1);
+        assert!((paths[0].prob - 0.3).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,143 @@
+//! Sample-size selection via the index of dispersion (§5.3 of the paper).
+//!
+//! The paper decides how many samples `Z` each dataset needs by repeating
+//! queries with different seeds and checking the ratio `ρ_Z = V_Z / R_Z`
+//! (average variance over mean reliability, a.k.a. index of dispersion).
+//! Once `ρ_Z < 0.001`, the estimator is declared converged; Tables 6–7
+//! report the resulting `Z` for MC and RSS on each dataset.
+
+use crate::Estimator;
+use relmax_ugraph::{NodeId, ProbGraph};
+
+/// The paper's convergence threshold for `ρ_Z`.
+pub const DISPERSION_THRESHOLD: f64 = 0.001;
+
+/// Index of dispersion of a set of repeated estimates: `variance / mean`.
+///
+/// Returns 0 when the mean is 0 (an estimator that always answers 0 has
+/// converged on that answer).
+pub fn dispersion_ratio(estimates: &[f64]) -> f64 {
+    if estimates.is_empty() {
+        return 0.0;
+    }
+    let n = estimates.len() as f64;
+    let mean = estimates.iter().sum::<f64>() / n;
+    if mean == 0.0 {
+        return 0.0;
+    }
+    let var = estimates.iter().map(|e| (e - mean).powi(2)).sum::<f64>() / n;
+    var / mean
+}
+
+/// Statistics from a convergence sweep: the chosen `Z` and the dispersion
+/// ratio observed at each candidate.
+#[derive(Debug, Clone)]
+pub struct ConvergenceReport {
+    /// Smallest candidate `Z` whose dispersion ratio beat the threshold
+    /// (or the largest candidate if none did).
+    pub chosen: usize,
+    /// `(Z, ρ_Z)` for every candidate evaluated, in order.
+    pub trace: Vec<(usize, f64)>,
+}
+
+/// Find the smallest sample size from `candidates` (ascending) at which the
+/// estimator built by `make` converges on the given query workload.
+///
+/// For each candidate `Z`, every query is estimated `reps` times with
+/// seeds `0..reps`; `ρ_Z` is averaged over queries. This mirrors the
+/// paper's procedure (100 queries × 100 repetitions) at configurable cost.
+pub fn converged_sample_size<E, F>(
+    g: &dyn ProbGraph,
+    queries: &[(NodeId, NodeId)],
+    candidates: &[usize],
+    reps: u64,
+    threshold: f64,
+    make: F,
+) -> ConvergenceReport
+where
+    E: Estimator,
+    F: Fn(usize, u64) -> E,
+{
+    assert!(!candidates.is_empty(), "need at least one candidate Z");
+    assert!(reps >= 2, "variance needs at least two repetitions");
+    let mut trace = Vec::with_capacity(candidates.len());
+    for &z in candidates {
+        let mut rho_sum = 0.0;
+        for &(s, t) in queries {
+            let estimates: Vec<f64> =
+                (0..reps).map(|seed| make(z, seed).st_reliability(g, s, t)).collect();
+            rho_sum += dispersion_ratio(&estimates);
+        }
+        let rho = rho_sum / queries.len().max(1) as f64;
+        trace.push((z, rho));
+        if rho < threshold {
+            return ConvergenceReport { chosen: z, trace };
+        }
+    }
+    ConvergenceReport { chosen: *candidates.last().expect("non-empty"), trace }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{McEstimator, RssEstimator};
+    use relmax_ugraph::{NodeId, UncertainGraph};
+
+    fn toy() -> UncertainGraph {
+        let mut g = UncertainGraph::new(4, true);
+        g.add_edge(NodeId(0), NodeId(1), 0.5).unwrap();
+        g.add_edge(NodeId(1), NodeId(3), 0.5).unwrap();
+        g.add_edge(NodeId(0), NodeId(2), 0.5).unwrap();
+        g.add_edge(NodeId(2), NodeId(3), 0.5).unwrap();
+        g
+    }
+
+    #[test]
+    fn dispersion_of_constant_estimates_is_zero() {
+        assert!(dispersion_ratio(&[0.4, 0.4, 0.4]) < 1e-25);
+        assert_eq!(dispersion_ratio(&[]), 0.0);
+        assert_eq!(dispersion_ratio(&[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn dispersion_grows_with_spread() {
+        let tight = dispersion_ratio(&[0.40, 0.41, 0.39]);
+        let loose = dispersion_ratio(&[0.2, 0.6, 0.4]);
+        assert!(loose > tight);
+    }
+
+    #[test]
+    fn larger_z_converges() {
+        let g = toy();
+        let queries = [(NodeId(0), NodeId(3))];
+        let report = converged_sample_size(
+            &g,
+            &queries,
+            &[50, 400, 3200, 25_600],
+            8,
+            DISPERSION_THRESHOLD,
+            McEstimator::new,
+        );
+        // Dispersion must shrink as Z grows.
+        for w in report.trace.windows(2) {
+            assert!(w[1].1 <= w[0].1 * 1.5, "trace not shrinking: {:?}", report.trace);
+        }
+        assert!(report.chosen >= 400);
+    }
+
+    #[test]
+    fn rss_converges_at_smaller_z_than_mc() {
+        // The claim behind Tables 6-7: RSS needs fewer samples.
+        let g = toy();
+        let queries = [(NodeId(0), NodeId(3))];
+        let zs = [64, 128, 256, 512, 1024, 2048, 4096, 8192];
+        let mc = converged_sample_size(&g, &queries, &zs, 10, 0.002, McEstimator::new);
+        let rss = converged_sample_size(&g, &queries, &zs, 10, 0.002, RssEstimator::new);
+        assert!(
+            rss.chosen <= mc.chosen,
+            "RSS chose {} but MC chose {}",
+            rss.chosen,
+            mc.chosen
+        );
+    }
+}

@@ -1,0 +1,335 @@
+//! Monte Carlo reliability estimation with lazy world instantiation.
+
+use crate::coins::coin_flip;
+use crate::Estimator;
+use relmax_ugraph::{NodeId, ProbGraph};
+
+/// Monte Carlo sampler (Fishman 1986), the paper's default estimator.
+///
+/// Samples `Z` possible worlds and reports the fraction in which the target
+/// is reachable. Each world is instantiated lazily during BFS: an edge's
+/// coin is flipped the first time the traversal reaches it, so the cost per
+/// sample is `O(n + m)` in the worst case and usually far less.
+///
+/// Set `threads > 1` to split samples across OS threads (crossbeam scoped
+/// threads). Because coin flips are keyed by the global sample index, the
+/// parallel estimate is bit-identical to the serial one.
+///
+/// ```
+/// use relmax_ugraph::{UncertainGraph, NodeId};
+/// use relmax_sampling::{Estimator, McEstimator};
+///
+/// let mut g = UncertainGraph::new(3, true);
+/// g.add_edge(NodeId(0), NodeId(1), 0.5).unwrap();
+/// g.add_edge(NodeId(1), NodeId(2), 0.8).unwrap();
+/// let mc = McEstimator::new(20_000, 7);
+/// let r = mc.st_reliability(&g, NodeId(0), NodeId(2));
+/// assert!((r - 0.4).abs() < 0.02);
+/// ```
+#[derive(Debug, Clone)]
+pub struct McEstimator {
+    /// Number of sampled worlds `Z`.
+    pub samples: usize,
+    /// Seed for the coin-flip hash; same seed ⇒ same worlds.
+    pub seed: u64,
+    /// Worker threads (1 = serial).
+    pub threads: usize,
+}
+
+impl McEstimator {
+    /// Serial estimator with `samples` worlds under `seed`.
+    pub fn new(samples: usize, seed: u64) -> Self {
+        assert!(samples > 0, "need at least one sample");
+        McEstimator { samples, seed, threads: 1 }
+    }
+
+    /// Parallel estimator; results are identical to the serial one.
+    pub fn with_threads(samples: usize, seed: u64, threads: usize) -> Self {
+        assert!(samples > 0, "need at least one sample");
+        McEstimator { samples, seed, threads: threads.max(1) }
+    }
+
+    fn reach_counts(
+        &self,
+        g: &dyn ProbGraph,
+        start: NodeId,
+        reverse: bool,
+        lo: u64,
+        hi: u64,
+        counts: &mut [u64],
+    ) {
+        let n = g.num_nodes();
+        let mut mark = vec![0u32; n];
+        let mut epoch = 0u32;
+        let mut stack: Vec<NodeId> = Vec::new();
+        for sample in lo..hi {
+            epoch += 1;
+            mark[start.index()] = epoch;
+            stack.clear();
+            stack.push(start);
+            while let Some(v) = stack.pop() {
+                counts[v.index()] += 1;
+                let visit = &mut |u: NodeId, p: f64, c: u32| {
+                    if mark[u.index()] != epoch && coin_flip(self.seed, sample, c, p) {
+                        mark[u.index()] = epoch;
+                        stack.push(u);
+                    }
+                };
+                if reverse {
+                    g.for_each_in(v, visit);
+                } else {
+                    g.for_each_out(v, visit);
+                }
+            }
+        }
+    }
+
+    fn reliability_vector(&self, g: &dyn ProbGraph, start: NodeId, reverse: bool) -> Vec<f64> {
+        let n = g.num_nodes();
+        let z = self.samples as u64;
+        let mut counts = vec![0u64; n];
+        if self.threads <= 1 || z < 2 {
+            self.reach_counts(g, start, reverse, 0, z, &mut counts);
+        } else {
+            let threads = self.threads.min(z as usize);
+            let chunk = z.div_ceil(threads as u64);
+            let mut partials: Vec<Vec<u64>> = Vec::with_capacity(threads);
+            crossbeam::scope(|scope| {
+                let mut handles = Vec::with_capacity(threads);
+                for ti in 0..threads as u64 {
+                    let lo = ti * chunk;
+                    let hi = ((ti + 1) * chunk).min(z);
+                    handles.push(scope.spawn(move |_| {
+                        let mut local = vec![0u64; n];
+                        if lo < hi {
+                            self.reach_counts(g, start, reverse, lo, hi, &mut local);
+                        }
+                        local
+                    }));
+                }
+                for h in handles {
+                    partials.push(h.join().expect("sampler thread panicked"));
+                }
+            })
+            .expect("crossbeam scope failed");
+            for local in partials {
+                for (c, l) in counts.iter_mut().zip(local) {
+                    *c += l;
+                }
+            }
+        }
+        counts.into_iter().map(|c| c as f64 / z as f64).collect()
+    }
+
+    fn st_hits(&self, g: &dyn ProbGraph, s: NodeId, t: NodeId, lo: u64, hi: u64) -> u64 {
+        let n = g.num_nodes();
+        let mut mark = vec![0u32; n];
+        let mut epoch = 0u32;
+        let mut stack: Vec<NodeId> = Vec::new();
+        let mut hits = 0u64;
+        for sample in lo..hi {
+            epoch += 1;
+            mark[s.index()] = epoch;
+            stack.clear();
+            stack.push(s);
+            let mut found = false;
+            'bfs: while let Some(v) = stack.pop() {
+                let mut local_found = false;
+                g.for_each_out(v, &mut |u, p, c| {
+                    if local_found || mark[u.index()] == epoch {
+                        return;
+                    }
+                    if coin_flip(self.seed, sample, c, p) {
+                        mark[u.index()] = epoch;
+                        if u == t {
+                            local_found = true;
+                        } else {
+                            stack.push(u);
+                        }
+                    }
+                });
+                if local_found {
+                    found = true;
+                    break 'bfs;
+                }
+            }
+            if found {
+                hits += 1;
+            }
+        }
+        hits
+    }
+}
+
+impl Estimator for McEstimator {
+    fn st_reliability(&self, g: &dyn ProbGraph, s: NodeId, t: NodeId) -> f64 {
+        if s == t {
+            return 1.0;
+        }
+        let z = self.samples as u64;
+        let hits = if self.threads <= 1 || z < 2 {
+            self.st_hits(g, s, t, 0, z)
+        } else {
+            let threads = self.threads.min(z as usize);
+            let chunk = z.div_ceil(threads as u64);
+            let mut total = 0u64;
+            crossbeam::scope(|scope| {
+                let mut handles = Vec::with_capacity(threads);
+                for ti in 0..threads as u64 {
+                    let lo = ti * chunk;
+                    let hi = ((ti + 1) * chunk).min(z);
+                    handles.push(
+                        scope.spawn(
+                            move |_| {
+                                if lo < hi {
+                                    self.st_hits(g, s, t, lo, hi)
+                                } else {
+                                    0
+                                }
+                            },
+                        ),
+                    );
+                }
+                for h in handles {
+                    total += h.join().expect("sampler thread panicked");
+                }
+            })
+            .expect("crossbeam scope failed");
+            total
+        };
+        hits as f64 / z as f64
+    }
+
+    fn reliability_from(&self, g: &dyn ProbGraph, s: NodeId) -> Vec<f64> {
+        self.reliability_vector(g, s, false)
+    }
+
+    fn reliability_to(&self, g: &dyn ProbGraph, t: NodeId) -> Vec<f64> {
+        self.reliability_vector(g, t, true)
+    }
+
+    fn name(&self) -> &'static str {
+        "MC"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relmax_ugraph::exact::st_reliability_enumerate;
+    use relmax_ugraph::{ExtraEdge, GraphView, UncertainGraph};
+
+    fn bridge_graph() -> UncertainGraph {
+        // s -> a -> t and s -> b -> t plus bridge a -> b.
+        let mut g = UncertainGraph::new(4, true);
+        g.add_edge(NodeId(0), NodeId(1), 0.6).unwrap();
+        g.add_edge(NodeId(0), NodeId(2), 0.4).unwrap();
+        g.add_edge(NodeId(1), NodeId(3), 0.5).unwrap();
+        g.add_edge(NodeId(2), NodeId(3), 0.7).unwrap();
+        g.add_edge(NodeId(1), NodeId(2), 0.3).unwrap();
+        g
+    }
+
+    #[test]
+    fn tracks_exact_reliability() {
+        let g = bridge_graph();
+        let exact = st_reliability_enumerate(&g, NodeId(0), NodeId(3)).unwrap();
+        let mc = McEstimator::new(40_000, 11);
+        let est = mc.st_reliability(&g, NodeId(0), NodeId(3));
+        assert!((est - exact).abs() < 0.01, "est={est} exact={exact}");
+    }
+
+    #[test]
+    fn vector_from_matches_st() {
+        let g = bridge_graph();
+        let mc = McEstimator::new(20_000, 5);
+        let vec_from = mc.reliability_from(&g, NodeId(0));
+        let st = mc.st_reliability(&g, NodeId(0), NodeId(3));
+        // Same worlds (same seed/coin keys), so the estimates agree closely.
+        assert!((vec_from[3] - st).abs() < 0.01);
+        assert_eq!(vec_from[0], 1.0);
+    }
+
+    #[test]
+    fn vector_to_matches_reverse_reachability() {
+        let g = bridge_graph();
+        let mc = McEstimator::new(20_000, 5);
+        let to_t = mc.reliability_to(&g, NodeId(3));
+        let exact_from_1 = st_reliability_enumerate(&g, NodeId(1), NodeId(3)).unwrap();
+        assert!((to_t[1] - exact_from_1).abs() < 0.01, "{} vs {exact_from_1}", to_t[1]);
+        assert_eq!(to_t[3], 1.0);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let g = bridge_graph();
+        let a = McEstimator::new(5_000, 3).st_reliability(&g, NodeId(0), NodeId(3));
+        let b = McEstimator::new(5_000, 3).st_reliability(&g, NodeId(0), NodeId(3));
+        assert_eq!(a, b);
+        let c = McEstimator::new(5_000, 4).st_reliability(&g, NodeId(0), NodeId(3));
+        assert_ne!(a, c); // overwhelmingly likely
+    }
+
+    #[test]
+    fn parallel_is_bit_identical_to_serial() {
+        let g = bridge_graph();
+        let serial = McEstimator::new(10_000, 9).st_reliability(&g, NodeId(0), NodeId(3));
+        let parallel =
+            McEstimator::with_threads(10_000, 9, 4).st_reliability(&g, NodeId(0), NodeId(3));
+        assert_eq!(serial, parallel);
+        let sv = McEstimator::new(10_000, 9).reliability_from(&g, NodeId(0));
+        let pv = McEstimator::with_threads(10_000, 9, 4).reliability_from(&g, NodeId(0));
+        assert_eq!(sv, pv);
+    }
+
+    #[test]
+    fn source_equals_target() {
+        let g = bridge_graph();
+        let mc = McEstimator::new(10, 0);
+        assert_eq!(mc.st_reliability(&g, NodeId(2), NodeId(2)), 1.0);
+    }
+
+    #[test]
+    fn undirected_edge_single_coin() {
+        let mut g = UncertainGraph::new(2, false);
+        g.add_edge(NodeId(0), NodeId(1), 0.5).unwrap();
+        let mc = McEstimator::new(40_000, 2);
+        let r = mc.st_reliability(&g, NodeId(0), NodeId(1));
+        assert!((r - 0.5).abs() < 0.01, "r={r}");
+    }
+
+    #[test]
+    fn works_on_overlays_with_common_random_numbers() {
+        let g = bridge_graph();
+        let mc = McEstimator::new(30_000, 13);
+        let base = mc.st_reliability(&g, NodeId(0), NodeId(3));
+        // Adding an edge can only help: with CRN this holds sample by
+        // sample, so the estimates themselves must be monotone.
+        let view =
+            GraphView::new(&g, vec![ExtraEdge { src: NodeId(0), dst: NodeId(3), prob: 0.5 }]);
+        let boosted = mc.st_reliability(&view, NodeId(0), NodeId(3));
+        assert!(boosted >= base, "boosted={boosted} base={base}");
+        let exact = {
+            let owned = view.materialize();
+            st_reliability_enumerate(&owned, NodeId(0), NodeId(3)).unwrap()
+        };
+        assert!((boosted - exact).abs() < 0.01, "boosted={boosted} exact={exact}");
+    }
+
+    #[test]
+    fn pairwise_matrix_agrees_with_individual_queries() {
+        let g = bridge_graph();
+        let mc = McEstimator::new(10_000, 21);
+        let m = mc.pairwise_reliability(&g, &[NodeId(0), NodeId(1)], &[NodeId(2), NodeId(3)]);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m[0].len(), 2);
+        let direct = mc.reliability_from(&g, NodeId(1));
+        assert_eq!(m[1][1], direct[3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn zero_samples_rejected() {
+        let _ = McEstimator::new(0, 1);
+    }
+}

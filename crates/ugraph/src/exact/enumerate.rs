@@ -1,0 +1,146 @@
+//! Full possible-world enumeration: `R(s,t) = Σ_G I_G(s,t) · Pr(G)` (Eq. 2).
+
+use crate::error::GraphError;
+use crate::graph::NodeId;
+use crate::world::PossibleWorld;
+use crate::ProbGraph;
+
+/// Hard cap on coins for enumeration (`2^25` worlds ≈ 33M BFS runs).
+pub const MAX_ENUM_COINS: usize = 25;
+
+/// Exact `s-t` reliability by enumerating all `2^m` possible worlds.
+///
+/// Returns [`GraphError::TooLargeForExact`] when the graph has more than
+/// [`MAX_ENUM_COINS`] coins. Prefer
+/// [`crate::exact::st_reliability`] for anything non-trivial; this function
+/// is the most obviously-correct implementation and anchors the test suite.
+pub fn st_reliability_enumerate<G: ProbGraph + ?Sized>(
+    g: &G,
+    s: NodeId,
+    t: NodeId,
+) -> Result<f64, GraphError> {
+    let m = g.num_coins();
+    if m > MAX_ENUM_COINS {
+        return Err(GraphError::TooLargeForExact { edges: m, max: MAX_ENUM_COINS });
+    }
+    if s == t {
+        return Ok(1.0);
+    }
+    let mut total = 0.0;
+    for mask in 0u64..(1u64 << m) {
+        let world = PossibleWorld::from_mask(m, mask);
+        if world.reaches(g, s, t) {
+            total += world.probability(g);
+        }
+    }
+    Ok(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::UncertainGraph;
+
+    #[test]
+    fn series_chain_multiplies() {
+        let mut g = UncertainGraph::new(3, true);
+        g.add_edge(NodeId(0), NodeId(1), 0.5).unwrap();
+        g.add_edge(NodeId(1), NodeId(2), 0.8).unwrap();
+        let r = st_reliability_enumerate(&g, NodeId(0), NodeId(2)).unwrap();
+        assert!((r - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_edges_combine_with_inclusion_exclusion() {
+        // Two disjoint 1-hop "paths" via intermediate nodes a and b.
+        let mut g = UncertainGraph::new(4, true);
+        g.add_edge(NodeId(0), NodeId(1), 0.5).unwrap();
+        g.add_edge(NodeId(1), NodeId(3), 1.0).unwrap();
+        g.add_edge(NodeId(0), NodeId(2), 0.5).unwrap();
+        g.add_edge(NodeId(2), NodeId(3), 1.0).unwrap();
+        let r = st_reliability_enumerate(&g, NodeId(0), NodeId(3)).unwrap();
+        // 1 - (1-0.5)(1-0.5) = 0.75
+        assert!((r - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fig2_example_from_paper() {
+        // Figure 2: V={s,A,t}, edges st(0.5), sA(0.5), At(0.5).
+        // With X={st}: R = 0.5. With Y∪{At}: R = 1-(1-0.5)(1-0.25) = 0.625.
+        let (s, a, t) = (NodeId(0), NodeId(1), NodeId(2));
+        let mut x = UncertainGraph::new(3, true);
+        x.add_edge(s, t, 0.5).unwrap();
+        assert!((st_reliability_enumerate(&x, s, t).unwrap() - 0.5).abs() < 1e-12);
+
+        let mut y_at = UncertainGraph::new(3, true);
+        y_at.add_edge(s, t, 0.5).unwrap();
+        y_at.add_edge(s, a, 0.5).unwrap();
+        y_at.add_edge(a, t, 0.5).unwrap();
+        assert!((st_reliability_enumerate(&y_at, s, t).unwrap() - 0.625).abs() < 1e-12);
+
+        let mut xp_at = UncertainGraph::new(3, true);
+        xp_at.add_edge(s, a, 0.5).unwrap();
+        xp_at.add_edge(a, t, 0.5).unwrap();
+        assert!((st_reliability_enumerate(&xp_at, s, t).unwrap() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lemma1_not_submodular_not_supermodular() {
+        // The paper's Lemma 1 counterexample, verified end to end.
+        let (s, a, t) = (NodeId(0), NodeId(1), NodeId(2));
+        let build = |edges: &[(NodeId, NodeId)]| {
+            let mut g = UncertainGraph::new(3, true);
+            for &(u, v) in edges {
+                g.add_edge(u, v, 0.5).unwrap();
+            }
+            st_reliability_enumerate(&g, s, t).unwrap()
+        };
+        let r_x = build(&[(s, t)]);
+        let r_x_at = build(&[(s, t), (a, t)]);
+        let r_y = build(&[(s, t), (s, a)]);
+        let r_y_at = build(&[(s, t), (s, a), (a, t)]);
+        // Submodularity would need gain(X) >= gain(Y); here 0 < 0.125.
+        assert!((r_x_at - r_x) < (r_y_at - r_y) - 1e-12);
+
+        let r_xp = build(&[(s, a)]);
+        let r_xp_at = build(&[(s, a), (a, t)]);
+        let r_yp = build(&[(s, a), (s, t)]);
+        let r_yp_at = build(&[(s, a), (s, t), (a, t)]);
+        // Supermodularity would need gain(X') <= gain(Y'); here 0.25 > 0.125.
+        assert!((r_xp_at - r_xp) > (r_yp_at - r_yp) + 1e-12);
+    }
+
+    #[test]
+    fn undirected_single_coin_is_not_double_counted() {
+        // s—t with prob 0.5 must give exactly 0.5 (a buggy implementation
+        // that samples each direction separately would give 0.75).
+        let mut g = UncertainGraph::new(2, false);
+        g.add_edge(NodeId(0), NodeId(1), 0.5).unwrap();
+        let r = st_reliability_enumerate(&g, NodeId(0), NodeId(1)).unwrap();
+        assert!((r - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_large_graphs() {
+        let mut g = UncertainGraph::new(30, true);
+        for i in 0..29u32 {
+            g.add_edge(NodeId(i), NodeId(i + 1), 0.5).unwrap();
+        }
+        assert!(matches!(
+            st_reliability_enumerate(&g, NodeId(0), NodeId(29)),
+            Err(GraphError::TooLargeForExact { .. })
+        ));
+    }
+
+    #[test]
+    fn source_equals_target() {
+        let g = UncertainGraph::new(1, true);
+        assert_eq!(st_reliability_enumerate(&g, NodeId(0), NodeId(0)).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn disconnected_is_zero() {
+        let g = UncertainGraph::new(2, true);
+        assert_eq!(st_reliability_enumerate(&g, NodeId(0), NodeId(1)).unwrap(), 0.0);
+    }
+}

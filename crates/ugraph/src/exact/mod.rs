@@ -1,0 +1,25 @@
+//! Exact `s-t` reliability solvers.
+//!
+//! Computing `R(s, t, G)` exactly is #P-complete (Valiant 1979; Ball 1986),
+//! so these solvers are exponential in the worst case. They exist for three
+//! reasons:
+//!
+//! 1. **Ground truth** — every sampler in `relmax-sampling` is validated
+//!    against them on small graphs;
+//! 2. **The `ES` baseline** — Table 11 of the paper compares the proposed
+//!    methods with exhaustive search on the 54-node Intel Lab network, which
+//!    needs an exact reliability oracle;
+//! 3. **Small-subgraph evaluation** — the paper's path-selection phase
+//!    (§5.2) evaluates reliability on subgraphs induced by a handful of
+//!    paths, which are often small enough for exact evaluation.
+//!
+//! [`enumerate::st_reliability_enumerate`] is the textbook `2^m` sum —
+//! transparent but limited to ~25 edges. [`conditioning::st_reliability`]
+//! applies the factoring/conditioning theorem with reachability-based
+//! pruning and handles graphs one or two orders of magnitude larger.
+
+pub mod conditioning;
+pub mod enumerate;
+
+pub use conditioning::{st_reliability, ConditioningBudget};
+pub use enumerate::st_reliability_enumerate;

@@ -1,0 +1,108 @@
+//! A minimal FxHash-style hasher.
+//!
+//! The standard library's SipHash is collision-resistant but slow for the
+//! small integer keys (node pairs, edge ids) that dominate this workspace's
+//! hot paths. This module re-implements the multiply-rotate hash used by
+//! `rustc` (`FxHasher`) in ~40 lines rather than pulling in an extra
+//! dependency; see the Rust Performance Book's "Hashing" chapter for the
+//! rationale and measurements.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Fast, non-cryptographic hasher for small keys (rustc's FxHash).
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, i: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ i).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FxHashMap<(u32, u32), f64> = FxHashMap::default();
+        for i in 0..1000u32 {
+            m.insert((i, i + 1), f64::from(i));
+        }
+        assert_eq!(m.len(), 1000);
+        for i in 0..1000u32 {
+            assert_eq!(m[&(i, i + 1)], f64::from(i));
+        }
+    }
+
+    #[test]
+    fn distinct_keys_rarely_collide() {
+        let mut seen: FxHashSet<u64> = FxHashSet::default();
+        for i in 0..10_000u64 {
+            let mut h = FxHasher::default();
+            h.write_u64(i);
+            seen.insert(h.finish());
+        }
+        // FxHash is not cryptographic but must be injective-ish on small ints.
+        assert_eq!(seen.len(), 10_000);
+    }
+
+    #[test]
+    fn write_handles_unaligned_tails() {
+        let mut h1 = FxHasher::default();
+        h1.write(b"abcdefghij"); // 10 bytes: one full chunk + 2-byte tail
+        let mut h2 = FxHasher::default();
+        h2.write(b"abcdefghij");
+        assert_eq!(h1.finish(), h2.finish());
+        let mut h3 = FxHasher::default();
+        h3.write(b"abcdefghik");
+        assert_ne!(h1.finish(), h3.finish());
+    }
+}

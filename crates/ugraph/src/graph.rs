@@ -1,0 +1,477 @@
+//! Core uncertain-graph storage.
+
+use crate::error::GraphError;
+use crate::fxhash::FxHashMap;
+use crate::{CoinId, ProbGraph};
+use std::fmt;
+
+/// Index of a node. Node ids are dense: `0..graph.num_nodes()`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The node id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+/// Index of a logical edge. For undirected graphs one `EdgeId` covers both
+/// orientations (a single Bernoulli coin).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EdgeId(pub u32);
+
+impl EdgeId {
+    /// The edge id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// One probabilistic edge.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Edge {
+    /// Source endpoint (for undirected edges: the lower-id endpoint as given).
+    pub src: NodeId,
+    /// Destination endpoint.
+    pub dst: NodeId,
+    /// Existence probability in `[0, 1]`.
+    pub prob: f64,
+}
+
+/// An uncertain graph `G = (V, E, p)`.
+///
+/// Storage is adjacency-list based with dense `u32` ids. Undirected graphs
+/// mirror each edge into both endpoints' adjacency lists but keep a single
+/// [`Edge`] record (single coin), so possible-world sampling remains
+/// consistent.
+///
+/// ```
+/// use relmax_ugraph::{UncertainGraph, NodeId};
+///
+/// let mut g = UncertainGraph::new(3, true);
+/// g.add_edge(NodeId(0), NodeId(1), 0.5).unwrap();
+/// g.add_edge(NodeId(1), NodeId(2), 0.8).unwrap();
+/// assert_eq!(g.num_nodes(), 3);
+/// assert_eq!(g.num_edges(), 2);
+/// assert!(g.has_edge(NodeId(0), NodeId(1)));
+/// assert!(!g.has_edge(NodeId(1), NodeId(0))); // directed
+/// ```
+#[derive(Clone)]
+pub struct UncertainGraph {
+    directed: bool,
+    edges: Vec<Edge>,
+    /// `out_adj[v]` = `(neighbor, edge)` pairs leaving `v` (or incident, if
+    /// undirected).
+    out_adj: Vec<Vec<(NodeId, EdgeId)>>,
+    /// `in_adj[v]` = `(neighbor, edge)` pairs entering `v`. Empty vectors
+    /// alias nothing for undirected graphs (we reuse `out_adj` there).
+    in_adj: Vec<Vec<(NodeId, EdgeId)>>,
+    /// Ordered-pair index for O(1) `has_edge`; undirected edges are keyed by
+    /// the normalized (min, max) pair.
+    index: FxHashMap<(u32, u32), EdgeId>,
+}
+
+impl UncertainGraph {
+    /// Create an empty graph with `n` nodes.
+    pub fn new(n: usize, directed: bool) -> Self {
+        UncertainGraph {
+            directed,
+            edges: Vec::new(),
+            out_adj: vec![Vec::new(); n],
+            in_adj: if directed { vec![Vec::new(); n] } else { Vec::new() },
+            index: FxHashMap::default(),
+        }
+    }
+
+    /// Create a graph with `n` nodes and pre-reserved edge capacity.
+    pub fn with_capacity(n: usize, directed: bool, edges: usize) -> Self {
+        let mut g = Self::new(n, directed);
+        g.edges.reserve(edges);
+        g.index.reserve(edges);
+        g
+    }
+
+    #[inline]
+    fn key(&self, u: NodeId, v: NodeId) -> (u32, u32) {
+        if self.directed || u.0 <= v.0 {
+            (u.0, v.0)
+        } else {
+            (v.0, u.0)
+        }
+    }
+
+    fn check_node(&self, v: NodeId) -> Result<(), GraphError> {
+        if v.index() >= self.num_nodes() {
+            return Err(GraphError::NodeOutOfBounds { node: v.0, num_nodes: self.num_nodes() });
+        }
+        Ok(())
+    }
+
+    /// Add an edge `u -> v` (or `u — v` if undirected) with probability `p`.
+    ///
+    /// Returns the new [`EdgeId`]. Rejects self-loops, duplicates, and
+    /// probabilities outside `[0, 1]`.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId, p: f64) -> Result<EdgeId, GraphError> {
+        self.check_node(u)?;
+        self.check_node(v)?;
+        if u == v {
+            return Err(GraphError::SelfLoop { node: u.0 });
+        }
+        if !(0.0..=1.0).contains(&p) || !p.is_finite() {
+            return Err(GraphError::InvalidProbability { prob: p });
+        }
+        let key = self.key(u, v);
+        if self.index.contains_key(&key) {
+            return Err(GraphError::DuplicateEdge { src: u.0, dst: v.0 });
+        }
+        let id = EdgeId(self.edges.len() as u32);
+        self.edges.push(Edge { src: u, dst: v, prob: p });
+        self.index.insert(key, id);
+        self.out_adj[u.index()].push((v, id));
+        if self.directed {
+            self.in_adj[v.index()].push((u, id));
+        } else {
+            self.out_adj[v.index()].push((u, id));
+        }
+        Ok(id)
+    }
+
+    /// Overwrite the probability of an existing edge.
+    pub fn set_prob(&mut self, e: EdgeId, p: f64) -> Result<(), GraphError> {
+        if !(0.0..=1.0).contains(&p) || !p.is_finite() {
+            return Err(GraphError::InvalidProbability { prob: p });
+        }
+        self.edges[e.index()].prob = p;
+        Ok(())
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.out_adj.len()
+    }
+
+    /// Number of logical edges (coins).
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether the graph is directed.
+    #[inline]
+    pub fn directed(&self) -> bool {
+        self.directed
+    }
+
+    /// The edge record for `e`.
+    #[inline]
+    pub fn edge(&self, e: EdgeId) -> &Edge {
+        &self.edges[e.index()]
+    }
+
+    /// All edges in insertion order.
+    #[inline]
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Probability of edge `e`.
+    #[inline]
+    pub fn prob(&self, e: EdgeId) -> f64 {
+        self.edges[e.index()].prob
+    }
+
+    /// Look up the edge `u -> v` (normalized for undirected graphs).
+    pub fn edge_between(&self, u: NodeId, v: NodeId) -> Option<EdgeId> {
+        self.index.get(&self.key(u, v)).copied()
+    }
+
+    /// Whether the edge `u -> v` exists.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.edge_between(u, v).is_some()
+    }
+
+    /// Out-neighbors of `v` with edge ids (incident edges if undirected).
+    #[inline]
+    pub fn out_edges(&self, v: NodeId) -> &[(NodeId, EdgeId)] {
+        &self.out_adj[v.index()]
+    }
+
+    /// In-neighbors of `v` with edge ids (incident edges if undirected).
+    #[inline]
+    pub fn in_edges(&self, v: NodeId) -> &[(NodeId, EdgeId)] {
+        if self.directed {
+            &self.in_adj[v.index()]
+        } else {
+            &self.out_adj[v.index()]
+        }
+    }
+
+    /// Out-degree of `v`.
+    pub fn out_degree(&self, v: NodeId) -> usize {
+        self.out_adj[v.index()].len()
+    }
+
+    /// In-degree of `v`.
+    pub fn in_degree(&self, v: NodeId) -> usize {
+        self.in_edges(v).len()
+    }
+
+    /// Iterator over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.num_nodes() as u32).map(NodeId)
+    }
+
+    /// Maximum in-degree and out-degree over all nodes (used by the
+    /// eigenvalue-based baseline, Algorithm 2).
+    pub fn max_degrees(&self) -> (usize, usize) {
+        let mut din = 0;
+        let mut dout = 0;
+        for v in self.nodes() {
+            din = din.max(self.in_degree(v));
+            dout = dout.max(self.out_degree(v));
+        }
+        (din, dout)
+    }
+
+    /// A copy of this graph with every edge reversed. For undirected graphs
+    /// this is a plain clone.
+    pub fn reversed(&self) -> UncertainGraph {
+        if !self.directed {
+            return self.clone();
+        }
+        let mut g = UncertainGraph::with_capacity(self.num_nodes(), true, self.num_edges());
+        for e in &self.edges {
+            g.add_edge(e.dst, e.src, e.prob)
+                .expect("reversing a valid graph cannot fail");
+        }
+        g
+    }
+
+    /// Sum of `p(e)` over edges incident to `v` (in + out). This is the
+    /// paper's probability-weighted degree centrality (§3.3).
+    pub fn weighted_degree(&self, v: NodeId) -> f64 {
+        let mut sum: f64 = self.out_adj[v.index()].iter().map(|&(_, e)| self.prob(e)).sum();
+        if self.directed {
+            sum += self.in_adj[v.index()].iter().map(|&(_, e)| self.prob(e)).sum::<f64>();
+        }
+        sum
+    }
+
+    /// Approximate resident bytes of the graph structures (for the memory
+    /// columns of Tables 9/10/16/22).
+    pub fn resident_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let mut bytes = size_of::<Self>();
+        bytes += self.edges.capacity() * size_of::<Edge>();
+        for adj in &self.out_adj {
+            bytes += adj.capacity() * size_of::<(NodeId, EdgeId)>();
+        }
+        bytes += self.out_adj.capacity() * size_of::<Vec<(NodeId, EdgeId)>>();
+        for adj in &self.in_adj {
+            bytes += adj.capacity() * size_of::<(NodeId, EdgeId)>();
+        }
+        bytes += self.in_adj.capacity() * size_of::<Vec<(NodeId, EdgeId)>>();
+        bytes += self.index.capacity() * (size_of::<(u32, u32)>() + size_of::<EdgeId>() + 8);
+        bytes
+    }
+}
+
+impl fmt::Debug for UncertainGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("UncertainGraph")
+            .field("directed", &self.directed)
+            .field("nodes", &self.num_nodes())
+            .field("edges", &self.num_edges())
+            .finish()
+    }
+}
+
+impl ProbGraph for UncertainGraph {
+    #[inline]
+    fn num_nodes(&self) -> usize {
+        self.num_nodes()
+    }
+
+    #[inline]
+    fn num_coins(&self) -> usize {
+        self.num_edges()
+    }
+
+    #[inline]
+    fn is_directed(&self) -> bool {
+        self.directed
+    }
+
+    fn for_each_out(&self, v: NodeId, f: &mut dyn FnMut(NodeId, f64, CoinId)) {
+        for &(u, e) in &self.out_adj[v.index()] {
+            f(u, self.edges[e.index()].prob, e.0);
+        }
+    }
+
+    fn for_each_in(&self, v: NodeId, f: &mut dyn FnMut(NodeId, f64, CoinId)) {
+        for &(u, e) in self.in_edges(v) {
+            f(u, self.edges[e.index()].prob, e.0);
+        }
+    }
+
+    #[inline]
+    fn coin_prob(&self, c: CoinId) -> f64 {
+        self.edges[c as usize].prob
+    }
+
+    #[inline]
+    fn coin_endpoints(&self, c: CoinId) -> (NodeId, NodeId) {
+        let e = &self.edges[c as usize];
+        (e.src, e.dst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> UncertainGraph {
+        // s=0 -> a=1 -> t=3, s -> b=2 -> t
+        let mut g = UncertainGraph::new(4, true);
+        g.add_edge(NodeId(0), NodeId(1), 0.5).unwrap();
+        g.add_edge(NodeId(0), NodeId(2), 0.6).unwrap();
+        g.add_edge(NodeId(1), NodeId(3), 0.7).unwrap();
+        g.add_edge(NodeId(2), NodeId(3), 0.8).unwrap();
+        g
+    }
+
+    #[test]
+    fn directed_adjacency() {
+        let g = diamond();
+        assert_eq!(g.out_degree(NodeId(0)), 2);
+        assert_eq!(g.in_degree(NodeId(0)), 0);
+        assert_eq!(g.in_degree(NodeId(3)), 2);
+        assert_eq!(g.out_degree(NodeId(3)), 0);
+        assert!(g.has_edge(NodeId(0), NodeId(1)));
+        assert!(!g.has_edge(NodeId(1), NodeId(0)));
+        assert_eq!(g.prob(g.edge_between(NodeId(2), NodeId(3)).unwrap()), 0.8);
+    }
+
+    #[test]
+    fn undirected_edges_are_symmetric_single_coin() {
+        let mut g = UncertainGraph::new(3, false);
+        let e = g.add_edge(NodeId(0), NodeId(1), 0.4).unwrap();
+        assert!(g.has_edge(NodeId(0), NodeId(1)));
+        assert!(g.has_edge(NodeId(1), NodeId(0)));
+        assert_eq!(g.edge_between(NodeId(1), NodeId(0)), Some(e));
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.out_degree(NodeId(0)), 1);
+        assert_eq!(g.out_degree(NodeId(1)), 1);
+        // Duplicate in either orientation is rejected.
+        assert!(matches!(
+            g.add_edge(NodeId(1), NodeId(0), 0.9),
+            Err(GraphError::DuplicateEdge { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let mut g = UncertainGraph::new(2, true);
+        assert!(matches!(
+            g.add_edge(NodeId(0), NodeId(0), 0.5),
+            Err(GraphError::SelfLoop { .. })
+        ));
+        assert!(matches!(
+            g.add_edge(NodeId(0), NodeId(1), 1.5),
+            Err(GraphError::InvalidProbability { .. })
+        ));
+        assert!(matches!(
+            g.add_edge(NodeId(0), NodeId(1), f64::NAN),
+            Err(GraphError::InvalidProbability { .. })
+        ));
+        assert!(matches!(
+            g.add_edge(NodeId(0), NodeId(5), 0.5),
+            Err(GraphError::NodeOutOfBounds { .. })
+        ));
+        g.add_edge(NodeId(0), NodeId(1), 0.5).unwrap();
+        assert!(matches!(
+            g.add_edge(NodeId(0), NodeId(1), 0.7),
+            Err(GraphError::DuplicateEdge { .. })
+        ));
+    }
+
+    #[test]
+    fn reversed_swaps_directions() {
+        let g = diamond();
+        let r = g.reversed();
+        assert!(r.has_edge(NodeId(1), NodeId(0)));
+        assert!(!r.has_edge(NodeId(0), NodeId(1)));
+        assert_eq!(r.num_edges(), g.num_edges());
+        assert_eq!(r.prob(r.edge_between(NodeId(3), NodeId(2)).unwrap()), 0.8);
+    }
+
+    #[test]
+    fn weighted_degree_sums_incident_probabilities() {
+        let g = diamond();
+        assert!((g.weighted_degree(NodeId(0)) - 1.1).abs() < 1e-12);
+        assert!((g.weighted_degree(NodeId(3)) - 1.5).abs() < 1e-12);
+        assert!((g.weighted_degree(NodeId(1)) - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prob_graph_trait_visits_all_edges() {
+        let g = diamond();
+        let mut seen = Vec::new();
+        g.for_each_out(NodeId(0), &mut |u, p, c| seen.push((u.0, p, c)));
+        seen.sort_by(|a, b| a.0.cmp(&b.0));
+        assert_eq!(seen, vec![(1, 0.5, 0), (2, 0.6, 1)]);
+        let mut inc = Vec::new();
+        g.for_each_in(NodeId(3), &mut |u, _, _| inc.push(u.0));
+        inc.sort_unstable();
+        assert_eq!(inc, vec![1, 2]);
+        assert_eq!(g.coin_endpoints(3), (NodeId(2), NodeId(3)));
+        assert_eq!(g.coin_prob(2), 0.7);
+    }
+
+    #[test]
+    fn set_prob_updates_and_validates() {
+        let mut g = diamond();
+        let e = g.edge_between(NodeId(0), NodeId(1)).unwrap();
+        g.set_prob(e, 0.9).unwrap();
+        assert_eq!(g.prob(e), 0.9);
+        assert!(g.set_prob(e, -0.1).is_err());
+    }
+
+    #[test]
+    fn max_degrees() {
+        let g = diamond();
+        assert_eq!(g.max_degrees(), (2, 2));
+    }
+
+    #[test]
+    fn resident_bytes_grows_with_edges() {
+        let small = diamond();
+        let mut big = UncertainGraph::new(100, true);
+        for i in 0..99u32 {
+            big.add_edge(NodeId(i), NodeId(i + 1), 0.5).unwrap();
+        }
+        assert!(big.resident_bytes() > small.resident_bytes());
+    }
+}

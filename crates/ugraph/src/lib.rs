@@ -1,0 +1,86 @@
+//! # relmax-ugraph
+//!
+//! Uncertain-graph substrate for the `relmax` workspace.
+//!
+//! An *uncertain graph* `G = (V, E, p)` associates every edge `e ∈ E` with an
+//! independent existence probability `p(e) ∈ [0, 1]`. Under the standard
+//! *possible-world semantics*, `G` induces `2^m` deterministic graphs; the
+//! probability of observing world `G` is the product of `p(e)` over the edges
+//! present in `G` times `1 − p(e)` over the edges absent from it (Eq. 1 of
+//! the paper). The *s-t reliability* `R(s, t, G)` is the probability that `t`
+//! is reachable from `s` in a random world (Eq. 2).
+//!
+//! This crate provides:
+//!
+//! - [`UncertainGraph`]: compact adjacency storage for directed and
+//!   undirected uncertain graphs, with O(1) amortized edge insertion (the
+//!   paper's algorithms *add* shortcut edges, so mutation is first-class);
+//! - [`GraphView`]: a zero-copy overlay that presents a base graph plus a
+//!   set of tentative extra edges, so selection algorithms can evaluate
+//!   candidate additions without cloning the graph in their inner loop;
+//! - [`world`]: possible-world sampling and world probabilities;
+//! - [`traverse`]: probability-oblivious BFS utilities (hop distances,
+//!   reachability, h-hop neighborhoods) shared by all algorithm crates;
+//! - [`exact`]: two exact `s-t` reliability solvers — full-world enumeration
+//!   and a much faster conditioning (factoring-style) recursion — used as
+//!   ground truth in tests and as the paper's `ES` baseline (Table 11).
+//!
+//! The [`ProbGraph`] trait abstracts "something that looks like an uncertain
+//! graph" so samplers and path algorithms work identically on
+//! [`UncertainGraph`] and [`GraphView`].
+
+pub mod error;
+pub mod exact;
+pub mod fxhash;
+pub mod graph;
+pub mod traverse;
+pub mod view;
+pub mod world;
+
+pub use error::GraphError;
+pub use graph::{Edge, EdgeId, NodeId, UncertainGraph};
+pub use view::{ExtraEdge, GraphView};
+pub use world::PossibleWorld;
+
+/// Identifier of an independent Bernoulli "coin" backing one logical edge.
+///
+/// For an [`UncertainGraph`] the coin id of an edge equals its
+/// [`EdgeId`] index. A [`GraphView`] extends the coin space: the base
+/// graph's coins keep their ids, and the i-th extra edge gets coin
+/// `base.num_coins() + i`. Samplers flip each coin at most once per world,
+/// which is what makes undirected edges (two adjacency entries, one coin)
+/// and overlay edges sample correctly.
+pub type CoinId = u32;
+
+/// A graph-shaped collection of probabilistic edges.
+///
+/// The closure-based traversal methods avoid boxed iterators on the hot path
+/// (every Monte Carlo sample walks these adjacency lists). The `Sync`
+/// supertrait lets samplers fan work out across threads; every implementor
+/// is plain immutable data during estimation.
+pub trait ProbGraph: Sync {
+    /// Number of nodes. Node ids are `0..num_nodes()`.
+    fn num_nodes(&self) -> usize;
+
+    /// Number of independent Bernoulli coins (logical edges).
+    fn num_coins(&self) -> usize;
+
+    /// Whether edges are directed.
+    fn is_directed(&self) -> bool;
+
+    /// Visit every out-edge of `v` as `(neighbor, probability, coin)`.
+    ///
+    /// For undirected graphs this visits all incident edges.
+    fn for_each_out(&self, v: NodeId, f: &mut dyn FnMut(NodeId, f64, CoinId));
+
+    /// Visit every in-edge of `v` as `(neighbor, probability, coin)`.
+    ///
+    /// For undirected graphs this is identical to [`ProbGraph::for_each_out`].
+    fn for_each_in(&self, v: NodeId, f: &mut dyn FnMut(NodeId, f64, CoinId));
+
+    /// Probability of the coin `c`.
+    fn coin_prob(&self, c: CoinId) -> f64;
+
+    /// Endpoints `(src, dst)` of the logical edge behind coin `c`.
+    fn coin_endpoints(&self, c: CoinId) -> (NodeId, NodeId);
+}

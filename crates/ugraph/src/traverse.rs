@@ -1,0 +1,224 @@
+//! Probability-oblivious traversal utilities shared across the workspace:
+//! BFS hop distances, h-hop neighborhoods, and world-restricted reachability.
+
+use crate::graph::NodeId;
+use crate::world::PossibleWorld;
+use crate::ProbGraph;
+use std::collections::VecDeque;
+
+/// Sentinel for "unreachable" in hop-distance vectors.
+pub const UNREACHABLE: u32 = u32::MAX;
+
+/// BFS hop distances from `s`, treating every edge as present.
+///
+/// Returns a vector indexed by node id; unreachable nodes get
+/// [`UNREACHABLE`].
+pub fn hop_distances<G: ProbGraph + ?Sized>(g: &G, s: NodeId) -> Vec<u32> {
+    bfs_impl(g, s, false, None)
+}
+
+/// BFS hop distances *to* `t` (along reversed edges).
+pub fn hop_distances_rev<G: ProbGraph + ?Sized>(g: &G, t: NodeId) -> Vec<u32> {
+    bfs_impl(g, t, true, None)
+}
+
+/// Nodes within `h` hops of `s` (including `s` itself), in BFS order.
+pub fn within_hops<G: ProbGraph + ?Sized>(g: &G, s: NodeId, h: u32) -> Vec<NodeId> {
+    let dist = bfs_impl(g, s, false, Some(h));
+    let mut out: Vec<NodeId> = dist
+        .iter()
+        .enumerate()
+        .filter(|&(_, &d)| d != UNREACHABLE)
+        .map(|(i, _)| NodeId(i as u32))
+        .collect();
+    out.sort_by_key(|v| dist[v.index()]);
+    out
+}
+
+fn bfs_impl<G: ProbGraph + ?Sized>(
+    g: &G,
+    start: NodeId,
+    reverse: bool,
+    limit: Option<u32>,
+) -> Vec<u32> {
+    let mut dist = vec![UNREACHABLE; g.num_nodes()];
+    dist[start.index()] = 0;
+    let mut queue = VecDeque::new();
+    queue.push_back(start);
+    while let Some(v) = queue.pop_front() {
+        let dv = dist[v.index()];
+        if let Some(h) = limit {
+            if dv >= h {
+                continue;
+            }
+        }
+        let visit = &mut |u: NodeId, _p: f64, _c: u32| {
+            if dist[u.index()] == UNREACHABLE {
+                dist[u.index()] = dv + 1;
+                queue.push_back(u);
+            }
+        };
+        if reverse {
+            g.for_each_in(v, visit);
+        } else {
+            g.for_each_out(v, visit);
+        }
+    }
+    dist
+}
+
+/// Whether `t` is reachable from `s` using only edges whose coin is present
+/// in `world`.
+pub fn world_reaches<G: ProbGraph + ?Sized>(
+    g: &G,
+    world: &PossibleWorld,
+    s: NodeId,
+    t: NodeId,
+) -> bool {
+    if s == t {
+        return true;
+    }
+    let mut seen = vec![false; g.num_nodes()];
+    seen[s.index()] = true;
+    let mut stack = vec![s];
+    let mut found = false;
+    while let Some(v) = stack.pop() {
+        if found {
+            break;
+        }
+        g.for_each_out(v, &mut |u, _p, c| {
+            if !found && world.contains(c) && !seen[u.index()] {
+                if u == t {
+                    found = true;
+                } else {
+                    seen[u.index()] = true;
+                    stack.push(u);
+                }
+            }
+        });
+    }
+    found
+}
+
+/// All nodes reachable from `s` in `world` (including `s`), as a boolean
+/// mask. Used when one sampled world must answer reachability for many
+/// targets at once (multi-target queries, influence spread).
+pub fn world_reachable_set<G: ProbGraph + ?Sized>(
+    g: &G,
+    world: &PossibleWorld,
+    s: NodeId,
+) -> Vec<bool> {
+    let mut seen = vec![false; g.num_nodes()];
+    seen[s.index()] = true;
+    let mut stack = vec![s];
+    while let Some(v) = stack.pop() {
+        g.for_each_out(v, &mut |u, _p, c| {
+            if world.contains(c) && !seen[u.index()] {
+                seen[u.index()] = true;
+                stack.push(u);
+            }
+        });
+    }
+    seen
+}
+
+/// Approximate diameter: the maximum BFS eccentricity observed from
+/// `probes` start nodes (double-sweep style — start from the farthest node
+/// found so far). Exact on the probed set; a lower bound in general.
+pub fn approx_diameter<G: ProbGraph + ?Sized>(g: &G, probes: usize) -> u32 {
+    if g.num_nodes() == 0 {
+        return 0;
+    }
+    let mut best = 0;
+    let mut start = NodeId(0);
+    for _ in 0..probes.max(1) {
+        let dist = hop_distances(g, start);
+        let mut far = start;
+        let mut far_d = 0;
+        for (i, &d) in dist.iter().enumerate() {
+            if d != UNREACHABLE && d > far_d {
+                far_d = d;
+                far = NodeId(i as u32);
+            }
+        }
+        best = best.max(far_d);
+        if far == start {
+            break;
+        }
+        start = far;
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::UncertainGraph;
+
+    fn path5() -> UncertainGraph {
+        let mut g = UncertainGraph::new(5, true);
+        for i in 0..4u32 {
+            g.add_edge(NodeId(i), NodeId(i + 1), 0.5).unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn hop_distances_on_path() {
+        let g = path5();
+        let d = hop_distances(&g, NodeId(0));
+        assert_eq!(d, vec![0, 1, 2, 3, 4]);
+        // Directed: nothing reaches node 0 except itself.
+        let dr = hop_distances(&g, NodeId(2));
+        assert_eq!(dr[0], UNREACHABLE);
+        assert_eq!(dr[4], 2);
+    }
+
+    #[test]
+    fn reverse_distances_on_path() {
+        let g = path5();
+        let d = hop_distances_rev(&g, NodeId(4));
+        assert_eq!(d, vec![4, 3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn within_hops_respects_limit() {
+        let g = path5();
+        let nodes = within_hops(&g, NodeId(0), 2);
+        assert_eq!(nodes, vec![NodeId(0), NodeId(1), NodeId(2)]);
+        assert_eq!(within_hops(&g, NodeId(4), 3), vec![NodeId(4)]);
+    }
+
+    #[test]
+    fn undirected_bfs_goes_both_ways() {
+        let mut g = UncertainGraph::new(3, false);
+        g.add_edge(NodeId(0), NodeId(1), 0.5).unwrap();
+        g.add_edge(NodeId(1), NodeId(2), 0.5).unwrap();
+        let d = hop_distances(&g, NodeId(2));
+        assert_eq!(d, vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn world_reachable_set_matches_reaches() {
+        let g = path5();
+        let w = PossibleWorld::from_mask(4, 0b0111); // edge 3 absent
+        let mask = world_reachable_set(&g, &w, NodeId(0));
+        assert_eq!(mask, vec![true, true, true, true, false]);
+        assert!(world_reaches(&g, &w, NodeId(0), NodeId(3)));
+        assert!(!world_reaches(&g, &w, NodeId(0), NodeId(4)));
+    }
+
+    #[test]
+    fn approx_diameter_on_path() {
+        let g = path5();
+        assert_eq!(approx_diameter(&g, 4), 4);
+    }
+
+    #[test]
+    fn diameter_of_empty_and_singleton() {
+        let g = UncertainGraph::new(0, true);
+        assert_eq!(approx_diameter(&g, 2), 0);
+        let g1 = UncertainGraph::new(1, true);
+        assert_eq!(approx_diameter(&g1, 2), 0);
+    }
+}

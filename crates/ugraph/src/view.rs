@@ -1,0 +1,270 @@
+//! Zero-copy graph overlay: a base graph plus tentative extra edges.
+
+use crate::graph::{NodeId, UncertainGraph};
+use crate::{CoinId, ProbGraph};
+
+/// One tentative extra edge layered on top of a base graph.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExtraEdge {
+    /// Source endpoint.
+    pub src: NodeId,
+    /// Destination endpoint.
+    pub dst: NodeId,
+    /// Existence probability (the paper's `ζ`, or a per-edge value).
+    pub prob: f64,
+}
+
+/// A base [`UncertainGraph`] with a small set of extra edges overlaid.
+///
+/// The selection algorithms in `relmax-core` repeatedly evaluate "what is the
+/// reliability if we also add edges X?". Cloning a large graph per candidate
+/// set would dominate the running time, so the overlay stores only the extra
+/// edges plus per-node buckets for them. Coins `0..base.num_coins()` belong
+/// to the base graph; coin `base.num_coins() + i` is extra edge `i`.
+///
+/// ```
+/// use relmax_ugraph::{UncertainGraph, GraphView, ExtraEdge, NodeId, ProbGraph};
+///
+/// let mut g = UncertainGraph::new(3, true);
+/// g.add_edge(NodeId(0), NodeId(1), 0.5).unwrap();
+/// let view = GraphView::new(&g, vec![ExtraEdge { src: NodeId(1), dst: NodeId(2), prob: 0.9 }]);
+/// assert_eq!(view.num_coins(), 2);
+/// let mut out = Vec::new();
+/// view.for_each_out(NodeId(1), &mut |u, p, c| out.push((u.0, p, c)));
+/// assert_eq!(out, vec![(2, 0.9, 1)]);
+/// ```
+pub struct GraphView<'g> {
+    base: &'g UncertainGraph,
+    extra: Vec<ExtraEdge>,
+    /// `extra_out[v]` = indices into `extra` whose src is `v` (or either
+    /// endpoint, for undirected bases).
+    extra_out: Vec<Vec<u32>>,
+    /// Reverse buckets (dst -> extra index). For undirected bases this
+    /// mirrors `extra_out`.
+    extra_in: Vec<Vec<u32>>,
+}
+
+impl<'g> GraphView<'g> {
+    /// Overlay `extra` edges on `base`. Extra edges follow the base graph's
+    /// directedness.
+    pub fn new(base: &'g UncertainGraph, extra: Vec<ExtraEdge>) -> Self {
+        let n = base.num_nodes();
+        let mut extra_out = vec![Vec::new(); n];
+        let mut extra_in = vec![Vec::new(); n];
+        for (i, e) in extra.iter().enumerate() {
+            debug_assert!(e.src.index() < n && e.dst.index() < n, "extra edge out of bounds");
+            extra_out[e.src.index()].push(i as u32);
+            if base.directed() {
+                extra_in[e.dst.index()].push(i as u32);
+            } else {
+                extra_out[e.dst.index()].push(i as u32);
+            }
+        }
+        GraphView { base, extra, extra_out, extra_in }
+    }
+
+    /// Overlay with no extra edges (useful as a uniform starting point).
+    pub fn empty(base: &'g UncertainGraph) -> Self {
+        GraphView::new(base, Vec::new())
+    }
+
+    /// The base graph.
+    #[inline]
+    pub fn base(&self) -> &UncertainGraph {
+        self.base
+    }
+
+    /// The extra edges.
+    #[inline]
+    pub fn extra(&self) -> &[ExtraEdge] {
+        &self.extra
+    }
+
+    /// Append one more extra edge, returning its coin id.
+    pub fn push_extra(&mut self, e: ExtraEdge) -> CoinId {
+        let i = self.extra.len() as u32;
+        self.extra_out[e.src.index()].push(i);
+        if self.base.directed() {
+            self.extra_in[e.dst.index()].push(i);
+        } else {
+            self.extra_out[e.dst.index()].push(i);
+        }
+        self.extra.push(e);
+        self.base.num_coins() as CoinId + i
+    }
+
+    /// Remove the most recently pushed extra edge. Panics if none exist.
+    pub fn pop_extra(&mut self) -> ExtraEdge {
+        let e = self.extra.pop().expect("pop_extra on empty overlay");
+        let i = self.extra.len() as u32;
+        let bucket = &mut self.extra_out[e.src.index()];
+        bucket.retain(|&x| x != i);
+        if self.base.directed() {
+            self.extra_in[e.dst.index()].retain(|&x| x != i);
+        } else {
+            self.extra_out[e.dst.index()].retain(|&x| x != i);
+        }
+        e
+    }
+
+    /// Materialize the overlay into an owned graph (used once a solution is
+    /// final). Extra edges that duplicate base edges are skipped.
+    pub fn materialize(&self) -> UncertainGraph {
+        let mut g = self.base.clone();
+        for e in &self.extra {
+            // Ignore duplicates: the overlay is allowed to carry an edge the
+            // base already has (e.g. when replaying a recorded solution).
+            let _ = g.add_edge(e.src, e.dst, e.prob);
+        }
+        g
+    }
+
+    #[inline]
+    fn extra_coin(&self, i: u32) -> CoinId {
+        self.base.num_coins() as CoinId + i
+    }
+}
+
+impl ProbGraph for GraphView<'_> {
+    #[inline]
+    fn num_nodes(&self) -> usize {
+        self.base.num_nodes()
+    }
+
+    #[inline]
+    fn num_coins(&self) -> usize {
+        self.base.num_coins() + self.extra.len()
+    }
+
+    #[inline]
+    fn is_directed(&self) -> bool {
+        self.base.directed()
+    }
+
+    fn for_each_out(&self, v: NodeId, f: &mut dyn FnMut(NodeId, f64, CoinId)) {
+        self.base.for_each_out(v, f);
+        for &i in &self.extra_out[v.index()] {
+            let e = &self.extra[i as usize];
+            let other = if e.src == v { e.dst } else { e.src };
+            f(other, e.prob, self.extra_coin(i));
+        }
+    }
+
+    fn for_each_in(&self, v: NodeId, f: &mut dyn FnMut(NodeId, f64, CoinId)) {
+        self.base.for_each_in(v, f);
+        let bucket = if self.base.directed() { &self.extra_in } else { &self.extra_out };
+        for &i in &bucket[v.index()] {
+            let e = &self.extra[i as usize];
+            let other = if e.dst == v { e.src } else { e.dst };
+            f(other, e.prob, self.extra_coin(i));
+        }
+    }
+
+    #[inline]
+    fn coin_prob(&self, c: CoinId) -> f64 {
+        let m = self.base.num_coins() as CoinId;
+        if c < m {
+            self.base.coin_prob(c)
+        } else {
+            self.extra[(c - m) as usize].prob
+        }
+    }
+
+    #[inline]
+    fn coin_endpoints(&self, c: CoinId) -> (NodeId, NodeId) {
+        let m = self.base.num_coins() as CoinId;
+        if c < m {
+            self.base.coin_endpoints(c)
+        } else {
+            let e = &self.extra[(c - m) as usize];
+            (e.src, e.dst)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> UncertainGraph {
+        let mut g = UncertainGraph::new(4, true);
+        g.add_edge(NodeId(0), NodeId(1), 0.5).unwrap();
+        g.add_edge(NodeId(1), NodeId(2), 0.6).unwrap();
+        g
+    }
+
+    #[test]
+    fn overlay_exposes_base_and_extra() {
+        let g = base();
+        let view = GraphView::new(
+            &g,
+            vec![
+                ExtraEdge { src: NodeId(2), dst: NodeId(3), prob: 0.9 },
+                ExtraEdge { src: NodeId(0), dst: NodeId(3), prob: 0.1 },
+            ],
+        );
+        assert_eq!(view.num_coins(), 4);
+        let mut out0 = Vec::new();
+        view.for_each_out(NodeId(0), &mut |u, p, c| out0.push((u.0, p, c)));
+        out0.sort_by(|a, b| a.2.cmp(&b.2));
+        assert_eq!(out0, vec![(1, 0.5, 0), (3, 0.1, 3)]);
+        assert_eq!(view.coin_prob(3), 0.1);
+        assert_eq!(view.coin_endpoints(2), (NodeId(2), NodeId(3)));
+        // Reverse traversal sees extra edges too.
+        let mut in3 = Vec::new();
+        view.for_each_in(NodeId(3), &mut |u, _, c| in3.push((u.0, c)));
+        in3.sort_unstable();
+        assert_eq!(in3, vec![(0, 3), (2, 2)]);
+    }
+
+    #[test]
+    fn push_pop_roundtrip() {
+        let g = base();
+        let mut view = GraphView::empty(&g);
+        let coin = view.push_extra(ExtraEdge { src: NodeId(2), dst: NodeId(3), prob: 0.4 });
+        assert_eq!(coin, 2);
+        assert_eq!(view.num_coins(), 3);
+        let popped = view.pop_extra();
+        assert_eq!(popped.dst, NodeId(3));
+        assert_eq!(view.num_coins(), 2);
+        let mut out2 = Vec::new();
+        view.for_each_out(NodeId(2), &mut |u, _, _| out2.push(u.0));
+        assert!(out2.is_empty());
+    }
+
+    #[test]
+    fn undirected_overlay_mirrors_extra_edges() {
+        let mut g = UncertainGraph::new(3, false);
+        g.add_edge(NodeId(0), NodeId(1), 0.5).unwrap();
+        let view =
+            GraphView::new(&g, vec![ExtraEdge { src: NodeId(1), dst: NodeId(2), prob: 0.7 }]);
+        let mut from2 = Vec::new();
+        view.for_each_out(NodeId(2), &mut |u, p, c| from2.push((u.0, p, c)));
+        assert_eq!(from2, vec![(1, 0.7, 1)]);
+        let mut from1 = Vec::new();
+        view.for_each_out(NodeId(1), &mut |u, _, _| from1.push(u.0));
+        from1.sort_unstable();
+        assert_eq!(from1, vec![0, 2]);
+    }
+
+    #[test]
+    fn materialize_adds_extra_edges() {
+        let g = base();
+        let view = GraphView::new(&g, vec![ExtraEdge { src: NodeId(2), dst: NodeId(3), prob: 0.9 }]);
+        let owned = view.materialize();
+        assert_eq!(owned.num_edges(), 3);
+        assert!(owned.has_edge(NodeId(2), NodeId(3)));
+        // Base graph untouched.
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn materialize_skips_duplicates() {
+        let g = base();
+        let view = GraphView::new(&g, vec![ExtraEdge { src: NodeId(0), dst: NodeId(1), prob: 0.9 }]);
+        let owned = view.materialize();
+        assert_eq!(owned.num_edges(), 2);
+        // Base probability wins.
+        assert_eq!(owned.prob(owned.edge_between(NodeId(0), NodeId(1)).unwrap()), 0.5);
+    }
+}

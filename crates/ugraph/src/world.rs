@@ -1,0 +1,133 @@
+//! Possible-world semantics: sampling deterministic instances of an
+//! uncertain graph and computing their probabilities (Eq. 1 of the paper).
+
+use crate::graph::NodeId;
+use crate::traverse;
+use crate::{CoinId, ProbGraph};
+use rand::Rng;
+
+/// A fully instantiated possible world: one boolean per coin.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PossibleWorld {
+    present: Vec<bool>,
+}
+
+impl PossibleWorld {
+    /// Sample a world from `g` by flipping every coin independently.
+    pub fn sample<G: ProbGraph + ?Sized, R: Rng + ?Sized>(g: &G, rng: &mut R) -> Self {
+        let present =
+            (0..g.num_coins()).map(|c| rng.gen::<f64>() < g.coin_prob(c as CoinId)).collect();
+        PossibleWorld { present }
+    }
+
+    /// Build a world from an explicit bitmask (lowest bit = coin 0). Only
+    /// meaningful for graphs with at most 64 coins; used by the exact
+    /// enumerator and by tests.
+    pub fn from_mask(num_coins: usize, mask: u64) -> Self {
+        assert!(num_coins <= 64, "from_mask supports at most 64 coins");
+        PossibleWorld { present: (0..num_coins).map(|i| mask >> i & 1 == 1).collect() }
+    }
+
+    /// Whether coin `c` is present in this world.
+    #[inline]
+    pub fn contains(&self, c: CoinId) -> bool {
+        self.present[c as usize]
+    }
+
+    /// Number of coins.
+    #[inline]
+    pub fn num_coins(&self) -> usize {
+        self.present.len()
+    }
+
+    /// Number of present edges.
+    pub fn num_present(&self) -> usize {
+        self.present.iter().filter(|&&b| b).count()
+    }
+
+    /// Probability of observing exactly this world under `g` (Eq. 1).
+    pub fn probability<G: ProbGraph + ?Sized>(&self, g: &G) -> f64 {
+        debug_assert_eq!(self.present.len(), g.num_coins());
+        let mut p = 1.0;
+        for (i, &b) in self.present.iter().enumerate() {
+            let pe = g.coin_prob(i as CoinId);
+            p *= if b { pe } else { 1.0 - pe };
+        }
+        p
+    }
+
+    /// The reachability indicator `I_G(s, t)`: 1 if `t` is reachable from
+    /// `s` using only edges present in this world (Eq. 2's indicator).
+    pub fn reaches<G: ProbGraph + ?Sized>(&self, g: &G, s: NodeId, t: NodeId) -> bool {
+        traverse::world_reaches(g, self, s, t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::UncertainGraph;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn chain() -> UncertainGraph {
+        let mut g = UncertainGraph::new(3, true);
+        g.add_edge(NodeId(0), NodeId(1), 0.5).unwrap();
+        g.add_edge(NodeId(1), NodeId(2), 0.5).unwrap();
+        g
+    }
+
+    #[test]
+    fn world_probabilities_sum_to_one() {
+        let g = chain();
+        let total: f64 =
+            (0u64..4).map(|m| PossibleWorld::from_mask(2, m).probability(&g)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mask_world_membership() {
+        let w = PossibleWorld::from_mask(4, 0b1010);
+        assert!(!w.contains(0));
+        assert!(w.contains(1));
+        assert!(!w.contains(2));
+        assert!(w.contains(3));
+        assert_eq!(w.num_present(), 2);
+    }
+
+    #[test]
+    fn reachability_indicator() {
+        let g = chain();
+        assert!(PossibleWorld::from_mask(2, 0b11).reaches(&g, NodeId(0), NodeId(2)));
+        assert!(!PossibleWorld::from_mask(2, 0b01).reaches(&g, NodeId(0), NodeId(2)));
+        assert!(!PossibleWorld::from_mask(2, 0b10).reaches(&g, NodeId(0), NodeId(2)));
+        // A node always reaches itself, in any world.
+        assert!(PossibleWorld::from_mask(2, 0).reaches(&g, NodeId(1), NodeId(1)));
+    }
+
+    #[test]
+    fn sampled_world_frequency_tracks_probability() {
+        let g = chain();
+        let mut rng = StdRng::seed_from_u64(7);
+        let trials = 20_000;
+        let mut both = 0usize;
+        for _ in 0..trials {
+            let w = PossibleWorld::sample(&g, &mut rng);
+            if w.contains(0) && w.contains(1) {
+                both += 1;
+            }
+        }
+        let freq = both as f64 / trials as f64;
+        assert!((freq - 0.25).abs() < 0.02, "freq={freq}");
+    }
+
+    #[test]
+    fn deterministic_edges_always_present() {
+        let mut g = UncertainGraph::new(2, true);
+        g.add_edge(NodeId(0), NodeId(1), 1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert!(PossibleWorld::sample(&g, &mut rng).contains(0));
+        }
+    }
+}

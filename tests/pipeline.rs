@@ -1,0 +1,147 @@
+//! End-to-end integration tests: the full §5 pipeline (elimination →
+//! top-l paths → batch selection) on realistic proxy graphs, plus the §6
+//! multi-source/target extensions.
+
+use relmax::core::multi::{multi_candidates, MultiMethod};
+use relmax::gen::proxy::DatasetProxy;
+use relmax::gen::queries::st_queries;
+use relmax::prelude::*;
+use relmax::ugraph::traverse::hop_distances;
+
+fn proxy() -> UncertainGraph {
+    DatasetProxy::LastFm.generate(0.08, 21)
+}
+
+#[test]
+fn be_pipeline_respects_all_constraints() {
+    let g = proxy();
+    let est = McEstimator::new(400, 7);
+    let queries = st_queries(&g, 4, 3, 5, 1);
+    assert!(!queries.is_empty(), "workload generation failed");
+    for &(s, t) in &queries {
+        let q = StQuery::new(s, t, 5, 0.5).with_r(40).with_l(15);
+        let out = BatchEdgeSelector.select(&g, &q, &est).expect("BE runs");
+        assert!(out.added.len() <= q.k, "budget violated");
+        for e in &out.added {
+            assert!(!g.has_edge(e.src, e.dst), "added an existing edge");
+            assert_eq!(e.prob, q.zeta);
+            // h-hop constraint (default h = 3).
+            let d = hop_distances(&g, e.src)[e.dst.index()];
+            assert!(d <= 3, "edge spans {d} hops > h");
+        }
+        // Reliability cannot drop (up to sampling noise).
+        assert!(
+            out.new_reliability >= out.base_reliability - 0.05,
+            "gain {} suspiciously negative",
+            out.gain()
+        );
+    }
+}
+
+#[test]
+fn pipeline_is_deterministic() {
+    let g = proxy();
+    let est = McEstimator::new(300, 9);
+    let (s, t) = st_queries(&g, 1, 3, 5, 2)[0];
+    let q = StQuery::new(s, t, 4, 0.5).with_r(30).with_l(10);
+    let a = BatchEdgeSelector.select(&g, &q, &est).unwrap();
+    let b = BatchEdgeSelector.select(&g, &q, &est).unwrap();
+    assert_eq!(a.added.len(), b.added.len());
+    for (x, y) in a.added.iter().zip(&b.added) {
+        assert_eq!((x.src, x.dst), (y.src, y.dst));
+    }
+    assert_eq!(a.new_reliability, b.new_reliability);
+}
+
+#[test]
+fn elimination_shrinks_the_candidate_space() {
+    let g = proxy();
+    let est = McEstimator::new(300, 11);
+    let (s, t) = st_queries(&g, 1, 3, 5, 3)[0];
+    let q = StQuery::new(s, t, 5, 0.5).with_r(25);
+    let reduced = SearchSpaceElimination::new(25).candidate_edges(&g, &q, &est);
+    let full = CandidateSpace::all_missing(&g, 0.5, Some(3));
+    assert!(!reduced.is_empty());
+    assert!(
+        reduced.len() * 4 < full.len(),
+        "elimination barely reduced: {} vs {}",
+        reduced.len(),
+        full.len()
+    );
+    // Every reduced candidate also satisfies the unreduced constraints.
+    for c in &reduced {
+        assert!(!g.has_edge(c.src, c.dst));
+    }
+}
+
+#[test]
+fn estimator_swap_mc_vs_rss_same_quality() {
+    // §5.3: the algorithms are orthogonal to the estimator. Same query
+    // solved under MC and RSS must land within noise of each other.
+    let g = proxy();
+    let (s, t) = st_queries(&g, 1, 3, 4, 4)[0];
+    let q = StQuery::new(s, t, 4, 0.5).with_r(30).with_l(10);
+    let mc = McEstimator::new(500, 13);
+    let rss = RssEstimator::new(250, 13);
+    let out_mc = BatchEdgeSelector.select(&g, &q, &mc).unwrap();
+    let out_rss = BatchEdgeSelector.select(&g, &q, &rss).unwrap();
+    // Judge both solutions with one referee estimator.
+    let referee = McEstimator::new(4000, 99);
+    let judge = |added: &[CandidateEdge]| {
+        let view = GraphView::new(&g, added.to_vec());
+        referee.st_reliability(&view, s, t)
+    };
+    let (rm, rr) = (judge(&out_mc.added), judge(&out_rss.added));
+    assert!((rm - rr).abs() < 0.1, "MC-driven {rm} vs RSS-driven {rr}");
+}
+
+#[test]
+fn multi_aggregates_run_on_proxy() {
+    let g = DatasetProxy::LastFm.generate(0.05, 31);
+    let est = McEstimator::new(250, 17);
+    let sources: Vec<NodeId> = (0..3).map(NodeId).collect();
+    let targets: Vec<NodeId> = (10..13).map(NodeId).collect();
+    for agg in [Aggregate::Average, Aggregate::Minimum, Aggregate::Maximum] {
+        let mut q = MultiQuery::new(sources.clone(), targets.clone(), 6, 0.5, agg);
+        q.r = 20;
+        q.l = 8;
+        let cands = multi_candidates(&g, &q, &est);
+        let out = MultiSelector::with_method(MultiMethod::BatchEdge)
+            .select_with_candidates(&g, &q, &cands, &est);
+        assert!(out.added.len() <= q.k, "{agg:?} over budget");
+        assert!(out.new_value >= out.base_value - 0.05, "{agg:?} regressed: {}", out.gain());
+        for e in &out.added {
+            assert!(!g.has_edge(e.src, e.dst));
+        }
+    }
+}
+
+#[test]
+fn all_selectors_run_on_the_same_candidates() {
+    use relmax::core::baselines::{
+        CentralitySelector, EigenSelector, HillClimbingSelector, IndividualTopKSelector,
+    };
+    use relmax::core::MrpSelector;
+    let g = proxy();
+    let est = McEstimator::new(250, 23);
+    let (s, t) = st_queries(&g, 1, 3, 4, 5)[0];
+    let q = StQuery::new(s, t, 3, 0.5).with_r(20).with_l(8);
+    let cands = SearchSpaceElimination::new(20).candidate_edges(&g, &q, &est);
+    let selectors: Vec<Box<dyn EdgeSelector>> = vec![
+        Box::new(IndividualTopKSelector),
+        Box::new(HillClimbingSelector),
+        Box::new(CentralitySelector::degree()),
+        Box::new(CentralitySelector::betweenness()),
+        Box::new(EigenSelector::default()),
+        Box::new(MrpSelector),
+        Box::new(IndividualPathSelector),
+        Box::new(BatchEdgeSelector),
+    ];
+    for sel in selectors {
+        let out = sel.select_with_candidates(&g, &q, &cands, &est).expect("selector runs");
+        assert!(out.added.len() <= q.k, "{} over budget", sel.name());
+        for e in &out.added {
+            assert!(!g.has_edge(e.src, e.dst), "{} added existing edge", sel.name());
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Property-based tests (proptest) over randomly generated uncertain
+//! graphs: estimator correctness envelopes, structural invariants of the
+//! path machinery, and budget safety of every selector.
+
+use proptest::prelude::*;
+use relmax::paths::{improve_most_reliable_path, most_reliable_path, top_l_reliable_paths};
+use relmax::prelude::*;
+use relmax::ugraph::exact::{st_reliability, ConditioningBudget};
+use relmax::ugraph::PossibleWorld;
+
+/// Strategy: a small random digraph as (n, edge list with probabilities).
+fn small_graph() -> impl Strategy<Value = (usize, Vec<(u8, u8, f64)>)> {
+    (4usize..8).prop_flat_map(|n| {
+        let edges = proptest::collection::vec(
+            (0..n as u8, 0..n as u8, 0.05f64..0.95),
+            0..14,
+        );
+        (Just(n), edges)
+    })
+}
+
+fn build(n: usize, edges: &[(u8, u8, f64)], directed: bool) -> UncertainGraph {
+    let mut g = UncertainGraph::new(n, directed);
+    for &(u, v, p) in edges {
+        if u != v {
+            let _ = g.add_edge(NodeId(u as u32), NodeId(v as u32), p);
+        }
+    }
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn exact_reliability_is_a_probability((n, edges) in small_graph()) {
+        let g = build(n, &edges, true);
+        let r = st_reliability(&g, NodeId(0), NodeId(n as u32 - 1), ConditioningBudget::default())
+            .expect("small graph");
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&r), "r={r}");
+    }
+
+    #[test]
+    fn adding_an_edge_never_decreases_reliability((n, edges) in small_graph(), u in 0u8..8, v in 0u8..8) {
+        let g = build(n, &edges, true);
+        let (s, t) = (NodeId(0), NodeId(n as u32 - 1));
+        let base = st_reliability(&g, s, t, ConditioningBudget::default()).unwrap();
+        let (u, v) = (u % n as u8, v % n as u8);
+        prop_assume!(u != v && !g.has_edge(NodeId(u as u32), NodeId(v as u32)));
+        let view = GraphView::new(&g, vec![CandidateEdge {
+            src: NodeId(u as u32), dst: NodeId(v as u32), prob: 0.5,
+        }]);
+        let boosted = st_reliability(&view, s, t, ConditioningBudget::default()).unwrap();
+        prop_assert!(boosted >= base - 1e-12, "boosted={boosted} base={base}");
+    }
+
+    #[test]
+    fn mrp_probability_lower_bounds_reliability((n, edges) in small_graph()) {
+        let g = build(n, &edges, true);
+        let (s, t) = (NodeId(0), NodeId(n as u32 - 1));
+        let r = st_reliability(&g, s, t, ConditioningBudget::default()).unwrap();
+        if let Some(p) = most_reliable_path(&g, s, t) {
+            prop_assert!(p.prob <= r + 1e-12, "path {} > reliability {r}", p.prob);
+        } else {
+            // No positive-probability path: reliability must be 0.
+            prop_assert!(r < 1e-12);
+        }
+    }
+
+    #[test]
+    fn mc_estimate_tracks_exact((n, edges) in small_graph(), seed in 0u64..1000) {
+        let g = build(n, &edges, true);
+        let (s, t) = (NodeId(0), NodeId(n as u32 - 1));
+        let exact = st_reliability(&g, s, t, ConditioningBudget::default()).unwrap();
+        let mc = McEstimator::new(6000, seed).st_reliability(&g, s, t);
+        prop_assert!((mc - exact).abs() < 0.06, "mc={mc} exact={exact}");
+    }
+
+    #[test]
+    fn rss_estimate_tracks_exact((n, edges) in small_graph(), seed in 0u64..1000) {
+        let g = build(n, &edges, true);
+        let (s, t) = (NodeId(0), NodeId(n as u32 - 1));
+        let exact = st_reliability(&g, s, t, ConditioningBudget::default()).unwrap();
+        let rss = RssEstimator::new(4000, seed).st_reliability(&g, s, t);
+        prop_assert!((rss - exact).abs() < 0.06, "rss={rss} exact={exact}");
+    }
+
+    #[test]
+    fn world_probabilities_sum_to_one((n, edges) in small_graph()) {
+        let g = build(n, &edges, true);
+        prop_assume!(g.num_edges() <= 10);
+        let m = g.num_edges();
+        let total: f64 = (0u64..(1 << m))
+            .map(|mask| PossibleWorld::from_mask(m, mask).probability(&g))
+            .sum();
+        prop_assert!((total - 1.0).abs() < 1e-9, "total={total}");
+    }
+
+    #[test]
+    fn yen_paths_are_sorted_simple_distinct((n, edges) in small_graph()) {
+        let g = build(n, &edges, false);
+        let paths = top_l_reliable_paths(&g, NodeId(0), NodeId(n as u32 - 1), 12);
+        for w in paths.windows(2) {
+            prop_assert!(w[0].prob >= w[1].prob - 1e-12);
+            prop_assert!(w[0].nodes != w[1].nodes);
+        }
+        for p in &paths {
+            prop_assert!(p.is_simple());
+            prop_assert!(p.prob > 0.0 && p.prob <= 1.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn layered_mrp_improvement_never_loses_to_no_op((n, edges) in small_graph()) {
+        let g = build(n, &edges, true);
+        let (s, t) = (NodeId(0), NodeId(n as u32 - 1));
+        let cands = vec![(NodeId(1), NodeId(2), 0.5), (NodeId(2), NodeId(3), 0.5)];
+        let sol = improve_most_reliable_path(&g, s, t, 2, &cands);
+        prop_assert!(sol.prob >= sol.baseline_prob - 1e-12);
+        prop_assert!(sol.chosen.len() <= 2);
+    }
+
+    #[test]
+    fn selectors_respect_budget_and_candidates((n, edges) in small_graph(), k in 0usize..4) {
+        let g = build(n, &edges, true);
+        let (s, t) = (NodeId(0), NodeId(n as u32 - 1));
+        let cands = CandidateSpace::all_missing(&g, 0.5, None);
+        prop_assume!(!cands.is_empty());
+        let q = StQuery::new(s, t, k, 0.5).with_hop_limit(None).with_l(10);
+        let est = McEstimator::new(300, 1);
+        for sel in [&BatchEdgeSelector as &dyn EdgeSelector, &IndividualPathSelector] {
+            let out = sel.select_with_candidates(&g, &q, &cands, &est).unwrap();
+            prop_assert!(out.added.len() <= k);
+            for e in &out.added {
+                prop_assert!(cands.iter().any(|c| (c.src, c.dst) == (e.src, e.dst)));
+                prop_assert!(!g.has_edge(e.src, e.dst));
+            }
+        }
+    }
+
+    #[test]
+    fn undirected_reliability_is_symmetric((n, edges) in small_graph()) {
+        let g = build(n, &edges, false);
+        let (a, b) = (NodeId(0), NodeId(n as u32 - 1));
+        let fwd = st_reliability(&g, a, b, ConditioningBudget::default()).unwrap();
+        let bwd = st_reliability(&g, b, a, ConditioningBudget::default()).unwrap();
+        prop_assert!((fwd - bwd).abs() < 1e-9, "fwd={fwd} bwd={bwd}");
+    }
+}
