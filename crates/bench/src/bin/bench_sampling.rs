@@ -1,0 +1,65 @@
+//! Sampling hot-path microbenchmark: dyn-closure walk vs frozen CSR walk,
+//! plus the end-to-end batch-edge pipeline.
+//!
+//! ```text
+//! cargo run --release -p relmax-bench --bin bench_sampling            # full run
+//! cargo run --release -p relmax-bench --bin bench_sampling -- --smoke # CI-sized
+//! cargo run --release -p relmax-bench --bin bench_sampling -- --out BENCH_sampling.json
+//! ```
+//!
+//! Writes the JSON report to `--out` (default `BENCH_sampling.json` in
+//! the current directory) and prints it to stdout.
+
+use relmax_bench::sampling_bench;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_sampling.json".to_string());
+
+    let (samples, pipeline_queries) = if smoke { (500, 1) } else { (5_000, 4) };
+    eprintln!(
+        "bench_sampling: {samples} worlds/kernel, {pipeline_queries} pipeline queries{}",
+        if smoke { " (smoke)" } else { "" }
+    );
+
+    let bench = sampling_bench::run(samples, pipeline_queries);
+    for c in &bench.kernels {
+        eprintln!(
+            "  {:<18} dyn {:>9.2?}  csr {:>9.2?}  speedup {:>5.2}x  bit-identical: {}",
+            c.kernel,
+            std::time::Duration::from_secs_f64(c.dyn_s),
+            std::time::Duration::from_secs_f64(c.csr_s),
+            c.speedup,
+            c.bit_identical,
+        );
+    }
+    eprintln!("  geomean speedup: {:.2}x", bench.geomean_speedup());
+
+    let json = bench.to_json();
+    print!("{json}");
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("warning: could not write {out_path}: {e}");
+    } else {
+        eprintln!("wrote {out_path}");
+    }
+
+    // The refactor's whole point: fail loudly if the estimates diverge or
+    // the monomorphized walk stops being meaningfully faster.
+    assert!(
+        bench.kernels.iter().all(|c| c.bit_identical),
+        "estimates diverged"
+    );
+    if !smoke {
+        assert!(
+            bench.geomean_speedup() >= 2.0,
+            "CSR walk fell below the 2x floor: {:.2}x",
+            bench.geomean_speedup()
+        );
+    }
+}

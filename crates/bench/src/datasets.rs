@@ -27,7 +27,12 @@ pub fn load_proxy(p: DatasetProxy, cfg: &Cfg) -> UncertainGraph {
 
 /// The four network proxies used by most single-`s-t` tables.
 pub fn network_proxies() -> [DatasetProxy; 4] {
-    [DatasetProxy::LastFm, DatasetProxy::AsTopology, DatasetProxy::Dblp, DatasetProxy::Twitter]
+    [
+        DatasetProxy::LastFm,
+        DatasetProxy::AsTopology,
+        DatasetProxy::Dblp,
+        DatasetProxy::Twitter,
+    ]
 }
 
 /// One synthetic dataset of Table 8 at harness scale (`n` nodes instead of
@@ -78,12 +83,18 @@ mod tests {
 
     #[test]
     fn all_synthetics_generate() {
-        let cfg = Cfg { scale: 0.25, ..Cfg::default() };
+        let cfg = Cfg {
+            scale: 0.25,
+            ..Cfg::default()
+        };
         for name in synthetic_names() {
             let g = synthetic(name, &cfg);
             assert!(g.num_nodes() >= 500, "{name}");
             assert!(g.num_edges() > 500, "{name}");
-            assert!(g.edges().iter().all(|e| e.prob > 0.0 && e.prob <= 0.6), "{name}");
+            assert!(
+                g.edges().iter().all(|e| e.prob > 0.0 && e.prob <= 0.6),
+                "{name}"
+            );
         }
     }
 

@@ -21,6 +21,7 @@
 pub mod datasets;
 pub mod mem;
 pub mod runner;
+pub mod sampling_bench;
 pub mod table;
 
 /// Harness-wide configuration, settable from `repro` CLI flags.
@@ -59,7 +60,7 @@ impl Default for Cfg {
             r: 50,
             l: 20,
             h: Some(3),
-            seed: 0x5eed_0e1,
+            seed: 0x05ee_d0e1,
             scale: 1.0,
         }
     }

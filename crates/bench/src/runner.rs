@@ -4,13 +4,7 @@
 
 use crate::mem::vm_rss_bytes;
 use crate::Cfg;
-use relmax_core::baselines::{
-    CentralitySelector, EigenSelector, HillClimbingSelector, IndividualTopKSelector,
-};
-use relmax_core::{
-    BatchEdgeSelector, CandidateEdge, EdgeSelector, IndividualPathSelector, MrpSelector,
-    SearchSpaceElimination, StQuery,
-};
+use relmax_core::{AnySelector, CandidateEdge, EdgeSelector, SearchSpaceElimination, StQuery};
 use relmax_sampling::Estimator;
 use relmax_ugraph::{NodeId, UncertainGraph};
 use std::time::Instant;
@@ -29,43 +23,46 @@ pub struct MethodResult {
 }
 
 /// The standard method line-ups.
-pub fn proposed_and_hc() -> Vec<Box<dyn EdgeSelector>> {
+pub fn proposed_and_hc() -> Vec<AnySelector> {
     vec![
-        Box::new(HillClimbingSelector),
-        Box::new(MrpSelector),
-        Box::new(IndividualPathSelector),
-        Box::new(BatchEdgeSelector),
+        AnySelector::hill_climbing(),
+        AnySelector::mrp(),
+        AnySelector::individual_path(),
+        AnySelector::batch_edge(),
     ]
 }
 
 /// All eight single-`s-t` methods of Tables 4–5.
-pub fn all_methods() -> Vec<Box<dyn EdgeSelector>> {
+pub fn all_methods() -> Vec<AnySelector> {
     vec![
-        Box::new(IndividualTopKSelector),
-        Box::new(HillClimbingSelector),
-        Box::new(CentralitySelector::degree()),
-        Box::new(CentralitySelector::betweenness()),
-        Box::new(EigenSelector::default()),
-        Box::new(MrpSelector),
-        Box::new(IndividualPathSelector),
-        Box::new(BatchEdgeSelector),
+        AnySelector::top_k(),
+        AnySelector::hill_climbing(),
+        AnySelector::centrality_degree(),
+        AnySelector::centrality_betweenness(),
+        AnySelector::eigen(),
+        AnySelector::mrp(),
+        AnySelector::individual_path(),
+        AnySelector::batch_edge(),
     ]
 }
 
 /// Build a query from the harness config.
 pub fn make_query(cfg: &Cfg, s: NodeId, t: NodeId) -> StQuery {
-    StQuery::new(s, t, cfg.k, cfg.zeta).with_hop_limit(cfg.h).with_r(cfg.r).with_l(cfg.l)
+    StQuery::new(s, t, cfg.k, cfg.zeta)
+        .with_hop_limit(cfg.h)
+        .with_r(cfg.r)
+        .with_l(cfg.l)
 }
 
 /// Run each method on each query with per-query candidate generation via
 /// search-space elimination (the §8 protocol). Returns one aggregate row
 /// per method, in input order.
-pub fn run_methods(
+pub fn run_methods<E: Estimator>(
     g: &UncertainGraph,
     queries: &[(NodeId, NodeId)],
-    methods: &[Box<dyn EdgeSelector>],
+    methods: &[AnySelector],
     cfg: &Cfg,
-    est: &dyn Estimator,
+    est: &E,
 ) -> Vec<MethodResult> {
     // Candidates are shared across methods per query (identical search
     // space, as in Table 5) and generated once.
@@ -83,11 +80,11 @@ pub fn run_methods(
 /// Like [`run_methods`] but with explicit (query, candidates) pairs —
 /// used by the no-elimination ablation (Table 4) and the candidate-model
 /// sweeps (Table 16).
-pub fn run_methods_prepared(
+pub fn run_methods_prepared<E: Estimator>(
     g: &UncertainGraph,
     prepared: &[(StQuery, Vec<CandidateEdge>)],
-    methods: &[Box<dyn EdgeSelector>],
-    est: &dyn Estimator,
+    methods: &[AnySelector],
+    est: &E,
 ) -> Vec<MethodResult> {
     let mut out = Vec::with_capacity(methods.len());
     for m in methods {
@@ -125,7 +122,14 @@ mod tests {
 
     #[test]
     fn runner_produces_one_row_per_method() {
-        let cfg = Cfg { queries: 2, z: 200, k: 3, r: 15, l: 8, ..Cfg::default() };
+        let cfg = Cfg {
+            queries: 2,
+            z: 200,
+            k: 3,
+            r: 15,
+            l: 8,
+            ..Cfg::default()
+        };
         let g = crate::datasets::load_proxy(relmax_gen::proxy::DatasetProxy::LastFm, &cfg);
         let est = McEstimator::new(cfg.z, cfg.seed);
         let queries = st_queries(&g, cfg.queries, 3, 5, cfg.seed);

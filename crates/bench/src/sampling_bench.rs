@@ -1,0 +1,294 @@
+//! Before/after microbenchmark for the sampling hot path.
+//!
+//! Compares the pre-refactor estimator (dynamic dispatch per edge visit,
+//! `Vec<Vec<…>>` adjacency — [`relmax_sampling::legacy::DynMcEstimator`])
+//! against the refactored stack (monomorphized BFS over a frozen
+//! [`CsrGraph`] snapshot), on identical sampled worlds, plus an
+//! end-to-end batch-edge-selection pipeline timing. The `bench_sampling`
+//! binary renders the result as `BENCH_sampling.json` so the repository
+//! tracks its own performance trajectory.
+
+use crate::runner::timed;
+
+use relmax_core::{AnySelector, EdgeSelector, StQuery};
+use relmax_gen::prob::ProbModel;
+use relmax_gen::queries::st_queries;
+use relmax_gen::synth;
+use relmax_sampling::legacy::DynMcEstimator;
+use relmax_sampling::{Estimator, McEstimator};
+use relmax_ugraph::{CsrGraph, ExtraEdge, GraphView, NodeId, UncertainGraph};
+
+/// One measured comparison: the same estimate computed both ways.
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    /// What was measured ("st_reliability", "reliability_from", ...).
+    pub kernel: &'static str,
+    /// Seconds for the dyn-closure adjacency walk (pre-refactor).
+    pub dyn_s: f64,
+    /// Seconds for the monomorphized CSR walk (post-refactor).
+    pub csr_s: f64,
+    /// dyn / csr.
+    pub speedup: f64,
+    /// Whether the two paths produced bit-identical estimates.
+    pub bit_identical: bool,
+}
+
+/// Full result of one benchmark run.
+#[derive(Debug, Clone)]
+pub struct SamplingBench {
+    /// Nodes in the synthetic benchmark graph.
+    pub nodes: usize,
+    /// Edges (coins) in the synthetic benchmark graph.
+    pub edges: usize,
+    /// Sampled worlds per kernel invocation.
+    pub samples: usize,
+    /// Per-kernel comparisons.
+    pub kernels: Vec<Comparison>,
+    /// End-to-end BE pipeline seconds (elimination + selection), and the
+    /// measured reliability gain, on a smaller proxy workload.
+    pub be_pipeline_s: f64,
+    /// Mean BE gain over the pipeline workload (sanity: must be finite).
+    pub be_gain: f64,
+}
+
+impl SamplingBench {
+    /// Geometric-mean speedup over all kernels.
+    pub fn geomean_speedup(&self) -> f64 {
+        let log_sum: f64 = self.kernels.iter().map(|c| c.speedup.ln()).sum();
+        (log_sum / self.kernels.len().max(1) as f64).exp()
+    }
+
+    /// Render as a small stable JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!(
+            "  \"graph\": {{\"nodes\": {}, \"edges\": {}}},\n",
+            self.nodes, self.edges
+        ));
+        out.push_str(&format!("  \"samples\": {},\n", self.samples));
+        out.push_str("  \"kernels\": [\n");
+        for (i, c) in self.kernels.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"kernel\": \"{}\", \"dyn_closure_walk_s\": {:.6}, \"csr_walk_s\": {:.6}, \"speedup\": {:.3}, \"bit_identical\": {}}}{}\n",
+                c.kernel,
+                c.dyn_s,
+                c.csr_s,
+                c.speedup,
+                c.bit_identical,
+                if i + 1 < self.kernels.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str(&format!(
+            "  \"geomean_speedup\": {:.3},\n",
+            self.geomean_speedup()
+        ));
+        out.push_str(&format!(
+            "  \"be_pipeline\": {{\"seconds\": {:.6}, \"mean_gain\": {:.4}}}\n",
+            self.be_pipeline_s, self.be_gain
+        ));
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// The synthetic benchmark graph: Watts–Strogatz with ≥ `edges_floor`
+/// edges and uniform probabilities — dense enough that sampled-world BFS
+/// actually walks the graph, sparse enough to finish quickly.
+pub fn bench_graph(nodes: usize, edges_floor: usize) -> UncertainGraph {
+    // +2 margin: rewiring occasionally drops an edge.
+    let k = ((2 * edges_floor).div_ceil(nodes) + 2).next_multiple_of(2);
+    let mut g = synth::watts_strogatz(nodes, k, 0.2, 0xbe9c);
+    ProbModel::Uniform { lo: 0.1, hi: 0.6 }.apply(&mut g, 0x77);
+    assert!(
+        g.num_edges() >= edges_floor,
+        "generator under-delivered edges"
+    );
+    g
+}
+
+/// Run the sampling microbenchmark.
+///
+/// `samples` controls the per-kernel world count; `pipeline_queries`
+/// controls the end-to-end BE workload size (0 skips it).
+pub fn run(samples: usize, pipeline_queries: usize) -> SamplingBench {
+    let g = bench_graph(10_000, 12_000);
+    let csr = CsrGraph::freeze(&g);
+    let (s, t) = pick_far_pair(&g);
+
+    let legacy = DynMcEstimator::new(samples, 0x5eed);
+    let new = McEstimator::new(samples, 0x5eed);
+
+    let mut kernels = Vec::new();
+
+    // Warm both code paths (page-in, branch predictors) before timing.
+    let _ = legacy.st_reliability(&g, s, t);
+    let _ = new.st_reliability(&csr, s, t);
+
+    let reps = 3;
+    let (dyn_st, dyn_st_s) = best_of(reps, || legacy.st_reliability(&g, s, t));
+    let (csr_st, csr_st_s) = best_of(reps, || new.st_reliability(&csr, s, t));
+    kernels.push(Comparison {
+        kernel: "st_reliability",
+        dyn_s: dyn_st_s,
+        csr_s: csr_st_s,
+        speedup: dyn_st_s / csr_st_s,
+        bit_identical: dyn_st == csr_st,
+    });
+
+    let (dyn_from, dyn_from_s) = best_of(reps, || legacy.reliability_from(&g, s));
+    let (csr_from, csr_from_s) = best_of(reps, || new.reliability_from(&csr, s));
+    kernels.push(Comparison {
+        kernel: "reliability_from",
+        dyn_s: dyn_from_s,
+        csr_s: csr_from_s,
+        speedup: dyn_from_s / csr_from_s,
+        bit_identical: dyn_from == csr_from,
+    });
+
+    let (dyn_to, dyn_to_s) = best_of(reps, || legacy.reliability_to(&g, t));
+    let (csr_to, csr_to_s) = best_of(reps, || new.reliability_to(&csr, t));
+    kernels.push(Comparison {
+        kernel: "reliability_to",
+        dyn_s: dyn_to_s,
+        csr_s: csr_to_s,
+        speedup: dyn_to_s / csr_to_s,
+        bit_identical: dyn_to == csr_to,
+    });
+
+    // The selector inner loop: many small-Z evaluations of candidate
+    // overlays. This is where selection algorithms actually spend their
+    // estimator budget (hill climbing, top-k scoring, subset search).
+    let cand_z = (samples / 10).max(50);
+    let candidates = candidate_scan_set(&g, 100);
+    let scan_legacy = DynMcEstimator::new(cand_z, 0x5eed);
+    let scan_new = McEstimator::new(cand_z, 0x5eed);
+    let (legacy_sum, dyn_scan_s) = best_of(reps, || {
+        let mut sum = 0.0;
+        for &cand in &candidates {
+            let view = GraphView::new(&g, vec![cand]);
+            sum += scan_legacy.st_reliability(&view, s, t);
+        }
+        sum
+    });
+    let (new_sum, csr_scan_s) = best_of(reps, || {
+        let mut sum = 0.0;
+        let mut view = GraphView::empty(&csr);
+        for &cand in &candidates {
+            view.push_extra(cand);
+            sum += scan_new.st_reliability(&view, s, t);
+            view.pop_extra();
+        }
+        sum
+    });
+    kernels.push(Comparison {
+        kernel: "candidate_scan",
+        dyn_s: dyn_scan_s,
+        csr_s: csr_scan_s,
+        speedup: dyn_scan_s / csr_scan_s,
+        bit_identical: legacy_sum == new_sum,
+    });
+
+    let (be_pipeline_s, be_gain) = if pipeline_queries > 0 {
+        bench_be_pipeline(pipeline_queries)
+    } else {
+        (0.0, 0.0)
+    };
+
+    SamplingBench {
+        nodes: g.num_nodes(),
+        edges: g.num_edges(),
+        samples,
+        kernels,
+        be_pipeline_s,
+        be_gain,
+    }
+}
+
+/// End-to-end BE pipeline (elimination → top-l paths → batch selection)
+/// on a LastFM-like proxy; returns (total seconds, mean gain).
+fn bench_be_pipeline(queries: usize) -> (f64, f64) {
+    let g = relmax_gen::proxy::DatasetProxy::LastFm.generate(0.08, 42);
+    let workload = st_queries(&g, queries, 3, 5, 7);
+    let est = McEstimator::new(300, 0x5eed);
+    let be = AnySelector::batch_edge();
+    let mut gain = 0.0;
+    let (_, secs) = timed(|| {
+        for &(s, t) in &workload {
+            let q = StQuery::new(s, t, 5, 0.5).with_r(30).with_l(10);
+            let out = be.select(&g, &q, &est).expect("BE runs");
+            gain += out.gain();
+        }
+    });
+    (secs, gain / workload.len().max(1) as f64)
+}
+
+/// Best-of-`reps` timing: returns the last result and the minimum
+/// elapsed seconds. Minimum-of-N is the standard way to strip scheduler
+/// noise from single-machine microbenchmarks; both code paths get the
+/// same treatment.
+fn best_of<T>(reps: usize, mut f: impl FnMut() -> T) -> (T, f64) {
+    let (mut out, mut best) = timed(&mut f);
+    for _ in 1..reps.max(1) {
+        let (v, secs) = timed(&mut f);
+        out = v;
+        best = best.min(secs);
+    }
+    (out, best)
+}
+
+/// Missing-edge candidates for the scan kernel, uniform probability 0.5.
+fn candidate_scan_set(g: &UncertainGraph, count: usize) -> Vec<ExtraEdge> {
+    let n = g.num_nodes() as u32;
+    let mut out = Vec::with_capacity(count);
+    let mut u = 0u32;
+    let mut v = 1u32;
+    while out.len() < count {
+        v = (v + 7) % n;
+        if v == u {
+            v = (v + 1) % n;
+        }
+        u = (u + 3) % n;
+        if u != v && !g.has_edge(NodeId(u), NodeId(v)) {
+            out.push(ExtraEdge {
+                src: NodeId(u),
+                dst: NodeId(v),
+                prob: 0.5,
+            });
+        }
+    }
+    out
+}
+
+/// An s-t pair a few hops apart so sampled BFS does real work.
+fn pick_far_pair(g: &UncertainGraph) -> (NodeId, NodeId) {
+    st_queries(g, 1, 4, 6, 3)
+        .first()
+        .copied()
+        .unwrap_or((NodeId(0), NodeId(g.num_nodes() as u32 - 1)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_produces_sane_json() {
+        let bench = run(200, 0);
+        assert!(bench.edges >= 5_000);
+        assert_eq!(bench.kernels.len(), 4);
+        for c in &bench.kernels {
+            assert!(c.bit_identical, "{} estimates diverged", c.kernel);
+            assert!(c.dyn_s > 0.0 && c.csr_s > 0.0);
+        }
+        let json = bench.to_json();
+        assert!(json.contains("\"geomean_speedup\""));
+        assert!(json.contains("st_reliability"));
+    }
+
+    #[test]
+    fn bench_graph_meets_edge_floor() {
+        let g = bench_graph(10_000, 12_000);
+        assert!(g.num_edges() >= 5_000, "m={}", g.num_edges());
+    }
+}

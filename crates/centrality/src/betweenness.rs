@@ -17,10 +17,7 @@ use std::collections::VecDeque;
 /// `pivots = None` computes the exact Brandes score from all sources;
 /// `pivots = Some((p, seed))` accumulates from `p` random sources and
 /// rescales by `n / p`.
-pub fn betweenness_centrality<G: ProbGraph + ?Sized>(
-    g: &G,
-    pivots: Option<(usize, u64)>,
-) -> Vec<f64> {
+pub fn betweenness_centrality<G: ProbGraph>(g: &G, pivots: Option<(usize, u64)>) -> Vec<f64> {
     let n = g.num_nodes();
     let sources: Vec<NodeId> = match pivots {
         None => (0..n as u32).map(NodeId).collect(),
@@ -32,7 +29,11 @@ pub fn betweenness_centrality<G: ProbGraph + ?Sized>(
             all
         }
     };
-    let scale = if sources.is_empty() { 1.0 } else { n as f64 / sources.len() as f64 };
+    let scale = if sources.is_empty() {
+        1.0
+    } else {
+        n as f64 / sources.len() as f64
+    };
     let mut bc = vec![0.0f64; n];
     // Scratch buffers reused across sources.
     let mut sigma = vec![0.0f64; n];
@@ -56,7 +57,7 @@ pub fn betweenness_centrality<G: ProbGraph + ?Sized>(
             order.push(v.0);
             let dv = dist[v.index()];
             let sv = sigma[v.index()];
-            g.for_each_out(v, &mut |u, _p, _c| {
+            for (u, _p, _c) in g.out_arcs(v) {
                 if dist[u.index()] < 0 {
                     dist[u.index()] = dv + 1;
                     queue.push_back(u);
@@ -65,7 +66,7 @@ pub fn betweenness_centrality<G: ProbGraph + ?Sized>(
                     sigma[u.index()] += sv;
                     preds[u.index()].push(v.0);
                 }
-            });
+            }
         }
         // Dependency accumulation in reverse BFS order.
         for &w in order.iter().rev() {
@@ -120,8 +121,8 @@ mod tests {
         let bc = betweenness_centrality(&g, None);
         // Center: C(4,2) = 6 pairs routed through it.
         assert!((bc[0] - 6.0).abs() < 1e-9);
-        for i in 1..5 {
-            assert!(bc[i].abs() < 1e-9);
+        for b in &bc[1..5] {
+            assert!(b.abs() < 1e-9);
         }
     }
 

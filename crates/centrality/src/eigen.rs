@@ -32,7 +32,7 @@ fn normalize(x: &mut [f64]) -> f64 {
     norm
 }
 
-fn matvec<G: ProbGraph + ?Sized>(g: &G, x: &[f64], transpose: bool, out: &mut [f64]) {
+fn matvec<G: ProbGraph>(g: &G, x: &[f64], transpose: bool, out: &mut [f64]) {
     out.fill(0.0);
     for v in 0..g.num_nodes() as u32 {
         let xv = x[v as usize];
@@ -42,19 +42,15 @@ fn matvec<G: ProbGraph + ?Sized>(g: &G, x: &[f64], transpose: bool, out: &mut [f
         // out = A^T x for left iteration (transpose=false uses out-edges as
         // rows): (A x)[v] = sum over out-edges (v -> u) of p * x[u].
         if transpose {
-            g.for_each_out(NodeId(v), &mut |u, p, _c| {
+            for (u, p, _c) in g.out_arcs(NodeId(v)) {
                 out[u.index()] += p * xv;
-            });
+            }
         } else {
-            g.for_each_out(NodeId(v), &mut |u, p, _c| {
+            for (u, p, _c) in g.out_arcs(NodeId(v)) {
                 out[v as usize] += p * x[u.index()];
-            });
+            }
         }
     }
-    if transpose {
-        return;
-    }
-    // Nothing further: the non-transposed accumulation already happened.
 }
 
 /// Power iteration for the leading eigenpair of the weighted adjacency
@@ -62,10 +58,15 @@ fn matvec<G: ProbGraph + ?Sized>(g: &G, x: &[f64], transpose: bool, out: &mut [f
 ///
 /// `max_iters` caps work; `tol` is the L2 change at which iteration stops.
 /// Returns `lambda = 0` with uniform vectors for empty graphs.
-pub fn leading_eigen<G: ProbGraph + ?Sized>(g: &G, max_iters: usize, tol: f64) -> EigenResult {
+pub fn leading_eigen<G: ProbGraph>(g: &G, max_iters: usize, tol: f64) -> EigenResult {
     let n = g.num_nodes();
     if n == 0 {
-        return EigenResult { lambda: 0.0, left: vec![], right: vec![], iterations: 0 };
+        return EigenResult {
+            lambda: 0.0,
+            left: vec![],
+            right: vec![],
+            iterations: 0,
+        };
     }
     // Positive diagonal shift: power iteration on A + σI converges even on
     // bipartite graphs (whose spectrum is symmetric, ±λ) because the shift
@@ -84,8 +85,12 @@ pub fn leading_eigen<G: ProbGraph + ?Sized>(g: &G, max_iters: usize, tol: f64) -
             }
             let norm = normalize(&mut next);
             lambda = (norm - shift).max(0.0);
-            let diff: f64 =
-                x.iter().zip(&next).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt();
+            let diff: f64 = x
+                .iter()
+                .zip(&next)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f64>()
+                .sqrt();
             std::mem::swap(&mut x, &mut next);
             if diff < tol {
                 break;
@@ -95,7 +100,12 @@ pub fn leading_eigen<G: ProbGraph + ?Sized>(g: &G, max_iters: usize, tol: f64) -
     };
     let (right, lambda_r, it_r) = run(false);
     let (left, _lambda_l, it_l) = run(true);
-    EigenResult { lambda: lambda_r, left, right, iterations: it_r.max(it_l) }
+    EigenResult {
+        lambda: lambda_r,
+        left,
+        right,
+        iterations: it_r.max(it_l),
+    }
 }
 
 #[cfg(test)]
@@ -130,7 +140,11 @@ mod tests {
             g.add_edge(NodeId(0), NodeId(i), w).unwrap();
         }
         let e = leading_eigen(&g, 2000, 1e-13);
-        assert!((e.lambda - w * (k as f64).sqrt()).abs() < 1e-5, "lambda={}", e.lambda);
+        assert!(
+            (e.lambda - w * (k as f64).sqrt()).abs() < 1e-5,
+            "lambda={}",
+            e.lambda
+        );
         // Center has the largest eigenvector entry.
         assert!(e.right[0] > e.right[1]);
     }

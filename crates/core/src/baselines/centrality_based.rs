@@ -35,12 +35,16 @@ pub struct CentralitySelector {
 impl CentralitySelector {
     /// Degree-centrality selector.
     pub fn degree() -> Self {
-        CentralitySelector { kind: CentralityKind::Degree }
+        CentralitySelector {
+            kind: CentralityKind::Degree,
+        }
     }
 
     /// Betweenness-centrality selector (exact).
     pub fn betweenness() -> Self {
-        CentralitySelector { kind: CentralityKind::Betweenness { pivots: None } }
+        CentralitySelector {
+            kind: CentralityKind::Betweenness { pivots: None },
+        }
     }
 }
 
@@ -52,12 +56,12 @@ impl EdgeSelector for CentralitySelector {
         }
     }
 
-    fn select_with_candidates(
+    fn select_with_candidates<E: Estimator>(
         &self,
         g: &UncertainGraph,
         query: &StQuery,
         candidates: &[CandidateEdge],
-        est: &dyn Estimator,
+        est: &E,
     ) -> Result<Outcome, SelectError> {
         let scores = match self.kind {
             CentralityKind::Degree => degree_centrality(g),
@@ -66,16 +70,18 @@ impl EdgeSelector for CentralitySelector {
             }
         };
         let mut order: Vec<usize> = (0..candidates.len()).collect();
-        let edge_score =
-            |c: &CandidateEdge| scores[c.src.index()] + scores[c.dst.index()];
+        let edge_score = |c: &CandidateEdge| scores[c.src.index()] + scores[c.dst.index()];
         order.sort_by(|&a, &b| {
             edge_score(&candidates[b])
                 .partial_cmp(&edge_score(&candidates[a]))
                 .expect("centrality scores never NaN")
                 .then_with(|| a.cmp(&b))
         });
-        let added: Vec<CandidateEdge> =
-            order.into_iter().take(query.k).map(|i| candidates[i]).collect();
+        let added: Vec<CandidateEdge> = order
+            .into_iter()
+            .take(query.k)
+            .map(|i| candidates[i])
+            .collect();
         Ok(finish_outcome(g, query, added, est))
     }
 }
@@ -101,8 +107,16 @@ mod tests {
         let g = hub();
         let q = StQuery::new(NodeId(0), NodeId(5), 1, 0.5);
         let cands = [
-            CandidateEdge { src: NodeId(1), dst: NodeId(5), prob: 0.5 }, // hub edge
-            CandidateEdge { src: NodeId(2), dst: NodeId(3), prob: 0.5 },
+            CandidateEdge {
+                src: NodeId(1),
+                dst: NodeId(5),
+                prob: 0.5,
+            }, // hub edge
+            CandidateEdge {
+                src: NodeId(2),
+                dst: NodeId(3),
+                prob: 0.5,
+            },
         ];
         let est = McEstimator::new(3000, 1);
         let out = CentralitySelector::degree()
@@ -117,9 +131,21 @@ mod tests {
         let g = hub();
         let q = StQuery::new(NodeId(0), NodeId(5), 2, 0.5);
         let cands = [
-            CandidateEdge { src: NodeId(0), dst: NodeId(4), prob: 0.5 },
-            CandidateEdge { src: NodeId(2), dst: NodeId(3), prob: 0.5 },
-            CandidateEdge { src: NodeId(1), dst: NodeId(5), prob: 0.5 },
+            CandidateEdge {
+                src: NodeId(0),
+                dst: NodeId(4),
+                prob: 0.5,
+            },
+            CandidateEdge {
+                src: NodeId(2),
+                dst: NodeId(3),
+                prob: 0.5,
+            },
+            CandidateEdge {
+                src: NodeId(1),
+                dst: NodeId(5),
+                prob: 0.5,
+            },
         ];
         let est = McEstimator::new(3000, 2);
         let sel = CentralitySelector::betweenness();

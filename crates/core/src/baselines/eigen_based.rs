@@ -25,7 +25,10 @@ pub struct EigenSelector {
 
 impl Default for EigenSelector {
     fn default() -> Self {
-        EigenSelector { max_iters: 200, tol: 1e-10 }
+        EigenSelector {
+            max_iters: 200,
+            tol: 1e-10,
+        }
     }
 }
 
@@ -34,12 +37,12 @@ impl EdgeSelector for EigenSelector {
         "EO"
     }
 
-    fn select_with_candidates(
+    fn select_with_candidates<E: Estimator>(
         &self,
         g: &UncertainGraph,
         query: &StQuery,
         candidates: &[CandidateEdge],
-        est: &dyn Estimator,
+        est: &E,
     ) -> Result<Outcome, SelectError> {
         let eig = leading_eigen(g, self.max_iters, self.tol);
         let score = |c: &CandidateEdge| eig.left[c.src.index()] * eig.right[c.dst.index()];
@@ -50,8 +53,11 @@ impl EdgeSelector for EigenSelector {
                 .expect("eigen scores never NaN")
                 .then_with(|| a.cmp(&b))
         });
-        let added: Vec<CandidateEdge> =
-            order.into_iter().take(query.k).map(|i| candidates[i]).collect();
+        let added: Vec<CandidateEdge> = order
+            .into_iter()
+            .take(query.k)
+            .map(|i| candidates[i])
+            .collect();
         Ok(finish_outcome(g, query, added, est))
     }
 }
@@ -73,7 +79,11 @@ pub fn eigen_topk_pairs(g: &UncertainGraph, k: usize, zeta: f64) -> Vec<Candidat
             if i != j && !g.has_edge(i, j) {
                 pairs.push((
                     eig.left[i.index()] * eig.right[j.index()],
-                    CandidateEdge { src: i, dst: j, prob: zeta },
+                    CandidateEdge {
+                        src: i,
+                        dst: j,
+                        prob: zeta,
+                    },
                 ));
             }
         }
@@ -109,8 +119,16 @@ mod tests {
         let g = core_periphery();
         let q = StQuery::new(NodeId(3), NodeId(4), 1, 0.5);
         let cands = [
-            CandidateEdge { src: NodeId(0), dst: NodeId(3), prob: 0.5 }, // touches core
-            CandidateEdge { src: NodeId(3), dst: NodeId(4), prob: 0.5 }, // periphery only
+            CandidateEdge {
+                src: NodeId(0),
+                dst: NodeId(3),
+                prob: 0.5,
+            }, // touches core
+            CandidateEdge {
+                src: NodeId(3),
+                dst: NodeId(4),
+                prob: 0.5,
+            }, // periphery only
         ];
         let est = McEstimator::new(2000, 1);
         let out = EigenSelector::default()
@@ -138,9 +156,21 @@ mod tests {
         let g = core_periphery();
         let q = StQuery::new(NodeId(0), NodeId(4), 2, 0.5);
         let cands = [
-            CandidateEdge { src: NodeId(0), dst: NodeId(3), prob: 0.5 },
-            CandidateEdge { src: NodeId(1), dst: NodeId(3), prob: 0.5 },
-            CandidateEdge { src: NodeId(3), dst: NodeId(4), prob: 0.5 },
+            CandidateEdge {
+                src: NodeId(0),
+                dst: NodeId(3),
+                prob: 0.5,
+            },
+            CandidateEdge {
+                src: NodeId(1),
+                dst: NodeId(3),
+                prob: 0.5,
+            },
+            CandidateEdge {
+                src: NodeId(3),
+                dst: NodeId(4),
+                prob: 0.5,
+            },
         ];
         let est = McEstimator::new(1000, 2);
         let out = EigenSelector::default()

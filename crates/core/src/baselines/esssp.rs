@@ -14,7 +14,7 @@ use crate::candidates::CandidateEdge;
 use crate::query::StQuery;
 use crate::selector::{finish_outcome, EdgeSelector, Outcome, SelectError};
 use relmax_sampling::Estimator;
-use relmax_ugraph::{GraphView, NodeId, ProbGraph, UncertainGraph};
+use relmax_ugraph::{CsrGraph, GraphView, NodeId, ProbGraph, UncertainGraph};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -36,7 +36,11 @@ struct Entry {
 impl Eq for Entry {}
 impl Ord for Entry {
     fn cmp(&self, other: &Self) -> Ordering {
-        other.d.partial_cmp(&self.d).expect("never NaN").then_with(|| other.v.0.cmp(&self.v.0))
+        other
+            .d
+            .partial_cmp(&self.d)
+            .expect("never NaN")
+            .then_with(|| other.v.0.cmp(&self.v.0))
     }
 }
 impl PartialOrd for Entry {
@@ -47,7 +51,7 @@ impl PartialOrd for Entry {
 
 /// Dijkstra distances from `start` under `1/p` weights; `reverse` follows
 /// in-edges (distances *to* `start`).
-fn expected_distances<G: ProbGraph + ?Sized>(g: &G, start: NodeId, reverse: bool) -> Vec<f64> {
+fn expected_distances<G: ProbGraph>(g: &G, start: NodeId, reverse: bool) -> Vec<f64> {
     let mut dist = vec![f64::INFINITY; g.num_nodes()];
     let mut done = vec![false; g.num_nodes()];
     let mut heap = BinaryHeap::new();
@@ -58,7 +62,7 @@ fn expected_distances<G: ProbGraph + ?Sized>(g: &G, start: NodeId, reverse: bool
             continue;
         }
         done[v.index()] = true;
-        let visit = &mut |u: NodeId, p: f64, _c: u32| {
+        let mut relax = |u: NodeId, p: f64| {
             let w = weight(p);
             if w.is_finite() && !done[u.index()] && d + w < dist[u.index()] {
                 dist[u.index()] = d + w;
@@ -66,9 +70,13 @@ fn expected_distances<G: ProbGraph + ?Sized>(g: &G, start: NodeId, reverse: bool
             }
         };
         if reverse {
-            g.for_each_in(v, visit);
+            for (u, p, _c) in g.in_arcs(v) {
+                relax(u, p);
+            }
         } else {
-            g.for_each_out(v, visit);
+            for (u, p, _c) in g.out_arcs(v) {
+                relax(u, p);
+            }
         }
     }
     dist
@@ -86,18 +94,30 @@ pub fn select_esssp(
     k: usize,
 ) -> Vec<CandidateEdge> {
     const DISCONNECTED: f64 = 1e9;
-    let clamp = |d: f64| if d.is_finite() { d.min(DISCONNECTED) } else { DISCONNECTED };
-    let mut view = GraphView::empty(g);
+    let clamp = |d: f64| {
+        if d.is_finite() {
+            d.min(DISCONNECTED)
+        } else {
+            DISCONNECTED
+        }
+    };
+    // The per-round Dijkstra sweeps all walk the same base graph.
+    let csr = CsrGraph::freeze(g);
+    let mut view = GraphView::empty(&csr);
     let mut chosen: Vec<CandidateEdge> = Vec::with_capacity(k);
     let mut remaining: Vec<CandidateEdge> = candidates.to_vec();
     for _round in 0..k {
         if remaining.is_empty() {
             break;
         }
-        let from_s: Vec<Vec<f64>> =
-            sources.iter().map(|&s| expected_distances(&view, s, false)).collect();
-        let to_t: Vec<Vec<f64>> =
-            targets.iter().map(|&t| expected_distances(&view, t, true)).collect();
+        let from_s: Vec<Vec<f64>> = sources
+            .iter()
+            .map(|&s| expected_distances(&view, s, false))
+            .collect();
+        let to_t: Vec<Vec<f64>> = targets
+            .iter()
+            .map(|&t| expected_distances(&view, t, true))
+            .collect();
         let base: f64 = sources
             .iter()
             .enumerate()
@@ -146,12 +166,12 @@ impl EdgeSelector for EssspSelector {
         "ESSSP"
     }
 
-    fn select_with_candidates(
+    fn select_with_candidates<E: Estimator>(
         &self,
         g: &UncertainGraph,
         query: &StQuery,
         candidates: &[CandidateEdge],
-        est: &dyn Estimator,
+        est: &E,
     ) -> Result<Outcome, SelectError> {
         let added = select_esssp(g, &[query.s], &[query.t], candidates, query.k);
         Ok(finish_outcome(g, query, added, est))
@@ -170,8 +190,16 @@ mod tests {
         g.add_edge(NodeId(0), NodeId(1), 0.9).unwrap();
         g.add_edge(NodeId(2), NodeId(3), 0.9).unwrap();
         let cands = [
-            CandidateEdge { src: NodeId(1), dst: NodeId(2), prob: 0.9 }, // bridge
-            CandidateEdge { src: NodeId(0), dst: NodeId(1), prob: 0.9 }, // parallel, useless
+            CandidateEdge {
+                src: NodeId(1),
+                dst: NodeId(2),
+                prob: 0.9,
+            }, // bridge
+            CandidateEdge {
+                src: NodeId(0),
+                dst: NodeId(1),
+                prob: 0.9,
+            }, // parallel, useless
         ];
         let picked = select_esssp(&g, &[NodeId(0)], &[NodeId(3)], &cands, 1);
         assert_eq!(picked.len(), 1);
@@ -187,8 +215,16 @@ mod tests {
         g.add_edge(NodeId(1), NodeId(2), 0.5).unwrap();
         g.add_edge(NodeId(2), NodeId(3), 0.5).unwrap();
         let cands = [
-            CandidateEdge { src: NodeId(0), dst: NodeId(3), prob: 0.25 },
-            CandidateEdge { src: NodeId(0), dst: NodeId(3), prob: 0.5 },
+            CandidateEdge {
+                src: NodeId(0),
+                dst: NodeId(3),
+                prob: 0.25,
+            },
+            CandidateEdge {
+                src: NodeId(0),
+                dst: NodeId(3),
+                prob: 0.5,
+            },
         ];
         let picked = select_esssp(&g, &[NodeId(0)], &[NodeId(3)], &cands, 1);
         assert_eq!(picked[0].prob, 0.5);
@@ -203,8 +239,16 @@ mod tests {
         g.add_edge(NodeId(2), NodeId(3), 0.9).unwrap();
         g.add_edge(NodeId(2), NodeId(4), 0.9).unwrap();
         let cands = [
-            CandidateEdge { src: NodeId(1), dst: NodeId(2), prob: 0.9 }, // reaches 3 AND 4
-            CandidateEdge { src: NodeId(1), dst: NodeId(3), prob: 0.9 }, // reaches only 3
+            CandidateEdge {
+                src: NodeId(1),
+                dst: NodeId(2),
+                prob: 0.9,
+            }, // reaches 3 AND 4
+            CandidateEdge {
+                src: NodeId(1),
+                dst: NodeId(3),
+                prob: 0.9,
+            }, // reaches only 3
         ];
         let picked = select_esssp(&g, &[NodeId(0)], &[NodeId(3), NodeId(4)], &cands, 1);
         assert_eq!((picked[0].src, picked[0].dst), (NodeId(1), NodeId(2)));
@@ -215,9 +259,15 @@ mod tests {
         let mut g = UncertainGraph::new(3, true);
         g.add_edge(NodeId(0), NodeId(1), 0.8).unwrap();
         let q = StQuery::new(NodeId(0), NodeId(2), 1, 0.8);
-        let cands = [CandidateEdge { src: NodeId(1), dst: NodeId(2), prob: 0.8 }];
+        let cands = [CandidateEdge {
+            src: NodeId(1),
+            dst: NodeId(2),
+            prob: 0.8,
+        }];
         let est = McEstimator::new(5000, 1);
-        let out = EssspSelector.select_with_candidates(&g, &q, &cands, &est).unwrap();
+        let out = EssspSelector
+            .select_with_candidates(&g, &q, &cands, &est)
+            .unwrap();
         assert_eq!(out.added.len(), 1);
         assert!(out.gain() > 0.5);
     }
@@ -226,7 +276,11 @@ mod tests {
     fn zero_probability_candidates_never_picked() {
         let mut g = UncertainGraph::new(3, true);
         g.add_edge(NodeId(0), NodeId(1), 0.8).unwrap();
-        let cands = [CandidateEdge { src: NodeId(1), dst: NodeId(2), prob: 0.0 }];
+        let cands = [CandidateEdge {
+            src: NodeId(1),
+            dst: NodeId(2),
+            prob: 0.0,
+        }];
         let picked = select_esssp(&g, &[NodeId(0)], &[NodeId(2)], &cands, 1);
         assert!(picked.is_empty());
     }

@@ -7,9 +7,9 @@
 
 use crate::candidates::CandidateEdge;
 use crate::query::StQuery;
-use crate::selector::{finish_outcome, EdgeSelector, Outcome, SelectError};
+use crate::selector::{finish_outcome, finish_outcome_frozen, EdgeSelector, Outcome, SelectError};
 use relmax_sampling::Estimator;
-use relmax_ugraph::{GraphView, UncertainGraph};
+use relmax_ugraph::{CsrGraph, GraphView, UncertainGraph};
 
 /// Exhaustive subset search.
 #[derive(Debug, Clone, Copy)]
@@ -20,7 +20,9 @@ pub struct ExactSelector {
 
 impl Default for ExactSelector {
     fn default() -> Self {
-        ExactSelector { max_combinations: 2_000_000 }
+        ExactSelector {
+            max_combinations: 2_000_000,
+        }
     }
 }
 
@@ -41,12 +43,12 @@ impl EdgeSelector for ExactSelector {
         "ES"
     }
 
-    fn select_with_candidates(
+    fn select_with_candidates<E: Estimator>(
         &self,
         g: &UncertainGraph,
         query: &StQuery,
         candidates: &[CandidateEdge],
-        est: &dyn Estimator,
+        est: &E,
     ) -> Result<Outcome, SelectError> {
         let k = query.k.min(candidates.len());
         if k == 0 {
@@ -54,14 +56,19 @@ impl EdgeSelector for ExactSelector {
         }
         let combos = n_choose_k(candidates.len() as u64, k as u64);
         if combos > self.max_combinations {
-            return Err(SelectError::TooManyCombinations { candidates: candidates.len(), k });
+            return Err(SelectError::TooManyCombinations {
+                candidates: candidates.len(),
+                k,
+            });
         }
+        // One frozen snapshot serves every subset evaluation.
+        let csr = CsrGraph::freeze(g);
         // Iterate k-subsets in lexicographic order with an index vector.
         let mut idx: Vec<usize> = (0..k).collect();
         let mut best: Option<(f64, Vec<usize>)> = None;
         loop {
             let extra: Vec<CandidateEdge> = idx.iter().map(|&i| candidates[i]).collect();
-            let view = GraphView::new(g, extra);
+            let view = GraphView::new(&csr, extra);
             let r = est.st_reliability(&view, query.s, query.t);
             if best.as_ref().map_or(true, |(br, _)| r > *br) {
                 best = Some((r, idx.clone()));
@@ -83,7 +90,7 @@ impl EdgeSelector for ExactSelector {
                 if i == 0 {
                     let (_, chosen) = best.expect("at least one subset evaluated");
                     let added = chosen.into_iter().map(|i| candidates[i]).collect();
-                    return Ok(finish_outcome(g, query, added, est));
+                    return Ok(finish_outcome_frozen(&csr, query, added, est));
                 }
             }
         }
@@ -106,17 +113,34 @@ mod tests {
         g.add_edge(a, t, 0.5).unwrap();
         let q = StQuery::new(s, t, 2, 0.7);
         let cands = [
-            CandidateEdge { src: s, dst: a, prob: 0.7 },
-            CandidateEdge { src: s, dst: b, prob: 0.7 },
-            CandidateEdge { src: b, dst: t, prob: 0.7 },
+            CandidateEdge {
+                src: s,
+                dst: a,
+                prob: 0.7,
+            },
+            CandidateEdge {
+                src: s,
+                dst: b,
+                prob: 0.7,
+            },
+            CandidateEdge {
+                src: b,
+                dst: t,
+                prob: 0.7,
+            },
         ];
         let est = ExactEstimator::new();
-        let out = ExactSelector::default().select_with_candidates(&g, &q, &cands, &est).unwrap();
-        let mut chosen: Vec<(u32, u32)> =
-            out.added.iter().map(|c| (c.src.0, c.dst.0)).collect();
+        let out = ExactSelector::default()
+            .select_with_candidates(&g, &q, &cands, &est)
+            .unwrap();
+        let mut chosen: Vec<(u32, u32)> = out.added.iter().map(|c| (c.src.0, c.dst.0)).collect();
         chosen.sort_unstable();
         assert_eq!(chosen, vec![(0, 2), (2, 3)]); // {sB, Bt}
-        assert!((out.new_reliability - 0.543).abs() < 1e-3, "{}", out.new_reliability);
+        assert!(
+            (out.new_reliability - 0.543).abs() < 1e-3,
+            "{}",
+            out.new_reliability
+        );
     }
 
     #[test]
@@ -128,14 +152,27 @@ mod tests {
         g.add_edge(a, t, 0.5).unwrap();
         let q = StQuery::new(s, t, 2, 0.3);
         let cands = [
-            CandidateEdge { src: s, dst: a, prob: 0.3 },
-            CandidateEdge { src: s, dst: b, prob: 0.3 },
-            CandidateEdge { src: b, dst: t, prob: 0.3 },
+            CandidateEdge {
+                src: s,
+                dst: a,
+                prob: 0.3,
+            },
+            CandidateEdge {
+                src: s,
+                dst: b,
+                prob: 0.3,
+            },
+            CandidateEdge {
+                src: b,
+                dst: t,
+                prob: 0.3,
+            },
         ];
         let est = ExactEstimator::new();
-        let out = ExactSelector::default().select_with_candidates(&g, &q, &cands, &est).unwrap();
-        let mut chosen: Vec<(u32, u32)> =
-            out.added.iter().map(|c| (c.src.0, c.dst.0)).collect();
+        let out = ExactSelector::default()
+            .select_with_candidates(&g, &q, &cands, &est)
+            .unwrap();
+        let mut chosen: Vec<(u32, u32)> = out.added.iter().map(|c| (c.src.0, c.dst.0)).collect();
         chosen.sort_unstable();
         assert_eq!(chosen, vec![(0, 1), (0, 2)]); // {sA, sB}
         assert!((out.new_reliability - 0.203).abs() < 1e-3);
@@ -146,10 +183,16 @@ mod tests {
         let g = UncertainGraph::new(40, true);
         let q = StQuery::new(NodeId(0), NodeId(1), 10, 0.5);
         let cands: Vec<CandidateEdge> = (2..38)
-            .map(|i| CandidateEdge { src: NodeId(0), dst: NodeId(i), prob: 0.5 })
+            .map(|i| CandidateEdge {
+                src: NodeId(0),
+                dst: NodeId(i),
+                prob: 0.5,
+            })
             .collect();
         let est = ExactEstimator::new();
-        let sel = ExactSelector { max_combinations: 1000 };
+        let sel = ExactSelector {
+            max_combinations: 1000,
+        };
         assert!(matches!(
             sel.select_with_candidates(&g, &q, &cands, &est),
             Err(SelectError::TooManyCombinations { .. })
@@ -161,9 +204,15 @@ mod tests {
         let mut g = UncertainGraph::new(3, true);
         g.add_edge(NodeId(0), NodeId(1), 0.5).unwrap();
         let q = StQuery::new(NodeId(0), NodeId(2), 5, 0.5);
-        let cands = [CandidateEdge { src: NodeId(1), dst: NodeId(2), prob: 0.5 }];
+        let cands = [CandidateEdge {
+            src: NodeId(1),
+            dst: NodeId(2),
+            prob: 0.5,
+        }];
         let est = ExactEstimator::new();
-        let out = ExactSelector::default().select_with_candidates(&g, &q, &cands, &est).unwrap();
+        let out = ExactSelector::default()
+            .select_with_candidates(&g, &q, &cands, &est)
+            .unwrap();
         assert_eq!(out.added.len(), 1);
     }
 

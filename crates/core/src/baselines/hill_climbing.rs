@@ -9,9 +9,9 @@
 
 use crate::candidates::CandidateEdge;
 use crate::query::StQuery;
-use crate::selector::{finish_outcome, EdgeSelector, Outcome, SelectError};
+use crate::selector::{finish_outcome_frozen, EdgeSelector, Outcome, SelectError};
 use relmax_sampling::Estimator;
-use relmax_ugraph::{GraphView, UncertainGraph};
+use relmax_ugraph::{CsrGraph, GraphView, UncertainGraph};
 
 /// Algorithm 1: greedy marginal-gain selection.
 #[derive(Debug, Clone, Copy, Default)]
@@ -22,16 +22,19 @@ impl EdgeSelector for HillClimbingSelector {
         "HC"
     }
 
-    fn select_with_candidates(
+    fn select_with_candidates<E: Estimator>(
         &self,
         g: &UncertainGraph,
         query: &StQuery,
         candidates: &[CandidateEdge],
-        est: &dyn Estimator,
+        est: &E,
     ) -> Result<Outcome, SelectError> {
         let mut remaining: Vec<CandidateEdge> = candidates.to_vec();
-        let mut view = GraphView::empty(g);
-        let mut current = est.st_reliability(g, query.s, query.t);
+        // `k · |cand|` estimator calls all walk the same base graph:
+        // freeze it once and push/pop candidates on a cheap overlay.
+        let csr = CsrGraph::freeze(g);
+        let mut view = GraphView::empty(&csr);
+        let mut current = est.st_reliability(&csr, query.s, query.t);
         let mut added = Vec::with_capacity(query.k);
         while added.len() < query.k && !remaining.is_empty() {
             let mut best: Option<(f64, usize)> = None;
@@ -50,7 +53,7 @@ impl EdgeSelector for HillClimbingSelector {
             added.push(chosen);
             current += gain;
         }
-        Ok(finish_outcome(g, query, added, est))
+        Ok(finish_outcome_frozen(&csr, query, added, est))
     }
 }
 
@@ -68,12 +71,26 @@ mod tests {
         g.add_edge(NodeId(0), NodeId(1), 0.9).unwrap();
         let q = StQuery::new(NodeId(0), NodeId(3), 2, 0.8);
         let cands = [
-            CandidateEdge { src: NodeId(1), dst: NodeId(3), prob: 0.8 },
-            CandidateEdge { src: NodeId(0), dst: NodeId(2), prob: 0.8 },
-            CandidateEdge { src: NodeId(2), dst: NodeId(3), prob: 0.8 },
+            CandidateEdge {
+                src: NodeId(1),
+                dst: NodeId(3),
+                prob: 0.8,
+            },
+            CandidateEdge {
+                src: NodeId(0),
+                dst: NodeId(2),
+                prob: 0.8,
+            },
+            CandidateEdge {
+                src: NodeId(2),
+                dst: NodeId(3),
+                prob: 0.8,
+            },
         ];
         let est = ExactEstimator::new();
-        let out = HillClimbingSelector.select_with_candidates(&g, &q, &cands, &est).unwrap();
+        let out = HillClimbingSelector
+            .select_with_candidates(&g, &q, &cands, &est)
+            .unwrap();
         assert_eq!(out.added.len(), 2);
         assert_eq!(out.added[0].src, NodeId(1)); // a -> t first: only positive gain
         assert!(out.gain() > 0.7);
@@ -90,12 +107,26 @@ mod tests {
         g.add_edge(NodeId(0), NodeId(3), 0.2).unwrap(); // existing weak path
         let q = StQuery::new(NodeId(0), NodeId(3), 2, 0.9);
         let cands = [
-            CandidateEdge { src: NodeId(0), dst: NodeId(1), prob: 0.9 },
-            CandidateEdge { src: NodeId(1), dst: NodeId(3), prob: 0.9 },
-            CandidateEdge { src: NodeId(0), dst: NodeId(2), prob: 0.3 },
+            CandidateEdge {
+                src: NodeId(0),
+                dst: NodeId(1),
+                prob: 0.9,
+            },
+            CandidateEdge {
+                src: NodeId(1),
+                dst: NodeId(3),
+                prob: 0.9,
+            },
+            CandidateEdge {
+                src: NodeId(0),
+                dst: NodeId(2),
+                prob: 0.3,
+            },
         ];
         let est = ExactEstimator::new();
-        let hc = HillClimbingSelector.select_with_candidates(&g, &q, &cands, &est).unwrap();
+        let hc = HillClimbingSelector
+            .select_with_candidates(&g, &q, &cands, &est)
+            .unwrap();
         // Optimal: add both 0.9 edges -> R = 1-(1-0.2)(1-0.81) = 0.848
         assert!(hc.new_reliability > 0.84, "r={}", hc.new_reliability);
     }
@@ -105,9 +136,15 @@ mod tests {
         let mut g = UncertainGraph::new(2, true);
         g.add_edge(NodeId(0), NodeId(1), 0.4).unwrap();
         let q = StQuery::new(NodeId(0), NodeId(1), 0, 0.5);
-        let cands = [CandidateEdge { src: NodeId(1), dst: NodeId(0), prob: 0.5 }];
+        let cands = [CandidateEdge {
+            src: NodeId(1),
+            dst: NodeId(0),
+            prob: 0.5,
+        }];
         let est = McEstimator::new(500, 1);
-        let out = HillClimbingSelector.select_with_candidates(&g, &q, &cands, &est).unwrap();
+        let out = HillClimbingSelector
+            .select_with_candidates(&g, &q, &cands, &est)
+            .unwrap();
         assert!(out.added.is_empty());
     }
 
@@ -118,12 +155,26 @@ mod tests {
         g.add_edge(NodeId(1), NodeId(4), 0.5).unwrap();
         let q = StQuery::new(NodeId(0), NodeId(4), 2, 0.5);
         let cands = [
-            CandidateEdge { src: NodeId(0), dst: NodeId(2), prob: 0.5 },
-            CandidateEdge { src: NodeId(2), dst: NodeId(4), prob: 0.5 },
-            CandidateEdge { src: NodeId(3), dst: NodeId(2), prob: 0.5 },
+            CandidateEdge {
+                src: NodeId(0),
+                dst: NodeId(2),
+                prob: 0.5,
+            },
+            CandidateEdge {
+                src: NodeId(2),
+                dst: NodeId(4),
+                prob: 0.5,
+            },
+            CandidateEdge {
+                src: NodeId(3),
+                dst: NodeId(2),
+                prob: 0.5,
+            },
         ];
         let est = McEstimator::new(8000, 2);
-        let out = HillClimbingSelector.select_with_candidates(&g, &q, &cands, &est).unwrap();
+        let out = HillClimbingSelector
+            .select_with_candidates(&g, &q, &cands, &est)
+            .unwrap();
         assert!(out.gain() >= -0.02, "gain={}", out.gain()); // sampling noise only
     }
 }

@@ -12,7 +12,7 @@ use crate::query::StQuery;
 use crate::selector::{finish_outcome, EdgeSelector, Outcome, SelectError};
 use relmax_influence::influence_spread;
 use relmax_sampling::Estimator;
-use relmax_ugraph::{GraphView, NodeId, UncertainGraph};
+use relmax_ugraph::{CsrGraph, GraphView, NodeId, UncertainGraph};
 
 /// Greedy IMA selection: `k` candidates maximizing IC spread from
 /// `sources` into `targets`, estimated with `samples` cascades under
@@ -26,7 +26,9 @@ pub fn select_ima(
     samples: usize,
     seed: u64,
 ) -> Vec<CandidateEdge> {
-    let mut view = GraphView::empty(g);
+    // Every cascade simulation walks the same base graph: freeze once.
+    let csr = CsrGraph::freeze(g);
+    let mut view = GraphView::empty(&csr);
     let mut chosen = Vec::with_capacity(k);
     let mut remaining: Vec<CandidateEdge> = candidates.to_vec();
     let mut current = influence_spread(&view, sources, Some(targets), samples, seed);
@@ -65,7 +67,10 @@ pub struct ImaSelector {
 
 impl Default for ImaSelector {
     fn default() -> Self {
-        ImaSelector { samples: 500, seed: 0x1a2b }
+        ImaSelector {
+            samples: 500,
+            seed: 0x1a2b,
+        }
     }
 }
 
@@ -74,15 +79,22 @@ impl EdgeSelector for ImaSelector {
         "IMA"
     }
 
-    fn select_with_candidates(
+    fn select_with_candidates<E: Estimator>(
         &self,
         g: &UncertainGraph,
         query: &StQuery,
         candidates: &[CandidateEdge],
-        est: &dyn Estimator,
+        est: &E,
     ) -> Result<Outcome, SelectError> {
-        let added =
-            select_ima(g, &[query.s], &[query.t], candidates, query.k, self.samples, self.seed);
+        let added = select_ima(
+            g,
+            &[query.s],
+            &[query.t],
+            candidates,
+            query.k,
+            self.samples,
+            self.seed,
+        );
         Ok(finish_outcome(g, query, added, est))
     }
 }
@@ -99,11 +111,26 @@ mod tests {
         g.add_edge(NodeId(1), NodeId(2), 0.9).unwrap();
         g.add_edge(NodeId(1), NodeId(3), 0.9).unwrap();
         let cands = [
-            CandidateEdge { src: NodeId(0), dst: NodeId(1), prob: 0.9 }, // unlocks both
-            CandidateEdge { src: NodeId(0), dst: NodeId(2), prob: 0.9 }, // one target
+            CandidateEdge {
+                src: NodeId(0),
+                dst: NodeId(1),
+                prob: 0.9,
+            }, // unlocks both
+            CandidateEdge {
+                src: NodeId(0),
+                dst: NodeId(2),
+                prob: 0.9,
+            }, // one target
         ];
-        let picked =
-            select_ima(&g, &[NodeId(0)], &[NodeId(2), NodeId(3)], &cands, 1, 2000, 1);
+        let picked = select_ima(
+            &g,
+            &[NodeId(0)],
+            &[NodeId(2), NodeId(3)],
+            &cands,
+            1,
+            2000,
+            1,
+        );
         assert_eq!((picked[0].src, picked[0].dst), (NodeId(0), NodeId(1)));
     }
 
@@ -112,9 +139,21 @@ mod tests {
         let mut g = UncertainGraph::new(4, true);
         g.add_edge(NodeId(0), NodeId(1), 0.5).unwrap();
         let cands = [
-            CandidateEdge { src: NodeId(1), dst: NodeId(2), prob: 0.5 },
-            CandidateEdge { src: NodeId(1), dst: NodeId(3), prob: 0.5 },
-            CandidateEdge { src: NodeId(0), dst: NodeId(3), prob: 0.5 },
+            CandidateEdge {
+                src: NodeId(1),
+                dst: NodeId(2),
+                prob: 0.5,
+            },
+            CandidateEdge {
+                src: NodeId(1),
+                dst: NodeId(3),
+                prob: 0.5,
+            },
+            CandidateEdge {
+                src: NodeId(0),
+                dst: NodeId(3),
+                prob: 0.5,
+            },
         ];
         let picked = select_ima(&g, &[NodeId(0)], &[NodeId(2), NodeId(3)], &cands, 2, 500, 2);
         assert_eq!(picked.len(), 2);
@@ -126,11 +165,21 @@ mod tests {
         g.add_edge(NodeId(0), NodeId(1), 0.8).unwrap();
         let q = StQuery::new(NodeId(0), NodeId(2), 1, 0.8);
         let cands = [
-            CandidateEdge { src: NodeId(1), dst: NodeId(2), prob: 0.8 },
-            CandidateEdge { src: NodeId(2), dst: NodeId(0), prob: 0.8 },
+            CandidateEdge {
+                src: NodeId(1),
+                dst: NodeId(2),
+                prob: 0.8,
+            },
+            CandidateEdge {
+                src: NodeId(2),
+                dst: NodeId(0),
+                prob: 0.8,
+            },
         ];
         let est = McEstimator::new(5000, 3);
-        let out = ImaSelector::default().select_with_candidates(&g, &q, &cands, &est).unwrap();
+        let out = ImaSelector::default()
+            .select_with_candidates(&g, &q, &cands, &est)
+            .unwrap();
         assert_eq!((out.added[0].src, out.added[0].dst), (NodeId(1), NodeId(2)));
         assert!((out.new_reliability - 0.64).abs() < 0.03);
     }

@@ -8,9 +8,9 @@
 
 use crate::candidates::CandidateEdge;
 use crate::query::StQuery;
-use crate::selector::{finish_outcome, EdgeSelector, Outcome, SelectError};
+use crate::selector::{finish_outcome_frozen, EdgeSelector, Outcome, SelectError};
 use relmax_sampling::Estimator;
-use relmax_ugraph::{GraphView, UncertainGraph};
+use relmax_ugraph::{CsrGraph, GraphView, UncertainGraph};
 
 /// The individual top-`k` baseline.
 #[derive(Debug, Clone, Copy, Default)]
@@ -21,16 +21,18 @@ impl EdgeSelector for IndividualTopKSelector {
         "TopK"
     }
 
-    fn select_with_candidates(
+    fn select_with_candidates<E: Estimator>(
         &self,
         g: &UncertainGraph,
         query: &StQuery,
         candidates: &[CandidateEdge],
-        est: &dyn Estimator,
+        est: &E,
     ) -> Result<Outcome, SelectError> {
-        let base = est.st_reliability(g, query.s, query.t);
+        // One frozen snapshot serves every per-candidate evaluation.
+        let csr = CsrGraph::freeze(g);
+        let base = est.st_reliability(&csr, query.s, query.t);
         let mut scored: Vec<(f64, usize)> = Vec::with_capacity(candidates.len());
-        let mut view = GraphView::empty(g);
+        let mut view = GraphView::empty(&csr);
         for (i, &c) in candidates.iter().enumerate() {
             view.push_extra(c);
             let r = est.st_reliability(&view, query.s, query.t);
@@ -38,11 +40,16 @@ impl EdgeSelector for IndividualTopKSelector {
             scored.push((r - base, i));
         }
         scored.sort_by(|a, b| {
-            b.0.partial_cmp(&a.0).expect("gains never NaN").then_with(|| a.1.cmp(&b.1))
+            b.0.partial_cmp(&a.0)
+                .expect("gains never NaN")
+                .then_with(|| a.1.cmp(&b.1))
         });
-        let added: Vec<CandidateEdge> =
-            scored.iter().take(query.k).map(|&(_, i)| candidates[i]).collect();
-        Ok(finish_outcome(g, query, added, est))
+        let added: Vec<CandidateEdge> = scored
+            .iter()
+            .take(query.k)
+            .map(|&(_, i)| candidates[i])
+            .collect();
+        Ok(finish_outcome_frozen(&csr, query, added, est))
     }
 }
 
@@ -61,12 +68,21 @@ mod tests {
         g.add_edge(NodeId(0), NodeId(2), 0.1).unwrap();
         let q = StQuery::new(NodeId(0), NodeId(3), 1, 0.8);
         let cands = [
-            CandidateEdge { src: NodeId(1), dst: NodeId(3), prob: 0.8 },
-            CandidateEdge { src: NodeId(2), dst: NodeId(3), prob: 0.8 },
+            CandidateEdge {
+                src: NodeId(1),
+                dst: NodeId(3),
+                prob: 0.8,
+            },
+            CandidateEdge {
+                src: NodeId(2),
+                dst: NodeId(3),
+                prob: 0.8,
+            },
         ];
         let est = McEstimator::new(4000, 1);
-        let out =
-            IndividualTopKSelector.select_with_candidates(&g, &q, &cands, &est).unwrap();
+        let out = IndividualTopKSelector
+            .select_with_candidates(&g, &q, &cands, &est)
+            .unwrap();
         assert_eq!(out.added.len(), 1);
         assert_eq!(out.added[0].src, NodeId(1));
         assert!(out.gain() > 0.5);
@@ -77,10 +93,15 @@ mod tests {
         let mut g = UncertainGraph::new(3, true);
         g.add_edge(NodeId(0), NodeId(1), 0.5).unwrap();
         let q = StQuery::new(NodeId(0), NodeId(2), 5, 0.5);
-        let cands = [CandidateEdge { src: NodeId(1), dst: NodeId(2), prob: 0.5 }];
+        let cands = [CandidateEdge {
+            src: NodeId(1),
+            dst: NodeId(2),
+            prob: 0.5,
+        }];
         let est = McEstimator::new(1000, 2);
-        let out =
-            IndividualTopKSelector.select_with_candidates(&g, &q, &cands, &est).unwrap();
+        let out = IndividualTopKSelector
+            .select_with_candidates(&g, &q, &cands, &est)
+            .unwrap();
         assert_eq!(out.added.len(), 1); // only one candidate exists
     }
 
@@ -90,7 +111,9 @@ mod tests {
         g.add_edge(NodeId(0), NodeId(1), 0.4).unwrap();
         let q = StQuery::new(NodeId(0), NodeId(1), 3, 0.5);
         let est = McEstimator::new(500, 3);
-        let out = IndividualTopKSelector.select_with_candidates(&g, &q, &[], &est).unwrap();
+        let out = IndividualTopKSelector
+            .select_with_candidates(&g, &q, &[], &est)
+            .unwrap();
         assert!(out.added.is_empty());
         assert!((out.gain()).abs() < 1e-9);
     }

@@ -28,7 +28,10 @@ impl CandidateSpace {
         let mut out = Vec::new();
         for u in 0..n {
             let allowed: Option<FxHashSet<u32>> = h.map(|hops| {
-                within_hops(g, NodeId(u), hops).into_iter().map(|v| v.0).collect()
+                within_hops(g, NodeId(u), hops)
+                    .into_iter()
+                    .map(|v| v.0)
+                    .collect()
             });
             let vs: Box<dyn Iterator<Item = u32>> = if g.directed() {
                 Box::new(0..n)
@@ -44,7 +47,11 @@ impl CandidateSpace {
                         continue;
                     }
                 }
-                out.push(CandidateEdge { src: NodeId(u), dst: NodeId(v), prob: zeta });
+                out.push(CandidateEdge {
+                    src: NodeId(u),
+                    dst: NodeId(v),
+                    prob: zeta,
+                });
             }
         }
         out
@@ -74,9 +81,17 @@ impl CandidateSpace {
                         continue;
                     }
                 }
-                let key = if g.directed() || u.0 <= v.0 { (u.0, v.0) } else { (v.0, u.0) };
+                let key = if g.directed() || u.0 <= v.0 {
+                    (u.0, v.0)
+                } else {
+                    (v.0, u.0)
+                };
                 if seen.insert(key) {
-                    out.push(CandidateEdge { src: u, dst: v, prob: zeta });
+                    out.push(CandidateEdge {
+                        src: u,
+                        dst: v,
+                        prob: zeta,
+                    });
                 }
             }
         }
@@ -153,11 +168,9 @@ mod tests {
     #[test]
     fn node_set_respects_hops() {
         let g = path4();
-        let cands =
-            CandidateSpace::from_node_sets(&g, &[NodeId(0)], &[NodeId(3)], 0.5, Some(2));
+        let cands = CandidateSpace::from_node_sets(&g, &[NodeId(0)], &[NodeId(3)], 0.5, Some(2));
         assert!(cands.is_empty());
-        let cands2 =
-            CandidateSpace::from_node_sets(&g, &[NodeId(0)], &[NodeId(3)], 0.5, Some(3));
+        let cands2 = CandidateSpace::from_node_sets(&g, &[NodeId(0)], &[NodeId(3)], 0.5, Some(3));
         assert_eq!(cands2.len(), 1);
     }
 
@@ -166,6 +179,8 @@ mod tests {
         let g = path4();
         let cands = CandidateSpace::all_missing(&g, 0.5, None);
         let mapped = CandidateSpace::with_probs(cands, |u, v| (u.0 + v.0) as f64 / 10.0);
-        assert!(mapped.iter().all(|c| c.prob == (c.src.0 + c.dst.0) as f64 / 10.0));
+        assert!(mapped
+            .iter()
+            .all(|c| c.prob == (c.src.0 + c.dst.0) as f64 / 10.0));
     }
 }

@@ -11,7 +11,7 @@
 use crate::candidates::{CandidateEdge, CandidateSpace};
 use crate::query::StQuery;
 use relmax_sampling::Estimator;
-use relmax_ugraph::{NodeId, UncertainGraph};
+use relmax_ugraph::{CsrGraph, NodeId, UncertainGraph};
 
 /// Algorithm 4: compute `C(s)`, `C(t)` and the reduced candidate-edge set.
 #[derive(Debug, Clone, Copy)]
@@ -32,25 +32,27 @@ impl SearchSpaceElimination {
     ///
     /// Nodes with zero estimated reliability are never kept (they cannot
     /// participate in any reliable path).
-    pub fn candidate_nodes(
+    pub fn candidate_nodes<E: Estimator>(
         &self,
         g: &UncertainGraph,
         s: NodeId,
         t: NodeId,
-        est: &dyn Estimator,
+        est: &E,
     ) -> (Vec<NodeId>, Vec<NodeId>) {
-        let from_s = est.reliability_from(g, s);
-        let to_t = est.reliability_to(g, t);
+        // Both whole-graph sweeps run on one frozen snapshot.
+        let csr = CsrGraph::freeze(g);
+        let from_s = est.reliability_from(&csr, s);
+        let to_t = est.reliability_to(&csr, t);
         (top_r(&from_s, self.r, s), top_r(&to_t, self.r, t))
     }
 
     /// Full Algorithm 4: `C(s) × C(t)` minus existing edges, intersected
     /// with the query's `h`-hop constraint, each with probability `ζ`.
-    pub fn candidate_edges(
+    pub fn candidate_edges<E: Estimator>(
         &self,
         g: &UncertainGraph,
         query: &StQuery,
-        est: &dyn Estimator,
+        est: &E,
     ) -> Vec<CandidateEdge> {
         let (cs, ct) = self.candidate_nodes(g, query.s, query.t, est);
         CandidateSpace::from_node_sets(g, &cs, &ct, query.zeta, query.h)
@@ -131,7 +133,9 @@ mod tests {
     fn candidate_edges_avoid_existing_and_respect_zeta() {
         let g = corridor();
         let est = McEstimator::new(2000, 3);
-        let q = crate::StQuery::new(NodeId(0), NodeId(3), 2, 0.6).with_hop_limit(None).with_r(5);
+        let q = crate::StQuery::new(NodeId(0), NodeId(3), 2, 0.6)
+            .with_hop_limit(None)
+            .with_r(5);
         let cands = SearchSpaceElimination::new(5).candidate_edges(&g, &q, &est);
         assert!(!cands.is_empty());
         for c in &cands {
@@ -140,20 +144,29 @@ mod tests {
         }
         // The direct s-t edge must be among the candidates (Observation 4
         // says it is always worth considering).
-        assert!(cands.iter().any(|c| c.src == NodeId(0) && c.dst == NodeId(3)));
+        assert!(cands
+            .iter()
+            .any(|c| c.src == NodeId(0) && c.dst == NodeId(3)));
     }
 
     #[test]
     fn small_r_shrinks_the_space() {
         let g = corridor();
         let est = McEstimator::new(2000, 4);
-        let q_small =
-            crate::StQuery::new(NodeId(0), NodeId(3), 2, 0.5).with_hop_limit(None).with_r(2);
-        let q_big =
-            crate::StQuery::new(NodeId(0), NodeId(3), 2, 0.5).with_hop_limit(None).with_r(6);
+        let q_small = crate::StQuery::new(NodeId(0), NodeId(3), 2, 0.5)
+            .with_hop_limit(None)
+            .with_r(2);
+        let q_big = crate::StQuery::new(NodeId(0), NodeId(3), 2, 0.5)
+            .with_hop_limit(None)
+            .with_r(6);
         let small = SearchSpaceElimination::new(2).candidate_edges(&g, &q_small, &est);
         let big = SearchSpaceElimination::new(6).candidate_edges(&g, &q_big, &est);
-        assert!(small.len() < big.len(), "small={} big={}", small.len(), big.len());
+        assert!(
+            small.len() < big.len(),
+            "small={} big={}",
+            small.len(),
+            big.len()
+        );
     }
 
     #[test]

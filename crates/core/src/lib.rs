@@ -56,4 +56,4 @@ pub use mrp::MrpSelector;
 pub use multi::{Aggregate, MultiQuery, MultiSelector};
 pub use path_selection::{BatchEdgeSelector, IndividualPathSelector};
 pub use query::StQuery;
-pub use selector::{EdgeSelector, Outcome, SelectError};
+pub use selector::{AnySelector, EdgeSelector, Outcome, SelectError};

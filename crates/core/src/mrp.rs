@@ -24,12 +24,12 @@ impl EdgeSelector for MrpSelector {
         "MRP"
     }
 
-    fn select_with_candidates(
+    fn select_with_candidates<E: Estimator>(
         &self,
         g: &UncertainGraph,
         query: &StQuery,
         candidates: &[CandidateEdge],
-        est: &dyn Estimator,
+        est: &E,
     ) -> Result<Outcome, SelectError> {
         let triples: Vec<_> = candidates.iter().map(|c| (c.src, c.dst, c.prob)).collect();
         let sol = improve_most_reliable_path(g, query.s, query.t, query.k, &triples);
@@ -54,12 +54,26 @@ mod tests {
         g.add_edge(a, t, 0.5).unwrap();
         let q = StQuery::new(s, t, 1, 0.7);
         let cands = [
-            CandidateEdge { src: s, dst: a, prob: 0.7 },
-            CandidateEdge { src: s, dst: b, prob: 0.7 },
-            CandidateEdge { src: b, dst: t, prob: 0.7 },
+            CandidateEdge {
+                src: s,
+                dst: a,
+                prob: 0.7,
+            },
+            CandidateEdge {
+                src: s,
+                dst: b,
+                prob: 0.7,
+            },
+            CandidateEdge {
+                src: b,
+                dst: t,
+                prob: 0.7,
+            },
         ];
         let est = ExactEstimator::new();
-        let out = MrpSelector.select_with_candidates(&g, &q, &cands, &est).unwrap();
+        let out = MrpSelector
+            .select_with_candidates(&g, &q, &cands, &est)
+            .unwrap();
         assert_eq!(out.added.len(), 1);
         assert_eq!((out.added[0].src, out.added[0].dst), (s, a));
         assert!((out.new_reliability - 0.35).abs() < 1e-9);
@@ -74,12 +88,26 @@ mod tests {
         g.add_edge(NodeId(1), NodeId(4), 0.4).unwrap();
         let q = StQuery::new(NodeId(0), NodeId(4), 2, 0.6);
         let cands = [
-            CandidateEdge { src: NodeId(1), dst: NodeId(4), prob: 0.6 }, // duplicate-ish: exists
-            CandidateEdge { src: NodeId(0), dst: NodeId(2), prob: 0.6 },
-            CandidateEdge { src: NodeId(2), dst: NodeId(4), prob: 0.6 },
+            CandidateEdge {
+                src: NodeId(1),
+                dst: NodeId(4),
+                prob: 0.6,
+            }, // duplicate-ish: exists
+            CandidateEdge {
+                src: NodeId(0),
+                dst: NodeId(2),
+                prob: 0.6,
+            },
+            CandidateEdge {
+                src: NodeId(2),
+                dst: NodeId(4),
+                prob: 0.6,
+            },
         ];
         let est = ExactEstimator::new();
-        let out = MrpSelector.select_with_candidates(&g, &q, &cands, &est).unwrap();
+        let out = MrpSelector
+            .select_with_candidates(&g, &q, &cands, &est)
+            .unwrap();
         assert!(out.added.len() <= 2);
         assert!(out.new_reliability >= out.base_reliability - 1e-12);
     }
@@ -90,9 +118,15 @@ mod tests {
         let mut g = UncertainGraph::new(3, true);
         g.add_edge(NodeId(0), NodeId(2), 1.0).unwrap();
         let q = StQuery::new(NodeId(0), NodeId(2), 2, 0.5);
-        let cands = [CandidateEdge { src: NodeId(0), dst: NodeId(1), prob: 0.5 }];
+        let cands = [CandidateEdge {
+            src: NodeId(0),
+            dst: NodeId(1),
+            prob: 0.5,
+        }];
         let est = ExactEstimator::new();
-        let out = MrpSelector.select_with_candidates(&g, &q, &cands, &est).unwrap();
+        let out = MrpSelector
+            .select_with_candidates(&g, &q, &cands, &est)
+            .unwrap();
         assert!(out.added.is_empty());
         assert_eq!(out.new_reliability, 1.0);
     }

@@ -23,7 +23,7 @@ use crate::selector::EdgeSelector;
 use relmax_centrality::leading_eigen;
 use relmax_sampling::Estimator;
 use relmax_ugraph::fxhash::FxHashSet;
-use relmax_ugraph::{GraphView, NodeId, UncertainGraph};
+use relmax_ugraph::{CsrGraph, GraphView, NodeId, UncertainGraph};
 
 /// Aggregate function `F` over pair reliabilities (Problem 4).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -92,7 +92,17 @@ impl MultiQuery {
         assert!(!sources.is_empty() && !targets.is_empty());
         assert!(zeta > 0.0 && zeta <= 1.0);
         let k1 = (k / 10).max(1);
-        MultiQuery { sources, targets, k, zeta, h: Some(3), r: 100, l: 30, aggregate, k1 }
+        MultiQuery {
+            sources,
+            targets,
+            k,
+            zeta,
+            h: Some(3),
+            r: 100,
+            l: 30,
+            aggregate,
+            k1,
+        }
     }
 }
 
@@ -142,14 +152,21 @@ pub struct MultiSelector {
 
 impl Default for MultiSelector {
     fn default() -> Self {
-        MultiSelector { method: MultiMethod::BatchEdge, ima_samples: 300, ima_seed: 0x9e11 }
+        MultiSelector {
+            method: MultiMethod::BatchEdge,
+            ima_samples: 300,
+            ima_seed: 0x9e11,
+        }
     }
 }
 
 impl MultiSelector {
     /// Selector for a specific method with default knobs.
     pub fn with_method(method: MultiMethod) -> Self {
-        MultiSelector { method, ..Default::default() }
+        MultiSelector {
+            method,
+            ..Default::default()
+        }
     }
 
     /// Method name for tables.
@@ -165,23 +182,23 @@ impl MultiSelector {
 
     /// End-to-end run: union search-space elimination, then selection,
     /// then aggregate evaluation on the full graph.
-    pub fn select(
+    pub fn select<E: Estimator>(
         &self,
         g: &UncertainGraph,
         query: &MultiQuery,
-        est: &dyn Estimator,
+        est: &E,
     ) -> MultiOutcome {
         let candidates = multi_candidates(g, query, est);
         self.select_with_candidates(g, query, &candidates, est)
     }
 
     /// Run with an explicit candidate set.
-    pub fn select_with_candidates(
+    pub fn select_with_candidates<E: Estimator>(
         &self,
         g: &UncertainGraph,
         query: &MultiQuery,
         candidates: &[CandidateEdge],
-        est: &dyn Estimator,
+        est: &E,
     ) -> MultiOutcome {
         let added = match self.method {
             MultiMethod::BatchEdge => match query.aggregate {
@@ -200,7 +217,11 @@ impl MultiSelector {
                         .expect("never NaN")
                         .then_with(|| a.cmp(&b))
                 });
-                order.into_iter().take(query.k).map(|i| candidates[i]).collect()
+                order
+                    .into_iter()
+                    .take(query.k)
+                    .map(|i| candidates[i])
+                    .collect()
             }
             MultiMethod::Esssp => {
                 select_esssp(g, &query.sources, &query.targets, candidates, query.k)
@@ -215,27 +236,39 @@ impl MultiSelector {
                 self.ima_seed,
             ),
         };
+        // Before/after evaluation on one frozen snapshot (shared worlds).
+        let csr = CsrGraph::freeze(g);
         let base_value =
-            query.aggregate.fold(&est.pairwise_reliability(g, &query.sources, &query.targets));
-        let view = GraphView::new(g, added.clone());
+            query
+                .aggregate
+                .fold(&est.pairwise_reliability(&csr, &query.sources, &query.targets));
+        let view = GraphView::new(&csr, added.clone());
         let new_value =
-            query.aggregate.fold(&est.pairwise_reliability(&view, &query.sources, &query.targets));
-        MultiOutcome { added, base_value, new_value }
+            query
+                .aggregate
+                .fold(&est.pairwise_reliability(&view, &query.sources, &query.targets));
+        MultiOutcome {
+            added,
+            base_value,
+            new_value,
+        }
     }
 }
 
 /// Union-based search-space elimination for multi queries (§6.1): `C(s)`
 /// for every source and `C(t)` for every target, then candidate edges
 /// from the unioned sets.
-pub fn multi_candidates(
+pub fn multi_candidates<E: Estimator>(
     g: &UncertainGraph,
     query: &MultiQuery,
-    est: &dyn Estimator,
+    est: &E,
 ) -> Vec<CandidateEdge> {
+    // Every per-source/per-target sweep walks the same base graph.
+    let csr = CsrGraph::freeze(g);
     let mut cs: Vec<NodeId> = Vec::new();
     let mut seen_s: FxHashSet<u32> = FxHashSet::default();
     for &s in &query.sources {
-        let from = est.reliability_from(g, s);
+        let from = est.reliability_from(&csr, s);
         for v in top_r_nodes(&from, query.r, s) {
             if seen_s.insert(v.0) {
                 cs.push(v);
@@ -245,7 +278,7 @@ pub fn multi_candidates(
     let mut ct: Vec<NodeId> = Vec::new();
     let mut seen_t: FxHashSet<u32> = FxHashSet::default();
     for &t in &query.targets {
-        let to = est.reliability_to(g, t);
+        let to = est.reliability_to(&csr, t);
         for v in top_r_nodes(&to, query.r, t) {
             if seen_t.insert(v.0) {
                 ct.push(v);
@@ -277,11 +310,11 @@ fn top_r_nodes(scores: &[f64], r: usize, always: NodeId) -> Vec<NodeId> {
 }
 
 /// §6.1: Average aggregate via one global path-batch selection.
-fn select_avg_batch(
+fn select_avg_batch<E: Estimator>(
     g: &UncertainGraph,
     query: &MultiQuery,
     candidates: &[CandidateEdge],
-    est: &dyn Estimator,
+    est: &E,
 ) -> Vec<CandidateEdge> {
     // Per-pair top-l paths, pooled.
     let mut all_paths: Vec<LabeledPath> = Vec::new();
@@ -306,8 +339,10 @@ fn select_avg_batch(
                 by_label.entry(&p.label).or_default().push(p);
             }
         }
-        let mut batches: Vec<_> =
-            by_label.into_iter().map(|(l, ps)| (l.to_vec(), ps)).collect();
+        let mut batches: Vec<_> = by_label
+            .into_iter()
+            .map(|(l, ps)| (l.to_vec(), ps))
+            .collect();
         batches.sort_by(|a, b| a.0.cmp(&b.0));
         batches
     };
@@ -315,10 +350,16 @@ fn select_avg_batch(
         let Some((sub, remap)) = build_subgraph(g, candidates, paths) else {
             return 0.0;
         };
-        let ms: Vec<Option<NodeId>> =
-            query.sources.iter().map(|s| remap.get(&s.0).map(|&i| NodeId(i))).collect();
-        let mt: Vec<Option<NodeId>> =
-            query.targets.iter().map(|t| remap.get(&t.0).map(|&i| NodeId(i))).collect();
+        let ms: Vec<Option<NodeId>> = query
+            .sources
+            .iter()
+            .map(|s| remap.get(&s.0).map(|&i| NodeId(i)))
+            .collect();
+        let mt: Vec<Option<NodeId>> = query
+            .targets
+            .iter()
+            .map(|t| remap.get(&t.0).map(|&i| NodeId(i)))
+            .collect();
         let mut sum = 0.0;
         for s in &ms {
             let from = s.map(|sv| est.reliability_from(&sub, sv));
@@ -380,18 +421,18 @@ fn select_avg_batch(
 
 /// §6.2 / §6.3: Min (or Max) aggregate via `k1`-batched refinement of the
 /// extremal pair.
-fn select_extremum(
+fn select_extremum<E: Estimator>(
     g: &UncertainGraph,
     query: &MultiQuery,
     candidates: &[CandidateEdge],
-    est: &dyn Estimator,
+    est: &E,
     minimize: bool,
 ) -> Vec<CandidateEdge> {
     let mut working = g.clone();
     let mut chosen: Vec<CandidateEdge> = Vec::new();
     let mut remaining: Vec<CandidateEdge> = candidates.to_vec();
     while chosen.len() < query.k && !remaining.is_empty() {
-        let matrix = est.pairwise_reliability(&working, &query.sources, &query.targets);
+        let matrix = est.pairwise_reliability(&working.freeze(), &query.sources, &query.targets);
         // Pairs in priority order (ascending reliability for Min,
         // descending for Max). If the extremal pair cannot be improved by
         // any remaining candidate, fall back to the next one rather than
@@ -440,24 +481,30 @@ fn select_extremum(
 
 /// Greedy hill climbing on the aggregate objective (generalized
 /// Algorithm 1; the paper's strongest — and slowest — competitor).
-fn select_hc_multi(
+fn select_hc_multi<E: Estimator>(
     g: &UncertainGraph,
     query: &MultiQuery,
     candidates: &[CandidateEdge],
-    est: &dyn Estimator,
+    est: &E,
 ) -> Vec<CandidateEdge> {
-    let mut view = GraphView::empty(g);
+    // `k · |cand|` pairwise evaluations over one frozen snapshot.
+    let csr = CsrGraph::freeze(g);
+    let mut view = GraphView::empty(&csr);
     let mut remaining: Vec<CandidateEdge> = candidates.to_vec();
     let mut chosen = Vec::new();
     let mut current =
-        query.aggregate.fold(&est.pairwise_reliability(g, &query.sources, &query.targets));
+        query
+            .aggregate
+            .fold(&est.pairwise_reliability(&csr, &query.sources, &query.targets));
     while chosen.len() < query.k && !remaining.is_empty() {
         let mut best: Option<(f64, usize)> = None;
         for (ci, &c) in remaining.iter().enumerate() {
             view.push_extra(c);
-            let v = query
-                .aggregate
-                .fold(&est.pairwise_reliability(&view, &query.sources, &query.targets));
+            let v = query.aggregate.fold(&est.pairwise_reliability(
+                &view,
+                &query.sources,
+                &query.targets,
+            ));
             view.pop_extra();
             let gain = v - current;
             if best.map_or(true, |(bg, _)| gain > bg) {
@@ -486,19 +533,37 @@ mod tests {
         g.add_edge(NodeId(0), NodeId(4), 0.9).unwrap(); // s0 -> hub (strong)
         g.add_edge(NodeId(1), NodeId(4), 0.5).unwrap(); // s1 -> hub (weak)
         g.add_edge(NodeId(4), NodeId(2), 0.4).unwrap(); // hub -> t0
-        // t1 (node 3) unreachable; node 5, 6 spare
+                                                        // t1 (node 3) unreachable; node 5, 6 spare
         g
     }
 
     fn query(agg: Aggregate, k: usize) -> MultiQuery {
-        MultiQuery::new(vec![NodeId(0), NodeId(1)], vec![NodeId(2), NodeId(3)], k, 0.8, agg)
+        MultiQuery::new(
+            vec![NodeId(0), NodeId(1)],
+            vec![NodeId(2), NodeId(3)],
+            k,
+            0.8,
+            agg,
+        )
     }
 
     fn cands() -> Vec<CandidateEdge> {
         vec![
-            CandidateEdge { src: NodeId(4), dst: NodeId(3), prob: 0.8 }, // hub -> t1
-            CandidateEdge { src: NodeId(0), dst: NodeId(2), prob: 0.8 }, // s0 -> t0 direct
-            CandidateEdge { src: NodeId(5), dst: NodeId(6), prob: 0.8 }, // irrelevant
+            CandidateEdge {
+                src: NodeId(4),
+                dst: NodeId(3),
+                prob: 0.8,
+            }, // hub -> t1
+            CandidateEdge {
+                src: NodeId(0),
+                dst: NodeId(2),
+                prob: 0.8,
+            }, // s0 -> t0 direct
+            CandidateEdge {
+                src: NodeId(5),
+                dst: NodeId(6),
+                prob: 0.8,
+            }, // irrelevant
         ]
     }
 
@@ -558,10 +623,18 @@ mod tests {
         let g = multi_graph();
         let est = McEstimator::new(3000, 4);
         let q = query(Aggregate::Average, 2);
-        let be = MultiSelector::with_method(MultiMethod::BatchEdge)
-            .select_with_candidates(&g, &q, &cands(), &est);
-        let hc = MultiSelector::with_method(MultiMethod::HillClimbing)
-            .select_with_candidates(&g, &q, &cands(), &est);
+        let be = MultiSelector::with_method(MultiMethod::BatchEdge).select_with_candidates(
+            &g,
+            &q,
+            &cands(),
+            &est,
+        );
+        let hc = MultiSelector::with_method(MultiMethod::HillClimbing).select_with_candidates(
+            &g,
+            &q,
+            &cands(),
+            &est,
+        );
         assert!((be.new_value - hc.new_value).abs() < 0.1);
     }
 
@@ -570,8 +643,12 @@ mod tests {
         let g = multi_graph();
         let est = McEstimator::new(2000, 5);
         let q = query(Aggregate::Average, 1);
-        let out = MultiSelector::with_method(MultiMethod::Eigen)
-            .select_with_candidates(&g, &q, &cands(), &est);
+        let out = MultiSelector::with_method(MultiMethod::Eigen).select_with_candidates(
+            &g,
+            &q,
+            &cands(),
+            &est,
+        );
         assert_eq!(out.added.len(), 1); // picks by eigen score, no guarantee of gain
     }
 
@@ -602,6 +679,8 @@ mod tests {
             assert!(!g.has_edge(c.src, c.dst));
         }
         // Direct s0 -> t0 must be a candidate.
-        assert!(cands.iter().any(|c| c.src == NodeId(0) && c.dst == NodeId(2)));
+        assert!(cands
+            .iter()
+            .any(|c| c.src == NodeId(0) && c.dst == NodeId(2)));
     }
 }

@@ -42,7 +42,10 @@ fn build_batches(paths: &[LabeledPath]) -> (Vec<&LabeledPath>, Vec<Batch<'_>>) {
     }
     let mut batches: Vec<Batch<'_>> = by_label
         .into_iter()
-        .map(|(label, paths)| Batch { label: label.to_vec(), paths })
+        .map(|(label, paths)| Batch {
+            label: label.to_vec(),
+            paths,
+        })
         .collect();
     // Deterministic order regardless of hash iteration.
     batches.sort_by(|a, b| a.label.cmp(&b.label));
@@ -54,12 +57,12 @@ impl EdgeSelector for BatchEdgeSelector {
         "BE"
     }
 
-    fn select_with_candidates(
+    fn select_with_candidates<E: Estimator>(
         &self,
         g: &UncertainGraph,
         query: &StQuery,
         candidates: &[CandidateEdge],
-        est: &dyn Estimator,
+        est: &E,
     ) -> Result<Outcome, SelectError> {
         let paths = labeled_paths(g, query, candidates);
         let eval = SubgraphEval::new(g, candidates, query);
@@ -88,8 +91,12 @@ impl EdgeSelector for BatchEdgeSelector {
                 if included[bi] {
                     continue;
                 }
-                let new_edges: Vec<usize> =
-                    b.label.iter().filter(|i| !e1.contains(i)).copied().collect();
+                let new_edges: Vec<usize> = b
+                    .label
+                    .iter()
+                    .filter(|i| !e1.contains(i))
+                    .copied()
+                    .collect();
                 if new_edges.is_empty() || e1.len() + new_edges.len() > query.k {
                     continue;
                 }
@@ -141,19 +148,29 @@ mod tests {
         // reliability 0.3075 with edges {sC, Bt}. IP stops at 0.25.
         let (g, cands, q) = fig4c();
         let est = ExactEstimator::new();
-        let out = BatchEdgeSelector.select_with_candidates(&g, &q, &cands, &est).unwrap();
+        let out = BatchEdgeSelector
+            .select_with_candidates(&g, &q, &cands, &est)
+            .unwrap();
         let mut chosen: Vec<(u32, u32)> = out.added.iter().map(|c| (c.src.0, c.dst.0)).collect();
         chosen.sort_unstable();
         assert_eq!(chosen, vec![(0, 2), (1, 3)]); // {sC, Bt}
-        assert!((out.new_reliability - 0.3075).abs() < 1e-9, "{}", out.new_reliability);
+        assert!(
+            (out.new_reliability - 0.3075).abs() < 1e-9,
+            "{}",
+            out.new_reliability
+        );
     }
 
     #[test]
     fn be_at_least_matches_ip_on_the_run_through() {
         let (g, cands, q) = fig4c();
         let est = ExactEstimator::new();
-        let be = BatchEdgeSelector.select_with_candidates(&g, &q, &cands, &est).unwrap();
-        let ip = IndividualPathSelector.select_with_candidates(&g, &q, &cands, &est).unwrap();
+        let be = BatchEdgeSelector
+            .select_with_candidates(&g, &q, &cands, &est)
+            .unwrap();
+        let ip = IndividualPathSelector
+            .select_with_candidates(&g, &q, &cands, &est)
+            .unwrap();
         assert!(be.new_reliability >= ip.new_reliability - 1e-12);
     }
 
@@ -164,7 +181,9 @@ mod tests {
         // budget.
         let (g, cands, q) = fig4c();
         let est = ExactEstimator::new();
-        let out = BatchEdgeSelector.select_with_candidates(&g, &q, &cands, &est).unwrap();
+        let out = BatchEdgeSelector
+            .select_with_candidates(&g, &q, &cands, &est)
+            .unwrap();
         // Budget 2 used once: both sCBt and sCt paths live in the final
         // subgraph (reliability 0.3075 > 0.225 of sCBt alone).
         assert_eq!(out.added.len(), 2);
@@ -176,7 +195,9 @@ mod tests {
         let (g, cands, mut q) = fig4c();
         q.k = 1;
         let est = ExactEstimator::new();
-        let out = BatchEdgeSelector.select_with_candidates(&g, &q, &cands, &est).unwrap();
+        let out = BatchEdgeSelector
+            .select_with_candidates(&g, &q, &cands, &est)
+            .unwrap();
         assert_eq!(out.added.len(), 1);
         assert_eq!((out.added[0].src, out.added[0].dst), (NodeId(0), NodeId(2))); // sC
         assert!((out.new_reliability - 0.15).abs() < 1e-9);
@@ -186,7 +207,9 @@ mod tests {
     fn works_with_sampling_estimator() {
         let (g, cands, q) = fig4c();
         let est = McEstimator::new(20_000, 11);
-        let out = BatchEdgeSelector.select_with_candidates(&g, &q, &cands, &est).unwrap();
+        let out = BatchEdgeSelector
+            .select_with_candidates(&g, &q, &cands, &est)
+            .unwrap();
         let mut chosen: Vec<(u32, u32)> = out.added.iter().map(|c| (c.src.0, c.dst.0)).collect();
         chosen.sort_unstable();
         assert_eq!(chosen, vec![(0, 2), (1, 3)]);
@@ -197,7 +220,9 @@ mod tests {
         let g = UncertainGraph::new(2, true);
         let q = StQuery::new(NodeId(0), NodeId(1), 2, 0.5);
         let est = ExactEstimator::new();
-        let out = BatchEdgeSelector.select_with_candidates(&g, &q, &[], &est).unwrap();
+        let out = BatchEdgeSelector
+            .select_with_candidates(&g, &q, &[], &est)
+            .unwrap();
         assert!(out.added.is_empty());
         assert_eq!(out.new_reliability, 0.0);
     }

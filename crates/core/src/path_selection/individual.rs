@@ -23,12 +23,12 @@ impl EdgeSelector for IndividualPathSelector {
         "IP"
     }
 
-    fn select_with_candidates(
+    fn select_with_candidates<E: Estimator>(
         &self,
         g: &UncertainGraph,
         query: &StQuery,
         candidates: &[CandidateEdge],
-        est: &dyn Estimator,
+        est: &E,
     ) -> Result<Outcome, SelectError> {
         let paths = labeled_paths(g, query, candidates);
         let eval = SubgraphEval::new(g, candidates, query);
@@ -84,7 +84,9 @@ mod tests {
         // which is suboptimal. That miss is BE's whole motivation.
         let (g, cands, q) = fig4c();
         let est = ExactEstimator::new();
-        let out = IndividualPathSelector.select_with_candidates(&g, &q, &cands, &est).unwrap();
+        let out = IndividualPathSelector
+            .select_with_candidates(&g, &q, &cands, &est)
+            .unwrap();
         let mut chosen: Vec<(u32, u32)> = out.added.iter().map(|c| (c.src.0, c.dst.0)).collect();
         chosen.sort_unstable();
         assert_eq!(chosen, vec![(0, 1), (1, 3)]); // {sB, Bt}
@@ -96,7 +98,9 @@ mod tests {
         let (g, cands, mut q) = fig4c();
         q.k = 1;
         let est = ExactEstimator::new();
-        let out = IndividualPathSelector.select_with_candidates(&g, &q, &cands, &est).unwrap();
+        let out = IndividualPathSelector
+            .select_with_candidates(&g, &q, &cands, &est)
+            .unwrap();
         // Only sCt fits in budget 1 (label {sC}); others need 2 edges.
         assert_eq!(out.added.len(), 1);
         assert_eq!((out.added[0].src, out.added[0].dst), (NodeId(0), NodeId(2)));
@@ -108,7 +112,9 @@ mod tests {
         let (g, cands, mut q) = fig4c();
         q.k = 0;
         let est = ExactEstimator::new();
-        let out = IndividualPathSelector.select_with_candidates(&g, &q, &cands, &est).unwrap();
+        let out = IndividualPathSelector
+            .select_with_candidates(&g, &q, &cands, &est)
+            .unwrap();
         assert!(out.added.is_empty());
     }
 
@@ -119,7 +125,9 @@ mod tests {
         g.add_edge(NodeId(1), NodeId(2), 0.9).unwrap();
         let q = StQuery::new(NodeId(0), NodeId(2), 3, 0.5);
         let est = ExactEstimator::new();
-        let out = IndividualPathSelector.select_with_candidates(&g, &q, &[], &est).unwrap();
+        let out = IndividualPathSelector
+            .select_with_candidates(&g, &q, &[], &est)
+            .unwrap();
         assert!(out.added.is_empty());
         assert!((out.new_reliability - 0.81).abs() < 1e-9);
     }

@@ -49,7 +49,11 @@ pub(crate) fn labeled_paths(
                 .collect();
             label.sort_unstable();
             label.dedup();
-            LabeledPath { coins: p.coins, label, prob: p.prob }
+            LabeledPath {
+                coins: p.coins,
+                label,
+                prob: p.prob,
+            }
         })
         .collect()
 }
@@ -73,12 +77,17 @@ impl<'a> SubgraphEval<'a> {
         candidates: &'a [CandidateEdge],
         query: &StQuery,
     ) -> Self {
-        SubgraphEval { g, candidates, s: query.s, t: query.t }
+        SubgraphEval {
+            g,
+            candidates,
+            s: query.s,
+            t: query.t,
+        }
     }
 
     /// Estimate `R(s, t)` on the subgraph induced by the union of the
     /// given paths' edges.
-    pub(crate) fn reliability(&self, paths: &[&LabeledPath], est: &dyn Estimator) -> f64 {
+    pub(crate) fn reliability<E: Estimator>(&self, paths: &[&LabeledPath], est: &E) -> f64 {
         let Some((sub, remap)) = build_subgraph(self.g, self.candidates, paths) else {
             return if self.s == self.t { 1.0 } else { 0.0 };
         };
@@ -148,9 +157,21 @@ mod tests {
         g.add_edge(c, b, 0.9).unwrap();
         g.add_edge(c, t, 0.3).unwrap();
         let cands = vec![
-            CandidateEdge { src: s, dst: b, prob: 0.5 },
-            CandidateEdge { src: s, dst: c, prob: 0.5 },
-            CandidateEdge { src: b, dst: t, prob: 0.5 },
+            CandidateEdge {
+                src: s,
+                dst: b,
+                prob: 0.5,
+            },
+            CandidateEdge {
+                src: s,
+                dst: c,
+                prob: 0.5,
+            },
+            CandidateEdge {
+                src: b,
+                dst: t,
+                prob: 0.5,
+            },
         ];
         let q = StQuery::new(s, t, 2, 0.5).with_hop_limit(None).with_l(5);
         (g, cands, q)
@@ -192,7 +213,11 @@ mod tests {
         g.add_edge(NodeId(0), NodeId(1), 0.8).unwrap();
         g.add_edge(NodeId(1), NodeId(2), 0.8).unwrap();
         let q = StQuery::new(NodeId(0), NodeId(2), 1, 0.5).with_l(3);
-        let cands = [CandidateEdge { src: NodeId(0), dst: NodeId(2), prob: 0.5 }];
+        let cands = [CandidateEdge {
+            src: NodeId(0),
+            dst: NodeId(2),
+            prob: 0.5,
+        }];
         let paths = labeled_paths(&g, &q, &cands);
         assert_eq!(paths.len(), 2);
         let existing: Vec<_> = paths.iter().filter(|p| p.label.is_empty()).collect();

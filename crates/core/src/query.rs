@@ -43,7 +43,15 @@ impl StQuery {
     /// `l = 30`).
     pub fn new(s: NodeId, t: NodeId, k: usize, zeta: f64) -> Self {
         assert!(zeta > 0.0 && zeta <= 1.0, "zeta must be in (0, 1]");
-        StQuery { s, t, k, zeta, h: Some(3), r: 100, l: 30 }
+        StQuery {
+            s,
+            t,
+            k,
+            zeta,
+            h: Some(3),
+            r: 100,
+            l: 30,
+        }
     }
 
     /// Set the `h`-hop constraint (`None` allows any missing pair).

@@ -1,11 +1,18 @@
 //! The common interface every edge-selection method implements, and the
 //! shared outcome type the experiment harness consumes.
 
+use crate::baselines::esssp::EssspSelector;
+use crate::baselines::ima::ImaSelector;
+use crate::baselines::{
+    CentralitySelector, EigenSelector, ExactSelector, HillClimbingSelector, IndividualTopKSelector,
+};
 use crate::candidates::CandidateEdge;
 use crate::elimination::SearchSpaceElimination;
+use crate::mrp::MrpSelector;
+use crate::path_selection::{BatchEdgeSelector, IndividualPathSelector};
 use crate::query::StQuery;
 use relmax_sampling::Estimator;
-use relmax_ugraph::{GraphView, UncertainGraph};
+use relmax_ugraph::{CsrGraph, GraphView, UncertainGraph};
 use std::fmt;
 
 /// Result of running a selection method on a query.
@@ -57,26 +64,30 @@ impl std::error::Error for SelectError {}
 /// them with or without search-space elimination (Tables 4 vs 5); the
 /// provided [`EdgeSelector::select`] convenience applies Algorithm 4
 /// first, which is how the paper's §8 experiments run.
+///
+/// Methods are generic over the [`Estimator`] (monomorphized all the way
+/// down to the per-world BFS), so the trait is not object-safe; use
+/// [`AnySelector`] where a homogeneous list of methods is needed.
 pub trait EdgeSelector {
     /// Short name used in result tables ("HC", "MRP", "IP", "BE", ...).
     fn name(&self) -> &'static str;
 
     /// Choose up to `query.k` edges from `candidates`.
-    fn select_with_candidates(
+    fn select_with_candidates<E: Estimator>(
         &self,
         g: &UncertainGraph,
         query: &StQuery,
         candidates: &[CandidateEdge],
-        est: &dyn Estimator,
+        est: &E,
     ) -> Result<Outcome, SelectError>;
 
     /// End-to-end run: search-space elimination with `query.r`, then
     /// selection.
-    fn select(
+    fn select<E: Estimator>(
         &self,
         g: &UncertainGraph,
         query: &StQuery,
-        est: &dyn Estimator,
+        est: &E,
     ) -> Result<Outcome, SelectError> {
         let cands = SearchSpaceElimination::new(query.r).candidate_edges(g, query, est);
         self.select_with_candidates(g, query, &cands, est)
@@ -84,17 +95,150 @@ pub trait EdgeSelector {
 }
 
 /// Build an [`Outcome`]: estimate base and post-addition reliability for a
-/// chosen edge set. Shared by every selector implementation.
-pub fn finish_outcome(
+/// chosen edge set, on one frozen snapshot of the input graph (common
+/// random numbers make the two estimates directly comparable). Shared by
+/// every selector implementation.
+pub fn finish_outcome<E: Estimator>(
     g: &UncertainGraph,
     query: &StQuery,
     added: Vec<CandidateEdge>,
-    est: &dyn Estimator,
+    est: &E,
 ) -> Outcome {
-    let base_reliability = est.st_reliability(g, query.s, query.t);
-    let view = GraphView::new(g, added.clone());
+    finish_outcome_frozen(&CsrGraph::freeze(g), query, added, est)
+}
+
+/// [`finish_outcome`] against an already-frozen snapshot — for selectors
+/// that froze the base graph for their own inner loop and should not pay
+/// a second `O(n + m)` freeze per query.
+pub fn finish_outcome_frozen<E: Estimator>(
+    csr: &CsrGraph,
+    query: &StQuery,
+    added: Vec<CandidateEdge>,
+    est: &E,
+) -> Outcome {
+    let base_reliability = est.st_reliability(csr, query.s, query.t);
+    let view = GraphView::new(csr, added.clone());
     let new_reliability = est.st_reliability(&view, query.s, query.t);
-    Outcome { added, base_reliability, new_reliability }
+    Outcome {
+        added,
+        base_reliability,
+        new_reliability,
+    }
+}
+
+/// Closed dispatch over every selection method in the crate.
+///
+/// [`EdgeSelector`] has generic methods and therefore no trait objects;
+/// this enum is the replacement for the old `Vec<Box<dyn EdgeSelector>>`
+/// pattern in harnesses and tests — a homogeneous, `Copy` value per
+/// method that still monomorphizes the estimator all the way down.
+#[derive(Debug, Clone, Copy)]
+pub enum AnySelector {
+    /// Individual top-`k` (§3.1).
+    TopK(IndividualTopKSelector),
+    /// Greedy hill climbing (§3.2, Algorithm 1).
+    HillClimbing(HillClimbingSelector),
+    /// Centrality-based (§3.3), degree or betweenness.
+    Centrality(CentralitySelector),
+    /// Eigenvalue-based (§3.4, Algorithm 2).
+    Eigen(EigenSelector),
+    /// Most-reliable-path improvement (§4).
+    Mrp(MrpSelector),
+    /// Individual path selection ("IP", Algorithm 5).
+    IndividualPath(IndividualPathSelector),
+    /// Batch-edge selection ("BE", Algorithm 6) — the proposed method.
+    BatchEdge(BatchEdgeSelector),
+    /// Exhaustive search ("ES", Table 11).
+    Exact(ExactSelector),
+    /// Expected-shortest-path-sum competitor.
+    Esssp(EssspSelector),
+    /// IC influence-maximization competitor.
+    Ima(ImaSelector),
+}
+
+impl AnySelector {
+    /// The proposed method (BE).
+    pub fn batch_edge() -> Self {
+        AnySelector::BatchEdge(BatchEdgeSelector)
+    }
+
+    /// Individual path selection (IP).
+    pub fn individual_path() -> Self {
+        AnySelector::IndividualPath(IndividualPathSelector)
+    }
+
+    /// Hill climbing (HC).
+    pub fn hill_climbing() -> Self {
+        AnySelector::HillClimbing(HillClimbingSelector)
+    }
+
+    /// MRP improvement.
+    pub fn mrp() -> Self {
+        AnySelector::Mrp(MrpSelector)
+    }
+
+    /// Individual top-`k`.
+    pub fn top_k() -> Self {
+        AnySelector::TopK(IndividualTopKSelector)
+    }
+
+    /// Degree-centrality baseline.
+    pub fn centrality_degree() -> Self {
+        AnySelector::Centrality(CentralitySelector::degree())
+    }
+
+    /// Betweenness-centrality baseline.
+    pub fn centrality_betweenness() -> Self {
+        AnySelector::Centrality(CentralitySelector::betweenness())
+    }
+
+    /// Eigenvalue baseline with default knobs.
+    pub fn eigen() -> Self {
+        AnySelector::Eigen(EigenSelector::default())
+    }
+
+    /// Exhaustive search with the default combination budget.
+    pub fn exhaustive() -> Self {
+        AnySelector::Exact(ExactSelector::default())
+    }
+}
+
+impl EdgeSelector for AnySelector {
+    fn name(&self) -> &'static str {
+        match self {
+            AnySelector::TopK(s) => s.name(),
+            AnySelector::HillClimbing(s) => s.name(),
+            AnySelector::Centrality(s) => s.name(),
+            AnySelector::Eigen(s) => s.name(),
+            AnySelector::Mrp(s) => s.name(),
+            AnySelector::IndividualPath(s) => s.name(),
+            AnySelector::BatchEdge(s) => s.name(),
+            AnySelector::Exact(s) => s.name(),
+            AnySelector::Esssp(s) => s.name(),
+            AnySelector::Ima(s) => s.name(),
+        }
+    }
+
+    fn select_with_candidates<E: Estimator>(
+        &self,
+        g: &UncertainGraph,
+        query: &StQuery,
+        candidates: &[CandidateEdge],
+        est: &E,
+    ) -> Result<Outcome, SelectError> {
+        match self {
+            AnySelector::TopK(s) => s.select_with_candidates(g, query, candidates, est),
+            AnySelector::HillClimbing(s) => s.select_with_candidates(g, query, candidates, est),
+            AnySelector::Centrality(s) => s.select_with_candidates(g, query, candidates, est),
+            AnySelector::Eigen(s) => s.select_with_candidates(g, query, candidates, est),
+            AnySelector::Mrp(s) => s.select_with_candidates(g, query, candidates, est),
+            AnySelector::IndividualPath(s) => s.select_with_candidates(g, query, candidates, est),
+            AnySelector::BatchEdge(s) => s.select_with_candidates(g, query, candidates, est),
+            AnySelector::Exact(s) => s.select_with_candidates(g, query, candidates, est),
+            AnySelector::Esssp(s) => s.select_with_candidates(g, query, candidates, est),
+            AnySelector::Ima(s) => s.select_with_candidates(g, query, candidates, est),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -105,7 +249,11 @@ mod tests {
 
     #[test]
     fn outcome_gain_is_difference() {
-        let o = Outcome { added: vec![], base_reliability: 0.3, new_reliability: 0.75 };
+        let o = Outcome {
+            added: vec![],
+            base_reliability: 0.3,
+            new_reliability: 0.75,
+        };
         assert!((o.gain() - 0.45).abs() < 1e-12);
     }
 
@@ -115,16 +263,61 @@ mod tests {
         g.add_edge(NodeId(0), NodeId(1), 0.5).unwrap();
         let q = StQuery::new(NodeId(0), NodeId(2), 1, 0.9);
         let est = McEstimator::new(20_000, 7);
-        let added = vec![CandidateEdge { src: NodeId(1), dst: NodeId(2), prob: 0.9 }];
+        let added = vec![CandidateEdge {
+            src: NodeId(1),
+            dst: NodeId(2),
+            prob: 0.9,
+        }];
         let o = finish_outcome(&g, &q, added, &est);
         assert_eq!(o.base_reliability, 0.0);
-        assert!((o.new_reliability - 0.45).abs() < 0.02, "{}", o.new_reliability);
+        assert!(
+            (o.new_reliability - 0.45).abs() < 0.02,
+            "{}",
+            o.new_reliability
+        );
         assert!(o.gain() > 0.4);
     }
 
     #[test]
     fn select_error_displays() {
-        let e = SelectError::TooManyCombinations { candidates: 100, k: 5 };
+        let e = SelectError::TooManyCombinations {
+            candidates: 100,
+            k: 5,
+        };
         assert!(e.to_string().contains("100"));
+    }
+
+    #[test]
+    fn any_selector_dispatches_by_name() {
+        assert_eq!(AnySelector::batch_edge().name(), "BE");
+        assert_eq!(AnySelector::individual_path().name(), "IP");
+        assert_eq!(AnySelector::hill_climbing().name(), "HC");
+        assert_eq!(AnySelector::mrp().name(), "MRP");
+        assert_eq!(AnySelector::top_k().name(), "TopK");
+        assert_eq!(AnySelector::centrality_degree().name(), "Cent-Deg");
+        assert_eq!(AnySelector::centrality_betweenness().name(), "Cent-Bet");
+        assert_eq!(AnySelector::eigen().name(), "EO");
+        assert_eq!(AnySelector::exhaustive().name(), "ES");
+    }
+
+    #[test]
+    fn any_selector_runs_like_the_inner_method() {
+        let mut g = UncertainGraph::new(3, true);
+        g.add_edge(NodeId(0), NodeId(1), 0.8).unwrap();
+        let q = StQuery::new(NodeId(0), NodeId(2), 1, 0.8);
+        let est = McEstimator::new(2000, 3);
+        let cands = [CandidateEdge {
+            src: NodeId(1),
+            dst: NodeId(2),
+            prob: 0.8,
+        }];
+        let via_enum = AnySelector::hill_climbing()
+            .select_with_candidates(&g, &q, &cands, &est)
+            .unwrap();
+        let direct = HillClimbingSelector
+            .select_with_candidates(&g, &q, &cands, &est)
+            .unwrap();
+        assert_eq!(via_enum.added.len(), direct.added.len());
+        assert_eq!(via_enum.new_reliability, direct.new_reliability);
     }
 }

@@ -106,7 +106,12 @@ impl ProbModel {
 pub fn prob_summary(g: &UncertainGraph) -> (f64, f64) {
     let m = g.num_edges().max(1) as f64;
     let mean = g.edges().iter().map(|e| e.prob).sum::<f64>() / m;
-    let var = g.edges().iter().map(|e| (e.prob - mean).powi(2)).sum::<f64>() / m;
+    let var = g
+        .edges()
+        .iter()
+        .map(|e| (e.prob - mean).powi(2))
+        .sum::<f64>()
+        / m;
     (mean, var.sqrt())
 }
 
@@ -134,7 +139,11 @@ mod tests {
     #[test]
     fn normal_is_clamped_and_centered() {
         let mut g = erdos_renyi(100, 2000, 4);
-        ProbModel::Normal { mean: 0.5, sd: 0.038 }.apply(&mut g, 5);
+        ProbModel::Normal {
+            mean: 0.5,
+            sd: 0.038,
+        }
+        .apply(&mut g, 5);
         assert!(g.edges().iter().all(|e| e.prob > 0.0 && e.prob <= 1.0));
         let (mean, sd) = prob_summary(&g);
         assert!((mean - 0.5).abs() < 0.01, "mean={mean}");
@@ -144,9 +153,12 @@ mod tests {
     #[test]
     fn inverse_out_degree() {
         let mut g = relmax_ugraph::UncertainGraph::new(4, true);
-        g.add_edge(relmax_ugraph::NodeId(0), relmax_ugraph::NodeId(1), 0.5).unwrap();
-        g.add_edge(relmax_ugraph::NodeId(0), relmax_ugraph::NodeId(2), 0.5).unwrap();
-        g.add_edge(relmax_ugraph::NodeId(3), relmax_ugraph::NodeId(1), 0.5).unwrap();
+        g.add_edge(relmax_ugraph::NodeId(0), relmax_ugraph::NodeId(1), 0.5)
+            .unwrap();
+        g.add_edge(relmax_ugraph::NodeId(0), relmax_ugraph::NodeId(2), 0.5)
+            .unwrap();
+        g.add_edge(relmax_ugraph::NodeId(3), relmax_ugraph::NodeId(1), 0.5)
+            .unwrap();
         ProbModel::InverseOutDegree.apply(&mut g, 0);
         assert_eq!(g.edges()[0].prob, 0.5); // deg(0) = 2
         assert_eq!(g.edges()[1].prob, 0.5);
@@ -157,7 +169,11 @@ mod tests {
     fn exponential_counts_mean_tracks_paper() {
         // With mu=20 and small counts, probabilities are low (DBLP's 0.11).
         let mut g = erdos_renyi(100, 3000, 6);
-        ProbModel::ExponentialCounts { mu: 20.0, mean_count: 2.5 }.apply(&mut g, 7);
+        ProbModel::ExponentialCounts {
+            mu: 20.0,
+            mean_count: 2.5,
+        }
+        .apply(&mut g, 7);
         let (mean, _) = prob_summary(&g);
         assert!((0.05..0.2).contains(&mean), "mean={mean}");
     }

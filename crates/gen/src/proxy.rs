@@ -118,19 +118,31 @@ impl DatasetProxy {
                     g.add_edge(e.src, e.dst, 0.5).expect("unique arcs");
                     g.add_edge(e.dst, e.src, 0.5).expect("unique arcs");
                 }
-                ProbModel::ExponentialCounts { mu: 20.0, mean_count: 5.5 }.apply(&mut g, seed);
+                ProbModel::ExponentialCounts {
+                    mu: 20.0,
+                    mean_count: 5.5,
+                }
+                .apply(&mut g, seed);
                 g
             }
             DatasetProxy::Dblp => {
                 // Social, undirected, avg degree ~11 -> BA alternating 5/6.
                 let mut g = barabasi_albert(n, 0, Some((5, 6)), seed);
-                ProbModel::ExponentialCounts { mu: 20.0, mean_count: 2.4 }.apply(&mut g, seed);
+                ProbModel::ExponentialCounts {
+                    mu: 20.0,
+                    mean_count: 2.4,
+                }
+                .apply(&mut g, seed);
                 g
             }
             DatasetProxy::Twitter => {
                 // Social, undirected, sparse (avg degree ~3.5) -> BA 1/2.
                 let mut g = barabasi_albert(n, 0, Some((1, 2)), seed);
-                ProbModel::ExponentialCounts { mu: 20.0, mean_count: 3.1 }.apply(&mut g, seed);
+                ProbModel::ExponentialCounts {
+                    mu: 20.0,
+                    mean_count: 3.1,
+                }
+                .apply(&mut g, seed);
                 g
             }
         }
@@ -209,7 +221,11 @@ mod tests {
     #[test]
     fn scaling_controls_node_count() {
         let small = DatasetProxy::LastFm.generate(0.1, 5);
-        assert!((600..800).contains(&small.num_nodes()), "n={}", small.num_nodes());
+        assert!(
+            (600..800).contains(&small.num_nodes()),
+            "n={}",
+            small.num_nodes()
+        );
     }
 
     #[test]
@@ -238,6 +254,9 @@ mod tests {
         let s = GraphStats::compute(&g, 50, 0);
         let avg_deg = 2.0 * s.edges as f64 / s.nodes as f64;
         let max_deg = g.nodes().map(|v| g.out_degree(v)).max().unwrap();
-        assert!(max_deg as f64 > 5.0 * avg_deg, "max={max_deg} avg={avg_deg}");
+        assert!(
+            max_deg as f64 > 5.0 * avg_deg,
+            "max={max_deg} avg={avg_deg}"
+        );
     }
 }

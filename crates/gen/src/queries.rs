@@ -14,7 +14,7 @@ use relmax_ugraph::{NodeId, ProbGraph};
 /// Draw up to `count` `s-t` pairs whose hop distance lies in
 /// `[min_hops, max_hops]`. Fewer pairs are returned if the graph cannot
 /// supply them within a bounded number of attempts.
-pub fn st_queries<G: ProbGraph + ?Sized>(
+pub fn st_queries<G: ProbGraph>(
     g: &G,
     count: usize,
     min_hops: u32,
@@ -50,7 +50,7 @@ pub fn st_queries<G: ProbGraph + ?Sized>(
 
 /// Like [`st_queries`] but with an exact hop distance `d` (Table 19 varies
 /// the query distance).
-pub fn st_queries_at_distance<G: ProbGraph + ?Sized>(
+pub fn st_queries_at_distance<G: ProbGraph>(
     g: &G,
     count: usize,
     d: u32,
@@ -66,7 +66,7 @@ pub type MultiQueryPair = (Vec<NodeId>, Vec<NodeId>);
 /// 3–5 hops apart; `S` gathers `set_size` nodes within `hops` of `s`
 /// (including `s`), `T` gathers `set_size` within `hops` of `t`, and the
 /// sets are made disjoint as the paper requires.
-pub fn multi_queries<G: ProbGraph + ?Sized>(
+pub fn multi_queries<G: ProbGraph>(
     g: &G,
     count: usize,
     set_size: usize,

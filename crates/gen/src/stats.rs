@@ -61,7 +61,11 @@ impl GraphStats {
                 }
             }
         }
-        let avg_spl = if spl_cnt > 0 { spl_sum as f64 / spl_cnt as f64 } else { 0.0 };
+        let avg_spl = if spl_cnt > 0 {
+            spl_sum as f64 / spl_cnt as f64
+        } else {
+            0.0
+        };
 
         // Local clustering coefficient over sampled nodes with degree >= 2,
         // on the undirected-ized neighborhood.
@@ -89,7 +93,11 @@ impl GraphStats {
             cc_sum += links as f64 / (d * (d - 1) / 2) as f64;
             cc_cnt += 1;
         }
-        let clustering = if cc_cnt > 0 { cc_sum / cc_cnt as f64 } else { 0.0 };
+        let clustering = if cc_cnt > 0 {
+            cc_sum / cc_cnt as f64
+        } else {
+            0.0
+        };
 
         GraphStats {
             nodes: n,

@@ -20,7 +20,10 @@ const PLACEHOLDER_PROB: f64 = 0.5;
 pub fn erdos_renyi(n: usize, m: usize, seed: u64) -> UncertainGraph {
     assert!(n >= 2, "need at least two nodes");
     let max_m = n * (n - 1) / 2;
-    assert!(m <= max_m, "requested {m} edges but only {max_m} pairs exist");
+    assert!(
+        m <= max_m,
+        "requested {m} edges but only {max_m} pairs exist"
+    );
     let mut g = UncertainGraph::with_capacity(n, false, m);
     let mut rng = StdRng::seed_from_u64(seed);
     let mut seen: FxHashSet<(u32, u32)> = FxHashSet::default();
@@ -50,8 +53,9 @@ pub fn random_regular(n: usize, k: usize, seed: u64) -> UncertainGraph {
     assert!(n * k % 2 == 0, "n*k must be even");
     let mut rng = StdRng::seed_from_u64(seed);
     'attempt: for _ in 0..200 {
-        let mut stubs: Vec<u32> =
-            (0..n as u32).flat_map(|v| std::iter::repeat(v).take(k)).collect();
+        let mut stubs: Vec<u32> = (0..n as u32)
+            .flat_map(|v| std::iter::repeat(v).take(k))
+            .collect();
         stubs.shuffle(&mut rng);
         let mut g = UncertainGraph::with_capacity(n, false, n * k / 2);
         let mut i = 0;
@@ -65,7 +69,8 @@ pub fn random_regular(n: usize, k: usize, seed: u64) -> UncertainGraph {
                 let v = stubs[j];
                 if v != u && !g.has_edge(NodeId(u), NodeId(v)) {
                     stubs.swap(i + 1, j);
-                    g.add_edge(NodeId(u), NodeId(v), PLACEHOLDER_PROB).expect("checked");
+                    g.add_edge(NodeId(u), NodeId(v), PLACEHOLDER_PROB)
+                        .expect("checked");
                     found = true;
                     break;
                 }
@@ -104,7 +109,8 @@ pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> UncertainGrap
                 }
             }
             if a != b && !g.has_edge(NodeId(a), NodeId(b)) {
-                g.add_edge(NodeId(a), NodeId(b), PLACEHOLDER_PROB).expect("checked");
+                g.add_edge(NodeId(a), NodeId(b), PLACEHOLDER_PROB)
+                    .expect("checked");
             }
         }
     }
@@ -117,9 +123,14 @@ pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> UncertainGrap
 /// chosen preferentially by degree. `alternate` reproduces the paper's
 /// ScaleFree 1 variant, which alternates `m = 2` and `m = 3` per node to
 /// hit an average degree of 5.
-pub fn barabasi_albert(n: usize, m: usize, alternate: Option<(usize, usize)>, seed: u64) -> UncertainGraph {
+pub fn barabasi_albert(
+    n: usize,
+    m: usize,
+    alternate: Option<(usize, usize)>,
+    seed: u64,
+) -> UncertainGraph {
     let m_max = alternate.map_or(m, |(a, b)| a.max(b));
-    assert!(m_max >= 1 && m_max + 1 <= n, "m too large for n");
+    assert!(m_max >= 1 && m_max < n, "m too large for n");
     let mut rng = StdRng::seed_from_u64(seed);
     let mut g = UncertainGraph::with_capacity(n, false, n * m_max);
     // Repeated-node list: each node appears once per unit of degree, which
@@ -128,7 +139,8 @@ pub fn barabasi_albert(n: usize, m: usize, alternate: Option<(usize, usize)>, se
     let seed_nodes = m_max + 1;
     for u in 0..seed_nodes as u32 {
         for v in (u + 1)..seed_nodes as u32 {
-            g.add_edge(NodeId(u), NodeId(v), PLACEHOLDER_PROB).expect("clique");
+            g.add_edge(NodeId(u), NodeId(v), PLACEHOLDER_PROB)
+                .expect("clique");
             pool.push(u);
             pool.push(v);
         }
@@ -154,7 +166,8 @@ pub fn barabasi_albert(n: usize, m: usize, alternate: Option<(usize, usize)>, se
             }
         }
         for &u in &chosen {
-            g.add_edge(NodeId(v), NodeId(u), PLACEHOLDER_PROB).expect("new node edge");
+            g.add_edge(NodeId(v), NodeId(u), PLACEHOLDER_PROB)
+                .expect("new node edge");
             pool.push(v);
             pool.push(u);
         }
@@ -185,7 +198,11 @@ mod tests {
             assert_eq!((ea.src, ea.dst), (eb.src, eb.dst));
         }
         let c = erdos_renyi(50, 100, 8);
-        let same = a.edges().iter().zip(c.edges()).all(|(x, y)| (x.src, x.dst) == (y.src, y.dst));
+        let same = a
+            .edges()
+            .iter()
+            .zip(c.edges())
+            .all(|(x, y)| (x.src, x.dst) == (y.src, y.dst));
         assert!(!same);
     }
 
@@ -203,7 +220,11 @@ mod tests {
     fn watts_strogatz_preserves_edge_budget_roughly() {
         let g = watts_strogatz(200, 6, 0.3, 5);
         // Rewiring can drop an edge only when 32 resample attempts fail.
-        assert!(g.num_edges() >= 590 && g.num_edges() <= 600, "m={}", g.num_edges());
+        assert!(
+            g.num_edges() >= 590 && g.num_edges() <= 600,
+            "m={}",
+            g.num_edges()
+        );
         // Small world: short average path from node 0.
         let d = hop_distances(&g, NodeId(0));
         let reachable = d.iter().filter(|&&x| x != u32::MAX).count();
@@ -229,7 +250,10 @@ mod tests {
         let max_deg = g.nodes().map(|v| g.out_degree(v)).max().unwrap();
         let avg_deg = 2.0 * g.num_edges() as f64 / 500.0;
         // Scale-free: max degree far above average.
-        assert!(max_deg as f64 > 4.0 * avg_deg, "max={max_deg} avg={avg_deg}");
+        assert!(
+            max_deg as f64 > 4.0 * avg_deg,
+            "max={max_deg} avg={avg_deg}"
+        );
     }
 
     #[test]

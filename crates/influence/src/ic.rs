@@ -1,6 +1,6 @@
 //! Independent-cascade influence spread by possible-world sampling.
 
-use relmax_sampling::coins::coin_flip;
+use relmax_sampling::coins::coin_raw;
 use relmax_ugraph::{NodeId, ProbGraph};
 
 /// Expected influence spread `Inf(S, T)` (Eq. 13): the expected number of
@@ -20,7 +20,7 @@ use relmax_ugraph::{NodeId, ProbGraph};
 /// let spread = influence_spread(&g, &[NodeId(0)], None, 100, 7);
 /// assert!((spread - 2.0).abs() < 1e-9); // seed + node 1, never node 2
 /// ```
-pub fn influence_spread<G: ProbGraph + ?Sized>(
+pub fn influence_spread<G: ProbGraph>(
     g: &G,
     seeds: &[NodeId],
     targets: Option<&[NodeId]>,
@@ -38,7 +38,7 @@ pub fn influence_spread<G: ProbGraph + ?Sized>(
 /// `P[v activated] = P[v reachable from S in a random world]`.
 ///
 /// One multi-source BFS per sampled world; deterministic in `seed`.
-pub fn activation_probability<G: ProbGraph + ?Sized>(
+pub fn activation_probability<G: ProbGraph>(
     g: &G,
     seeds: &[NodeId],
     samples: usize,
@@ -47,29 +47,29 @@ pub fn activation_probability<G: ProbGraph + ?Sized>(
     assert!(samples > 0, "need at least one sample");
     let n = g.num_nodes();
     let mut counts = vec![0u64; n];
-    let mut mark = vec![0u32; n];
-    let mut epoch = 0u32;
-    let mut stack: Vec<NodeId> = Vec::new();
-    for sample in 0..samples as u64 {
-        epoch += 1;
-        stack.clear();
-        for &s in seeds {
-            if mark[s.index()] != epoch {
-                mark[s.index()] = epoch;
-                stack.push(s);
+    relmax_ugraph::with_scratch(n, |scratch| {
+        for sample in 0..samples as u64 {
+            scratch.begin(n);
+            for &s in seeds {
+                if scratch.visit(s) {
+                    scratch.stack.push(s);
+                }
+            }
+            while let Some(v) = scratch.stack.pop() {
+                counts[v.index()] += 1;
+                for (u, t, c) in g.out_flips(v) {
+                    if !scratch.visited(u) && coin_raw(seed, sample, c) < t {
+                        scratch.visit(u);
+                        scratch.stack.push(u);
+                    }
+                }
             }
         }
-        while let Some(v) = stack.pop() {
-            counts[v.index()] += 1;
-            g.for_each_out(v, &mut |u, p, c| {
-                if mark[u.index()] != epoch && coin_flip(seed, sample, c, p) {
-                    mark[u.index()] = epoch;
-                    stack.push(u);
-                }
-            });
-        }
-    }
-    counts.into_iter().map(|c| c as f64 / samples as f64).collect()
+    });
+    counts
+        .into_iter()
+        .map(|c| c as f64 / samples as f64)
+        .collect()
 }
 
 #[cfg(test)]
@@ -92,7 +92,10 @@ mod tests {
         let g = line();
         let exact = st_reliability_enumerate(&g, NodeId(0), NodeId(3)).unwrap();
         let spread = influence_spread(&g, &[NodeId(0)], Some(&[NodeId(3)]), 60_000, 5);
-        assert!((spread - exact).abs() < 0.01, "spread={spread} exact={exact}");
+        assert!(
+            (spread - exact).abs() < 0.01,
+            "spread={spread} exact={exact}"
+        );
     }
 
     #[test]
@@ -129,7 +132,10 @@ mod tests {
         let from0 = mc.reliability_from(&g, NodeId(0));
         let expect: f64 = from0[1] + from0[2];
         let spread = influence_spread(&g, &[NodeId(0)], Some(&[NodeId(1), NodeId(2)]), 60_000, 9);
-        assert!((spread - expect).abs() < 0.02, "spread={spread} expect={expect}");
+        assert!(
+            (spread - expect).abs() < 0.02,
+            "spread={spread} expect={expect}"
+        );
     }
 
     #[test]

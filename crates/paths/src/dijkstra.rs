@@ -75,11 +75,7 @@ impl PartialOrd for HeapEntry {
 /// assert_eq!(p.nodes, vec![NodeId(0), NodeId(1), NodeId(2)]);
 /// assert!((p.prob - 0.81).abs() < 1e-12);
 /// ```
-pub fn most_reliable_path<G: ProbGraph + ?Sized>(
-    g: &G,
-    s: NodeId,
-    t: NodeId,
-) -> Option<ReliablePath> {
+pub fn most_reliable_path<G: ProbGraph>(g: &G, s: NodeId, t: NodeId) -> Option<ReliablePath> {
     most_reliable_path_filtered(g, s, t, |_| false, |_| false)
 }
 
@@ -95,20 +91,27 @@ pub fn most_reliable_path_filtered<G, FN, FC>(
     coin_banned: FC,
 ) -> Option<ReliablePath>
 where
-    G: ProbGraph + ?Sized,
+    G: ProbGraph,
     FN: Fn(NodeId) -> bool,
     FC: Fn(CoinId) -> bool,
 {
     let n = g.num_nodes();
     if s == t {
-        return Some(ReliablePath { nodes: vec![s], coins: vec![], prob: 1.0 });
+        return Some(ReliablePath {
+            nodes: vec![s],
+            coins: vec![],
+            prob: 1.0,
+        });
     }
     let mut dist = vec![f64::INFINITY; n];
     let mut parent: Vec<Option<(NodeId, CoinId)>> = vec![None; n];
     let mut done = vec![false; n];
     let mut heap = BinaryHeap::new();
     dist[s.index()] = 0.0;
-    heap.push(HeapEntry { weight: 0.0, node: s });
+    heap.push(HeapEntry {
+        weight: 0.0,
+        node: s,
+    });
     while let Some(HeapEntry { weight, node: v }) = heap.pop() {
         if done[v.index()] {
             continue;
@@ -117,9 +120,9 @@ where
         if v == t {
             break;
         }
-        g.for_each_out(v, &mut |u, p, c| {
+        for (u, p, c) in g.out_arcs(v) {
             if p <= 0.0 || done[u.index()] || node_banned(u) || coin_banned(c) {
-                return;
+                continue;
             }
             let w = weight + neg_log(p);
             if w < dist[u.index()] {
@@ -127,7 +130,7 @@ where
                 parent[u.index()] = Some((v, c));
                 heap.push(HeapEntry { weight: w, node: u });
             }
-        });
+        }
     }
     if !dist[t.index()].is_finite() {
         return None;
@@ -207,12 +210,13 @@ mod tests {
     fn filters_exclude_nodes_and_coins() {
         let g = grid();
         // Ban node 1: must go through 2.
-        let p = most_reliable_path_filtered(&g, NodeId(0), NodeId(3), |v| v == NodeId(1), |_| false)
-            .unwrap();
+        let p =
+            most_reliable_path_filtered(&g, NodeId(0), NodeId(3), |v| v == NodeId(1), |_| false)
+                .unwrap();
         assert_eq!(p.nodes, vec![NodeId(0), NodeId(2), NodeId(3)]);
         // Ban the 0->1 coin (coin 0): same detour.
-        let p2 = most_reliable_path_filtered(&g, NodeId(0), NodeId(3), |_| false, |c| c == 0)
-            .unwrap();
+        let p2 =
+            most_reliable_path_filtered(&g, NodeId(0), NodeId(3), |_| false, |c| c == 0).unwrap();
         assert_eq!(p2.nodes, vec![NodeId(0), NodeId(2), NodeId(3)]);
         // Ban everything: no path.
         let p3 = most_reliable_path_filtered(&g, NodeId(0), NodeId(3), |_| true, |_| false);
@@ -231,8 +235,14 @@ mod tests {
     #[test]
     fn works_on_overlays() {
         let g = grid();
-        let view =
-            GraphView::new(&g, vec![ExtraEdge { src: NodeId(0), dst: NodeId(3), prob: 0.95 }]);
+        let view = GraphView::new(
+            &g,
+            vec![ExtraEdge {
+                src: NodeId(0),
+                dst: NodeId(3),
+                prob: 0.95,
+            }],
+        );
         let p = most_reliable_path(&view, NodeId(0), NodeId(3)).unwrap();
         assert_eq!(p.nodes, vec![NodeId(0), NodeId(3)]);
         assert_eq!(p.coins, vec![4]);

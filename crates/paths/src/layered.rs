@@ -88,7 +88,7 @@ impl PartialOrd for Entry {
 /// assert!((sol.prob - 0.72).abs() < 1e-12);
 /// assert_eq!(sol.baseline_prob, 0.0);
 /// ```
-pub fn improve_most_reliable_path<G: ProbGraph + ?Sized>(
+pub fn improve_most_reliable_path<G: ProbGraph>(
     g: &G,
     s: NodeId,
     t: NodeId,
@@ -101,7 +101,7 @@ pub fn improve_most_reliable_path<G: ProbGraph + ?Sized>(
     // Build the layered adjacency once: (target_vnode, weight, red_idx).
     let mut adj: Vec<Vec<(u32, f64, u32)>> = vec![Vec::new(); nv];
     for v in 0..n as u32 {
-        g.for_each_out(NodeId(v), &mut |u, p, _c| {
+        for (u, p, _c) in g.out_arcs(NodeId(v)) {
             if p > 0.0 {
                 let w = neg_log(p);
                 for layer in 0..layers {
@@ -110,7 +110,7 @@ pub fn improve_most_reliable_path<G: ProbGraph + ?Sized>(
                     adj[from as usize].push((to, w, NO_RED));
                 }
             }
-        });
+        }
     }
     for (j, &(u, v, p)) in candidates.iter().enumerate() {
         if p <= 0.0 {
@@ -134,7 +134,10 @@ pub fn improve_most_reliable_path<G: ProbGraph + ?Sized>(
     let mut done = vec![false; nv];
     let mut heap = BinaryHeap::new();
     dist[s.index()] = 0.0;
-    heap.push(Entry { weight: 0.0, vnode: s.0 });
+    heap.push(Entry {
+        weight: 0.0,
+        vnode: s.0,
+    });
     while let Some(Entry { weight, vnode }) = heap.pop() {
         if done[vnode as usize] {
             continue;
@@ -148,12 +151,18 @@ pub fn improve_most_reliable_path<G: ProbGraph + ?Sized>(
             if nw < dist[to as usize] {
                 dist[to as usize] = nw;
                 parent[to as usize] = Some((vnode, red));
-                heap.push(Entry { weight: nw, vnode: to });
+                heap.push(Entry {
+                    weight: nw,
+                    vnode: to,
+                });
             }
         }
     }
-    let baseline_prob =
-        if dist[t.index()].is_finite() { (-dist[t.index()]).exp() } else { 0.0 };
+    let baseline_prob = if dist[t.index()].is_finite() {
+        (-dist[t.index()]).exp()
+    } else {
+        0.0
+    };
     // Best t copy across all layers.
     let mut best_layer = 0usize;
     for layer in 1..layers {
@@ -187,7 +196,12 @@ pub fn improve_most_reliable_path<G: ProbGraph + ?Sized>(
     chosen.reverse();
     chosen.dedup();
     debug_assert!(chosen.len() <= k);
-    MrpImprovement { chosen, path_nodes, prob: (-best_d).exp(), baseline_prob }
+    MrpImprovement {
+        chosen,
+        path_nodes,
+        prob: (-best_d).exp(),
+        baseline_prob,
+    }
 }
 
 #[cfg(test)]
@@ -283,7 +297,11 @@ mod tests {
                 }
                 let extra: Vec<ExtraEdge> = (0..csize)
                     .filter(|i| mask >> i & 1 == 1)
-                    .map(|i| ExtraEdge { src: cands[i].0, dst: cands[i].1, prob: cands[i].2 })
+                    .map(|i| ExtraEdge {
+                        src: cands[i].0,
+                        dst: cands[i].1,
+                        prob: cands[i].2,
+                    })
                     .collect();
                 let view = GraphView::new(&g, extra);
                 if let Some(p) = most_reliable_path(&view, s, t) {
@@ -312,13 +330,8 @@ mod tests {
     #[test]
     fn unreachable_even_with_candidates() {
         let g = UncertainGraph::new(4, true);
-        let sol = improve_most_reliable_path(
-            &g,
-            NodeId(0),
-            NodeId(3),
-            1,
-            &[(NodeId(1), NodeId(2), 0.9)],
-        );
+        let sol =
+            improve_most_reliable_path(&g, NodeId(0), NodeId(3), 1, &[(NodeId(1), NodeId(2), 0.9)]);
         assert!(sol.chosen.is_empty());
         assert_eq!(sol.prob, 0.0);
         assert_eq!(sol.baseline_prob, 0.0);
@@ -328,13 +341,8 @@ mod tests {
     fn zero_probability_candidates_ignored() {
         let mut g = UncertainGraph::new(3, true);
         g.add_edge(NodeId(0), NodeId(1), 0.5).unwrap();
-        let sol = improve_most_reliable_path(
-            &g,
-            NodeId(0),
-            NodeId(2),
-            2,
-            &[(NodeId(1), NodeId(2), 0.0)],
-        );
+        let sol =
+            improve_most_reliable_path(&g, NodeId(0), NodeId(2), 2, &[(NodeId(1), NodeId(2), 0.0)]);
         assert_eq!(sol.prob, 0.0);
         assert!(sol.chosen.is_empty());
     }

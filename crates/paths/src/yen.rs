@@ -33,7 +33,7 @@ use relmax_ugraph::{NodeId, ProbGraph};
 /// assert_eq!(paths.len(), 2);
 /// assert!(paths[0].prob >= paths[1].prob);
 /// ```
-pub fn top_l_reliable_paths<G: ProbGraph + ?Sized>(
+pub fn top_l_reliable_paths<G: ProbGraph>(
     g: &G,
     s: NodeId,
     t: NodeId,
@@ -95,7 +95,11 @@ pub fn top_l_reliable_paths<G: ProbGraph + ?Sized>(
             }
             let mut coins = root_coins.to_vec();
             coins.extend_from_slice(&sp.coins);
-            candidates.push(ReliablePath { nodes, coins, prob: root_prob * sp.prob });
+            candidates.push(ReliablePath {
+                nodes,
+                coins,
+                prob: root_prob * sp.prob,
+            });
         }
         // Promote the best candidate.
         let Some(best_idx) = candidates
@@ -193,7 +197,11 @@ mod tests {
             assert_eq!(p.nodes.first(), Some(&NodeId(0)));
             assert_eq!(p.nodes.last(), Some(&NodeId(4)));
             // Coin/product consistency.
-            let prod: f64 = p.coins.iter().map(|&c| g.prob(relmax_ugraph::EdgeId(c))).product();
+            let prod: f64 = p
+                .coins
+                .iter()
+                .map(|&c| g.prob(relmax_ugraph::EdgeId(c)))
+                .product();
             assert!((prod - p.prob).abs() < 1e-12);
         }
     }

@@ -24,12 +24,11 @@ pub fn splitmix64(mut z: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// Uniform `[0, 1)` draw for coin `coin` in sample `sample` under `seed`.
+/// Uniform `[0, 1)` draw for coin `coin` in sample `sample` under `seed`:
+/// the raw 53-bit draw scaled into the unit interval.
 #[inline]
 pub fn coin_uniform(seed: u64, sample: u64, coin: u32) -> f64 {
-    let h = splitmix64(seed ^ splitmix64(sample.wrapping_mul(0xa076_1d64_78bd_642f) ^ coin as u64));
-    // 53 high bits -> [0, 1) double.
-    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    coin_raw(seed, sample, coin) as f64 * (1.0 / (1u64 << 53) as f64)
 }
 
 /// Bernoulli draw: is the coin present in this sample's world?
@@ -37,6 +36,18 @@ pub fn coin_uniform(seed: u64, sample: u64, coin: u32) -> f64 {
 pub fn coin_flip(seed: u64, sample: u64, coin: u32, prob: f64) -> bool {
     coin_uniform(seed, sample, coin) < prob
 }
+
+/// The raw 53-bit draw behind [`coin_uniform`] (the integer `k` such that
+/// the uniform is `k · 2⁻⁵³`).
+#[inline]
+pub fn coin_raw(seed: u64, sample: u64, coin: u32) -> u64 {
+    splitmix64(seed ^ splitmix64(sample.wrapping_mul(0xa076_1d64_78bd_642f) ^ coin as u64)) >> 11
+}
+
+/// Integer threshold `T` such that `coin_flip(…, prob) ⇔ coin_raw(…) < T`
+/// (re-export of [`relmax_ugraph::flip_threshold`], where the frozen CSR
+/// snapshot precomputes it per arc).
+pub use relmax_ugraph::flip_threshold;
 
 #[cfg(test)]
 mod tests {
@@ -77,6 +88,35 @@ mod tests {
             let hits = (0..total).filter(|&i| coin_flip(99, i, 3, p)).count();
             let freq = hits as f64 / total as f64;
             assert!((freq - p).abs() < 0.01, "p={p} freq={freq}");
+        }
+    }
+
+    #[test]
+    fn threshold_form_is_bit_identical_to_float_form() {
+        // Exhaustive-ish: random probabilities (including exact dyadics
+        // and the endpoints) over many (seed, sample, coin) keys.
+        let probs = [
+            0.0,
+            1.0,
+            0.5,
+            0.25,
+            1.0 / 3.0,
+            0.05,
+            0.9999999,
+            f64::MIN_POSITIVE,
+            0.275,
+        ];
+        for &p in &probs {
+            let t = flip_threshold(p);
+            for sample in 0..200u64 {
+                for coin in 0..20u32 {
+                    assert_eq!(
+                        coin_flip(42, sample, coin, p),
+                        coin_raw(42, sample, coin) < t,
+                        "p={p} sample={sample} coin={coin}"
+                    );
+                }
+            }
         }
     }
 

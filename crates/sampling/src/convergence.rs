@@ -46,8 +46,8 @@ pub struct ConvergenceReport {
 /// For each candidate `Z`, every query is estimated `reps` times with
 /// seeds `0..reps`; `ρ_Z` is averaged over queries. This mirrors the
 /// paper's procedure (100 queries × 100 repetitions) at configurable cost.
-pub fn converged_sample_size<E, F>(
-    g: &dyn ProbGraph,
+pub fn converged_sample_size<G, E, F>(
+    g: &G,
     queries: &[(NodeId, NodeId)],
     candidates: &[usize],
     reps: u64,
@@ -55,6 +55,7 @@ pub fn converged_sample_size<E, F>(
     make: F,
 ) -> ConvergenceReport
 where
+    G: ProbGraph,
     E: Estimator,
     F: Fn(usize, u64) -> E,
 {
@@ -64,8 +65,9 @@ where
     for &z in candidates {
         let mut rho_sum = 0.0;
         for &(s, t) in queries {
-            let estimates: Vec<f64> =
-                (0..reps).map(|seed| make(z, seed).st_reliability(g, s, t)).collect();
+            let estimates: Vec<f64> = (0..reps)
+                .map(|seed| make(z, seed).st_reliability(g, s, t))
+                .collect();
             rho_sum += dispersion_ratio(&estimates);
         }
         let rho = rho_sum / queries.len().max(1) as f64;
@@ -74,7 +76,10 @@ where
             return ConvergenceReport { chosen: z, trace };
         }
     }
-    ConvergenceReport { chosen: *candidates.last().expect("non-empty"), trace }
+    ConvergenceReport {
+        chosen: *candidates.last().expect("non-empty"),
+        trace,
+    }
 }
 
 #[cfg(test)]
@@ -120,7 +125,11 @@ mod tests {
         );
         // Dispersion must shrink as Z grows.
         for w in report.trace.windows(2) {
-            assert!(w[1].1 <= w[0].1 * 1.5, "trace not shrinking: {:?}", report.trace);
+            assert!(
+                w[1].1 <= w[0].1 * 1.5,
+                "trace not shrinking: {:?}",
+                report.trace
+            );
         }
         assert!(report.chosen >= 400);
     }

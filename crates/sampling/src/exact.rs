@@ -24,18 +24,18 @@ impl ExactEstimator {
 }
 
 impl Estimator for ExactEstimator {
-    fn st_reliability(&self, g: &dyn ProbGraph, s: NodeId, t: NodeId) -> f64 {
+    fn st_reliability<G: ProbGraph>(&self, g: &G, s: NodeId, t: NodeId) -> f64 {
         st_reliability(g, s, t, self.budget)
             .expect("graph too large for the exact estimator; use MC or RSS")
     }
 
-    fn reliability_from(&self, g: &dyn ProbGraph, s: NodeId) -> Vec<f64> {
+    fn reliability_from<G: ProbGraph>(&self, g: &G, s: NodeId) -> Vec<f64> {
         (0..g.num_nodes() as u32)
             .map(|v| self.st_reliability(g, s, NodeId(v)))
             .collect()
     }
 
-    fn reliability_to(&self, g: &dyn ProbGraph, t: NodeId) -> Vec<f64> {
+    fn reliability_to<G: ProbGraph>(&self, g: &G, t: NodeId) -> Vec<f64> {
         (0..g.num_nodes() as u32)
             .map(|v| self.st_reliability(g, NodeId(v), t))
             .collect()
@@ -67,5 +67,20 @@ mod tests {
         let to = ex.reliability_to(&g, NodeId(3));
         assert!((to[1] - 0.5).abs() < 1e-12);
         assert_eq!(to[3], 1.0);
+    }
+
+    #[test]
+    fn identical_on_frozen_snapshot() {
+        let mut g = UncertainGraph::new(4, true);
+        g.add_edge(NodeId(0), NodeId(1), 0.3).unwrap();
+        g.add_edge(NodeId(1), NodeId(3), 0.6).unwrap();
+        g.add_edge(NodeId(0), NodeId(2), 0.8).unwrap();
+        g.add_edge(NodeId(2), NodeId(3), 0.4).unwrap();
+        let ex = ExactEstimator::new();
+        let csr = g.freeze();
+        assert_eq!(
+            ex.st_reliability(&g, NodeId(0), NodeId(3)),
+            ex.st_reliability(&csr, NodeId(0), NodeId(3)),
+        );
     }
 }

@@ -23,6 +23,20 @@
 //!   solver to the same interface for tiny graphs and tests.
 //! - [`convergence`] — the index-of-dispersion diagnostic (`ρ_Z = V_Z/R_Z <
 //!   0.001`) the paper uses to pick `Z` per dataset.
+//! - [`legacy`] — the pre-CSR dynamic-dispatch Monte Carlo walker, kept
+//!   verbatim as the microbenchmark baseline and as the bit-identity
+//!   reference for the refactor.
+//!
+//! ## Monomorphized hot path
+//!
+//! [`Estimator`]'s methods are generic over `G:`[`ProbGraph`], so every
+//! estimator/graph pairing compiles to its own fully inlined BFS — no
+//! virtual calls inside the per-world loop. The intended pattern on large
+//! graphs is **freeze-then-sample**: snapshot the base graph once with
+//! [`relmax_ugraph::CsrGraph::freeze`], then estimate against the snapshot
+//! (and against [`relmax_ugraph::GraphView`] overlays of it when
+//! evaluating candidate edges). Coin ids survive freezing, so estimates
+//! are bit-identical across storage layouts for a fixed seed.
 //!
 //! ## Determinism and common random numbers
 //!
@@ -36,6 +50,7 @@
 pub mod coins;
 pub mod convergence;
 pub mod exact;
+pub mod legacy;
 pub mod mc;
 pub mod rss;
 
@@ -49,29 +64,39 @@ use relmax_ugraph::{NodeId, ProbGraph};
 /// A sampling-based (or exact) reliability oracle.
 ///
 /// Implementations must be deterministic for a fixed configuration so that
-/// experiments are reproducible.
-pub trait Estimator {
+/// experiments are reproducible. Methods are generic over the graph type
+/// (monomorphized; see the crate docs) — consequently this trait is not
+/// object-safe, and algorithm code takes `E: Estimator` type parameters.
+pub trait Estimator: Sync {
     /// Estimate `R(s, t, G)` — the probability that `t` is reachable from
     /// `s` (Eq. 2 of the paper).
-    fn st_reliability(&self, g: &dyn ProbGraph, s: NodeId, t: NodeId) -> f64;
+    fn st_reliability<G: ProbGraph>(&self, g: &G, s: NodeId, t: NodeId) -> f64;
 
     /// Estimate `R(s, v, G)` for every node `v` simultaneously.
     ///
     /// One BFS per sampled world answers all targets, which is what makes
     /// the paper's search-space elimination (Algorithm 4) affordable.
-    fn reliability_from(&self, g: &dyn ProbGraph, s: NodeId) -> Vec<f64>;
+    fn reliability_from<G: ProbGraph>(&self, g: &G, s: NodeId) -> Vec<f64>;
 
     /// Estimate `R(v, t, G)` for every node `v` simultaneously (reverse
     /// reachability to `t`).
-    fn reliability_to(&self, g: &dyn ProbGraph, t: NodeId) -> Vec<f64>;
+    fn reliability_to<G: ProbGraph>(&self, g: &G, t: NodeId) -> Vec<f64>;
 
     /// Estimate the full `|S| × |T|` reliability matrix for multiple
     /// sources and targets, sharing sampled worlds across pairs.
     ///
     /// `result[i][j] = R(sources[i], targets[j])`.
-    fn pairwise_reliability(
+    ///
+    /// Because coin flips are keyed by `(seed, sample, coin)`, the worlds
+    /// underlying row `i` and row `i'` are the same worlds — the default
+    /// implementation inherits that sharing from
+    /// [`Estimator::reliability_from`]. [`McEstimator`] overrides it with
+    /// a single-pass evaluation that additionally instantiates each
+    /// world's coins at most once *across all sources* (bit-identical
+    /// results, less hashing, no per-source `n`-vector).
+    fn pairwise_reliability<G: ProbGraph>(
         &self,
-        g: &dyn ProbGraph,
+        g: &G,
         sources: &[NodeId],
         targets: &[NodeId],
     ) -> Vec<Vec<f64>> {

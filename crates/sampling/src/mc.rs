@@ -1,8 +1,8 @@
 //! Monte Carlo reliability estimation with lazy world instantiation.
 
-use crate::coins::coin_flip;
+use crate::coins::coin_raw;
 use crate::Estimator;
-use relmax_ugraph::{NodeId, ProbGraph};
+use relmax_ugraph::{with_scratch, NodeId, ProbGraph};
 
 /// Monte Carlo sampler (Fishman 1986), the paper's default estimator.
 ///
@@ -11,9 +11,14 @@ use relmax_ugraph::{NodeId, ProbGraph};
 /// coin is flipped the first time the traversal reaches it, so the cost per
 /// sample is `O(n + m)` in the worst case and usually far less.
 ///
-/// Set `threads > 1` to split samples across OS threads (crossbeam scoped
-/// threads). Because coin flips are keyed by the global sample index, the
-/// parallel estimate is bit-identical to the serial one.
+/// Every method is monomorphized over the graph type; on large graphs,
+/// freeze once ([`relmax_ugraph::CsrGraph::freeze`]) and sample against
+/// the snapshot — the per-world BFS then walks flat arrays with zero
+/// allocations (epoch-stamped scratch from a thread-local pool).
+///
+/// Set `threads > 1` to split samples across OS threads (`std::thread`
+/// scoped threads). Because coin flips are keyed by the global sample
+/// index, the parallel estimate is bit-identical to the serial one.
 ///
 /// ```
 /// use relmax_ugraph::{UncertainGraph, NodeId};
@@ -23,8 +28,9 @@ use relmax_ugraph::{NodeId, ProbGraph};
 /// g.add_edge(NodeId(0), NodeId(1), 0.5).unwrap();
 /// g.add_edge(NodeId(1), NodeId(2), 0.8).unwrap();
 /// let mc = McEstimator::new(20_000, 7);
-/// let r = mc.st_reliability(&g, NodeId(0), NodeId(2));
+/// let r = mc.st_reliability(&g.freeze(), NodeId(0), NodeId(2));
 /// assert!((r - 0.4).abs() < 0.02);
+/// assert_eq!(r, mc.st_reliability(&g, NodeId(0), NodeId(2))); // layout-independent
 /// ```
 #[derive(Debug, Clone)]
 pub struct McEstimator {
@@ -40,18 +46,49 @@ impl McEstimator {
     /// Serial estimator with `samples` worlds under `seed`.
     pub fn new(samples: usize, seed: u64) -> Self {
         assert!(samples > 0, "need at least one sample");
-        McEstimator { samples, seed, threads: 1 }
+        McEstimator {
+            samples,
+            seed,
+            threads: 1,
+        }
     }
 
     /// Parallel estimator; results are identical to the serial one.
     pub fn with_threads(samples: usize, seed: u64, threads: usize) -> Self {
         assert!(samples > 0, "need at least one sample");
-        McEstimator { samples, seed, threads: threads.max(1) }
+        McEstimator {
+            samples,
+            seed,
+            threads: threads.max(1),
+        }
     }
 
-    fn reach_counts(
+    /// Split `0..z` into per-thread ranges, run `work` on each, and merge.
+    fn fan_out<T: Send>(&self, z: u64, work: impl Fn(u64, u64) -> T + Sync, merge: impl FnMut(T)) {
+        let mut merge = merge;
+        if self.threads <= 1 || z < 2 {
+            merge(work(0, z));
+            return;
+        }
+        let threads = self.threads.min(z as usize);
+        let chunk = z.div_ceil(threads as u64);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(threads);
+            for ti in 0..threads as u64 {
+                let lo = ti * chunk;
+                let hi = ((ti + 1) * chunk).min(z);
+                let work = &work;
+                handles.push(scope.spawn(move || work(lo, hi)));
+            }
+            for h in handles {
+                merge(h.join().expect("sampler thread panicked"));
+            }
+        });
+    }
+
+    fn reach_counts<G: ProbGraph>(
         &self,
-        g: &dyn ProbGraph,
+        g: &G,
         start: NodeId,
         reverse: bool,
         lo: u64,
@@ -59,153 +96,203 @@ impl McEstimator {
         counts: &mut [u64],
     ) {
         let n = g.num_nodes();
-        let mut mark = vec![0u32; n];
-        let mut epoch = 0u32;
-        let mut stack: Vec<NodeId> = Vec::new();
-        for sample in lo..hi {
-            epoch += 1;
-            mark[start.index()] = epoch;
-            stack.clear();
-            stack.push(start);
-            while let Some(v) = stack.pop() {
-                counts[v.index()] += 1;
-                let visit = &mut |u: NodeId, p: f64, c: u32| {
-                    if mark[u.index()] != epoch && coin_flip(self.seed, sample, c, p) {
-                        mark[u.index()] = epoch;
-                        stack.push(u);
+        with_scratch(n, |scratch| {
+            // Fixed-capacity stack driven by an explicit length so arc
+            // admission is branchless: the slot write always happens, the
+            // length advances only for taken arcs. A node is pushed at most
+            // once per world and one node is always popped before its arcs
+            // are scanned, so `len < n` holds at every write.
+            scratch.stack.resize(n.max(1), start);
+            for sample in lo..hi {
+                scratch.begin_keep_stack(n);
+                scratch.visit(start);
+                scratch.stack[0] = start;
+                let mut len = 1usize;
+                while len > 0 {
+                    len -= 1;
+                    let v = scratch.stack[len];
+                    // Internal iteration: overlay `Chain`s split into two
+                    // tight loops instead of paying a state check per arc.
+                    let mut step = |(u, t, c): (NodeId, u64, u32)| {
+                        let take = scratch.take_if(u, coin_raw(self.seed, sample, c) < t);
+                        scratch.stack[len] = u;
+                        len += take as usize;
+                    };
+                    if reverse {
+                        g.in_flips(v).for_each(&mut step);
+                    } else {
+                        g.out_flips(v).for_each(&mut step);
                     }
-                };
-                if reverse {
-                    g.for_each_in(v, visit);
-                } else {
-                    g.for_each_out(v, visit);
                 }
+                // Popped == visited, so one vectorized sweep replaces a
+                // random-order increment per node visit.
+                scratch.accumulate_visited(counts);
             }
-        }
+        });
     }
 
-    fn reliability_vector(&self, g: &dyn ProbGraph, start: NodeId, reverse: bool) -> Vec<f64> {
+    fn reliability_vector<G: ProbGraph>(&self, g: &G, start: NodeId, reverse: bool) -> Vec<f64> {
         let n = g.num_nodes();
         let z = self.samples as u64;
         let mut counts = vec![0u64; n];
-        if self.threads <= 1 || z < 2 {
-            self.reach_counts(g, start, reverse, 0, z, &mut counts);
-        } else {
-            let threads = self.threads.min(z as usize);
-            let chunk = z.div_ceil(threads as u64);
-            let mut partials: Vec<Vec<u64>> = Vec::with_capacity(threads);
-            crossbeam::scope(|scope| {
-                let mut handles = Vec::with_capacity(threads);
-                for ti in 0..threads as u64 {
-                    let lo = ti * chunk;
-                    let hi = ((ti + 1) * chunk).min(z);
-                    handles.push(scope.spawn(move |_| {
-                        let mut local = vec![0u64; n];
-                        if lo < hi {
-                            self.reach_counts(g, start, reverse, lo, hi, &mut local);
-                        }
-                        local
-                    }));
+        self.fan_out(
+            z,
+            |lo, hi| {
+                let mut local = vec![0u64; n];
+                if lo < hi {
+                    self.reach_counts(g, start, reverse, lo, hi, &mut local);
                 }
-                for h in handles {
-                    partials.push(h.join().expect("sampler thread panicked"));
-                }
-            })
-            .expect("crossbeam scope failed");
-            for local in partials {
+                local
+            },
+            |local| {
                 for (c, l) in counts.iter_mut().zip(local) {
                     *c += l;
                 }
-            }
-        }
+            },
+        );
         counts.into_iter().map(|c| c as f64 / z as f64).collect()
     }
 
-    fn st_hits(&self, g: &dyn ProbGraph, s: NodeId, t: NodeId, lo: u64, hi: u64) -> u64 {
+    fn st_hits<G: ProbGraph>(&self, g: &G, s: NodeId, t: NodeId, lo: u64, hi: u64) -> u64 {
         let n = g.num_nodes();
-        let mut mark = vec![0u32; n];
-        let mut epoch = 0u32;
-        let mut stack: Vec<NodeId> = Vec::new();
         let mut hits = 0u64;
-        for sample in lo..hi {
-            epoch += 1;
-            mark[s.index()] = epoch;
-            stack.clear();
-            stack.push(s);
-            let mut found = false;
-            'bfs: while let Some(v) = stack.pop() {
-                let mut local_found = false;
-                g.for_each_out(v, &mut |u, p, c| {
-                    if local_found || mark[u.index()] == epoch {
-                        return;
+        with_scratch(n, |scratch| {
+            // Same branchless stack discipline as `reach_counts`; the
+            // early exit moves to the node boundary (checking whether `t`
+            // was marked), which flips the same coins and reaches the same
+            // verdict as an arc-level exit.
+            scratch.stack.resize(n.max(1), s);
+            for sample in lo..hi {
+                scratch.begin_keep_stack(n);
+                scratch.visit(s);
+                scratch.stack[0] = s;
+                let mut len = 1usize;
+                while len > 0 {
+                    len -= 1;
+                    let v = scratch.stack[len];
+                    g.out_flips(v).for_each(|(u, th, c)| {
+                        let take = scratch.take_if(u, coin_raw(self.seed, sample, c) < th);
+                        scratch.stack[len] = u;
+                        len += take as usize;
+                    });
+                    if scratch.visited(t) {
+                        hits += 1;
+                        break;
                     }
-                    if coin_flip(self.seed, sample, c, p) {
-                        mark[u.index()] = epoch;
-                        if u == t {
-                            local_found = true;
-                        } else {
-                            stack.push(u);
-                        }
-                    }
-                });
-                if local_found {
-                    found = true;
-                    break 'bfs;
                 }
             }
-            if found {
-                hits += 1;
-            }
-        }
+        });
         hits
+    }
+
+    /// Shared-world pairwise counts for `lo..hi`: each sample instantiates
+    /// its world's coins at most once across all sources (memoized flips),
+    /// so every row is evaluated on literally the same world.
+    fn pairwise_counts<G: ProbGraph>(
+        &self,
+        g: &G,
+        sources: &[NodeId],
+        targets: &[NodeId],
+        lo: u64,
+        hi: u64,
+    ) -> Vec<Vec<u64>> {
+        let n = g.num_nodes();
+        let m = g.num_coins();
+        let mut counts = vec![vec![0u64; targets.len()]; sources.len()];
+        // Per-sample coin memo, epoch-stamped like the visited array.
+        let mut coin_mark = vec![0u32; m];
+        let mut coin_val = vec![false; m];
+        let mut coin_epoch = 0u32;
+        with_scratch(n, |scratch| {
+            for sample in lo..hi {
+                coin_epoch += 1;
+                for (si, &s) in sources.iter().enumerate() {
+                    scratch.begin(n);
+                    scratch.visit(s);
+                    scratch.stack.push(s);
+                    while let Some(v) = scratch.stack.pop() {
+                        g.out_flips(v).for_each(|(u, t, c)| {
+                            if scratch.visited(u) {
+                                return;
+                            }
+                            let present = if coin_mark[c as usize] == coin_epoch {
+                                coin_val[c as usize]
+                            } else {
+                                let flip = coin_raw(self.seed, sample, c) < t;
+                                coin_mark[c as usize] = coin_epoch;
+                                coin_val[c as usize] = flip;
+                                flip
+                            };
+                            if present {
+                                scratch.visit(u);
+                                scratch.stack.push(u);
+                            }
+                        });
+                    }
+                    for (ti, &t) in targets.iter().enumerate() {
+                        if scratch.visited(t) {
+                            counts[si][ti] += 1;
+                        }
+                    }
+                }
+            }
+        });
+        counts
     }
 }
 
 impl Estimator for McEstimator {
-    fn st_reliability(&self, g: &dyn ProbGraph, s: NodeId, t: NodeId) -> f64 {
+    fn st_reliability<G: ProbGraph>(&self, g: &G, s: NodeId, t: NodeId) -> f64 {
         if s == t {
             return 1.0;
         }
         let z = self.samples as u64;
-        let hits = if self.threads <= 1 || z < 2 {
-            self.st_hits(g, s, t, 0, z)
-        } else {
-            let threads = self.threads.min(z as usize);
-            let chunk = z.div_ceil(threads as u64);
-            let mut total = 0u64;
-            crossbeam::scope(|scope| {
-                let mut handles = Vec::with_capacity(threads);
-                for ti in 0..threads as u64 {
-                    let lo = ti * chunk;
-                    let hi = ((ti + 1) * chunk).min(z);
-                    handles.push(
-                        scope.spawn(
-                            move |_| {
-                                if lo < hi {
-                                    self.st_hits(g, s, t, lo, hi)
-                                } else {
-                                    0
-                                }
-                            },
-                        ),
-                    );
+        let mut hits = 0u64;
+        self.fan_out(
+            z,
+            |lo, hi| {
+                if lo < hi {
+                    self.st_hits(g, s, t, lo, hi)
+                } else {
+                    0
                 }
-                for h in handles {
-                    total += h.join().expect("sampler thread panicked");
-                }
-            })
-            .expect("crossbeam scope failed");
-            total
-        };
+            },
+            |h| hits += h,
+        );
         hits as f64 / z as f64
     }
 
-    fn reliability_from(&self, g: &dyn ProbGraph, s: NodeId) -> Vec<f64> {
+    fn reliability_from<G: ProbGraph>(&self, g: &G, s: NodeId) -> Vec<f64> {
         self.reliability_vector(g, s, false)
     }
 
-    fn reliability_to(&self, g: &dyn ProbGraph, t: NodeId) -> Vec<f64> {
+    fn reliability_to<G: ProbGraph>(&self, g: &G, t: NodeId) -> Vec<f64> {
         self.reliability_vector(g, t, true)
+    }
+
+    fn pairwise_reliability<G: ProbGraph>(
+        &self,
+        g: &G,
+        sources: &[NodeId],
+        targets: &[NodeId],
+    ) -> Vec<Vec<f64>> {
+        let z = self.samples as u64;
+        let mut counts = vec![vec![0u64; targets.len()]; sources.len()];
+        self.fan_out(
+            z,
+            |lo, hi| self.pairwise_counts(g, sources, targets, lo, hi),
+            |local| {
+                for (row, lrow) in counts.iter_mut().zip(local) {
+                    for (c, l) in row.iter_mut().zip(lrow) {
+                        *c += l;
+                    }
+                }
+            },
+        );
+        counts
+            .into_iter()
+            .map(|row| row.into_iter().map(|c| c as f64 / z as f64).collect())
+            .collect()
     }
 
     fn name(&self) -> &'static str {
@@ -217,7 +304,7 @@ impl Estimator for McEstimator {
 mod tests {
     use super::*;
     use relmax_ugraph::exact::st_reliability_enumerate;
-    use relmax_ugraph::{ExtraEdge, GraphView, UncertainGraph};
+    use relmax_ugraph::{CsrGraph, ExtraEdge, GraphView, UncertainGraph};
 
     fn bridge_graph() -> UncertainGraph {
         // s -> a -> t and s -> b -> t plus bridge a -> b.
@@ -256,7 +343,11 @@ mod tests {
         let mc = McEstimator::new(20_000, 5);
         let to_t = mc.reliability_to(&g, NodeId(3));
         let exact_from_1 = st_reliability_enumerate(&g, NodeId(1), NodeId(3)).unwrap();
-        assert!((to_t[1] - exact_from_1).abs() < 0.01, "{} vs {exact_from_1}", to_t[1]);
+        assert!(
+            (to_t[1] - exact_from_1).abs() < 0.01,
+            "{} vs {exact_from_1}",
+            to_t[1]
+        );
         assert_eq!(to_t[3], 1.0);
     }
 
@@ -283,6 +374,25 @@ mod tests {
     }
 
     #[test]
+    fn csr_snapshot_is_bit_identical_to_adjacency_walk() {
+        let g = bridge_graph();
+        let csr = CsrGraph::freeze(&g);
+        let mc = McEstimator::new(8_000, 17);
+        assert_eq!(
+            mc.st_reliability(&g, NodeId(0), NodeId(3)),
+            mc.st_reliability(&csr, NodeId(0), NodeId(3)),
+        );
+        assert_eq!(
+            mc.reliability_from(&g, NodeId(0)),
+            mc.reliability_from(&csr, NodeId(0))
+        );
+        assert_eq!(
+            mc.reliability_to(&g, NodeId(3)),
+            mc.reliability_to(&csr, NodeId(3))
+        );
+    }
+
+    #[test]
     fn source_equals_target() {
         let g = bridge_graph();
         let mc = McEstimator::new(10, 0);
@@ -305,15 +415,39 @@ mod tests {
         let base = mc.st_reliability(&g, NodeId(0), NodeId(3));
         // Adding an edge can only help: with CRN this holds sample by
         // sample, so the estimates themselves must be monotone.
-        let view =
-            GraphView::new(&g, vec![ExtraEdge { src: NodeId(0), dst: NodeId(3), prob: 0.5 }]);
+        let view = GraphView::new(
+            &g,
+            vec![ExtraEdge {
+                src: NodeId(0),
+                dst: NodeId(3),
+                prob: 0.5,
+            }],
+        );
         let boosted = mc.st_reliability(&view, NodeId(0), NodeId(3));
         assert!(boosted >= base, "boosted={boosted} base={base}");
         let exact = {
             let owned = view.materialize();
             st_reliability_enumerate(&owned, NodeId(0), NodeId(3)).unwrap()
         };
-        assert!((boosted - exact).abs() < 0.01, "boosted={boosted} exact={exact}");
+        assert!(
+            (boosted - exact).abs() < 0.01,
+            "boosted={boosted} exact={exact}"
+        );
+    }
+
+    #[test]
+    fn overlay_on_csr_matches_overlay_on_adjacency() {
+        let g = bridge_graph();
+        let csr = CsrGraph::freeze(&g);
+        let extra = vec![ExtraEdge {
+            src: NodeId(0),
+            dst: NodeId(3),
+            prob: 0.5,
+        }];
+        let mc = McEstimator::new(10_000, 13);
+        let over_adj = mc.st_reliability(&GraphView::new(&g, extra.clone()), NodeId(0), NodeId(3));
+        let over_csr = mc.st_reliability(&GraphView::new(&csr, extra), NodeId(0), NodeId(3));
+        assert_eq!(over_adj, over_csr);
     }
 
     #[test]
@@ -323,8 +457,32 @@ mod tests {
         let m = mc.pairwise_reliability(&g, &[NodeId(0), NodeId(1)], &[NodeId(2), NodeId(3)]);
         assert_eq!(m.len(), 2);
         assert_eq!(m[0].len(), 2);
+        // The shared-world single pass is bit-identical to the per-source
+        // vector estimates (the memoized flips are the same hashed flips).
         let direct = mc.reliability_from(&g, NodeId(1));
         assert_eq!(m[1][1], direct[3]);
+        assert_eq!(m[1][0], direct[2]);
+        let from0 = mc.reliability_from(&g, NodeId(0));
+        assert_eq!(m[0][1], from0[3]);
+    }
+
+    #[test]
+    fn pairwise_parallel_matches_serial() {
+        let g = bridge_graph();
+        let sources = [NodeId(0), NodeId(1)];
+        let targets = [NodeId(2), NodeId(3)];
+        let serial = McEstimator::new(6_000, 31).pairwise_reliability(&g, &sources, &targets);
+        let parallel =
+            McEstimator::with_threads(6_000, 31, 3).pairwise_reliability(&g, &sources, &targets);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn pairwise_handles_sources_in_targets() {
+        let g = bridge_graph();
+        let mc = McEstimator::new(100, 1);
+        let m = mc.pairwise_reliability(&g, &[NodeId(0)], &[NodeId(0), NodeId(3)]);
+        assert_eq!(m[0][0], 1.0); // a node always reaches itself
     }
 
     #[test]

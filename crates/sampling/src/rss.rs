@@ -18,10 +18,16 @@
 //! total variance), which is exactly the effect Tables 6–7 of the paper
 //! measure: RSS reaches the convergence criterion with roughly half the
 //! samples of MC.
+//!
+//! The solver is generic over [`ProbGraph`] and preserves the source
+//! graph's adjacency order in every traversal, so stratification picks the
+//! same boundary coins — and produces bit-identical estimates — whether it
+//! runs on an [`relmax_ugraph::UncertainGraph`], a frozen
+//! [`relmax_ugraph::CsrGraph`], or an overlay of either.
 
-use crate::coins::coin_flip;
+use crate::coins::coin_raw;
 use crate::Estimator;
-use relmax_ugraph::{CoinId, NodeId, ProbGraph};
+use relmax_ugraph::{CoinId, NodeId, ProbGraph, TraversalScratch};
 
 #[derive(Clone, Copy, PartialEq, Eq)]
 enum St {
@@ -62,12 +68,18 @@ impl RssEstimator {
     /// (`r = 8`, MC threshold 32, depth cap 12).
     pub fn new(samples: usize, seed: u64) -> Self {
         assert!(samples > 0, "need at least one sample");
-        RssEstimator { samples, seed, max_strata: 8, mc_threshold: 32, max_depth: 12 }
+        RssEstimator {
+            samples,
+            seed,
+            max_strata: 8,
+            mc_threshold: 32,
+            max_depth: 12,
+        }
     }
 }
 
-struct Ctx<'g> {
-    g: &'g dyn ProbGraph,
+struct Ctx<'g, G: ProbGraph> {
+    g: &'g G,
     reverse: bool,
     seed: u64,
     max_strata: usize,
@@ -76,78 +88,75 @@ struct Ctx<'g> {
     states: Vec<St>,
     /// Monotone counter giving every leaf sample a unique world index.
     ctr: u64,
-    mark: Vec<u32>,
-    epoch: u32,
-    stack: Vec<NodeId>,
+    scratch: TraversalScratch,
 }
 
-impl Ctx<'_> {
+impl<G: ProbGraph> Ctx<'_, G> {
     /// Reach set through Present coins only. Returns the boundary: unknown
     /// coins whose tail is inside the component and head outside.
     fn pessimistic_reach(&mut self, start: NodeId) -> Vec<CoinId> {
-        self.epoch += 1;
-        let epoch = self.epoch;
-        self.mark[start.index()] = epoch;
-        self.stack.clear();
-        self.stack.push(start);
+        let n = self.g.num_nodes();
+        let scratch = &mut self.scratch;
+        scratch.begin(n);
+        scratch.visit(start);
+        scratch.stack.push(start);
         let mut boundary: Vec<(CoinId, NodeId)> = Vec::new();
-        let mark = &mut self.mark;
-        let stack = &mut self.stack;
         let states = &self.states;
-        while let Some(v) = stack.pop() {
-            let visit = &mut |u: NodeId, _p: f64, c: CoinId| match states[c as usize] {
+        while let Some(v) = scratch.stack.pop() {
+            let mut step = |u: NodeId, c: CoinId| match states[c as usize] {
                 St::Present => {
-                    if mark[u.index()] != epoch {
-                        mark[u.index()] = epoch;
-                        stack.push(u);
+                    if scratch.visit(u) {
+                        scratch.stack.push(u);
                     }
                 }
                 St::Unknown => boundary.push((c, u)),
                 St::Absent => {}
             };
             if self.reverse {
-                self.g.for_each_in(v, visit);
+                for (u, _p, c) in self.g.in_arcs(v) {
+                    step(u, c);
+                }
             } else {
-                self.g.for_each_out(v, visit);
+                for (u, _p, c) in self.g.out_arcs(v) {
+                    step(u, c);
+                }
             }
         }
-        boundary.retain(|&(_, head)| self.mark[head.index()] != epoch);
+        boundary.retain(|&(_, head)| !self.scratch.visited(head));
         boundary.dedup_by_key(|&mut (c, _)| c);
         boundary.into_iter().map(|(c, _)| c).collect()
     }
 
     /// Is `t` reachable through Present ∪ Unknown coins?
     fn optimistic_reaches(&mut self, start: NodeId, t: NodeId) -> bool {
-        self.epoch += 1;
-        let epoch = self.epoch;
-        self.mark[start.index()] = epoch;
-        self.stack.clear();
-        self.stack.push(start);
+        let n = self.g.num_nodes();
+        let scratch = &mut self.scratch;
+        scratch.begin(n);
+        scratch.visit(start);
+        scratch.stack.push(start);
         let mut found = start == t;
-        let mark = &mut self.mark;
-        let stack = &mut self.stack;
         let states = &self.states;
-        while let Some(v) = stack.pop() {
+        while let Some(v) = scratch.stack.pop() {
             if found {
                 break;
             }
-            let visit = &mut |u: NodeId, _p: f64, c: CoinId| {
-                if !found
-                    && states[c as usize] != St::Absent
-                    && mark[u.index()] != epoch
-                {
-                    mark[u.index()] = epoch;
+            let mut step = |u: NodeId, c: CoinId, found: &mut bool| {
+                if !*found && states[c as usize] != St::Absent && scratch.visit(u) {
                     if u == t {
-                        found = true;
+                        *found = true;
                     } else {
-                        stack.push(u);
+                        scratch.stack.push(u);
                     }
                 }
             };
             if self.reverse {
-                self.g.for_each_in(v, visit);
+                for (u, _p, c) in self.g.in_arcs(v) {
+                    step(u, c, &mut found);
+                }
             } else {
-                self.g.for_each_out(v, visit);
+                for (u, _p, c) in self.g.out_arcs(v) {
+                    step(u, c, &mut found);
+                }
             }
         }
         found
@@ -156,38 +165,40 @@ impl Ctx<'_> {
     /// Conditioned MC: unknown coins are flipped, determined coins keep
     /// their state. Adds per-node reach counts into `counts`.
     fn leaf_counts(&mut self, start: NodeId, z: usize, counts: &mut [u64]) {
+        let n = self.g.num_nodes();
         for _ in 0..z {
             let sample = self.ctr;
             self.ctr += 1;
-            self.epoch += 1;
-            let epoch = self.epoch;
-            self.mark[start.index()] = epoch;
-            self.stack.clear();
-            self.stack.push(start);
-            let mark = &mut self.mark;
-            let stack = &mut self.stack;
+            let scratch = &mut self.scratch;
+            scratch.begin(n);
+            scratch.visit(start);
+            scratch.stack.push(start);
             let states = &self.states;
             let seed = self.seed;
-            while let Some(v) = stack.pop() {
+            while let Some(v) = scratch.stack.pop() {
                 counts[v.index()] += 1;
-                let visit = &mut |u: NodeId, p: f64, c: CoinId| {
-                    if mark[u.index()] == epoch {
+                let mut step = |u: NodeId, t: u64, c: CoinId| {
+                    if scratch.visited(u) {
                         return;
                     }
                     let present = match states[c as usize] {
                         St::Present => true,
                         St::Absent => false,
-                        St::Unknown => coin_flip(seed, sample, c, p),
+                        St::Unknown => coin_raw(seed, sample, c) < t,
                     };
                     if present {
-                        mark[u.index()] = epoch;
-                        stack.push(u);
+                        scratch.visit(u);
+                        scratch.stack.push(u);
                     }
                 };
                 if self.reverse {
-                    self.g.for_each_in(v, visit);
+                    for (u, t, c) in self.g.in_flips(v) {
+                        step(u, t, c);
+                    }
                 } else {
-                    self.g.for_each_out(v, visit);
+                    for (u, t, c) in self.g.out_flips(v) {
+                        step(u, t, c);
+                    }
                 }
             }
         }
@@ -195,46 +206,48 @@ impl Ctx<'_> {
 
     /// Conditioned MC for a single target with early exit.
     fn leaf_st(&mut self, s: NodeId, t: NodeId, z: usize) -> f64 {
+        let n = self.g.num_nodes();
         let mut hits = 0usize;
         for _ in 0..z {
             let sample = self.ctr;
             self.ctr += 1;
-            self.epoch += 1;
-            let epoch = self.epoch;
-            self.mark[s.index()] = epoch;
-            self.stack.clear();
-            self.stack.push(s);
+            let scratch = &mut self.scratch;
+            scratch.begin(n);
+            scratch.visit(s);
+            scratch.stack.push(s);
             let mut found = false;
-            let mark = &mut self.mark;
-            let stack = &mut self.stack;
             let states = &self.states;
             let seed = self.seed;
-            while let Some(v) = stack.pop() {
+            while let Some(v) = scratch.stack.pop() {
                 if found {
                     break;
                 }
-                let visit = &mut |u: NodeId, p: f64, c: CoinId| {
-                    if found || mark[u.index()] == epoch {
+                let mut step = |u: NodeId, th: u64, c: CoinId, found: &mut bool| {
+                    if *found || scratch.visited(u) {
                         return;
                     }
                     let present = match states[c as usize] {
                         St::Present => true,
                         St::Absent => false,
-                        St::Unknown => coin_flip(seed, sample, c, p),
+                        St::Unknown => coin_raw(seed, sample, c) < th,
                     };
                     if present {
-                        mark[u.index()] = epoch;
+                        scratch.visit(u);
                         if u == t {
-                            found = true;
+                            *found = true;
                         } else {
-                            stack.push(u);
+                            scratch.stack.push(u);
                         }
                     }
                 };
                 if self.reverse {
-                    self.g.for_each_in(v, visit);
+                    for (u, th, c) in self.g.in_flips(v) {
+                        step(u, th, c, &mut found);
+                    }
                 } else {
-                    self.g.for_each_out(v, visit);
+                    for (u, th, c) in self.g.out_flips(v) {
+                        step(u, th, c, &mut found);
+                    }
                 }
             }
             if found {
@@ -247,7 +260,7 @@ impl Ctx<'_> {
     fn recurse_st(&mut self, s: NodeId, t: NodeId, z: usize, depth: usize) -> f64 {
         let boundary = self.pessimistic_reach(s);
         // Success prune: t inside the present component.
-        if self.mark[t.index()] == self.epoch {
+        if self.scratch.visited(t) {
             return 1.0;
         }
         if !self.optimistic_reaches(s, t) {
@@ -288,11 +301,8 @@ impl Ctx<'_> {
         if boundary.is_empty() {
             // Nothing undetermined leaves the component: members are reached
             // with certainty, everything else is unreachable.
-            let epoch = self.epoch;
-            for (i, m) in self.mark.iter().enumerate() {
-                if *m == epoch {
-                    out[i] += weight;
-                }
+            for v in self.scratch.visited_nodes() {
+                out[v.index()] += weight;
             }
             return;
         }
@@ -333,7 +343,7 @@ impl Ctx<'_> {
 }
 
 impl RssEstimator {
-    fn ctx<'g>(&self, g: &'g dyn ProbGraph, reverse: bool) -> Ctx<'g> {
+    fn ctx<'g, G: ProbGraph>(&self, g: &'g G, reverse: bool) -> Ctx<'g, G> {
         Ctx {
             g,
             reverse,
@@ -343,15 +353,13 @@ impl RssEstimator {
             max_depth: self.max_depth.max(1),
             states: vec![St::Unknown; g.num_coins()],
             ctr: 0,
-            mark: vec![0; g.num_nodes()],
-            epoch: 0,
-            stack: Vec::new(),
+            scratch: TraversalScratch::with_nodes(g.num_nodes()),
         }
     }
 }
 
 impl Estimator for RssEstimator {
-    fn st_reliability(&self, g: &dyn ProbGraph, s: NodeId, t: NodeId) -> f64 {
+    fn st_reliability<G: ProbGraph>(&self, g: &G, s: NodeId, t: NodeId) -> f64 {
         if s == t {
             return 1.0;
         }
@@ -359,7 +367,7 @@ impl Estimator for RssEstimator {
         ctx.recurse_st(s, t, self.samples, 0)
     }
 
-    fn reliability_from(&self, g: &dyn ProbGraph, s: NodeId) -> Vec<f64> {
+    fn reliability_from<G: ProbGraph>(&self, g: &G, s: NodeId) -> Vec<f64> {
         let mut out = vec![0.0; g.num_nodes()];
         let mut ctx = self.ctx(g, false);
         ctx.recurse_vec(s, self.samples, 0, 1.0, &mut out);
@@ -367,7 +375,7 @@ impl Estimator for RssEstimator {
         out
     }
 
-    fn reliability_to(&self, g: &dyn ProbGraph, t: NodeId) -> Vec<f64> {
+    fn reliability_to<G: ProbGraph>(&self, g: &G, t: NodeId) -> Vec<f64> {
         let mut out = vec![0.0; g.num_nodes()];
         let mut ctx = self.ctx(g, true);
         ctx.recurse_vec(t, self.samples, 0, 1.0, &mut out);
@@ -385,7 +393,7 @@ mod tests {
     use super::*;
     use crate::mc::McEstimator;
     use relmax_ugraph::exact::st_reliability_enumerate;
-    use relmax_ugraph::UncertainGraph;
+    use relmax_ugraph::{CsrGraph, UncertainGraph};
 
     fn fan_graph() -> UncertainGraph {
         // s fans out to 3 mid nodes, each linked to t: variance lives on the
@@ -465,6 +473,27 @@ mod tests {
         let a = RssEstimator::new(1000, 5).st_reliability(&g, NodeId(0), NodeId(4));
         let b = RssEstimator::new(1000, 5).st_reliability(&g, NodeId(0), NodeId(4));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn csr_snapshot_is_bit_identical_to_adjacency_walk() {
+        // Stratification is traversal-order-sensitive; CSR preserves
+        // adjacency order, so estimates must match to the last bit.
+        let g = fan_graph();
+        let csr = CsrGraph::freeze(&g);
+        let rss = RssEstimator::new(5_000, 23);
+        assert_eq!(
+            rss.st_reliability(&g, NodeId(0), NodeId(4)),
+            rss.st_reliability(&csr, NodeId(0), NodeId(4)),
+        );
+        assert_eq!(
+            rss.reliability_from(&g, NodeId(0)),
+            rss.reliability_from(&csr, NodeId(0))
+        );
+        assert_eq!(
+            rss.reliability_to(&g, NodeId(4)),
+            rss.reliability_to(&csr, NodeId(4))
+        );
     }
 
     #[test]

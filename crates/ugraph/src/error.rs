@@ -46,14 +46,20 @@ impl fmt::Display for GraphError {
                 write!(f, "edge probability {prob} is not in [0, 1]")
             }
             GraphError::NodeOutOfBounds { node, num_nodes } => {
-                write!(f, "node {node} out of bounds for graph with {num_nodes} nodes")
+                write!(
+                    f,
+                    "node {node} out of bounds for graph with {num_nodes} nodes"
+                )
             }
             GraphError::DuplicateEdge { src, dst } => {
                 write!(f, "edge ({src} -> {dst}) already exists")
             }
             GraphError::SelfLoop { node } => write!(f, "self-loop on node {node} rejected"),
             GraphError::TooLargeForExact { edges, max } => {
-                write!(f, "{edges} undetermined edges exceed exact-solver limit of {max}")
+                write!(
+                    f,
+                    "{edges} undetermined edges exceed exact-solver limit of {max}"
+                )
             }
         }
     }
@@ -69,7 +75,10 @@ mod tests {
     fn display_is_informative() {
         let e = GraphError::InvalidProbability { prob: 1.5 };
         assert!(e.to_string().contains("1.5"));
-        let e = GraphError::NodeOutOfBounds { node: 7, num_nodes: 3 };
+        let e = GraphError::NodeOutOfBounds {
+            node: 7,
+            num_nodes: 3,
+        };
         assert!(e.to_string().contains('7') && e.to_string().contains('3'));
         let e = GraphError::DuplicateEdge { src: 1, dst: 2 };
         assert!(e.to_string().contains("1 -> 2"));

@@ -34,7 +34,9 @@ impl Default for ConditioningBudget {
     fn default() -> Self {
         // Enough for every graph the test-suite and the ES baseline touch;
         // a few seconds of CPU at worst.
-        ConditioningBudget { max_steps: 20_000_000 }
+        ConditioningBudget {
+            max_steps: 20_000_000,
+        }
     }
 }
 
@@ -45,7 +47,7 @@ enum CoinState {
     Absent,
 }
 
-struct Solver<'g, G: ProbGraph + ?Sized> {
+struct Solver<'g, G: ProbGraph> {
     g: &'g G,
     t: NodeId,
     states: Vec<CoinState>,
@@ -57,7 +59,7 @@ struct Solver<'g, G: ProbGraph + ?Sized> {
     stack: Vec<NodeId>,
 }
 
-impl<G: ProbGraph + ?Sized> Solver<'_, G> {
+impl<G: ProbGraph> Solver<'_, G> {
     /// BFS from `s`. `optimistic` treats Unknown coins as present.
     ///
     /// When pessimistic (`optimistic == false`), also returns a *branch
@@ -166,7 +168,7 @@ impl<G: ProbGraph + ?Sized> Solver<'_, G> {
 /// let r = st_reliability(&g, NodeId(0), NodeId(2), ConditioningBudget::default()).unwrap();
 /// assert!((r - 0.4).abs() < 1e-12);
 /// ```
-pub fn st_reliability<G: ProbGraph + ?Sized>(
+pub fn st_reliability<G: ProbGraph>(
     g: &G,
     s: NodeId,
     t: NodeId,
@@ -274,7 +276,12 @@ mod tests {
                 }
             }
         }
-        let r = st_reliability(&g, NodeId(0), NodeId(11), ConditioningBudget { max_steps: 10 });
+        let r = st_reliability(
+            &g,
+            NodeId(0),
+            NodeId(11),
+            ConditioningBudget { max_steps: 10 },
+        );
         assert!(matches!(r, Err(GraphError::TooLargeForExact { .. })));
     }
 
@@ -283,8 +290,14 @@ mod tests {
         use crate::view::{ExtraEdge, GraphView};
         let mut g = UncertainGraph::new(3, true);
         g.add_edge(NodeId(0), NodeId(1), 0.5).unwrap();
-        let view =
-            GraphView::new(&g, vec![ExtraEdge { src: NodeId(1), dst: NodeId(2), prob: 0.5 }]);
+        let view = GraphView::new(
+            &g,
+            vec![ExtraEdge {
+                src: NodeId(1),
+                dst: NodeId(2),
+                prob: 0.5,
+            }],
+        );
         let r = st_reliability(&view, NodeId(0), NodeId(2), ConditioningBudget::default()).unwrap();
         assert_close(r, 0.25);
     }

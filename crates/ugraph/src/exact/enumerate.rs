@@ -14,14 +14,17 @@ pub const MAX_ENUM_COINS: usize = 25;
 /// [`MAX_ENUM_COINS`] coins. Prefer
 /// [`crate::exact::st_reliability`] for anything non-trivial; this function
 /// is the most obviously-correct implementation and anchors the test suite.
-pub fn st_reliability_enumerate<G: ProbGraph + ?Sized>(
+pub fn st_reliability_enumerate<G: ProbGraph>(
     g: &G,
     s: NodeId,
     t: NodeId,
 ) -> Result<f64, GraphError> {
     let m = g.num_coins();
     if m > MAX_ENUM_COINS {
-        return Err(GraphError::TooLargeForExact { edges: m, max: MAX_ENUM_COINS });
+        return Err(GraphError::TooLargeForExact {
+            edges: m,
+            max: MAX_ENUM_COINS,
+        });
     }
     if s == t {
         return Ok(1.0);
@@ -135,12 +138,18 @@ mod tests {
     #[test]
     fn source_equals_target() {
         let g = UncertainGraph::new(1, true);
-        assert_eq!(st_reliability_enumerate(&g, NodeId(0), NodeId(0)).unwrap(), 1.0);
+        assert_eq!(
+            st_reliability_enumerate(&g, NodeId(0), NodeId(0)).unwrap(),
+            1.0
+        );
     }
 
     #[test]
     fn disconnected_is_zero() {
         let g = UncertainGraph::new(2, true);
-        assert_eq!(st_reliability_enumerate(&g, NodeId(0), NodeId(1)).unwrap(), 0.0);
+        assert_eq!(
+            st_reliability_enumerate(&g, NodeId(0), NodeId(1)).unwrap(),
+            0.0
+        );
     }
 }

@@ -99,7 +99,11 @@ impl UncertainGraph {
             directed,
             edges: Vec::new(),
             out_adj: vec![Vec::new(); n],
-            in_adj: if directed { vec![Vec::new(); n] } else { Vec::new() },
+            in_adj: if directed {
+                vec![Vec::new(); n]
+            } else {
+                Vec::new()
+            },
             index: FxHashMap::default(),
         }
     }
@@ -123,7 +127,10 @@ impl UncertainGraph {
 
     fn check_node(&self, v: NodeId) -> Result<(), GraphError> {
         if v.index() >= self.num_nodes() {
-            return Err(GraphError::NodeOutOfBounds { node: v.0, num_nodes: self.num_nodes() });
+            return Err(GraphError::NodeOutOfBounds {
+                node: v.0,
+                num_nodes: self.num_nodes(),
+            });
         }
         Ok(())
     }
@@ -146,7 +153,11 @@ impl UncertainGraph {
             return Err(GraphError::DuplicateEdge { src: u.0, dst: v.0 });
         }
         let id = EdgeId(self.edges.len() as u32);
-        self.edges.push(Edge { src: u, dst: v, prob: p });
+        self.edges.push(Edge {
+            src: u,
+            dst: v,
+            prob: p,
+        });
         self.index.insert(key, id);
         self.out_adj[u.index()].push((v, id));
         if self.directed {
@@ -272,11 +283,24 @@ impl UncertainGraph {
     /// Sum of `p(e)` over edges incident to `v` (in + out). This is the
     /// paper's probability-weighted degree centrality (§3.3).
     pub fn weighted_degree(&self, v: NodeId) -> f64 {
-        let mut sum: f64 = self.out_adj[v.index()].iter().map(|&(_, e)| self.prob(e)).sum();
+        let mut sum: f64 = self.out_adj[v.index()]
+            .iter()
+            .map(|&(_, e)| self.prob(e))
+            .sum();
         if self.directed {
-            sum += self.in_adj[v.index()].iter().map(|&(_, e)| self.prob(e)).sum::<f64>();
+            sum += self.in_adj[v.index()]
+                .iter()
+                .map(|&(_, e)| self.prob(e))
+                .sum::<f64>();
         }
         sum
+    }
+
+    /// Freeze this graph into an immutable [`crate::CsrGraph`] snapshot
+    /// (flat CSR arrays, coin ids preserved). Build once, then sample many
+    /// worlds against the snapshot.
+    pub fn freeze(&self) -> crate::CsrGraph {
+        crate::CsrGraph::freeze(self)
     }
 
     /// Approximate resident bytes of the graph structures (for the memory
@@ -308,7 +332,63 @@ impl fmt::Debug for UncertainGraph {
     }
 }
 
+/// Slice-backed arc iterator over an [`UncertainGraph`] adjacency list.
+///
+/// Resolves each `(neighbor, edge-id)` pair against the edge table to
+/// yield `(neighbor, probability, coin)`. Fully inlinable once the caller
+/// is monomorphized over [`UncertainGraph`].
+pub struct AdjArcs<'a> {
+    edges: &'a [Edge],
+    iter: std::slice::Iter<'a, (NodeId, EdgeId)>,
+}
+
+impl Iterator for AdjArcs<'_> {
+    type Item = (NodeId, f64, CoinId);
+
+    #[inline]
+    fn next(&mut self) -> Option<Self::Item> {
+        self.iter
+            .next()
+            .map(|&(u, e)| (u, self.edges[e.index()].prob, e.0))
+    }
+
+    #[inline]
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.iter.size_hint()
+    }
+}
+
+impl ExactSizeIterator for AdjArcs<'_> {}
+
+/// [`AdjArcs`] in world-sampling form: thresholds are derived from the
+/// edge table on the fly (the frozen [`crate::CsrGraph`] precomputes them
+/// instead — that is the hot path).
+pub struct AdjFlips<'a> {
+    edges: &'a [Edge],
+    iter: std::slice::Iter<'a, (NodeId, EdgeId)>,
+}
+
+impl Iterator for AdjFlips<'_> {
+    type Item = (NodeId, u64, CoinId);
+
+    #[inline]
+    fn next(&mut self) -> Option<Self::Item> {
+        self.iter
+            .next()
+            .map(|&(u, e)| (u, crate::flip_threshold(self.edges[e.index()].prob), e.0))
+    }
+
+    #[inline]
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.iter.size_hint()
+    }
+}
+
 impl ProbGraph for UncertainGraph {
+    type OutArcs<'a> = AdjArcs<'a>;
+    type InArcs<'a> = AdjArcs<'a>;
+    type FlipArcs<'a> = AdjFlips<'a>;
+
     #[inline]
     fn num_nodes(&self) -> usize {
         self.num_nodes()
@@ -324,15 +404,35 @@ impl ProbGraph for UncertainGraph {
         self.directed
     }
 
-    fn for_each_out(&self, v: NodeId, f: &mut dyn FnMut(NodeId, f64, CoinId)) {
-        for &(u, e) in &self.out_adj[v.index()] {
-            f(u, self.edges[e.index()].prob, e.0);
+    #[inline]
+    fn out_arcs(&self, v: NodeId) -> AdjArcs<'_> {
+        AdjArcs {
+            edges: &self.edges,
+            iter: self.out_adj[v.index()].iter(),
         }
     }
 
-    fn for_each_in(&self, v: NodeId, f: &mut dyn FnMut(NodeId, f64, CoinId)) {
-        for &(u, e) in self.in_edges(v) {
-            f(u, self.edges[e.index()].prob, e.0);
+    #[inline]
+    fn in_arcs(&self, v: NodeId) -> AdjArcs<'_> {
+        AdjArcs {
+            edges: &self.edges,
+            iter: self.in_edges(v).iter(),
+        }
+    }
+
+    #[inline]
+    fn out_flips(&self, v: NodeId) -> AdjFlips<'_> {
+        AdjFlips {
+            edges: &self.edges,
+            iter: self.out_adj[v.index()].iter(),
+        }
+    }
+
+    #[inline]
+    fn in_flips(&self, v: NodeId) -> AdjFlips<'_> {
+        AdjFlips {
+            edges: &self.edges,
+            iter: self.in_edges(v).iter(),
         }
     }
 
@@ -438,12 +538,12 @@ mod tests {
     #[test]
     fn prob_graph_trait_visits_all_edges() {
         let g = diamond();
-        let mut seen = Vec::new();
-        g.for_each_out(NodeId(0), &mut |u, p, c| seen.push((u.0, p, c)));
-        seen.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut seen: Vec<(u32, f64, CoinId)> = Vec::new();
+        g.for_each_out(NodeId(0), |u, p, c| seen.push((u.0, p, c)));
+        seen.sort_by_key(|a| a.0);
         assert_eq!(seen, vec![(1, 0.5, 0), (2, 0.6, 1)]);
         let mut inc = Vec::new();
-        g.for_each_in(NodeId(3), &mut |u, _, _| inc.push(u.0));
+        g.for_each_in(NodeId(3), |u: NodeId, _, _| inc.push(u.0));
         inc.sort_unstable();
         assert_eq!(inc, vec![1, 2]);
         assert_eq!(g.coin_endpoints(3), (NodeId(2), NodeId(3)));

@@ -13,17 +13,17 @@ pub const UNREACHABLE: u32 = u32::MAX;
 ///
 /// Returns a vector indexed by node id; unreachable nodes get
 /// [`UNREACHABLE`].
-pub fn hop_distances<G: ProbGraph + ?Sized>(g: &G, s: NodeId) -> Vec<u32> {
+pub fn hop_distances<G: ProbGraph>(g: &G, s: NodeId) -> Vec<u32> {
     bfs_impl(g, s, false, None)
 }
 
 /// BFS hop distances *to* `t` (along reversed edges).
-pub fn hop_distances_rev<G: ProbGraph + ?Sized>(g: &G, t: NodeId) -> Vec<u32> {
+pub fn hop_distances_rev<G: ProbGraph>(g: &G, t: NodeId) -> Vec<u32> {
     bfs_impl(g, t, true, None)
 }
 
 /// Nodes within `h` hops of `s` (including `s` itself), in BFS order.
-pub fn within_hops<G: ProbGraph + ?Sized>(g: &G, s: NodeId, h: u32) -> Vec<NodeId> {
+pub fn within_hops<G: ProbGraph>(g: &G, s: NodeId, h: u32) -> Vec<NodeId> {
     let dist = bfs_impl(g, s, false, Some(h));
     let mut out: Vec<NodeId> = dist
         .iter()
@@ -35,12 +35,7 @@ pub fn within_hops<G: ProbGraph + ?Sized>(g: &G, s: NodeId, h: u32) -> Vec<NodeI
     out
 }
 
-fn bfs_impl<G: ProbGraph + ?Sized>(
-    g: &G,
-    start: NodeId,
-    reverse: bool,
-    limit: Option<u32>,
-) -> Vec<u32> {
+fn bfs_impl<G: ProbGraph>(g: &G, start: NodeId, reverse: bool, limit: Option<u32>) -> Vec<u32> {
     let mut dist = vec![UNREACHABLE; g.num_nodes()];
     dist[start.index()] = 0;
     let mut queue = VecDeque::new();
@@ -52,16 +47,20 @@ fn bfs_impl<G: ProbGraph + ?Sized>(
                 continue;
             }
         }
-        let visit = &mut |u: NodeId, _p: f64, _c: u32| {
+        let mut relax = |u: NodeId| {
             if dist[u.index()] == UNREACHABLE {
                 dist[u.index()] = dv + 1;
                 queue.push_back(u);
             }
         };
         if reverse {
-            g.for_each_in(v, visit);
+            for (u, _, _) in g.in_arcs(v) {
+                relax(u);
+            }
         } else {
-            g.for_each_out(v, visit);
+            for (u, _, _) in g.out_arcs(v) {
+                relax(u);
+            }
         }
     }
     dist
@@ -69,55 +68,41 @@ fn bfs_impl<G: ProbGraph + ?Sized>(
 
 /// Whether `t` is reachable from `s` using only edges whose coin is present
 /// in `world`.
-pub fn world_reaches<G: ProbGraph + ?Sized>(
-    g: &G,
-    world: &PossibleWorld,
-    s: NodeId,
-    t: NodeId,
-) -> bool {
+pub fn world_reaches<G: ProbGraph>(g: &G, world: &PossibleWorld, s: NodeId, t: NodeId) -> bool {
     if s == t {
         return true;
     }
     let mut seen = vec![false; g.num_nodes()];
     seen[s.index()] = true;
     let mut stack = vec![s];
-    let mut found = false;
     while let Some(v) = stack.pop() {
-        if found {
-            break;
-        }
-        g.for_each_out(v, &mut |u, _p, c| {
-            if !found && world.contains(c) && !seen[u.index()] {
+        for (u, _, c) in g.out_arcs(v) {
+            if world.contains(c) && !seen[u.index()] {
                 if u == t {
-                    found = true;
-                } else {
-                    seen[u.index()] = true;
-                    stack.push(u);
+                    return true;
                 }
+                seen[u.index()] = true;
+                stack.push(u);
             }
-        });
+        }
     }
-    found
+    false
 }
 
 /// All nodes reachable from `s` in `world` (including `s`), as a boolean
 /// mask. Used when one sampled world must answer reachability for many
 /// targets at once (multi-target queries, influence spread).
-pub fn world_reachable_set<G: ProbGraph + ?Sized>(
-    g: &G,
-    world: &PossibleWorld,
-    s: NodeId,
-) -> Vec<bool> {
+pub fn world_reachable_set<G: ProbGraph>(g: &G, world: &PossibleWorld, s: NodeId) -> Vec<bool> {
     let mut seen = vec![false; g.num_nodes()];
     seen[s.index()] = true;
     let mut stack = vec![s];
     while let Some(v) = stack.pop() {
-        g.for_each_out(v, &mut |u, _p, c| {
+        for (u, _, c) in g.out_arcs(v) {
             if world.contains(c) && !seen[u.index()] {
                 seen[u.index()] = true;
                 stack.push(u);
             }
-        });
+        }
     }
     seen
 }
@@ -125,7 +110,7 @@ pub fn world_reachable_set<G: ProbGraph + ?Sized>(
 /// Approximate diameter: the maximum BFS eccentricity observed from
 /// `probes` start nodes (double-sweep style — start from the farthest node
 /// found so far). Exact on the probed set; a lower bound in general.
-pub fn approx_diameter<G: ProbGraph + ?Sized>(g: &G, probes: usize) -> u32 {
+pub fn approx_diameter<G: ProbGraph>(g: &G, probes: usize) -> u32 {
     if g.num_nodes() == 0 {
         return 0;
     }
@@ -206,6 +191,22 @@ mod tests {
         assert_eq!(mask, vec![true, true, true, true, false]);
         assert!(world_reaches(&g, &w, NodeId(0), NodeId(3)));
         assert!(!world_reaches(&g, &w, NodeId(0), NodeId(4)));
+    }
+
+    #[test]
+    fn traversal_identical_on_csr_snapshot() {
+        let g = path5();
+        let csr = g.freeze();
+        assert_eq!(hop_distances(&g, NodeId(0)), hop_distances(&csr, NodeId(0)));
+        assert_eq!(
+            hop_distances_rev(&g, NodeId(4)),
+            hop_distances_rev(&csr, NodeId(4))
+        );
+        assert_eq!(
+            within_hops(&g, NodeId(0), 2),
+            within_hops(&csr, NodeId(0), 2)
+        );
+        assert_eq!(approx_diameter(&g, 4), approx_diameter(&csr, 4));
     }
 
     #[test]

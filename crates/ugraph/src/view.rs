@@ -1,7 +1,7 @@
 //! Zero-copy graph overlay: a base graph plus tentative extra edges.
 
 use crate::graph::{NodeId, UncertainGraph};
-use crate::{CoinId, ProbGraph};
+use crate::{flip_threshold, Arc, CoinId, FlipArc, ProbGraph};
 
 /// One tentative extra edge layered on top of a base graph.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -14,13 +14,18 @@ pub struct ExtraEdge {
     pub prob: f64,
 }
 
-/// A base [`UncertainGraph`] with a small set of extra edges overlaid.
+/// A base [`ProbGraph`] with a small set of extra edges overlaid.
 ///
 /// The selection algorithms in `relmax-core` repeatedly evaluate "what is the
 /// reliability if we also add edges X?". Cloning a large graph per candidate
 /// set would dominate the running time, so the overlay stores only the extra
 /// edges plus per-node buckets for them. Coins `0..base.num_coins()` belong
 /// to the base graph; coin `base.num_coins() + i` is extra edge `i`.
+///
+/// The base defaults to [`UncertainGraph`] but can be any [`ProbGraph`] —
+/// the hot-path composition is an overlay on a frozen
+/// [`crate::CsrGraph`], which keeps candidate evaluation on flat arrays
+/// without re-freezing per candidate set.
 ///
 /// ```
 /// use relmax_ugraph::{UncertainGraph, GraphView, ExtraEdge, NodeId, ProbGraph};
@@ -29,12 +34,11 @@ pub struct ExtraEdge {
 /// g.add_edge(NodeId(0), NodeId(1), 0.5).unwrap();
 /// let view = GraphView::new(&g, vec![ExtraEdge { src: NodeId(1), dst: NodeId(2), prob: 0.9 }]);
 /// assert_eq!(view.num_coins(), 2);
-/// let mut out = Vec::new();
-/// view.for_each_out(NodeId(1), &mut |u, p, c| out.push((u.0, p, c)));
-/// assert_eq!(out, vec![(2, 0.9, 1)]);
+/// let out: Vec<_> = view.out_arcs(NodeId(1)).collect();
+/// assert_eq!(out, vec![(NodeId(2), 0.9, 1)]);
 /// ```
-pub struct GraphView<'g> {
-    base: &'g UncertainGraph,
+pub struct GraphView<'g, B: ProbGraph = UncertainGraph> {
+    base: &'g B,
     extra: Vec<ExtraEdge>,
     /// `extra_out[v]` = indices into `extra` whose src is `v` (or either
     /// endpoint, for undirected bases).
@@ -44,33 +48,41 @@ pub struct GraphView<'g> {
     extra_in: Vec<Vec<u32>>,
 }
 
-impl<'g> GraphView<'g> {
+impl<'g, B: ProbGraph> GraphView<'g, B> {
     /// Overlay `extra` edges on `base`. Extra edges follow the base graph's
     /// directedness.
-    pub fn new(base: &'g UncertainGraph, extra: Vec<ExtraEdge>) -> Self {
+    pub fn new(base: &'g B, extra: Vec<ExtraEdge>) -> Self {
         let n = base.num_nodes();
         let mut extra_out = vec![Vec::new(); n];
         let mut extra_in = vec![Vec::new(); n];
         for (i, e) in extra.iter().enumerate() {
-            debug_assert!(e.src.index() < n && e.dst.index() < n, "extra edge out of bounds");
+            debug_assert!(
+                e.src.index() < n && e.dst.index() < n,
+                "extra edge out of bounds"
+            );
             extra_out[e.src.index()].push(i as u32);
-            if base.directed() {
+            if base.is_directed() {
                 extra_in[e.dst.index()].push(i as u32);
             } else {
                 extra_out[e.dst.index()].push(i as u32);
             }
         }
-        GraphView { base, extra, extra_out, extra_in }
+        GraphView {
+            base,
+            extra,
+            extra_out,
+            extra_in,
+        }
     }
 
     /// Overlay with no extra edges (useful as a uniform starting point).
-    pub fn empty(base: &'g UncertainGraph) -> Self {
+    pub fn empty(base: &'g B) -> Self {
         GraphView::new(base, Vec::new())
     }
 
     /// The base graph.
     #[inline]
-    pub fn base(&self) -> &UncertainGraph {
+    pub fn base(&self) -> &B {
         self.base
     }
 
@@ -84,7 +96,7 @@ impl<'g> GraphView<'g> {
     pub fn push_extra(&mut self, e: ExtraEdge) -> CoinId {
         let i = self.extra.len() as u32;
         self.extra_out[e.src.index()].push(i);
-        if self.base.directed() {
+        if self.base.is_directed() {
             self.extra_in[e.dst.index()].push(i);
         } else {
             self.extra_out[e.dst.index()].push(i);
@@ -99,14 +111,16 @@ impl<'g> GraphView<'g> {
         let i = self.extra.len() as u32;
         let bucket = &mut self.extra_out[e.src.index()];
         bucket.retain(|&x| x != i);
-        if self.base.directed() {
+        if self.base.is_directed() {
             self.extra_in[e.dst.index()].retain(|&x| x != i);
         } else {
             self.extra_out[e.dst.index()].retain(|&x| x != i);
         }
         e
     }
+}
 
+impl GraphView<'_, UncertainGraph> {
     /// Materialize the overlay into an owned graph (used once a solution is
     /// final). Extra edges that duplicate base edges are skipped.
     pub fn materialize(&self) -> UncertainGraph {
@@ -118,14 +132,78 @@ impl<'g> GraphView<'g> {
         }
         g
     }
+}
+
+/// Iterator over the overlay's extra arcs incident to one node.
+pub struct ExtraArcs<'a> {
+    extra: &'a [ExtraEdge],
+    bucket: std::slice::Iter<'a, u32>,
+    v: NodeId,
+    base_coins: CoinId,
+    /// Resolve the "other" endpoint against `dst` (in-arcs) instead of
+    /// `src` (out-arcs).
+    reverse: bool,
+}
+
+impl Iterator for ExtraArcs<'_> {
+    type Item = Arc;
 
     #[inline]
-    fn extra_coin(&self, i: u32) -> CoinId {
-        self.base.num_coins() as CoinId + i
+    fn next(&mut self) -> Option<Arc> {
+        self.bucket.next().map(|&i| {
+            let e = &self.extra[i as usize];
+            let anchor = if self.reverse { e.dst } else { e.src };
+            let other = if anchor == self.v {
+                if self.reverse {
+                    e.src
+                } else {
+                    e.dst
+                }
+            } else {
+                anchor
+            };
+            (other, e.prob, self.base_coins + i)
+        })
+    }
+
+    #[inline]
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.bucket.size_hint()
     }
 }
 
-impl ProbGraph for GraphView<'_> {
+/// [`ExtraArcs`] in world-sampling form (thresholds computed on the fly —
+/// overlays carry only a handful of extra edges).
+pub struct ExtraFlips<'a>(ExtraArcs<'a>);
+
+impl Iterator for ExtraFlips<'_> {
+    type Item = FlipArc;
+
+    #[inline]
+    fn next(&mut self) -> Option<FlipArc> {
+        self.0.next().map(|(u, p, c)| (u, flip_threshold(p), c))
+    }
+
+    #[inline]
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.0.size_hint()
+    }
+}
+
+impl<B: ProbGraph> ProbGraph for GraphView<'_, B> {
+    type OutArcs<'a>
+        = std::iter::Chain<B::OutArcs<'a>, ExtraArcs<'a>>
+    where
+        Self: 'a;
+    type InArcs<'a>
+        = std::iter::Chain<B::InArcs<'a>, ExtraArcs<'a>>
+    where
+        Self: 'a;
+    type FlipArcs<'a>
+        = std::iter::Chain<B::FlipArcs<'a>, ExtraFlips<'a>>
+    where
+        Self: 'a;
+
     #[inline]
     fn num_nodes(&self) -> usize {
         self.base.num_nodes()
@@ -138,26 +216,61 @@ impl ProbGraph for GraphView<'_> {
 
     #[inline]
     fn is_directed(&self) -> bool {
-        self.base.directed()
+        self.base.is_directed()
     }
 
-    fn for_each_out(&self, v: NodeId, f: &mut dyn FnMut(NodeId, f64, CoinId)) {
-        self.base.for_each_out(v, f);
-        for &i in &self.extra_out[v.index()] {
-            let e = &self.extra[i as usize];
-            let other = if e.src == v { e.dst } else { e.src };
-            f(other, e.prob, self.extra_coin(i));
-        }
+    #[inline]
+    fn out_arcs(&self, v: NodeId) -> Self::OutArcs<'_> {
+        self.base.out_arcs(v).chain(ExtraArcs {
+            extra: &self.extra,
+            bucket: self.extra_out[v.index()].iter(),
+            v,
+            base_coins: self.base.num_coins() as CoinId,
+            reverse: false,
+        })
     }
 
-    fn for_each_in(&self, v: NodeId, f: &mut dyn FnMut(NodeId, f64, CoinId)) {
-        self.base.for_each_in(v, f);
-        let bucket = if self.base.directed() { &self.extra_in } else { &self.extra_out };
-        for &i in &bucket[v.index()] {
-            let e = &self.extra[i as usize];
-            let other = if e.dst == v { e.src } else { e.dst };
-            f(other, e.prob, self.extra_coin(i));
-        }
+    #[inline]
+    fn in_arcs(&self, v: NodeId) -> Self::InArcs<'_> {
+        let bucket = if self.base.is_directed() {
+            &self.extra_in
+        } else {
+            &self.extra_out
+        };
+        self.base.in_arcs(v).chain(ExtraArcs {
+            extra: &self.extra,
+            bucket: bucket[v.index()].iter(),
+            v,
+            base_coins: self.base.num_coins() as CoinId,
+            reverse: true,
+        })
+    }
+
+    #[inline]
+    fn out_flips(&self, v: NodeId) -> Self::FlipArcs<'_> {
+        self.base.out_flips(v).chain(ExtraFlips(ExtraArcs {
+            extra: &self.extra,
+            bucket: self.extra_out[v.index()].iter(),
+            v,
+            base_coins: self.base.num_coins() as CoinId,
+            reverse: false,
+        }))
+    }
+
+    #[inline]
+    fn in_flips(&self, v: NodeId) -> Self::FlipArcs<'_> {
+        let bucket = if self.base.is_directed() {
+            &self.extra_in
+        } else {
+            &self.extra_out
+        };
+        self.base.in_flips(v).chain(ExtraFlips(ExtraArcs {
+            extra: &self.extra,
+            bucket: bucket[v.index()].iter(),
+            v,
+            base_coins: self.base.num_coins() as CoinId,
+            reverse: true,
+        }))
     }
 
     #[inline]
@@ -199,20 +312,29 @@ mod tests {
         let view = GraphView::new(
             &g,
             vec![
-                ExtraEdge { src: NodeId(2), dst: NodeId(3), prob: 0.9 },
-                ExtraEdge { src: NodeId(0), dst: NodeId(3), prob: 0.1 },
+                ExtraEdge {
+                    src: NodeId(2),
+                    dst: NodeId(3),
+                    prob: 0.9,
+                },
+                ExtraEdge {
+                    src: NodeId(0),
+                    dst: NodeId(3),
+                    prob: 0.1,
+                },
             ],
         );
         assert_eq!(view.num_coins(), 4);
-        let mut out0 = Vec::new();
-        view.for_each_out(NodeId(0), &mut |u, p, c| out0.push((u.0, p, c)));
-        out0.sort_by(|a, b| a.2.cmp(&b.2));
+        let mut out0: Vec<_> = view
+            .out_arcs(NodeId(0))
+            .map(|(u, p, c)| (u.0, p, c))
+            .collect();
+        out0.sort_by_key(|a| a.2);
         assert_eq!(out0, vec![(1, 0.5, 0), (3, 0.1, 3)]);
         assert_eq!(view.coin_prob(3), 0.1);
         assert_eq!(view.coin_endpoints(2), (NodeId(2), NodeId(3)));
         // Reverse traversal sees extra edges too.
-        let mut in3 = Vec::new();
-        view.for_each_in(NodeId(3), &mut |u, _, c| in3.push((u.0, c)));
+        let mut in3: Vec<_> = view.in_arcs(NodeId(3)).map(|(u, _, c)| (u.0, c)).collect();
         in3.sort_unstable();
         assert_eq!(in3, vec![(0, 3), (2, 2)]);
     }
@@ -221,28 +343,37 @@ mod tests {
     fn push_pop_roundtrip() {
         let g = base();
         let mut view = GraphView::empty(&g);
-        let coin = view.push_extra(ExtraEdge { src: NodeId(2), dst: NodeId(3), prob: 0.4 });
+        let coin = view.push_extra(ExtraEdge {
+            src: NodeId(2),
+            dst: NodeId(3),
+            prob: 0.4,
+        });
         assert_eq!(coin, 2);
         assert_eq!(view.num_coins(), 3);
         let popped = view.pop_extra();
         assert_eq!(popped.dst, NodeId(3));
         assert_eq!(view.num_coins(), 2);
-        let mut out2 = Vec::new();
-        view.for_each_out(NodeId(2), &mut |u, _, _| out2.push(u.0));
-        assert!(out2.is_empty());
+        assert_eq!(view.out_arcs(NodeId(2)).count(), 0);
     }
 
     #[test]
     fn undirected_overlay_mirrors_extra_edges() {
         let mut g = UncertainGraph::new(3, false);
         g.add_edge(NodeId(0), NodeId(1), 0.5).unwrap();
-        let view =
-            GraphView::new(&g, vec![ExtraEdge { src: NodeId(1), dst: NodeId(2), prob: 0.7 }]);
-        let mut from2 = Vec::new();
-        view.for_each_out(NodeId(2), &mut |u, p, c| from2.push((u.0, p, c)));
+        let view = GraphView::new(
+            &g,
+            vec![ExtraEdge {
+                src: NodeId(1),
+                dst: NodeId(2),
+                prob: 0.7,
+            }],
+        );
+        let from2: Vec<_> = view
+            .out_arcs(NodeId(2))
+            .map(|(u, p, c)| (u.0, p, c))
+            .collect();
         assert_eq!(from2, vec![(1, 0.7, 1)]);
-        let mut from1 = Vec::new();
-        view.for_each_out(NodeId(1), &mut |u, _, _| from1.push(u.0));
+        let mut from1: Vec<_> = view.out_arcs(NodeId(1)).map(|(u, _, _)| u.0).collect();
         from1.sort_unstable();
         assert_eq!(from1, vec![0, 2]);
     }
@@ -250,7 +381,14 @@ mod tests {
     #[test]
     fn materialize_adds_extra_edges() {
         let g = base();
-        let view = GraphView::new(&g, vec![ExtraEdge { src: NodeId(2), dst: NodeId(3), prob: 0.9 }]);
+        let view = GraphView::new(
+            &g,
+            vec![ExtraEdge {
+                src: NodeId(2),
+                dst: NodeId(3),
+                prob: 0.9,
+            }],
+        );
         let owned = view.materialize();
         assert_eq!(owned.num_edges(), 3);
         assert!(owned.has_edge(NodeId(2), NodeId(3)));
@@ -261,10 +399,37 @@ mod tests {
     #[test]
     fn materialize_skips_duplicates() {
         let g = base();
-        let view = GraphView::new(&g, vec![ExtraEdge { src: NodeId(0), dst: NodeId(1), prob: 0.9 }]);
+        let view = GraphView::new(
+            &g,
+            vec![ExtraEdge {
+                src: NodeId(0),
+                dst: NodeId(1),
+                prob: 0.9,
+            }],
+        );
         let owned = view.materialize();
         assert_eq!(owned.num_edges(), 2);
         // Base probability wins.
-        assert_eq!(owned.prob(owned.edge_between(NodeId(0), NodeId(1)).unwrap()), 0.5);
+        assert_eq!(
+            owned.prob(owned.edge_between(NodeId(0), NodeId(1)).unwrap()),
+            0.5
+        );
+    }
+
+    #[test]
+    fn overlay_composes_over_csr_snapshots() {
+        let g = base();
+        let csr = g.freeze();
+        let mut view = GraphView::empty(&csr);
+        let coin = view.push_extra(ExtraEdge {
+            src: NodeId(2),
+            dst: NodeId(3),
+            prob: 0.4,
+        });
+        assert_eq!(coin, 2);
+        let out2: Vec<_> = view.out_arcs(NodeId(2)).collect();
+        assert_eq!(out2, vec![(NodeId(3), 0.4, 2)]);
+        let in1: Vec<_> = view.in_arcs(NodeId(1)).collect();
+        assert_eq!(in1, vec![(NodeId(0), 0.5, 0)]);
     }
 }

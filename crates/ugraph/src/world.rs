@@ -14,9 +14,10 @@ pub struct PossibleWorld {
 
 impl PossibleWorld {
     /// Sample a world from `g` by flipping every coin independently.
-    pub fn sample<G: ProbGraph + ?Sized, R: Rng + ?Sized>(g: &G, rng: &mut R) -> Self {
-        let present =
-            (0..g.num_coins()).map(|c| rng.gen::<f64>() < g.coin_prob(c as CoinId)).collect();
+    pub fn sample<G: ProbGraph, R: Rng + ?Sized>(g: &G, rng: &mut R) -> Self {
+        let present = (0..g.num_coins())
+            .map(|c| rng.gen::<f64>() < g.coin_prob(c as CoinId))
+            .collect();
         PossibleWorld { present }
     }
 
@@ -25,7 +26,9 @@ impl PossibleWorld {
     /// enumerator and by tests.
     pub fn from_mask(num_coins: usize, mask: u64) -> Self {
         assert!(num_coins <= 64, "from_mask supports at most 64 coins");
-        PossibleWorld { present: (0..num_coins).map(|i| mask >> i & 1 == 1).collect() }
+        PossibleWorld {
+            present: (0..num_coins).map(|i| mask >> i & 1 == 1).collect(),
+        }
     }
 
     /// Whether coin `c` is present in this world.
@@ -46,7 +49,7 @@ impl PossibleWorld {
     }
 
     /// Probability of observing exactly this world under `g` (Eq. 1).
-    pub fn probability<G: ProbGraph + ?Sized>(&self, g: &G) -> f64 {
+    pub fn probability<G: ProbGraph>(&self, g: &G) -> f64 {
         debug_assert_eq!(self.present.len(), g.num_coins());
         let mut p = 1.0;
         for (i, &b) in self.present.iter().enumerate() {
@@ -58,7 +61,7 @@ impl PossibleWorld {
 
     /// The reachability indicator `I_G(s, t)`: 1 if `t` is reachable from
     /// `s` using only edges present in this world (Eq. 2's indicator).
-    pub fn reaches<G: ProbGraph + ?Sized>(&self, g: &G, s: NodeId, t: NodeId) -> bool {
+    pub fn reaches<G: ProbGraph>(&self, g: &G, s: NodeId, t: NodeId) -> bool {
         traverse::world_reaches(g, self, s, t)
     }
 }
@@ -80,8 +83,9 @@ mod tests {
     #[test]
     fn world_probabilities_sum_to_one() {
         let g = chain();
-        let total: f64 =
-            (0u64..4).map(|m| PossibleWorld::from_mask(2, m).probability(&g)).sum();
+        let total: f64 = (0u64..4)
+            .map(|m| PossibleWorld::from_mask(2, m).probability(&g))
+            .sum();
         assert!((total - 1.0).abs() < 1e-12);
     }
 

@@ -28,8 +28,13 @@ fn main() {
     let mut by_degree: Vec<NodeId> = g.nodes().collect();
     by_degree.sort_by_key(|&v| std::cmp::Reverse(g.out_degree(v)));
     let seniors: Vec<NodeId> = by_degree[..10].to_vec();
-    let juniors: Vec<NodeId> =
-        by_degree.iter().rev().filter(|v| g.out_degree(**v) >= 1).take(100).copied().collect();
+    let juniors: Vec<NodeId> = by_degree
+        .iter()
+        .rev()
+        .filter(|v| g.out_degree(**v) >= 1)
+        .take(100)
+        .copied()
+        .collect();
 
     let samples = 400;
     let base_spread = influence_spread(&g, &seniors, Some(&juniors), samples, 1);
@@ -47,7 +52,10 @@ fn main() {
     query.r = 40;
     query.l = 10;
     let candidates = multi_candidates(&g, &query, &est);
-    println!("{} candidate collaborations after elimination", candidates.len());
+    println!(
+        "{} candidate collaborations after elimination",
+        candidates.len()
+    );
 
     for method in [MultiMethod::BatchEdge, MultiMethod::Eigen] {
         let selector = MultiSelector::with_method(method);

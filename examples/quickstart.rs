@@ -7,7 +7,6 @@
 //! Run with: `cargo run --release --example quickstart`
 
 use relmax::prelude::*;
-use relmax::core::baselines::{ExactSelector, HillClimbingSelector};
 
 fn main() {
     // A courier network: depot (0) -> hubs -> customer (7). Edge
@@ -29,19 +28,30 @@ fn main() {
     let (s, t) = (NodeId(0), NodeId(7));
 
     // Budget: 2 new links, each materializing with probability 0.7.
-    let query = StQuery::new(s, t, 2, 0.7).with_hop_limit(None).with_r(8).with_l(20);
+    let query = StQuery::new(s, t, 2, 0.7)
+        .with_hop_limit(None)
+        .with_r(8)
+        .with_l(20);
     let estimator = McEstimator::new(20_000, 42);
 
-    println!("Base reliability R(depot -> customer) = {:.3}", estimator.st_reliability(&g, s, t));
-    println!("Budget: k = {} new links with zeta = {}\n", query.k, query.zeta);
+    println!(
+        "Base reliability R(depot -> customer) = {:.3}",
+        estimator.st_reliability(&g, s, t)
+    );
+    println!(
+        "Budget: k = {} new links with zeta = {}\n",
+        query.k, query.zeta
+    );
 
-    let methods: Vec<(&str, Box<dyn EdgeSelector>)> = vec![
-        ("batch-edge selection (proposed)", Box::new(BatchEdgeSelector)),
-        ("hill climbing (baseline)", Box::new(HillClimbingSelector)),
-        ("exhaustive search (optimal)", Box::<ExactSelector>::default()),
+    let methods = [
+        ("batch-edge selection (proposed)", AnySelector::batch_edge()),
+        ("hill climbing (baseline)", AnySelector::hill_climbing()),
+        ("exhaustive search (optimal)", AnySelector::exhaustive()),
     ];
     for (desc, method) in methods {
-        let outcome = method.select(&g, &query, &estimator).expect("selection succeeds");
+        let outcome = method
+            .select(&g, &query, &estimator)
+            .expect("selection succeeds");
         let links: Vec<String> = outcome
             .added
             .iter()

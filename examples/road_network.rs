@@ -10,7 +10,6 @@
 
 use relmax::paths::{improve_most_reliable_path, most_reliable_path};
 use relmax::prelude::*;
-use relmax::core::MrpSelector;
 
 /// Build a `w x h` grid with congestion-dependent probabilities: arterial
 /// roads (every 3rd row) flow well, side streets are congested.
@@ -55,17 +54,24 @@ fn main() {
     // Budget: 4 new segments, each with probability 0.8 (grade-separated
     // flyovers are rarely congested). New segments only between
     // intersections at most 3 blocks apart.
-    let query = StQuery::new(depot, warehouse, 4, 0.8).with_hop_limit(Some(3)).with_r(40).with_l(30);
+    let query = StQuery::new(depot, warehouse, 4, 0.8)
+        .with_hop_limit(Some(3))
+        .with_r(40)
+        .with_l(30);
 
     println!("{:<28} {:>10} {:>8}", "method", "R after", "gain");
-    let methods: Vec<(&str, Box<dyn EdgeSelector>)> = vec![
-        ("most reliable path (MRP)", Box::new(MrpSelector)),
-        ("individual paths (IP)", Box::new(IndividualPathSelector)),
-        ("path batches (BE)", Box::new(BatchEdgeSelector)),
+    let methods = [
+        ("most reliable path (MRP)", AnySelector::mrp()),
+        ("individual paths (IP)", AnySelector::individual_path()),
+        ("path batches (BE)", AnySelector::batch_edge()),
     ];
     for (desc, m) in methods {
         let out = m.select(&g, &query, &est).expect("selection succeeds");
-        println!("{desc:<28} {:>10.3} {:>+8.3}", out.new_reliability, out.gain());
+        println!(
+            "{desc:<28} {:>10.3} {:>+8.3}",
+            out.new_reliability,
+            out.gain()
+        );
     }
 
     // The restricted problem on its own: the best single corridor.

@@ -28,15 +28,25 @@ fn main() {
     let installable = lab.installable_pairs(MAX_NEW_LINK_DIST);
     let candidates: Vec<CandidateEdge> = installable
         .iter()
-        .map(|&(u, v)| CandidateEdge { src: u, dst: v, prob: zeta })
+        .map(|&(u, v)| CandidateEdge {
+            src: u,
+            dst: v,
+            prob: zeta,
+        })
         .collect();
-    println!("{} installable short-range links (<= {MAX_NEW_LINK_DIST} m)\n", candidates.len());
+    println!(
+        "{} installable short-range links (<= {MAX_NEW_LINK_DIST} m)\n",
+        candidates.len()
+    );
 
     // Query 1: the farthest-apart pair (the paper's "right to left" case).
     // Query 2: a diagonal pair.
     let (far_a, far_b) = lab.farthest_pair();
     let diag = (NodeId(10), NodeId(43));
-    for (name, s, t) in [("far pair", far_a, far_b), ("diagonal pair", diag.0, diag.1)] {
+    for (name, s, t) in [
+        ("far pair", far_a, far_b),
+        ("diagonal pair", diag.0, diag.1),
+    ] {
         let query = StQuery::new(s, t, 3, zeta).with_hop_limit(None);
         let base = est.st_reliability(&lab.graph, s, t);
         let out = BatchEdgeSelector
@@ -49,7 +59,10 @@ fn main() {
             lab.coords[t.index()].0,
             lab.coords[t.index()].1
         );
-        println!("  reliability {base:.2} -> {:.2} with 3 new links:", out.new_reliability);
+        println!(
+            "  reliability {base:.2} -> {:.2} with 3 new links:",
+            out.new_reliability
+        );
         for e in &out.added {
             println!(
                 "    install {} -> {} ({:.1} m apart)",
@@ -71,13 +84,20 @@ fn main() {
         .into_iter()
         .filter(|c| lab.distance(c.src, c.dst) <= MAX_NEW_LINK_DIST)
         .collect();
-    println!("  {} candidates after elimination + distance filter", reduced.len());
+    println!(
+        "  {} candidates after elimination + distance filter",
+        reduced.len()
+    );
     let be = BatchEdgeSelector
         .select_with_candidates(&lab.graph, &query, &reduced, &est)
         .expect("BE is infallible");
     match ExactSelector::default().select_with_candidates(&lab.graph, &query, &reduced, &est) {
         Ok(es) => {
-            println!("  BE: gain {:+.3}   ES (optimal): gain {:+.3}", be.gain(), es.gain());
+            println!(
+                "  BE: gain {:+.3}   ES (optimal): gain {:+.3}",
+                be.gain(),
+                es.gain()
+            );
             println!(
                 "  BE reaches {:.0}% of the optimal gain",
                 100.0 * be.gain() / es.gain().max(1e-9)

@@ -9,10 +9,16 @@
 //!
 //! This facade crate re-exports the workspace members:
 //!
-//! - [`ugraph`] — the uncertain-graph substrate (storage, possible worlds,
-//!   exact reliability);
+//! - [`ugraph`] — the uncertain-graph substrate: mutable adjacency
+//!   storage ([`ugraph::UncertainGraph`]), zero-copy candidate overlays
+//!   ([`ugraph::GraphView`]), immutable flat-array snapshots
+//!   ([`ugraph::CsrGraph`], built once via `freeze()`), pooled
+//!   zero-allocation traversal scratch, possible worlds, and exact
+//!   reliability;
 //! - [`sampling`] — Monte Carlo and recursive stratified reliability
-//!   estimators;
+//!   estimators behind the generic [`sampling::Estimator`] trait
+//!   (monomorphized per graph type — no virtual dispatch in the
+//!   per-world BFS), with seed-keyed common random numbers;
 //! - [`paths`] — most-reliable-path machinery (Dijkstra, top-l paths,
 //!   the layered-graph exact solver for the restricted problem);
 //! - [`centrality`] — degree / betweenness / eigenvector analysis used by
@@ -22,7 +28,21 @@
 //!   and query workloads;
 //! - [`core`] — the paper's algorithms: search-space elimination,
 //!   baselines, most-reliable-path improvement, individual-path and
-//!   path-batch edge selection, and multi-source/target variants.
+//!   path-batch edge selection, and multi-source/target variants. All
+//!   selectors implement the generic [`core::EdgeSelector`] trait;
+//!   [`core::AnySelector`] provides a homogeneous value type where a
+//!   list of methods is needed.
+//!
+//! ## The hot path: freeze, then sample
+//!
+//! Estimation dominates every algorithm's runtime, so the estimator
+//! stack avoids dynamic dispatch entirely: `Estimator` and `EdgeSelector`
+//! methods are generic, and selection algorithms freeze the base graph
+//! once into a [`ugraph::CsrGraph`] and evaluate candidate edge sets as
+//! [`ugraph::GraphView`] overlays on the snapshot. Coin ids survive
+//! freezing, so a fixed seed produces bit-identical estimates on either
+//! storage layout — see `BENCH_sampling.json` for the measured speedup
+//! of the CSR walk over the legacy dyn-closure walk.
 //!
 //! ## Quickstart
 //!
@@ -45,6 +65,13 @@
 //!     .unwrap();
 //! assert!(outcome.added.len() <= 2 && !outcome.added.is_empty());
 //! assert!(outcome.gain() > 0.0);
+//!
+//! // Estimates are layout-independent for a fixed seed:
+//! let frozen = g.freeze();
+//! assert_eq!(
+//!     estimator.st_reliability(&g, NodeId(0), NodeId(5)),
+//!     estimator.st_reliability(&frozen, NodeId(0), NodeId(5)),
+//! );
 //! ```
 
 pub use relmax_centrality as centrality;
@@ -62,8 +89,8 @@ pub mod prelude {
     pub use crate::core::multi::{Aggregate, MultiQuery, MultiSelector};
     pub use crate::core::path_selection::{BatchEdgeSelector, IndividualPathSelector};
     pub use crate::core::query::StQuery;
-    pub use crate::core::selector::{EdgeSelector, Outcome};
+    pub use crate::core::selector::{AnySelector, EdgeSelector, Outcome};
     pub use crate::gen::prob::ProbModel;
     pub use crate::sampling::{Estimator, ExactEstimator, McEstimator, RssEstimator};
-    pub use crate::ugraph::{EdgeId, GraphView, NodeId, ProbGraph, UncertainGraph};
+    pub use crate::ugraph::{CsrGraph, EdgeId, GraphView, NodeId, ProbGraph, UncertainGraph};
 }

@@ -4,14 +4,12 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use relmax::core::baselines::{ExactSelector, HillClimbingSelector};
+use relmax::core::baselines::ExactSelector;
 use relmax::core::MrpSelector;
 use relmax::prelude::*;
 
 /// Random sparse digraph plus a few candidate edges for it.
-fn random_instance(
-    rng: &mut StdRng,
-) -> (UncertainGraph, Vec<CandidateEdge>, NodeId, NodeId) {
+fn random_instance(rng: &mut StdRng) -> (UncertainGraph, Vec<CandidateEdge>, NodeId, NodeId) {
     let n = rng.gen_range(5..8);
     let mut g = UncertainGraph::new(n, true);
     for u in 0..n as u32 {
@@ -33,7 +31,11 @@ fn random_instance(
                 .iter()
                 .any(|c: &CandidateEdge| (c.src, c.dst) == (NodeId(u), NodeId(v)))
         {
-            cands.push(CandidateEdge { src: NodeId(u), dst: NodeId(v), prob: 0.6 });
+            cands.push(CandidateEdge {
+                src: NodeId(u),
+                dst: NodeId(v),
+                prob: 0.6,
+            });
         }
     }
     (g, cands, NodeId(0), NodeId(n as u32 - 1))
@@ -50,10 +52,10 @@ fn exhaustive_search_dominates_every_heuristic() {
             .select_with_candidates(&g, &q, &cands, &est)
             .expect("small instance");
         for sel in [
-            &BatchEdgeSelector as &dyn EdgeSelector,
-            &IndividualPathSelector,
-            &MrpSelector,
-            &HillClimbingSelector,
+            AnySelector::batch_edge(),
+            AnySelector::individual_path(),
+            AnySelector::mrp(),
+            AnySelector::hill_climbing(),
         ] {
             let out = sel.select_with_candidates(&g, &q, &cands, &est).unwrap();
             assert!(
@@ -83,8 +85,10 @@ fn be_is_at_least_as_good_as_mrp_on_average() {
             .select_with_candidates(&g, &q, &cands, &est)
             .unwrap()
             .new_reliability;
-        mrp_total +=
-            MrpSelector.select_with_candidates(&g, &q, &cands, &est).unwrap().new_reliability;
+        mrp_total += MrpSelector
+            .select_with_candidates(&g, &q, &cands, &est)
+            .unwrap()
+            .new_reliability;
     }
     assert!(
         be_total >= mrp_total - 1e-9,
@@ -105,13 +109,22 @@ fn observation4_direct_st_edge_is_always_optimal_to_include() {
         if g.has_edge(s, t) {
             continue;
         }
-        let st_edge = CandidateEdge { src: s, dst: t, prob: 0.6 };
+        let st_edge = CandidateEdge {
+            src: s,
+            dst: t,
+            prob: 0.6,
+        };
         cands.push(st_edge);
         let q = StQuery::new(s, t, 2, 0.6).with_hop_limit(None);
-        let es = ExactSelector::default().select_with_candidates(&g, &q, &cands, &est).unwrap();
+        let es = ExactSelector::default()
+            .select_with_candidates(&g, &q, &cands, &est)
+            .unwrap();
         // Best solution that contains st: st + best single other edge.
-        let others: Vec<CandidateEdge> =
-            cands.iter().filter(|c| !(c.src == s && c.dst == t)).copied().collect();
+        let others: Vec<CandidateEdge> = cands
+            .iter()
+            .filter(|c| !(c.src == s && c.dst == t))
+            .copied()
+            .collect();
         let mut best_with_st = {
             let view = GraphView::new(&g, vec![st_edge]);
             est.st_reliability(&view, s, t)
@@ -140,13 +153,26 @@ fn table2_optimal_solutions_vary_with_parameters() {
         g.add_edge(a, t, alpha).unwrap();
         let q = StQuery::new(s, t, k, zeta);
         let cands = [
-            CandidateEdge { src: s, dst: a, prob: zeta },
-            CandidateEdge { src: s, dst: b, prob: zeta },
-            CandidateEdge { src: b, dst: t, prob: zeta },
+            CandidateEdge {
+                src: s,
+                dst: a,
+                prob: zeta,
+            },
+            CandidateEdge {
+                src: s,
+                dst: b,
+                prob: zeta,
+            },
+            CandidateEdge {
+                src: b,
+                dst: t,
+                prob: zeta,
+            },
         ];
         let est = ExactEstimator::new();
-        let out =
-            ExactSelector::default().select_with_candidates(&g, &q, &cands, &est).unwrap();
+        let out = ExactSelector::default()
+            .select_with_candidates(&g, &q, &cands, &est)
+            .unwrap();
         let mut edges: Vec<(u32, u32)> = out.added.iter().map(|c| (c.src.0, c.dst.0)).collect();
         edges.sort_unstable();
         edges
@@ -174,10 +200,10 @@ fn zero_budget_changes_nothing_for_every_method() {
     let (g, cands, s, t) = random_instance(&mut rng);
     let q = StQuery::new(s, t, 0, 0.6).with_hop_limit(None);
     for sel in [
-        &BatchEdgeSelector as &dyn EdgeSelector,
-        &IndividualPathSelector,
-        &MrpSelector,
-        &HillClimbingSelector,
+        AnySelector::batch_edge(),
+        AnySelector::individual_path(),
+        AnySelector::mrp(),
+        AnySelector::hill_climbing(),
     ] {
         let out = sel.select_with_candidates(&g, &q, &cands, &est).unwrap();
         assert!(out.added.is_empty(), "{} added edges with k=0", sel.name());

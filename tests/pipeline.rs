@@ -109,7 +109,11 @@ fn multi_aggregates_run_on_proxy() {
         let out = MultiSelector::with_method(MultiMethod::BatchEdge)
             .select_with_candidates(&g, &q, &cands, &est);
         assert!(out.added.len() <= q.k, "{agg:?} over budget");
-        assert!(out.new_value >= out.base_value - 0.05, "{agg:?} regressed: {}", out.gain());
+        assert!(
+            out.new_value >= out.base_value - 0.05,
+            "{agg:?} regressed: {}",
+            out.gain()
+        );
         for e in &out.added {
             assert!(!g.has_edge(e.src, e.dst));
         }
@@ -118,30 +122,50 @@ fn multi_aggregates_run_on_proxy() {
 
 #[test]
 fn all_selectors_run_on_the_same_candidates() {
-    use relmax::core::baselines::{
-        CentralitySelector, EigenSelector, HillClimbingSelector, IndividualTopKSelector,
-    };
-    use relmax::core::MrpSelector;
     let g = proxy();
     let est = McEstimator::new(250, 23);
     let (s, t) = st_queries(&g, 1, 3, 4, 5)[0];
     let q = StQuery::new(s, t, 3, 0.5).with_r(20).with_l(8);
     let cands = SearchSpaceElimination::new(20).candidate_edges(&g, &q, &est);
-    let selectors: Vec<Box<dyn EdgeSelector>> = vec![
-        Box::new(IndividualTopKSelector),
-        Box::new(HillClimbingSelector),
-        Box::new(CentralitySelector::degree()),
-        Box::new(CentralitySelector::betweenness()),
-        Box::new(EigenSelector::default()),
-        Box::new(MrpSelector),
-        Box::new(IndividualPathSelector),
-        Box::new(BatchEdgeSelector),
+    let selectors = [
+        AnySelector::top_k(),
+        AnySelector::hill_climbing(),
+        AnySelector::centrality_degree(),
+        AnySelector::centrality_betweenness(),
+        AnySelector::eigen(),
+        AnySelector::mrp(),
+        AnySelector::individual_path(),
+        AnySelector::batch_edge(),
     ];
     for sel in selectors {
-        let out = sel.select_with_candidates(&g, &q, &cands, &est).expect("selector runs");
+        let out = sel
+            .select_with_candidates(&g, &q, &cands, &est)
+            .expect("selector runs");
         assert!(out.added.len() <= q.k, "{} over budget", sel.name());
         for e in &out.added {
-            assert!(!g.has_edge(e.src, e.dst), "{} added existing edge", sel.name());
+            assert!(
+                !g.has_edge(e.src, e.dst),
+                "{} added existing edge",
+                sel.name()
+            );
         }
     }
+}
+
+#[test]
+fn selection_identical_when_driven_from_frozen_estimates() {
+    // The whole pipeline's estimator calls run over frozen snapshots
+    // internally; freezing must not change what gets selected.
+    let g = proxy();
+    let est = McEstimator::new(300, 29);
+    let (s, t) = st_queries(&g, 1, 3, 5, 6)[0];
+    let q = StQuery::new(s, t, 4, 0.5).with_r(25).with_l(10);
+    let csr = g.freeze();
+    // Direct estimates agree bit-for-bit across layouts.
+    assert_eq!(est.st_reliability(&g, s, t), est.st_reliability(&csr, s, t));
+    assert_eq!(est.reliability_from(&g, s), est.reliability_from(&csr, s));
+    // And the end-to-end selection is deterministic on top of them.
+    let a = BatchEdgeSelector.select(&g, &q, &est).unwrap();
+    let b = BatchEdgeSelector.select(&g, &q, &est).unwrap();
+    assert_eq!(a.added, b.added);
 }

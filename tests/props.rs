@@ -1,149 +1,276 @@
-//! Property-based tests (proptest) over randomly generated uncertain
-//! graphs: estimator correctness envelopes, structural invariants of the
-//! path machinery, and budget safety of every selector.
+//! Property-based tests over randomly generated uncertain graphs:
+//! estimator correctness envelopes, bit-identity of the CSR sampling path,
+//! structural invariants of the path machinery, and budget safety of every
+//! selector.
+//!
+//! The generators are hand-rolled seeded loops (the build environment has
+//! no crates.io access, so `proptest` is unavailable); each property runs
+//! over a few dozen random instances with deterministic seeds.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use relmax::paths::{improve_most_reliable_path, most_reliable_path, top_l_reliable_paths};
 use relmax::prelude::*;
+use relmax::sampling::legacy::DynMcEstimator;
 use relmax::ugraph::exact::{st_reliability, ConditioningBudget};
 use relmax::ugraph::PossibleWorld;
 
-/// Strategy: a small random digraph as (n, edge list with probabilities).
-fn small_graph() -> impl Strategy<Value = (usize, Vec<(u8, u8, f64)>)> {
-    (4usize..8).prop_flat_map(|n| {
-        let edges = proptest::collection::vec(
-            (0..n as u8, 0..n as u8, 0.05f64..0.95),
-            0..14,
-        );
-        (Just(n), edges)
-    })
-}
-
-fn build(n: usize, edges: &[(u8, u8, f64)], directed: bool) -> UncertainGraph {
+/// Random digraph with 4..8 nodes and up to 14 random edges.
+fn small_graph(rng: &mut StdRng, directed: bool) -> UncertainGraph {
+    let n = rng.gen_range(4usize..8);
     let mut g = UncertainGraph::new(n, directed);
-    for &(u, v, p) in edges {
+    let m = rng.gen_range(0usize..14);
+    for _ in 0..m {
+        let u = rng.gen_range(0..n as u32);
+        let v = rng.gen_range(0..n as u32);
         if u != v {
-            let _ = g.add_edge(NodeId(u as u32), NodeId(v as u32), p);
+            let _ = g.add_edge(NodeId(u), NodeId(v), rng.gen_range(0.05..0.95));
         }
     }
     g
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+fn endpoints(g: &UncertainGraph) -> (NodeId, NodeId) {
+    (NodeId(0), NodeId(g.num_nodes() as u32 - 1))
+}
 
-    #[test]
-    fn exact_reliability_is_a_probability((n, edges) in small_graph()) {
-        let g = build(n, &edges, true);
-        let r = st_reliability(&g, NodeId(0), NodeId(n as u32 - 1), ConditioningBudget::default())
-            .expect("small graph");
-        prop_assert!((0.0..=1.0 + 1e-12).contains(&r), "r={r}");
+#[test]
+fn exact_reliability_is_a_probability() {
+    let mut rng = StdRng::seed_from_u64(100);
+    for _ in 0..48 {
+        let g = small_graph(&mut rng, true);
+        let (s, t) = endpoints(&g);
+        let r = st_reliability(&g, s, t, ConditioningBudget::default()).expect("small graph");
+        assert!((0.0..=1.0 + 1e-12).contains(&r), "r={r}");
     }
+}
 
-    #[test]
-    fn adding_an_edge_never_decreases_reliability((n, edges) in small_graph(), u in 0u8..8, v in 0u8..8) {
-        let g = build(n, &edges, true);
-        let (s, t) = (NodeId(0), NodeId(n as u32 - 1));
+#[test]
+fn adding_an_edge_never_decreases_reliability() {
+    let mut rng = StdRng::seed_from_u64(101);
+    let mut checked = 0;
+    while checked < 48 {
+        let g = small_graph(&mut rng, true);
+        let (s, t) = endpoints(&g);
+        let n = g.num_nodes() as u32;
+        let (u, v) = (rng.gen_range(0..n), rng.gen_range(0..n));
+        if u == v || g.has_edge(NodeId(u), NodeId(v)) {
+            continue;
+        }
+        checked += 1;
         let base = st_reliability(&g, s, t, ConditioningBudget::default()).unwrap();
-        let (u, v) = (u % n as u8, v % n as u8);
-        prop_assume!(u != v && !g.has_edge(NodeId(u as u32), NodeId(v as u32)));
-        let view = GraphView::new(&g, vec![CandidateEdge {
-            src: NodeId(u as u32), dst: NodeId(v as u32), prob: 0.5,
-        }]);
+        let view = GraphView::new(
+            &g,
+            vec![CandidateEdge {
+                src: NodeId(u),
+                dst: NodeId(v),
+                prob: 0.5,
+            }],
+        );
         let boosted = st_reliability(&view, s, t, ConditioningBudget::default()).unwrap();
-        prop_assert!(boosted >= base - 1e-12, "boosted={boosted} base={base}");
+        assert!(boosted >= base - 1e-12, "boosted={boosted} base={base}");
     }
+}
 
-    #[test]
-    fn mrp_probability_lower_bounds_reliability((n, edges) in small_graph()) {
-        let g = build(n, &edges, true);
-        let (s, t) = (NodeId(0), NodeId(n as u32 - 1));
+#[test]
+fn mrp_probability_lower_bounds_reliability() {
+    let mut rng = StdRng::seed_from_u64(102);
+    for _ in 0..48 {
+        let g = small_graph(&mut rng, true);
+        let (s, t) = endpoints(&g);
         let r = st_reliability(&g, s, t, ConditioningBudget::default()).unwrap();
         if let Some(p) = most_reliable_path(&g, s, t) {
-            prop_assert!(p.prob <= r + 1e-12, "path {} > reliability {r}", p.prob);
+            assert!(p.prob <= r + 1e-12, "path {} > reliability {r}", p.prob);
         } else {
             // No positive-probability path: reliability must be 0.
-            prop_assert!(r < 1e-12);
+            assert!(r < 1e-12);
         }
     }
+}
 
-    #[test]
-    fn mc_estimate_tracks_exact((n, edges) in small_graph(), seed in 0u64..1000) {
-        let g = build(n, &edges, true);
-        let (s, t) = (NodeId(0), NodeId(n as u32 - 1));
+/// Satellite property (a): for any graph and seed, MC and RSS estimates on
+/// the frozen CSR snapshot are bit-identical to the adjacency-walk
+/// estimates — and MC additionally matches the preserved pre-refactor
+/// dyn-dispatch implementation.
+#[test]
+fn csr_estimates_bit_identical_to_adjacency_walk() {
+    let mut rng = StdRng::seed_from_u64(103);
+    for trial in 0..24 {
+        let g = small_graph(&mut rng, trial % 2 == 0);
+        let (s, t) = endpoints(&g);
+        let csr = g.freeze();
+        let seed = rng.gen::<u64>();
+
+        let mc = McEstimator::new(800, seed);
+        assert_eq!(
+            mc.st_reliability(&g, s, t),
+            mc.st_reliability(&csr, s, t),
+            "MC st trial {trial}"
+        );
+        assert_eq!(
+            mc.reliability_from(&g, s),
+            mc.reliability_from(&csr, s),
+            "MC from trial {trial}"
+        );
+        assert_eq!(
+            mc.reliability_to(&g, t),
+            mc.reliability_to(&csr, t),
+            "MC to trial {trial}"
+        );
+
+        let legacy = DynMcEstimator::new(800, seed);
+        assert_eq!(
+            legacy.st_reliability(&g, s, t),
+            mc.st_reliability(&csr, s, t),
+            "legacy vs CSR trial {trial}"
+        );
+
+        let rss = RssEstimator::new(400, seed);
+        assert_eq!(
+            rss.st_reliability(&g, s, t),
+            rss.st_reliability(&csr, s, t),
+            "RSS st trial {trial}"
+        );
+        assert_eq!(
+            rss.reliability_from(&g, s),
+            rss.reliability_from(&csr, s),
+            "RSS from trial {trial}"
+        );
+        assert_eq!(
+            rss.reliability_to(&g, t),
+            rss.reliability_to(&csr, t),
+            "RSS to trial {trial}"
+        );
+    }
+}
+
+/// Satellite property (b): MC and RSS agree with the exact conditioning
+/// solver within sampling tolerance on small random graphs.
+#[test]
+fn mc_and_rss_estimates_track_exact() {
+    let mut rng = StdRng::seed_from_u64(104);
+    for trial in 0..32 {
+        let g = small_graph(&mut rng, true);
+        let (s, t) = endpoints(&g);
         let exact = st_reliability(&g, s, t, ConditioningBudget::default()).unwrap();
+        let seed = rng.gen_range(0u64..1000);
         let mc = McEstimator::new(6000, seed).st_reliability(&g, s, t);
-        prop_assert!((mc - exact).abs() < 0.06, "mc={mc} exact={exact}");
-    }
-
-    #[test]
-    fn rss_estimate_tracks_exact((n, edges) in small_graph(), seed in 0u64..1000) {
-        let g = build(n, &edges, true);
-        let (s, t) = (NodeId(0), NodeId(n as u32 - 1));
-        let exact = st_reliability(&g, s, t, ConditioningBudget::default()).unwrap();
+        assert!(
+            (mc - exact).abs() < 0.06,
+            "trial {trial}: mc={mc} exact={exact}"
+        );
         let rss = RssEstimator::new(4000, seed).st_reliability(&g, s, t);
-        prop_assert!((rss - exact).abs() < 0.06, "rss={rss} exact={exact}");
+        assert!(
+            (rss - exact).abs() < 0.06,
+            "trial {trial}: rss={rss} exact={exact}"
+        );
     }
+}
 
-    #[test]
-    fn world_probabilities_sum_to_one((n, edges) in small_graph()) {
-        let g = build(n, &edges, true);
-        prop_assume!(g.num_edges() <= 10);
+#[test]
+fn world_probabilities_sum_to_one() {
+    let mut rng = StdRng::seed_from_u64(105);
+    let mut checked = 0;
+    while checked < 32 {
+        let g = small_graph(&mut rng, true);
+        if g.num_edges() > 10 {
+            continue;
+        }
+        checked += 1;
         let m = g.num_edges();
         let total: f64 = (0u64..(1 << m))
             .map(|mask| PossibleWorld::from_mask(m, mask).probability(&g))
             .sum();
-        prop_assert!((total - 1.0).abs() < 1e-9, "total={total}");
+        assert!((total - 1.0).abs() < 1e-9, "total={total}");
     }
+}
 
-    #[test]
-    fn yen_paths_are_sorted_simple_distinct((n, edges) in small_graph()) {
-        let g = build(n, &edges, false);
-        let paths = top_l_reliable_paths(&g, NodeId(0), NodeId(n as u32 - 1), 12);
+#[test]
+fn yen_paths_are_sorted_simple_distinct() {
+    let mut rng = StdRng::seed_from_u64(106);
+    for _ in 0..48 {
+        let g = small_graph(&mut rng, false);
+        let (s, t) = endpoints(&g);
+        let paths = top_l_reliable_paths(&g, s, t, 12);
         for w in paths.windows(2) {
-            prop_assert!(w[0].prob >= w[1].prob - 1e-12);
-            prop_assert!(w[0].nodes != w[1].nodes);
+            assert!(w[0].prob >= w[1].prob - 1e-12);
+            assert!(w[0].nodes != w[1].nodes);
         }
         for p in &paths {
-            prop_assert!(p.is_simple());
-            prop_assert!(p.prob > 0.0 && p.prob <= 1.0 + 1e-12);
+            assert!(p.is_simple());
+            assert!(p.prob > 0.0 && p.prob <= 1.0 + 1e-12);
         }
     }
+}
 
-    #[test]
-    fn layered_mrp_improvement_never_loses_to_no_op((n, edges) in small_graph()) {
-        let g = build(n, &edges, true);
-        let (s, t) = (NodeId(0), NodeId(n as u32 - 1));
+#[test]
+fn layered_mrp_improvement_never_loses_to_no_op() {
+    let mut rng = StdRng::seed_from_u64(107);
+    for _ in 0..48 {
+        let g = small_graph(&mut rng, true);
+        let (s, t) = endpoints(&g);
         let cands = vec![(NodeId(1), NodeId(2), 0.5), (NodeId(2), NodeId(3), 0.5)];
         let sol = improve_most_reliable_path(&g, s, t, 2, &cands);
-        prop_assert!(sol.prob >= sol.baseline_prob - 1e-12);
-        prop_assert!(sol.chosen.len() <= 2);
+        assert!(sol.prob >= sol.baseline_prob - 1e-12);
+        assert!(sol.chosen.len() <= 2);
     }
+}
 
-    #[test]
-    fn selectors_respect_budget_and_candidates((n, edges) in small_graph(), k in 0usize..4) {
-        let g = build(n, &edges, true);
-        let (s, t) = (NodeId(0), NodeId(n as u32 - 1));
+#[test]
+fn selectors_respect_budget_and_candidates() {
+    let mut rng = StdRng::seed_from_u64(108);
+    let mut checked = 0;
+    while checked < 24 {
+        let g = small_graph(&mut rng, true);
+        let (s, t) = endpoints(&g);
+        let k = rng.gen_range(0usize..4);
         let cands = CandidateSpace::all_missing(&g, 0.5, None);
-        prop_assume!(!cands.is_empty());
+        if cands.is_empty() {
+            continue;
+        }
+        checked += 1;
         let q = StQuery::new(s, t, k, 0.5).with_hop_limit(None).with_l(10);
         let est = McEstimator::new(300, 1);
-        for sel in [&BatchEdgeSelector as &dyn EdgeSelector, &IndividualPathSelector] {
+        for sel in [AnySelector::batch_edge(), AnySelector::individual_path()] {
             let out = sel.select_with_candidates(&g, &q, &cands, &est).unwrap();
-            prop_assert!(out.added.len() <= k);
+            assert!(out.added.len() <= k);
             for e in &out.added {
-                prop_assert!(cands.iter().any(|c| (c.src, c.dst) == (e.src, e.dst)));
-                prop_assert!(!g.has_edge(e.src, e.dst));
+                assert!(cands.iter().any(|c| (c.src, c.dst) == (e.src, e.dst)));
+                assert!(!g.has_edge(e.src, e.dst));
             }
         }
     }
+}
 
-    #[test]
-    fn undirected_reliability_is_symmetric((n, edges) in small_graph()) {
-        let g = build(n, &edges, false);
-        let (a, b) = (NodeId(0), NodeId(n as u32 - 1));
+#[test]
+fn undirected_reliability_is_symmetric() {
+    let mut rng = StdRng::seed_from_u64(109);
+    for _ in 0..32 {
+        let g = small_graph(&mut rng, false);
+        let (a, b) = endpoints(&g);
         let fwd = st_reliability(&g, a, b, ConditioningBudget::default()).unwrap();
         let bwd = st_reliability(&g, b, a, ConditioningBudget::default()).unwrap();
-        prop_assert!((fwd - bwd).abs() < 1e-9, "fwd={fwd} bwd={bwd}");
+        assert!((fwd - bwd).abs() < 1e-9, "fwd={fwd} bwd={bwd}");
+    }
+}
+
+#[test]
+fn pairwise_world_sharing_matches_per_source_vectors() {
+    // The shared-world pairwise override must agree bit-for-bit with the
+    // per-source vector estimates on any graph, any seed.
+    let mut rng = StdRng::seed_from_u64(110);
+    for trial in 0..24 {
+        let g = small_graph(&mut rng, trial % 2 == 0);
+        let n = g.num_nodes() as u32;
+        let sources = [NodeId(0), NodeId(1)];
+        let targets = [NodeId(n - 2), NodeId(n - 1)];
+        let mc = McEstimator::new(500, rng.gen::<u64>());
+        let matrix = mc.pairwise_reliability(&g, &sources, &targets);
+        for (si, &s) in sources.iter().enumerate() {
+            let from = mc.reliability_from(&g, s);
+            for (ti, &t) in targets.iter().enumerate() {
+                assert_eq!(matrix[si][ti], from[t.index()], "trial {trial} ({si},{ti})");
+            }
+        }
     }
 }
