@@ -1,0 +1,79 @@
+//! Thread-sweep benchmark for the deterministic parallel runtime: every
+//! sampling kernel at 1/2/4/8 threads, with bit-identity checks and the
+//! candidate-scan comparison against the PR-1 serial overlay scan.
+//!
+//! ```text
+//! cargo run --release -p relmax-bench --bin bench_parallel            # full run
+//! cargo run --release -p relmax-bench --bin bench_parallel -- --smoke # CI-sized
+//! cargo run --release -p relmax-bench --bin bench_parallel -- --out BENCH_parallel.json
+//! ```
+//!
+//! Writes the JSON report to `--out` (default `BENCH_parallel.json` in
+//! the current directory) and prints it to stdout.
+
+use relmax_bench::parallel_bench;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_parallel.json".to_string());
+
+    let bench = if smoke {
+        eprintln!("bench_parallel: smoke run");
+        parallel_bench::smoke()
+    } else {
+        eprintln!("bench_parallel: full run (5000 worlds/kernel, 100-candidate scan)");
+        parallel_bench::run(5_000, 100, vec![1, 2, 4, 8])
+    };
+
+    eprintln!(
+        "  host threads: {} (thread scaling is flat on single-core hosts)",
+        bench.host_threads
+    );
+    for k in &bench.kernels {
+        let per_thread: Vec<String> = k
+            .runs
+            .iter()
+            .map(|r| format!("{}t {:.3}s", r.threads, r.seconds))
+            .collect();
+        eprintln!(
+            "  {:<22} baseline({}) {:.3}s | {} | speedup {:>6.2}x  bit-identical: {}",
+            k.kernel,
+            k.baseline,
+            k.baseline_s,
+            per_thread.join("  "),
+            k.speedup_vs_baseline(),
+            k.all_bit_identical(),
+        );
+    }
+
+    let json = bench.to_json();
+    print!("{json}");
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("warning: could not write {out_path}: {e}");
+    } else {
+        eprintln!("wrote {out_path}");
+    }
+
+    // The runtime's whole contract: parallelism must never change a bit.
+    assert!(
+        bench.all_bit_identical(),
+        "estimates diverged across thread counts"
+    );
+    // And the selector hot path must beat the PR-1 serial scan soundly.
+    if !smoke {
+        let scan = bench
+            .kernel("candidate_scan")
+            .expect("candidate_scan kernel present");
+        assert!(
+            scan.speedup_vs_baseline() >= 3.0,
+            "candidate_scan fell below the 3x floor vs the PR-1 baseline: {:.2}x",
+            scan.speedup_vs_baseline()
+        );
+    }
+}

@@ -20,6 +20,7 @@
 
 pub mod datasets;
 pub mod mem;
+pub mod parallel_bench;
 pub mod runner;
 pub mod sampling_bench;
 pub mod table;

@@ -1,0 +1,321 @@
+//! Thread-sweep benchmark for the deterministic parallel runtime.
+//!
+//! Runs every sampling kernel at thread counts 1/2/4/8, checks that each
+//! parallel run is **bit-identical** to the single-thread run, and times
+//! the selector hot path (`candidate_scan`) against the PR-1 reference
+//! implementation — a serial loop that re-walks every sampled world once
+//! per candidate overlay. The `bench_parallel` binary renders the result
+//! as `BENCH_parallel.json`.
+//!
+//! Two speedup sources are reported separately:
+//!
+//! - **thread scaling** (`runs[].seconds` across `threads_swept`), which
+//!   depends on `host_threads` — on a single-core host the curve is flat
+//!   by construction;
+//! - **kernel speedup vs the PR-1 baseline** (`speedup_vs_baseline`),
+//!   which for `candidate_scan` comes from the shared-world scan kernel
+//!   (two BFS passes per world for *all* candidates instead of one BFS
+//!   per world per candidate) and materializes even at one thread.
+
+use crate::sampling_bench::{bench_graph, best_of, candidate_scan_set, pick_far_pair};
+use relmax_sampling::{Estimator, McEstimator, RssEstimator};
+use relmax_ugraph::{CsrGraph, GraphView};
+
+/// One kernel invocation at one thread count.
+#[derive(Debug, Clone)]
+pub struct ThreadRun {
+    /// Worker threads used.
+    pub threads: usize,
+    /// Best-of-N wall seconds.
+    pub seconds: f64,
+    /// Whether the estimate matched the kernel's reference output bit for
+    /// bit (the 1-thread run, and for `candidate_scan` also the PR-1
+    /// serial overlay scan).
+    pub bit_identical: bool,
+}
+
+/// Thread sweep of one kernel.
+#[derive(Debug, Clone)]
+pub struct KernelSweep {
+    /// What was measured.
+    pub kernel: &'static str,
+    /// What `baseline_s` times (e.g. "pr1_serial_overlay_scan").
+    pub baseline: &'static str,
+    /// Reference implementation seconds (single-threaded).
+    pub baseline_s: f64,
+    /// One entry per swept thread count, ascending.
+    pub runs: Vec<ThreadRun>,
+}
+
+impl KernelSweep {
+    /// `baseline_s` over the wall time at the highest thread count.
+    pub fn speedup_vs_baseline(&self) -> f64 {
+        self.runs
+            .last()
+            .map_or(1.0, |r| self.baseline_s / r.seconds)
+    }
+
+    /// Did every thread count reproduce the reference bits?
+    pub fn all_bit_identical(&self) -> bool {
+        self.runs.iter().all(|r| r.bit_identical)
+    }
+}
+
+/// Full result of one `bench_parallel` run.
+#[derive(Debug, Clone)]
+pub struct ParallelBench {
+    /// Nodes in the synthetic benchmark graph.
+    pub nodes: usize,
+    /// Edges (coins) in the synthetic benchmark graph.
+    pub edges: usize,
+    /// Sampled worlds per kernel invocation.
+    pub samples: usize,
+    /// Hardware threads visible to this process.
+    pub host_threads: usize,
+    /// Thread counts swept, ascending.
+    pub threads: Vec<usize>,
+    /// Per-kernel sweeps.
+    pub kernels: Vec<KernelSweep>,
+}
+
+impl ParallelBench {
+    /// Did every kernel reproduce its reference bits at every thread count?
+    pub fn all_bit_identical(&self) -> bool {
+        self.kernels.iter().all(|k| k.all_bit_identical())
+    }
+
+    /// The sweep for a kernel, if it ran.
+    pub fn kernel(&self, name: &str) -> Option<&KernelSweep> {
+        self.kernels.iter().find(|k| k.kernel == name)
+    }
+
+    /// Render as a small stable JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!(
+            "  \"graph\": {{\"nodes\": {}, \"edges\": {}}},\n",
+            self.nodes, self.edges
+        ));
+        out.push_str(&format!("  \"samples\": {},\n", self.samples));
+        out.push_str(&format!("  \"host_threads\": {},\n", self.host_threads));
+        out.push_str(&format!(
+            "  \"threads_swept\": [{}],\n",
+            self.threads
+                .iter()
+                .map(|t| t.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+        out.push_str("  \"kernels\": [\n");
+        for (i, k) in self.kernels.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"kernel\": \"{}\", \"baseline\": \"{}\", \"baseline_s\": {:.6}, \"runs\": [",
+                k.kernel, k.baseline, k.baseline_s
+            ));
+            for (j, r) in k.runs.iter().enumerate() {
+                out.push_str(&format!(
+                    "{{\"threads\": {}, \"seconds\": {:.6}, \"bit_identical\": {}}}{}",
+                    r.threads,
+                    r.seconds,
+                    r.bit_identical,
+                    if j + 1 < k.runs.len() { ", " } else { "" },
+                ));
+            }
+            out.push_str(&format!(
+                "], \"speedup_vs_baseline\": {:.3}}}{}\n",
+                k.speedup_vs_baseline(),
+                if i + 1 < self.kernels.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str(&format!(
+            "  \"all_bit_identical\": {}\n",
+            self.all_bit_identical()
+        ));
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Sweep one kernel: time the 1-thread run first (its output becomes the
+/// reference), then each higher thread count, tagging bit-identity via
+/// `same` against the reference.
+fn sweep<T: PartialEq>(
+    threads: &[usize],
+    mut run: impl FnMut(usize) -> (T, f64),
+) -> (T, Vec<ThreadRun>) {
+    let (reference, ref_s) = run(1);
+    let mut runs = vec![ThreadRun {
+        threads: 1,
+        seconds: ref_s,
+        bit_identical: true,
+    }];
+    for &t in threads.iter().filter(|&&t| t > 1) {
+        let (out, secs) = run(t);
+        runs.push(ThreadRun {
+            threads: t,
+            seconds: secs,
+            bit_identical: out == reference,
+        });
+    }
+    (reference, runs)
+}
+
+/// Run the parallel thread-sweep benchmark.
+///
+/// `samples` is the world budget for the vector/st kernels; the candidate
+/// scan uses `samples / 10` worlds per candidate over `cands` candidates,
+/// matching the `BENCH_sampling.json` selector-scan workload.
+pub fn run(samples: usize, cands: usize, threads: Vec<usize>) -> ParallelBench {
+    // Normalize the sweep list so the report always matches the runs:
+    // every sweep starts at 1 thread (the bit-identity reference), and
+    // duplicates never run a kernel twice.
+    let mut threads = threads;
+    threads.push(1);
+    threads.retain(|&t| t >= 1);
+    threads.sort_unstable();
+    threads.dedup();
+    let g = bench_graph(10_000, 12_000);
+    let csr = CsrGraph::freeze(&g);
+    let (s, t) = pick_far_pair(&g);
+    let host_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let reps = 2;
+    let mut kernels = Vec::new();
+
+    // Warm the page cache / branch predictors once.
+    let _ = McEstimator::new(samples.min(500), 0x5eed).st_reliability(&csr, s, t);
+
+    // -- st_reliability ----------------------------------------------------
+    let (_, runs) = sweep(&threads, |th| {
+        let mc = McEstimator::with_threads(samples, 0x5eed, th);
+        best_of(reps, || mc.st_reliability(&csr, s, t))
+    });
+    kernels.push(KernelSweep {
+        kernel: "st_reliability",
+        baseline: "one_thread",
+        baseline_s: runs[0].seconds,
+        runs,
+    });
+
+    // -- reliability_from --------------------------------------------------
+    let (_, runs) = sweep(&threads, |th| {
+        let mc = McEstimator::with_threads(samples, 0x5eed, th);
+        best_of(reps, || mc.reliability_from(&csr, s))
+    });
+    kernels.push(KernelSweep {
+        kernel: "reliability_from",
+        baseline: "one_thread",
+        baseline_s: runs[0].seconds,
+        runs,
+    });
+
+    // -- pairwise_reliability ----------------------------------------------
+    let sources = [s, t];
+    let targets = [t, s];
+    let (_, runs) = sweep(&threads, |th| {
+        let mc = McEstimator::with_threads(samples, 0x5eed, th);
+        best_of(reps, || mc.pairwise_reliability(&csr, &sources, &targets))
+    });
+    kernels.push(KernelSweep {
+        kernel: "pairwise_reliability",
+        baseline: "one_thread",
+        baseline_s: runs[0].seconds,
+        runs,
+    });
+
+    // -- RSS st_reliability ------------------------------------------------
+    let (_, runs) = sweep(&threads, |th| {
+        let rss = RssEstimator::with_threads(samples, 0x5eed, th);
+        best_of(reps, || rss.st_reliability(&csr, s, t))
+    });
+    kernels.push(KernelSweep {
+        kernel: "rss_st_reliability",
+        baseline: "one_thread",
+        baseline_s: runs[0].seconds,
+        runs,
+    });
+
+    // -- candidate_scan: the selector hot path ----------------------------
+    // PR-1 baseline: serial, one overlay BFS sweep per candidate (exactly
+    // the pre-runtime selector inner loop).
+    let cand_z = (samples / 10).max(50);
+    let candidates = candidate_scan_set(&g, cands);
+    let serial_mc = McEstimator::new(cand_z, 0x5eed);
+    let (naive, naive_s) = best_of(reps, || {
+        let mut view = GraphView::empty(&csr);
+        candidates
+            .iter()
+            .map(|&c| {
+                view.push_extra(c);
+                let r = serial_mc.st_reliability(&view, s, t);
+                view.pop_extra();
+                r
+            })
+            .collect::<Vec<f64>>()
+    });
+    let (scan_ref, mut runs) = sweep(&threads, |th| {
+        let mc = McEstimator::with_threads(cand_z, 0x5eed, th);
+        best_of(reps, || mc.scan_candidates(&csr, s, t, &candidates))
+    });
+    // The shared-world kernel must reproduce the PR-1 scan bit for bit.
+    let matches_naive = scan_ref == naive;
+    for r in &mut runs {
+        r.bit_identical &= matches_naive;
+    }
+    kernels.push(KernelSweep {
+        kernel: "candidate_scan",
+        baseline: "pr1_serial_overlay_scan",
+        baseline_s: naive_s,
+        runs,
+    });
+
+    ParallelBench {
+        nodes: g.num_nodes(),
+        edges: g.num_edges(),
+        samples,
+        host_threads,
+        threads,
+        kernels,
+    }
+}
+
+/// A quick CI-sized run used by tests and `--smoke`.
+pub fn smoke() -> ParallelBench {
+    run(300, 40, vec![1, 2, 4])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_sweep_is_bit_identical_and_sane() {
+        // Tiny budgets: the release-mode CI smoke run covers realistic
+        // sizes; this test only guards the sweep/report plumbing, so keep
+        // it fast in debug builds. The thread list is deliberately
+        // unsorted with a duplicate to exercise normalization.
+        let bench = run(60, 12, vec![2, 4, 2]);
+        assert_eq!(bench.threads, vec![1, 2, 4]);
+        assert_eq!(bench.kernels.len(), 5);
+        assert!(
+            bench.all_bit_identical(),
+            "a kernel diverged across threads"
+        );
+        for k in &bench.kernels {
+            assert_eq!(k.runs[0].threads, 1);
+            assert!(k.baseline_s > 0.0);
+            assert!(k.runs.iter().all(|r| r.seconds > 0.0));
+        }
+        // The shared-world scan beats the PR-1 per-candidate scan even in
+        // a smoke-sized run on a single thread.
+        let scan = bench.kernel("candidate_scan").expect("scan kernel runs");
+        assert!(
+            scan.speedup_vs_baseline() > 1.0,
+            "scan kernel slower than the PR-1 baseline: {:.2}x",
+            scan.speedup_vs_baseline()
+        );
+        let json = bench.to_json();
+        assert!(json.contains("\"candidate_scan\""));
+        assert!(json.contains("\"all_bit_identical\": true"));
+    }
+}

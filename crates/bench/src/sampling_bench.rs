@@ -227,7 +227,7 @@ fn bench_be_pipeline(queries: usize) -> (f64, f64) {
 /// elapsed seconds. Minimum-of-N is the standard way to strip scheduler
 /// noise from single-machine microbenchmarks; both code paths get the
 /// same treatment.
-fn best_of<T>(reps: usize, mut f: impl FnMut() -> T) -> (T, f64) {
+pub(crate) fn best_of<T>(reps: usize, mut f: impl FnMut() -> T) -> (T, f64) {
     let (mut out, mut best) = timed(&mut f);
     for _ in 1..reps.max(1) {
         let (v, secs) = timed(&mut f);
@@ -238,7 +238,7 @@ fn best_of<T>(reps: usize, mut f: impl FnMut() -> T) -> (T, f64) {
 }
 
 /// Missing-edge candidates for the scan kernel, uniform probability 0.5.
-fn candidate_scan_set(g: &UncertainGraph, count: usize) -> Vec<ExtraEdge> {
+pub(crate) fn candidate_scan_set(g: &UncertainGraph, count: usize) -> Vec<ExtraEdge> {
     let n = g.num_nodes() as u32;
     let mut out = Vec::with_capacity(count);
     let mut u = 0u32;
@@ -261,7 +261,7 @@ fn candidate_scan_set(g: &UncertainGraph, count: usize) -> Vec<ExtraEdge> {
 }
 
 /// An s-t pair a few hops apart so sampled BFS does real work.
-fn pick_far_pair(g: &UncertainGraph) -> (NodeId, NodeId) {
+pub(crate) fn pick_far_pair(g: &UncertainGraph) -> (NodeId, NodeId) {
     st_queries(g, 1, 4, 6, 3)
         .first()
         .copied()

@@ -13,7 +13,7 @@
 use crate::candidates::CandidateEdge;
 use crate::query::StQuery;
 use crate::selector::{finish_outcome, EdgeSelector, Outcome, SelectError};
-use relmax_sampling::Estimator;
+use relmax_sampling::{Estimator, ParallelRuntime};
 use relmax_ugraph::{CsrGraph, GraphView, NodeId, ProbGraph, UncertainGraph};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -124,11 +124,23 @@ pub fn select_esssp(
             .flat_map(|(si, _)| targets.iter().enumerate().map(move |(ti, _)| (si, ti)))
             .map(|(si, ti)| clamp(from_s[si][targets[ti].index()]))
             .sum();
-        let mut best: Option<(f64, usize)> = None;
-        for (ci, c) in remaining.iter().enumerate() {
+        // Shortcut evaluations are pure arithmetic over the precomputed
+        // distance tables: map them across the runtime and argmax over the
+        // candidate-ordered results (ties keep the earliest index, like
+        // the serial loop always did). Below a few thousand float ops the
+        // whole sweep is cheaper than spawning workers, so small rounds
+        // stay inline — the result is identical either way.
+        let ops = remaining.len() * sources.len() * targets.len();
+        let runtime = if ops >= 1 << 14 {
+            ParallelRuntime::global()
+        } else {
+            ParallelRuntime::serial()
+        };
+        let improvements = runtime.map(remaining.len(), |ci| {
+            let c = &remaining[ci];
             let w = weight(c.prob);
             if !w.is_finite() {
-                continue;
+                return f64::NEG_INFINITY;
             }
             let mut total = 0.0;
             for (si, _) in sources.iter().enumerate() {
@@ -144,8 +156,11 @@ pub fn select_esssp(
                     total += d;
                 }
             }
-            let improvement = base - total;
-            if best.map_or(true, |(bi, _)| improvement > bi) {
+            base - total
+        });
+        let mut best: Option<(f64, usize)> = None;
+        for (ci, &improvement) in improvements.iter().enumerate() {
+            if improvement.is_finite() && best.map_or(true, |(bi, _)| improvement > bi) {
                 best = Some((improvement, ci));
             }
         }

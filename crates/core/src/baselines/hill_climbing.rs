@@ -6,6 +6,12 @@
 //! the paper's tables — and its `O(k · |cand| · Z(n+m))` cost is exactly
 //! why BE exists. Common-random-number estimation (see
 //! `relmax-sampling`) keeps the argmax comparisons stable.
+//!
+//! Each round's candidate sweep runs through
+//! [`Estimator::scan_candidates`] — the sample-sharded shared-world
+//! kernel for MC, a parallel per-overlay map otherwise — and the argmax
+//! reads the gains in candidate order, so the selection is bit-identical
+//! to the historical serial push/pop loop at every thread count.
 
 use crate::candidates::CandidateEdge;
 use crate::query::StQuery;
@@ -31,17 +37,18 @@ impl EdgeSelector for HillClimbingSelector {
     ) -> Result<Outcome, SelectError> {
         let mut remaining: Vec<CandidateEdge> = candidates.to_vec();
         // `k · |cand|` estimator calls all walk the same base graph:
-        // freeze it once and push/pop candidates on a cheap overlay.
+        // freeze it once and scan candidates as overlays on the snapshot.
         let csr = CsrGraph::freeze(g);
         let mut view = GraphView::empty(&csr);
         let mut current = est.st_reliability(&csr, query.s, query.t);
         let mut added = Vec::with_capacity(query.k);
         while added.len() < query.k && !remaining.is_empty() {
+            // One shared-world scan evaluates every remaining candidate on
+            // the current overlay; first-index tie-break keeps the argmax
+            // identical to the old serial one-candidate-at-a-time loop.
+            let scores = est.scan_candidates(&view, query.s, query.t, &remaining);
             let mut best: Option<(f64, usize)> = None;
-            for (i, &c) in remaining.iter().enumerate() {
-                view.push_extra(c);
-                let r = est.st_reliability(&view, query.s, query.t);
-                view.pop_extra();
+            for (i, &r) in scores.iter().enumerate() {
                 let gain = r - current;
                 if best.map_or(true, |(bg, _)| gain > bg) {
                     best = Some((gain, i));

@@ -11,7 +11,7 @@ use crate::candidates::CandidateEdge;
 use crate::query::StQuery;
 use crate::selector::{finish_outcome, EdgeSelector, Outcome, SelectError};
 use relmax_influence::influence_spread;
-use relmax_sampling::Estimator;
+use relmax_sampling::{Estimator, ParallelRuntime};
 use relmax_ugraph::{CsrGraph, GraphView, NodeId, UncertainGraph};
 
 /// Greedy IMA selection: `k` candidates maximizing IC spread from
@@ -36,11 +36,15 @@ pub fn select_ima(
         if remaining.is_empty() {
             break;
         }
+        // Candidate cascades are independent simulations on single-edge
+        // overlays: fan them out and read the spreads back in candidate
+        // order, so the greedy pick matches the serial loop bit for bit.
+        let spreads = ParallelRuntime::global().map(remaining.len(), |ci| {
+            let overlay = GraphView::new(&view, vec![remaining[ci]]);
+            influence_spread(&overlay, sources, Some(targets), samples, seed)
+        });
         let mut best: Option<(f64, usize)> = None;
-        for (ci, &c) in remaining.iter().enumerate() {
-            view.push_extra(c);
-            let spread = influence_spread(&view, sources, Some(targets), samples, seed);
-            view.pop_extra();
+        for (ci, &spread) in spreads.iter().enumerate() {
             let gain = spread - current;
             if best.map_or(true, |(bg, _)| gain > bg) {
                 best = Some((gain, ci));

@@ -10,7 +10,7 @@ use crate::candidates::CandidateEdge;
 use crate::query::StQuery;
 use crate::selector::{finish_outcome_frozen, EdgeSelector, Outcome, SelectError};
 use relmax_sampling::Estimator;
-use relmax_ugraph::{CsrGraph, GraphView, UncertainGraph};
+use relmax_ugraph::{CsrGraph, UncertainGraph};
 
 /// The individual top-`k` baseline.
 #[derive(Debug, Clone, Copy, Default)]
@@ -28,17 +28,13 @@ impl EdgeSelector for IndividualTopKSelector {
         candidates: &[CandidateEdge],
         est: &E,
     ) -> Result<Outcome, SelectError> {
-        // One frozen snapshot serves every per-candidate evaluation.
+        // One frozen snapshot serves every per-candidate evaluation; the
+        // scan walks each sampled world once for all candidates and hands
+        // back scores in candidate order (thread-count-independent).
         let csr = CsrGraph::freeze(g);
         let base = est.st_reliability(&csr, query.s, query.t);
-        let mut scored: Vec<(f64, usize)> = Vec::with_capacity(candidates.len());
-        let mut view = GraphView::empty(&csr);
-        for (i, &c) in candidates.iter().enumerate() {
-            view.push_extra(c);
-            let r = est.st_reliability(&view, query.s, query.t);
-            view.pop_extra();
-            scored.push((r - base, i));
-        }
+        let scores = est.scan_candidates(&csr, query.s, query.t, candidates);
+        let mut scored: Vec<(f64, usize)> = scores.iter().map(|&r| r - base).zip(0..).collect();
         scored.sort_by(|a, b| {
             b.0.partial_cmp(&a.0)
                 .expect("gains never NaN")

@@ -46,6 +46,15 @@
 //! them on the *same* sampled worlds (common random numbers). Marginal-gain
 //! comparisons — the inner loop of every greedy method — therefore see far
 //! less noise than with independent streams.
+//!
+//! ## Parallel runtime
+//!
+//! [`runtime::ParallelRuntime`] is the shared sample-sharded executor:
+//! estimators split worlds across `std::thread::scope` workers and the
+//! selector layers split candidate evaluations the same way. Because coin
+//! flips are stateless and all merges happen in a fixed order, **every
+//! result is bit-identical for every thread count** — parallelism is a
+//! pure performance knob. See the module docs for the contract.
 
 pub mod coins;
 pub mod convergence;
@@ -53,13 +62,15 @@ pub mod exact;
 pub mod legacy;
 pub mod mc;
 pub mod rss;
+pub mod runtime;
 
 pub use convergence::{converged_sample_size, dispersion_ratio};
 pub use exact::ExactEstimator;
 pub use mc::McEstimator;
 pub use rss::RssEstimator;
+pub use runtime::ParallelRuntime;
 
-use relmax_ugraph::{NodeId, ProbGraph};
+use relmax_ugraph::{ExtraEdge, GraphView, NodeId, ProbGraph};
 
 /// A sampling-based (or exact) reliability oracle.
 ///
@@ -107,6 +118,34 @@ pub trait Estimator: Sync {
                 targets.iter().map(|&t| from_s[t.index()]).collect()
             })
             .collect()
+    }
+
+    /// Estimate `R(s, t, G + {c})` for every candidate edge `c` — the
+    /// selector hot path ("candidate scan").
+    ///
+    /// `result[i]` equals `st_reliability` on a [`GraphView`] overlaying
+    /// only `candidates[i]`, **bit for bit**: every candidate is judged on
+    /// the same sampled worlds (the overlay coin id is
+    /// `g.num_coins()` for each single-candidate overlay, so common
+    /// random numbers apply across candidates too).
+    ///
+    /// The default implementation evaluates the overlays independently
+    /// and in parallel over [`ParallelRuntime::global`]; results are
+    /// merged in candidate order, so the output is identical to a serial
+    /// one-at-a-time loop at any thread count. [`McEstimator`] overrides
+    /// this with a shared-world kernel that walks each sampled world once
+    /// for *all* candidates instead of once per candidate.
+    fn scan_candidates<G: ProbGraph>(
+        &self,
+        g: &G,
+        s: NodeId,
+        t: NodeId,
+        candidates: &[ExtraEdge],
+    ) -> Vec<f64> {
+        ParallelRuntime::global().map(candidates.len(), |i| {
+            let view = GraphView::new(g, vec![candidates[i]]);
+            self.st_reliability(&view, s, t)
+        })
     }
 
     /// A short human-readable name ("MC", "RSS", "exact") for reports.

@@ -1,8 +1,11 @@
 //! Monte Carlo reliability estimation with lazy world instantiation.
 
 use crate::coins::coin_raw;
+use crate::runtime::ParallelRuntime;
 use crate::Estimator;
-use relmax_ugraph::{with_scratch, NodeId, ProbGraph};
+use relmax_ugraph::{
+    flip_threshold, with_scratch, with_scratch_pair, CoinId, ExtraEdge, NodeId, ProbGraph,
+};
 
 /// Monte Carlo sampler (Fishman 1986), the paper's default estimator.
 ///
@@ -16,9 +19,11 @@ use relmax_ugraph::{with_scratch, NodeId, ProbGraph};
 /// the snapshot — the per-world BFS then walks flat arrays with zero
 /// allocations (epoch-stamped scratch from a thread-local pool).
 ///
-/// Set `threads > 1` to split samples across OS threads (`std::thread`
-/// scoped threads). Because coin flips are keyed by the global sample
-/// index, the parallel estimate is bit-identical to the serial one.
+/// Sampling is sharded over a [`ParallelRuntime`]
+/// ([`McEstimator::with_threads`] / [`McEstimator::with_runtime`]).
+/// Because coin flips are keyed by the global sample index and shard
+/// counts merge in a fixed order, the parallel estimate is bit-identical
+/// to the serial one at every thread count.
 ///
 /// ```
 /// use relmax_ugraph::{UncertainGraph, NodeId};
@@ -31,6 +36,10 @@ use relmax_ugraph::{with_scratch, NodeId, ProbGraph};
 /// let r = mc.st_reliability(&g.freeze(), NodeId(0), NodeId(2));
 /// assert!((r - 0.4).abs() < 0.02);
 /// assert_eq!(r, mc.st_reliability(&g, NodeId(0), NodeId(2))); // layout-independent
+/// assert_eq!(
+///     r,
+///     McEstimator::with_threads(20_000, 7, 4).st_reliability(&g, NodeId(0), NodeId(2)),
+/// ); // thread-count-independent
 /// ```
 #[derive(Debug, Clone)]
 pub struct McEstimator {
@@ -38,52 +47,29 @@ pub struct McEstimator {
     pub samples: usize,
     /// Seed for the coin-flip hash; same seed ⇒ same worlds.
     pub seed: u64,
-    /// Worker threads (1 = serial).
-    pub threads: usize,
+    /// Sample-sharding executor (serial by default).
+    pub runtime: ParallelRuntime,
 }
 
 impl McEstimator {
     /// Serial estimator with `samples` worlds under `seed`.
     pub fn new(samples: usize, seed: u64) -> Self {
-        assert!(samples > 0, "need at least one sample");
-        McEstimator {
-            samples,
-            seed,
-            threads: 1,
-        }
+        Self::with_runtime(samples, seed, ParallelRuntime::serial())
     }
 
     /// Parallel estimator; results are identical to the serial one.
     pub fn with_threads(samples: usize, seed: u64, threads: usize) -> Self {
+        Self::with_runtime(samples, seed, ParallelRuntime::new(threads))
+    }
+
+    /// Estimator on an explicit [`ParallelRuntime`].
+    pub fn with_runtime(samples: usize, seed: u64, runtime: ParallelRuntime) -> Self {
         assert!(samples > 0, "need at least one sample");
         McEstimator {
             samples,
             seed,
-            threads: threads.max(1),
+            runtime,
         }
-    }
-
-    /// Split `0..z` into per-thread ranges, run `work` on each, and merge.
-    fn fan_out<T: Send>(&self, z: u64, work: impl Fn(u64, u64) -> T + Sync, merge: impl FnMut(T)) {
-        let mut merge = merge;
-        if self.threads <= 1 || z < 2 {
-            merge(work(0, z));
-            return;
-        }
-        let threads = self.threads.min(z as usize);
-        let chunk = z.div_ceil(threads as u64);
-        std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(threads);
-            for ti in 0..threads as u64 {
-                let lo = ti * chunk;
-                let hi = ((ti + 1) * chunk).min(z);
-                let work = &work;
-                handles.push(scope.spawn(move || work(lo, hi)));
-            }
-            for h in handles {
-                merge(h.join().expect("sampler thread panicked"));
-            }
-        });
     }
 
     fn reach_counts<G: ProbGraph>(
@@ -135,13 +121,11 @@ impl McEstimator {
         let n = g.num_nodes();
         let z = self.samples as u64;
         let mut counts = vec![0u64; n];
-        self.fan_out(
+        self.runtime.run_samples(
             z,
             |lo, hi| {
                 let mut local = vec![0u64; n];
-                if lo < hi {
-                    self.reach_counts(g, start, reverse, lo, hi, &mut local);
-                }
+                self.reach_counts(g, start, reverse, lo, hi, &mut local);
                 local
             },
             |local| {
@@ -151,6 +135,85 @@ impl McEstimator {
             },
         );
         counts.into_iter().map(|c| c as f64 / z as f64).collect()
+    }
+
+    /// Shared-world candidate-scan counts for samples `lo..hi`.
+    ///
+    /// One sampled world serves **every** candidate: the kernel computes
+    /// the world's forward reach set from `s` and (only when `s` does not
+    /// already reach `t`) its reverse reach set to `t`, then decides each
+    /// candidate `(u, v)` with three array lookups. The decomposition is
+    /// exact — a simple `s-t` path through a single added edge `(u, v)`
+    /// splits into `s ⇝ u` and `v ⇝ t` segments in the base world — and
+    /// flips the same `(seed, sample, coin)` keys as a per-candidate
+    /// overlay BFS, so the counts are bit-identical to the naive scan.
+    fn scan_counts<G: ProbGraph>(
+        &self,
+        g: &G,
+        s: NodeId,
+        t: NodeId,
+        candidates: &[ExtraEdge],
+        lo: u64,
+        hi: u64,
+    ) -> Vec<u64> {
+        let n = g.num_nodes();
+        let thresholds: Vec<u64> = candidates.iter().map(|c| flip_threshold(c.prob)).collect();
+        // Each single-candidate overlay assigns its extra edge the same
+        // coin id: the first id past the base graph's coins.
+        let cand_coin = g.num_coins() as CoinId;
+        let directed = g.is_directed();
+        let mut counts = vec![0u64; candidates.len()];
+        with_scratch_pair(n, |fwd, rev| {
+            fwd.stack.resize(n.max(1), s);
+            rev.stack.resize(n.max(1), t);
+            for sample in lo..hi {
+                // Forward reach from s under this world's base coins
+                // (same branchless stack discipline as `reach_counts`).
+                fwd.begin_keep_stack(n);
+                fwd.visit(s);
+                fwd.stack[0] = s;
+                let mut len = 1usize;
+                while len > 0 {
+                    len -= 1;
+                    let v = fwd.stack[len];
+                    g.out_flips(v).for_each(|(u, th, c)| {
+                        let take = fwd.take_if(u, coin_raw(self.seed, sample, c) < th);
+                        fwd.stack[len] = u;
+                        len += take as usize;
+                    });
+                }
+                if fwd.visited(t) {
+                    // Already connected: every candidate overlay hits too.
+                    for c in counts.iter_mut() {
+                        *c += 1;
+                    }
+                    continue;
+                }
+                // Reverse reach to t in the same world (same coin keys).
+                rev.begin_keep_stack(n);
+                rev.visit(t);
+                rev.stack[0] = t;
+                let mut len = 1usize;
+                while len > 0 {
+                    len -= 1;
+                    let v = rev.stack[len];
+                    g.in_flips(v).for_each(|(u, th, c)| {
+                        let take = rev.take_if(u, coin_raw(self.seed, sample, c) < th);
+                        rev.stack[len] = u;
+                        len += take as usize;
+                    });
+                }
+                let raw = coin_raw(self.seed, sample, cand_coin);
+                for (i, cand) in candidates.iter().enumerate() {
+                    let mut bridges = fwd.visited(cand.src) & rev.visited(cand.dst);
+                    if !directed {
+                        bridges |= fwd.visited(cand.dst) & rev.visited(cand.src);
+                    }
+                    counts[i] += (bridges & (raw < thresholds[i])) as u64;
+                }
+            }
+        });
+        counts
     }
 
     fn st_hits<G: ProbGraph>(&self, g: &G, s: NodeId, t: NodeId, lo: u64, hi: u64) -> u64 {
@@ -248,17 +311,8 @@ impl Estimator for McEstimator {
         }
         let z = self.samples as u64;
         let mut hits = 0u64;
-        self.fan_out(
-            z,
-            |lo, hi| {
-                if lo < hi {
-                    self.st_hits(g, s, t, lo, hi)
-                } else {
-                    0
-                }
-            },
-            |h| hits += h,
-        );
+        self.runtime
+            .run_samples(z, |lo, hi| self.st_hits(g, s, t, lo, hi), |h| hits += h);
         hits as f64 / z as f64
     }
 
@@ -278,7 +332,7 @@ impl Estimator for McEstimator {
     ) -> Vec<Vec<f64>> {
         let z = self.samples as u64;
         let mut counts = vec![vec![0u64; targets.len()]; sources.len()];
-        self.fan_out(
+        self.runtime.run_samples(
             z,
             |lo, hi| self.pairwise_counts(g, sources, targets, lo, hi),
             |local| {
@@ -293,6 +347,37 @@ impl Estimator for McEstimator {
             .into_iter()
             .map(|row| row.into_iter().map(|c| c as f64 / z as f64).collect())
             .collect()
+    }
+
+    /// Shared-world candidate scan: walks each sampled world **once** for
+    /// all candidates (two BFS passes + one lookup per candidate) instead
+    /// of once per candidate, sample-sharded over the runtime. Bit-identical
+    /// to the default per-candidate overlay scan at any thread count.
+    fn scan_candidates<G: ProbGraph>(
+        &self,
+        g: &G,
+        s: NodeId,
+        t: NodeId,
+        candidates: &[ExtraEdge],
+    ) -> Vec<f64> {
+        if candidates.is_empty() {
+            return Vec::new();
+        }
+        if s == t {
+            return vec![1.0; candidates.len()];
+        }
+        let z = self.samples as u64;
+        let mut counts = vec![0u64; candidates.len()];
+        self.runtime.run_samples(
+            z,
+            |lo, hi| self.scan_counts(g, s, t, candidates, lo, hi),
+            |local| {
+                for (c, l) in counts.iter_mut().zip(local) {
+                    *c += l;
+                }
+            },
+        );
+        counts.into_iter().map(|c| c as f64 / z as f64).collect()
     }
 
     fn name(&self) -> &'static str {
@@ -489,5 +574,141 @@ mod tests {
     #[should_panic(expected = "at least one sample")]
     fn zero_samples_rejected() {
         let _ = McEstimator::new(0, 1);
+    }
+
+    /// The naive candidate scan every selector ran before the shared-world
+    /// kernel existed: one overlay BFS per candidate.
+    fn naive_scan(
+        mc: &McEstimator,
+        g: &CsrGraph,
+        s: NodeId,
+        t: NodeId,
+        cands: &[ExtraEdge],
+    ) -> Vec<f64> {
+        let mut view = GraphView::empty(g);
+        cands
+            .iter()
+            .map(|&c| {
+                view.push_extra(c);
+                let r = mc.st_reliability(&view, s, t);
+                view.pop_extra();
+                r
+            })
+            .collect()
+    }
+
+    #[test]
+    fn scan_kernel_bit_identical_to_overlay_scan() {
+        let g = bridge_graph();
+        let csr = CsrGraph::freeze(&g);
+        let cands = vec![
+            ExtraEdge {
+                src: NodeId(0),
+                dst: NodeId(3),
+                prob: 0.5,
+            },
+            ExtraEdge {
+                src: NodeId(2),
+                dst: NodeId(1),
+                prob: 0.9,
+            },
+            ExtraEdge {
+                src: NodeId(3),
+                dst: NodeId(0),
+                prob: 0.7,
+            }, // useless direction
+            ExtraEdge {
+                src: NodeId(0),
+                dst: NodeId(2),
+                prob: 0.0,
+            }, // never present
+            ExtraEdge {
+                src: NodeId(1),
+                dst: NodeId(3),
+                prob: 1.0,
+            }, // always present
+        ];
+        let mc = McEstimator::new(4_000, 19);
+        assert_eq!(
+            mc.scan_candidates(&csr, NodeId(0), NodeId(3), &cands),
+            naive_scan(&mc, &csr, NodeId(0), NodeId(3), &cands),
+        );
+    }
+
+    #[test]
+    fn scan_kernel_bit_identical_on_undirected_graphs() {
+        let mut g = UncertainGraph::new(5, false);
+        g.add_edge(NodeId(0), NodeId(1), 0.6).unwrap();
+        g.add_edge(NodeId(1), NodeId(2), 0.4).unwrap();
+        g.add_edge(NodeId(3), NodeId(4), 0.7).unwrap();
+        let csr = CsrGraph::freeze(&g);
+        // Undirected candidates bridge in either orientation.
+        let cands = vec![
+            ExtraEdge {
+                src: NodeId(2),
+                dst: NodeId(3),
+                prob: 0.5,
+            },
+            ExtraEdge {
+                src: NodeId(4),
+                dst: NodeId(0),
+                prob: 0.5,
+            },
+            ExtraEdge {
+                src: NodeId(4),
+                dst: NodeId(2),
+                prob: 0.8,
+            },
+        ];
+        let mc = McEstimator::new(4_000, 23);
+        assert_eq!(
+            mc.scan_candidates(&csr, NodeId(0), NodeId(4), &cands),
+            naive_scan(&mc, &csr, NodeId(0), NodeId(4), &cands),
+        );
+    }
+
+    #[test]
+    fn scan_is_thread_count_independent() {
+        let g = bridge_graph();
+        let csr = CsrGraph::freeze(&g);
+        let cands = vec![
+            ExtraEdge {
+                src: NodeId(0),
+                dst: NodeId(3),
+                prob: 0.5,
+            },
+            ExtraEdge {
+                src: NodeId(2),
+                dst: NodeId(1),
+                prob: 0.3,
+            },
+        ];
+        let serial =
+            McEstimator::new(5_000, 41).scan_candidates(&csr, NodeId(0), NodeId(3), &cands);
+        for threads in [2, 4, 8] {
+            let par = McEstimator::with_threads(5_000, 41, threads).scan_candidates(
+                &csr,
+                NodeId(0),
+                NodeId(3),
+                &cands,
+            );
+            assert_eq!(serial, par, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn scan_handles_degenerate_inputs() {
+        let g = bridge_graph();
+        let mc = McEstimator::new(100, 5);
+        assert!(mc.scan_candidates(&g, NodeId(0), NodeId(3), &[]).is_empty());
+        let cands = [ExtraEdge {
+            src: NodeId(0),
+            dst: NodeId(3),
+            prob: 0.5,
+        }];
+        assert_eq!(
+            mc.scan_candidates(&g, NodeId(2), NodeId(2), &cands),
+            vec![1.0]
+        );
     }
 }

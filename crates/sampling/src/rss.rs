@@ -19,21 +19,54 @@
 //! measure: RSS reaches the convergence criterion with roughly half the
 //! samples of MC.
 //!
-//! The solver is generic over [`ProbGraph`] and preserves the source
-//! graph's adjacency order in every traversal, so stratification picks the
-//! same boundary coins — and produces bit-identical estimates — whether it
-//! runs on an [`relmax_ugraph::UncertainGraph`], a frozen
+//! ## Two-phase execution: stratify, then solve leaves in parallel
+//!
+//! The solver runs in two phases. A **serial stratification pass** walks
+//! the recursion tree (cheap reachability probes per node) and emits one
+//! [`LeafJob`] per conditioned-MC leaf: the coin decisions along its
+//! recursion path, its sample budget, its probability weight, and a
+//! deterministic **stream id** derived from the path. The leaves — where
+//! all the BFS work lives — then run in parallel on the estimator's
+//! [`ParallelRuntime`], and their results are folded in job order.
+//!
+//! Because the job list, each job's stream-keyed randomness, and the fold
+//! order are all independent of scheduling, estimates are **bit-identical
+//! for every thread count**. And since every traversal preserves the source
+//! graph's adjacency order, stratification picks the same boundary coins —
+//! and produces bit-identical estimates — whether it runs on an
+//! [`relmax_ugraph::UncertainGraph`], a frozen
 //! [`relmax_ugraph::CsrGraph`], or an overlay of either.
 
-use crate::coins::coin_raw;
+use crate::coins::{coin_raw, splitmix64};
+use crate::runtime::ParallelRuntime;
 use crate::Estimator;
-use relmax_ugraph::{CoinId, NodeId, ProbGraph, TraversalScratch};
+use relmax_ugraph::{with_scratch, CoinId, NodeId, ProbGraph, TraversalScratch};
+use std::cell::RefCell;
 
 #[derive(Clone, Copy, PartialEq, Eq)]
 enum St {
     Unknown,
     Present,
     Absent,
+}
+
+/// One conditioned-MC leaf of the stratification tree, ready to run on any
+/// worker: the determined coins along its recursion path, its stream id
+/// (keys the leaf's coin flips), its probability weight, and its budget.
+struct LeafJob {
+    path: Vec<(CoinId, bool)>,
+    stream: u64,
+    weight: f64,
+    z: usize,
+}
+
+/// Stream id of child `i` of a stratification node. Purely a function of
+/// the recursion path, so leaves draw the same worlds no matter which
+/// thread runs them — or whether the tree was built from an adjacency
+/// walk or a frozen CSR snapshot.
+#[inline]
+fn child_stream(stream: u64, i: usize) -> u64 {
+    splitmix64(stream ^ (i as u64 + 1))
 }
 
 /// Recursive stratified sampling estimator.
@@ -48,6 +81,11 @@ enum St {
 /// let rss = RssEstimator::new(10_000, 7);
 /// let r = rss.st_reliability(&g, NodeId(0), NodeId(2));
 /// assert!((r - 0.4).abs() < 0.02);
+/// // Leaves run in parallel without changing a single bit:
+/// assert_eq!(
+///     r,
+///     RssEstimator::with_threads(10_000, 7, 4).st_reliability(&g, NodeId(0), NodeId(2)),
+/// );
 /// ```
 #[derive(Debug, Clone)]
 pub struct RssEstimator {
@@ -61,12 +99,24 @@ pub struct RssEstimator {
     pub mc_threshold: usize,
     /// Maximum recursion depth.
     pub max_depth: usize,
+    /// Executor for the conditioned-MC leaves (serial by default).
+    pub runtime: ParallelRuntime,
 }
 
 impl RssEstimator {
     /// RSS with the defaults used throughout the experiments
     /// (`r = 8`, MC threshold 32, depth cap 12).
     pub fn new(samples: usize, seed: u64) -> Self {
+        Self::with_runtime(samples, seed, ParallelRuntime::serial())
+    }
+
+    /// Parallel-leaf RSS; results are identical to the serial one.
+    pub fn with_threads(samples: usize, seed: u64, threads: usize) -> Self {
+        Self::with_runtime(samples, seed, ParallelRuntime::new(threads))
+    }
+
+    /// RSS on an explicit [`ParallelRuntime`].
+    pub fn with_runtime(samples: usize, seed: u64, runtime: ParallelRuntime) -> Self {
         assert!(samples > 0, "need at least one sample");
         RssEstimator {
             samples,
@@ -74,20 +124,21 @@ impl RssEstimator {
             max_strata: 8,
             mc_threshold: 32,
             max_depth: 12,
+            runtime,
         }
     }
 }
 
+/// Serial stratification state. `states` tracks the determined coins of
+/// the current recursion path (mirrored in `path` for leaf snapshots).
 struct Ctx<'g, G: ProbGraph> {
     g: &'g G,
     reverse: bool,
-    seed: u64,
     max_strata: usize,
     mc_threshold: usize,
     max_depth: usize,
     states: Vec<St>,
-    /// Monotone counter giving every leaf sample a unique world index.
-    ctr: u64,
+    path: Vec<(CoinId, bool)>,
     scratch: TraversalScratch,
 }
 
@@ -162,125 +213,32 @@ impl<G: ProbGraph> Ctx<'_, G> {
         found
     }
 
-    /// Conditioned MC: unknown coins are flipped, determined coins keep
-    /// their state. Adds per-node reach counts into `counts`.
-    fn leaf_counts(&mut self, start: NodeId, z: usize, counts: &mut [u64]) {
-        let n = self.g.num_nodes();
-        for _ in 0..z {
-            let sample = self.ctr;
-            self.ctr += 1;
-            let scratch = &mut self.scratch;
-            scratch.begin(n);
-            scratch.visit(start);
-            scratch.stack.push(start);
-            let states = &self.states;
-            let seed = self.seed;
-            while let Some(v) = scratch.stack.pop() {
-                counts[v.index()] += 1;
-                let mut step = |u: NodeId, t: u64, c: CoinId| {
-                    if scratch.visited(u) {
-                        return;
-                    }
-                    let present = match states[c as usize] {
-                        St::Present => true,
-                        St::Absent => false,
-                        St::Unknown => coin_raw(seed, sample, c) < t,
-                    };
-                    if present {
-                        scratch.visit(u);
-                        scratch.stack.push(u);
-                    }
-                };
-                if self.reverse {
-                    for (u, t, c) in self.g.in_flips(v) {
-                        step(u, t, c);
-                    }
-                } else {
-                    for (u, t, c) in self.g.out_flips(v) {
-                        step(u, t, c);
-                    }
-                }
-            }
-        }
-    }
-
-    /// Conditioned MC for a single target with early exit.
-    fn leaf_st(&mut self, s: NodeId, t: NodeId, z: usize) -> f64 {
-        let n = self.g.num_nodes();
-        let mut hits = 0usize;
-        for _ in 0..z {
-            let sample = self.ctr;
-            self.ctr += 1;
-            let scratch = &mut self.scratch;
-            scratch.begin(n);
-            scratch.visit(s);
-            scratch.stack.push(s);
-            let mut found = false;
-            let states = &self.states;
-            let seed = self.seed;
-            while let Some(v) = scratch.stack.pop() {
-                if found {
-                    break;
-                }
-                let mut step = |u: NodeId, th: u64, c: CoinId, found: &mut bool| {
-                    if *found || scratch.visited(u) {
-                        return;
-                    }
-                    let present = match states[c as usize] {
-                        St::Present => true,
-                        St::Absent => false,
-                        St::Unknown => coin_raw(seed, sample, c) < th,
-                    };
-                    if present {
-                        scratch.visit(u);
-                        if u == t {
-                            *found = true;
-                        } else {
-                            scratch.stack.push(u);
-                        }
-                    }
-                };
-                if self.reverse {
-                    for (u, th, c) in self.g.in_flips(v) {
-                        step(u, th, c, &mut found);
-                    }
-                } else {
-                    for (u, th, c) in self.g.out_flips(v) {
-                        step(u, th, c, &mut found);
-                    }
-                }
-            }
-            if found {
-                hits += 1;
-            }
-        }
-        hits as f64 / z.max(1) as f64
-    }
-
-    fn recurse_st(&mut self, s: NodeId, t: NodeId, z: usize, depth: usize) -> f64 {
-        let boundary = self.pessimistic_reach(s);
-        // Success prune: t inside the present component.
-        if self.scratch.visited(t) {
-            return 1.0;
-        }
-        if !self.optimistic_reaches(s, t) {
-            return 0.0;
-        }
-        if z <= self.mc_threshold || depth >= self.max_depth || boundary.is_empty() {
-            return self.leaf_st(s, t, z.max(1));
-        }
+    /// Enumerate this node's strata: set each boundary coin's state, hand
+    /// `(child index, stratum weight, stratum budget)` to `visit`, and
+    /// restore all states afterwards.
+    fn for_each_stratum(
+        &mut self,
+        boundary: &[CoinId],
+        z: usize,
+        weight: f64,
+        mut visit: impl FnMut(&mut Self, usize, f64, usize),
+    ) {
         let r = boundary.len().min(self.max_strata);
-        let mut total = 0.0;
         let mut prefix = 1.0f64;
-        for &c in boundary.iter().take(r) {
+        let mut determined = 0usize;
+        for (i, &c) in boundary.iter().take(r).enumerate() {
             let p = self.g.coin_prob(c);
             let pi = prefix * p;
             if pi > 0.0 {
                 self.states[c as usize] = St::Present;
+                self.path.push((c, true));
                 let zi = ((pi * z as f64).round() as usize).max(1);
-                total += pi * self.recurse_st(s, t, zi, depth + 1);
+                visit(self, i, weight * pi, zi);
+                self.path.pop();
             }
             self.states[c as usize] = St::Absent;
+            self.path.push((c, false));
+            determined += 1;
             prefix *= 1.0 - p;
             if prefix <= 0.0 {
                 break;
@@ -288,58 +246,250 @@ impl<G: ProbGraph> Ctx<'_, G> {
         }
         if prefix > 0.0 {
             let zi = ((prefix * z as f64).round() as usize).max(1);
-            total += prefix * self.recurse_st(s, t, zi, depth + 1);
+            visit(self, r, weight * prefix, zi);
         }
-        for &c in boundary.iter().take(r) {
+        for _ in 0..determined {
+            let (c, _) = self.path.pop().expect("path underflow");
             self.states[c as usize] = St::Unknown;
         }
+    }
+
+    /// Stratify for a single-target query. Returns the contribution
+    /// decided during stratification (success/failure prunes); sampled
+    /// strata are deferred to `jobs`.
+    fn stratify_st(&mut self, s: NodeId, t: NodeId, frame: Frame, jobs: &mut Vec<LeafJob>) -> f64 {
+        let boundary = self.pessimistic_reach(s);
+        // Success prune: t inside the present component.
+        if self.scratch.visited(t) {
+            return frame.weight;
+        }
+        if !self.optimistic_reaches(s, t) {
+            return 0.0;
+        }
+        if frame.z <= self.mc_threshold || frame.depth >= self.max_depth || boundary.is_empty() {
+            jobs.push(self.leaf(&frame));
+            return 0.0;
+        }
+        let mut total = 0.0;
+        self.for_each_stratum(&boundary, frame.z, frame.weight, |ctx, i, w, zi| {
+            total += ctx.stratify_st(s, t, frame.child(i, w, zi), jobs);
+        });
         total
     }
 
-    fn recurse_vec(&mut self, start: NodeId, z: usize, depth: usize, weight: f64, out: &mut [f64]) {
+    /// Stratify for the all-targets vector query. Certainty contributions
+    /// are added to `out` immediately; sampled strata are deferred.
+    fn stratify_vec(
+        &mut self,
+        start: NodeId,
+        frame: Frame,
+        out: &mut [f64],
+        jobs: &mut Vec<LeafJob>,
+    ) {
         let boundary = self.pessimistic_reach(start);
         if boundary.is_empty() {
             // Nothing undetermined leaves the component: members are reached
             // with certainty, everything else is unreachable.
             for v in self.scratch.visited_nodes() {
-                out[v.index()] += weight;
+                out[v.index()] += frame.weight;
             }
             return;
         }
-        if z <= self.mc_threshold || depth >= self.max_depth {
-            let mut counts = vec![0u64; self.g.num_nodes()];
-            let zi = z.max(1);
-            self.leaf_counts(start, zi, &mut counts);
-            let scale = weight / zi as f64;
-            for (o, c) in out.iter_mut().zip(counts) {
-                *o += c as f64 * scale;
-            }
+        if frame.z <= self.mc_threshold || frame.depth >= self.max_depth {
+            jobs.push(self.leaf(&frame));
             return;
         }
-        let r = boundary.len().min(self.max_strata);
-        let mut prefix = 1.0f64;
-        for &c in boundary.iter().take(r) {
-            let p = self.g.coin_prob(c);
-            let pi = prefix * p;
-            if pi > 0.0 {
-                self.states[c as usize] = St::Present;
-                let zi = ((pi * z as f64).round() as usize).max(1);
-                self.recurse_vec(start, zi, depth + 1, weight * pi, out);
-            }
-            self.states[c as usize] = St::Absent;
-            prefix *= 1.0 - p;
-            if prefix <= 0.0 {
-                break;
-            }
-        }
-        if prefix > 0.0 {
-            let zi = ((prefix * z as f64).round() as usize).max(1);
-            self.recurse_vec(start, zi, depth + 1, weight * prefix, out);
-        }
-        for &c in boundary.iter().take(r) {
-            self.states[c as usize] = St::Unknown;
+        self.for_each_stratum(&boundary, frame.z, frame.weight, |ctx, i, w, zi| {
+            ctx.stratify_vec(start, frame.child(i, w, zi), out, jobs);
+        });
+    }
+
+    /// Snapshot the current path as a leaf job for `frame`.
+    fn leaf(&self, frame: &Frame) -> LeafJob {
+        LeafJob {
+            path: self.path.clone(),
+            stream: frame.stream,
+            weight: frame.weight,
+            z: frame.z.max(1),
         }
     }
+}
+
+/// One node of the stratification tree: budget, depth, random stream and
+/// absolute probability weight.
+#[derive(Clone, Copy)]
+struct Frame {
+    z: usize,
+    depth: usize,
+    stream: u64,
+    weight: f64,
+}
+
+impl Frame {
+    fn root(z: usize, stream: u64) -> Self {
+        Frame {
+            z,
+            depth: 0,
+            stream,
+            weight: 1.0,
+        }
+    }
+
+    /// The frame of child stratum `i` with weight `w` and budget `zi`.
+    fn child(&self, i: usize, w: f64, zi: usize) -> Self {
+        Frame {
+            z: zi,
+            depth: self.depth + 1,
+            stream: child_stream(self.stream, i),
+            weight: w,
+        }
+    }
+}
+
+/// Run `f` with a worker-local coin-state array of length `m` with `path`
+/// applied. The array lives in a thread-local and is restored to
+/// all-Unknown afterwards — via a drop guard, so even a panic unwinding
+/// out of `f` cannot leave stale coin states behind for the thread's
+/// next query — and tiny leaves don't pay an `O(m)` reset each.
+fn with_leaf_states<R>(m: usize, path: &[(CoinId, bool)], f: impl FnOnce(&[St]) -> R) -> R {
+    thread_local! {
+        static STATES: RefCell<Vec<St>> = const { RefCell::new(Vec::new()) };
+    }
+    struct Restore<'a> {
+        cell: &'a RefCell<Vec<St>>,
+        path: &'a [(CoinId, bool)],
+    }
+    impl Drop for Restore<'_> {
+        fn drop(&mut self) {
+            let mut states = self.cell.borrow_mut();
+            for &(c, _) in self.path {
+                states[c as usize] = St::Unknown;
+            }
+        }
+    }
+    STATES.with(|cell| {
+        {
+            let mut states = cell.borrow_mut();
+            if states.len() < m {
+                states.resize(m, St::Unknown);
+            }
+            for &(c, present) in path {
+                states[c as usize] = if present { St::Present } else { St::Absent };
+            }
+        }
+        let _restore = Restore { cell, path };
+        let states = cell.borrow();
+        f(&states)
+    })
+}
+
+/// Conditioned MC for a single target with early exit: how many of the
+/// leaf's `z` stream-keyed worlds connect `s` to `t`?
+fn leaf_st_hits<G: ProbGraph>(
+    g: &G,
+    reverse: bool,
+    seed: u64,
+    job: &LeafJob,
+    s: NodeId,
+    t: NodeId,
+) -> u64 {
+    let n = g.num_nodes();
+    let mut hits = 0u64;
+    with_leaf_states(g.num_coins(), &job.path, |states| {
+        with_scratch(n, |scratch| {
+            for local in 0..job.z as u64 {
+                let sample = job.stream.wrapping_add(local);
+                scratch.begin(n);
+                scratch.visit(s);
+                scratch.stack.push(s);
+                let mut found = false;
+                while let Some(v) = scratch.stack.pop() {
+                    if found {
+                        break;
+                    }
+                    let mut step = |u: NodeId, th: u64, c: CoinId, found: &mut bool| {
+                        if *found || scratch.visited(u) {
+                            return;
+                        }
+                        let present = match states[c as usize] {
+                            St::Present => true,
+                            St::Absent => false,
+                            St::Unknown => coin_raw(seed, sample, c) < th,
+                        };
+                        if present {
+                            scratch.visit(u);
+                            if u == t {
+                                *found = true;
+                            } else {
+                                scratch.stack.push(u);
+                            }
+                        }
+                    };
+                    if reverse {
+                        for (u, th, c) in g.in_flips(v) {
+                            step(u, th, c, &mut found);
+                        }
+                    } else {
+                        for (u, th, c) in g.out_flips(v) {
+                            step(u, th, c, &mut found);
+                        }
+                    }
+                }
+                hits += found as u64;
+            }
+        });
+    });
+    hits
+}
+
+/// Conditioned MC over all targets: per-node reach counts across the
+/// leaf's `z` stream-keyed worlds.
+fn leaf_reach_counts<G: ProbGraph>(
+    g: &G,
+    reverse: bool,
+    seed: u64,
+    job: &LeafJob,
+    start: NodeId,
+) -> Vec<u64> {
+    let n = g.num_nodes();
+    let mut counts = vec![0u64; n];
+    with_leaf_states(g.num_coins(), &job.path, |states| {
+        with_scratch(n, |scratch| {
+            for local in 0..job.z as u64 {
+                let sample = job.stream.wrapping_add(local);
+                scratch.begin(n);
+                scratch.visit(start);
+                scratch.stack.push(start);
+                while let Some(v) = scratch.stack.pop() {
+                    counts[v.index()] += 1;
+                    let mut step = |u: NodeId, th: u64, c: CoinId| {
+                        if scratch.visited(u) {
+                            return;
+                        }
+                        let present = match states[c as usize] {
+                            St::Present => true,
+                            St::Absent => false,
+                            St::Unknown => coin_raw(seed, sample, c) < th,
+                        };
+                        if present {
+                            scratch.visit(u);
+                            scratch.stack.push(u);
+                        }
+                    };
+                    if reverse {
+                        for (u, th, c) in g.in_flips(v) {
+                            step(u, th, c);
+                        }
+                    } else {
+                        for (u, th, c) in g.out_flips(v) {
+                            step(u, th, c);
+                        }
+                    }
+                }
+            }
+        });
+    });
+    counts
 }
 
 impl RssEstimator {
@@ -347,14 +497,19 @@ impl RssEstimator {
         Ctx {
             g,
             reverse,
-            seed: self.seed,
             max_strata: self.max_strata.max(1),
             mc_threshold: self.mc_threshold.max(1),
             max_depth: self.max_depth.max(1),
             states: vec![St::Unknown; g.num_coins()],
-            ctr: 0,
+            path: Vec::new(),
             scratch: TraversalScratch::with_nodes(g.num_nodes()),
         }
+    }
+
+    /// The root stream id: every query under one seed draws from the same
+    /// deterministic stream tree.
+    fn root_stream(&self) -> u64 {
+        splitmix64(self.seed ^ 0x5253_535f_726f_6f74) // "RSSS_root"
     }
 }
 
@@ -364,27 +519,82 @@ impl Estimator for RssEstimator {
             return 1.0;
         }
         let mut ctx = self.ctx(g, false);
-        ctx.recurse_st(s, t, self.samples, 0)
+        let mut jobs = Vec::new();
+        let decided = ctx.stratify_st(
+            s,
+            t,
+            Frame::root(self.samples, self.root_stream()),
+            &mut jobs,
+        );
+        let leaf_rates = self.runtime.map(jobs.len(), |i| {
+            leaf_st_hits(g, false, self.seed, &jobs[i], s, t)
+        });
+        // Fold in job order: thread-count-independent.
+        decided
+            + jobs
+                .iter()
+                .zip(leaf_rates)
+                .map(|(job, hits)| job.weight * hits as f64 / job.z as f64)
+                .sum::<f64>()
     }
 
     fn reliability_from<G: ProbGraph>(&self, g: &G, s: NodeId) -> Vec<f64> {
-        let mut out = vec![0.0; g.num_nodes()];
-        let mut ctx = self.ctx(g, false);
-        ctx.recurse_vec(s, self.samples, 0, 1.0, &mut out);
-        out[s.index()] = 1.0;
-        out
+        self.reliability_vector(g, s, false)
     }
 
     fn reliability_to<G: ProbGraph>(&self, g: &G, t: NodeId) -> Vec<f64> {
-        let mut out = vec![0.0; g.num_nodes()];
-        let mut ctx = self.ctx(g, true);
-        ctx.recurse_vec(t, self.samples, 0, 1.0, &mut out);
-        out[t.index()] = 1.0;
-        out
+        self.reliability_vector(g, t, true)
+    }
+
+    /// Candidate scan with one level of parallelism: candidates fan out
+    /// over this estimator's runtime while each overlay is solved with
+    /// serial leaves. RSS results are thread-count-independent, so this
+    /// is bit-identical to the default per-overlay scan while avoiding
+    /// nested thread fan-out (outer workers × leaf workers).
+    fn scan_candidates<G: ProbGraph>(
+        &self,
+        g: &G,
+        s: NodeId,
+        t: NodeId,
+        candidates: &[relmax_ugraph::ExtraEdge],
+    ) -> Vec<f64> {
+        let serial = RssEstimator {
+            runtime: ParallelRuntime::serial(),
+            ..self.clone()
+        };
+        self.runtime.map(candidates.len(), |i| {
+            let view = relmax_ugraph::GraphView::new(g, vec![candidates[i]]);
+            serial.st_reliability(&view, s, t)
+        })
     }
 
     fn name(&self) -> &'static str {
         "RSS"
+    }
+}
+
+impl RssEstimator {
+    fn reliability_vector<G: ProbGraph>(&self, g: &G, start: NodeId, reverse: bool) -> Vec<f64> {
+        let mut out = vec![0.0; g.num_nodes()];
+        let mut ctx = self.ctx(g, reverse);
+        let mut jobs = Vec::new();
+        ctx.stratify_vec(
+            start,
+            Frame::root(self.samples, self.root_stream()),
+            &mut out,
+            &mut jobs,
+        );
+        let leaf_counts = self.runtime.map(jobs.len(), |i| {
+            leaf_reach_counts(g, reverse, self.seed, &jobs[i], start)
+        });
+        for (job, counts) in jobs.iter().zip(leaf_counts) {
+            let scale = job.weight / job.z as f64;
+            for (o, c) in out.iter_mut().zip(counts) {
+                *o += c as f64 * scale;
+            }
+        }
+        out[start.index()] = 1.0;
+        out
     }
 }
 
@@ -473,6 +683,21 @@ mod tests {
         let a = RssEstimator::new(1000, 5).st_reliability(&g, NodeId(0), NodeId(4));
         let b = RssEstimator::new(1000, 5).st_reliability(&g, NodeId(0), NodeId(4));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_leaves_are_bit_identical_to_serial() {
+        let g = fan_graph();
+        let serial = RssEstimator::new(4_000, 11);
+        let st = serial.st_reliability(&g, NodeId(0), NodeId(4));
+        let from = serial.reliability_from(&g, NodeId(0));
+        let to = serial.reliability_to(&g, NodeId(4));
+        for threads in [2, 4, 8] {
+            let par = RssEstimator::with_threads(4_000, 11, threads);
+            assert_eq!(st, par.st_reliability(&g, NodeId(0), NodeId(4)));
+            assert_eq!(from, par.reliability_from(&g, NodeId(0)));
+            assert_eq!(to, par.reliability_to(&g, NodeId(4)));
+        }
     }
 
     #[test]

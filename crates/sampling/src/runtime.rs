@@ -1,0 +1,308 @@
+//! Deterministic sample-sharded parallel execution.
+//!
+//! Every estimator in this crate spends its time in embarrassingly
+//! parallel loops: `Z` independent sampled worlds, or `|candidates|`
+//! independent overlay evaluations. [`ParallelRuntime`] is the one shared
+//! executor behind all of them — [`crate::McEstimator`],
+//! [`crate::RssEstimator`], and the candidate scans inside the
+//! `relmax-core` selectors.
+//!
+//! ## Determinism contract
+//!
+//! The runtime guarantees that **results are bit-identical for every
+//! thread count**, including 1. Two mechanisms make that possible:
+//!
+//! 1. Randomness is *stateless*: every coin flip is keyed by
+//!    `(seed, sample index, coin id)` ([`crate::coins`]), so a world's
+//!    contents do not depend on which thread instantiates it, or in what
+//!    order.
+//! 2. Reduction never depends on scheduling. [`ParallelRuntime::map`]
+//!    returns results in item-index order regardless of which thread
+//!    computed what, and [`ParallelRuntime::run_samples`] merges shard
+//!    results in ascending shard order. Callers that fold shard results
+//!    must do so with operations that are associative over the shard
+//!    boundaries they use — in practice every cross-shard accumulator in
+//!    this workspace is an integer hit count, which is exactly
+//!    partition-independent; floating-point folds happen only over the
+//!    *fixed* item order of [`ParallelRuntime::map`].
+//!
+//! Workers are plain `std::thread::scope` scoped threads: no channels, no
+//! persistent pool, no locks on the hot path. Per-thread traversal state
+//! comes from the thread-local [`relmax_ugraph::with_scratch`] pool, so a
+//! worker allocates its scratch once and reuses it for every sample in
+//! its shard.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Global thread-count override: 0 = auto (env / hardware), n = exactly n.
+static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Cached auto-detection result (env parsing + `available_parallelism`
+/// are not free, and hot selector loops consult the global runtime once
+/// per round).
+static AUTO_THREADS: OnceLock<usize> = OnceLock::new();
+
+/// A sample-sharded parallel executor with a deterministic merge order.
+///
+/// The runtime is a plain `Copy` value carrying the worker count;
+/// construction never spawns anything. Threads are spawned per call with
+/// `std::thread::scope` and joined before the call returns, so borrowing
+/// graphs, scratch pools and candidate slices from the caller's stack
+/// needs no `'static` bounds and no `Arc`.
+///
+/// Results are **bit-identical for every thread count** — see the module
+/// docs for the contract. That makes the thread count a pure performance
+/// knob: pick 1 for debugging, the physical core count for throughput,
+/// and trust that estimates, selections and golden tests cannot change.
+///
+/// ```
+/// use relmax_sampling::ParallelRuntime;
+///
+/// let rt = ParallelRuntime::new(4);
+/// // Index-ordered map: results arrive in item order, not thread order.
+/// let squares = rt.map(5, |i| i * i);
+/// assert_eq!(squares, vec![0, 1, 4, 9, 16]);
+///
+/// // Sample sharding: merge order is ascending shard order, and integer
+/// // accumulators make the total independent of the shard boundaries.
+/// let mut total = 0u64;
+/// rt.run_samples(1000, |lo, hi| hi - lo, |part| total += part);
+/// assert_eq!(total, 1000);
+/// assert_eq!(ParallelRuntime::serial().map(3, |i| i + 1), vec![1, 2, 3]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParallelRuntime {
+    threads: usize,
+}
+
+impl Default for ParallelRuntime {
+    fn default() -> Self {
+        ParallelRuntime::serial()
+    }
+}
+
+impl ParallelRuntime {
+    /// Runtime with exactly `threads` workers (clamped to at least 1).
+    pub fn new(threads: usize) -> Self {
+        ParallelRuntime {
+            threads: threads.max(1),
+        }
+    }
+
+    /// Single-threaded runtime: work runs inline on the calling thread.
+    pub fn serial() -> Self {
+        ParallelRuntime::new(1)
+    }
+
+    /// Runtime sized by the environment: `RELMAX_THREADS` if set to a
+    /// positive integer, otherwise `std::thread::available_parallelism()`.
+    /// The detection runs once per process and is cached; changing the
+    /// environment variable afterwards has no effect (use
+    /// [`ParallelRuntime::set_global_threads`] for runtime control).
+    pub fn auto() -> Self {
+        let threads = *AUTO_THREADS.get_or_init(|| {
+            std::env::var("RELMAX_THREADS")
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok())
+                .filter(|&n| n > 0)
+                .unwrap_or_else(|| {
+                    std::thread::available_parallelism()
+                        .map(|n| n.get())
+                        .unwrap_or(1)
+                })
+        });
+        ParallelRuntime::new(threads)
+    }
+
+    /// The process-wide runtime used by code without an estimator in hand
+    /// (selector candidate scans, baselines). Defaults to
+    /// [`ParallelRuntime::auto`]; override with
+    /// [`ParallelRuntime::set_global_threads`]. Because results are
+    /// thread-count-independent, changing the global setting can never
+    /// change an answer — only how fast it arrives.
+    pub fn global() -> Self {
+        match GLOBAL_THREADS.load(Ordering::Relaxed) {
+            0 => ParallelRuntime::auto(),
+            n => ParallelRuntime::new(n),
+        }
+    }
+
+    /// Set the process-wide thread count used by [`ParallelRuntime::global`].
+    /// `0` restores auto detection.
+    pub fn set_global_threads(threads: usize) {
+        GLOBAL_THREADS.store(threads, Ordering::Relaxed);
+    }
+
+    /// Worker count this runtime fans out to.
+    #[inline]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Split the sample range `0..z` into one contiguous shard per worker,
+    /// run `work(lo, hi)` on each (in parallel), and hand the shard
+    /// results to `merge` in **ascending shard order**.
+    ///
+    /// `work` is never called on an empty range. Bit-identical totals
+    /// across thread counts require the caller's accumulator to be
+    /// partition-independent over shard boundaries (integer counts are;
+    /// see the module docs).
+    pub fn run_samples<T: Send>(
+        &self,
+        z: u64,
+        work: impl Fn(u64, u64) -> T + Sync,
+        mut merge: impl FnMut(T),
+    ) {
+        if z == 0 {
+            return;
+        }
+        if self.threads <= 1 || z < 2 {
+            merge(work(0, z));
+            return;
+        }
+        let workers = self.threads.min(z as usize);
+        let chunk = z.div_ceil(workers as u64);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers);
+            for w in 0..workers as u64 {
+                let lo = w * chunk;
+                let hi = ((w + 1) * chunk).min(z);
+                if lo >= hi {
+                    break;
+                }
+                let work = &work;
+                handles.push(scope.spawn(move || work(lo, hi)));
+            }
+            // Join order == spawn order == ascending shard order.
+            for h in handles {
+                merge(h.join().expect("runtime worker panicked"));
+            }
+        });
+    }
+
+    /// Evaluate `f(0), f(1), …, f(len - 1)` across the workers and return
+    /// the results **in index order**.
+    ///
+    /// Items are claimed dynamically (an atomic cursor), so uneven item
+    /// costs — candidate overlays whose BFS sizes differ wildly, RSS
+    /// leaves with very different budgets — still balance. The scheduling
+    /// order never leaks into the output: each worker tags results with
+    /// their item index and the merge sorts them back.
+    pub fn map<T: Send>(&self, len: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
+        if len == 0 {
+            return Vec::new();
+        }
+        if self.threads <= 1 || len == 1 {
+            return (0..len).map(f).collect();
+        }
+        let workers = self.threads.min(len);
+        let cursor = AtomicUsize::new(0);
+        let mut tagged: Vec<(usize, T)> = Vec::with_capacity(len);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers);
+            for _ in 0..workers {
+                let cursor = &cursor;
+                let f = &f;
+                handles.push(scope.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= len {
+                            break;
+                        }
+                        local.push((i, f(i)));
+                    }
+                    local
+                }));
+            }
+            for h in handles {
+                tagged.extend(h.join().expect("runtime worker panicked"));
+            }
+        });
+        tagged.sort_unstable_by_key(|&(i, _)| i);
+        tagged.into_iter().map(|(_, v)| v).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_index_order_at_every_thread_count() {
+        let items: Vec<usize> = (0..97).collect();
+        let expect: Vec<usize> = items.iter().map(|i| i * 3 + 1).collect();
+        for threads in [1, 2, 3, 4, 8, 16] {
+            let rt = ParallelRuntime::new(threads);
+            assert_eq!(rt.map(items.len(), |i| items[i] * 3 + 1), expect);
+        }
+    }
+
+    #[test]
+    fn run_samples_covers_range_exactly_once() {
+        for threads in [1, 2, 3, 5, 8] {
+            for z in [0u64, 1, 2, 7, 100, 101] {
+                let rt = ParallelRuntime::new(threads);
+                let mut seen = Vec::new();
+                rt.run_samples(
+                    z,
+                    |lo, hi| {
+                        assert!(lo < hi, "empty shard handed to work");
+                        (lo, hi)
+                    },
+                    |r| seen.push(r),
+                );
+                // Shards arrive in ascending order and tile 0..z.
+                let mut next = 0;
+                for (lo, hi) in seen {
+                    assert_eq!(lo, next);
+                    next = hi;
+                }
+                assert_eq!(next, z);
+            }
+        }
+    }
+
+    #[test]
+    fn integer_totals_independent_of_thread_count() {
+        let serial = {
+            let mut acc = 0u64;
+            ParallelRuntime::serial().run_samples(
+                1234,
+                |lo, hi| (lo..hi).map(|s| s * s % 7).sum::<u64>(),
+                |p| acc += p,
+            );
+            acc
+        };
+        for threads in [2, 3, 8] {
+            let mut acc = 0u64;
+            ParallelRuntime::new(threads).run_samples(
+                1234,
+                |lo, hi| (lo..hi).map(|s| s * s % 7).sum::<u64>(),
+                |p| acc += p,
+            );
+            assert_eq!(acc, serial);
+        }
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        assert_eq!(ParallelRuntime::new(0).threads(), 1);
+    }
+
+    #[test]
+    fn global_roundtrip() {
+        ParallelRuntime::set_global_threads(3);
+        assert_eq!(ParallelRuntime::global().threads(), 3);
+        ParallelRuntime::set_global_threads(0);
+        assert!(ParallelRuntime::global().threads() >= 1);
+    }
+
+    #[test]
+    fn map_handles_empty_and_single() {
+        let rt = ParallelRuntime::new(4);
+        assert!(rt.map(0, |_| 0u8).is_empty());
+        assert_eq!(rt.map(1, |i| i + 41), vec![41]);
+    }
+}

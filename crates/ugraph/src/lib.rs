@@ -57,7 +57,7 @@ pub mod world;
 pub use csr::CsrGraph;
 pub use error::GraphError;
 pub use graph::{Edge, EdgeId, NodeId, UncertainGraph};
-pub use scratch::{with_scratch, TraversalScratch};
+pub use scratch::{with_scratch, with_scratch_pair, TraversalScratch};
 pub use view::{ExtraEdge, GraphView};
 pub use world::PossibleWorld;
 

@@ -156,7 +156,9 @@ thread_local! {
 ///
 /// The scratch comes from (and returns to) a thread-local pool, so nested
 /// and repeated uses allocate nothing in steady state. Safe to nest:
-/// inner calls simply draw another scratch.
+/// inner calls simply draw another scratch. Sampling workers spawned per
+/// estimator call each carry their own pool (it is thread-local), so
+/// parallel sample shards share no traversal state whatsoever.
 pub fn with_scratch<R>(n: usize, f: impl FnOnce(&mut TraversalScratch) -> R) -> R {
     let mut scratch = POOL
         .with(|pool| pool.borrow_mut().pop())
@@ -171,6 +173,19 @@ pub fn with_scratch<R>(n: usize, f: impl FnOnce(&mut TraversalScratch) -> R) -> 
         }
     });
     out
+}
+
+/// Run `f` with **two** independent pooled scratches sized for `n` nodes.
+///
+/// Kernels that track two reach sets per sampled world — e.g. the
+/// candidate-scan kernel's forward reach from `s` and reverse reach to
+/// `t` — need two visited arrays alive at once. This is
+/// [`with_scratch`] twice without the rightward drift.
+pub fn with_scratch_pair<R>(
+    n: usize,
+    f: impl FnOnce(&mut TraversalScratch, &mut TraversalScratch) -> R,
+) -> R {
+    with_scratch(n, |a| with_scratch(n, |b| f(a, b)))
 }
 
 #[cfg(test)]
@@ -234,6 +249,16 @@ mod tests {
         });
         // Same thread, sequential: the pooled buffer is reused.
         assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn scratch_pair_is_independent() {
+        with_scratch_pair(4, |fwd, rev| {
+            fwd.visit(NodeId(1));
+            rev.visit(NodeId(2));
+            assert!(fwd.visited(NodeId(1)) && !fwd.visited(NodeId(2)));
+            assert!(rev.visited(NodeId(2)) && !rev.visited(NodeId(1)));
+        });
     }
 
     #[test]

@@ -91,6 +91,8 @@ pub mod prelude {
     pub use crate::core::query::StQuery;
     pub use crate::core::selector::{AnySelector, EdgeSelector, Outcome};
     pub use crate::gen::prob::ProbModel;
-    pub use crate::sampling::{Estimator, ExactEstimator, McEstimator, RssEstimator};
+    pub use crate::sampling::{
+        Estimator, ExactEstimator, McEstimator, ParallelRuntime, RssEstimator,
+    };
     pub use crate::ugraph::{CsrGraph, EdgeId, GraphView, NodeId, ProbGraph, UncertainGraph};
 }

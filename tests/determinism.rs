@@ -1,0 +1,242 @@
+//! Determinism lockdown for the parallel runtime: every estimator kernel
+//! and every selector must produce **bit-identical** output for threads ∈
+//! {1, 2, 4, 8}, for repeated runs under one seed, and — for the
+//! shared-world candidate-scan kernel — against the reference
+//! one-overlay-at-a-time scan it replaced.
+//!
+//! These tests are the contract that makes thread counts a pure
+//! performance knob: CI runs them under different `RELMAX_THREADS` /
+//! `RUST_TEST_THREADS` settings and the answers may never move.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use relmax::prelude::*;
+use relmax::sampling::ParallelRuntime;
+
+/// Random digraph (or undirected graph) with 5..9 nodes plus candidates.
+fn random_instance(
+    rng: &mut StdRng,
+    directed: bool,
+) -> (UncertainGraph, Vec<CandidateEdge>, NodeId, NodeId) {
+    let n = rng.gen_range(5usize..9);
+    let mut g = UncertainGraph::new(n, directed);
+    for u in 0..n as u32 {
+        for v in 0..n as u32 {
+            if u != v && rng.gen_bool(0.3) {
+                let _ = g.add_edge(NodeId(u), NodeId(v), rng.gen_range(0.1..0.9));
+            }
+        }
+    }
+    let mut cands = Vec::new();
+    let mut guard = 0;
+    while cands.len() < 6 && guard < 300 {
+        guard += 1;
+        let u = rng.gen_range(0..n as u32);
+        let v = rng.gen_range(0..n as u32);
+        if u != v
+            && !g.has_edge(NodeId(u), NodeId(v))
+            && !cands
+                .iter()
+                .any(|c: &CandidateEdge| (c.src, c.dst) == (NodeId(u), NodeId(v)))
+        {
+            cands.push(CandidateEdge {
+                src: NodeId(u),
+                dst: NodeId(v),
+                prob: rng.gen_range(0.2..0.9),
+            });
+        }
+    }
+    (g, cands, NodeId(0), NodeId(n as u32 - 1))
+}
+
+const THREAD_MATRIX: [usize; 4] = [1, 2, 4, 8];
+
+#[test]
+fn mc_kernels_bit_identical_across_thread_matrix() {
+    let mut rng = StdRng::seed_from_u64(0xD1);
+    for trial in 0..12 {
+        let (g, cands, s, t) = random_instance(&mut rng, trial % 2 == 0);
+        let seed = rng.gen::<u64>();
+        let reference = McEstimator::new(600, seed);
+        let st = reference.st_reliability(&g, s, t);
+        let from = reference.reliability_from(&g, s);
+        let to = reference.reliability_to(&g, t);
+        let pairwise = reference.pairwise_reliability(&g, &[s, t], &[t, s]);
+        let scan = reference.scan_candidates(&g, s, t, &cands);
+        for threads in THREAD_MATRIX {
+            let mc = McEstimator::with_threads(600, seed, threads);
+            assert_eq!(
+                st,
+                mc.st_reliability(&g, s, t),
+                "st trial {trial} t{threads}"
+            );
+            assert_eq!(
+                from,
+                mc.reliability_from(&g, s),
+                "from trial {trial} t{threads}"
+            );
+            assert_eq!(to, mc.reliability_to(&g, t), "to trial {trial} t{threads}");
+            assert_eq!(
+                pairwise,
+                mc.pairwise_reliability(&g, &[s, t], &[t, s]),
+                "pairwise trial {trial} t{threads}"
+            );
+            assert_eq!(
+                scan,
+                mc.scan_candidates(&g, s, t, &cands),
+                "scan trial {trial} t{threads}"
+            );
+        }
+    }
+}
+
+#[test]
+fn rss_kernels_bit_identical_across_thread_matrix() {
+    let mut rng = StdRng::seed_from_u64(0xD2);
+    for trial in 0..12 {
+        let (g, _cands, s, t) = random_instance(&mut rng, trial % 2 == 0);
+        let seed = rng.gen::<u64>();
+        let reference = RssEstimator::new(400, seed);
+        let st = reference.st_reliability(&g, s, t);
+        let from = reference.reliability_from(&g, s);
+        let to = reference.reliability_to(&g, t);
+        for threads in THREAD_MATRIX {
+            let rss = RssEstimator::with_threads(400, seed, threads);
+            assert_eq!(
+                st,
+                rss.st_reliability(&g, s, t),
+                "st trial {trial} t{threads}"
+            );
+            assert_eq!(
+                from,
+                rss.reliability_from(&g, s),
+                "from trial {trial} t{threads}"
+            );
+            assert_eq!(to, rss.reliability_to(&g, t), "to trial {trial} t{threads}");
+        }
+    }
+}
+
+#[test]
+fn repeated_runs_are_identical_even_in_parallel() {
+    let mut rng = StdRng::seed_from_u64(0xD3);
+    let (g, cands, s, t) = random_instance(&mut rng, true);
+    let mc = McEstimator::with_threads(2_000, 0xAB, 4);
+    assert_eq!(mc.st_reliability(&g, s, t), mc.st_reliability(&g, s, t));
+    assert_eq!(mc.reliability_from(&g, s), mc.reliability_from(&g, s));
+    assert_eq!(
+        mc.scan_candidates(&g, s, t, &cands),
+        mc.scan_candidates(&g, s, t, &cands)
+    );
+    let rss = RssEstimator::with_threads(1_000, 0xAB, 4);
+    assert_eq!(rss.st_reliability(&g, s, t), rss.st_reliability(&g, s, t));
+    assert_eq!(rss.reliability_to(&g, t), rss.reliability_to(&g, t));
+}
+
+/// The shared-world scan kernel must agree bit-for-bit with the reference
+/// scan (one single-candidate overlay per estimator call) for MC, and the
+/// default parallel scan must agree with its serial equivalent for every
+/// estimator.
+#[test]
+fn scan_candidates_matches_reference_overlay_scan() {
+    let mut rng = StdRng::seed_from_u64(0xD4);
+    for trial in 0..12 {
+        let (g, cands, s, t) = random_instance(&mut rng, trial % 2 == 0);
+        if cands.is_empty() {
+            continue;
+        }
+        let seed = rng.gen::<u64>();
+        let naive = |est: &dyn Fn(&GraphView<UncertainGraph>) -> f64| -> Vec<f64> {
+            cands
+                .iter()
+                .map(|&c| est(&GraphView::new(&g, vec![c])))
+                .collect()
+        };
+        let mc = McEstimator::new(500, seed);
+        assert_eq!(
+            mc.scan_candidates(&g, s, t, &cands),
+            naive(&|view| mc.st_reliability(view, s, t)),
+            "MC trial {trial}"
+        );
+        let rss = RssEstimator::new(200, seed);
+        assert_eq!(
+            rss.scan_candidates(&g, s, t, &cands),
+            naive(&|view| rss.st_reliability(view, s, t)),
+            "RSS trial {trial}"
+        );
+        let exact = ExactEstimator::new();
+        assert_eq!(
+            exact.scan_candidates(&g, s, t, &cands),
+            naive(&|view| exact.st_reliability(view, s, t)),
+            "exact trial {trial}"
+        );
+    }
+}
+
+/// Selector output may not depend on the process-global thread setting:
+/// top-k edge sets, reliabilities, everything must match bit for bit.
+#[test]
+fn selectors_identical_across_global_thread_counts() {
+    let mut rng = StdRng::seed_from_u64(0xD5);
+    let (g, cands, s, t) = random_instance(&mut rng, true);
+    let q = StQuery::new(s, t, 2, 0.6).with_hop_limit(None).with_l(12);
+    let est = McEstimator::with_threads(800, 0xC0FFEE, 2);
+    let selectors = [
+        AnySelector::top_k(),
+        AnySelector::hill_climbing(),
+        AnySelector::mrp(),
+        AnySelector::individual_path(),
+        AnySelector::batch_edge(),
+        AnySelector::centrality_degree(),
+        AnySelector::eigen(),
+        AnySelector::Esssp(Default::default()),
+        AnySelector::Ima(Default::default()),
+    ];
+    for sel in selectors {
+        let mut outcomes = Vec::new();
+        for global_threads in [1, 4] {
+            ParallelRuntime::set_global_threads(global_threads);
+            outcomes.push(
+                sel.select_with_candidates(&g, &q, &cands, &est)
+                    .expect("selector runs"),
+            );
+        }
+        ParallelRuntime::set_global_threads(0);
+        let (a, b) = (&outcomes[0], &outcomes[1]);
+        assert_eq!(a.added, b.added, "{} edge set moved", sel.name());
+        assert_eq!(
+            a.new_reliability.to_bits(),
+            b.new_reliability.to_bits(),
+            "{} reliability moved",
+            sel.name()
+        );
+        assert_eq!(
+            a.base_reliability.to_bits(),
+            b.base_reliability.to_bits(),
+            "{} base moved",
+            sel.name()
+        );
+    }
+}
+
+/// Freezing must stay transparent under the parallel runtime: CSR
+/// snapshots and adjacency walks agree at every thread count.
+#[test]
+fn parallel_estimates_layout_independent() {
+    let mut rng = StdRng::seed_from_u64(0xD6);
+    for trial in 0..8 {
+        let (g, cands, s, t) = random_instance(&mut rng, trial % 2 == 0);
+        let csr = CsrGraph::freeze(&g);
+        let seed = rng.gen::<u64>();
+        for threads in [2, 8] {
+            let mc = McEstimator::with_threads(500, seed, threads);
+            assert_eq!(mc.st_reliability(&g, s, t), mc.st_reliability(&csr, s, t));
+            assert_eq!(
+                mc.scan_candidates(&g, s, t, &cands),
+                mc.scan_candidates(&csr, s, t, &cands)
+            );
+            let rss = RssEstimator::with_threads(300, seed, threads);
+            assert_eq!(rss.st_reliability(&g, s, t), rss.st_reliability(&csr, s, t));
+        }
+    }
+}

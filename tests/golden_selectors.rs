@@ -1,0 +1,122 @@
+//! Golden-file regression tests for selector output.
+//!
+//! Every baseline runs on one fixed synthetic instance with a fixed-seed
+//! estimator, and the exact top-k edge set each method picks is committed
+//! as a fixture. Selector refactors (parallel scans, kernel rewrites,
+//! storage changes) can therefore never silently change an answer: if a
+//! diff is intentional, regenerate the fixture with
+//!
+//! ```text
+//! BLESS_GOLDEN=1 cargo test --test golden_selectors
+//! ```
+//!
+//! and review the change like any other code diff.
+
+use relmax::gen::prob::ProbModel;
+use relmax::gen::synth;
+use relmax::prelude::*;
+
+const FIXTURE: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/fixtures/selector_golden.txt"
+);
+
+/// The frozen instance: a small-world graph with mixed probabilities and
+/// every missing pair within 3 hops as a candidate.
+fn golden_instance() -> (UncertainGraph, Vec<CandidateEdge>, StQuery) {
+    let mut g = synth::watts_strogatz(24, 4, 0.2, 0x601d);
+    ProbModel::Uniform { lo: 0.15, hi: 0.85 }.apply(&mut g, 0x601d);
+    let s = NodeId(0);
+    let t = NodeId(17);
+    let q = StQuery::new(s, t, 3, 0.5)
+        .with_hop_limit(Some(3))
+        .with_l(12);
+    let cands = CandidateSpace::all_missing(&g, q.zeta, Some(3));
+    (g, cands, q)
+}
+
+fn selectors() -> Vec<AnySelector> {
+    vec![
+        AnySelector::top_k(),
+        AnySelector::hill_climbing(),
+        AnySelector::centrality_degree(),
+        AnySelector::centrality_betweenness(),
+        AnySelector::eigen(),
+        AnySelector::mrp(),
+        AnySelector::individual_path(),
+        AnySelector::batch_edge(),
+        AnySelector::Esssp(Default::default()),
+        AnySelector::Ima(Default::default()),
+    ]
+}
+
+/// One line per method: `NAME: u->v@p, u->v@p` in selection order.
+fn render() -> String {
+    let (g, cands, q) = golden_instance();
+    let est = McEstimator::new(2_000, 0xFEED);
+    let mut out = String::new();
+    for sel in selectors() {
+        let outcome = sel
+            .select_with_candidates(&g, &q, &cands, &est)
+            .expect("selector runs on the golden instance");
+        let edges: Vec<String> = outcome
+            .added
+            .iter()
+            .map(|e| format!("{}->{}@{:.3}", e.src.0, e.dst.0, e.prob))
+            .collect();
+        out.push_str(&format!("{}: {}\n", sel.name(), edges.join(", ")));
+    }
+    out
+}
+
+#[test]
+fn selector_choices_match_golden_fixture() {
+    let rendered = render();
+    if std::env::var("BLESS_GOLDEN").is_ok() {
+        std::fs::write(FIXTURE, &rendered).expect("write fixture");
+        eprintln!("blessed {FIXTURE}");
+        return;
+    }
+    let golden = std::fs::read_to_string(FIXTURE)
+        .expect("fixture missing; run with BLESS_GOLDEN=1 to generate");
+    assert_eq!(
+        rendered, golden,
+        "selector output drifted from the golden fixture; if intentional, \
+         re-bless with BLESS_GOLDEN=1 and review the diff"
+    );
+}
+
+/// The fixture itself must stay well-formed: every method present, every
+/// chosen edge a real candidate, budgets respected.
+#[test]
+fn golden_fixture_is_well_formed() {
+    if std::env::var("BLESS_GOLDEN").is_ok() {
+        // The bless run may still be writing the fixture concurrently.
+        return;
+    }
+    let golden = std::fs::read_to_string(FIXTURE)
+        .expect("fixture missing; run with BLESS_GOLDEN=1 to generate");
+    let (g, cands, q) = golden_instance();
+    let mut methods_seen = 0;
+    for line in golden.lines() {
+        let (name, edges) = line.split_once(": ").unwrap_or((line, ""));
+        assert!(!name.is_empty());
+        methods_seen += 1;
+        let picked: Vec<&str> = edges.split(", ").filter(|e| !e.is_empty()).collect();
+        assert!(picked.len() <= q.k, "{name} exceeded budget in fixture");
+        for e in picked {
+            let (uv, _p) = e.split_once('@').expect("edge format u->v@p");
+            let (u, v) = uv.split_once("->").expect("edge format u->v@p");
+            let (u, v) = (
+                NodeId(u.parse::<u32>().unwrap()),
+                NodeId(v.parse::<u32>().unwrap()),
+            );
+            assert!(
+                cands.iter().any(|c| (c.src, c.dst) == (u, v)),
+                "{name} picked a non-candidate edge {u}->{v}"
+            );
+            assert!(!g.has_edge(u, v), "{name} picked an existing edge");
+        }
+    }
+    assert_eq!(methods_seen, selectors().len(), "fixture method count");
+}

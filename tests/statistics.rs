@@ -1,0 +1,206 @@
+//! Statistical correctness of the sampling estimators, locked to the
+//! exact solver: MC and RSS estimates concentrate within Hoeffding bounds
+//! across many seeded trials, stay unbiased, and RSS never needs more
+//! variance than MC on a stratification-friendly fixture.
+
+use relmax::prelude::*;
+use relmax::ugraph::exact::st_reliability_enumerate;
+
+/// `ε` such that `P(|X̂ − p| ≥ ε) ≤ δ` for a mean of `z` iid `[0,1]`
+/// draws (Hoeffding): `ε = sqrt(ln(2/δ) / (2z))`.
+fn hoeffding_eps(z: usize, delta: f64) -> f64 {
+    ((2.0 / delta).ln() / (2.0 * z as f64)).sqrt()
+}
+
+/// The bridge fixture: two 2-hop routes plus a cross edge.
+fn bridge_graph() -> UncertainGraph {
+    let mut g = UncertainGraph::new(4, true);
+    g.add_edge(NodeId(0), NodeId(1), 0.6).unwrap();
+    g.add_edge(NodeId(0), NodeId(2), 0.4).unwrap();
+    g.add_edge(NodeId(1), NodeId(3), 0.5).unwrap();
+    g.add_edge(NodeId(2), NodeId(3), 0.7).unwrap();
+    g.add_edge(NodeId(1), NodeId(2), 0.3).unwrap();
+    g
+}
+
+/// The fan fixture: variance lives on the first-level coins, which is
+/// where recursive stratification helps most.
+fn fan_graph() -> UncertainGraph {
+    let mut g = UncertainGraph::new(5, true);
+    for i in 1..=3u32 {
+        g.add_edge(NodeId(0), NodeId(i), 0.5).unwrap();
+        g.add_edge(NodeId(i), NodeId(4), 0.5).unwrap();
+    }
+    g
+}
+
+/// A denser 6-node instance so the exact solver still answers instantly
+/// but traversals branch.
+fn dense_graph() -> UncertainGraph {
+    let mut g = UncertainGraph::new(6, true);
+    let edges = [
+        (0, 1, 0.55),
+        (0, 2, 0.35),
+        (1, 2, 0.45),
+        (1, 3, 0.6),
+        (2, 4, 0.5),
+        (3, 4, 0.4),
+        (3, 5, 0.5),
+        (4, 5, 0.65),
+        (2, 5, 0.2),
+    ];
+    for (u, v, p) in edges {
+        g.add_edge(NodeId(u), NodeId(v), p).unwrap();
+    }
+    g
+}
+
+fn fixtures() -> Vec<(UncertainGraph, NodeId, NodeId)> {
+    vec![
+        (bridge_graph(), NodeId(0), NodeId(3)),
+        (fan_graph(), NodeId(0), NodeId(4)),
+        (dense_graph(), NodeId(0), NodeId(5)),
+    ]
+}
+
+/// 24 seeded MC trials (3 fixtures × 8 seeds) all land within the
+/// Hoeffding envelope of the exact reliability. With `δ = 1e-8` per
+/// trial the whole test fails spuriously less than once in 4 million
+/// runs.
+#[test]
+fn mc_within_hoeffding_bound_of_exact() {
+    let z = 4_000;
+    let eps = hoeffding_eps(z, 1e-8);
+    for (g, s, t) in fixtures() {
+        let exact = st_reliability_enumerate(&g, s, t).unwrap();
+        for seed in 0..8u64 {
+            let est = McEstimator::new(z, 0x5747 + seed).st_reliability(&g, s, t);
+            assert!(
+                (est - exact).abs() <= eps,
+                "MC seed {seed}: |{est} - {exact}| > {eps}"
+            );
+        }
+    }
+}
+
+/// RSS concentrates at least as tightly as MC (law of total variance), so
+/// the same envelope must hold across the same ≥20-trial sweep.
+#[test]
+fn rss_within_hoeffding_bound_of_exact() {
+    let z = 4_000;
+    let eps = hoeffding_eps(z, 1e-8);
+    for (g, s, t) in fixtures() {
+        let exact = st_reliability_enumerate(&g, s, t).unwrap();
+        for seed in 0..8u64 {
+            let est = RssEstimator::new(z, 0x5747 + seed).st_reliability(&g, s, t);
+            assert!(
+                (est - exact).abs() <= eps,
+                "RSS seed {seed}: |{est} - {exact}| > {eps}"
+            );
+        }
+    }
+}
+
+/// Sample means over independent seeds converge on the exact value —
+/// neither estimator carries a systematic bias.
+#[test]
+fn estimators_are_unbiased_over_seeds() {
+    let (g, s, t) = (fan_graph(), NodeId(0), NodeId(4));
+    let exact = st_reliability_enumerate(&g, s, t).unwrap();
+    let reps = 200u64;
+    let mc_mean = (0..reps)
+        .map(|seed| McEstimator::new(256, seed).st_reliability(&g, s, t))
+        .sum::<f64>()
+        / reps as f64;
+    let rss_mean = (0..reps)
+        .map(|seed| RssEstimator::new(256, seed).st_reliability(&g, s, t))
+        .sum::<f64>()
+        / reps as f64;
+    assert!(
+        (mc_mean - exact).abs() < 0.015,
+        "MC mean {mc_mean} vs {exact}"
+    );
+    assert!(
+        (rss_mean - exact).abs() < 0.015,
+        "RSS mean {rss_mean} vs {exact}"
+    );
+}
+
+/// On the stratification-friendly fan fixture, RSS variance across seeds
+/// is strictly below MC variance at the same budget — the whole point of
+/// stratified sampling (paper Tables 6–7).
+#[test]
+fn rss_variance_at_most_mc_variance() {
+    let (g, s, t) = (fan_graph(), NodeId(0), NodeId(4));
+    let z = 128;
+    let reps = 100u64;
+    let var = |estimates: &[f64]| {
+        let mean = estimates.iter().sum::<f64>() / estimates.len() as f64;
+        estimates.iter().map(|e| (e - mean).powi(2)).sum::<f64>() / estimates.len() as f64
+    };
+    let mc: Vec<f64> = (0..reps)
+        .map(|seed| McEstimator::new(z, seed).st_reliability(&g, s, t))
+        .collect();
+    let rss: Vec<f64> = (0..reps)
+        .map(|seed| RssEstimator::new(z, seed).st_reliability(&g, s, t))
+        .collect();
+    let (vm, vr) = (var(&mc), var(&rss));
+    assert!(
+        vr <= vm,
+        "RSS variance {vr} exceeded MC variance {vm} at equal budget"
+    );
+}
+
+/// The scan kernel inherits MC's statistics: scanning a candidate is
+/// exactly estimating on its overlay, so scan outputs obey the same
+/// Hoeffding envelope around the exact overlay reliabilities.
+#[test]
+fn scan_candidates_within_hoeffding_bound_of_exact_overlays() {
+    let (g, s, t) = (bridge_graph(), NodeId(0), NodeId(3));
+    let cands = vec![
+        CandidateEdge {
+            src: NodeId(0),
+            dst: NodeId(3),
+            prob: 0.5,
+        },
+        CandidateEdge {
+            src: NodeId(2),
+            dst: NodeId(1),
+            prob: 0.8,
+        },
+    ];
+    let z = 4_000;
+    let eps = hoeffding_eps(z, 1e-8);
+    for seed in 0..8u64 {
+        let scans = McEstimator::new(z, 0x1234 + seed).scan_candidates(&g, s, t, &cands);
+        for (i, &c) in cands.iter().enumerate() {
+            let view = GraphView::new(&g, vec![c]);
+            let owned = view.materialize();
+            let exact = st_reliability_enumerate(&owned, s, t).unwrap();
+            assert!(
+                (scans[i] - exact).abs() <= eps,
+                "seed {seed} cand {i}: |{} - {exact}| > {eps}",
+                scans[i]
+            );
+        }
+    }
+}
+
+/// All estimates stay inside [0, 1] — including parallel runs and the
+/// vector kernels, whose per-node entries are probabilities too.
+#[test]
+fn estimates_are_probabilities() {
+    for (g, s, t) in fixtures() {
+        for threads in [1, 4] {
+            let mc = McEstimator::with_threads(1_000, 7, threads);
+            let rss = RssEstimator::with_threads(500, 7, threads);
+            let within = |x: f64| (0.0..=1.0 + 1e-12).contains(&x);
+            assert!(within(mc.st_reliability(&g, s, t)));
+            assert!(within(rss.st_reliability(&g, s, t)));
+            assert!(mc.reliability_from(&g, s).into_iter().all(within));
+            assert!(rss.reliability_from(&g, s).into_iter().all(within));
+            assert!(mc.reliability_to(&g, t).into_iter().all(within));
+            assert!(rss.reliability_to(&g, t).into_iter().all(within));
+        }
+    }
+}
