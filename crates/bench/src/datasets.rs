@@ -5,6 +5,7 @@ use crate::Cfg;
 use relmax_gen::prob::ProbModel;
 use relmax_gen::proxy::DatasetProxy;
 use relmax_gen::synth;
+use relmax_ugraph::edgelist::{self, EdgeListOptions};
 use relmax_ugraph::UncertainGraph;
 
 /// Harness-default scale per proxy, on top of which `Cfg::scale`
@@ -20,9 +21,29 @@ pub fn harness_scale(p: DatasetProxy) -> f64 {
 }
 
 /// Materialize a proxy at harness scale.
+///
+/// Every dataset the harness consumes goes through the system's one
+/// loading path: the generated proxy is serialized to the text edge-list
+/// format and re-ingested via [`relmax_ugraph::edgelist`], exactly as a
+/// real dataset loaded from disk would be. The round trip is asserted
+/// exact, so every harness run doubles as an ingestion property test at
+/// dataset scale.
 pub fn load_proxy(p: DatasetProxy, cfg: &Cfg) -> UncertainGraph {
     let scale = (harness_scale(p) * cfg.scale).clamp(1e-6, 1.0);
-    p.generate(scale, cfg.seed)
+    ingest(p.generate(scale, cfg.seed))
+}
+
+/// Route a generated graph through the canonical text-ingestion path,
+/// asserting the round trip reproduces it bit for bit.
+pub fn ingest(g: UncertainGraph) -> UncertainGraph {
+    let text = edgelist::to_text(&g);
+    let loaded = edgelist::parse_str(&text, &EdgeListOptions::default())
+        .expect("generated graphs serialize losslessly");
+    // Hard asserts (release harness runs included): one Vec compare per
+    // dataset load is noise next to the experiments it guards.
+    assert_eq!(loaded.edges(), g.edges(), "ingestion round trip drifted");
+    assert_eq!(loaded.num_nodes(), g.num_nodes());
+    loaded
 }
 
 /// The four network proxies used by most single-`s-t` tables.
@@ -53,7 +74,7 @@ pub fn synthetic(name: &str, cfg: &Cfg) -> UncertainGraph {
     };
     // The paper assigns synthetic probabilities uniformly from (0, 0.6].
     ProbModel::Uniform { lo: 0.01, hi: 0.6 }.apply(&mut g, seed ^ 0x77);
-    g
+    ingest(g)
 }
 
 /// Names of the eight synthetic datasets, Table 8 order.

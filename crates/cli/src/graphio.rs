@@ -1,0 +1,79 @@
+//! Graph input resolution: one loader for both snapshot and text inputs.
+//!
+//! Every subcommand takes a `GRAPH` argument that may be a `.rgs` binary
+//! snapshot or a text edge list; the format is detected by sniffing the
+//! magic bytes, never by file extension. Loading a snapshot yields the
+//! exact [`CsrGraph`] that was frozen at ingest time (bit-identical
+//! estimates); loading text takes the parse → freeze path.
+
+use crate::opts::{run_err, CliError};
+use relmax_ugraph::edgelist::{self, EdgeListOptions};
+use relmax_ugraph::{snapshot, CsrGraph, UncertainGraph};
+use std::fs::File;
+use std::io::Read;
+use std::path::Path;
+
+/// A graph loaded from disk, remembering which path it came in through.
+pub enum LoadedGraph {
+    /// A `.rgs` snapshot (already frozen).
+    Snapshot(CsrGraph),
+    /// A parsed text edge list (mutable form).
+    Text(UncertainGraph),
+}
+
+impl LoadedGraph {
+    /// The frozen form (free for snapshots, one `freeze` for text).
+    pub fn into_frozen(self) -> CsrGraph {
+        match self {
+            LoadedGraph::Snapshot(c) => c,
+            LoadedGraph::Text(g) => g.freeze(),
+        }
+    }
+
+    /// The mutable form (free for text, one `thaw` for snapshots).
+    pub fn into_mutable(self) -> Result<UncertainGraph, CliError> {
+        match self {
+            LoadedGraph::Snapshot(c) => c
+                .thaw()
+                .map_err(|e| run_err(format!("snapshot cannot thaw to a mutable graph: {e}"))),
+            LoadedGraph::Text(g) => Ok(g),
+        }
+    }
+}
+
+/// Tell the user when text-only flags (`--undirected`, `--nodes`) were
+/// passed but the input sniffed as a snapshot, where orientation and node
+/// count are baked in — otherwise the flags would be dropped silently.
+pub fn warn_ignored_text_flags(loaded: &LoadedGraph, text_flags: &[&str], path: &str) {
+    if !text_flags.is_empty() && matches!(loaded, LoadedGraph::Snapshot(_)) {
+        eprintln!(
+            "note: {} only apply to text edge lists; {path} is a .rgs snapshot whose orientation and node count are fixed at ingest",
+            text_flags.join("/"),
+        );
+    }
+}
+
+/// Load a graph from `path`, sniffing the format by magic bytes.
+pub fn load(path: &str, text_opts: &EdgeListOptions) -> Result<LoadedGraph, CliError> {
+    let p = Path::new(path);
+    let mut head = [0u8; 4];
+    let read = {
+        let mut f = File::open(p).map_err(|e| run_err(format!("cannot open {path}: {e}")))?;
+        let mut n = 0;
+        while n < head.len() {
+            match f.read(&mut head[n..]) {
+                Ok(0) => break,
+                Ok(k) => n += k,
+                Err(e) => return Err(run_err(format!("cannot read {path}: {e}"))),
+            }
+        }
+        n
+    };
+    if snapshot::is_snapshot(&head[..read]) {
+        let csr = snapshot::load(p).map_err(|e| run_err(format!("{path}: {e}")))?;
+        Ok(LoadedGraph::Snapshot(csr))
+    } else {
+        let g = edgelist::parse_file(p, text_opts).map_err(|e| run_err(format!("{path}: {e}")))?;
+        Ok(LoadedGraph::Text(g))
+    }
+}

@@ -1,0 +1,45 @@
+//! `relmax ingest` — edge list in, validated `.rgs` snapshot out.
+
+use crate::opts::{self, CliError};
+use relmax_ugraph::edgelist::{self, EdgeListOptions};
+use relmax_ugraph::{snapshot, ProbGraph};
+
+/// Run the subcommand.
+pub fn run(args: &[String]) -> Result<(), CliError> {
+    let mut input: Option<String> = None;
+    let mut out: Option<String> = None;
+    let mut text_opts = EdgeListOptions::default();
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "-o" | "--out" => out = Some(opts::take_value(&mut it, a)?),
+            "--undirected" => text_opts.directed = false,
+            "--nodes" => text_opts.nodes = Some(opts::take_parsed(&mut it, a)?),
+            other => opts::positional(&mut input, other, "input edge list")?,
+        }
+    }
+    let input = opts::required(input, "input edge list path")?;
+    let out = opts::required(out, "`-o <OUT.rgs>` output path")?;
+
+    let started = std::time::Instant::now();
+    let g = edgelist::parse_file(&input, &text_opts)
+        .map_err(|e| opts::run_err(format!("{input}: {e}")))?;
+    let csr = g.freeze();
+    snapshot::save(&csr, &out).map_err(|e| opts::run_err(format!("{out}: {e}")))?;
+
+    let bytes = std::fs::metadata(&out).map(|m| m.len()).unwrap_or(0);
+    println!(
+        "ingested {input}: {} nodes, {} edges ({}), {} arcs -> {out} ({bytes} bytes)",
+        csr.num_nodes(),
+        csr.num_coins(),
+        if csr.is_directed() {
+            "directed"
+        } else {
+            "undirected"
+        },
+        csr.num_arcs(),
+    );
+    eprintln!("ingest took {:.3}s", started.elapsed().as_secs_f64());
+    Ok(())
+}

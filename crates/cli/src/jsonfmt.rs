@@ -1,0 +1,35 @@
+//! Hand-rolled JSON emission (the workspace is offline — no serde).
+//!
+//! Only what the CLI needs: string escaping and float formatting. Floats
+//! use Rust's `Display`, which prints the shortest decimal that parses
+//! back to the same `f64` — full precision, valid JSON, and deterministic,
+//! so JSON output participates in the byte-identity contract.
+
+/// Escape a string for inclusion inside JSON quotes.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Format an `f64` as a JSON number (shortest round-trip decimal).
+pub fn num(x: f64) -> String {
+    debug_assert!(x.is_finite(), "CLI never emits non-finite numbers");
+    format!("{x}")
+}
+
+/// Join pre-rendered JSON values into an array.
+pub fn array(items: impl IntoIterator<Item = String>) -> String {
+    let inner: Vec<String> = items.into_iter().collect();
+    format!("[{}]", inner.join(","))
+}

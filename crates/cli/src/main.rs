@@ -1,0 +1,109 @@
+//! `relmax` — the command-line front end of the workspace.
+//!
+//! Three subcommands turn the library into a runnable system:
+//!
+//! - `relmax ingest`  — parse a text edge list, freeze it, write a `.rgs`
+//!   binary snapshot;
+//! - `relmax query`   — serve a batch of `st`/`from`/`to` reliability
+//!   queries (from a query file or generated on the fly) against a
+//!   snapshot or edge list, sharded over the deterministic parallel
+//!   runtime;
+//! - `relmax select`  — run any edge-selection method under a budget and
+//!   report the chosen edges plus before/after reliability.
+//!
+//! Everything on **stdout is deterministic**: bit-identical for a fixed
+//! seed at every thread count (`--threads` / `RELMAX_THREADS` only change
+//! how fast the bytes arrive). Timings and progress go to stderr. See
+//! `docs/cli.md` for a worked walkthrough and `docs/formats.md` for the
+//! file formats.
+
+mod graphio;
+mod ingest;
+mod jsonfmt;
+mod opts;
+mod query;
+mod select;
+
+use std::process::ExitCode;
+
+const USAGE: &str = "relmax — reliability maximization in uncertain graphs
+
+USAGE:
+    relmax <COMMAND> [ARGS]
+
+COMMANDS:
+    ingest <EDGES> -o <OUT.rgs>   parse + validate an edge list, freeze it,
+                                  write a versioned binary snapshot
+    query  <GRAPH> [OPTIONS]      run a batch of reliability queries
+    select <GRAPH> [OPTIONS]      pick k edges to add with any method
+    help                          print this message
+
+GRAPH inputs are either a .rgs snapshot (detected by magic bytes) or a
+text edge list (`src dst prob` per line; `% nodes N`, `% directed`,
+`% undirected` directives; `#` comments).
+
+COMMON OPTIONS:
+    --estimator mc|rss     reliability estimator         [default: mc]
+    --samples Z            sampled worlds per estimate   [default: 1000]
+    --seed S               estimator seed                [default: 42]
+    --threads T            worker threads (default: RELMAX_THREADS or
+                           all cores); never changes any result
+    --format table|json    stdout format                 [default: table]
+    --undirected           treat a plain edge list as undirected
+    --nodes N              node count for edge lists without `% nodes`
+
+QUERY OPTIONS:
+    --queries FILE         query file (`st S T` / `from S` / `to T` / `S T`)
+    --gen N                generate N random s-t queries instead
+    --min-hops A           generated pairs at least A hops apart [default: 2]
+    --max-hops B           generated pairs at most B hops apart  [default: 5]
+    --emit-queries FILE    also write the served workload to FILE
+
+SELECT OPTIONS:
+    --method NAME          BE IP MRP HC TopK Cent-Deg Cent-Bet EO ES ESSSP IMA
+    --source S, --target T query endpoints (required)
+    -k K                   edge budget                   [default: 5]
+    --zeta Z               new-edge probability          [default: 0.5]
+    --r R                  elimination width             [default: 100]
+    --l L                  reliable paths kept           [default: 30]
+    --hops H | --no-hop-limit
+                           candidate distance constraint [default: 3]
+
+EXAMPLES:
+    relmax ingest data/toy.tsv -o toy.rgs
+    relmax query toy.rgs --gen 100 --samples 2000 --format json
+    relmax select toy.rgs --method BE --source 0 --target 15 -k 3
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprint!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let rest = &args[1..];
+    let result = match cmd.as_str() {
+        "ingest" => ingest::run(rest),
+        "query" => query::run(rest),
+        "select" => select::run(rest),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        other => Err(opts::CliError::Usage(format!(
+            "unknown command {other:?} (expected ingest, query, select, or help)"
+        ))),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(opts::CliError::Usage(msg)) => {
+            eprintln!("error: {msg}");
+            eprintln!("run `relmax help` for usage");
+            ExitCode::from(2)
+        }
+        Err(opts::CliError::Run(msg)) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Minimal flag-parsing helpers shared by the subcommands.
+//!
+//! The CLI deliberately has no argument-parsing dependency: each command
+//! owns one `while let` loop over its raw arguments and uses these helpers
+//! for the repetitive parts (value flags, typed parses, usage errors).
+
+use std::fmt;
+
+/// A CLI failure, split by exit code: usage errors exit 2, runtime errors
+/// exit 1.
+#[derive(Debug)]
+pub enum CliError {
+    /// The invocation itself is wrong (unknown flag, missing value, …).
+    Usage(String),
+    /// The invocation is fine but the work failed (I/O, bad data, …).
+    Run(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(m) | CliError::Run(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+/// Shorthand constructors.
+pub fn usage(msg: impl Into<String>) -> CliError {
+    CliError::Usage(msg.into())
+}
+
+/// Runtime-error constructor (exit code 1).
+pub fn run_err(msg: impl fmt::Display) -> CliError {
+    CliError::Run(msg.to_string())
+}
+
+/// Pull the value of a `--flag VALUE` pair out of the argument iterator.
+pub fn take_value(it: &mut std::slice::Iter<'_, String>, flag: &str) -> Result<String, CliError> {
+    it.next()
+        .cloned()
+        .ok_or_else(|| usage(format!("{flag} requires a value")))
+}
+
+/// Parse a flag's value with a typed `FromStr`, with a usage error naming
+/// the flag on failure.
+pub fn parse_value<T: std::str::FromStr>(raw: &str, flag: &str) -> Result<T, CliError> {
+    raw.parse()
+        .map_err(|_| usage(format!("{flag} value {raw:?} is not valid")))
+}
+
+/// `take_value` + `parse_value` in one step.
+pub fn take_parsed<T: std::str::FromStr>(
+    it: &mut std::slice::Iter<'_, String>,
+    flag: &str,
+) -> Result<T, CliError> {
+    parse_value(&take_value(it, flag)?, flag)
+}
+
+/// Reject an unrecognized argument (or collect it as the one positional).
+pub fn positional(slot: &mut Option<String>, arg: &str, what: &str) -> Result<(), CliError> {
+    if arg.starts_with('-') {
+        return Err(usage(format!("unknown flag {arg:?}")));
+    }
+    if slot.is_some() {
+        return Err(usage(format!(
+            "unexpected extra argument {arg:?} (already have a {what})"
+        )));
+    }
+    *slot = Some(arg.to_string());
+    Ok(())
+}
+
+/// Require the positional argument to have been supplied.
+pub fn required(slot: Option<String>, what: &str) -> Result<String, CliError> {
+    slot.ok_or_else(|| usage(format!("missing required {what}")))
+}
+
+/// Output format for `query` and `select`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Format {
+    /// Aligned markdown-style table (human-first).
+    Table,
+    /// JSON object (machine-first, full precision).
+    Json,
+}
+
+impl Format {
+    /// Parse `--format`.
+    pub fn parse(raw: &str) -> Result<Format, CliError> {
+        match raw {
+            "table" => Ok(Format::Table),
+            "json" => Ok(Format::Json),
+            other => Err(usage(format!(
+                "--format must be `table` or `json`, got {other:?}"
+            ))),
+        }
+    }
+}
+
+/// Which estimator backs the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EstimatorKind {
+    /// Monte Carlo sampling.
+    Mc,
+    /// Recursive stratified sampling.
+    Rss,
+}
+
+impl EstimatorKind {
+    /// Parse `--estimator`.
+    pub fn parse(raw: &str) -> Result<EstimatorKind, CliError> {
+        match raw {
+            "mc" => Ok(EstimatorKind::Mc),
+            "rss" => Ok(EstimatorKind::Rss),
+            other => Err(usage(format!(
+                "--estimator must be `mc` or `rss`, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Display name matching `Estimator::name`.
+    pub fn name(self) -> &'static str {
+        match self {
+            EstimatorKind::Mc => "MC",
+            EstimatorKind::Rss => "RSS",
+        }
+    }
+}

@@ -1,0 +1,224 @@
+//! `relmax query` — serve a batch of reliability queries.
+//!
+//! The workload comes from a query file (`--queries`) or is generated on
+//! the fly (`--gen N`); the graph comes from a snapshot or edge list. The
+//! batch is fanned out over the deterministic parallel runtime:
+//! **stdout is bit-identical for a fixed seed at every `--threads` /
+//! `RELMAX_THREADS` value** (CI diffs runs at 1 and 4 threads to hold the
+//! line). Timings go to stderr.
+
+use crate::graphio;
+use crate::jsonfmt;
+use crate::opts::{self, CliError, EstimatorKind, Format};
+use relmax_bench::table::Table;
+use relmax_gen::workload::{self, QuerySpec};
+use relmax_sampling::{
+    BatchQuery, BatchResult, McEstimator, ParallelRuntime, QueryBatch, RssEstimator,
+};
+use relmax_ugraph::edgelist::EdgeListOptions;
+use relmax_ugraph::{CsrGraph, ProbGraph};
+
+/// Run the subcommand.
+pub fn run(args: &[String]) -> Result<(), CliError> {
+    let mut graph_path: Option<String> = None;
+    let mut queries_path: Option<String> = None;
+    let mut gen_count: Option<usize> = None;
+    let mut min_hops = 2u32;
+    let mut max_hops = 5u32;
+    let mut emit_queries: Option<String> = None;
+    let mut estimator = EstimatorKind::Mc;
+    let mut samples = 1000usize;
+    let mut seed = 42u64;
+    let mut threads: Option<usize> = None;
+    let mut format = Format::Table;
+    let mut text_opts = EdgeListOptions::default();
+    let mut text_flags: Vec<&str> = Vec::new();
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--queries" => queries_path = Some(opts::take_value(&mut it, a)?),
+            "--gen" => gen_count = Some(opts::take_parsed(&mut it, a)?),
+            "--min-hops" => min_hops = opts::take_parsed(&mut it, a)?,
+            "--max-hops" => max_hops = opts::take_parsed(&mut it, a)?,
+            "--emit-queries" => emit_queries = Some(opts::take_value(&mut it, a)?),
+            "--estimator" => estimator = EstimatorKind::parse(&opts::take_value(&mut it, a)?)?,
+            "--samples" | "-z" => samples = opts::take_parsed(&mut it, a)?,
+            "--seed" => seed = opts::take_parsed(&mut it, a)?,
+            "--threads" => threads = Some(opts::take_parsed(&mut it, a)?),
+            "--format" => format = Format::parse(&opts::take_value(&mut it, a)?)?,
+            "--undirected" => {
+                text_opts.directed = false;
+                text_flags.push("--undirected");
+            }
+            "--nodes" => {
+                text_opts.nodes = Some(opts::take_parsed(&mut it, a)?);
+                text_flags.push("--nodes");
+            }
+            other => opts::positional(&mut graph_path, other, "graph input")?,
+        }
+    }
+    let graph_path = opts::required(graph_path, "graph input (snapshot or edge list)")?;
+    if samples == 0 {
+        return Err(opts::usage("--samples must be at least 1"));
+    }
+    if min_hops > max_hops || min_hops == 0 {
+        return Err(opts::usage(format!(
+            "need 1 <= --min-hops <= --max-hops, got {min_hops}..{max_hops}"
+        )));
+    }
+    if queries_path.is_some() && gen_count.is_some() {
+        return Err(opts::usage("--queries and --gen are mutually exclusive"));
+    }
+    // Usage checks stay ahead of graph loading: a missing workload must
+    // not cost a multi-second parse + freeze of a large dataset first.
+    if queries_path.is_none() && gen_count.is_none() {
+        return Err(opts::usage(
+            "need a workload: pass `--queries FILE` or `--gen N`",
+        ));
+    }
+
+    let started = std::time::Instant::now();
+    let loaded = graphio::load(&graph_path, &text_opts)?;
+    graphio::warn_ignored_text_flags(&loaded, &text_flags, &graph_path);
+    let csr = loaded.into_frozen();
+
+    let specs: Vec<QuerySpec> = if let Some(path) = &queries_path {
+        workload::parse_queries_file(path).map_err(|e| opts::run_err(format!("{path}: {e}")))?
+    } else {
+        let count = gen_count.expect("presence checked above");
+        let generated = workload::st_workload(&csr, count, min_hops, max_hops, seed);
+        if generated.len() < count {
+            eprintln!(
+                "note: graph supplied only {} of {count} requested queries in the {min_hops}..{max_hops} hop band",
+                generated.len()
+            );
+        }
+        generated
+    };
+    for (i, q) in specs.iter().enumerate() {
+        if q.max_node().index() >= csr.num_nodes() {
+            return Err(opts::run_err(format!(
+                "query {} ({q}) references node {} but the graph has {} nodes",
+                i + 1,
+                q.max_node().0,
+                csr.num_nodes()
+            )));
+        }
+    }
+    if let Some(path) = &emit_queries {
+        let mut f =
+            std::fs::File::create(path).map_err(|e| opts::run_err(format!("{path}: {e}")))?;
+        workload::write_queries(&specs, &mut f)
+            .map_err(|e| opts::run_err(format!("{path}: {e}")))?;
+    }
+
+    let batch_queries: Vec<BatchQuery> = specs
+        .iter()
+        .map(|q| match *q {
+            QuerySpec::St(s, t) => BatchQuery::St(s, t),
+            QuerySpec::From(s) => BatchQuery::From(s),
+            QuerySpec::To(t) => BatchQuery::To(t),
+        })
+        .collect();
+
+    // Parallel across queries, serial within each estimate; every result
+    // is bit-identical at every thread count either way.
+    let runtime = threads
+        .map(ParallelRuntime::new)
+        .unwrap_or_else(ParallelRuntime::auto);
+    let batch = QueryBatch::new(runtime);
+    let results = match estimator {
+        EstimatorKind::Mc => {
+            let est = McEstimator::new(samples, seed);
+            batch.run(&est, &csr, &batch_queries)
+        }
+        EstimatorKind::Rss => {
+            let est = RssEstimator::new(samples, seed);
+            batch.run(&est, &csr, &batch_queries)
+        }
+    };
+
+    match format {
+        Format::Table => print_table(&specs, &results),
+        Format::Json => print_json(&csr, estimator, samples, seed, &specs, &results),
+    }
+    eprintln!(
+        "{} queries on {} nodes / {} coins in {:.3}s ({} worker(s))",
+        specs.len(),
+        csr.num_nodes(),
+        csr.num_coins(),
+        started.elapsed().as_secs_f64(),
+        runtime.threads(),
+    );
+    Ok(())
+}
+
+fn print_table(specs: &[QuerySpec], results: &[BatchResult]) {
+    let mut t = Table::new(vec!["#", "query", "reliability", "max", "nonzero"]);
+    for (i, (q, r)) in specs.iter().zip(results).enumerate() {
+        match r {
+            BatchResult::Scalar(v) => t.row(vec![
+                (i + 1).to_string(),
+                q.to_string(),
+                format!("{v:.6}"),
+                "-".to_string(),
+                "-".to_string(),
+            ]),
+            BatchResult::Vector(_) => {
+                let (nonzero, mean, max) = r.summary();
+                t.row(vec![
+                    (i + 1).to_string(),
+                    q.to_string(),
+                    format!("{mean:.6}"),
+                    format!("{max:.6}"),
+                    nonzero.to_string(),
+                ]);
+            }
+        }
+    }
+    t.print();
+}
+
+fn print_json(
+    csr: &CsrGraph,
+    estimator: EstimatorKind,
+    samples: usize,
+    seed: u64,
+    specs: &[QuerySpec],
+    results: &[BatchResult],
+) {
+    let rendered = specs.iter().zip(results).map(|(q, r)| match (q, r) {
+        (QuerySpec::St(s, t), BatchResult::Scalar(v)) => format!(
+            "{{\"kind\":\"st\",\"s\":{},\"t\":{},\"reliability\":{}}}",
+            s.0,
+            t.0,
+            jsonfmt::num(*v)
+        ),
+        (q, BatchResult::Vector(values)) => {
+            let (kind, node) = match q {
+                QuerySpec::From(s) => ("from", s.0),
+                QuerySpec::To(t) => ("to", t.0),
+                QuerySpec::St(..) => unreachable!("st queries yield scalars"),
+            };
+            let (nonzero, mean, max) = r.summary();
+            format!(
+                "{{\"kind\":\"{kind}\",\"node\":{node},\"nonzero\":{nonzero},\"mean\":{},\"max\":{},\"values\":{}}}",
+                jsonfmt::num(mean),
+                jsonfmt::num(max),
+                jsonfmt::array(values.iter().map(|&v| jsonfmt::num(v)))
+            )
+        }
+        (q, BatchResult::Scalar(_)) => {
+            unreachable!("{q} cannot yield a scalar")
+        }
+    });
+    println!(
+        "{{\"graph\":{{\"nodes\":{},\"coins\":{},\"directed\":{}}},\"estimator\":{{\"name\":\"{}\",\"samples\":{samples},\"seed\":{seed}}},\"results\":{}}}",
+        csr.num_nodes(),
+        csr.num_coins(),
+        csr.is_directed(),
+        estimator.name(),
+        jsonfmt::array(rendered)
+    );
+}

@@ -1,0 +1,315 @@
+//! End-to-end tests of the `relmax` binary: ingest → snapshot → query →
+//! select, exercised exactly the way a user (and the CI smoke step) runs
+//! it. Covers the determinism contract (byte-identical stdout across
+//! thread counts and across snapshot-vs-text loading), golden output
+//! fixtures, and the error exit codes.
+//!
+//! Regenerate the golden fixtures after an intentional output change with
+//! `BLESS_GOLDEN=1 cargo test -p relmax-cli`.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+const BIN: &str = env!("CARGO_BIN_EXE_relmax");
+const MANIFEST: &str = env!("CARGO_MANIFEST_DIR");
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(MANIFEST).join("tests/fixtures").join(name)
+}
+
+/// The committed toy dataset at the repository root.
+fn toy_tsv() -> PathBuf {
+    Path::new(MANIFEST).join("../../data/toy.tsv")
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("relmax-cli-test-{}", std::process::id()));
+    fs::create_dir_all(&dir).expect("create temp dir");
+    dir.join(name)
+}
+
+fn relmax(args: &[&str], env: &[(&str, &str)]) -> Output {
+    let mut cmd = Command::new(BIN);
+    cmd.args(args);
+    for (k, v) in env {
+        cmd.env(k, v);
+    }
+    cmd.output().expect("spawn relmax")
+}
+
+fn stdout_of(args: &[&str], env: &[(&str, &str)]) -> String {
+    let out = relmax(args, env);
+    assert!(
+        out.status.success(),
+        "relmax {args:?} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("stdout is UTF-8")
+}
+
+fn ingest_toy(name: &str) -> PathBuf {
+    let rgs = tmp(name);
+    let toy = toy_tsv();
+    stdout_of(
+        &["ingest", toy.to_str().unwrap(), "-o", rgs.to_str().unwrap()],
+        &[],
+    );
+    rgs
+}
+
+fn assert_golden(golden: &Path, actual: &str) {
+    if std::env::var("BLESS_GOLDEN").is_ok() {
+        fs::write(golden, actual).expect("write golden fixture");
+        return;
+    }
+    let expected = fs::read_to_string(golden).unwrap_or_else(|e| {
+        panic!("missing golden fixture {golden:?} ({e}); run with BLESS_GOLDEN=1")
+    });
+    assert_eq!(
+        expected, actual,
+        "output drifted from {golden:?}; if intentional, re-bless with BLESS_GOLDEN=1"
+    );
+}
+
+#[test]
+fn ingest_is_deterministic_and_sniffable() {
+    let a = ingest_toy("det-a.rgs");
+    let b = ingest_toy("det-b.rgs");
+    let bytes_a = fs::read(&a).unwrap();
+    assert_eq!(
+        bytes_a,
+        fs::read(&b).unwrap(),
+        "ingest must be byte-deterministic"
+    );
+    assert_eq!(&bytes_a[..4], b"RGSF");
+}
+
+#[test]
+fn query_snapshot_matches_text_input_bit_for_bit() {
+    let rgs = ingest_toy("match.rgs");
+    let toy = toy_tsv();
+    let common = ["--gen", "20", "--samples", "400", "--format", "json"];
+    let via_snapshot = {
+        let mut args = vec!["query", rgs.to_str().unwrap()];
+        args.extend_from_slice(&common);
+        stdout_of(&args, &[])
+    };
+    let via_text = {
+        let mut args = vec!["query", toy.to_str().unwrap()];
+        args.extend_from_slice(&common);
+        stdout_of(&args, &[])
+    };
+    assert_eq!(via_snapshot, via_text);
+}
+
+#[test]
+fn query_batch_is_byte_identical_across_thread_counts() {
+    let rgs = ingest_toy("threads.rgs");
+    for format in ["table", "json"] {
+        let args = [
+            "query",
+            rgs.to_str().unwrap(),
+            "--gen",
+            "100",
+            "--min-hops",
+            "1",
+            "--max-hops",
+            "6",
+            "--samples",
+            "500",
+            "--format",
+            format,
+        ];
+        let t1 = stdout_of(&args, &[("RELMAX_THREADS", "1")]);
+        let t4 = stdout_of(&args, &[("RELMAX_THREADS", "4")]);
+        assert_eq!(
+            t1, t4,
+            "query stdout must not depend on thread count ({format})"
+        );
+        let flagged = {
+            let mut with_flag = args.to_vec();
+            with_flag.extend_from_slice(&["--threads", "3"]);
+            stdout_of(&with_flag, &[])
+        };
+        assert_eq!(t1, flagged, "--threads must not change output ({format})");
+    }
+}
+
+#[test]
+fn select_is_byte_identical_across_thread_counts() {
+    let rgs = ingest_toy("select-threads.rgs");
+    let args = [
+        "select",
+        rgs.to_str().unwrap(),
+        "--method",
+        "BE",
+        "--source",
+        "0",
+        "--target",
+        "15",
+        "-k",
+        "2",
+        "--samples",
+        "400",
+        "--format",
+        "json",
+    ];
+    let t1 = stdout_of(&args, &[("RELMAX_THREADS", "1")]);
+    let t4 = stdout_of(&args, &[("RELMAX_THREADS", "4")]);
+    assert_eq!(t1, t4);
+}
+
+#[test]
+fn query_golden_output() {
+    let rgs = ingest_toy("golden.rgs");
+    let queries = fixture("toy_queries.txt");
+    let out = stdout_of(
+        &[
+            "query",
+            rgs.to_str().unwrap(),
+            "--queries",
+            queries.to_str().unwrap(),
+            "--samples",
+            "1000",
+            "--seed",
+            "42",
+        ],
+        &[("RELMAX_THREADS", "2")],
+    );
+    assert_golden(&fixture("query_golden.txt"), &out);
+}
+
+#[test]
+fn select_golden_output() {
+    let rgs = ingest_toy("select-golden.rgs");
+    let out = stdout_of(
+        &[
+            "select",
+            rgs.to_str().unwrap(),
+            "--method",
+            "BE",
+            "--source",
+            "0",
+            "--target",
+            "15",
+            "-k",
+            "3",
+            "--samples",
+            "1000",
+            "--seed",
+            "42",
+        ],
+        &[("RELMAX_THREADS", "2")],
+    );
+    assert_golden(&fixture("select_golden.txt"), &out);
+}
+
+#[test]
+fn emitted_workload_replays_identically() {
+    let rgs = ingest_toy("emit.rgs");
+    let qfile = tmp("emitted.txt");
+    let generated = stdout_of(
+        &[
+            "query",
+            rgs.to_str().unwrap(),
+            "--gen",
+            "10",
+            "--samples",
+            "300",
+            "--emit-queries",
+            qfile.to_str().unwrap(),
+        ],
+        &[],
+    );
+    let replayed = stdout_of(
+        &[
+            "query",
+            rgs.to_str().unwrap(),
+            "--queries",
+            qfile.to_str().unwrap(),
+            "--samples",
+            "300",
+        ],
+        &[],
+    );
+    assert_eq!(generated, replayed);
+}
+
+#[test]
+fn usage_errors_exit_2() {
+    for args in [
+        vec![],
+        vec!["frobnicate"],
+        vec!["query"],
+        vec![
+            "select", "x", "--method", "NOPE", "--source", "0", "--target", "1",
+        ],
+        vec!["query", "x", "--gen", "1", "--format", "yaml"],
+        vec!["ingest", "in.tsv"], // missing -o
+    ] {
+        let out = relmax(&args, &[]);
+        assert_eq!(out.status.code(), Some(2), "args={args:?}");
+    }
+}
+
+#[test]
+fn data_errors_exit_1() {
+    let bad_prob = tmp("bad-prob.tsv");
+    fs::write(&bad_prob, "0 1 1.7\n").unwrap();
+    let dangling = tmp("dangling.tsv");
+    fs::write(&dangling, "% nodes 2\n0 1 0.5\n0 9 0.5\n").unwrap();
+
+    for (input, needle) in [
+        (bad_prob.to_str().unwrap(), "not in [0, 1]"),
+        (dangling.to_str().unwrap(), "out of bounds"),
+        ("/nonexistent/path.tsv", "No such file"),
+    ] {
+        let out = relmax(&["query", input, "--gen", "1"], &[]);
+        assert_eq!(out.status.code(), Some(1), "input={input}");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains(needle), "input={input}: {err}");
+    }
+}
+
+#[test]
+fn corrupt_snapshots_are_rejected() {
+    let rgs = ingest_toy("corrupt.rgs");
+    let bytes = fs::read(&rgs).unwrap();
+
+    let truncated = tmp("truncated.rgs");
+    fs::write(&truncated, &bytes[..bytes.len() / 2]).unwrap();
+    let out = relmax(&["query", truncated.to_str().unwrap(), "--gen", "1"], &[]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("truncated"));
+
+    let wrong_version = tmp("wrong-version.rgs");
+    let mut patched = bytes.clone();
+    patched[4..8].copy_from_slice(&9u32.to_le_bytes());
+    fs::write(&wrong_version, &patched).unwrap();
+    let out = relmax(
+        &["query", wrong_version.to_str().unwrap(), "--gen", "1"],
+        &[],
+    );
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("version"));
+
+    let flipped = tmp("flipped.rgs");
+    let mut patched = bytes;
+    let last = patched.len() - 1;
+    patched[last] ^= 0xff;
+    fs::write(&flipped, &patched).unwrap();
+    let out = relmax(&["query", flipped.to_str().unwrap(), "--gen", "1"], &[]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("checksum"));
+}
+
+#[test]
+fn help_prints_usage_on_stdout() {
+    let out = relmax(&["help"], &[]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for needle in ["ingest", "query", "select", "--estimator"] {
+        assert!(text.contains(needle), "usage lacks {needle}");
+    }
+}

@@ -7,8 +7,8 @@
 //! | [`CentralitySelector`] | §3.3 | connect hub nodes | not query-specific |
 //! | [`EigenSelector`] | §3.4, Alg. 2 | maximize leading-eigenvalue gain | global objective ≠ `s-t` reliability |
 //! | [`ExactSelector`] | §8.2, Table 11 | enumerate all `C(\|cand\|, k)` subsets | exponential; tiny inputs only |
-//! | [`esssp::select_esssp`] | [36] | minimize Σ expected shortest-path length | different objective |
-//! | [`ima::select_ima`] | [38] | maximize IC influence spread | different objective |
+//! | [`esssp::select_esssp`] | ref.\[36\] | minimize Σ expected shortest-path length | different objective |
+//! | [`ima::select_ima`] | ref.\[38\] | maximize IC influence spread | different objective |
 
 pub mod centrality_based;
 pub mod eigen_based;

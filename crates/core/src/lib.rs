@@ -41,6 +41,8 @@
 //! trait — the paper's "our solution is orthogonal to the specific
 //! sampling method" made into an API guarantee.
 
+#![deny(missing_docs)]
+
 pub mod baselines;
 pub mod candidates;
 pub mod elimination;

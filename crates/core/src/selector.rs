@@ -201,6 +201,58 @@ impl AnySelector {
     pub fn exhaustive() -> Self {
         AnySelector::Exact(ExactSelector::default())
     }
+
+    /// Expected-shortest-path-sum competitor (ESSSP).
+    pub fn esssp() -> Self {
+        AnySelector::Esssp(EssspSelector)
+    }
+
+    /// IC influence-maximization competitor (IMA) with default knobs.
+    pub fn ima() -> Self {
+        AnySelector::Ima(ImaSelector::default())
+    }
+
+    /// Every method, in the order the paper's tables list them. This is
+    /// the registry behind [`AnySelector::from_name`] and the CLI's
+    /// `--method` flag.
+    pub fn all() -> Vec<AnySelector> {
+        vec![
+            AnySelector::batch_edge(),
+            AnySelector::individual_path(),
+            AnySelector::mrp(),
+            AnySelector::hill_climbing(),
+            AnySelector::top_k(),
+            AnySelector::centrality_degree(),
+            AnySelector::centrality_betweenness(),
+            AnySelector::eigen(),
+            AnySelector::exhaustive(),
+            AnySelector::esssp(),
+            AnySelector::ima(),
+        ]
+    }
+
+    /// Look a method up by its table name (`"BE"`, `"IP"`, `"MRP"`,
+    /// `"HC"`, `"TopK"`, `"Cent-Deg"`, `"Cent-Bet"`, `"EO"`, `"ES"`,
+    /// `"ESSSP"`, `"IMA"`), case-insensitively. Returns `None` for
+    /// unknown names — callers should print [`AnySelector::names`].
+    ///
+    /// ```
+    /// use relmax_core::selector::{AnySelector, EdgeSelector};
+    ///
+    /// assert_eq!(AnySelector::from_name("be").unwrap().name(), "BE");
+    /// assert_eq!(AnySelector::from_name("Cent-Deg").unwrap().name(), "Cent-Deg");
+    /// assert!(AnySelector::from_name("nope").is_none());
+    /// ```
+    pub fn from_name(name: &str) -> Option<AnySelector> {
+        AnySelector::all()
+            .into_iter()
+            .find(|m| m.name().eq_ignore_ascii_case(name))
+    }
+
+    /// The names accepted by [`AnySelector::from_name`], in registry order.
+    pub fn names() -> Vec<&'static str> {
+        AnySelector::all().iter().map(|m| m.name()).collect()
+    }
 }
 
 impl EdgeSelector for AnySelector {
@@ -285,6 +337,18 @@ mod tests {
             k: 5,
         };
         assert!(e.to_string().contains("100"));
+    }
+
+    #[test]
+    fn from_name_round_trips_every_method() {
+        for m in AnySelector::all() {
+            let looked_up = AnySelector::from_name(m.name()).unwrap();
+            assert_eq!(looked_up.name(), m.name());
+            let lower = AnySelector::from_name(&m.name().to_lowercase()).unwrap();
+            assert_eq!(lower.name(), m.name());
+        }
+        assert!(AnySelector::from_name("no-such-method").is_none());
+        assert_eq!(AnySelector::names().len(), AnySelector::all().len());
     }
 
     #[test]

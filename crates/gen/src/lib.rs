@@ -20,7 +20,10 @@
 //!   average and longest shortest-path length, clustering coefficient);
 //! - [`queries`] — query workloads: single `s-t` pairs a prescribed number
 //!   of hops apart, and disjoint multi-source/multi-target sets (§8.1
-//!   "Queries").
+//!   "Queries");
+//! - [`workload`] — the query-*file* format served by the `relmax` CLI:
+//!   parse/emit `st`/`from`/`to` records and generate paper-style random
+//!   `s-t` batches ready to write to disk.
 
 pub mod prob;
 pub mod proxy;
@@ -28,9 +31,11 @@ pub mod queries;
 pub mod sensor;
 pub mod stats;
 pub mod synth;
+pub mod workload;
 
 pub use prob::ProbModel;
 pub use proxy::DatasetProxy;
 pub use queries::{multi_queries, st_queries, st_queries_at_distance};
 pub use sensor::SensorLab;
 pub use stats::GraphStats;
+pub use workload::QuerySpec;

@@ -1,0 +1,267 @@
+//! Query-file workloads: emit, parse, and generate batched query sets.
+//!
+//! The paper's experiments average over batches of `s-t` queries drawn at
+//! a controlled hop distance (§8.1); the `relmax query` CLI serves exactly
+//! such batches from a *query file*. This module owns that file format —
+//! one query per line:
+//!
+//! ```text
+//! # comments and blank lines are ignored
+//! st 0 41        # R(0, 41)
+//! 3 17           # bare pair == st
+//! from 0         # R(0, v) for every node v
+//! to 41          # R(v, 41) for every node v
+//! ```
+//!
+//! Queries keep file order, and the batch runtime answers them in that
+//! order, so a workload file pins the byte layout of a run's output.
+//! [`st_workload`] generates the paper-style random batches (via
+//! [`crate::queries::st_queries`]) ready to be written with
+//! [`write_queries`].
+
+use crate::queries::st_queries;
+use relmax_ugraph::{NodeId, ProbGraph};
+use std::fmt;
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, Write};
+use std::path::Path;
+
+/// One parsed workload query (mirrors
+/// `relmax_sampling::batch::BatchQuery`, which layering keeps out of this
+/// crate — the CLI maps between the two).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuerySpec {
+    /// `R(s, t)` for one pair.
+    St(NodeId, NodeId),
+    /// `R(s, v)` for every `v`.
+    From(NodeId),
+    /// `R(v, t)` for every `v`.
+    To(NodeId),
+}
+
+impl QuerySpec {
+    /// The largest node id the query references (for bounds validation
+    /// against a loaded graph).
+    pub fn max_node(&self) -> NodeId {
+        match *self {
+            QuerySpec::St(s, t) => NodeId(s.0.max(t.0)),
+            QuerySpec::From(s) => s,
+            QuerySpec::To(t) => t,
+        }
+    }
+}
+
+impl fmt::Display for QuerySpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuerySpec::St(s, t) => write!(f, "st {} {}", s.0, t.0),
+            QuerySpec::From(s) => write!(f, "from {}", s.0),
+            QuerySpec::To(t) => write!(f, "to {}", t.0),
+        }
+    }
+}
+
+/// Errors parsing a query file, with 1-based line numbers.
+#[derive(Debug)]
+pub enum WorkloadError {
+    /// An underlying I/O failure.
+    Io(io::Error),
+    /// A line that is not a valid query record.
+    BadRecord {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong with it.
+        reason: String,
+    },
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadError::Io(e) => write!(f, "query file I/O error: {e}"),
+            WorkloadError::BadRecord { line, reason } => write!(f, "line {line}: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WorkloadError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for WorkloadError {
+    fn from(e: io::Error) -> Self {
+        WorkloadError::Io(e)
+    }
+}
+
+fn bad(line: usize, reason: impl Into<String>) -> WorkloadError {
+    WorkloadError::BadRecord {
+        line,
+        reason: reason.into(),
+    }
+}
+
+fn parse_node(tok: &str, line: usize) -> Result<NodeId, WorkloadError> {
+    tok.parse::<u32>()
+        .map(NodeId)
+        .map_err(|_| bad(line, format!("{tok:?} is not a node id")))
+}
+
+/// Parse a query file from any buffered reader.
+pub fn parse_queries_reader<R: BufRead>(r: R) -> Result<Vec<QuerySpec>, WorkloadError> {
+    let mut out = Vec::new();
+    for (i, line) in r.lines().enumerate() {
+        let lineno = i + 1;
+        let line = line?;
+        let body = line.split('#').next().unwrap_or("").trim();
+        if body.is_empty() {
+            continue;
+        }
+        let toks: Vec<&str> = body.split_whitespace().collect();
+        let spec = match toks.as_slice() {
+            ["st", s, t] => QuerySpec::St(parse_node(s, lineno)?, parse_node(t, lineno)?),
+            ["from", s] => QuerySpec::From(parse_node(s, lineno)?),
+            ["to", t] => QuerySpec::To(parse_node(t, lineno)?),
+            [kind @ ("st" | "from" | "to"), ..] => {
+                return Err(bad(
+                    lineno,
+                    format!("wrong arity for `{kind}` (expected `st S T`, `from S`, or `to T`)"),
+                ))
+            }
+            [s, t] => QuerySpec::St(parse_node(s, lineno)?, parse_node(t, lineno)?),
+            _ => {
+                return Err(bad(
+                    lineno,
+                    format!("expected `st S T`, `from S`, `to T`, or `S T`; found {body:?}"),
+                ))
+            }
+        };
+        out.push(spec);
+    }
+    Ok(out)
+}
+
+/// Parse a query file from a string.
+///
+/// ```
+/// use relmax_gen::workload::{parse_queries_str, QuerySpec};
+/// use relmax_ugraph::NodeId;
+///
+/// let qs = parse_queries_str("st 0 3\n1 2\nfrom 0\nto 3\n").unwrap();
+/// assert_eq!(qs[1], QuerySpec::St(NodeId(1), NodeId(2)));
+/// assert_eq!(qs.len(), 4);
+/// ```
+pub fn parse_queries_str(s: &str) -> Result<Vec<QuerySpec>, WorkloadError> {
+    parse_queries_reader(s.as_bytes())
+}
+
+/// Parse a query file from a path.
+pub fn parse_queries_file<P: AsRef<Path>>(path: P) -> Result<Vec<QuerySpec>, WorkloadError> {
+    let f = File::open(path)?;
+    parse_queries_reader(BufReader::new(f))
+}
+
+/// Write queries in the file format, one per line, preserving order.
+pub fn write_queries<W: Write>(specs: &[QuerySpec], mut w: W) -> io::Result<()> {
+    for s in specs {
+        writeln!(w, "{s}")?;
+    }
+    w.flush()
+}
+
+/// [`write_queries`] into a `String`.
+pub fn queries_to_text(specs: &[QuerySpec]) -> String {
+    let mut buf = Vec::new();
+    write_queries(specs, &mut buf).expect("writing to a Vec cannot fail");
+    String::from_utf8(buf).expect("query text is ASCII")
+}
+
+/// Generate a paper-style batch of `count` random `s-t` queries whose hop
+/// distance lies in `[min_hops, max_hops]` (§8.1 draws 3–5). Deterministic
+/// in `seed`; may return fewer queries on graphs too small or disconnected
+/// to supply them.
+pub fn st_workload<G: ProbGraph>(
+    g: &G,
+    count: usize,
+    min_hops: u32,
+    max_hops: u32,
+    seed: u64,
+) -> Vec<QuerySpec> {
+    st_queries(g, count, min_hops, max_hops, seed)
+        .into_iter()
+        .map(|(s, t)| QuerySpec::St(s, t))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prob::ProbModel;
+    use crate::synth::watts_strogatz;
+
+    #[test]
+    fn round_trip_preserves_order_and_kinds() {
+        let specs = vec![
+            QuerySpec::St(NodeId(0), NodeId(3)),
+            QuerySpec::From(NodeId(1)),
+            QuerySpec::To(NodeId(2)),
+            QuerySpec::St(NodeId(3), NodeId(0)),
+        ];
+        let text = queries_to_text(&specs);
+        assert_eq!(parse_queries_str(&text).unwrap(), specs);
+    }
+
+    #[test]
+    fn bare_pairs_and_comments() {
+        let qs = parse_queries_str("# header\n\n0 5 # inline\nst 5 0\n").unwrap();
+        assert_eq!(
+            qs,
+            vec![
+                QuerySpec::St(NodeId(0), NodeId(5)),
+                QuerySpec::St(NodeId(5), NodeId(0)),
+            ]
+        );
+    }
+
+    #[test]
+    fn malformed_lines_report_position() {
+        for (text, needle) in [
+            ("st 0\n", "expected"),
+            ("from 0 1\n", "expected"),
+            ("st a 1\n", "node id"),
+            ("0 1 2\n", "expected"),
+            ("walk 0 1\n", "expected"),
+        ] {
+            let err = parse_queries_str(text).unwrap_err();
+            let msg = err.to_string();
+            assert!(
+                msg.contains("line 1") && msg.contains(needle),
+                "{text:?} -> {msg}"
+            );
+        }
+    }
+
+    #[test]
+    fn st_workload_is_deterministic_and_in_band() {
+        let mut g = watts_strogatz(200, 6, 0.2, 3);
+        ProbModel::Uniform { lo: 0.2, hi: 0.6 }.apply(&mut g, 4);
+        let a = st_workload(&g, 15, 2, 4, 9);
+        let b = st_workload(&g, 15, 2, 4, 9);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        for q in &a {
+            assert!(matches!(q, QuerySpec::St(s, t) if s != t));
+        }
+    }
+
+    #[test]
+    fn max_node_is_bound() {
+        assert_eq!(QuerySpec::St(NodeId(2), NodeId(9)).max_node(), NodeId(9));
+        assert_eq!(QuerySpec::To(NodeId(7)).max_node(), NodeId(7));
+    }
+}

@@ -1,0 +1,242 @@
+//! Batched query execution: one freeze, many queries, deterministic order.
+//!
+//! Serving a workload file means answering hundreds of independent
+//! reliability queries against the *same* graph. The naive loop pays the
+//! `O(n + m)` freeze per run anyway (good), but leaves the queries serial
+//! and re-derives per-query plumbing at every call site. [`QueryBatch`] is
+//! the shared entry point: freeze (or accept a frozen snapshot) once, then
+//! fan the queries out over a [`ParallelRuntime`].
+//!
+//! ## Determinism
+//!
+//! Batch results inherit the PR-2 contract: **bit-identical output at
+//! every thread count**. Each query's answer is already
+//! thread-count-independent (estimator kernels shard samples with
+//! stateless coin keys and fixed merges), and the batch layer adds no new
+//! ordering freedom — [`ParallelRuntime::map`] returns results in query
+//! index order no matter which worker computed what. Two runs of the same
+//! workload under `RELMAX_THREADS=1` and `=64` therefore produce the same
+//! bytes.
+//!
+//! Parallelism composes multiplicatively here, so the intended shape is:
+//! **parallel across queries, serial within each estimate** — construct
+//! the estimator with [`crate::McEstimator::new`] (serial runtime) and
+//! give the batch the parallel runtime. The inverse (serial batch,
+//! parallel estimator) is equally correct and better for a handful of
+//! giant queries; both at once oversubscribes but still yields identical
+//! bits.
+
+use crate::runtime::ParallelRuntime;
+use crate::Estimator;
+use relmax_ugraph::{CsrGraph, NodeId, ProbGraph, UncertainGraph};
+
+/// One reliability query in a batch workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchQuery {
+    /// `R(s, t)` — a single source-target pair.
+    St(NodeId, NodeId),
+    /// `R(s, v)` for every node `v` (forward reachability vector).
+    From(NodeId),
+    /// `R(v, t)` for every node `v` (reverse reachability vector).
+    To(NodeId),
+}
+
+impl BatchQuery {
+    /// The largest node id this query references (for bounds validation).
+    pub fn max_node(&self) -> NodeId {
+        match *self {
+            BatchQuery::St(s, t) => NodeId(s.0.max(t.0)),
+            BatchQuery::From(s) => s,
+            BatchQuery::To(t) => t,
+        }
+    }
+}
+
+/// The answer to one [`BatchQuery`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum BatchResult {
+    /// Scalar `R(s, t)` for an [`BatchQuery::St`] query.
+    Scalar(f64),
+    /// Per-node reliability vector for a [`BatchQuery::From`] /
+    /// [`BatchQuery::To`] query, indexed by node id.
+    Vector(Vec<f64>),
+}
+
+impl BatchResult {
+    /// Summary statistics `(nonzero, mean, max)` over the result — the
+    /// scalar case counts itself as one node. Used by table-style output
+    /// where a full vector does not fit.
+    pub fn summary(&self) -> (usize, f64, f64) {
+        match self {
+            BatchResult::Scalar(r) => (usize::from(*r > 0.0), *r, *r),
+            BatchResult::Vector(v) => {
+                let nonzero = v.iter().filter(|&&r| r > 0.0).count();
+                let mean = if v.is_empty() {
+                    0.0
+                } else {
+                    v.iter().sum::<f64>() / v.len() as f64
+                };
+                let max = v.iter().cloned().fold(0.0f64, f64::max);
+                (nonzero, mean, max)
+            }
+        }
+    }
+}
+
+/// A batch executor: a [`ParallelRuntime`] plus the run entry points.
+///
+/// ```
+/// use relmax_sampling::batch::{BatchQuery, BatchResult, QueryBatch};
+/// use relmax_sampling::{McEstimator, ParallelRuntime};
+/// use relmax_ugraph::{NodeId, UncertainGraph};
+///
+/// let mut g = UncertainGraph::new(3, true);
+/// g.add_edge(NodeId(0), NodeId(1), 0.5).unwrap();
+/// g.add_edge(NodeId(1), NodeId(2), 0.8).unwrap();
+///
+/// let queries = [
+///     BatchQuery::St(NodeId(0), NodeId(2)),
+///     BatchQuery::From(NodeId(0)),
+/// ];
+/// let est = McEstimator::new(10_000, 7); // serial per query
+/// let serial = QueryBatch::new(ParallelRuntime::serial()).freeze_and_run(&est, &g, &queries);
+/// let par = QueryBatch::new(ParallelRuntime::new(4)).freeze_and_run(&est, &g, &queries);
+/// assert_eq!(serial, par); // bit-identical at any thread count
+/// assert!(matches!(serial[0], BatchResult::Scalar(_)));
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QueryBatch {
+    /// Executor the queries are fanned out on.
+    pub runtime: ParallelRuntime,
+}
+
+impl QueryBatch {
+    /// Batch executor over `runtime`.
+    pub fn new(runtime: ParallelRuntime) -> Self {
+        QueryBatch { runtime }
+    }
+
+    /// Run every query against an already-frozen (or otherwise traversal-
+    /// ready) graph, returning answers in query order.
+    pub fn run<E: Estimator, G: ProbGraph>(
+        &self,
+        est: &E,
+        g: &G,
+        queries: &[BatchQuery],
+    ) -> Vec<BatchResult> {
+        self.runtime.map(queries.len(), |i| match queries[i] {
+            BatchQuery::St(s, t) => BatchResult::Scalar(est.st_reliability(g, s, t)),
+            BatchQuery::From(s) => BatchResult::Vector(est.reliability_from(g, s)),
+            BatchQuery::To(t) => BatchResult::Vector(est.reliability_to(g, t)),
+        })
+    }
+
+    /// Freeze the graph once, then [`QueryBatch::run`] the whole workload
+    /// against the snapshot — the amortized path a CLI/server should take
+    /// for any batch worth its name.
+    pub fn freeze_and_run<E: Estimator>(
+        &self,
+        est: &E,
+        g: &UncertainGraph,
+        queries: &[BatchQuery],
+    ) -> Vec<BatchResult> {
+        let csr = CsrGraph::freeze(g);
+        self.run(est, &csr, queries)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{McEstimator, RssEstimator};
+
+    fn bridge() -> UncertainGraph {
+        let mut g = UncertainGraph::new(4, true);
+        g.add_edge(NodeId(0), NodeId(1), 0.6).unwrap();
+        g.add_edge(NodeId(0), NodeId(2), 0.4).unwrap();
+        g.add_edge(NodeId(1), NodeId(3), 0.5).unwrap();
+        g.add_edge(NodeId(2), NodeId(3), 0.7).unwrap();
+        g
+    }
+
+    fn workload() -> Vec<BatchQuery> {
+        vec![
+            BatchQuery::St(NodeId(0), NodeId(3)),
+            BatchQuery::St(NodeId(1), NodeId(2)),
+            BatchQuery::From(NodeId(0)),
+            BatchQuery::To(NodeId(3)),
+            BatchQuery::St(NodeId(3), NodeId(0)),
+        ]
+    }
+
+    #[test]
+    fn matches_direct_estimator_calls() {
+        let g = bridge();
+        let csr = g.freeze();
+        let est = McEstimator::new(4_000, 11);
+        let results = QueryBatch::new(ParallelRuntime::serial()).run(&est, &csr, &workload());
+        assert_eq!(
+            results[0],
+            BatchResult::Scalar(est.st_reliability(&csr, NodeId(0), NodeId(3)))
+        );
+        assert_eq!(
+            results[2],
+            BatchResult::Vector(est.reliability_from(&csr, NodeId(0)))
+        );
+        assert_eq!(
+            results[3],
+            BatchResult::Vector(est.reliability_to(&csr, NodeId(3)))
+        );
+    }
+
+    #[test]
+    fn bit_identical_across_thread_counts() {
+        let g = bridge();
+        let est = McEstimator::new(4_000, 23);
+        let serial =
+            QueryBatch::new(ParallelRuntime::serial()).freeze_and_run(&est, &g, &workload());
+        for threads in [2, 3, 8] {
+            let par = QueryBatch::new(ParallelRuntime::new(threads)).freeze_and_run(
+                &est,
+                &g,
+                &workload(),
+            );
+            assert_eq!(serial, par, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn freeze_and_run_matches_adjacency_run() {
+        let g = bridge();
+        let est = RssEstimator::new(2_000, 5);
+        let batch = QueryBatch::new(ParallelRuntime::new(2));
+        let frozen = batch.freeze_and_run(&est, &g, &workload());
+        let direct = batch.run(&est, &g, &workload());
+        assert_eq!(frozen, direct);
+    }
+
+    #[test]
+    fn summaries() {
+        assert_eq!(BatchResult::Scalar(0.5).summary(), (1, 0.5, 0.5));
+        assert_eq!(BatchResult::Scalar(0.0).summary(), (0, 0.0, 0.0));
+        let (nz, mean, max) = BatchResult::Vector(vec![0.0, 0.5, 1.0]).summary();
+        assert_eq!(nz, 2);
+        assert!((mean - 0.5).abs() < 1e-12);
+        assert_eq!(max, 1.0);
+    }
+
+    #[test]
+    fn max_node_bounds() {
+        assert_eq!(BatchQuery::St(NodeId(3), NodeId(9)).max_node(), NodeId(9));
+        assert_eq!(BatchQuery::From(NodeId(4)).max_node(), NodeId(4));
+    }
+
+    #[test]
+    fn empty_workload() {
+        let g = bridge();
+        let est = McEstimator::new(10, 1);
+        assert!(QueryBatch::default()
+            .freeze_and_run(&est, &g, &[])
+            .is_empty());
+    }
+}

@@ -56,6 +56,9 @@
 //! result is bit-identical for every thread count** — parallelism is a
 //! pure performance knob. See the module docs for the contract.
 
+#![deny(missing_docs)]
+
+pub mod batch;
 pub mod coins;
 pub mod convergence;
 pub mod exact;
@@ -64,6 +67,7 @@ pub mod mc;
 pub mod rss;
 pub mod runtime;
 
+pub use batch::{BatchQuery, BatchResult, QueryBatch};
 pub use convergence::{converged_sample_size, dispersion_ratio};
 pub use exact::ExactEstimator;
 pub use mc::McEstimator;
@@ -135,6 +139,23 @@ pub trait Estimator: Sync {
     /// one-at-a-time loop at any thread count. [`McEstimator`] overrides
     /// this with a shared-world kernel that walks each sampled world once
     /// for *all* candidates instead of once per candidate.
+    ///
+    /// ```
+    /// use relmax_sampling::{Estimator, McEstimator};
+    /// use relmax_ugraph::{ExtraEdge, NodeId, UncertainGraph};
+    ///
+    /// let mut g = UncertainGraph::new(3, true);
+    /// g.add_edge(NodeId(0), NodeId(1), 0.9).unwrap();
+    /// let csr = g.freeze();
+    /// let candidates = [
+    ///     ExtraEdge { src: NodeId(1), dst: NodeId(2), prob: 0.8 },
+    ///     ExtraEdge { src: NodeId(2), dst: NodeId(0), prob: 0.8 }, // useless direction
+    /// ];
+    /// let mc = McEstimator::new(20_000, 7);
+    /// let gains = mc.scan_candidates(&csr, NodeId(0), NodeId(2), &candidates);
+    /// assert!((gains[0] - 0.72).abs() < 0.01); // 0.9 * 0.8 via the new edge
+    /// assert_eq!(gains[1], 0.0);
+    /// ```
     fn scan_candidates<G: ProbGraph>(
         &self,
         g: &G,

@@ -23,7 +23,7 @@
 //!
 //! The solver runs in two phases. A **serial stratification pass** walks
 //! the recursion tree (cheap reachability probes per node) and emits one
-//! [`LeafJob`] per conditioned-MC leaf: the coin decisions along its
+//! `LeafJob` per conditioned-MC leaf: the coin decisions along its
 //! recursion path, its sample budget, its probability weight, and a
 //! deterministic **stream id** derived from the path. The leaves — where
 //! all the BFS work lives — then run in parallel on the estimator's

@@ -46,27 +46,27 @@ use std::fmt;
 /// let arcs: Vec<_> = csr.out_arcs(NodeId(1)).collect();
 /// assert_eq!(arcs, vec![(NodeId(2), 0.8, 1)]);
 /// ```
-#[derive(Clone)]
+#[derive(Clone, PartialEq)]
 pub struct CsrGraph {
-    directed: bool,
-    num_nodes: usize,
+    pub(crate) directed: bool,
+    pub(crate) num_nodes: usize,
     /// `out_off[v]..out_off[v + 1]` indexes `v`'s slice of the arc arrays.
-    out_off: Vec<u32>,
-    out_dst: Vec<u32>,
-    out_prob: Vec<f64>,
-    out_coin: Vec<u32>,
+    pub(crate) out_off: Vec<u32>,
+    pub(crate) out_dst: Vec<u32>,
+    pub(crate) out_prob: Vec<f64>,
+    pub(crate) out_coin: Vec<u32>,
     /// Per-arc integer flip thresholds (see [`flip_threshold`]).
-    out_thresh: Vec<u64>,
+    pub(crate) out_thresh: Vec<u64>,
     /// Reverse CSR; empty for undirected graphs (out arrays are symmetric).
-    in_off: Vec<u32>,
-    in_dst: Vec<u32>,
-    in_prob: Vec<f64>,
-    in_coin: Vec<u32>,
-    in_thresh: Vec<u64>,
+    pub(crate) in_off: Vec<u32>,
+    pub(crate) in_dst: Vec<u32>,
+    pub(crate) in_prob: Vec<f64>,
+    pub(crate) in_coin: Vec<u32>,
+    pub(crate) in_thresh: Vec<u64>,
     /// Coin-indexed probability table (`coin_prob[c] = p(c)`).
-    coin_prob: Vec<f64>,
+    pub(crate) coin_prob: Vec<f64>,
     /// Coin-indexed endpoints as `(src, dst)`.
-    coin_ends: Vec<(u32, u32)>,
+    pub(crate) coin_ends: Vec<(u32, u32)>,
 }
 
 impl CsrGraph {
@@ -172,6 +172,42 @@ impl CsrGraph {
     fn range(&self, off: &[u32], v: NodeId) -> (usize, usize) {
         let i = v.index();
         (off[i] as usize, off[i + 1] as usize)
+    }
+
+    /// Rebuild a mutable [`crate::UncertainGraph`] from this snapshot.
+    ///
+    /// Edges are re-inserted in coin-id order, which is insertion order for
+    /// any graph that was built through
+    /// [`crate::UncertainGraph::add_edge`] — so for such graphs the thawed
+    /// graph is *exactly* the original: same coin ids, same per-node
+    /// adjacency order, and therefore bit-identical estimates.
+    /// `freeze(thaw(csr)) == csr` holds for every snapshot of an
+    /// [`crate::UncertainGraph`].
+    ///
+    /// Fails only if the coin table cannot form a valid graph (duplicate
+    /// ordered pairs or self-loops), which can happen for snapshots frozen
+    /// from exotic [`ProbGraph`] implementations but never for snapshots of
+    /// an [`crate::UncertainGraph`].
+    ///
+    /// ```
+    /// use relmax_ugraph::{NodeId, UncertainGraph};
+    ///
+    /// let mut g = UncertainGraph::new(3, true);
+    /// g.add_edge(NodeId(0), NodeId(1), 0.5).unwrap();
+    /// g.add_edge(NodeId(1), NodeId(2), 0.8).unwrap();
+    /// let csr = g.freeze();
+    /// let thawed = csr.thaw().unwrap();
+    /// assert_eq!(thawed.num_edges(), 2);
+    /// assert!(thawed.freeze() == csr);
+    /// ```
+    pub fn thaw(&self) -> Result<crate::UncertainGraph, crate::GraphError> {
+        let m = self.coin_prob.len();
+        let mut g = crate::UncertainGraph::with_capacity(self.num_nodes, self.directed, m);
+        for c in 0..m {
+            let (s, d) = self.coin_ends[c];
+            g.add_edge(NodeId(s), NodeId(d), self.coin_prob[c])?;
+        }
+        Ok(g)
     }
 
     /// Exact resident bytes of the snapshot arrays.

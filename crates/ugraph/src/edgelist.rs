@@ -1,0 +1,441 @@
+//! Text edge-list ingestion and emission — the system's one parsing path.
+//!
+//! An uncertain-graph edge list is line-oriented plain text: one edge per
+//! line as `src dst prob`, separated by any run of spaces or tabs (so both
+//! whitespace- and TSV-style files parse). `#` starts a comment (whole-line
+//! or trailing), blank lines are ignored, and optional `%` directives make
+//! files self-describing:
+//!
+//! ```text
+//! % nodes 4
+//! % directed
+//! # a diamond
+//! 0 1 0.5
+//! 0 2 0.6
+//! 1 3 0.7    # tab-separated works too
+//! 2 3 0.8
+//! ```
+//!
+//! - `% nodes N` — declare the node count. Without it the count is
+//!   inferred as `max id + 1`. With it, an edge naming a node `>= N` is a
+//!   *dangling node* error (caught with its line number).
+//! - `% directed` / `% undirected` — declare edge orientation. A directive
+//!   in the file wins over the caller's [`EdgeListOptions`]; without one,
+//!   the options decide (default: directed).
+//!
+//! Edges keep their file order, which is what makes ingestion exact: edge
+//! `i` in the file becomes [`crate::EdgeId`] (and coin) `i`, so a parse →
+//! [`CsrGraph::freeze`](crate::CsrGraph::freeze) →
+//! [`snapshot`](crate::snapshot) pipeline produces bit-identical estimates
+//! to the graph the file describes, run after run.
+//!
+//! Every parse error carries its 1-based line number. See
+//! `docs/formats.md` for the format specification.
+
+use crate::error::GraphError;
+use crate::graph::{NodeId, UncertainGraph};
+use std::fmt;
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, Write};
+use std::path::Path;
+
+/// Caller-side defaults for fields an edge list may leave undeclared.
+///
+/// File directives (`% nodes`, `% directed`, `% undirected`) always win;
+/// these options fill the gaps for plain three-column files.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdgeListOptions {
+    /// Orientation assumed when the file has no directive. Default: `true`.
+    pub directed: bool,
+    /// Node count assumed when the file has no `% nodes` directive.
+    /// `None` infers `max id + 1`.
+    pub nodes: Option<usize>,
+}
+
+impl Default for EdgeListOptions {
+    fn default() -> Self {
+        EdgeListOptions {
+            directed: true,
+            nodes: None,
+        }
+    }
+}
+
+impl EdgeListOptions {
+    /// Options for an undirected edge list with inferred node count.
+    pub fn undirected() -> Self {
+        EdgeListOptions {
+            directed: false,
+            nodes: None,
+        }
+    }
+}
+
+/// Errors parsing a text edge list, with 1-based line numbers.
+#[derive(Debug)]
+pub enum EdgeListError {
+    /// An underlying I/O failure.
+    Io(io::Error),
+    /// A line that is neither blank, comment, directive, nor a valid
+    /// `src dst prob` record.
+    BadRecord {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong with it.
+        reason: String,
+    },
+    /// A structurally valid record the graph rejected (dangling node,
+    /// probability out of `[0, 1]`, duplicate edge, self-loop).
+    Graph {
+        /// 1-based line number.
+        line: usize,
+        /// The graph-layer rejection.
+        source: GraphError,
+    },
+}
+
+impl fmt::Display for EdgeListError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EdgeListError::Io(e) => write!(f, "edge list I/O error: {e}"),
+            EdgeListError::BadRecord { line, reason } => {
+                write!(f, "line {line}: {reason}")
+            }
+            EdgeListError::Graph { line, source } => write!(f, "line {line}: {source}"),
+        }
+    }
+}
+
+impl std::error::Error for EdgeListError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EdgeListError::Io(e) => Some(e),
+            EdgeListError::Graph { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for EdgeListError {
+    fn from(e: io::Error) -> Self {
+        EdgeListError::Io(e)
+    }
+}
+
+fn bad(line: usize, reason: impl Into<String>) -> EdgeListError {
+    EdgeListError::BadRecord {
+        line,
+        reason: reason.into(),
+    }
+}
+
+/// One parsed record: `(line number, src, dst, prob)`.
+type Record = (usize, u32, u32, f64);
+
+/// Parse an edge list from any buffered reader.
+pub fn parse_reader<R: BufRead>(
+    r: R,
+    opts: &EdgeListOptions,
+) -> Result<UncertainGraph, EdgeListError> {
+    let mut records: Vec<Record> = Vec::new();
+    let mut directed = opts.directed;
+    let mut declared_nodes = opts.nodes;
+    let mut max_id: Option<u32> = None;
+
+    for (i, line) in r.lines().enumerate() {
+        let lineno = i + 1;
+        let line = line?;
+        // Strip trailing comment, then surrounding whitespace.
+        let body = line.split('#').next().unwrap_or("").trim();
+        if body.is_empty() {
+            continue;
+        }
+        if let Some(directive) = body.strip_prefix('%') {
+            apply_directive(directive.trim(), lineno, &mut directed, &mut declared_nodes)?;
+            continue;
+        }
+        let mut fields = body.split_whitespace();
+        let (s, d, p) = match (fields.next(), fields.next(), fields.next(), fields.next()) {
+            (Some(s), Some(d), Some(p), None) => (s, d, p),
+            (_, _, _, Some(extra)) => {
+                return Err(bad(
+                    lineno,
+                    format!("expected `src dst prob`, found extra field {extra:?}"),
+                ))
+            }
+            _ => {
+                return Err(bad(
+                    lineno,
+                    format!(
+                        "expected `src dst prob`, found {} field(s)",
+                        body.split_whitespace().count()
+                    ),
+                ))
+            }
+        };
+        let src: u32 = s
+            .parse()
+            .map_err(|_| bad(lineno, format!("source {s:?} is not a node id")))?;
+        let dst: u32 = d
+            .parse()
+            .map_err(|_| bad(lineno, format!("destination {d:?} is not a node id")))?;
+        let prob: f64 = p
+            .parse()
+            .map_err(|_| bad(lineno, format!("probability {p:?} is not a number")))?;
+        max_id = Some(max_id.unwrap_or(0).max(src).max(dst));
+        records.push((lineno, src, dst, prob));
+    }
+
+    let n = declared_nodes.unwrap_or_else(|| max_id.map_or(0, |m| m as usize + 1));
+    build(n, directed, &records)
+}
+
+fn apply_directive(
+    directive: &str,
+    lineno: usize,
+    directed: &mut bool,
+    nodes: &mut Option<usize>,
+) -> Result<(), EdgeListError> {
+    let mut parts = directive.split_whitespace();
+    match (parts.next(), parts.next(), parts.next()) {
+        (Some("directed"), None, _) => *directed = true,
+        (Some("undirected"), None, _) => *directed = false,
+        (Some("nodes"), Some(v), None) => {
+            let count: usize = v
+                .parse()
+                .map_err(|_| bad(lineno, format!("`% nodes` count {v:?} is not a number")))?;
+            *nodes = Some(count);
+        }
+        _ => {
+            return Err(bad(
+                lineno,
+                format!("unknown directive `% {directive}` (expected `nodes N`, `directed`, or `undirected`)"),
+            ))
+        }
+    }
+    Ok(())
+}
+
+/// Build a graph from pre-parsed records — the single validated
+/// construction path shared by the parser and programmatic callers (the
+/// examples build their scenario graphs through this).
+pub fn build(
+    nodes: usize,
+    directed: bool,
+    records: &[Record],
+) -> Result<UncertainGraph, EdgeListError> {
+    let mut g = UncertainGraph::with_capacity(nodes, directed, records.len());
+    for &(lineno, src, dst, prob) in records {
+        g.add_edge(NodeId(src), NodeId(dst), prob)
+            .map_err(|source| EdgeListError::Graph {
+                line: lineno,
+                source,
+            })?;
+    }
+    Ok(g)
+}
+
+/// Build a graph from plain `(src, dst, prob)` triples (line numbers are
+/// synthesized as 1-based positions for error reporting).
+pub fn from_edges(
+    nodes: usize,
+    directed: bool,
+    edges: impl IntoIterator<Item = (u32, u32, f64)>,
+) -> Result<UncertainGraph, EdgeListError> {
+    let records: Vec<Record> = edges
+        .into_iter()
+        .enumerate()
+        .map(|(i, (s, d, p))| (i + 1, s, d, p))
+        .collect();
+    build(nodes, directed, &records)
+}
+
+/// Parse an edge list from a string.
+///
+/// ```
+/// use relmax_ugraph::edgelist;
+///
+/// let g = edgelist::parse_str(
+///     "% nodes 3\n% undirected\n0 1 0.5\n1 2 0.8\n",
+///     &edgelist::EdgeListOptions::default(),
+/// )
+/// .unwrap();
+/// assert_eq!(g.num_nodes(), 3);
+/// assert!(!g.directed());
+/// ```
+pub fn parse_str(s: &str, opts: &EdgeListOptions) -> Result<UncertainGraph, EdgeListError> {
+    parse_reader(s.as_bytes(), opts)
+}
+
+/// Parse an edge list from a file path.
+pub fn parse_file<P: AsRef<Path>>(
+    path: P,
+    opts: &EdgeListOptions,
+) -> Result<UncertainGraph, EdgeListError> {
+    let f = File::open(path)?;
+    parse_reader(BufReader::new(f), opts)
+}
+
+/// Write a graph as a self-describing edge list (directives + one
+/// `src<TAB>dst<TAB>prob` line per edge, in edge-id order).
+///
+/// Probabilities are printed with Rust's shortest-round-trip float
+/// formatting, so `parse(write(g))` reproduces `g` exactly: same node
+/// count, orientation, edge order (hence coin ids), and probability bits.
+pub fn write_writer<W: Write>(g: &UncertainGraph, mut w: W) -> io::Result<()> {
+    writeln!(w, "% nodes {}", g.num_nodes())?;
+    writeln!(
+        w,
+        "% {}",
+        if g.directed() {
+            "directed"
+        } else {
+            "undirected"
+        }
+    )?;
+    for e in g.edges() {
+        writeln!(w, "{}\t{}\t{}", e.src.0, e.dst.0, e.prob)?;
+    }
+    w.flush()
+}
+
+/// [`write_writer`] into a `String`.
+pub fn to_text(g: &UncertainGraph) -> String {
+    let mut buf = Vec::new();
+    write_writer(g, &mut buf).expect("writing to a Vec cannot fail");
+    String::from_utf8(buf).expect("edge list text is ASCII")
+}
+
+/// [`write_writer`] to a file path (buffered; creates or truncates).
+pub fn write_file<P: AsRef<Path>>(g: &UncertainGraph, path: P) -> io::Result<()> {
+    let f = File::create(path)?;
+    write_writer(g, io::BufWriter::new(f))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ProbGraph;
+
+    #[test]
+    fn parses_whitespace_and_tabs() {
+        let g = parse_str(
+            "0 1 0.5\n1\t2\t0.25\n # comment\n\n2 3 1.0 # trailing\n",
+            &EdgeListOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 3);
+        assert!(g.directed());
+        assert_eq!(g.edges()[1].prob, 0.25);
+    }
+
+    #[test]
+    fn directives_override_options() {
+        let g = parse_str(
+            "% nodes 10\n% undirected\n0 1 0.5\n",
+            &EdgeListOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(g.num_nodes(), 10);
+        assert!(!g.directed());
+    }
+
+    #[test]
+    fn options_fill_when_no_directives() {
+        let g = parse_str("0 1 0.5\n", &EdgeListOptions::undirected()).unwrap();
+        assert!(!g.directed());
+        let g = parse_str(
+            "0 1 0.5\n",
+            &EdgeListOptions {
+                directed: true,
+                nodes: Some(7),
+            },
+        )
+        .unwrap();
+        assert_eq!(g.num_nodes(), 7);
+    }
+
+    #[test]
+    fn dangling_node_reports_line() {
+        let err =
+            parse_str("% nodes 2\n0 1 0.5\n0 5 0.5\n", &EdgeListOptions::default()).unwrap_err();
+        match err {
+            EdgeListError::Graph { line, source } => {
+                assert_eq!(line, 3);
+                assert!(matches!(source, GraphError::NodeOutOfBounds { .. }));
+            }
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn bad_probability_reports_line() {
+        let err = parse_str("0 1 0.5\n1 2 1.5\n", &EdgeListOptions::default()).unwrap_err();
+        match err {
+            EdgeListError::Graph { line, source } => {
+                assert_eq!(line, 2);
+                assert!(matches!(source, GraphError::InvalidProbability { .. }));
+            }
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn malformed_records_report_line_and_reason() {
+        for (text, needle) in [
+            ("0 1\n", "field"),
+            ("0 1 0.5 9\n", "extra"),
+            ("a 1 0.5\n", "node id"),
+            ("0 b 0.5\n", "node id"),
+            ("0 1 zero\n", "number"),
+            ("% nodes many\n", "number"),
+            ("% frobnicate\n", "directive"),
+        ] {
+            let err = parse_str(text, &EdgeListOptions::default()).unwrap_err();
+            let msg = err.to_string();
+            assert!(
+                msg.contains("line 1") && msg.contains(needle),
+                "{text:?} -> {msg}"
+            );
+        }
+    }
+
+    #[test]
+    fn duplicate_and_self_loop_rejected_with_lines() {
+        let err = parse_str("0 1 0.5\n0 1 0.6\n", &EdgeListOptions::default()).unwrap_err();
+        assert!(err.to_string().contains("line 2"));
+        let err = parse_str("2 2 0.5\n", &EdgeListOptions::default()).unwrap_err();
+        assert!(err.to_string().contains("self-loop"));
+    }
+
+    #[test]
+    fn empty_input_is_the_empty_graph() {
+        let g = parse_str("", &EdgeListOptions::default()).unwrap();
+        assert_eq!(g.num_nodes(), 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn round_trip_reproduces_graph_exactly() {
+        let mut g = UncertainGraph::new(5, false);
+        g.add_edge(NodeId(0), NodeId(1), 0.123456789012345).unwrap();
+        g.add_edge(NodeId(3), NodeId(2), 1.0 / 3.0).unwrap();
+        g.add_edge(NodeId(1), NodeId(4), 1e-12).unwrap();
+        let text = to_text(&g);
+        let back = parse_str(&text, &EdgeListOptions::default()).unwrap();
+        assert_eq!(back.num_nodes(), g.num_nodes());
+        assert_eq!(back.directed(), g.directed());
+        assert_eq!(back.edges(), g.edges());
+        assert!(back.freeze() == g.freeze());
+    }
+
+    #[test]
+    fn from_edges_builds_and_validates() {
+        let g = from_edges(3, true, [(0, 1, 0.5), (1, 2, 0.5)]).unwrap();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.out_arcs(NodeId(0)).count(), 1);
+        let err = from_edges(2, true, [(0, 1, 2.0)]).unwrap_err();
+        assert!(err.to_string().contains("not in [0, 1]"));
+    }
+}

@@ -43,13 +43,22 @@
 //! object-safe — virtual dispatch per edge visit per sampled world was the
 //! single largest cost in the pre-CSR estimator stack (see
 //! `BENCH_sampling.json`).
+//!
+//! Ingestion and persistence live here too: [`edgelist`] parses and writes
+//! the text `src dst prob` format (the system's one loading path), and
+//! [`snapshot`] serializes frozen [`CsrGraph`]s to the versioned binary
+//! `.rgs` format so repeated query runs skip the parse + freeze entirely.
+
+#![deny(missing_docs)]
 
 pub mod csr;
+pub mod edgelist;
 pub mod error;
 pub mod exact;
 pub mod fxhash;
 pub mod graph;
 pub mod scratch;
+pub mod snapshot;
 pub mod traverse;
 pub mod view;
 pub mod world;

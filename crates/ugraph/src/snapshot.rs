@@ -1,0 +1,586 @@
+//! Versioned binary snapshot format (`.rgs`) for frozen [`CsrGraph`]s.
+//!
+//! Ingestion parses a text edge list once ([`crate::edgelist`]), freezes it
+//! into a [`CsrGraph`], and serializes the snapshot so that every later
+//! query run starts from a `read` instead of a re-parse + re-freeze. The
+//! format is designed around one invariant: **a loaded snapshot is
+//! bit-identical to the in-memory freeze it was written from** — same arc
+//! order, same coin ids, same `f64` probability bits — so seed-keyed
+//! estimates cannot change across a save/load cycle.
+//!
+//! ## Layout (version 1)
+//!
+//! All integers and floats are **little-endian**; floats are stored as raw
+//! IEEE-754 bit patterns (`f64::to_bits`). The file is a fixed-size header
+//! followed by one contiguous payload:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic, the ASCII bytes "RGSF"
+//! 4       4     format version (u32) — currently 1
+//! 8       4     flags (u32): bit 0 = directed
+//! 12      8     num_nodes  (u64)
+//! 20      8     num_coins  (u64)
+//! 28      8     num_out_arcs (u64)
+//! 36      8     num_in_arcs  (u64) — 0 for undirected graphs
+//! 44      8     FNV-1a 64 checksum of the payload bytes
+//! 52      —     payload
+//! ```
+//!
+//! The payload concatenates, in order (writing `n = num_nodes`,
+//! `m = num_coins`, `a = num_out_arcs`, `b = num_in_arcs`):
+//!
+//! ```text
+//! out_off    (n + 1) × u32     CSR offsets, out side
+//! out_dst    a × u32           arc targets
+//! out_prob   a × f64           arc probabilities (raw bits)
+//! out_coin   a × u32           arc coin ids
+//! in_off     (n + 1) × u32     only if directed
+//! in_dst     b × u32           only if directed
+//! in_prob    b × f64           only if directed
+//! in_coin    b × u32           only if directed
+//! coin_prob  m × f64           coin-indexed probability table
+//! coin_ends  m × (u32, u32)    coin-indexed endpoints (src, dst)
+//! ```
+//!
+//! Per-arc flip thresholds are *not* stored: [`crate::flip_threshold`] is a
+//! pure function of the probability, so [`read()`](fn@read) recomputes them exactly.
+//!
+//! [`read()`](fn@read) validates everything it cannot afford to trust: magic, version,
+//! checksum, offset monotonicity, and the ranges of every node id, coin id,
+//! and probability. A snapshot that passes is safe to traverse without
+//! bounds anxiety. See `docs/formats.md` for the same layout prose-first.
+
+use crate::csr::CsrGraph;
+use crate::flip_threshold;
+use std::fmt;
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// The four magic bytes opening every `.rgs` file.
+pub const MAGIC: [u8; 4] = *b"RGSF";
+
+/// Current (and only) format version written by [`write()`](fn@write).
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Size in bytes of the fixed header preceding the payload.
+pub const HEADER_BYTES: usize = 52;
+
+/// Errors loading or storing a `.rgs` snapshot.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// An underlying I/O failure (file missing, permission, disk).
+    Io(io::Error),
+    /// The input ended before the declared header + payload was read.
+    Truncated,
+    /// The first four bytes were not [`MAGIC`] — not a snapshot file.
+    BadMagic {
+        /// The bytes actually found.
+        found: [u8; 4],
+    },
+    /// The header's version is not one this build can read.
+    UnsupportedVersion {
+        /// The version number found in the header.
+        found: u32,
+    },
+    /// The payload bytes do not hash to the header's checksum.
+    ChecksumMismatch {
+        /// Checksum recorded in the header.
+        stored: u64,
+        /// Checksum computed over the payload actually read.
+        computed: u64,
+    },
+    /// The payload decoded but failed structural validation.
+    Corrupt {
+        /// Human-readable description of the inconsistency.
+        what: String,
+    },
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot I/O error: {e}"),
+            SnapshotError::Truncated => write!(f, "snapshot truncated before declared size"),
+            SnapshotError::BadMagic { found } => {
+                write!(f, "not a .rgs snapshot (magic bytes {found:?})")
+            }
+            SnapshotError::UnsupportedVersion { found } => write!(
+                f,
+                "unsupported snapshot version {found} (this build reads version {FORMAT_VERSION})"
+            ),
+            SnapshotError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "snapshot checksum mismatch: header says {stored:#018x}, payload hashes to {computed:#018x}"
+            ),
+            SnapshotError::Corrupt { what } => write!(f, "corrupt snapshot: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnapshotError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for SnapshotError {
+    fn from(e: io::Error) -> Self {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            SnapshotError::Truncated
+        } else {
+            SnapshotError::Io(e)
+        }
+    }
+}
+
+/// FNV-1a 64-bit hash — the payload checksum. Not cryptographic; it guards
+/// against truncation, bit rot, and version-skew accidents, not attackers.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Whether `head` starts with the `.rgs` magic bytes (cheap format sniff;
+/// pass any prefix of a file, at least 4 bytes for a conclusive answer).
+pub fn is_snapshot(head: &[u8]) -> bool {
+    head.len() >= MAGIC.len() && head[..MAGIC.len()] == MAGIC
+}
+
+fn push_u32s(buf: &mut Vec<u8>, vals: &[u32]) {
+    for v in vals {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+fn push_f64s(buf: &mut Vec<u8>, vals: &[f64]) {
+    for v in vals {
+        buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+}
+
+/// Serialize a snapshot to any writer in the version-1 layout.
+pub fn write<W: Write>(csr: &CsrGraph, mut w: W) -> io::Result<()> {
+    let payload = encode_payload(csr);
+    let mut header = Vec::with_capacity(HEADER_BYTES);
+    header.extend_from_slice(&MAGIC);
+    header.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    header.extend_from_slice(&(csr.directed as u32).to_le_bytes());
+    header.extend_from_slice(&(csr.num_nodes as u64).to_le_bytes());
+    header.extend_from_slice(&(csr.coin_prob.len() as u64).to_le_bytes());
+    header.extend_from_slice(&(csr.out_dst.len() as u64).to_le_bytes());
+    header.extend_from_slice(&(csr.in_dst.len() as u64).to_le_bytes());
+    header.extend_from_slice(&fnv1a(&payload).to_le_bytes());
+    debug_assert_eq!(header.len(), HEADER_BYTES);
+    w.write_all(&header)?;
+    w.write_all(&payload)?;
+    w.flush()
+}
+
+fn encode_payload(csr: &CsrGraph) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(payload_bytes(
+        csr.num_nodes as u64,
+        csr.coin_prob.len() as u64,
+        csr.out_dst.len() as u64,
+        csr.in_dst.len() as u64,
+        csr.directed,
+    ) as usize);
+    push_u32s(&mut buf, &csr.out_off);
+    push_u32s(&mut buf, &csr.out_dst);
+    push_f64s(&mut buf, &csr.out_prob);
+    push_u32s(&mut buf, &csr.out_coin);
+    if csr.directed {
+        push_u32s(&mut buf, &csr.in_off);
+        push_u32s(&mut buf, &csr.in_dst);
+        push_f64s(&mut buf, &csr.in_prob);
+        push_u32s(&mut buf, &csr.in_coin);
+    }
+    push_f64s(&mut buf, &csr.coin_prob);
+    for &(s, d) in &csr.coin_ends {
+        buf.extend_from_slice(&s.to_le_bytes());
+        buf.extend_from_slice(&d.to_le_bytes());
+    }
+    buf
+}
+
+fn payload_bytes(n: u64, m: u64, a: u64, b: u64, directed: bool) -> u64 {
+    let off_sides = if directed { 2 } else { 1 };
+    (n + 1) * 4 * off_sides + (a + b) * 16 + m * 16
+}
+
+/// Cursor over the validated payload slice.
+struct Decoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    fn take(&mut self, len: usize) -> &'a [u8] {
+        // Caller sized the buffer from the same counts used here, so this
+        // can never run past the end; assert in case the math drifts.
+        let s = &self.buf[self.pos..self.pos + len];
+        self.pos += len;
+        s
+    }
+
+    fn u32s(&mut self, count: usize) -> Vec<u32> {
+        self.take(count * 4)
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+            .collect()
+    }
+
+    fn f64s(&mut self, count: usize) -> Vec<f64> {
+        self.take(count * 8)
+            .chunks_exact(8)
+            .map(|c| f64::from_bits(u64::from_le_bytes(c.try_into().unwrap())))
+            .collect()
+    }
+
+    fn pairs(&mut self, count: usize) -> Vec<(u32, u32)> {
+        self.take(count * 8)
+            .chunks_exact(8)
+            .map(|c| {
+                (
+                    u32::from_le_bytes(c[..4].try_into().unwrap()),
+                    u32::from_le_bytes(c[4..].try_into().unwrap()),
+                )
+            })
+            .collect()
+    }
+}
+
+fn corrupt(what: impl Into<String>) -> SnapshotError {
+    SnapshotError::Corrupt { what: what.into() }
+}
+
+/// Deserialize a snapshot from any reader, validating magic, version,
+/// checksum, and structural invariants. The returned graph is bit-identical
+/// to the [`CsrGraph`] that was written.
+pub fn read<R: Read>(mut r: R) -> Result<CsrGraph, SnapshotError> {
+    // Magic is checked before the rest of the header is read, so a short
+    // non-snapshot input reports "not a snapshot", not "truncated".
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if magic != MAGIC {
+        return Err(SnapshotError::BadMagic { found: magic });
+    }
+    let mut header = [0u8; HEADER_BYTES];
+    header[0..4].copy_from_slice(&magic);
+    r.read_exact(&mut header[4..])?;
+    let version = u32::from_le_bytes(header[4..8].try_into().unwrap());
+    if version != FORMAT_VERSION {
+        return Err(SnapshotError::UnsupportedVersion { found: version });
+    }
+    let flags = u32::from_le_bytes(header[8..12].try_into().unwrap());
+    if flags > 1 {
+        return Err(corrupt(format!("unknown flag bits {flags:#x}")));
+    }
+    let directed = flags & 1 == 1;
+    let u64_at = |lo: usize| u64::from_le_bytes(header[lo..lo + 8].try_into().unwrap());
+    let (n, m, a, b) = (u64_at(12), u64_at(20), u64_at(28), u64_at(36));
+    let stored_checksum = u64_at(44);
+
+    // CSR arrays index nodes/arcs/coins with u32, so anything larger than
+    // u32::MAX elements cannot be a snapshot this library wrote.
+    let max = u32::MAX as u64;
+    if n > max || m > max || a > max || b > max {
+        return Err(corrupt(format!(
+            "declared sizes exceed u32 capacity (n={n}, m={m}, arcs={a}/{b})"
+        )));
+    }
+    if !directed && b != 0 {
+        return Err(corrupt("undirected snapshot declares in-arcs"));
+    }
+
+    // The declared size is untrusted (a 52-byte header can claim ~240 GB
+    // of payload), so grow the buffer chunk by chunk as bytes actually
+    // arrive: a lying header then fails with `Truncated` after one chunk
+    // instead of aborting the process on a giant up-front allocation.
+    let expected = payload_bytes(n, m, a, b, directed);
+    const CHUNK: u64 = 16 << 20;
+    let mut payload: Vec<u8> = Vec::new();
+    let mut remaining = expected;
+    while remaining > 0 {
+        let step = remaining.min(CHUNK) as usize;
+        let filled = payload.len();
+        payload.resize(filled + step, 0);
+        r.read_exact(&mut payload[filled..])?;
+        remaining -= step as u64;
+    }
+    if r.read(&mut [0u8; 1])? != 0 {
+        return Err(corrupt("trailing bytes after declared payload"));
+    }
+    let computed = fnv1a(&payload);
+    if computed != stored_checksum {
+        return Err(SnapshotError::ChecksumMismatch {
+            stored: stored_checksum,
+            computed,
+        });
+    }
+
+    let (n, m, a, b) = (n as usize, m as usize, a as usize, b as usize);
+    let mut dec = Decoder {
+        buf: &payload,
+        pos: 0,
+    };
+    let out_off = dec.u32s(n + 1);
+    let out_dst = dec.u32s(a);
+    let out_prob = dec.f64s(a);
+    let out_coin = dec.u32s(a);
+    let (in_off, in_dst, in_prob, in_coin) = if directed {
+        (dec.u32s(n + 1), dec.u32s(b), dec.f64s(b), dec.u32s(b))
+    } else {
+        (Vec::new(), Vec::new(), Vec::new(), Vec::new())
+    };
+    let coin_prob = dec.f64s(m);
+    let coin_ends = dec.pairs(m);
+    debug_assert_eq!(dec.pos, payload.len());
+
+    validate_side("out", &out_off, &out_dst, &out_coin, n, m, a)?;
+    validate_probs("out arc", &out_prob)?;
+    if directed {
+        validate_side("in", &in_off, &in_dst, &in_coin, n, m, b)?;
+        validate_probs("in arc", &in_prob)?;
+    }
+    validate_probs("coin", &coin_prob)?;
+    for (c, &(s, d)) in coin_ends.iter().enumerate() {
+        if s as usize >= n || d as usize >= n {
+            return Err(corrupt(format!(
+                "coin {c} endpoints ({s}, {d}) out of range for {n} nodes"
+            )));
+        }
+    }
+
+    let out_thresh = out_prob.iter().map(|&p| flip_threshold(p)).collect();
+    let in_thresh = in_prob.iter().map(|&p| flip_threshold(p)).collect();
+    Ok(CsrGraph {
+        directed,
+        num_nodes: n,
+        out_off,
+        out_dst,
+        out_prob,
+        out_coin,
+        out_thresh,
+        in_off,
+        in_dst,
+        in_prob,
+        in_coin,
+        in_thresh,
+        coin_prob,
+        coin_ends,
+    })
+}
+
+fn validate_side(
+    side: &str,
+    off: &[u32],
+    dst: &[u32],
+    coin: &[u32],
+    n: usize,
+    m: usize,
+    arcs: usize,
+) -> Result<(), SnapshotError> {
+    if off.first() != Some(&0) || off.last() != Some(&(arcs as u32)) {
+        return Err(corrupt(format!(
+            "{side} offsets do not span the declared {arcs} arcs"
+        )));
+    }
+    if off.windows(2).any(|w| w[0] > w[1]) {
+        return Err(corrupt(format!("{side} offsets are not monotone")));
+    }
+    if let Some(&v) = dst.iter().find(|&&v| v as usize >= n) {
+        return Err(corrupt(format!(
+            "{side} arc target {v} out of range for {n} nodes"
+        )));
+    }
+    if let Some(&c) = coin.iter().find(|&&c| c as usize >= m) {
+        return Err(corrupt(format!(
+            "{side} arc coin {c} out of range for {m} coins"
+        )));
+    }
+    Ok(())
+}
+
+fn validate_probs(what: &str, probs: &[f64]) -> Result<(), SnapshotError> {
+    for (i, &p) in probs.iter().enumerate() {
+        if !p.is_finite() || !(0.0..=1.0).contains(&p) {
+            return Err(corrupt(format!("{what} {i} probability {p} not in [0, 1]")));
+        }
+    }
+    Ok(())
+}
+
+/// [`write()`](fn@write) to a file path (buffered; creates or truncates).
+pub fn save<P: AsRef<Path>>(csr: &CsrGraph, path: P) -> Result<(), SnapshotError> {
+    let f = File::create(path)?;
+    write(csr, BufWriter::new(f))?;
+    Ok(())
+}
+
+/// [`read()`](fn@read) from a file path (buffered).
+pub fn load<P: AsRef<Path>>(path: P) -> Result<CsrGraph, SnapshotError> {
+    let f = File::open(path)?;
+    read(BufReader::new(f))
+}
+
+/// In-memory round trip: encode to bytes.
+pub fn to_bytes(csr: &CsrGraph) -> Vec<u8> {
+    let mut buf = Vec::new();
+    write(csr, &mut buf).expect("writing to a Vec cannot fail");
+    buf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::UncertainGraph;
+    use crate::{NodeId, ProbGraph};
+
+    fn diamond() -> CsrGraph {
+        let mut g = UncertainGraph::new(4, true);
+        g.add_edge(NodeId(0), NodeId(1), 0.5).unwrap();
+        g.add_edge(NodeId(0), NodeId(2), 0.6).unwrap();
+        g.add_edge(NodeId(1), NodeId(3), 0.7).unwrap();
+        g.add_edge(NodeId(2), NodeId(3), 0.8).unwrap();
+        g.freeze()
+    }
+
+    fn undirected_path() -> CsrGraph {
+        let mut g = UncertainGraph::new(3, false);
+        g.add_edge(NodeId(0), NodeId(1), 0.25).unwrap();
+        g.add_edge(NodeId(1), NodeId(2), 1.0).unwrap();
+        g.freeze()
+    }
+
+    #[test]
+    fn round_trip_is_equal_directed_and_undirected() {
+        for csr in [diamond(), undirected_path()] {
+            let bytes = to_bytes(&csr);
+            let back = read(&bytes[..]).unwrap();
+            assert!(back == csr);
+        }
+    }
+
+    #[test]
+    fn empty_graph_round_trips() {
+        let csr = UncertainGraph::new(0, true).freeze();
+        let back = read(&to_bytes(&csr)[..]).unwrap();
+        assert!(back == csr);
+        assert_eq!(back.num_nodes(), 0);
+    }
+
+    #[test]
+    fn magic_sniff() {
+        let bytes = to_bytes(&diamond());
+        assert!(is_snapshot(&bytes));
+        assert!(!is_snapshot(b"0 1 0.5\n"));
+        assert!(!is_snapshot(b"RG"));
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = to_bytes(&diamond());
+        bytes[0] = b'X';
+        assert!(matches!(
+            read(&bytes[..]),
+            Err(SnapshotError::BadMagic { .. })
+        ));
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let mut bytes = to_bytes(&diamond());
+        bytes[4..8].copy_from_slice(&99u32.to_le_bytes());
+        assert!(matches!(
+            read(&bytes[..]),
+            Err(SnapshotError::UnsupportedVersion { found: 99 })
+        ));
+    }
+
+    #[test]
+    fn truncation_rejected_at_every_length() {
+        let bytes = to_bytes(&diamond());
+        for len in [0, 3, HEADER_BYTES - 1, HEADER_BYTES, bytes.len() - 1] {
+            let err = read(&bytes[..len]).unwrap_err();
+            assert!(
+                matches!(err, SnapshotError::Truncated),
+                "len={len} gave {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn lying_header_sizes_fail_without_huge_allocation() {
+        // A 52-byte header claiming ~240 GB of payload must fail with
+        // `Truncated` after at most one chunk — not abort on allocation.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        for _ in 0..4 {
+            bytes.extend_from_slice(&(u32::MAX as u64).to_le_bytes());
+        }
+        bytes.extend_from_slice(&0u64.to_le_bytes());
+        assert_eq!(bytes.len(), HEADER_BYTES);
+        let err = read(&bytes[..]).unwrap_err();
+        assert!(matches!(err, SnapshotError::Truncated), "{err}");
+    }
+
+    #[test]
+    fn payload_corruption_fails_checksum() {
+        let mut bytes = to_bytes(&diamond());
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        assert!(matches!(
+            read(&bytes[..]),
+            Err(SnapshotError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = to_bytes(&diamond());
+        bytes.push(0);
+        assert!(matches!(
+            read(&bytes[..]),
+            Err(SnapshotError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn out_of_range_prob_rejected_even_with_valid_checksum() {
+        // Rewrite one payload f64 to 2.0 and fix the checksum: structural
+        // validation must still reject it.
+        let csr = diamond();
+        let mut bytes = to_bytes(&csr);
+        let n = csr.num_nodes;
+        // out_prob starts after out_off ((n+1) u32) + out_dst (a u32).
+        let a = csr.out_dst.len();
+        let prob0 = HEADER_BYTES + (n + 1) * 4 + a * 4;
+        bytes[prob0..prob0 + 8].copy_from_slice(&2.0f64.to_bits().to_le_bytes());
+        let checksum = fnv1a(&bytes[HEADER_BYTES..]);
+        bytes[44..52].copy_from_slice(&checksum.to_le_bytes());
+        let err = read(&bytes[..]).unwrap_err();
+        assert!(matches!(err, SnapshotError::Corrupt { .. }), "{err}");
+    }
+
+    #[test]
+    fn errors_display() {
+        let e = SnapshotError::UnsupportedVersion { found: 7 };
+        assert!(e.to_string().contains('7'));
+        let e = SnapshotError::ChecksumMismatch {
+            stored: 1,
+            computed: 2,
+        };
+        assert!(e.to_string().contains("mismatch"));
+    }
+}

@@ -7,24 +7,28 @@
 //! Run with: `cargo run --release --example quickstart`
 
 use relmax::prelude::*;
+use relmax::ugraph::edgelist::{self, EdgeListOptions};
+
+/// The network in the text edge-list format the `relmax` CLI ingests
+/// (`docs/formats.md`) — the same bytes could be saved as a `.tsv` and fed
+/// to `relmax ingest`.
+const COURIER_NETWORK: &str = "\
+% nodes 8
+% directed
+# depot (0) -> hubs -> customer (7); probabilities are on-time rates
+0 1 0.8
+1 2 0.6
+2 7 0.4
+0 3 0.7
+3 4 0.5
+4 7 0.3
+0 5 0.9
+5 6 0.4
+";
 
 fn main() {
-    // A courier network: depot (0) -> hubs -> customer (7). Edge
-    // probabilities model on-time delivery rates.
-    let mut g = UncertainGraph::new(8, true);
-    let edges = [
-        (0, 1, 0.8),
-        (1, 2, 0.6),
-        (2, 7, 0.4),
-        (0, 3, 0.7),
-        (3, 4, 0.5),
-        (4, 7, 0.3),
-        (0, 5, 0.9),
-        (5, 6, 0.4),
-    ];
-    for (u, v, p) in edges {
-        g.add_edge(NodeId(u), NodeId(v), p).expect("valid edge");
-    }
+    let g =
+        edgelist::parse_str(COURIER_NETWORK, &EdgeListOptions::default()).expect("valid edge list");
     let (s, t) = (NodeId(0), NodeId(7));
 
     // Budget: 2 new links, each materializing with probability 0.7.

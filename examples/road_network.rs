@@ -10,25 +10,28 @@
 
 use relmax::paths::{improve_most_reliable_path, most_reliable_path};
 use relmax::prelude::*;
+use relmax::ugraph::edgelist;
 
 /// Build a `w x h` grid with congestion-dependent probabilities: arterial
-/// roads (every 3rd row) flow well, side streets are congested.
+/// roads (every 3rd row) flow well, side streets are congested. The edge
+/// records go through [`edgelist::from_edges`] — the same validated
+/// construction path the `relmax ingest` parser uses.
 fn city_grid(w: u32, h: u32) -> UncertainGraph {
-    let mut g = UncertainGraph::new((w * h) as usize, false);
-    let id = |x: u32, y: u32| NodeId(y * w + x);
+    let id = |x: u32, y: u32| y * w + x;
+    let mut edges: Vec<(u32, u32, f64)> = Vec::new();
     for y in 0..h {
         for x in 0..w {
             let arterial = y % 3 == 0;
             if x + 1 < w {
                 let p = if arterial { 0.85 } else { 0.45 };
-                g.add_edge(id(x, y), id(x + 1, y), p).expect("grid edge");
+                edges.push((id(x, y), id(x + 1, y), p));
             }
             if y + 1 < h {
-                g.add_edge(id(x, y), id(x, y + 1), 0.5).expect("grid edge");
+                edges.push((id(x, y), id(x, y + 1), 0.5));
             }
         }
     }
-    g
+    edgelist::from_edges((w * h) as usize, false, edges).expect("grid edges are valid")
 }
 
 fn main() {

@@ -12,13 +12,16 @@
 //! - [`ugraph`] — the uncertain-graph substrate: mutable adjacency
 //!   storage ([`ugraph::UncertainGraph`]), zero-copy candidate overlays
 //!   ([`ugraph::GraphView`]), immutable flat-array snapshots
-//!   ([`ugraph::CsrGraph`], built once via `freeze()`), pooled
-//!   zero-allocation traversal scratch, possible worlds, and exact
-//!   reliability;
+//!   ([`ugraph::CsrGraph`], built once via `freeze()`), text edge-list
+//!   ingestion ([`ugraph::edgelist`]), versioned `.rgs` binary
+//!   persistence ([`ugraph::snapshot`]), pooled zero-allocation
+//!   traversal scratch, possible worlds, and exact reliability;
 //! - [`sampling`] — Monte Carlo and recursive stratified reliability
 //!   estimators behind the generic [`sampling::Estimator`] trait
 //!   (monomorphized per graph type — no virtual dispatch in the
-//!   per-world BFS), with seed-keyed common random numbers;
+//!   per-world BFS), with seed-keyed common random numbers, plus the
+//!   deterministic parallel runtime and the batched query entry
+//!   ([`sampling::QueryBatch`]) behind `relmax query`;
 //! - [`paths`] — most-reliable-path machinery (Dijkstra, top-l paths,
 //!   the layered-graph exact solver for the restricted problem);
 //! - [`centrality`] — degree / betweenness / eigenvector analysis used by

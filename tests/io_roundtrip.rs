@@ -1,0 +1,191 @@
+//! Seeded round-trip properties for the ingestion + snapshot layer:
+//! text edge list → parse → freeze → `.rgs` bytes → load must be
+//! **bit-identical** at every step — same CSR arrays, same coin ids, and
+//! therefore bit-identical estimates — for random graphs, directed and
+//! undirected. Plus the malformed-input taxonomy (bad probability,
+//! dangling node, truncated snapshot, wrong version) at the library level.
+//!
+//! Hand-rolled seeded loops stand in for proptest (offline build).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use relmax::gen::workload::{self, QuerySpec};
+use relmax::prelude::*;
+use relmax::sampling::{BatchQuery, QueryBatch};
+use relmax::ugraph::edgelist::{self, EdgeListOptions};
+use relmax::ugraph::snapshot::{self, SnapshotError};
+
+/// Random graph with 5..20 nodes, random density, random orientation,
+/// probabilities spread across the full open interval including awkward
+/// floats (thirds, tiny magnitudes).
+fn random_graph(rng: &mut StdRng) -> UncertainGraph {
+    let n = rng.gen_range(5usize..20);
+    let directed = rng.gen_bool(0.5);
+    let mut g = UncertainGraph::new(n, directed);
+    let attempts = rng.gen_range(0usize..n * 3);
+    for _ in 0..attempts {
+        let u = rng.gen_range(0..n as u32);
+        let v = rng.gen_range(0..n as u32);
+        if u == v {
+            continue;
+        }
+        let p = match rng.gen_range(0u8..4) {
+            0 => rng.gen_range(0.01..0.99),
+            1 => 1.0 / rng.gen_range(3.0..9.0),
+            2 => rng.gen_range(1e-12..1e-6),
+            _ => 1.0,
+        };
+        let _ = g.add_edge(NodeId(u), NodeId(v), p);
+    }
+    g
+}
+
+#[test]
+fn text_round_trip_is_bit_identical_for_random_graphs() {
+    let mut rng = StdRng::seed_from_u64(0x0101);
+    for _ in 0..60 {
+        let g = random_graph(&mut rng);
+        let text = edgelist::to_text(&g);
+        let back = edgelist::parse_str(&text, &EdgeListOptions::default()).expect("reparse");
+        assert_eq!(back.num_nodes(), g.num_nodes());
+        assert_eq!(back.directed(), g.directed());
+        assert_eq!(back.edges(), g.edges());
+        assert!(back.freeze() == g.freeze(), "CSR arrays must match exactly");
+    }
+}
+
+#[test]
+fn snapshot_round_trip_is_bit_identical_for_random_graphs() {
+    let mut rng = StdRng::seed_from_u64(0x0102);
+    for _ in 0..60 {
+        let g = random_graph(&mut rng);
+        let csr = g.freeze();
+        let loaded = snapshot::read(&snapshot::to_bytes(&csr)[..]).expect("reload");
+        assert!(loaded == csr);
+        // Thaw closes the loop: snapshot -> mutable graph -> freeze.
+        let thawed = loaded.thaw().expect("snapshots of UncertainGraphs thaw");
+        assert_eq!(thawed.edges(), g.edges());
+        assert!(thawed.freeze() == csr);
+    }
+}
+
+#[test]
+fn estimates_are_bit_identical_across_the_whole_io_pipeline() {
+    let mut rng = StdRng::seed_from_u64(0x0103);
+    let mut compared = 0;
+    for _ in 0..40 {
+        let g = random_graph(&mut rng);
+        if g.num_edges() == 0 {
+            continue;
+        }
+        compared += 1;
+        let (s, t) = (NodeId(0), NodeId(g.num_nodes() as u32 - 1));
+        // The full CLI pipeline in miniature: text -> parse -> freeze ->
+        // snapshot bytes -> load, estimated at several thread counts.
+        let text = edgelist::to_text(&g);
+        let parsed = edgelist::parse_str(&text, &EdgeListOptions::default()).unwrap();
+        let loaded = snapshot::read(&snapshot::to_bytes(&parsed.freeze())[..]).unwrap();
+
+        let mc = McEstimator::new(2_000, 7);
+        let reference = mc.st_reliability(&g, s, t);
+        assert_eq!(reference, mc.st_reliability(&loaded, s, t));
+        let mc4 = McEstimator::with_threads(2_000, 7, 4);
+        assert_eq!(reference, mc4.st_reliability(&loaded, s, t));
+        let rss = RssEstimator::new(1_000, 11);
+        assert_eq!(
+            rss.st_reliability(&g, s, t),
+            rss.st_reliability(&loaded, s, t)
+        );
+    }
+    assert!(compared >= 20, "only {compared} non-trivial graphs drawn");
+}
+
+#[test]
+fn batch_results_survive_snapshot_and_thread_count() {
+    let mut rng = StdRng::seed_from_u64(0x0104);
+    for _ in 0..10 {
+        let g = random_graph(&mut rng);
+        let n = g.num_nodes() as u32;
+        let queries: Vec<BatchQuery> = (0..n.min(6))
+            .map(|i| match i % 3 {
+                0 => BatchQuery::St(NodeId(i), NodeId(n - 1 - i)),
+                1 => BatchQuery::From(NodeId(i)),
+                _ => BatchQuery::To(NodeId(i)),
+            })
+            .collect();
+        let est = McEstimator::new(1_000, 13);
+        let direct = QueryBatch::default().freeze_and_run(&est, &g, &queries);
+        let loaded = snapshot::read(&snapshot::to_bytes(&g.freeze())[..]).unwrap();
+        for threads in [1, 4] {
+            let via_snapshot = QueryBatch::new(relmax::sampling::ParallelRuntime::new(threads))
+                .run(&est, &loaded, &queries);
+            assert_eq!(direct, via_snapshot, "threads={threads}");
+        }
+    }
+}
+
+#[test]
+fn workload_files_round_trip_against_random_graphs() {
+    let mut rng = StdRng::seed_from_u64(0x0105);
+    for seed in 0..8u64 {
+        let g = random_graph(&mut rng);
+        let mut specs = workload::st_workload(&g, 12, 1, 4, seed);
+        specs.push(QuerySpec::From(NodeId(0)));
+        specs.push(QuerySpec::To(NodeId(0)));
+        let text = workload::queries_to_text(&specs);
+        assert_eq!(workload::parse_queries_str(&text).unwrap(), specs);
+    }
+}
+
+#[test]
+fn malformed_text_inputs_are_rejected_with_positions() {
+    // Bad probability.
+    let err = edgelist::parse_str("0 1 0.5\n1 2 -0.25\n", &EdgeListOptions::default()).unwrap_err();
+    assert!(err.to_string().contains("line 2"), "{err}");
+    // Dangling node against a declared count.
+    let err = edgelist::parse_str("% nodes 3\n0 1 0.5\n1 7 0.5\n", &EdgeListOptions::default())
+        .unwrap_err();
+    let msg = err.to_string();
+    assert!(
+        msg.contains("line 3") && msg.contains("out of bounds"),
+        "{msg}"
+    );
+    // Garbage record.
+    assert!(edgelist::parse_str("zero one 0.5\n", &EdgeListOptions::default()).is_err());
+}
+
+#[test]
+fn malformed_snapshots_are_rejected() {
+    let mut g = UncertainGraph::new(3, true);
+    g.add_edge(NodeId(0), NodeId(1), 0.5).unwrap();
+    g.add_edge(NodeId(1), NodeId(2), 0.75).unwrap();
+    let bytes = snapshot::to_bytes(&g.freeze());
+
+    // Truncation at every prefix length must fail cleanly (never panic).
+    for len in 0..bytes.len() {
+        assert!(
+            matches!(snapshot::read(&bytes[..len]), Err(SnapshotError::Truncated)),
+            "prefix of {len} bytes accepted"
+        );
+    }
+    // Wrong version.
+    let mut v = bytes.clone();
+    v[4..8].copy_from_slice(&2u32.to_le_bytes());
+    assert!(matches!(
+        snapshot::read(&v[..]),
+        Err(SnapshotError::UnsupportedVersion { found: 2 })
+    ));
+    // Not a snapshot at all.
+    assert!(matches!(
+        snapshot::read(&b"0 1 0.5\n this is text"[..]),
+        Err(SnapshotError::BadMagic { .. })
+    ));
+    // Single-bit payload corruption.
+    let mut v = bytes;
+    let mid = snapshot::HEADER_BYTES + 5;
+    v[mid] ^= 1;
+    assert!(matches!(
+        snapshot::read(&v[..]),
+        Err(SnapshotError::ChecksumMismatch { .. })
+    ));
+}
