@@ -40,6 +40,18 @@ fn main() {
         );
     }
     eprintln!("  geomean speedup: {:.2}x", bench.geomean_speedup());
+    let a = &bench.adaptive;
+    eprintln!(
+        "  adaptive (eps {} delta {}): {}/{} queries stopped early, {} of {} worlds spent ({:.1}% saved), thread-identical: {}",
+        a.eps,
+        a.delta,
+        a.stopped_early(),
+        a.queries.len(),
+        a.adaptive_total,
+        a.fixed_total,
+        a.savings() * 100.0,
+        a.bit_identical_across_threads,
+    );
 
     let json = bench.to_json();
     print!("{json}");
@@ -54,6 +66,19 @@ fn main() {
     assert!(
         bench.kernels.iter().all(|c| c.bit_identical),
         "estimates diverged"
+    );
+    // And the accuracy budget's whole point: adaptive stopping must beat
+    // the fixed budget on at least one query, without costing a single
+    // bit of thread-count determinism.
+    assert!(
+        bench.adaptive.bit_identical_across_threads,
+        "adaptive estimates diverged across thread counts"
+    );
+    assert!(
+        bench.adaptive.stopped_early() >= 1
+            && bench.adaptive.adaptive_total < bench.adaptive.fixed_total,
+        "adaptive stopping saved nothing: {:?}",
+        bench.adaptive
     );
     if !smoke {
         assert!(

@@ -18,7 +18,7 @@
 //!   per world per candidate) and materializes even at one thread.
 
 use crate::sampling_bench::{bench_graph, best_of, candidate_scan_set, pick_far_pair};
-use relmax_sampling::{Estimator, McEstimator, RssEstimator};
+use relmax_sampling::{Budget, Estimator, McEstimator, ParallelRuntime, RssEstimator};
 use relmax_ugraph::{CsrGraph, GraphView};
 
 /// One kernel invocation at one thread count.
@@ -182,13 +182,22 @@ pub fn run(samples: usize, cands: usize, threads: Vec<usize>) -> ParallelBench {
     let reps = 2;
     let mut kernels = Vec::new();
 
+    // Every kernel spends the same fixed budget; the raw sample count
+    // never reaches an estimator call directly.
+    let budget = Budget::fixed(samples);
+
     // Warm the page cache / branch predictors once.
-    let _ = McEstimator::new(samples.min(500), 0x5eed).st_reliability(&csr, s, t);
+    let _ = McEstimator::with_budget(Budget::fixed(samples.min(500)), 0x5eed).st_estimate(
+        &csr,
+        s,
+        t,
+        Budget::fixed(samples.min(500)),
+    );
 
     // -- st_reliability ----------------------------------------------------
     let (_, runs) = sweep(&threads, |th| {
-        let mc = McEstimator::with_threads(samples, 0x5eed, th);
-        best_of(reps, || mc.st_reliability(&csr, s, t))
+        let mc = McEstimator::with_budget_runtime(budget, 0x5eed, ParallelRuntime::new(th));
+        best_of(reps, || mc.st_estimate(&csr, s, t, budget))
     });
     kernels.push(KernelSweep {
         kernel: "st_reliability",
@@ -199,8 +208,8 @@ pub fn run(samples: usize, cands: usize, threads: Vec<usize>) -> ParallelBench {
 
     // -- reliability_from --------------------------------------------------
     let (_, runs) = sweep(&threads, |th| {
-        let mc = McEstimator::with_threads(samples, 0x5eed, th);
-        best_of(reps, || mc.reliability_from(&csr, s))
+        let mc = McEstimator::with_budget_runtime(budget, 0x5eed, ParallelRuntime::new(th));
+        best_of(reps, || mc.from_estimates(&csr, s, budget))
     });
     kernels.push(KernelSweep {
         kernel: "reliability_from",
@@ -213,8 +222,10 @@ pub fn run(samples: usize, cands: usize, threads: Vec<usize>) -> ParallelBench {
     let sources = [s, t];
     let targets = [t, s];
     let (_, runs) = sweep(&threads, |th| {
-        let mc = McEstimator::with_threads(samples, 0x5eed, th);
-        best_of(reps, || mc.pairwise_reliability(&csr, &sources, &targets))
+        let mc = McEstimator::with_budget_runtime(budget, 0x5eed, ParallelRuntime::new(th));
+        best_of(reps, || {
+            mc.pairwise_estimates(&csr, &sources, &targets, budget)
+        })
     });
     kernels.push(KernelSweep {
         kernel: "pairwise_reliability",
@@ -225,8 +236,8 @@ pub fn run(samples: usize, cands: usize, threads: Vec<usize>) -> ParallelBench {
 
     // -- RSS st_reliability ------------------------------------------------
     let (_, runs) = sweep(&threads, |th| {
-        let rss = RssEstimator::with_threads(samples, 0x5eed, th);
-        best_of(reps, || rss.st_reliability(&csr, s, t))
+        let rss = RssEstimator::with_budget_runtime(budget, 0x5eed, ParallelRuntime::new(th));
+        best_of(reps, || rss.st_estimate(&csr, s, t, budget))
     });
     kernels.push(KernelSweep {
         kernel: "rss_st_reliability",
@@ -238,24 +249,26 @@ pub fn run(samples: usize, cands: usize, threads: Vec<usize>) -> ParallelBench {
     // -- candidate_scan: the selector hot path ----------------------------
     // PR-1 baseline: serial, one overlay BFS sweep per candidate (exactly
     // the pre-runtime selector inner loop).
-    let cand_z = (samples / 10).max(50);
+    let cand_budget = Budget::fixed((samples / 10).max(50));
     let candidates = candidate_scan_set(&g, cands);
-    let serial_mc = McEstimator::new(cand_z, 0x5eed);
+    let serial_mc = McEstimator::with_budget(cand_budget, 0x5eed);
     let (naive, naive_s) = best_of(reps, || {
         let mut view = GraphView::empty(&csr);
         candidates
             .iter()
             .map(|&c| {
                 view.push_extra(c);
-                let r = serial_mc.st_reliability(&view, s, t);
+                let r = serial_mc.st_estimate(&view, s, t, cand_budget);
                 view.pop_extra();
                 r
             })
-            .collect::<Vec<f64>>()
+            .collect::<Vec<_>>()
     });
     let (scan_ref, mut runs) = sweep(&threads, |th| {
-        let mc = McEstimator::with_threads(cand_z, 0x5eed, th);
-        best_of(reps, || mc.scan_candidates(&csr, s, t, &candidates))
+        let mc = McEstimator::with_budget_runtime(cand_budget, 0x5eed, ParallelRuntime::new(th));
+        best_of(reps, || {
+            mc.scan_estimates(&csr, s, t, &candidates, cand_budget)
+        })
     });
     // The shared-world kernel must reproduce the PR-1 scan bit for bit.
     let matches_naive = scan_ref == naive;

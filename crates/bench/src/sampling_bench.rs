@@ -10,12 +10,12 @@
 
 use crate::runner::timed;
 
-use relmax_core::{AnySelector, EdgeSelector, StQuery};
+use relmax_core::{AnySelector, EdgeSelector, QueryEngine, StQuery};
 use relmax_gen::prob::ProbModel;
 use relmax_gen::queries::st_queries;
 use relmax_gen::synth;
 use relmax_sampling::legacy::DynMcEstimator;
-use relmax_sampling::{Estimator, McEstimator};
+use relmax_sampling::{Budget, Estimator, McEstimator, ParallelRuntime};
 use relmax_ugraph::{CsrGraph, ExtraEdge, GraphView, NodeId, UncertainGraph};
 
 /// One measured comparison: the same estimate computed both ways.
@@ -33,6 +33,56 @@ pub struct Comparison {
     pub bit_identical: bool,
 }
 
+/// Per-query record of the adaptive-stopping scenario: what an accuracy
+/// budget spent versus the fixed budget it replaces.
+#[derive(Debug, Clone)]
+pub struct AdaptiveQuery {
+    /// Query endpoints.
+    pub s: u32,
+    /// Query endpoints.
+    pub t: u32,
+    /// The estimate under the accuracy budget.
+    pub value: f64,
+    /// Realized confidence half-width at stop.
+    pub half_width: f64,
+    /// Worlds the adaptive run spent.
+    pub samples_used: usize,
+    /// Whether it stopped before the cap.
+    pub stopped_early: bool,
+}
+
+/// The `adaptive` scenario: accuracy budgets versus a fixed budget of
+/// `max_samples` worlds per query, via the `QueryEngine` front door.
+#[derive(Debug, Clone)]
+pub struct AdaptiveScenario {
+    /// Requested CI half-width.
+    pub eps: f64,
+    /// Requested CI failure probability.
+    pub delta: f64,
+    /// World cap per query (also the fixed-budget comparison point).
+    pub max_samples: usize,
+    /// Per-query outcomes.
+    pub queries: Vec<AdaptiveQuery>,
+    /// Total worlds the fixed budget would have spent.
+    pub fixed_total: u64,
+    /// Total worlds the adaptive runs spent.
+    pub adaptive_total: u64,
+    /// Whether a 4-thread run reproduced the serial bits exactly.
+    pub bit_identical_across_threads: bool,
+}
+
+impl AdaptiveScenario {
+    /// Fraction of the fixed budget the adaptive runs saved.
+    pub fn savings(&self) -> f64 {
+        1.0 - self.adaptive_total as f64 / self.fixed_total.max(1) as f64
+    }
+
+    /// How many queries stopped before the cap.
+    pub fn stopped_early(&self) -> usize {
+        self.queries.iter().filter(|q| q.stopped_early).count()
+    }
+}
+
 /// Full result of one benchmark run.
 #[derive(Debug, Clone)]
 pub struct SamplingBench {
@@ -44,6 +94,8 @@ pub struct SamplingBench {
     pub samples: usize,
     /// Per-kernel comparisons.
     pub kernels: Vec<Comparison>,
+    /// Accuracy-budget adaptive stopping versus the fixed budget.
+    pub adaptive: AdaptiveScenario,
     /// End-to-end BE pipeline seconds (elimination + selection), and the
     /// measured reliability gain, on a smaller proxy workload.
     pub be_pipeline_s: f64,
@@ -83,12 +135,85 @@ impl SamplingBench {
             "  \"geomean_speedup\": {:.3},\n",
             self.geomean_speedup()
         ));
+        let a = &self.adaptive;
+        out.push_str(&format!(
+            "  \"adaptive\": {{\"eps\": {}, \"delta\": {}, \"max_samples\": {}, \"queries\": [\n",
+            a.eps, a.delta, a.max_samples
+        ));
+        for (i, q) in a.queries.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"s\": {}, \"t\": {}, \"value\": {:.6}, \"half_width\": {:.6}, \"samples_used\": {}, \"stopped_early\": {}}}{}\n",
+                q.s,
+                q.t,
+                q.value,
+                q.half_width,
+                q.samples_used,
+                q.stopped_early,
+                if i + 1 < a.queries.len() { "," } else { "" },
+            ));
+        }
+        out.push_str(&format!(
+            "  ], \"fixed_total\": {}, \"adaptive_total\": {}, \"savings\": {:.4}, \"bit_identical_across_threads\": {}}},\n",
+            a.fixed_total,
+            a.adaptive_total,
+            a.savings(),
+            a.bit_identical_across_threads,
+        ));
         out.push_str(&format!(
             "  \"be_pipeline\": {{\"seconds\": {:.6}, \"mean_gain\": {:.4}}}\n",
             self.be_pipeline_s, self.be_gain
         ));
         out.push_str("}\n");
         out
+    }
+}
+
+/// Measure adaptive stopping through the `QueryEngine` front door: a
+/// spread of `s-t` queries answered under `Accuracy { eps, delta,
+/// max_samples }`, compared against the fixed budget `max_samples` each —
+/// the samples-used savings is the scenario's headline number.
+pub fn run_adaptive_scenario(
+    g: &UncertainGraph,
+    csr: &CsrGraph,
+    eps: f64,
+    delta: f64,
+    max_samples: usize,
+) -> AdaptiveScenario {
+    // A spread of hop distances: near pairs are easy (extreme p, tight
+    // Bernstein) and far pairs are hard — both behaviors on display.
+    let mut pairs = st_queries(g, 4, 1, 2, 0xada1);
+    pairs.extend(st_queries(g, 4, 4, 6, 0xada2));
+    let budget = Budget::accuracy_capped(eps, delta, max_samples);
+    let engine = QueryEngine::from_snapshot(csr.clone(), McEstimator::with_budget(budget, 0x5eed));
+    let par_engine = QueryEngine::from_snapshot(
+        csr.clone(),
+        McEstimator::with_budget_runtime(budget, 0x5eed, ParallelRuntime::new(4)),
+    );
+    let mut queries = Vec::with_capacity(pairs.len());
+    let mut adaptive_total = 0u64;
+    let mut bit_identical = true;
+    for &(s, t) in &pairs {
+        let est = engine.st(s, t, budget).expect("nodes in range");
+        let par = par_engine.st(s, t, budget).expect("nodes in range");
+        bit_identical &= est == par;
+        adaptive_total += est.samples_used as u64;
+        queries.push(AdaptiveQuery {
+            s: s.0,
+            t: t.0,
+            value: est.value,
+            half_width: est.half_width(),
+            samples_used: est.samples_used,
+            stopped_early: est.stopped_early,
+        });
+    }
+    AdaptiveScenario {
+        eps,
+        delta,
+        max_samples,
+        fixed_total: (pairs.len() * max_samples) as u64,
+        adaptive_total,
+        queries,
+        bit_identical_across_threads: bit_identical,
     }
 }
 
@@ -116,18 +241,19 @@ pub fn run(samples: usize, pipeline_queries: usize) -> SamplingBench {
     let csr = CsrGraph::freeze(&g);
     let (s, t) = pick_far_pair(&g);
 
+    let budget = Budget::fixed(samples);
     let legacy = DynMcEstimator::new(samples, 0x5eed);
-    let new = McEstimator::new(samples, 0x5eed);
+    let new = McEstimator::with_budget(budget, 0x5eed);
 
     let mut kernels = Vec::new();
 
     // Warm both code paths (page-in, branch predictors) before timing.
     let _ = legacy.st_reliability(&g, s, t);
-    let _ = new.st_reliability(&csr, s, t);
+    let _ = new.st_estimate(&csr, s, t, budget);
 
     let reps = 3;
     let (dyn_st, dyn_st_s) = best_of(reps, || legacy.st_reliability(&g, s, t));
-    let (csr_st, csr_st_s) = best_of(reps, || new.st_reliability(&csr, s, t));
+    let (csr_st, csr_st_s) = best_of(reps, || new.st_estimate(&csr, s, t, budget).value);
     kernels.push(Comparison {
         kernel: "st_reliability",
         dyn_s: dyn_st_s,
@@ -137,7 +263,12 @@ pub fn run(samples: usize, pipeline_queries: usize) -> SamplingBench {
     });
 
     let (dyn_from, dyn_from_s) = best_of(reps, || legacy.reliability_from(&g, s));
-    let (csr_from, csr_from_s) = best_of(reps, || new.reliability_from(&csr, s));
+    let (csr_from, csr_from_s) = best_of(reps, || {
+        new.from_estimates(&csr, s, budget)
+            .into_iter()
+            .map(|e| e.value)
+            .collect::<Vec<f64>>()
+    });
     kernels.push(Comparison {
         kernel: "reliability_from",
         dyn_s: dyn_from_s,
@@ -147,7 +278,12 @@ pub fn run(samples: usize, pipeline_queries: usize) -> SamplingBench {
     });
 
     let (dyn_to, dyn_to_s) = best_of(reps, || legacy.reliability_to(&g, t));
-    let (csr_to, csr_to_s) = best_of(reps, || new.reliability_to(&csr, t));
+    let (csr_to, csr_to_s) = best_of(reps, || {
+        new.to_estimates(&csr, t, budget)
+            .into_iter()
+            .map(|e| e.value)
+            .collect::<Vec<f64>>()
+    });
     kernels.push(Comparison {
         kernel: "reliability_to",
         dyn_s: dyn_to_s,
@@ -160,9 +296,10 @@ pub fn run(samples: usize, pipeline_queries: usize) -> SamplingBench {
     // overlays. This is where selection algorithms actually spend their
     // estimator budget (hill climbing, top-k scoring, subset search).
     let cand_z = (samples / 10).max(50);
+    let cand_budget = Budget::fixed(cand_z);
     let candidates = candidate_scan_set(&g, 100);
     let scan_legacy = DynMcEstimator::new(cand_z, 0x5eed);
-    let scan_new = McEstimator::new(cand_z, 0x5eed);
+    let scan_new = McEstimator::with_budget(cand_budget, 0x5eed);
     let (legacy_sum, dyn_scan_s) = best_of(reps, || {
         let mut sum = 0.0;
         for &cand in &candidates {
@@ -176,7 +313,7 @@ pub fn run(samples: usize, pipeline_queries: usize) -> SamplingBench {
         let mut view = GraphView::empty(&csr);
         for &cand in &candidates {
             view.push_extra(cand);
-            sum += scan_new.st_reliability(&view, s, t);
+            sum += scan_new.st_estimate(&view, s, t, cand_budget).value;
             view.pop_extra();
         }
         sum
@@ -189,6 +326,12 @@ pub fn run(samples: usize, pipeline_queries: usize) -> SamplingBench {
         bit_identical: legacy_sum == new_sum,
     });
 
+    // Accuracy budgets through the QueryEngine front door: how many of
+    // the fixed budget's worlds does adaptive stopping actually need?
+    // The cap is sized so ±0.02 is reachable well before it on easy
+    // (low-variance) queries — that gap is the measured savings.
+    let adaptive = run_adaptive_scenario(&g, &csr, 0.02, 0.05, (samples * 16).max(16_384));
+
     let (be_pipeline_s, be_gain) = if pipeline_queries > 0 {
         bench_be_pipeline(pipeline_queries)
     } else {
@@ -200,6 +343,7 @@ pub fn run(samples: usize, pipeline_queries: usize) -> SamplingBench {
         edges: g.num_edges(),
         samples,
         kernels,
+        adaptive,
         be_pipeline_s,
         be_gain,
     }
@@ -210,13 +354,14 @@ pub fn run(samples: usize, pipeline_queries: usize) -> SamplingBench {
 fn bench_be_pipeline(queries: usize) -> (f64, f64) {
     let g = relmax_gen::proxy::DatasetProxy::LastFm.generate(0.08, 42);
     let workload = st_queries(&g, queries, 3, 5, 7);
-    let est = McEstimator::new(300, 0x5eed);
+    let budget = Budget::fixed(300);
+    let est = McEstimator::with_budget(budget, 0x5eed);
     let be = AnySelector::batch_edge();
     let mut gain = 0.0;
     let (_, secs) = timed(|| {
         for &(s, t) in &workload {
             let q = StQuery::new(s, t, 5, 0.5).with_r(30).with_l(10);
-            let out = be.select(&g, &q, &est).expect("BE runs");
+            let out = be.select_budgeted(&g, &q, &est, budget).expect("BE runs");
             gain += out.gain();
         }
     });
@@ -284,6 +429,29 @@ mod tests {
         let json = bench.to_json();
         assert!(json.contains("\"geomean_speedup\""));
         assert!(json.contains("st_reliability"));
+        assert!(json.contains("\"adaptive\""));
+        assert!(json.contains("\"savings\""));
+    }
+
+    #[test]
+    fn adaptive_scenario_saves_samples_and_stays_deterministic() {
+        let g = bench_graph(2_000, 2_500);
+        let csr = CsrGraph::freeze(&g);
+        let scenario = run_adaptive_scenario(&g, &csr, 0.02, 0.05, 16_384);
+        assert!(!scenario.queries.is_empty());
+        assert!(scenario.bit_identical_across_threads);
+        // At least one query must beat the fixed budget — the accuracy
+        // budget's whole reason to exist.
+        assert!(
+            scenario.stopped_early() >= 1,
+            "no query stopped early: {scenario:?}"
+        );
+        assert!(scenario.adaptive_total < scenario.fixed_total);
+        for q in &scenario.queries {
+            if q.stopped_early {
+                assert!(q.half_width <= 0.02 + 1e-12, "{q:?}");
+            }
+        }
     }
 
     #[test]

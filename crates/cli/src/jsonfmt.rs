@@ -33,3 +33,42 @@ pub fn array(items: impl IntoIterator<Item = String>) -> String {
     let inner: Vec<String> = items.into_iter().collect();
     format!("[{}]", inner.join(","))
 }
+
+/// The uncertainty fields of an estimate, rendered as JSON object fields
+/// (no braces) so callers can splice them next to their own keys:
+/// `"stderr":…,"ci_low":…,"ci_high":…,"samples_used":…,"stopped_early":…`.
+pub fn estimate_fields(e: &relmax_sampling::Estimate) -> String {
+    format!(
+        "\"stderr\":{},\"ci_low\":{},\"ci_high\":{},\"samples_used\":{},\"stopped_early\":{}",
+        num(e.stderr),
+        num(e.ci_low),
+        num(e.ci_high),
+        e.samples_used,
+        e.stopped_early,
+    )
+}
+
+/// A full estimate as a JSON object, value included.
+pub fn estimate(e: &relmax_sampling::Estimate) -> String {
+    format!("{{\"value\":{},{}}}", num(e.value), estimate_fields(e))
+}
+
+/// A budget as a JSON object:
+/// `{"kind":"fixed","samples":N}` or
+/// `{"kind":"accuracy","eps":…,"delta":…,"max_samples":N}`.
+pub fn budget(b: &relmax_sampling::Budget) -> String {
+    match *b {
+        relmax_sampling::Budget::FixedSamples(n) => {
+            format!("{{\"kind\":\"fixed\",\"samples\":{n}}}")
+        }
+        relmax_sampling::Budget::Accuracy {
+            eps,
+            delta,
+            max_samples,
+        } => format!(
+            "{{\"kind\":\"accuracy\",\"eps\":{},\"delta\":{},\"max_samples\":{max_samples}}}",
+            num(eps),
+            num(delta),
+        ),
+    }
+}

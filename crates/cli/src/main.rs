@@ -44,16 +44,25 @@ text edge list (`src dst prob` per line; `% nodes N`, `% directed`,
 
 COMMON OPTIONS:
     --estimator mc|rss     reliability estimator         [default: mc]
-    --samples Z            sampled worlds per estimate   [default: 1000]
+    --samples Z            fixed budget: sampled worlds  [default: 1000]
+    --eps E                accuracy budget instead: CI half-width target;
+                           sampling stops adaptively (deterministic
+                           power-of-two checkpoints, bit-identical at
+                           every thread count)
+    --delta D              CI failure probability        [default: 0.05]
+    --max-samples N        adaptive sampling cap         [default: 2^20]
     --seed S               estimator seed                [default: 42]
     --threads T            worker threads (default: RELMAX_THREADS or
                            all cores); never changes any result
     --format table|json    stdout format                 [default: table]
+    --verbose-estimates    add stderr/CI/worlds columns to table output
+                           (JSON always carries them)
     --undirected           treat a plain edge list as undirected
     --nodes N              node count for edge lists without `% nodes`
 
 QUERY OPTIONS:
-    --queries FILE         query file (`st S T` / `from S` / `to T` / `S T`)
+    --queries FILE         query file (`st S T` / `from S` / `to T` / `S T`;
+                           may open with `% accuracy EPS DELTA [MAX]`)
     --gen N                generate N random s-t queries instead
     --min-hops A           generated pairs at least A hops apart [default: 2]
     --max-hops B           generated pairs at most B hops apart  [default: 5]
@@ -72,6 +81,7 @@ SELECT OPTIONS:
 EXAMPLES:
     relmax ingest data/toy.tsv -o toy.rgs
     relmax query toy.rgs --gen 100 --samples 2000 --format json
+    relmax query toy.rgs --gen 100 --eps 0.02 --delta 0.05 --verbose-estimates
     relmax select toy.rgs --method BE --source 0 --target 15 -k 3
 ";
 

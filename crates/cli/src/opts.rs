@@ -75,6 +75,64 @@ pub fn required(slot: Option<String>, what: &str) -> Result<String, CliError> {
     slot.ok_or_else(|| usage(format!("missing required {what}")))
 }
 
+/// The `--eps` / `--delta` / `--max-samples` accuracy flags, parsed but
+/// not yet resolved against `--samples` into a concrete budget.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BudgetFlags {
+    /// `--eps`: target confidence-interval half-width.
+    pub eps: Option<f64>,
+    /// `--delta`: interval failure probability (default 0.05).
+    pub delta: Option<f64>,
+    /// `--max-samples`: cap on worlds per adaptive estimate.
+    pub max_samples: Option<usize>,
+}
+
+impl BudgetFlags {
+    /// Resolve against `--samples` (and an optional workload-file
+    /// accuracy directive) into a concrete [`relmax_sampling::Budget`].
+    /// An accuracy budget applies when either `--eps` or a file
+    /// directive supplies `eps`; each of `eps`/`delta`/`max_samples`
+    /// resolves per-field as CLI flag, then file directive, then default
+    /// (0.05 / [`relmax_sampling::convergence::DEFAULT_MAX_SAMPLES`]).
+    pub fn resolve(
+        &self,
+        samples: usize,
+        file_accuracy: Option<relmax_gen::workload::AccuracyDirective>,
+    ) -> Result<relmax_sampling::Budget, CliError> {
+        let Some(eps) = self.eps.or(file_accuracy.map(|a| a.eps)) else {
+            if self.delta.is_some() || self.max_samples.is_some() {
+                return Err(usage(
+                    "--delta/--max-samples only make sense together with --eps \
+                     (or a query file carrying a `% accuracy` directive)",
+                ));
+            }
+            return Ok(relmax_sampling::Budget::FixedSamples(samples));
+        };
+        let delta = self
+            .delta
+            .or(file_accuracy.map(|a| a.delta))
+            .unwrap_or(0.05);
+        let max_samples = self
+            .max_samples
+            .or(file_accuracy.and_then(|a| a.max_samples))
+            .unwrap_or(relmax_sampling::convergence::DEFAULT_MAX_SAMPLES);
+        if !(eps > 0.0 && eps < 1.0) {
+            return Err(usage(format!("--eps must lie in (0, 1), got {eps}")));
+        }
+        if !(delta > 0.0 && delta < 1.0) {
+            return Err(usage(format!("--delta must lie in (0, 1), got {delta}")));
+        }
+        if max_samples == 0 {
+            return Err(usage("--max-samples must be at least 1"));
+        }
+        Ok(relmax_sampling::Budget::Accuracy {
+            eps,
+            delta,
+            max_samples,
+        })
+    }
+}
+
 /// Output format for `query` and `select`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Format {

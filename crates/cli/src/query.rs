@@ -1,19 +1,24 @@
 //! `relmax query` — serve a batch of reliability queries.
 //!
-//! The workload comes from a query file (`--queries`) or is generated on
-//! the fly (`--gen N`); the graph comes from a snapshot or edge list. The
-//! batch is fanned out over the deterministic parallel runtime:
-//! **stdout is bit-identical for a fixed seed at every `--threads` /
-//! `RELMAX_THREADS` value** (CI diffs runs at 1 and 4 threads to hold the
-//! line). Timings go to stderr.
+//! The workload comes from a query file (`--queries`, which may carry a
+//! `% accuracy` directive) or is generated on the fly (`--gen N`); the
+//! graph comes from a snapshot or edge list. Everything routes through
+//! the [`relmax_core::QueryEngine`] facade: one freeze, one budget —
+//! `--samples Z` for a fixed world count, or `--eps/--delta/--max-samples`
+//! for "±eps at confidence 1−delta" with deterministic adaptive stopping —
+//! and rich estimates (stderr, confidence interval, worlds spent) on every
+//! answer. **stdout is bit-identical for a fixed seed at every
+//! `--threads` / `RELMAX_THREADS` value** (CI diffs runs at 1 and 4
+//! threads to hold the line). Timings go to stderr.
 
 use crate::graphio;
 use crate::jsonfmt;
-use crate::opts::{self, CliError, EstimatorKind, Format};
+use crate::opts::{self, BudgetFlags, CliError, EstimatorKind, Format};
 use relmax_bench::table::Table;
+use relmax_core::{QueryAnswer, QueryEngine};
 use relmax_gen::workload::{self, QuerySpec};
 use relmax_sampling::{
-    BatchQuery, BatchResult, McEstimator, ParallelRuntime, QueryBatch, RssEstimator,
+    BatchEstimate, BatchQuery, Budget, Estimator, McEstimator, ParallelRuntime, RssEstimator,
 };
 use relmax_ugraph::edgelist::EdgeListOptions;
 use relmax_ugraph::{CsrGraph, ProbGraph};
@@ -28,9 +33,11 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
     let mut emit_queries: Option<String> = None;
     let mut estimator = EstimatorKind::Mc;
     let mut samples = 1000usize;
+    let mut budget_flags = BudgetFlags::default();
     let mut seed = 42u64;
     let mut threads: Option<usize> = None;
     let mut format = Format::Table;
+    let mut verbose_estimates = false;
     let mut text_opts = EdgeListOptions::default();
     let mut text_flags: Vec<&str> = Vec::new();
 
@@ -44,9 +51,13 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
             "--emit-queries" => emit_queries = Some(opts::take_value(&mut it, a)?),
             "--estimator" => estimator = EstimatorKind::parse(&opts::take_value(&mut it, a)?)?,
             "--samples" | "-z" => samples = opts::take_parsed(&mut it, a)?,
+            "--eps" => budget_flags.eps = Some(opts::take_parsed(&mut it, a)?),
+            "--delta" => budget_flags.delta = Some(opts::take_parsed(&mut it, a)?),
+            "--max-samples" => budget_flags.max_samples = Some(opts::take_parsed(&mut it, a)?),
             "--seed" => seed = opts::take_parsed(&mut it, a)?,
             "--threads" => threads = Some(opts::take_parsed(&mut it, a)?),
             "--format" => format = Format::parse(&opts::take_value(&mut it, a)?)?,
+            "--verbose-estimates" => verbose_estimates = true,
             "--undirected" => {
                 text_opts.directed = false;
                 text_flags.push("--undirected");
@@ -77,14 +88,25 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
             "need a workload: pass `--queries FILE` or `--gen N`",
         ));
     }
+    // The workload file parses before the graph loads: both its syntax
+    // errors and budget-flag conflicts must not cost a multi-second
+    // parse + freeze of a large dataset first.
+    let file_workload = match &queries_path {
+        Some(path) => Some(
+            workload::parse_workload_file(path)
+                .map_err(|e| opts::run_err(format!("{path}: {e}")))?,
+        ),
+        None => None,
+    };
+    let budget = budget_flags.resolve(samples, file_workload.as_ref().and_then(|w| w.accuracy))?;
 
     let started = std::time::Instant::now();
     let loaded = graphio::load(&graph_path, &text_opts)?;
     graphio::warn_ignored_text_flags(&loaded, &text_flags, &graph_path);
     let csr = loaded.into_frozen();
 
-    let specs: Vec<QuerySpec> = if let Some(path) = &queries_path {
-        workload::parse_queries_file(path).map_err(|e| opts::run_err(format!("{path}: {e}")))?
+    let specs = if let Some(workload) = file_workload {
+        workload.specs
     } else {
         let count = gen_count.expect("presence checked above");
         let generated = workload::st_workload(&csr, count, min_hops, max_hops, seed);
@@ -109,7 +131,25 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
     if let Some(path) = &emit_queries {
         let mut f =
             std::fs::File::create(path).map_err(|e| opts::run_err(format!("{path}: {e}")))?;
-        workload::write_queries(&specs, &mut f)
+        // The emitted file must replay this run verbatim, so it carries
+        // the *resolved* budget as a directive whenever that budget is an
+        // accuracy target (fixed budgets replay via --samples as before).
+        let emitted = workload::Workload {
+            specs: specs.clone(),
+            accuracy: match budget {
+                Budget::Accuracy {
+                    eps,
+                    delta,
+                    max_samples,
+                } => Some(workload::AccuracyDirective {
+                    eps,
+                    delta,
+                    max_samples: Some(max_samples),
+                }),
+                Budget::FixedSamples(_) => None,
+            },
+        };
+        workload::write_workload(&emitted, &mut f)
             .map_err(|e| opts::run_err(format!("{path}: {e}")))?;
     }
 
@@ -127,98 +167,152 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
     let runtime = threads
         .map(ParallelRuntime::new)
         .unwrap_or_else(ParallelRuntime::auto);
-    let batch = QueryBatch::new(runtime);
+    let (nodes, coins, directed) = (csr.num_nodes(), csr.num_coins(), csr.is_directed());
     let results = match estimator {
-        EstimatorKind::Mc => {
-            let est = McEstimator::new(samples, seed);
-            batch.run(&est, &csr, &batch_queries)
-        }
-        EstimatorKind::Rss => {
-            let est = RssEstimator::new(samples, seed);
-            batch.run(&est, &csr, &batch_queries)
-        }
+        EstimatorKind::Mc => serve(
+            McEstimator::with_budget(budget, seed),
+            csr,
+            runtime,
+            &batch_queries,
+            budget,
+        )?,
+        EstimatorKind::Rss => serve(
+            RssEstimator::with_budget(budget, seed),
+            csr,
+            runtime,
+            &batch_queries,
+            budget,
+        )?,
     };
 
     match format {
-        Format::Table => print_table(&specs, &results),
-        Format::Json => print_json(&csr, estimator, samples, seed, &specs, &results),
+        Format::Table => print_table(&specs, &results, verbose_estimates),
+        Format::Json => print_json(
+            nodes, coins, directed, estimator, seed, &budget, &specs, &results,
+        ),
     }
     eprintln!(
-        "{} queries on {} nodes / {} coins in {:.3}s ({} worker(s))",
+        "{} queries on {nodes} nodes / {coins} coins in {:.3}s ({} worker(s))",
         specs.len(),
-        csr.num_nodes(),
-        csr.num_coins(),
         started.elapsed().as_secs_f64(),
         runtime.threads(),
     );
     Ok(())
 }
 
-fn print_table(specs: &[QuerySpec], results: &[BatchResult]) {
-    let mut t = Table::new(vec!["#", "query", "reliability", "max", "nonzero"]);
+/// Build the engine over the frozen snapshot and serve the whole batch
+/// under one budget (passed explicitly so the call is self-describing,
+/// though it matches the estimator's default).
+fn serve<E: Estimator>(
+    est: E,
+    csr: CsrGraph,
+    runtime: ParallelRuntime,
+    queries: &[BatchQuery],
+    budget: Budget,
+) -> Result<Vec<BatchEstimate>, CliError> {
+    let engine = QueryEngine::from_snapshot(csr, est).with_runtime(runtime);
+    match engine
+        .query()
+        .batch(queries)
+        .budget(budget)
+        .run()
+        .map_err(opts::run_err)?
+    {
+        QueryAnswer::Batch(results) => Ok(results),
+        _ => unreachable!("batch queries yield batch answers"),
+    }
+}
+
+fn print_table(specs: &[QuerySpec], results: &[BatchEstimate], verbose: bool) {
+    let mut header = vec!["#", "query", "reliability", "max", "nonzero"];
+    if verbose {
+        header.extend_from_slice(&["stderr", "ci_low", "ci_high", "Z", "early"]);
+    }
+    let mut t = Table::new(header);
     for (i, (q, r)) in specs.iter().zip(results).enumerate() {
-        match r {
-            BatchResult::Scalar(v) => t.row(vec![
+        let mut row = match r {
+            BatchEstimate::Scalar(e) => vec![
                 (i + 1).to_string(),
                 q.to_string(),
-                format!("{v:.6}"),
+                format!("{:.6}", e.value),
                 "-".to_string(),
                 "-".to_string(),
-            ]),
-            BatchResult::Vector(_) => {
+            ],
+            BatchEstimate::Vector(_) => {
                 let (nonzero, mean, max) = r.summary();
-                t.row(vec![
+                vec![
                     (i + 1).to_string(),
                     q.to_string(),
                     format!("{mean:.6}"),
                     format!("{max:.6}"),
                     nonzero.to_string(),
-                ]);
+                ]
             }
+        };
+        if verbose {
+            let (z, early) = r.sampling_effort();
+            let (ci_low, ci_high) = match r {
+                BatchEstimate::Scalar(e) => {
+                    (format!("{:.6}", e.ci_low), format!("{:.6}", e.ci_high))
+                }
+                BatchEstimate::Vector(_) => ("-".to_string(), "-".to_string()),
+            };
+            row.extend([
+                format!("{:.6}", r.max_stderr()),
+                ci_low,
+                ci_high,
+                z.to_string(),
+                if early { "yes" } else { "no" }.to_string(),
+            ]);
         }
+        t.row(row);
     }
     t.print();
 }
 
+#[allow(clippy::too_many_arguments)]
 fn print_json(
-    csr: &CsrGraph,
+    nodes: usize,
+    coins: usize,
+    directed: bool,
     estimator: EstimatorKind,
-    samples: usize,
     seed: u64,
+    budget: &Budget,
     specs: &[QuerySpec],
-    results: &[BatchResult],
+    results: &[BatchEstimate],
 ) {
     let rendered = specs.iter().zip(results).map(|(q, r)| match (q, r) {
-        (QuerySpec::St(s, t), BatchResult::Scalar(v)) => format!(
-            "{{\"kind\":\"st\",\"s\":{},\"t\":{},\"reliability\":{}}}",
+        (QuerySpec::St(s, t), BatchEstimate::Scalar(e)) => format!(
+            "{{\"kind\":\"st\",\"s\":{},\"t\":{},\"reliability\":{},{}}}",
             s.0,
             t.0,
-            jsonfmt::num(*v)
+            jsonfmt::num(e.value),
+            jsonfmt::estimate_fields(e),
         ),
-        (q, BatchResult::Vector(values)) => {
+        (q, BatchEstimate::Vector(estimates)) => {
             let (kind, node) = match q {
                 QuerySpec::From(s) => ("from", s.0),
                 QuerySpec::To(t) => ("to", t.0),
                 QuerySpec::St(..) => unreachable!("st queries yield scalars"),
             };
             let (nonzero, mean, max) = r.summary();
+            let (z, early) = r.sampling_effort();
             format!(
-                "{{\"kind\":\"{kind}\",\"node\":{node},\"nonzero\":{nonzero},\"mean\":{},\"max\":{},\"values\":{}}}",
+                "{{\"kind\":\"{kind}\",\"node\":{node},\"nonzero\":{nonzero},\"mean\":{},\"max\":{},\"max_stderr\":{},\"samples_used\":{z},\"stopped_early\":{early},\"values\":{}}}",
                 jsonfmt::num(mean),
                 jsonfmt::num(max),
-                jsonfmt::array(values.iter().map(|&v| jsonfmt::num(v)))
+                jsonfmt::num(r.max_stderr()),
+                jsonfmt::array(estimates.iter().map(|e| jsonfmt::num(e.value)))
             )
         }
-        (q, BatchResult::Scalar(_)) => {
+        (q, BatchEstimate::Scalar(_)) => {
             unreachable!("{q} cannot yield a scalar")
         }
     });
     println!(
-        "{{\"graph\":{{\"nodes\":{},\"coins\":{},\"directed\":{}}},\"estimator\":{{\"name\":\"{}\",\"samples\":{samples},\"seed\":{seed}}},\"results\":{}}}",
-        csr.num_nodes(),
-        csr.num_coins(),
-        csr.is_directed(),
+        "{{\"graph\":{{\"nodes\":{nodes},\"coins\":{coins},\"directed\":{directed}}},\"estimator\":{{\"name\":\"{}\",\"seed\":{seed},\"budget\":{}}},\"results\":{}}}",
         estimator.name(),
+        jsonfmt::budget(budget),
         jsonfmt::array(rendered)
     );
 }

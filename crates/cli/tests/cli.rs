@@ -237,6 +237,208 @@ fn emitted_workload_replays_identically() {
 }
 
 #[test]
+fn emitted_accuracy_workload_replays_identically_without_flags() {
+    // --emit-queries must carry the resolved accuracy budget as a
+    // `% accuracy` directive, so the emitted file replays the run
+    // byte-for-byte with no budget flags at all.
+    let rgs = ingest_toy("emit-acc.rgs");
+    let qfile = tmp("emitted-acc.txt");
+    let generated = stdout_of(
+        &[
+            "query",
+            rgs.to_str().unwrap(),
+            "--gen",
+            "5",
+            "--eps",
+            "0.05",
+            "--max-samples",
+            "4096",
+            "--format",
+            "json",
+            "--emit-queries",
+            qfile.to_str().unwrap(),
+        ],
+        &[],
+    );
+    let emitted = fs::read_to_string(&qfile).unwrap();
+    assert!(
+        emitted.starts_with("% accuracy 0.05 0.05 4096\n"),
+        "emitted file lacks the directive: {emitted}"
+    );
+    let replayed = stdout_of(
+        &[
+            "query",
+            rgs.to_str().unwrap(),
+            "--queries",
+            qfile.to_str().unwrap(),
+            "--format",
+            "json",
+        ],
+        &[],
+    );
+    assert_eq!(generated, replayed);
+}
+
+#[test]
+fn accuracy_budget_is_byte_identical_across_thread_counts() {
+    let rgs = ingest_toy("accuracy-threads.rgs");
+    for format in ["table", "json"] {
+        let args = [
+            "query",
+            rgs.to_str().unwrap(),
+            "--gen",
+            "30",
+            "--min-hops",
+            "1",
+            "--max-hops",
+            "6",
+            "--eps",
+            "0.05",
+            "--delta",
+            "0.05",
+            "--max-samples",
+            "8192",
+            "--verbose-estimates",
+            "--format",
+            format,
+        ];
+        let t1 = stdout_of(&args, &[("RELMAX_THREADS", "1")]);
+        let t4 = stdout_of(&args, &[("RELMAX_THREADS", "4")]);
+        assert_eq!(
+            t1, t4,
+            "adaptive stopping must not depend on thread count ({format})"
+        );
+    }
+}
+
+#[test]
+fn accuracy_json_carries_estimate_fields_and_stops_early() {
+    let rgs = ingest_toy("accuracy-json.rgs");
+    let out = stdout_of(
+        &[
+            "query",
+            rgs.to_str().unwrap(),
+            "--gen",
+            "5",
+            "--eps",
+            "0.05",
+            "--max-samples",
+            "65536",
+            "--format",
+            "json",
+        ],
+        &[],
+    );
+    for field in [
+        "\"budget\":{\"kind\":\"accuracy\"",
+        "\"stderr\":",
+        "\"ci_low\":",
+        "\"ci_high\":",
+        "\"samples_used\":",
+        "\"stopped_early\":",
+    ] {
+        assert!(out.contains(field), "JSON lacks {field}: {out}");
+    }
+    // The toy graph converges to ±0.05 long before 65536 worlds.
+    assert!(
+        out.contains("\"stopped_early\":true"),
+        "expected early stopping on the toy graph: {out}"
+    );
+}
+
+#[test]
+fn verbose_estimates_is_opt_in_for_tables() {
+    let rgs = ingest_toy("verbose.rgs");
+    let base_args = [
+        "query",
+        rgs.to_str().unwrap(),
+        "--gen",
+        "3",
+        "--samples",
+        "200",
+    ];
+    let plain = stdout_of(&base_args, &[]);
+    assert!(!plain.contains("stderr"), "default table must stay stable");
+    let mut verbose_args = base_args.to_vec();
+    verbose_args.push("--verbose-estimates");
+    let verbose = stdout_of(&verbose_args, &[]);
+    for col in ["stderr", "ci_low", "ci_high", "early"] {
+        assert!(verbose.contains(col), "verbose table lacks {col}");
+    }
+}
+
+#[test]
+fn workload_accuracy_directive_applies_unless_overridden() {
+    let rgs = ingest_toy("directive.rgs");
+    let wl = tmp("directive.txt");
+    fs::write(&wl, "% accuracy 0.05 0.05 4096\nst 0 15\n").unwrap();
+    let from_file = stdout_of(
+        &[
+            "query",
+            rgs.to_str().unwrap(),
+            "--queries",
+            wl.to_str().unwrap(),
+            "--format",
+            "json",
+        ],
+        &[],
+    );
+    assert!(from_file.contains("\"kind\":\"accuracy\",\"eps\":0.05"));
+    assert!(from_file.contains("\"max_samples\":4096"));
+    let overridden = stdout_of(
+        &[
+            "query",
+            rgs.to_str().unwrap(),
+            "--queries",
+            wl.to_str().unwrap(),
+            "--eps",
+            "0.1",
+            "--format",
+            "json",
+        ],
+        &[],
+    );
+    // Per-field override: --eps wins, the file's delta and cap survive.
+    assert!(overridden.contains("\"kind\":\"accuracy\",\"eps\":0.1"));
+    assert!(overridden.contains("\"max_samples\":4096"));
+    // A lone --max-samples is valid when the file supplies eps.
+    let capped = stdout_of(
+        &[
+            "query",
+            rgs.to_str().unwrap(),
+            "--queries",
+            wl.to_str().unwrap(),
+            "--max-samples",
+            "2048",
+            "--format",
+            "json",
+        ],
+        &[],
+    );
+    assert!(capped.contains("\"eps\":0.05"));
+    assert!(capped.contains("\"max_samples\":2048"));
+}
+
+#[test]
+fn unknown_method_exits_2_and_lists_the_registry() {
+    let out = relmax(
+        &[
+            "select", "x.rgs", "--method", "NOPE", "--source", "0", "--target", "1",
+        ],
+        &[],
+    );
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown method \"NOPE\""), "{err}");
+    // The structured error carries every valid name.
+    for name in [
+        "BE", "IP", "MRP", "HC", "TopK", "Cent-Deg", "Cent-Bet", "EO", "ES", "ESSSP", "IMA",
+    ] {
+        assert!(err.contains(name), "error lacks method {name}: {err}");
+    }
+}
+
+#[test]
 fn usage_errors_exit_2() {
     for args in [
         vec![],
@@ -246,7 +448,9 @@ fn usage_errors_exit_2() {
             "select", "x", "--method", "NOPE", "--source", "0", "--target", "1",
         ],
         vec!["query", "x", "--gen", "1", "--format", "yaml"],
-        vec!["ingest", "in.tsv"], // missing -o
+        vec!["query", "x", "--gen", "1", "--eps", "1.5"],
+        vec!["query", "x", "--gen", "1", "--delta", "0.1"], // --delta without --eps
+        vec!["ingest", "in.tsv"],                           // missing -o
     ] {
         let out = relmax(&args, &[]);
         assert_eq!(out.status.code(), Some(2), "args={args:?}");

@@ -7,9 +7,9 @@
 
 use crate::candidates::CandidateEdge;
 use crate::query::StQuery;
-use crate::selector::{finish_outcome, EdgeSelector, Outcome, SelectError};
+use crate::selector::{finish_outcome_budgeted, EdgeSelector, Outcome, SelectError};
 use relmax_centrality::{betweenness_centrality, degree_centrality};
-use relmax_sampling::Estimator;
+use relmax_sampling::{Budget, Estimator};
 use relmax_ugraph::UncertainGraph;
 
 /// Which centrality drives the ranking.
@@ -56,12 +56,13 @@ impl EdgeSelector for CentralitySelector {
         }
     }
 
-    fn select_with_candidates<E: Estimator>(
+    fn select_with_candidates_budgeted<E: Estimator>(
         &self,
         g: &UncertainGraph,
         query: &StQuery,
         candidates: &[CandidateEdge],
         est: &E,
+        budget: Budget,
     ) -> Result<Outcome, SelectError> {
         let scores = match self.kind {
             CentralityKind::Degree => degree_centrality(g),
@@ -82,7 +83,7 @@ impl EdgeSelector for CentralitySelector {
             .take(query.k)
             .map(|i| candidates[i])
             .collect();
-        Ok(finish_outcome(g, query, added, est))
+        Ok(finish_outcome_budgeted(g, query, added, est, budget))
     }
 }
 

@@ -9,9 +9,9 @@
 
 use crate::candidates::CandidateEdge;
 use crate::query::StQuery;
-use crate::selector::{finish_outcome, EdgeSelector, Outcome, SelectError};
+use crate::selector::{finish_outcome_budgeted, EdgeSelector, Outcome, SelectError};
 use relmax_centrality::leading_eigen;
-use relmax_sampling::Estimator;
+use relmax_sampling::{Budget, Estimator};
 use relmax_ugraph::UncertainGraph;
 
 /// Algorithm 2: leading-eigenvalue edge addition.
@@ -37,12 +37,13 @@ impl EdgeSelector for EigenSelector {
         "EO"
     }
 
-    fn select_with_candidates<E: Estimator>(
+    fn select_with_candidates_budgeted<E: Estimator>(
         &self,
         g: &UncertainGraph,
         query: &StQuery,
         candidates: &[CandidateEdge],
         est: &E,
+        budget: Budget,
     ) -> Result<Outcome, SelectError> {
         let eig = leading_eigen(g, self.max_iters, self.tol);
         let score = |c: &CandidateEdge| eig.left[c.src.index()] * eig.right[c.dst.index()];
@@ -58,7 +59,7 @@ impl EdgeSelector for EigenSelector {
             .take(query.k)
             .map(|i| candidates[i])
             .collect();
-        Ok(finish_outcome(g, query, added, est))
+        Ok(finish_outcome_budgeted(g, query, added, est, budget))
     }
 }
 

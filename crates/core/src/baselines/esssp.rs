@@ -12,8 +12,8 @@
 
 use crate::candidates::CandidateEdge;
 use crate::query::StQuery;
-use crate::selector::{finish_outcome, EdgeSelector, Outcome, SelectError};
-use relmax_sampling::{Estimator, ParallelRuntime};
+use crate::selector::{finish_outcome_budgeted, EdgeSelector, Outcome, SelectError};
+use relmax_sampling::{Budget, Estimator, ParallelRuntime};
 use relmax_ugraph::{CsrGraph, GraphView, NodeId, ProbGraph, UncertainGraph};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -181,15 +181,16 @@ impl EdgeSelector for EssspSelector {
         "ESSSP"
     }
 
-    fn select_with_candidates<E: Estimator>(
+    fn select_with_candidates_budgeted<E: Estimator>(
         &self,
         g: &UncertainGraph,
         query: &StQuery,
         candidates: &[CandidateEdge],
         est: &E,
+        budget: Budget,
     ) -> Result<Outcome, SelectError> {
         let added = select_esssp(g, &[query.s], &[query.t], candidates, query.k);
-        Ok(finish_outcome(g, query, added, est))
+        Ok(finish_outcome_budgeted(g, query, added, est, budget))
     }
 }
 

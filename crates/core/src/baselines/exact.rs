@@ -7,8 +7,10 @@
 
 use crate::candidates::CandidateEdge;
 use crate::query::StQuery;
-use crate::selector::{finish_outcome, finish_outcome_frozen, EdgeSelector, Outcome, SelectError};
-use relmax_sampling::Estimator;
+use crate::selector::{
+    finish_outcome_budgeted, finish_outcome_frozen_budgeted, EdgeSelector, Outcome, SelectError,
+};
+use relmax_sampling::{Budget, Estimator};
 use relmax_ugraph::{CsrGraph, GraphView, UncertainGraph};
 
 /// Exhaustive subset search.
@@ -43,16 +45,17 @@ impl EdgeSelector for ExactSelector {
         "ES"
     }
 
-    fn select_with_candidates<E: Estimator>(
+    fn select_with_candidates_budgeted<E: Estimator>(
         &self,
         g: &UncertainGraph,
         query: &StQuery,
         candidates: &[CandidateEdge],
         est: &E,
+        budget: Budget,
     ) -> Result<Outcome, SelectError> {
         let k = query.k.min(candidates.len());
         if k == 0 {
-            return Ok(finish_outcome(g, query, Vec::new(), est));
+            return Ok(finish_outcome_budgeted(g, query, Vec::new(), est, budget));
         }
         let combos = n_choose_k(candidates.len() as u64, k as u64);
         if combos > self.max_combinations {
@@ -69,7 +72,7 @@ impl EdgeSelector for ExactSelector {
         loop {
             let extra: Vec<CandidateEdge> = idx.iter().map(|&i| candidates[i]).collect();
             let view = GraphView::new(&csr, extra);
-            let r = est.st_reliability(&view, query.s, query.t);
+            let r = est.st_estimate(&view, query.s, query.t, budget).value;
             if best.as_ref().map_or(true, |(br, _)| r > *br) {
                 best = Some((r, idx.clone()));
             }
@@ -90,7 +93,9 @@ impl EdgeSelector for ExactSelector {
                 if i == 0 {
                     let (_, chosen) = best.expect("at least one subset evaluated");
                     let added = chosen.into_iter().map(|i| candidates[i]).collect();
-                    return Ok(finish_outcome_frozen(&csr, query, added, est));
+                    return Ok(finish_outcome_frozen_budgeted(
+                        &csr, query, added, est, budget,
+                    ));
                 }
             }
         }

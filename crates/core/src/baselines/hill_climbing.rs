@@ -15,8 +15,8 @@
 
 use crate::candidates::CandidateEdge;
 use crate::query::StQuery;
-use crate::selector::{finish_outcome_frozen, EdgeSelector, Outcome, SelectError};
-use relmax_sampling::Estimator;
+use crate::selector::{finish_outcome_frozen_budgeted, EdgeSelector, Outcome, SelectError};
+use relmax_sampling::{Budget, Estimator};
 use relmax_ugraph::{CsrGraph, GraphView, UncertainGraph};
 
 /// Algorithm 1: greedy marginal-gain selection.
@@ -28,28 +28,29 @@ impl EdgeSelector for HillClimbingSelector {
         "HC"
     }
 
-    fn select_with_candidates<E: Estimator>(
+    fn select_with_candidates_budgeted<E: Estimator>(
         &self,
         g: &UncertainGraph,
         query: &StQuery,
         candidates: &[CandidateEdge],
         est: &E,
+        budget: Budget,
     ) -> Result<Outcome, SelectError> {
         let mut remaining: Vec<CandidateEdge> = candidates.to_vec();
         // `k · |cand|` estimator calls all walk the same base graph:
         // freeze it once and scan candidates as overlays on the snapshot.
         let csr = CsrGraph::freeze(g);
         let mut view = GraphView::empty(&csr);
-        let mut current = est.st_reliability(&csr, query.s, query.t);
+        let mut current = est.st_estimate(&csr, query.s, query.t, budget).value;
         let mut added = Vec::with_capacity(query.k);
         while added.len() < query.k && !remaining.is_empty() {
             // One shared-world scan evaluates every remaining candidate on
             // the current overlay; first-index tie-break keeps the argmax
             // identical to the old serial one-candidate-at-a-time loop.
-            let scores = est.scan_candidates(&view, query.s, query.t, &remaining);
+            let scores = est.scan_estimates(&view, query.s, query.t, &remaining, budget);
             let mut best: Option<(f64, usize)> = None;
-            for (i, &r) in scores.iter().enumerate() {
-                let gain = r - current;
+            for (i, r) in scores.iter().enumerate() {
+                let gain = r.value - current;
                 if best.map_or(true, |(bg, _)| gain > bg) {
                     best = Some((gain, i));
                 }
@@ -60,7 +61,9 @@ impl EdgeSelector for HillClimbingSelector {
             added.push(chosen);
             current += gain;
         }
-        Ok(finish_outcome_frozen(&csr, query, added, est))
+        Ok(finish_outcome_frozen_budgeted(
+            &csr, query, added, est, budget,
+        ))
     }
 }
 

@@ -9,9 +9,9 @@
 
 use crate::candidates::CandidateEdge;
 use crate::query::StQuery;
-use crate::selector::{finish_outcome, EdgeSelector, Outcome, SelectError};
+use crate::selector::{finish_outcome_budgeted, EdgeSelector, Outcome, SelectError};
 use relmax_influence::influence_spread;
-use relmax_sampling::{Estimator, ParallelRuntime};
+use relmax_sampling::{Budget, Estimator, ParallelRuntime};
 use relmax_ugraph::{CsrGraph, GraphView, NodeId, UncertainGraph};
 
 /// Greedy IMA selection: `k` candidates maximizing IC spread from
@@ -83,12 +83,13 @@ impl EdgeSelector for ImaSelector {
         "IMA"
     }
 
-    fn select_with_candidates<E: Estimator>(
+    fn select_with_candidates_budgeted<E: Estimator>(
         &self,
         g: &UncertainGraph,
         query: &StQuery,
         candidates: &[CandidateEdge],
         est: &E,
+        budget: Budget,
     ) -> Result<Outcome, SelectError> {
         let added = select_ima(
             g,
@@ -99,7 +100,7 @@ impl EdgeSelector for ImaSelector {
             self.samples,
             self.seed,
         );
-        Ok(finish_outcome(g, query, added, est))
+        Ok(finish_outcome_budgeted(g, query, added, est, budget))
     }
 }
 

@@ -8,8 +8,8 @@
 
 use crate::candidates::CandidateEdge;
 use crate::query::StQuery;
-use crate::selector::{finish_outcome_frozen, EdgeSelector, Outcome, SelectError};
-use relmax_sampling::Estimator;
+use crate::selector::{finish_outcome_with_solo_estimates, EdgeSelector, Outcome, SelectError};
+use relmax_sampling::{Budget, Estimator};
 use relmax_ugraph::{CsrGraph, UncertainGraph};
 
 /// The individual top-`k` baseline.
@@ -21,31 +21,43 @@ impl EdgeSelector for IndividualTopKSelector {
         "TopK"
     }
 
-    fn select_with_candidates<E: Estimator>(
+    fn select_with_candidates_budgeted<E: Estimator>(
         &self,
         g: &UncertainGraph,
         query: &StQuery,
         candidates: &[CandidateEdge],
         est: &E,
+        budget: Budget,
     ) -> Result<Outcome, SelectError> {
         // One frozen snapshot serves every per-candidate evaluation; the
         // scan walks each sampled world once for all candidates and hands
         // back scores in candidate order (thread-count-independent).
         let csr = CsrGraph::freeze(g);
-        let base = est.st_reliability(&csr, query.s, query.t);
-        let scores = est.scan_candidates(&csr, query.s, query.t, candidates);
-        let mut scored: Vec<(f64, usize)> = scores.iter().map(|&r| r - base).zip(0..).collect();
+        let base = est.st_estimate(&csr, query.s, query.t, budget).value;
+        let scores = est.scan_estimates(&csr, query.s, query.t, candidates, budget);
+        let mut scored: Vec<(f64, usize)> =
+            scores.iter().map(|r| r.value - base).zip(0..).collect();
         scored.sort_by(|a, b| {
             b.0.partial_cmp(&a.0)
                 .expect("gains never NaN")
                 .then_with(|| a.1.cmp(&b.1))
         });
-        let added: Vec<CandidateEdge> = scored
+        let (added, added_estimates): (Vec<CandidateEdge>, Vec<_>) = scored
             .iter()
             .take(query.k)
-            .map(|&(_, i)| candidates[i])
-            .collect();
-        Ok(finish_outcome_frozen(&csr, query, added, est))
+            .map(|&(_, i)| (candidates[i], scores[i]))
+            .unzip();
+        // The scan already judged every candidate alone on the base
+        // snapshot — exactly the solo estimates the outcome surfaces, so
+        // no second scan pass is needed.
+        Ok(finish_outcome_with_solo_estimates(
+            &csr,
+            query,
+            added,
+            added_estimates,
+            est,
+            budget,
+        ))
     }
 }
 

@@ -10,7 +10,7 @@
 
 use crate::candidates::{CandidateEdge, CandidateSpace};
 use crate::query::StQuery;
-use relmax_sampling::Estimator;
+use relmax_sampling::{Budget, Estimator};
 use relmax_ugraph::{CsrGraph, NodeId, UncertainGraph};
 
 /// Algorithm 4: compute `C(s)`, `C(t)` and the reduced candidate-edge set.
@@ -28,10 +28,36 @@ impl SearchSpaceElimination {
     }
 
     /// The top-`r` nodes by reliability from `s` (always containing `s`)
-    /// and the top-`r` by reliability to `t` (always containing `t`).
+    /// and the top-`r` by reliability to `t` (always containing `t`),
+    /// with both whole-graph sweeps spending `budget`.
     ///
     /// Nodes with zero estimated reliability are never kept (they cannot
     /// participate in any reliable path).
+    pub fn candidate_nodes_budgeted<E: Estimator>(
+        &self,
+        g: &UncertainGraph,
+        s: NodeId,
+        t: NodeId,
+        est: &E,
+        budget: Budget,
+    ) -> (Vec<NodeId>, Vec<NodeId>) {
+        // Both whole-graph sweeps run on one frozen snapshot.
+        let csr = CsrGraph::freeze(g);
+        let from_s: Vec<f64> = est
+            .from_estimates(&csr, s, budget)
+            .into_iter()
+            .map(|e| e.value)
+            .collect();
+        let to_t: Vec<f64> = est
+            .to_estimates(&csr, t, budget)
+            .into_iter()
+            .map(|e| e.value)
+            .collect();
+        (top_r(&from_s, self.r, s), top_r(&to_t, self.r, t))
+    }
+
+    /// [`SearchSpaceElimination::candidate_nodes_budgeted`] at the
+    /// estimator's default budget (pre-`Budget` shim).
     pub fn candidate_nodes<E: Estimator>(
         &self,
         g: &UncertainGraph,
@@ -39,23 +65,32 @@ impl SearchSpaceElimination {
         t: NodeId,
         est: &E,
     ) -> (Vec<NodeId>, Vec<NodeId>) {
-        // Both whole-graph sweeps run on one frozen snapshot.
-        let csr = CsrGraph::freeze(g);
-        let from_s = est.reliability_from(&csr, s);
-        let to_t = est.reliability_to(&csr, t);
-        (top_r(&from_s, self.r, s), top_r(&to_t, self.r, t))
+        self.candidate_nodes_budgeted(g, s, t, est, est.default_budget())
     }
 
     /// Full Algorithm 4: `C(s) × C(t)` minus existing edges, intersected
-    /// with the query's `h`-hop constraint, each with probability `ζ`.
+    /// with the query's `h`-hop constraint, each with probability `ζ`,
+    /// under `budget`.
+    pub fn candidate_edges_budgeted<E: Estimator>(
+        &self,
+        g: &UncertainGraph,
+        query: &StQuery,
+        est: &E,
+        budget: Budget,
+    ) -> Vec<CandidateEdge> {
+        let (cs, ct) = self.candidate_nodes_budgeted(g, query.s, query.t, est, budget);
+        CandidateSpace::from_node_sets(g, &cs, &ct, query.zeta, query.h)
+    }
+
+    /// [`SearchSpaceElimination::candidate_edges_budgeted`] at the
+    /// estimator's default budget (pre-`Budget` shim).
     pub fn candidate_edges<E: Estimator>(
         &self,
         g: &UncertainGraph,
         query: &StQuery,
         est: &E,
     ) -> Vec<CandidateEdge> {
-        let (cs, ct) = self.candidate_nodes(g, query.s, query.t, est);
-        CandidateSpace::from_node_sets(g, &cs, &ct, query.zeta, query.h)
+        self.candidate_edges_budgeted(g, query, est, est.default_budget())
     }
 }
 

@@ -1,0 +1,486 @@
+//! The `QueryEngine` facade: one front door for every reliability query.
+//!
+//! Callers used to wire estimators, snapshots, runtimes, and sample
+//! counts together by hand at every call site. [`QueryEngine`] owns that
+//! plumbing once: freeze the graph a single time, pick an estimator, and
+//! serve `st` / `from` / `to` / `pairwise` / `batch` queries through one
+//! builder-style API with per-query [`Budget`]s and rich [`Estimate`]
+//! results.
+//!
+//! ```
+//! use relmax_core::engine::{QueryAnswer, QueryEngine};
+//! use relmax_sampling::{Budget, McEstimator};
+//! use relmax_ugraph::{NodeId, UncertainGraph};
+//!
+//! let mut g = UncertainGraph::new(3, true);
+//! g.add_edge(NodeId(0), NodeId(1), 0.5).unwrap();
+//! g.add_edge(NodeId(1), NodeId(2), 0.8).unwrap();
+//!
+//! let engine = QueryEngine::new(&g, McEstimator::new(10_000, 7));
+//!
+//! // Fixed budget, explicit per query:
+//! let answer = engine
+//!     .query()
+//!     .st(NodeId(0), NodeId(2))
+//!     .budget(Budget::fixed(10_000))
+//!     .run()
+//!     .unwrap();
+//! let est = answer.scalar().unwrap();
+//! assert!((est.value - 0.4).abs() < 0.02);
+//! assert!(est.ci_low <= est.value && est.value <= est.ci_high);
+//!
+//! // Accuracy budget: "±0.05 at 95%, at most 65536 worlds".
+//! let answer = engine
+//!     .query()
+//!     .st(NodeId(0), NodeId(2))
+//!     .accuracy(0.05, 0.05)
+//!     .run()
+//!     .unwrap();
+//! assert!(answer.scalar().unwrap().samples_used > 0);
+//! ```
+//!
+//! Results inherit the workspace determinism contract: for a fixed seed
+//! and budget, every answer is **bit-identical at every thread count**
+//! (accuracy budgets stop at fixed power-of-two checkpoints; see
+//! `relmax_sampling::convergence`).
+
+use relmax_sampling::{
+    BatchEstimate, BatchQuery, Budget, Estimate, Estimator, ParallelRuntime, QueryBatch,
+};
+use relmax_ugraph::{CsrGraph, NodeId, ProbGraph, UncertainGraph};
+use std::fmt;
+
+/// A frozen graph plus an estimator plus a batch runtime: the one object
+/// that serves reliability queries.
+///
+/// Construction freezes the graph (or adopts an existing snapshot) once;
+/// every query after that walks flat CSR arrays. The engine's *default*
+/// budget — used when a query sets none — is the estimator's own
+/// [`Estimator::default_budget`], overridable with
+/// [`QueryEngine::with_default_budget`].
+#[derive(Debug, Clone)]
+pub struct QueryEngine<E: Estimator> {
+    csr: CsrGraph,
+    est: E,
+    runtime: ParallelRuntime,
+    default_budget: Budget,
+}
+
+impl<E: Estimator> QueryEngine<E> {
+    /// Freeze `g` and build an engine over it.
+    pub fn new(g: &UncertainGraph, est: E) -> Self {
+        Self::from_snapshot(CsrGraph::freeze(g), est)
+    }
+
+    /// Build an engine over an already-frozen snapshot (e.g. loaded from
+    /// a `.rgs` file).
+    pub fn from_snapshot(csr: CsrGraph, est: E) -> Self {
+        let default_budget = est.default_budget();
+        QueryEngine {
+            csr,
+            est,
+            runtime: ParallelRuntime::serial(),
+            default_budget,
+        }
+    }
+
+    /// Set the runtime that fans *batch* queries out across workers
+    /// (individual estimates use the estimator's own runtime). Answers
+    /// are bit-identical regardless.
+    pub fn with_runtime(mut self, runtime: ParallelRuntime) -> Self {
+        self.runtime = runtime;
+        self
+    }
+
+    /// Override the budget used by queries that set none of their own.
+    pub fn with_default_budget(mut self, budget: Budget) -> Self {
+        budget.assert_valid();
+        self.default_budget = budget;
+        self
+    }
+
+    /// The frozen snapshot queries run against.
+    pub fn graph(&self) -> &CsrGraph {
+        &self.csr
+    }
+
+    /// The estimator answering the queries.
+    pub fn estimator(&self) -> &E {
+        &self.est
+    }
+
+    /// The batch fan-out runtime.
+    pub fn runtime(&self) -> ParallelRuntime {
+        self.runtime
+    }
+
+    /// The budget applied when a query sets none.
+    pub fn default_budget(&self) -> Budget {
+        self.default_budget
+    }
+
+    /// Start building a query. Set a target (`st`/`from`/`to`/`pairwise`/
+    /// `batch`), optionally a budget, then [`ReliabilityQuery::run`].
+    pub fn query(&self) -> ReliabilityQuery<'_, E> {
+        ReliabilityQuery {
+            engine: self,
+            target: None,
+            budget: None,
+        }
+    }
+
+    /// Shorthand: `R(s, t)` under `budget`.
+    pub fn st(&self, s: NodeId, t: NodeId, budget: Budget) -> Result<Estimate, QueryError> {
+        match self.query().st(s, t).budget(budget).run()? {
+            QueryAnswer::Scalar(e) => Ok(e),
+            _ => unreachable!("st queries yield scalars"),
+        }
+    }
+
+    fn check_node(&self, node: NodeId) -> Result<(), QueryError> {
+        if node.index() >= self.csr.num_nodes() {
+            return Err(QueryError::NodeOutOfRange {
+                node,
+                nodes: self.csr.num_nodes(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// The query target a [`ReliabilityQuery`] resolves to.
+#[derive(Debug, Clone)]
+enum Target {
+    St(NodeId, NodeId),
+    From(NodeId),
+    To(NodeId),
+    Pairwise(Vec<NodeId>, Vec<NodeId>),
+    Batch(Vec<BatchQuery>),
+}
+
+/// Builder for one reliability query against a [`QueryEngine`].
+///
+/// Exactly one target must be set (the last call wins); the budget is
+/// optional and defaults to the engine's. The builder borrows the engine,
+/// so queries are cheap to construct and the engine can serve many
+/// concurrently.
+#[derive(Debug, Clone)]
+#[must_use = "a query does nothing until `.run()`"]
+pub struct ReliabilityQuery<'e, E: Estimator> {
+    engine: &'e QueryEngine<E>,
+    target: Option<Target>,
+    budget: Option<Budget>,
+}
+
+impl<E: Estimator> ReliabilityQuery<'_, E> {
+    /// Target: the single pair `R(s, t)`.
+    pub fn st(mut self, s: NodeId, t: NodeId) -> Self {
+        self.target = Some(Target::St(s, t));
+        self
+    }
+
+    /// Target: `R(s, v)` for every node `v`.
+    pub fn from(mut self, s: NodeId) -> Self {
+        self.target = Some(Target::From(s));
+        self
+    }
+
+    /// Target: `R(v, t)` for every node `v`.
+    pub fn to(mut self, t: NodeId) -> Self {
+        self.target = Some(Target::To(t));
+        self
+    }
+
+    /// Target: the full `|sources| × |targets|` reliability matrix.
+    pub fn pairwise(mut self, sources: &[NodeId], targets: &[NodeId]) -> Self {
+        self.target = Some(Target::Pairwise(sources.to_vec(), targets.to_vec()));
+        self
+    }
+
+    /// Target: a heterogeneous batch of queries, answered in order and
+    /// fanned out over the engine's runtime.
+    pub fn batch(mut self, queries: &[BatchQuery]) -> Self {
+        self.target = Some(Target::Batch(queries.to_vec()));
+        self
+    }
+
+    /// Spend exactly this budget on the query.
+    pub fn budget(mut self, budget: Budget) -> Self {
+        budget.assert_valid();
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Shorthand for [`Budget::FixedSamples`].
+    pub fn fixed_samples(self, samples: usize) -> Self {
+        self.budget(Budget::fixed(samples))
+    }
+
+    /// Shorthand for [`Budget::accuracy`]: `± eps` at confidence
+    /// `1 − delta`, capped at the default maximum world count.
+    pub fn accuracy(self, eps: f64, delta: f64) -> Self {
+        self.budget(Budget::accuracy(eps, delta))
+    }
+
+    /// Validate and execute the query.
+    pub fn run(self) -> Result<QueryAnswer, QueryError> {
+        let engine = self.engine;
+        let budget = self.budget.unwrap_or(engine.default_budget);
+        let target = self.target.ok_or(QueryError::MissingTarget)?;
+        let g = &engine.csr;
+        let est = &engine.est;
+        Ok(match target {
+            Target::St(s, t) => {
+                engine.check_node(s)?;
+                engine.check_node(t)?;
+                QueryAnswer::Scalar(est.st_estimate(g, s, t, budget))
+            }
+            Target::From(s) => {
+                engine.check_node(s)?;
+                QueryAnswer::Vector(est.from_estimates(g, s, budget))
+            }
+            Target::To(t) => {
+                engine.check_node(t)?;
+                QueryAnswer::Vector(est.to_estimates(g, t, budget))
+            }
+            Target::Pairwise(sources, targets) => {
+                for &v in sources.iter().chain(&targets) {
+                    engine.check_node(v)?;
+                }
+                QueryAnswer::Matrix(est.pairwise_estimates(g, &sources, &targets, budget))
+            }
+            Target::Batch(queries) => {
+                for q in &queries {
+                    engine.check_node(q.max_node())?;
+                }
+                QueryAnswer::Batch(
+                    QueryBatch::new(engine.runtime).run_budgeted(est, g, &queries, budget),
+                )
+            }
+        })
+    }
+}
+
+/// The shape-typed result of a [`ReliabilityQuery`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryAnswer {
+    /// `st` queries: one estimate.
+    Scalar(Estimate),
+    /// `from`/`to` queries: one estimate per node.
+    Vector(Vec<Estimate>),
+    /// `pairwise` queries: `matrix[i][j]` estimates
+    /// `R(sources[i], targets[j])`.
+    Matrix(Vec<Vec<Estimate>>),
+    /// `batch` queries: one answer per input query, in input order.
+    Batch(Vec<BatchEstimate>),
+}
+
+impl QueryAnswer {
+    /// The scalar estimate, if this was an `st` query.
+    pub fn scalar(&self) -> Option<&Estimate> {
+        match self {
+            QueryAnswer::Scalar(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// The per-node estimates, if this was a `from`/`to` query.
+    pub fn vector(&self) -> Option<&[Estimate]> {
+        match self {
+            QueryAnswer::Vector(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The estimate matrix, if this was a `pairwise` query.
+    pub fn matrix(&self) -> Option<&[Vec<Estimate>]> {
+        match self {
+            QueryAnswer::Matrix(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The batch answers, if this was a `batch` query.
+    pub fn batch(&self) -> Option<&[BatchEstimate]> {
+        match self {
+            QueryAnswer::Batch(b) => Some(b),
+            _ => None,
+        }
+    }
+}
+
+/// Why a [`ReliabilityQuery`] could not run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// No target (`st`/`from`/`to`/`pairwise`/`batch`) was set.
+    MissingTarget,
+    /// A query references a node the graph does not have.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: NodeId,
+        /// Number of nodes in the engine's graph.
+        nodes: usize,
+    },
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::MissingTarget => {
+                write!(f, "query has no target: set st/from/to/pairwise/batch")
+            }
+            QueryError::NodeOutOfRange { node, nodes } => write!(
+                f,
+                "query references node {} but the graph has {nodes} nodes",
+                node.0
+            ),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relmax_sampling::{BatchQuery, McEstimator, RssEstimator};
+
+    fn bridge() -> UncertainGraph {
+        let mut g = UncertainGraph::new(4, true);
+        g.add_edge(NodeId(0), NodeId(1), 0.6).unwrap();
+        g.add_edge(NodeId(0), NodeId(2), 0.4).unwrap();
+        g.add_edge(NodeId(1), NodeId(3), 0.5).unwrap();
+        g.add_edge(NodeId(2), NodeId(3), 0.7).unwrap();
+        g
+    }
+
+    #[test]
+    fn st_matches_direct_estimator_call() {
+        let g = bridge();
+        let est = McEstimator::new(4_000, 11);
+        let direct = est.st_reliability(&g.freeze(), NodeId(0), NodeId(3));
+        let engine = QueryEngine::new(&g, est);
+        let answer = engine.query().st(NodeId(0), NodeId(3)).run().unwrap();
+        assert_eq!(answer.scalar().unwrap().value, direct);
+        // Shorthand form agrees.
+        let e = engine
+            .st(NodeId(0), NodeId(3), Budget::fixed(4_000))
+            .unwrap();
+        assert_eq!(e.value, direct);
+    }
+
+    #[test]
+    fn vector_and_matrix_targets() {
+        let g = bridge();
+        let engine = QueryEngine::new(&g, McEstimator::new(2_000, 5));
+        let from = engine.query().from(NodeId(0)).run().unwrap();
+        assert_eq!(from.vector().unwrap().len(), 4);
+        assert_eq!(from.vector().unwrap()[0].value, 1.0);
+        let to = engine.query().to(NodeId(3)).run().unwrap();
+        assert_eq!(to.vector().unwrap()[3].value, 1.0);
+        let m = engine
+            .query()
+            .pairwise(&[NodeId(0), NodeId(1)], &[NodeId(2), NodeId(3)])
+            .run()
+            .unwrap();
+        let m = m.matrix().unwrap();
+        assert_eq!((m.len(), m[0].len()), (2, 2));
+    }
+
+    #[test]
+    fn batch_target_fans_out_in_order() {
+        let g = bridge();
+        let est = McEstimator::new(1_000, 3);
+        let queries = vec![
+            BatchQuery::St(NodeId(0), NodeId(3)),
+            BatchQuery::From(NodeId(1)),
+        ];
+        let serial = QueryEngine::new(&g, est.clone());
+        let parallel = QueryEngine::new(&g, est).with_runtime(ParallelRuntime::new(4));
+        let a = serial.query().batch(&queries).run().unwrap();
+        let b = parallel.query().batch(&queries).run().unwrap();
+        assert_eq!(a, b); // bit-identical across batch runtimes
+        assert_eq!(a.batch().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn budget_overrides_apply_per_query() {
+        let g = bridge();
+        let engine = QueryEngine::new(&g, McEstimator::new(500, 7));
+        let small = engine.query().st(NodeId(0), NodeId(3)).run().unwrap();
+        assert_eq!(small.scalar().unwrap().samples_used, 500);
+        let big = engine
+            .query()
+            .st(NodeId(0), NodeId(3))
+            .fixed_samples(2_000)
+            .run()
+            .unwrap();
+        assert_eq!(big.scalar().unwrap().samples_used, 2_000);
+        let engine = engine.with_default_budget(Budget::fixed(1_000));
+        let mid = engine.query().st(NodeId(0), NodeId(3)).run().unwrap();
+        assert_eq!(mid.scalar().unwrap().samples_used, 1_000);
+    }
+
+    #[test]
+    fn accuracy_budgets_honor_eps_when_stopped() {
+        let g = bridge();
+        let engine = QueryEngine::new(&g, McEstimator::new(1, 13));
+        let answer = engine
+            .query()
+            .st(NodeId(0), NodeId(3))
+            .budget(Budget::accuracy_capped(0.05, 0.05, 1 << 15))
+            .run()
+            .unwrap();
+        let e = answer.scalar().unwrap();
+        if e.stopped_early {
+            assert!(e.half_width() <= 0.05);
+        } else {
+            assert_eq!(e.samples_used, 1 << 15);
+        }
+    }
+
+    #[test]
+    fn works_with_rss_and_snapshots() {
+        let g = bridge();
+        let csr = g.freeze();
+        let engine = QueryEngine::from_snapshot(csr.clone(), RssEstimator::new(1_000, 9));
+        let answer = engine.query().st(NodeId(0), NodeId(3)).run().unwrap();
+        let direct = RssEstimator::new(1_000, 9).st_reliability(&csr, NodeId(0), NodeId(3));
+        assert_eq!(answer.scalar().unwrap().value, direct);
+    }
+
+    #[test]
+    fn error_cases() {
+        let g = bridge();
+        let engine = QueryEngine::new(&g, McEstimator::new(100, 1));
+        assert_eq!(engine.query().run().unwrap_err(), QueryError::MissingTarget);
+        let err = engine.query().st(NodeId(0), NodeId(99)).run().unwrap_err();
+        assert_eq!(
+            err,
+            QueryError::NodeOutOfRange {
+                node: NodeId(99),
+                nodes: 4
+            }
+        );
+        assert!(err.to_string().contains("99"));
+        let err = engine
+            .query()
+            .batch(&[BatchQuery::From(NodeId(7))])
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, QueryError::NodeOutOfRange { .. }));
+    }
+
+    #[test]
+    fn last_target_wins() {
+        let g = bridge();
+        let engine = QueryEngine::new(&g, McEstimator::new(100, 1));
+        let answer = engine
+            .query()
+            .from(NodeId(0))
+            .st(NodeId(0), NodeId(3))
+            .run()
+            .unwrap();
+        assert!(answer.scalar().is_some());
+    }
+}

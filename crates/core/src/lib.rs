@@ -40,12 +40,24 @@
 //! Every algorithm is generic over the [`relmax_sampling::Estimator`]
 //! trait — the paper's "our solution is orthogonal to the specific
 //! sampling method" made into an API guarantee.
+//!
+//! ## The front door
+//!
+//! [`engine::QueryEngine`] is the unified query API: freeze once, then
+//! serve `st`/`from`/`to`/`pairwise`/`batch` reliability queries through
+//! a builder, each under a [`Budget`] (fixed worlds or "±eps at
+//! confidence 1−delta" with deterministic adaptive stopping) and each
+//! returning rich [`Estimate`]s. Selectors take the same budgets via
+//! [`EdgeSelector::select_budgeted`] and surface per-edge estimates in
+//! their [`Outcome`]s. See `docs/api.md` for the migration table from
+//! the older `num_samples`-style calls.
 
 #![deny(missing_docs)]
 
 pub mod baselines;
 pub mod candidates;
 pub mod elimination;
+pub mod engine;
 pub mod mrp;
 pub mod multi;
 pub mod path_selection;
@@ -54,8 +66,13 @@ pub mod selector;
 
 pub use candidates::{CandidateEdge, CandidateSpace};
 pub use elimination::SearchSpaceElimination;
+pub use engine::{QueryAnswer, QueryEngine, QueryError, ReliabilityQuery};
 pub use mrp::MrpSelector;
 pub use multi::{Aggregate, MultiQuery, MultiSelector};
 pub use path_selection::{BatchEdgeSelector, IndividualPathSelector};
 pub use query::StQuery;
-pub use selector::{AnySelector, EdgeSelector, Outcome, SelectError};
+pub use selector::{AnySelector, EdgeSelector, Outcome, SelectError, UnknownMethodError};
+
+// The budget vocabulary is part of this crate's public API surface: the
+// engine and every selector speak it.
+pub use relmax_sampling::{Budget, Estimate};

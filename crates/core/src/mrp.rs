@@ -10,9 +10,9 @@
 
 use crate::candidates::CandidateEdge;
 use crate::query::StQuery;
-use crate::selector::{finish_outcome, EdgeSelector, Outcome, SelectError};
+use crate::selector::{finish_outcome_budgeted, EdgeSelector, Outcome, SelectError};
 use relmax_paths::improve_most_reliable_path;
-use relmax_sampling::Estimator;
+use relmax_sampling::{Budget, Estimator};
 use relmax_ugraph::UncertainGraph;
 
 /// Problem-2-exact selector ("MRP" in the tables).
@@ -24,17 +24,18 @@ impl EdgeSelector for MrpSelector {
         "MRP"
     }
 
-    fn select_with_candidates<E: Estimator>(
+    fn select_with_candidates_budgeted<E: Estimator>(
         &self,
         g: &UncertainGraph,
         query: &StQuery,
         candidates: &[CandidateEdge],
         est: &E,
+        budget: Budget,
     ) -> Result<Outcome, SelectError> {
         let triples: Vec<_> = candidates.iter().map(|c| (c.src, c.dst, c.prob)).collect();
         let sol = improve_most_reliable_path(g, query.s, query.t, query.k, &triples);
         let added: Vec<CandidateEdge> = sol.chosen.iter().map(|&i| candidates[i]).collect();
-        Ok(finish_outcome(g, query, added, est))
+        Ok(finish_outcome_budgeted(g, query, added, est, budget))
     }
 }
 

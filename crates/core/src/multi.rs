@@ -21,7 +21,7 @@ use crate::path_selection::{build_subgraph, labeled_paths, BatchEdgeSelector, La
 use crate::query::StQuery;
 use crate::selector::EdgeSelector;
 use relmax_centrality::leading_eigen;
-use relmax_sampling::Estimator;
+use relmax_sampling::{Budget, Estimator};
 use relmax_ugraph::fxhash::FxHashSet;
 use relmax_ugraph::{CsrGraph, GraphView, NodeId, UncertainGraph};
 
@@ -181,18 +181,32 @@ impl MultiSelector {
     }
 
     /// End-to-end run: union search-space elimination, then selection,
-    /// then aggregate evaluation on the full graph.
+    /// then aggregate evaluation on the full graph — everything under
+    /// `budget`.
+    pub fn select_budgeted<E: Estimator>(
+        &self,
+        g: &UncertainGraph,
+        query: &MultiQuery,
+        est: &E,
+        budget: Budget,
+    ) -> MultiOutcome {
+        let candidates = multi_candidates_budgeted(g, query, est, budget);
+        self.select_with_candidates_budgeted(g, query, &candidates, est, budget)
+    }
+
+    /// [`MultiSelector::select_budgeted`] at the estimator's default
+    /// budget (pre-`Budget` shim).
     pub fn select<E: Estimator>(
         &self,
         g: &UncertainGraph,
         query: &MultiQuery,
         est: &E,
     ) -> MultiOutcome {
-        let candidates = multi_candidates(g, query, est);
-        self.select_with_candidates(g, query, &candidates, est)
+        self.select_budgeted(g, query, est, est.default_budget())
     }
 
-    /// Run with an explicit candidate set.
+    /// Run with an explicit candidate set at the estimator's default
+    /// budget (pre-`Budget` shim).
     pub fn select_with_candidates<E: Estimator>(
         &self,
         g: &UncertainGraph,
@@ -200,13 +214,26 @@ impl MultiSelector {
         candidates: &[CandidateEdge],
         est: &E,
     ) -> MultiOutcome {
+        self.select_with_candidates_budgeted(g, query, candidates, est, est.default_budget())
+    }
+
+    /// Run with an explicit candidate set, spending `budget` per
+    /// reliability estimate.
+    pub fn select_with_candidates_budgeted<E: Estimator>(
+        &self,
+        g: &UncertainGraph,
+        query: &MultiQuery,
+        candidates: &[CandidateEdge],
+        est: &E,
+        budget: Budget,
+    ) -> MultiOutcome {
         let added = match self.method {
             MultiMethod::BatchEdge => match query.aggregate {
-                Aggregate::Average => select_avg_batch(g, query, candidates, est),
-                Aggregate::Minimum => select_extremum(g, query, candidates, est, true),
-                Aggregate::Maximum => select_extremum(g, query, candidates, est, false),
+                Aggregate::Average => select_avg_batch(g, query, candidates, est, budget),
+                Aggregate::Minimum => select_extremum(g, query, candidates, est, budget, true),
+                Aggregate::Maximum => select_extremum(g, query, candidates, est, budget, false),
             },
-            MultiMethod::HillClimbing => select_hc_multi(g, query, candidates, est),
+            MultiMethod::HillClimbing => select_hc_multi(g, query, candidates, est, budget),
             MultiMethod::Eigen => {
                 let eig = leading_eigen(g, 200, 1e-10);
                 let mut order: Vec<usize> = (0..candidates.len()).collect();
@@ -238,15 +265,13 @@ impl MultiSelector {
         };
         // Before/after evaluation on one frozen snapshot (shared worlds).
         let csr = CsrGraph::freeze(g);
-        let base_value =
-            query
-                .aggregate
-                .fold(&est.pairwise_reliability(&csr, &query.sources, &query.targets));
+        let base_value = query
+            .aggregate
+            .fold(&pairwise_values(est, &csr, query, budget));
         let view = GraphView::new(&csr, added.clone());
-        let new_value =
-            query
-                .aggregate
-                .fold(&est.pairwise_reliability(&view, &query.sources, &query.targets));
+        let new_value = query
+            .aggregate
+            .fold(&pairwise_values(est, &view, query, budget));
         MultiOutcome {
             added,
             base_value,
@@ -255,20 +280,38 @@ impl MultiSelector {
     }
 }
 
+/// The pairwise point-value matrix under `budget` (aggregates fold plain
+/// `f64`s).
+fn pairwise_values<E: Estimator, G: relmax_ugraph::ProbGraph>(
+    est: &E,
+    g: &G,
+    query: &MultiQuery,
+    budget: Budget,
+) -> Vec<Vec<f64>> {
+    est.pairwise_estimates(g, &query.sources, &query.targets, budget)
+        .into_iter()
+        .map(|row| row.into_iter().map(|e| e.value).collect())
+        .collect()
+}
+
 /// Union-based search-space elimination for multi queries (§6.1): `C(s)`
 /// for every source and `C(t)` for every target, then candidate edges
-/// from the unioned sets.
-pub fn multi_candidates<E: Estimator>(
+/// from the unioned sets, under `budget`.
+pub fn multi_candidates_budgeted<E: Estimator>(
     g: &UncertainGraph,
     query: &MultiQuery,
     est: &E,
+    budget: Budget,
 ) -> Vec<CandidateEdge> {
     // Every per-source/per-target sweep walks the same base graph.
     let csr = CsrGraph::freeze(g);
+    let values = |ests: Vec<relmax_sampling::Estimate>| -> Vec<f64> {
+        ests.into_iter().map(|e| e.value).collect()
+    };
     let mut cs: Vec<NodeId> = Vec::new();
     let mut seen_s: FxHashSet<u32> = FxHashSet::default();
     for &s in &query.sources {
-        let from = est.reliability_from(&csr, s);
+        let from = values(est.from_estimates(&csr, s, budget));
         for v in top_r_nodes(&from, query.r, s) {
             if seen_s.insert(v.0) {
                 cs.push(v);
@@ -278,7 +321,7 @@ pub fn multi_candidates<E: Estimator>(
     let mut ct: Vec<NodeId> = Vec::new();
     let mut seen_t: FxHashSet<u32> = FxHashSet::default();
     for &t in &query.targets {
-        let to = est.reliability_to(&csr, t);
+        let to = values(est.to_estimates(&csr, t, budget));
         for v in top_r_nodes(&to, query.r, t) {
             if seen_t.insert(v.0) {
                 ct.push(v);
@@ -286,6 +329,16 @@ pub fn multi_candidates<E: Estimator>(
         }
     }
     CandidateSpace::from_node_sets(g, &cs, &ct, query.zeta, query.h)
+}
+
+/// [`multi_candidates_budgeted`] at the estimator's default budget
+/// (pre-`Budget` shim).
+pub fn multi_candidates<E: Estimator>(
+    g: &UncertainGraph,
+    query: &MultiQuery,
+    est: &E,
+) -> Vec<CandidateEdge> {
+    multi_candidates_budgeted(g, query, est, est.default_budget())
 }
 
 fn top_r_nodes(scores: &[f64], r: usize, always: NodeId) -> Vec<NodeId> {
@@ -315,6 +368,7 @@ fn select_avg_batch<E: Estimator>(
     query: &MultiQuery,
     candidates: &[CandidateEdge],
     est: &E,
+    budget: Budget,
 ) -> Vec<CandidateEdge> {
     // Per-pair top-l paths, pooled.
     let mut all_paths: Vec<LabeledPath> = Vec::new();
@@ -362,7 +416,12 @@ fn select_avg_batch<E: Estimator>(
             .collect();
         let mut sum = 0.0;
         for s in &ms {
-            let from = s.map(|sv| est.reliability_from(&sub, sv));
+            let from = s.map(|sv| {
+                est.from_estimates(&sub, sv, budget)
+                    .into_iter()
+                    .map(|e| e.value)
+                    .collect::<Vec<f64>>()
+            });
             for t in &mt {
                 if let (Some(from), Some(tv)) = (&from, t) {
                     sum += from[tv.index()];
@@ -426,13 +485,14 @@ fn select_extremum<E: Estimator>(
     query: &MultiQuery,
     candidates: &[CandidateEdge],
     est: &E,
+    budget: Budget,
     minimize: bool,
 ) -> Vec<CandidateEdge> {
     let mut working = g.clone();
     let mut chosen: Vec<CandidateEdge> = Vec::new();
     let mut remaining: Vec<CandidateEdge> = candidates.to_vec();
     while chosen.len() < query.k && !remaining.is_empty() {
-        let matrix = est.pairwise_reliability(&working.freeze(), &query.sources, &query.targets);
+        let matrix = pairwise_values(est, &working.freeze(), query, budget);
         // Pairs in priority order (ascending reliability for Min,
         // descending for Max). If the extremal pair cannot be improved by
         // any remaining candidate, fall back to the next one rather than
@@ -453,13 +513,13 @@ fn select_extremum<E: Estimator>(
         let mut progressed = false;
         for &(_, si, ti) in &order {
             let (s, t) = (query.sources[si], query.targets[ti]);
-            let budget = query.k1.min(query.k - chosen.len()).max(1);
-            let q = StQuery::new(s, t, budget, query.zeta)
+            let edge_budget = query.k1.min(query.k - chosen.len()).max(1);
+            let q = StQuery::new(s, t, edge_budget, query.zeta)
                 .with_hop_limit(query.h)
                 .with_r(query.r)
                 .with_l(query.l);
             let out = BatchEdgeSelector
-                .select_with_candidates(&working, &q, &remaining, est)
+                .select_with_candidates_budgeted(&working, &q, &remaining, est, budget)
                 .expect("BE is infallible");
             if out.added.is_empty() {
                 continue;
@@ -486,25 +546,23 @@ fn select_hc_multi<E: Estimator>(
     query: &MultiQuery,
     candidates: &[CandidateEdge],
     est: &E,
+    budget: Budget,
 ) -> Vec<CandidateEdge> {
     // `k · |cand|` pairwise evaluations over one frozen snapshot.
     let csr = CsrGraph::freeze(g);
     let mut view = GraphView::empty(&csr);
     let mut remaining: Vec<CandidateEdge> = candidates.to_vec();
     let mut chosen = Vec::new();
-    let mut current =
-        query
-            .aggregate
-            .fold(&est.pairwise_reliability(&csr, &query.sources, &query.targets));
+    let mut current = query
+        .aggregate
+        .fold(&pairwise_values(est, &csr, query, budget));
     while chosen.len() < query.k && !remaining.is_empty() {
         let mut best: Option<(f64, usize)> = None;
         for (ci, &c) in remaining.iter().enumerate() {
             view.push_extra(c);
-            let v = query.aggregate.fold(&est.pairwise_reliability(
-                &view,
-                &query.sources,
-                &query.targets,
-            ));
+            let v = query
+                .aggregate
+                .fold(&pairwise_values(est, &view, query, budget));
             view.pop_extra();
             let gain = v - current;
             if best.map_or(true, |(bg, _)| gain > bg) {

@@ -13,8 +13,8 @@
 use crate::candidates::CandidateEdge;
 use crate::path_selection::{labeled_paths, LabeledPath, SubgraphEval};
 use crate::query::StQuery;
-use crate::selector::{finish_outcome, EdgeSelector, Outcome, SelectError};
-use relmax_sampling::Estimator;
+use crate::selector::{finish_outcome_budgeted, EdgeSelector, Outcome, SelectError};
+use relmax_sampling::{Budget, Estimator};
 use relmax_ugraph::fxhash::{FxHashMap, FxHashSet};
 use relmax_ugraph::UncertainGraph;
 
@@ -57,12 +57,13 @@ impl EdgeSelector for BatchEdgeSelector {
         "BE"
     }
 
-    fn select_with_candidates<E: Estimator>(
+    fn select_with_candidates_budgeted<E: Estimator>(
         &self,
         g: &UncertainGraph,
         query: &StQuery,
         candidates: &[CandidateEdge],
         est: &E,
+        budget: Budget,
     ) -> Result<Outcome, SelectError> {
         let paths = labeled_paths(g, query, candidates);
         let eval = SubgraphEval::new(g, candidates, query);
@@ -83,7 +84,7 @@ impl EdgeSelector for BatchEdgeSelector {
             }
             sel
         };
-        let mut current = eval.reliability(&selected_paths(&e1, &mut included), est);
+        let mut current = eval.reliability(&selected_paths(&e1, &mut included), est, budget);
 
         loop {
             let mut best: Option<(f64, usize)> = None;
@@ -110,7 +111,7 @@ impl EdgeSelector for BatchEdgeSelector {
                         trial_sel.extend(bb.paths.iter().copied());
                     }
                 }
-                let r = eval.reliability(&trial_sel, est);
+                let r = eval.reliability(&trial_sel, est, budget);
                 // Marginal gain normalized by the number of new edges
                 // (§5.2.2: "normalized by the size of its candidate set").
                 let marginal = (r - current) / new_edges.len() as f64;
@@ -121,7 +122,7 @@ impl EdgeSelector for BatchEdgeSelector {
             let Some((_, bi)) = best else { break };
             e1.extend(batches[bi].label.iter().copied());
             included[bi] = true;
-            current = eval.reliability(&selected_paths(&e1, &mut included), est);
+            current = eval.reliability(&selected_paths(&e1, &mut included), est, budget);
             if e1.len() >= query.k {
                 break;
             }
@@ -129,7 +130,7 @@ impl EdgeSelector for BatchEdgeSelector {
         let mut idxs: Vec<usize> = e1.into_iter().collect();
         idxs.sort_unstable();
         let added: Vec<CandidateEdge> = idxs.into_iter().map(|i| candidates[i]).collect();
-        Ok(finish_outcome(g, query, added, est))
+        Ok(finish_outcome_budgeted(g, query, added, est, budget))
     }
 }
 

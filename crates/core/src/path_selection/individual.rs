@@ -9,8 +9,8 @@
 use crate::candidates::CandidateEdge;
 use crate::path_selection::{labeled_paths, LabeledPath, SubgraphEval};
 use crate::query::StQuery;
-use crate::selector::{finish_outcome, EdgeSelector, Outcome, SelectError};
-use relmax_sampling::Estimator;
+use crate::selector::{finish_outcome_budgeted, EdgeSelector, Outcome, SelectError};
+use relmax_sampling::{Budget, Estimator};
 use relmax_ugraph::fxhash::FxHashSet;
 use relmax_ugraph::UncertainGraph;
 
@@ -23,12 +23,13 @@ impl EdgeSelector for IndividualPathSelector {
         "IP"
     }
 
-    fn select_with_candidates<E: Estimator>(
+    fn select_with_candidates_budgeted<E: Estimator>(
         &self,
         g: &UncertainGraph,
         query: &StQuery,
         candidates: &[CandidateEdge],
         est: &E,
+        budget: Budget,
     ) -> Result<Outcome, SelectError> {
         let paths = labeled_paths(g, query, candidates);
         let eval = SubgraphEval::new(g, candidates, query);
@@ -53,7 +54,7 @@ impl EdgeSelector for IndividualPathSelector {
             for (pi, p) in remaining.iter().enumerate() {
                 let mut trial = selected.clone();
                 trial.push(p);
-                let r = eval.reliability(&trial, est);
+                let r = eval.reliability(&trial, est, budget);
                 if best.map_or(true, |(br, bp, _)| r > br || (r == br && p.prob > bp)) {
                     best = Some((r, p.prob, pi));
                 }
@@ -66,7 +67,7 @@ impl EdgeSelector for IndividualPathSelector {
         let mut idxs: Vec<usize> = e1.into_iter().collect();
         idxs.sort_unstable();
         let added: Vec<CandidateEdge> = idxs.into_iter().map(|i| candidates[i]).collect();
-        Ok(finish_outcome(g, query, added, est))
+        Ok(finish_outcome_budgeted(g, query, added, est, budget))
     }
 }
 

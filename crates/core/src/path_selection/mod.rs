@@ -12,7 +12,7 @@ pub use individual::IndividualPathSelector;
 use crate::candidates::CandidateEdge;
 use crate::query::StQuery;
 use relmax_paths::top_l_reliable_paths;
-use relmax_sampling::Estimator;
+use relmax_sampling::{Budget, Estimator};
 use relmax_ugraph::fxhash::{FxHashMap, FxHashSet};
 use relmax_ugraph::{CoinId, GraphView, NodeId, UncertainGraph};
 
@@ -86,15 +86,20 @@ impl<'a> SubgraphEval<'a> {
     }
 
     /// Estimate `R(s, t)` on the subgraph induced by the union of the
-    /// given paths' edges.
-    pub(crate) fn reliability<E: Estimator>(&self, paths: &[&LabeledPath], est: &E) -> f64 {
+    /// given paths' edges, under `budget`.
+    pub(crate) fn reliability<E: Estimator>(
+        &self,
+        paths: &[&LabeledPath],
+        est: &E,
+        budget: Budget,
+    ) -> f64 {
         let Some((sub, remap)) = build_subgraph(self.g, self.candidates, paths) else {
             return if self.s == self.t { 1.0 } else { 0.0 };
         };
         let (Some(&ms), Some(&mt)) = (remap.get(&self.s.0), remap.get(&self.t.0)) else {
             return 0.0;
         };
-        est.st_reliability(&sub, NodeId(ms), NodeId(mt))
+        est.st_estimate(&sub, NodeId(ms), NodeId(mt), budget).value
     }
 }
 
@@ -198,13 +203,13 @@ mod tests {
         let eval = SubgraphEval::new(&g, &cands, &q);
         let est = ExactEstimator::new();
         // Paths sCBt + sCt: R = 0.5 * [1 - (1-0.3)(1-0.45)] = 0.3075.
-        let r = eval.reliability(&[&paths[1], &paths[2]], &est);
+        let r = eval.reliability(&[&paths[1], &paths[2]], &est, est.default_budget());
         assert!((r - 0.3075).abs() < 1e-9, "r={r}");
         // Path sBt alone: 0.25.
-        let r2 = eval.reliability(&[&paths[0]], &est);
+        let r2 = eval.reliability(&[&paths[0]], &est, est.default_budget());
         assert!((r2 - 0.25).abs() < 1e-9);
         // Nothing selected: 0.
-        assert_eq!(eval.reliability(&[], &est), 0.0);
+        assert_eq!(eval.reliability(&[], &est, est.default_budget()), 0.0);
     }
 
     #[test]

@@ -11,7 +11,7 @@ use crate::elimination::SearchSpaceElimination;
 use crate::mrp::MrpSelector;
 use crate::path_selection::{BatchEdgeSelector, IndividualPathSelector};
 use crate::query::StQuery;
-use relmax_sampling::Estimator;
+use relmax_sampling::{Budget, Estimate, Estimator};
 use relmax_ugraph::{CsrGraph, GraphView, UncertainGraph};
 use std::fmt;
 
@@ -20,10 +20,26 @@ use std::fmt;
 pub struct Outcome {
     /// The edges the method chose to add (at most `k`).
     pub added: Vec<CandidateEdge>,
-    /// `R(s, t)` on the input graph, estimated with the same estimator.
+    /// `R(s, t)` on the input graph, estimated with the same estimator
+    /// (point value of [`Outcome::base_estimate`]).
     pub base_reliability: f64,
-    /// `R(s, t)` after adding `added`.
+    /// `R(s, t)` after adding `added` (point value of
+    /// [`Outcome::new_estimate`]).
     pub new_reliability: f64,
+    /// Rich estimate of the base reliability, under the selection budget.
+    pub base_estimate: Estimate,
+    /// Rich estimate of the post-addition reliability.
+    pub new_estimate: Estimate,
+    /// Per-chosen-edge estimates of `R(s, t, G + {e})` — each added edge
+    /// judged *alone* against the base graph on common random numbers, in
+    /// [`Outcome::added`] order. Lets callers see how much each pick
+    /// contributes individually versus jointly.
+    ///
+    /// Computing these costs one extra candidate-scan pass over the `≤ k`
+    /// chosen edges per outcome (shared-world for MC, per-overlay for
+    /// RSS). Selectors that already scanned the base snapshot reuse their
+    /// scan via [`finish_outcome_with_solo_estimates`] and pay nothing.
+    pub added_estimates: Vec<Estimate>,
 }
 
 impl Outcome {
@@ -62,8 +78,14 @@ impl std::error::Error for SelectError {}
 ///
 /// All methods receive an explicit candidate set so the harness can run
 /// them with or without search-space elimination (Tables 4 vs 5); the
-/// provided [`EdgeSelector::select`] convenience applies Algorithm 4
-/// first, which is how the paper's §8 experiments run.
+/// provided [`EdgeSelector::select`] / [`EdgeSelector::select_budgeted`]
+/// conveniences apply Algorithm 4 first, which is how the paper's §8
+/// experiments run.
+///
+/// Every method consumes a [`Budget`] — the knob that used to be a raw
+/// `num_samples` — and its [`Outcome`] surfaces rich [`Estimate`]s. The
+/// budget-less methods are thin shims at the estimator's
+/// [`Estimator::default_budget`].
 ///
 /// Methods are generic over the [`Estimator`] (monomorphized all the way
 /// down to the per-world BFS), so the trait is not object-safe; use
@@ -72,58 +94,131 @@ pub trait EdgeSelector {
     /// Short name used in result tables ("HC", "MRP", "IP", "BE", ...).
     fn name(&self) -> &'static str;
 
-    /// Choose up to `query.k` edges from `candidates`.
+    /// Choose up to `query.k` edges from `candidates`, spending `budget`
+    /// per reliability estimate.
+    fn select_with_candidates_budgeted<E: Estimator>(
+        &self,
+        g: &UncertainGraph,
+        query: &StQuery,
+        candidates: &[CandidateEdge],
+        est: &E,
+        budget: Budget,
+    ) -> Result<Outcome, SelectError>;
+
+    /// [`EdgeSelector::select_with_candidates_budgeted`] at the
+    /// estimator's default budget (pre-`Budget` shim).
     fn select_with_candidates<E: Estimator>(
         &self,
         g: &UncertainGraph,
         query: &StQuery,
         candidates: &[CandidateEdge],
         est: &E,
-    ) -> Result<Outcome, SelectError>;
+    ) -> Result<Outcome, SelectError> {
+        self.select_with_candidates_budgeted(g, query, candidates, est, est.default_budget())
+    }
 
     /// End-to-end run: search-space elimination with `query.r`, then
-    /// selection.
+    /// selection, everything under `budget`.
+    fn select_budgeted<E: Estimator>(
+        &self,
+        g: &UncertainGraph,
+        query: &StQuery,
+        est: &E,
+        budget: Budget,
+    ) -> Result<Outcome, SelectError> {
+        let cands =
+            SearchSpaceElimination::new(query.r).candidate_edges_budgeted(g, query, est, budget);
+        self.select_with_candidates_budgeted(g, query, &cands, est, budget)
+    }
+
+    /// [`EdgeSelector::select_budgeted`] at the estimator's default
+    /// budget (pre-`Budget` shim).
     fn select<E: Estimator>(
         &self,
         g: &UncertainGraph,
         query: &StQuery,
         est: &E,
     ) -> Result<Outcome, SelectError> {
-        let cands = SearchSpaceElimination::new(query.r).candidate_edges(g, query, est);
-        self.select_with_candidates(g, query, &cands, est)
+        self.select_budgeted(g, query, est, est.default_budget())
     }
 }
 
 /// Build an [`Outcome`]: estimate base and post-addition reliability for a
 /// chosen edge set, on one frozen snapshot of the input graph (common
-/// random numbers make the two estimates directly comparable). Shared by
-/// every selector implementation.
+/// random numbers make the two estimates directly comparable), plus the
+/// per-edge estimates of each chosen edge alone. Shared by every selector
+/// implementation.
+pub fn finish_outcome_budgeted<E: Estimator>(
+    g: &UncertainGraph,
+    query: &StQuery,
+    added: Vec<CandidateEdge>,
+    est: &E,
+    budget: Budget,
+) -> Outcome {
+    finish_outcome_frozen_budgeted(&CsrGraph::freeze(g), query, added, est, budget)
+}
+
+/// [`finish_outcome_budgeted`] against an already-frozen snapshot — for
+/// selectors that froze the base graph for their own inner loop and
+/// should not pay a second `O(n + m)` freeze per query.
+pub fn finish_outcome_frozen_budgeted<E: Estimator>(
+    csr: &CsrGraph,
+    query: &StQuery,
+    added: Vec<CandidateEdge>,
+    est: &E,
+    budget: Budget,
+) -> Outcome {
+    let added_estimates = est.scan_estimates(csr, query.s, query.t, &added, budget);
+    finish_outcome_with_solo_estimates(csr, query, added, added_estimates, est, budget)
+}
+
+/// [`finish_outcome_frozen_budgeted`] for selectors that already hold the
+/// per-edge solo estimates (e.g. from their own candidate scan over the
+/// base snapshot): skips the extra scan pass. `added_estimates[i]` must
+/// estimate `R(s, t, G + {added[i]})` on the base snapshot under the
+/// same budget and estimator, or the reported outcome lies.
+pub fn finish_outcome_with_solo_estimates<E: Estimator>(
+    csr: &CsrGraph,
+    query: &StQuery,
+    added: Vec<CandidateEdge>,
+    added_estimates: Vec<Estimate>,
+    est: &E,
+    budget: Budget,
+) -> Outcome {
+    debug_assert_eq!(added.len(), added_estimates.len());
+    let base_estimate = est.st_estimate(csr, query.s, query.t, budget);
+    let view = GraphView::new(csr, added.clone());
+    let new_estimate = est.st_estimate(&view, query.s, query.t, budget);
+    Outcome {
+        base_reliability: base_estimate.value,
+        new_reliability: new_estimate.value,
+        base_estimate,
+        new_estimate,
+        added_estimates,
+        added,
+    }
+}
+
+/// [`finish_outcome_budgeted`] at the estimator's default budget
+/// (pre-`Budget` shim).
 pub fn finish_outcome<E: Estimator>(
     g: &UncertainGraph,
     query: &StQuery,
     added: Vec<CandidateEdge>,
     est: &E,
 ) -> Outcome {
-    finish_outcome_frozen(&CsrGraph::freeze(g), query, added, est)
+    finish_outcome_budgeted(g, query, added, est, est.default_budget())
 }
 
-/// [`finish_outcome`] against an already-frozen snapshot — for selectors
-/// that froze the base graph for their own inner loop and should not pay
-/// a second `O(n + m)` freeze per query.
+/// [`finish_outcome_frozen_budgeted`] at the estimator's default budget
+/// (pre-`Budget` shim).
 pub fn finish_outcome_frozen<E: Estimator>(
     csr: &CsrGraph,
     query: &StQuery,
     added: Vec<CandidateEdge>,
     est: &E,
 ) -> Outcome {
-    let base_reliability = est.st_reliability(csr, query.s, query.t);
-    let view = GraphView::new(csr, added.clone());
-    let new_reliability = est.st_reliability(&view, query.s, query.t);
-    Outcome {
-        added,
-        base_reliability,
-        new_reliability,
-    }
+    finish_outcome_frozen_budgeted(csr, query, added, est, est.default_budget())
 }
 
 /// Closed dispatch over every selection method in the crate.
@@ -233,20 +328,28 @@ impl AnySelector {
 
     /// Look a method up by its table name (`"BE"`, `"IP"`, `"MRP"`,
     /// `"HC"`, `"TopK"`, `"Cent-Deg"`, `"Cent-Bet"`, `"EO"`, `"ES"`,
-    /// `"ESSSP"`, `"IMA"`), case-insensitively. Returns `None` for
-    /// unknown names — callers should print [`AnySelector::names`].
+    /// `"ESSSP"`, `"IMA"`), case-insensitively. Unknown names yield a
+    /// structured [`UnknownMethodError`] that carries the full registry,
+    /// so callers can render an actionable message without consulting
+    /// [`AnySelector::names`] themselves.
     ///
     /// ```
     /// use relmax_core::selector::{AnySelector, EdgeSelector};
     ///
     /// assert_eq!(AnySelector::from_name("be").unwrap().name(), "BE");
     /// assert_eq!(AnySelector::from_name("Cent-Deg").unwrap().name(), "Cent-Deg");
-    /// assert!(AnySelector::from_name("nope").is_none());
+    /// let err = AnySelector::from_name("nope").unwrap_err();
+    /// assert_eq!(err.requested, "nope");
+    /// assert!(err.to_string().contains("BE"));
     /// ```
-    pub fn from_name(name: &str) -> Option<AnySelector> {
+    pub fn from_name(name: &str) -> Result<AnySelector, UnknownMethodError> {
         AnySelector::all()
             .into_iter()
             .find(|m| m.name().eq_ignore_ascii_case(name))
+            .ok_or_else(|| UnknownMethodError {
+                requested: name.to_string(),
+                known: AnySelector::names(),
+            })
     }
 
     /// The names accepted by [`AnySelector::from_name`], in registry order.
@@ -254,6 +357,29 @@ impl AnySelector {
         AnySelector::all().iter().map(|m| m.name()).collect()
     }
 }
+
+/// A `--method`-style lookup failure: the requested name plus the full
+/// registry of valid ones, ready to render as one actionable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownMethodError {
+    /// The name that failed to resolve.
+    pub requested: String,
+    /// Every name [`AnySelector::from_name`] accepts, in registry order.
+    pub known: Vec<&'static str>,
+}
+
+impl fmt::Display for UnknownMethodError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown method {:?}; valid methods: {}",
+            self.requested,
+            self.known.join(", ")
+        )
+    }
+}
+
+impl std::error::Error for UnknownMethodError {}
 
 impl EdgeSelector for AnySelector {
     fn name(&self) -> &'static str {
@@ -271,24 +397,45 @@ impl EdgeSelector for AnySelector {
         }
     }
 
-    fn select_with_candidates<E: Estimator>(
+    fn select_with_candidates_budgeted<E: Estimator>(
         &self,
         g: &UncertainGraph,
         query: &StQuery,
         candidates: &[CandidateEdge],
         est: &E,
+        budget: Budget,
     ) -> Result<Outcome, SelectError> {
         match self {
-            AnySelector::TopK(s) => s.select_with_candidates(g, query, candidates, est),
-            AnySelector::HillClimbing(s) => s.select_with_candidates(g, query, candidates, est),
-            AnySelector::Centrality(s) => s.select_with_candidates(g, query, candidates, est),
-            AnySelector::Eigen(s) => s.select_with_candidates(g, query, candidates, est),
-            AnySelector::Mrp(s) => s.select_with_candidates(g, query, candidates, est),
-            AnySelector::IndividualPath(s) => s.select_with_candidates(g, query, candidates, est),
-            AnySelector::BatchEdge(s) => s.select_with_candidates(g, query, candidates, est),
-            AnySelector::Exact(s) => s.select_with_candidates(g, query, candidates, est),
-            AnySelector::Esssp(s) => s.select_with_candidates(g, query, candidates, est),
-            AnySelector::Ima(s) => s.select_with_candidates(g, query, candidates, est),
+            AnySelector::TopK(s) => {
+                s.select_with_candidates_budgeted(g, query, candidates, est, budget)
+            }
+            AnySelector::HillClimbing(s) => {
+                s.select_with_candidates_budgeted(g, query, candidates, est, budget)
+            }
+            AnySelector::Centrality(s) => {
+                s.select_with_candidates_budgeted(g, query, candidates, est, budget)
+            }
+            AnySelector::Eigen(s) => {
+                s.select_with_candidates_budgeted(g, query, candidates, est, budget)
+            }
+            AnySelector::Mrp(s) => {
+                s.select_with_candidates_budgeted(g, query, candidates, est, budget)
+            }
+            AnySelector::IndividualPath(s) => {
+                s.select_with_candidates_budgeted(g, query, candidates, est, budget)
+            }
+            AnySelector::BatchEdge(s) => {
+                s.select_with_candidates_budgeted(g, query, candidates, est, budget)
+            }
+            AnySelector::Exact(s) => {
+                s.select_with_candidates_budgeted(g, query, candidates, est, budget)
+            }
+            AnySelector::Esssp(s) => {
+                s.select_with_candidates_budgeted(g, query, candidates, est, budget)
+            }
+            AnySelector::Ima(s) => {
+                s.select_with_candidates_budgeted(g, query, candidates, est, budget)
+            }
         }
     }
 }
@@ -305,6 +452,9 @@ mod tests {
             added: vec![],
             base_reliability: 0.3,
             new_reliability: 0.75,
+            base_estimate: Estimate::exact(0.3),
+            new_estimate: Estimate::exact(0.75),
+            added_estimates: vec![],
         };
         assert!((o.gain() - 0.45).abs() < 1e-12);
     }
@@ -347,8 +497,39 @@ mod tests {
             let lower = AnySelector::from_name(&m.name().to_lowercase()).unwrap();
             assert_eq!(lower.name(), m.name());
         }
-        assert!(AnySelector::from_name("no-such-method").is_none());
         assert_eq!(AnySelector::names().len(), AnySelector::all().len());
+    }
+
+    #[test]
+    fn from_name_reports_the_full_registry_on_miss() {
+        let err = AnySelector::from_name("no-such-method").unwrap_err();
+        assert_eq!(err.requested, "no-such-method");
+        assert_eq!(err.known, AnySelector::names());
+        let msg = err.to_string();
+        for known in AnySelector::names() {
+            assert!(msg.contains(known), "message lacks {known}: {msg}");
+        }
+    }
+
+    #[test]
+    fn outcomes_surface_estimates() {
+        let mut g = UncertainGraph::new(3, true);
+        g.add_edge(NodeId(0), NodeId(1), 0.5).unwrap();
+        let q = StQuery::new(NodeId(0), NodeId(2), 1, 0.9);
+        let est = McEstimator::new(4_000, 7);
+        let added = vec![CandidateEdge {
+            src: NodeId(1),
+            dst: NodeId(2),
+            prob: 0.9,
+        }];
+        let o = finish_outcome_budgeted(&g, &q, added, &est, Budget::fixed(4_000));
+        assert_eq!(o.base_estimate.value, o.base_reliability);
+        assert_eq!(o.new_estimate.value, o.new_reliability);
+        assert_eq!(o.added_estimates.len(), 1);
+        // The lone edge alone is the whole gain, on common random numbers.
+        assert_eq!(o.added_estimates[0].value, o.new_estimate.value);
+        assert_eq!(o.base_estimate.samples_used, 4_000);
+        assert!(o.new_estimate.ci_high >= o.new_estimate.value);
     }
 
     #[test]

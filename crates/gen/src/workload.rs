@@ -3,15 +3,24 @@
 //! The paper's experiments average over batches of `s-t` queries drawn at
 //! a controlled hop distance (§8.1); the `relmax query` CLI serves exactly
 //! such batches from a *query file*. This module owns that file format —
-//! one query per line:
+//! one query per line, with an optional accuracy directive:
 //!
 //! ```text
 //! # comments and blank lines are ignored
+//! % accuracy 0.01 0.05 100000   # optional: eps delta [max_samples]
 //! st 0 41        # R(0, 41)
 //! 3 17           # bare pair == st
 //! from 0         # R(0, v) for every node v
 //! to 41          # R(v, 41) for every node v
 //! ```
+//!
+//! The `% accuracy` directive lets a workload file carry its own
+//! [`AccuracyDirective`] ("answer every query to ±eps at confidence
+//! 1−delta"), which the CLI maps to a sampling `Budget` unless
+//! overridden on the command line. [`parse_workload_str`] and friends
+//! return the directive alongside the queries; the plain
+//! [`parse_queries_str`] family rejects directives, preserving the
+//! original stricter format.
 //!
 //! Queries keep file order, and the batch runtime answers them in that
 //! order, so a workload file pins the byte layout of a run's output.
@@ -112,14 +121,99 @@ fn parse_node(tok: &str, line: usize) -> Result<NodeId, WorkloadError> {
         .map_err(|_| bad(line, format!("{tok:?} is not a node id")))
 }
 
-/// Parse a query file from any buffered reader.
-pub fn parse_queries_reader<R: BufRead>(r: R) -> Result<Vec<QuerySpec>, WorkloadError> {
-    let mut out = Vec::new();
+/// An accuracy request carried by a workload file's `% accuracy`
+/// directive: answer every query to `± eps` at confidence `1 − delta`,
+/// optionally capped at `max_samples` worlds. The CLI maps this onto a
+/// sampling `Budget` (this crate stays below the sampling layer, so the
+/// directive is plain data here).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AccuracyDirective {
+    /// Target confidence-interval half-width.
+    pub eps: f64,
+    /// Permitted interval failure probability.
+    pub delta: f64,
+    /// Optional cap on sampled worlds per query.
+    pub max_samples: Option<usize>,
+}
+
+/// A parsed workload: the queries in file order plus the file's optional
+/// accuracy directive.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Workload {
+    /// Queries in file order.
+    pub specs: Vec<QuerySpec>,
+    /// The `% accuracy` directive, if the file carried one.
+    pub accuracy: Option<AccuracyDirective>,
+}
+
+fn parse_accuracy(toks: &[&str], lineno: usize) -> Result<AccuracyDirective, WorkloadError> {
+    let parse_f64 = |tok: &str, what: &str| -> Result<f64, WorkloadError> {
+        let v: f64 = tok
+            .parse()
+            .map_err(|_| bad(lineno, format!("{tok:?} is not a valid {what}")))?;
+        if !(v > 0.0 && v < 1.0) {
+            return Err(bad(lineno, format!("{what} must lie in (0, 1), got {tok}")));
+        }
+        Ok(v)
+    };
+    match toks {
+        [eps, delta] | [eps, delta, _] => {
+            let directive = AccuracyDirective {
+                eps: parse_f64(eps, "eps")?,
+                delta: parse_f64(delta, "delta")?,
+                max_samples: match toks.get(2) {
+                    None => None,
+                    Some(tok) => Some(tok.parse::<usize>().ok().filter(|&n| n > 0).ok_or_else(
+                        || bad(lineno, format!("{tok:?} is not a valid max_samples")),
+                    )?),
+                },
+            };
+            Ok(directive)
+        }
+        _ => Err(bad(
+            lineno,
+            "expected `% accuracy EPS DELTA [MAX_SAMPLES]`".to_string(),
+        )),
+    }
+}
+
+/// Parse a workload (queries plus optional `% accuracy` directive) from
+/// any buffered reader.
+pub fn parse_workload_reader<R: BufRead>(r: R) -> Result<Workload, WorkloadError> {
+    parse_workload_lines(r).map(|(workload, _)| workload)
+}
+
+/// Shared parser: the workload plus the 1-based line of its directive
+/// (so the strict query parser can point its rejection at the right
+/// line).
+fn parse_workload_lines<R: BufRead>(r: R) -> Result<(Workload, Option<usize>), WorkloadError> {
+    let mut specs = Vec::new();
+    let mut accuracy: Option<AccuracyDirective> = None;
+    let mut accuracy_line: Option<usize> = None;
     for (i, line) in r.lines().enumerate() {
         let lineno = i + 1;
         let line = line?;
         let body = line.split('#').next().unwrap_or("").trim();
         if body.is_empty() {
+            continue;
+        }
+        if let Some(directive) = body.strip_prefix('%') {
+            let toks: Vec<&str> = directive.split_whitespace().collect();
+            match toks.as_slice() {
+                ["accuracy", rest @ ..] => {
+                    if accuracy.is_some() {
+                        return Err(bad(lineno, "duplicate `% accuracy` directive"));
+                    }
+                    accuracy = Some(parse_accuracy(rest, lineno)?);
+                    accuracy_line = Some(lineno);
+                }
+                _ => {
+                    return Err(bad(
+                        lineno,
+                        format!("unknown directive {body:?} (expected `% accuracy ...`)"),
+                    ))
+                }
+            }
             continue;
         }
         let toks: Vec<&str> = body.split_whitespace().collect();
@@ -141,9 +235,42 @@ pub fn parse_queries_reader<R: BufRead>(r: R) -> Result<Vec<QuerySpec>, Workload
                 ))
             }
         };
-        out.push(spec);
+        specs.push(spec);
     }
-    Ok(out)
+    Ok((Workload { specs, accuracy }, accuracy_line))
+}
+
+/// Parse a workload from a string.
+///
+/// ```
+/// use relmax_gen::workload::parse_workload_str;
+///
+/// let w = parse_workload_str("% accuracy 0.02 0.05\nst 0 3\n").unwrap();
+/// assert_eq!(w.specs.len(), 1);
+/// let acc = w.accuracy.unwrap();
+/// assert_eq!((acc.eps, acc.delta, acc.max_samples), (0.02, 0.05, None));
+/// ```
+pub fn parse_workload_str(s: &str) -> Result<Workload, WorkloadError> {
+    parse_workload_reader(s.as_bytes())
+}
+
+/// Parse a workload from a path.
+pub fn parse_workload_file<P: AsRef<Path>>(path: P) -> Result<Workload, WorkloadError> {
+    let f = File::open(path)?;
+    parse_workload_reader(BufReader::new(f))
+}
+
+/// Parse a query file from any buffered reader (directive-free format:
+/// `% accuracy` lines are rejected).
+pub fn parse_queries_reader<R: BufRead>(r: R) -> Result<Vec<QuerySpec>, WorkloadError> {
+    let (workload, directive_line) = parse_workload_lines(r)?;
+    if let Some(line) = directive_line {
+        return Err(bad(
+            line,
+            "directives are not allowed here; use the workload parser",
+        ));
+    }
+    Ok(workload.specs)
 }
 
 /// Parse a query file from a string.
@@ -172,6 +299,18 @@ pub fn write_queries<W: Write>(specs: &[QuerySpec], mut w: W) -> io::Result<()> 
         writeln!(w, "{s}")?;
     }
     w.flush()
+}
+
+/// Write a full workload: the `% accuracy` directive (if any) followed by
+/// the queries. Round-trips through [`parse_workload_reader`].
+pub fn write_workload<W: Write>(workload: &Workload, mut w: W) -> io::Result<()> {
+    if let Some(acc) = &workload.accuracy {
+        match acc.max_samples {
+            Some(cap) => writeln!(w, "% accuracy {} {} {cap}", acc.eps, acc.delta)?,
+            None => writeln!(w, "% accuracy {} {}", acc.eps, acc.delta)?,
+        }
+    }
+    write_queries(&workload.specs, w)
 }
 
 /// [`write_queries`] into a `String`.
@@ -244,6 +383,50 @@ mod tests {
                 "{text:?} -> {msg}"
             );
         }
+    }
+
+    #[test]
+    fn workload_directive_round_trips() {
+        let w = Workload {
+            specs: vec![
+                QuerySpec::St(NodeId(0), NodeId(3)),
+                QuerySpec::From(NodeId(1)),
+            ],
+            accuracy: Some(AccuracyDirective {
+                eps: 0.01,
+                delta: 0.05,
+                max_samples: Some(50_000),
+            }),
+        };
+        let mut buf = Vec::new();
+        write_workload(&w, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("% accuracy 0.01 0.05 50000\n"));
+        assert_eq!(parse_workload_str(&text).unwrap(), w);
+        // Directive-free files parse with accuracy = None.
+        let plain = parse_workload_str("st 0 1\n").unwrap();
+        assert_eq!(plain.accuracy, None);
+    }
+
+    #[test]
+    fn bad_directives_report_position() {
+        for (text, needle) in [
+            ("% accuracy\n", "EPS DELTA"),
+            ("% accuracy 0.5\n", "EPS DELTA"),
+            ("% accuracy 1.5 0.05\n", "eps"),
+            ("% accuracy 0.1 0\n", "delta"),
+            ("% accuracy 0.1 0.05 zero\n", "max_samples"),
+            ("% budget 100\n", "unknown directive"),
+            ("% accuracy 0.1 0.05\n% accuracy 0.2 0.05\n", "duplicate"),
+        ] {
+            let err = parse_workload_str(text).unwrap_err();
+            let msg = err.to_string();
+            assert!(msg.contains(needle), "{text:?} -> {msg}");
+        }
+        // The strict query parser rejects directives entirely, pointing
+        // at the directive's actual line.
+        let err = parse_queries_str("st 0 1\n% accuracy 0.1 0.05\n").unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
     }
 
     #[test]

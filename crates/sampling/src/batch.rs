@@ -26,6 +26,7 @@
 //! giant queries; both at once oversubscribes but still yields identical
 //! bits.
 
+use crate::convergence::{Budget, Estimate};
 use crate::runtime::ParallelRuntime;
 use crate::Estimator;
 use relmax_ugraph::{CsrGraph, NodeId, ProbGraph, UncertainGraph};
@@ -67,18 +68,68 @@ impl BatchResult {
     /// scalar case counts itself as one node. Used by table-style output
     /// where a full vector does not fit.
     pub fn summary(&self) -> (usize, f64, f64) {
+        summarize(match self {
+            BatchResult::Scalar(r) => std::slice::from_ref(r),
+            BatchResult::Vector(v) => v.as_slice(),
+        })
+    }
+}
+
+fn summarize(values: &[f64]) -> (usize, f64, f64) {
+    let nonzero = values.iter().filter(|&&r| r > 0.0).count();
+    let mean = if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    };
+    let max = values.iter().cloned().fold(0.0f64, f64::max);
+    (nonzero, mean, max)
+}
+
+/// The rich answer to one [`BatchQuery`]: the same shape as
+/// [`BatchResult`], but carrying full [`Estimate`]s.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BatchEstimate {
+    /// Scalar estimate for a [`BatchQuery::St`] query.
+    Scalar(Estimate),
+    /// Per-node estimates for a [`BatchQuery::From`] / [`BatchQuery::To`]
+    /// query, indexed by node id.
+    Vector(Vec<Estimate>),
+}
+
+impl BatchEstimate {
+    /// Drop the uncertainty information, keeping only point values.
+    pub fn values(&self) -> BatchResult {
         match self {
-            BatchResult::Scalar(r) => (usize::from(*r > 0.0), *r, *r),
-            BatchResult::Vector(v) => {
-                let nonzero = v.iter().filter(|&&r| r > 0.0).count();
-                let mean = if v.is_empty() {
-                    0.0
-                } else {
-                    v.iter().sum::<f64>() / v.len() as f64
-                };
-                let max = v.iter().cloned().fold(0.0f64, f64::max);
-                (nonzero, mean, max)
-            }
+            BatchEstimate::Scalar(e) => BatchResult::Scalar(e.value),
+            BatchEstimate::Vector(v) => BatchResult::Vector(v.iter().map(|e| e.value).collect()),
+        }
+    }
+
+    /// Summary statistics `(nonzero, mean, max)` over the point values —
+    /// see [`BatchResult::summary`].
+    pub fn summary(&self) -> (usize, f64, f64) {
+        self.values().summary()
+    }
+
+    /// Worlds spent answering this query and whether an accuracy budget
+    /// stopped before its cap. Vector answers share one sampling run, so
+    /// the first entry speaks for all (empty vectors report `(0, false)`).
+    pub fn sampling_effort(&self) -> (usize, bool) {
+        match self {
+            BatchEstimate::Scalar(e) => (e.samples_used, e.stopped_early),
+            BatchEstimate::Vector(v) => v
+                .first()
+                .map(|e| (e.samples_used, e.stopped_early))
+                .unwrap_or((0, false)),
+        }
+    }
+
+    /// The largest standard error across the answer's entries.
+    pub fn max_stderr(&self) -> f64 {
+        match self {
+            BatchEstimate::Scalar(e) => e.stderr,
+            BatchEstimate::Vector(v) => v.iter().map(|e| e.stderr).fold(0.0f64, f64::max),
         }
     }
 }
@@ -117,23 +168,51 @@ impl QueryBatch {
     }
 
     /// Run every query against an already-frozen (or otherwise traversal-
-    /// ready) graph, returning answers in query order.
+    /// ready) graph under `budget`, returning rich answers in query order.
+    pub fn run_budgeted<E: Estimator, G: ProbGraph>(
+        &self,
+        est: &E,
+        g: &G,
+        queries: &[BatchQuery],
+        budget: Budget,
+    ) -> Vec<BatchEstimate> {
+        self.runtime.map(queries.len(), |i| match queries[i] {
+            BatchQuery::St(s, t) => BatchEstimate::Scalar(est.st_estimate(g, s, t, budget)),
+            BatchQuery::From(s) => BatchEstimate::Vector(est.from_estimates(g, s, budget)),
+            BatchQuery::To(t) => BatchEstimate::Vector(est.to_estimates(g, t, budget)),
+        })
+    }
+
+    /// Value-only batch run at the estimator's default budget (the
+    /// pre-`Budget` entry point; prefer [`QueryBatch::run_budgeted`]).
     pub fn run<E: Estimator, G: ProbGraph>(
         &self,
         est: &E,
         g: &G,
         queries: &[BatchQuery],
     ) -> Vec<BatchResult> {
-        self.runtime.map(queries.len(), |i| match queries[i] {
-            BatchQuery::St(s, t) => BatchResult::Scalar(est.st_reliability(g, s, t)),
-            BatchQuery::From(s) => BatchResult::Vector(est.reliability_from(g, s)),
-            BatchQuery::To(t) => BatchResult::Vector(est.reliability_to(g, t)),
-        })
+        self.run_budgeted(est, g, queries, est.default_budget())
+            .iter()
+            .map(BatchEstimate::values)
+            .collect()
     }
 
-    /// Freeze the graph once, then [`QueryBatch::run`] the whole workload
-    /// against the snapshot — the amortized path a CLI/server should take
-    /// for any batch worth its name.
+    /// Freeze the graph once, then [`QueryBatch::run_budgeted`] the whole
+    /// workload against the snapshot — the amortized path a CLI/server
+    /// should take for any batch worth its name.
+    pub fn freeze_and_run_budgeted<E: Estimator>(
+        &self,
+        est: &E,
+        g: &UncertainGraph,
+        queries: &[BatchQuery],
+        budget: Budget,
+    ) -> Vec<BatchEstimate> {
+        let csr = CsrGraph::freeze(g);
+        self.run_budgeted(est, &csr, queries, budget)
+    }
+
+    /// Value-only [`QueryBatch::freeze_and_run_budgeted`] at the
+    /// estimator's default budget.
     pub fn freeze_and_run<E: Estimator>(
         &self,
         est: &E,

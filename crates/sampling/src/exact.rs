@@ -1,6 +1,7 @@
 //! The conditioning solver wrapped as an [`Estimator`], for tiny graphs and
 //! as ground truth in tests.
 
+use crate::convergence::{Budget, Estimate};
 use crate::Estimator;
 use relmax_ugraph::exact::{st_reliability, ConditioningBudget};
 use relmax_ugraph::{NodeId, ProbGraph};
@@ -24,20 +25,30 @@ impl ExactEstimator {
 }
 
 impl Estimator for ExactEstimator {
-    fn st_reliability<G: ProbGraph>(&self, g: &G, s: NodeId, t: NodeId) -> f64 {
-        st_reliability(g, s, t, self.budget)
-            .expect("graph too large for the exact estimator; use MC or RSS")
+    /// Exact answers ignore sampling budgets; a nominal fixed budget is
+    /// reported so generic budget plumbing has something to show.
+    fn default_budget(&self) -> Budget {
+        Budget::FixedSamples(1)
     }
 
-    fn reliability_from<G: ProbGraph>(&self, g: &G, s: NodeId) -> Vec<f64> {
+    /// Exact value with a zero-width interval (`samples_used = 0`) — the
+    /// budget only gates sampling, which this estimator never does.
+    fn st_estimate<G: ProbGraph>(&self, g: &G, s: NodeId, t: NodeId, _budget: Budget) -> Estimate {
+        Estimate::exact(
+            st_reliability(g, s, t, self.budget)
+                .expect("graph too large for the exact estimator; use MC or RSS"),
+        )
+    }
+
+    fn from_estimates<G: ProbGraph>(&self, g: &G, s: NodeId, budget: Budget) -> Vec<Estimate> {
         (0..g.num_nodes() as u32)
-            .map(|v| self.st_reliability(g, s, NodeId(v)))
+            .map(|v| self.st_estimate(g, s, NodeId(v), budget))
             .collect()
     }
 
-    fn reliability_to<G: ProbGraph>(&self, g: &G, t: NodeId) -> Vec<f64> {
+    fn to_estimates<G: ProbGraph>(&self, g: &G, t: NodeId, budget: Budget) -> Vec<Estimate> {
         (0..g.num_nodes() as u32)
-            .map(|v| self.st_reliability(g, NodeId(v), t))
+            .map(|v| self.st_estimate(g, NodeId(v), t, budget))
             .collect()
     }
 

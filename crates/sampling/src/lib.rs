@@ -21,8 +21,12 @@
 //!   "orthogonal to the specific sampling method used", which this trait
 //!   makes literal. [`exact::ExactEstimator`] adapts the conditioning
 //!   solver to the same interface for tiny graphs and tests.
-//! - [`convergence`] — the index-of-dispersion diagnostic (`ρ_Z = V_Z/R_Z <
-//!   0.001`) the paper uses to pick `Z` per dataset.
+//! - [`convergence`] — the accuracy-budget vocabulary: [`Budget`]
+//!   (fixed sample counts or `±eps at 1−delta` targets), rich
+//!   [`Estimate`] results (stderr, confidence interval, samples spent),
+//!   and the deterministic power-of-two-checkpoint adaptive stopping
+//!   loop behind accuracy budgets — plus the paper's index-of-dispersion
+//!   diagnostic (`ρ_Z = V_Z/R_Z < 0.001`) for picking `Z` per dataset.
 //! - [`legacy`] — the pre-CSR dynamic-dispatch Monte Carlo walker, kept
 //!   verbatim as the microbenchmark baseline and as the bit-identity
 //!   reference for the refactor.
@@ -67,8 +71,8 @@ pub mod mc;
 pub mod rss;
 pub mod runtime;
 
-pub use batch::{BatchQuery, BatchResult, QueryBatch};
-pub use convergence::{converged_sample_size, dispersion_ratio};
+pub use batch::{BatchEstimate, BatchQuery, BatchResult, QueryBatch};
+pub use convergence::{converged_sample_size, dispersion_ratio, AdaptivePlan, Budget, Estimate};
 pub use exact::ExactEstimator;
 pub use mc::McEstimator;
 pub use rss::RssEstimator;
@@ -82,56 +86,84 @@ use relmax_ugraph::{ExtraEdge, GraphView, NodeId, ProbGraph};
 /// experiments are reproducible. Methods are generic over the graph type
 /// (monomorphized; see the crate docs) — consequently this trait is not
 /// object-safe, and algorithm code takes `E: Estimator` type parameters.
+///
+/// ## Budgets and estimates
+///
+/// The required methods take an explicit [`Budget`] — a fixed world count
+/// or an accuracy target with deterministic adaptive stopping (see
+/// [`convergence`]) — and return rich [`Estimate`]s carrying standard
+/// errors, confidence intervals, and the worlds actually spent. The
+/// historical `f64`-returning methods ([`Estimator::st_reliability`] and
+/// friends) survive as thin shims over the budgeted ones, evaluated at
+/// [`Estimator::default_budget`]; prefer the budgeted forms (or the
+/// `QueryEngine` facade in `relmax-core`) in new code.
 pub trait Estimator: Sync {
+    /// The budget used by the value-only compatibility shims — normally
+    /// the configuration the estimator was constructed with.
+    fn default_budget(&self) -> Budget;
+
     /// Estimate `R(s, t, G)` — the probability that `t` is reachable from
-    /// `s` (Eq. 2 of the paper).
-    fn st_reliability<G: ProbGraph>(&self, g: &G, s: NodeId, t: NodeId) -> f64;
+    /// `s` (Eq. 2 of the paper) — under `budget`.
+    fn st_estimate<G: ProbGraph>(&self, g: &G, s: NodeId, t: NodeId, budget: Budget) -> Estimate;
 
     /// Estimate `R(s, v, G)` for every node `v` simultaneously.
     ///
     /// One BFS per sampled world answers all targets, which is what makes
     /// the paper's search-space elimination (Algorithm 4) affordable.
-    fn reliability_from<G: ProbGraph>(&self, g: &G, s: NodeId) -> Vec<f64>;
+    /// Under an accuracy budget the stopping rule is driven by the
+    /// widest per-node interval.
+    // "from" is the query direction (R(s, ·)), mirroring `to_estimates`
+    // and the CLI's `from S` records — not a conversion constructor.
+    #[allow(clippy::wrong_self_convention)]
+    fn from_estimates<G: ProbGraph>(&self, g: &G, s: NodeId, budget: Budget) -> Vec<Estimate>;
 
     /// Estimate `R(v, t, G)` for every node `v` simultaneously (reverse
-    /// reachability to `t`).
-    fn reliability_to<G: ProbGraph>(&self, g: &G, t: NodeId) -> Vec<f64>;
+    /// reachability to `t`), under `budget`.
+    fn to_estimates<G: ProbGraph>(&self, g: &G, t: NodeId, budget: Budget) -> Vec<Estimate>;
 
     /// Estimate the full `|S| × |T|` reliability matrix for multiple
     /// sources and targets, sharing sampled worlds across pairs.
     ///
-    /// `result[i][j] = R(sources[i], targets[j])`.
+    /// `result[i][j]` estimates `R(sources[i], targets[j])`.
     ///
     /// Because coin flips are keyed by `(seed, sample, coin)`, the worlds
     /// underlying row `i` and row `i'` are the same worlds — the default
     /// implementation inherits that sharing from
-    /// [`Estimator::reliability_from`]. [`McEstimator`] overrides it with
+    /// [`Estimator::from_estimates`]. [`McEstimator`] overrides it with
     /// a single-pass evaluation that additionally instantiates each
     /// world's coins at most once *across all sources* (bit-identical
     /// results, less hashing, no per-source `n`-vector).
-    fn pairwise_reliability<G: ProbGraph>(
+    fn pairwise_estimates<G: ProbGraph>(
         &self,
         g: &G,
         sources: &[NodeId],
         targets: &[NodeId],
-    ) -> Vec<Vec<f64>> {
+        budget: Budget,
+    ) -> Vec<Vec<Estimate>> {
         sources
             .iter()
             .map(|&s| {
-                let from_s = self.reliability_from(g, s);
+                let from_s = self.from_estimates(g, s, budget);
                 targets.iter().map(|&t| from_s[t.index()]).collect()
             })
             .collect()
     }
 
     /// Estimate `R(s, t, G + {c})` for every candidate edge `c` — the
-    /// selector hot path ("candidate scan").
+    /// selector hot path ("candidate scan") — under `budget`.
     ///
-    /// `result[i]` equals `st_reliability` on a [`GraphView`] overlaying
-    /// only `candidates[i]`, **bit for bit**: every candidate is judged on
-    /// the same sampled worlds (the overlay coin id is
-    /// `g.num_coins()` for each single-candidate overlay, so common
-    /// random numbers apply across candidates too).
+    /// Under a [`Budget::FixedSamples`] budget, `result[i]` equals
+    /// [`Estimator::st_estimate`] on a [`GraphView`] overlaying only
+    /// `candidates[i]`, **bit for bit**: every candidate is judged on
+    /// the same sampled worlds (the overlay coin id is `g.num_coins()`
+    /// for each single-candidate overlay, so common random numbers apply
+    /// across candidates too). Under an [`Budget::Accuracy`] budget the
+    /// *stopping decision* is implementation-defined: the default
+    /// implementation (and RSS) adapts each overlay independently, while
+    /// [`McEstimator`]'s shared-world kernel draws one world stream for
+    /// all candidates and lets the slowest-converging candidate gate the
+    /// stop — so every candidate shares `samples_used` and easy
+    /// candidates may spend more worlds than a solo query would.
     ///
     /// The default implementation evaluates the overlays independently
     /// and in parallel over [`ParallelRuntime::global`]; results are
@@ -139,6 +171,68 @@ pub trait Estimator: Sync {
     /// one-at-a-time loop at any thread count. [`McEstimator`] overrides
     /// this with a shared-world kernel that walks each sampled world once
     /// for *all* candidates instead of once per candidate.
+    fn scan_estimates<G: ProbGraph>(
+        &self,
+        g: &G,
+        s: NodeId,
+        t: NodeId,
+        candidates: &[ExtraEdge],
+        budget: Budget,
+    ) -> Vec<Estimate> {
+        ParallelRuntime::global().map(candidates.len(), |i| {
+            let view = GraphView::new(g, vec![candidates[i]]);
+            self.st_estimate(&view, s, t, budget)
+        })
+    }
+
+    /// A short human-readable name ("MC", "RSS", "exact") for reports.
+    fn name(&self) -> &'static str;
+
+    // ------------------------------------------------------------------
+    // Value-only compatibility shims (pre-QueryEngine API).
+    // ------------------------------------------------------------------
+
+    /// Deprecated shim: `R(s, t, G)` as a bare `f64` at the default
+    /// budget. Kept so pre-`Budget` call sites compile; new code should
+    /// use [`Estimator::st_estimate`].
+    fn st_reliability<G: ProbGraph>(&self, g: &G, s: NodeId, t: NodeId) -> f64 {
+        self.st_estimate(g, s, t, self.default_budget()).value
+    }
+
+    /// Deprecated shim over [`Estimator::from_estimates`] (values only,
+    /// default budget).
+    fn reliability_from<G: ProbGraph>(&self, g: &G, s: NodeId) -> Vec<f64> {
+        self.from_estimates(g, s, self.default_budget())
+            .into_iter()
+            .map(|e| e.value)
+            .collect()
+    }
+
+    /// Deprecated shim over [`Estimator::to_estimates`] (values only,
+    /// default budget).
+    fn reliability_to<G: ProbGraph>(&self, g: &G, t: NodeId) -> Vec<f64> {
+        self.to_estimates(g, t, self.default_budget())
+            .into_iter()
+            .map(|e| e.value)
+            .collect()
+    }
+
+    /// Deprecated shim over [`Estimator::pairwise_estimates`] (values
+    /// only, default budget).
+    fn pairwise_reliability<G: ProbGraph>(
+        &self,
+        g: &G,
+        sources: &[NodeId],
+        targets: &[NodeId],
+    ) -> Vec<Vec<f64>> {
+        self.pairwise_estimates(g, sources, targets, self.default_budget())
+            .into_iter()
+            .map(|row| row.into_iter().map(|e| e.value).collect())
+            .collect()
+    }
+
+    /// Deprecated shim over [`Estimator::scan_estimates`] (values only,
+    /// default budget).
     ///
     /// ```
     /// use relmax_sampling::{Estimator, McEstimator};
@@ -163,12 +257,9 @@ pub trait Estimator: Sync {
         t: NodeId,
         candidates: &[ExtraEdge],
     ) -> Vec<f64> {
-        ParallelRuntime::global().map(candidates.len(), |i| {
-            let view = GraphView::new(g, vec![candidates[i]]);
-            self.st_reliability(&view, s, t)
-        })
+        self.scan_estimates(g, s, t, candidates, self.default_budget())
+            .into_iter()
+            .map(|e| e.value)
+            .collect()
     }
-
-    /// A short human-readable name ("MC", "RSS", "exact") for reports.
-    fn name(&self) -> &'static str;
 }

@@ -1,6 +1,7 @@
 //! Monte Carlo reliability estimation with lazy world instantiation.
 
 use crate::coins::coin_raw;
+use crate::convergence::{drive_budget, worst_bernoulli_half_width, Budget, Estimate};
 use crate::runtime::ParallelRuntime;
 use crate::Estimator;
 use relmax_ugraph::{
@@ -43,8 +44,9 @@ use relmax_ugraph::{
 /// ```
 #[derive(Debug, Clone)]
 pub struct McEstimator {
-    /// Number of sampled worlds `Z`.
-    pub samples: usize,
+    /// Default sampling budget (used by the value-only shims and as the
+    /// fallback when callers pass no per-query budget).
+    pub budget: Budget,
     /// Seed for the coin-flip hash; same seed ⇒ same worlds.
     pub seed: u64,
     /// Sample-sharding executor (serial by default).
@@ -52,7 +54,8 @@ pub struct McEstimator {
 }
 
 impl McEstimator {
-    /// Serial estimator with `samples` worlds under `seed`.
+    /// Serial estimator with a fixed budget of `samples` worlds under
+    /// `seed`.
     pub fn new(samples: usize, seed: u64) -> Self {
         Self::with_runtime(samples, seed, ParallelRuntime::serial())
     }
@@ -62,11 +65,22 @@ impl McEstimator {
         Self::with_runtime(samples, seed, ParallelRuntime::new(threads))
     }
 
-    /// Estimator on an explicit [`ParallelRuntime`].
+    /// Estimator with a fixed budget on an explicit [`ParallelRuntime`].
     pub fn with_runtime(samples: usize, seed: u64, runtime: ParallelRuntime) -> Self {
-        assert!(samples > 0, "need at least one sample");
+        Self::with_budget_runtime(Budget::fixed(samples), seed, runtime)
+    }
+
+    /// Serial estimator with an arbitrary default [`Budget`].
+    pub fn with_budget(budget: Budget, seed: u64) -> Self {
+        Self::with_budget_runtime(budget, seed, ParallelRuntime::serial())
+    }
+
+    /// Estimator with an arbitrary default [`Budget`] on an explicit
+    /// [`ParallelRuntime`].
+    pub fn with_budget_runtime(budget: Budget, seed: u64, runtime: ParallelRuntime) -> Self {
+        budget.assert_valid();
         McEstimator {
-            samples,
+            budget,
             seed,
             runtime,
         }
@@ -117,24 +131,44 @@ impl McEstimator {
         });
     }
 
-    fn reliability_vector<G: ProbGraph>(&self, g: &G, start: NodeId, reverse: bool) -> Vec<f64> {
+    /// Budgeted per-node reach estimation (forward or reverse): fixed
+    /// budgets draw one batch of worlds; accuracy budgets extend the
+    /// counts at power-of-two checkpoints until the widest per-node
+    /// interval fits, bit-identically at every thread count.
+    fn vector_estimates<G: ProbGraph>(
+        &self,
+        g: &G,
+        start: NodeId,
+        reverse: bool,
+        budget: Budget,
+    ) -> Vec<Estimate> {
+        budget.assert_valid();
         let n = g.num_nodes();
-        let z = self.samples as u64;
         let mut counts = vec![0u64; n];
-        self.runtime.run_samples(
-            z,
-            |lo, hi| {
-                let mut local = vec![0u64; n];
-                self.reach_counts(g, start, reverse, lo, hi, &mut local);
-                local
-            },
-            |local| {
-                for (c, l) in counts.iter_mut().zip(local) {
-                    *c += l;
-                }
-            },
-        );
-        counts.into_iter().map(|c| c as f64 / z as f64).collect()
+        let extend = |lo: u64, hi: u64, counts: &mut Vec<u64>| {
+            self.runtime.run_sample_range(
+                lo,
+                hi,
+                |l, h| {
+                    let mut local = vec![0u64; n];
+                    self.reach_counts(g, start, reverse, l, h, &mut local);
+                    local
+                },
+                |local| {
+                    for (c, l) in counts.iter_mut().zip(local) {
+                        *c += l;
+                    }
+                },
+            );
+        };
+        let (z, delta, stopped) = drive_budget(budget, |lo, hi, delta| {
+            extend(lo, hi, &mut counts);
+            worst_bernoulli_half_width(counts.iter().copied(), hi, delta)
+        });
+        counts
+            .into_iter()
+            .map(|c| Estimate::from_hits(c, z, delta, stopped))
+            .collect()
     }
 
     /// Shared-world candidate-scan counts for samples `lo..hi`.
@@ -305,79 +339,114 @@ impl McEstimator {
 }
 
 impl Estimator for McEstimator {
-    fn st_reliability<G: ProbGraph>(&self, g: &G, s: NodeId, t: NodeId) -> f64 {
+    fn default_budget(&self) -> Budget {
+        self.budget
+    }
+
+    fn st_estimate<G: ProbGraph>(&self, g: &G, s: NodeId, t: NodeId, budget: Budget) -> Estimate {
+        budget.assert_valid();
         if s == t {
-            return 1.0;
+            return Estimate::exact(1.0);
         }
-        let z = self.samples as u64;
         let mut hits = 0u64;
-        self.runtime
-            .run_samples(z, |lo, hi| self.st_hits(g, s, t, lo, hi), |h| hits += h);
-        hits as f64 / z as f64
+        let (z, delta, stopped) = drive_budget(budget, |lo, hi, delta| {
+            self.runtime.run_sample_range(
+                lo,
+                hi,
+                |l, h| self.st_hits(g, s, t, l, h),
+                |h| hits += h,
+            );
+            worst_bernoulli_half_width([hits], hi, delta)
+        });
+        Estimate::from_hits(hits, z, delta, stopped)
     }
 
-    fn reliability_from<G: ProbGraph>(&self, g: &G, s: NodeId) -> Vec<f64> {
-        self.reliability_vector(g, s, false)
+    fn from_estimates<G: ProbGraph>(&self, g: &G, s: NodeId, budget: Budget) -> Vec<Estimate> {
+        self.vector_estimates(g, s, false, budget)
     }
 
-    fn reliability_to<G: ProbGraph>(&self, g: &G, t: NodeId) -> Vec<f64> {
-        self.reliability_vector(g, t, true)
+    fn to_estimates<G: ProbGraph>(&self, g: &G, t: NodeId, budget: Budget) -> Vec<Estimate> {
+        self.vector_estimates(g, t, true, budget)
     }
 
-    fn pairwise_reliability<G: ProbGraph>(
+    fn pairwise_estimates<G: ProbGraph>(
         &self,
         g: &G,
         sources: &[NodeId],
         targets: &[NodeId],
-    ) -> Vec<Vec<f64>> {
-        let z = self.samples as u64;
+        budget: Budget,
+    ) -> Vec<Vec<Estimate>> {
+        budget.assert_valid();
         let mut counts = vec![vec![0u64; targets.len()]; sources.len()];
-        self.runtime.run_samples(
-            z,
-            |lo, hi| self.pairwise_counts(g, sources, targets, lo, hi),
-            |local| {
-                for (row, lrow) in counts.iter_mut().zip(local) {
-                    for (c, l) in row.iter_mut().zip(lrow) {
-                        *c += l;
+        let extend = |lo: u64, hi: u64, counts: &mut Vec<Vec<u64>>| {
+            self.runtime.run_sample_range(
+                lo,
+                hi,
+                |l, h| self.pairwise_counts(g, sources, targets, l, h),
+                |local| {
+                    for (row, lrow) in counts.iter_mut().zip(local) {
+                        for (c, l) in row.iter_mut().zip(lrow) {
+                            *c += l;
+                        }
                     }
-                }
-            },
-        );
+                },
+            );
+        };
+        let (z, delta, stopped) = drive_budget(budget, |lo, hi, delta| {
+            extend(lo, hi, &mut counts);
+            worst_bernoulli_half_width(counts.iter().flatten().copied(), hi, delta)
+        });
         counts
             .into_iter()
-            .map(|row| row.into_iter().map(|c| c as f64 / z as f64).collect())
+            .map(|row| {
+                row.into_iter()
+                    .map(|c| Estimate::from_hits(c, z, delta, stopped))
+                    .collect()
+            })
             .collect()
     }
 
     /// Shared-world candidate scan: walks each sampled world **once** for
     /// all candidates (two BFS passes + one lookup per candidate) instead
     /// of once per candidate, sample-sharded over the runtime. Bit-identical
-    /// to the default per-candidate overlay scan at any thread count.
-    fn scan_candidates<G: ProbGraph>(
+    /// to the default per-candidate overlay scan at any thread count; under
+    /// an accuracy budget the slowest-converging candidate gates stopping.
+    fn scan_estimates<G: ProbGraph>(
         &self,
         g: &G,
         s: NodeId,
         t: NodeId,
         candidates: &[ExtraEdge],
-    ) -> Vec<f64> {
+        budget: Budget,
+    ) -> Vec<Estimate> {
+        budget.assert_valid();
         if candidates.is_empty() {
             return Vec::new();
         }
         if s == t {
-            return vec![1.0; candidates.len()];
+            return vec![Estimate::exact(1.0); candidates.len()];
         }
-        let z = self.samples as u64;
         let mut counts = vec![0u64; candidates.len()];
-        self.runtime.run_samples(
-            z,
-            |lo, hi| self.scan_counts(g, s, t, candidates, lo, hi),
-            |local| {
-                for (c, l) in counts.iter_mut().zip(local) {
-                    *c += l;
-                }
-            },
-        );
-        counts.into_iter().map(|c| c as f64 / z as f64).collect()
+        let extend = |lo: u64, hi: u64, counts: &mut Vec<u64>| {
+            self.runtime.run_sample_range(
+                lo,
+                hi,
+                |l, h| self.scan_counts(g, s, t, candidates, l, h),
+                |local| {
+                    for (c, l) in counts.iter_mut().zip(local) {
+                        *c += l;
+                    }
+                },
+            );
+        };
+        let (z, delta, stopped) = drive_budget(budget, |lo, hi, delta| {
+            extend(lo, hi, &mut counts);
+            worst_bernoulli_half_width(counts.iter().copied(), hi, delta)
+        });
+        counts
+            .into_iter()
+            .map(|c| Estimate::from_hits(c, z, delta, stopped))
+            .collect()
     }
 
     fn name(&self) -> &'static str {
@@ -694,6 +763,116 @@ mod tests {
             );
             assert_eq!(serial, par, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn accuracy_budget_is_a_fixed_budget_prefix() {
+        // Stopping at checkpoint Z must reproduce FixedSamples(Z) exactly:
+        // the same worlds 0..Z are drawn either way.
+        let g = bridge_graph();
+        let mc = McEstimator::new(1, 7);
+        let budget = Budget::accuracy_capped(0.05, 0.05, 4096);
+        let est = mc.st_estimate(&g, NodeId(0), NodeId(3), budget);
+        assert!(est.samples_used <= 4096);
+        let fixed = mc.st_estimate(&g, NodeId(0), NodeId(3), Budget::fixed(est.samples_used));
+        assert_eq!(est.value, fixed.value);
+    }
+
+    #[test]
+    fn accuracy_budget_bit_identical_across_thread_counts() {
+        let g = bridge_graph();
+        let budget = Budget::accuracy_capped(0.03, 0.05, 8192);
+        let serial = McEstimator::new(1, 9).st_estimate(&g, NodeId(0), NodeId(3), budget);
+        for threads in [2, 4, 8] {
+            let par = McEstimator::with_threads(1, 9, threads).st_estimate(
+                &g,
+                NodeId(0),
+                NodeId(3),
+                budget,
+            );
+            assert_eq!(serial, par, "threads={threads}");
+        }
+        let sv = McEstimator::new(1, 9).from_estimates(&g, NodeId(0), budget);
+        let pv = McEstimator::with_threads(1, 9, 4).from_estimates(&g, NodeId(0), budget);
+        assert_eq!(sv, pv);
+    }
+
+    #[test]
+    fn easy_queries_stop_early_hard_caps_bind() {
+        // A near-deterministic query (p = 0.9999…) converges at the first
+        // checkpoints; an impossible eps runs to the cap.
+        let mut g = UncertainGraph::new(2, true);
+        g.add_edge(NodeId(0), NodeId(1), 0.9999).unwrap();
+        let mc = McEstimator::new(1, 3);
+        let easy = mc.st_estimate(
+            &g,
+            NodeId(0),
+            NodeId(1),
+            Budget::accuracy_capped(0.05, 0.05, 1 << 16),
+        );
+        assert!(easy.stopped_early, "easy query must stop early: {easy:?}");
+        assert!(easy.samples_used < 1 << 16);
+        assert!(easy.half_width() <= 0.05);
+
+        let hard = mc.st_estimate(
+            &g,
+            NodeId(0),
+            NodeId(1),
+            Budget::accuracy_capped(1e-6, 0.05, 256),
+        );
+        assert!(!hard.stopped_early);
+        assert_eq!(hard.samples_used, 256);
+    }
+
+    #[test]
+    fn fixed_budget_estimates_carry_uncertainty() {
+        let g = bridge_graph();
+        let mc = McEstimator::new(2_000, 11);
+        let est = mc.st_estimate(&g, NodeId(0), NodeId(3), Budget::fixed(2_000));
+        assert_eq!(est.value, mc.st_reliability(&g, NodeId(0), NodeId(3)));
+        assert_eq!(est.samples_used, 2_000);
+        assert!(!est.stopped_early);
+        assert!(est.ci_low < est.value && est.value < est.ci_high);
+        assert!(est.stderr > 0.0);
+    }
+
+    #[test]
+    fn scan_estimates_converge_per_worst_candidate() {
+        let g = bridge_graph();
+        let csr = CsrGraph::freeze(&g);
+        let cands = vec![
+            ExtraEdge {
+                src: NodeId(0),
+                dst: NodeId(3),
+                prob: 0.5,
+            },
+            ExtraEdge {
+                src: NodeId(3),
+                dst: NodeId(0),
+                prob: 0.7,
+            },
+        ];
+        let mc = McEstimator::new(1, 19);
+        let budget = Budget::accuracy_capped(0.04, 0.05, 1 << 14);
+        let ests = mc.scan_estimates(&csr, NodeId(0), NodeId(3), &cands, budget);
+        assert_eq!(ests.len(), 2);
+        // All candidates share the sampling run.
+        assert_eq!(ests[0].samples_used, ests[1].samples_used);
+        if ests[0].stopped_early {
+            for e in &ests {
+                assert!(e.half_width() <= 0.04, "{e:?}");
+            }
+        }
+        // Bit-identical to a fixed budget of the same realized length.
+        let fixed = mc.scan_estimates(
+            &csr,
+            NodeId(0),
+            NodeId(3),
+            &cands,
+            Budget::fixed(ests[0].samples_used),
+        );
+        assert_eq!(ests[0].value, fixed[0].value);
+        assert_eq!(ests[1].value, fixed[1].value);
     }
 
     #[test]

@@ -38,6 +38,7 @@
 //! [`relmax_ugraph::CsrGraph`], or an overlay of either.
 
 use crate::coins::{coin_raw, splitmix64};
+use crate::convergence::{AdaptivePlan, Budget, Estimate};
 use crate::runtime::ParallelRuntime;
 use crate::Estimator;
 use relmax_ugraph::{with_scratch, CoinId, NodeId, ProbGraph, TraversalScratch};
@@ -89,8 +90,9 @@ fn child_stream(stream: u64, i: usize) -> u64 {
 /// ```
 #[derive(Debug, Clone)]
 pub struct RssEstimator {
-    /// Total sample budget `Z` (shared across strata).
-    pub samples: usize,
+    /// Default sampling budget (the nominal `Z` that stratification
+    /// distributes, or an accuracy target).
+    pub budget: Budget,
     /// Seed for leaf-level Monte Carlo.
     pub seed: u64,
     /// Maximum number of boundary edges to stratify on per level (`r`).
@@ -104,8 +106,8 @@ pub struct RssEstimator {
 }
 
 impl RssEstimator {
-    /// RSS with the defaults used throughout the experiments
-    /// (`r = 8`, MC threshold 32, depth cap 12).
+    /// RSS with a fixed budget and the defaults used throughout the
+    /// experiments (`r = 8`, MC threshold 32, depth cap 12).
     pub fn new(samples: usize, seed: u64) -> Self {
         Self::with_runtime(samples, seed, ParallelRuntime::serial())
     }
@@ -115,11 +117,22 @@ impl RssEstimator {
         Self::with_runtime(samples, seed, ParallelRuntime::new(threads))
     }
 
-    /// RSS on an explicit [`ParallelRuntime`].
+    /// Fixed-budget RSS on an explicit [`ParallelRuntime`].
     pub fn with_runtime(samples: usize, seed: u64, runtime: ParallelRuntime) -> Self {
-        assert!(samples > 0, "need at least one sample");
+        Self::with_budget_runtime(Budget::fixed(samples), seed, runtime)
+    }
+
+    /// Serial RSS with an arbitrary default [`Budget`].
+    pub fn with_budget(budget: Budget, seed: u64) -> Self {
+        Self::with_budget_runtime(budget, seed, ParallelRuntime::serial())
+    }
+
+    /// RSS with an arbitrary default [`Budget`] on an explicit
+    /// [`ParallelRuntime`].
+    pub fn with_budget_runtime(budget: Budget, seed: u64, runtime: ParallelRuntime) -> Self {
+        budget.assert_valid();
         RssEstimator {
-            samples,
+            budget,
             seed,
             max_strata: 8,
             mc_threshold: 32,
@@ -514,36 +527,47 @@ impl RssEstimator {
 }
 
 impl Estimator for RssEstimator {
-    fn st_reliability<G: ProbGraph>(&self, g: &G, s: NodeId, t: NodeId) -> f64 {
+    fn default_budget(&self) -> Budget {
+        self.budget
+    }
+
+    fn st_estimate<G: ProbGraph>(&self, g: &G, s: NodeId, t: NodeId, budget: Budget) -> Estimate {
+        budget.assert_valid();
         if s == t {
-            return 1.0;
+            return Estimate::exact(1.0);
         }
-        let mut ctx = self.ctx(g, false);
-        let mut jobs = Vec::new();
-        let decided = ctx.stratify_st(
-            s,
-            t,
-            Frame::root(self.samples, self.root_stream()),
-            &mut jobs,
-        );
-        let leaf_rates = self.runtime.map(jobs.len(), |i| {
-            leaf_st_hits(g, false, self.seed, &jobs[i], s, t)
-        });
-        // Fold in job order: thread-count-independent.
-        decided
-            + jobs
-                .iter()
-                .zip(leaf_rates)
-                .map(|(job, hits)| job.weight * hits as f64 / job.z as f64)
-                .sum::<f64>()
+        match budget {
+            Budget::FixedSamples(z) => self.st_estimate_nominal(g, s, t, z, budget.delta(), false),
+            Budget::Accuracy { .. } => {
+                let plan = AdaptivePlan::for_budget(&budget).expect("accuracy budget");
+                let last = *plan.checkpoints.last().expect("non-empty plan");
+                // Stratification allocates budgets top-down from the nominal
+                // Z, so extending a run in place is not meaningful the way
+                // it is for MC; instead each checkpoint re-runs the solver
+                // at its nominal Z. The schedule doubles, so the total work
+                // stays within 2x of the final run — and every checkpoint
+                // run is individually thread-count-independent, keeping the
+                // whole loop bit-identical at any worker count.
+                for &cp in &plan.checkpoints {
+                    let est = self.st_estimate_nominal(g, s, t, cp, plan.delta_each, cp < last);
+                    if est.half_width() <= plan.eps || cp == last {
+                        return Estimate {
+                            stopped_early: est.half_width() <= plan.eps && cp < last,
+                            ..est
+                        };
+                    }
+                }
+                unreachable!("loop returns at the last checkpoint")
+            }
+        }
     }
 
-    fn reliability_from<G: ProbGraph>(&self, g: &G, s: NodeId) -> Vec<f64> {
-        self.reliability_vector(g, s, false)
+    fn from_estimates<G: ProbGraph>(&self, g: &G, s: NodeId, budget: Budget) -> Vec<Estimate> {
+        self.vector_estimates(g, s, false, budget)
     }
 
-    fn reliability_to<G: ProbGraph>(&self, g: &G, t: NodeId) -> Vec<f64> {
-        self.reliability_vector(g, t, true)
+    fn to_estimates<G: ProbGraph>(&self, g: &G, t: NodeId, budget: Budget) -> Vec<Estimate> {
+        self.vector_estimates(g, t, true, budget)
     }
 
     /// Candidate scan with one level of parallelism: candidates fan out
@@ -551,20 +575,21 @@ impl Estimator for RssEstimator {
     /// serial leaves. RSS results are thread-count-independent, so this
     /// is bit-identical to the default per-overlay scan while avoiding
     /// nested thread fan-out (outer workers × leaf workers).
-    fn scan_candidates<G: ProbGraph>(
+    fn scan_estimates<G: ProbGraph>(
         &self,
         g: &G,
         s: NodeId,
         t: NodeId,
         candidates: &[relmax_ugraph::ExtraEdge],
-    ) -> Vec<f64> {
+        budget: Budget,
+    ) -> Vec<Estimate> {
         let serial = RssEstimator {
             runtime: ParallelRuntime::serial(),
             ..self.clone()
         };
         self.runtime.map(candidates.len(), |i| {
             let view = relmax_ugraph::GraphView::new(g, vec![candidates[i]]);
-            serial.st_reliability(&view, s, t)
+            serial.st_estimate(&view, s, t, budget)
         })
     }
 
@@ -574,27 +599,130 @@ impl Estimator for RssEstimator {
 }
 
 impl RssEstimator {
-    fn reliability_vector<G: ProbGraph>(&self, g: &G, start: NodeId, reverse: bool) -> Vec<f64> {
+    /// One full stratified solve at nominal budget `z`: the point value
+    /// folds in exactly the historical job order (bit-compatible with the
+    /// pre-`Estimate` implementation), while a second pass accumulates
+    /// the stratified variance `Σ wᵢ² p̂ᵢ(1−p̂ᵢ)/zᵢ` and the Hoeffding
+    /// range mass `Σ wᵢ²/zᵢ` that size the confidence interval.
+    fn st_estimate_nominal<G: ProbGraph>(
+        &self,
+        g: &G,
+        s: NodeId,
+        t: NodeId,
+        z: usize,
+        delta: f64,
+        stopped_early: bool,
+    ) -> Estimate {
+        let mut ctx = self.ctx(g, false);
+        let mut jobs = Vec::new();
+        let decided = ctx.stratify_st(s, t, Frame::root(z, self.root_stream()), &mut jobs);
+        let leaf_rates = self.runtime.map(jobs.len(), |i| {
+            leaf_st_hits(g, false, self.seed, &jobs[i], s, t)
+        });
+        // Fold in job order: thread-count-independent.
+        let value = decided
+            + jobs
+                .iter()
+                .zip(&leaf_rates)
+                .map(|(job, &hits)| job.weight * hits as f64 / job.z as f64)
+                .sum::<f64>();
+        let mut variance = 0.0;
+        let mut range_mass = 0.0;
+        for (job, &hits) in jobs.iter().zip(&leaf_rates) {
+            let zi = job.z as f64;
+            let p = hits as f64 / zi;
+            variance += job.weight * job.weight * p * (1.0 - p) / zi;
+            range_mass += job.weight * job.weight / zi;
+        }
+        Estimate::from_stratified(value, variance, range_mass, z, delta, stopped_early)
+    }
+
+    /// Budgeted vector solve; under accuracy budgets the (node-uniform)
+    /// stratified Hoeffding half-width gates the checkpoint loop.
+    fn vector_estimates<G: ProbGraph>(
+        &self,
+        g: &G,
+        start: NodeId,
+        reverse: bool,
+        budget: Budget,
+    ) -> Vec<Estimate> {
+        budget.assert_valid();
+        match budget {
+            Budget::FixedSamples(z) => {
+                self.vector_estimates_nominal(g, start, reverse, z, budget.delta(), false)
+            }
+            Budget::Accuracy { .. } => {
+                let plan = AdaptivePlan::for_budget(&budget).expect("accuracy budget");
+                let last = *plan.checkpoints.last().expect("non-empty plan");
+                for &cp in &plan.checkpoints {
+                    let out =
+                        self.vector_estimates_nominal(g, start, reverse, cp, plan.delta_each, true);
+                    let half = out.iter().map(Estimate::half_width).fold(0.0f64, f64::max);
+                    if half <= plan.eps || cp == last {
+                        let stopped = half <= plan.eps && cp < last;
+                        return out
+                            .into_iter()
+                            .map(|e| Estimate {
+                                stopped_early: stopped,
+                                ..e
+                            })
+                            .collect();
+                    }
+                }
+                unreachable!("loop returns at the last checkpoint")
+            }
+        }
+    }
+
+    fn vector_estimates_nominal<G: ProbGraph>(
+        &self,
+        g: &G,
+        start: NodeId,
+        reverse: bool,
+        z: usize,
+        delta: f64,
+        stopped_early: bool,
+    ) -> Vec<Estimate> {
         let mut out = vec![0.0; g.num_nodes()];
         let mut ctx = self.ctx(g, reverse);
         let mut jobs = Vec::new();
         ctx.stratify_vec(
             start,
-            Frame::root(self.samples, self.root_stream()),
+            Frame::root(z, self.root_stream()),
             &mut out,
             &mut jobs,
         );
         let leaf_counts = self.runtime.map(jobs.len(), |i| {
             leaf_reach_counts(g, reverse, self.seed, &jobs[i], start)
         });
+        let mut variance = vec![0.0; g.num_nodes()];
+        let mut range_mass = 0.0;
         for (job, counts) in jobs.iter().zip(leaf_counts) {
-            let scale = job.weight / job.z as f64;
-            for (o, c) in out.iter_mut().zip(counts) {
+            let zi = job.z as f64;
+            let scale = job.weight / zi;
+            range_mass += job.weight * job.weight / zi;
+            for (v, (o, c)) in out.iter_mut().zip(counts).enumerate() {
                 *o += c as f64 * scale;
+                let p = c as f64 / zi;
+                variance[v] += job.weight * job.weight * p * (1.0 - p) / zi;
             }
         }
         out[start.index()] = 1.0;
-        out
+        let mut estimates: Vec<Estimate> = out
+            .into_iter()
+            .zip(variance)
+            .map(|(value, var)| {
+                Estimate::from_stratified(value, var, range_mass, z, delta, stopped_early)
+            })
+            .collect();
+        // The start node is reached with certainty in every world.
+        estimates[start.index()] = Estimate {
+            stderr: 0.0,
+            ci_low: 1.0,
+            ci_high: 1.0,
+            ..estimates[start.index()]
+        };
+        estimates
     }
 }
 
@@ -719,6 +847,77 @@ mod tests {
             rss.reliability_to(&g, NodeId(4)),
             rss.reliability_to(&csr, NodeId(4))
         );
+    }
+
+    #[test]
+    fn stratified_estimate_carries_uncertainty() {
+        let g = fan_graph();
+        // Cap the recursion so conditioned-MC leaves actually sample (the
+        // tiny fan otherwise gets solved exactly by stratification alone).
+        let rss = RssEstimator {
+            max_depth: 2,
+            ..RssEstimator::new(2_000, 3)
+        };
+        let est = rss.st_estimate(&g, NodeId(0), NodeId(4), Budget::fixed(2_000));
+        assert_eq!(est.value, rss.st_reliability(&g, NodeId(0), NodeId(4)));
+        assert_eq!(est.samples_used, 2_000);
+        assert!(est.stderr >= 0.0);
+        // Sampled strata leave a nonzero Hoeffding envelope.
+        assert!(est.half_width() > 0.0);
+        assert!(est.ci_low < est.value && est.value < est.ci_high);
+        // At equal nominal Z, the stratified Hoeffding envelope is no wider
+        // than plain MC's (decided mass only shrinks the range mass).
+        let mc_half = crate::convergence::hoeffding_half_width(2_000, est_delta());
+        assert!(est.half_width() <= mc_half + 1e-12);
+    }
+
+    fn est_delta() -> f64 {
+        crate::convergence::DEFAULT_DELTA
+    }
+
+    #[test]
+    fn accuracy_budget_stops_early_and_stays_thread_independent() {
+        // The certain chain decides everything during stratification: the
+        // very first checkpoint converges.
+        let mut g = UncertainGraph::new(3, true);
+        g.add_edge(NodeId(0), NodeId(1), 1.0).unwrap();
+        g.add_edge(NodeId(1), NodeId(2), 1.0).unwrap();
+        let rss = RssEstimator::new(1, 5);
+        let budget = Budget::accuracy_capped(0.02, 0.05, 1 << 14);
+        let est = rss.st_estimate(&g, NodeId(0), NodeId(2), budget);
+        assert_eq!(est.value, 1.0);
+        assert!(est.stopped_early);
+        assert!(est.samples_used < 1 << 14);
+
+        let g = fan_graph();
+        let serial = RssEstimator::new(1, 5).st_estimate(&g, NodeId(0), NodeId(4), budget);
+        for threads in [2, 4] {
+            let par = RssEstimator::with_threads(1, 5, threads).st_estimate(
+                &g,
+                NodeId(0),
+                NodeId(4),
+                budget,
+            );
+            assert_eq!(serial, par, "threads={threads}");
+        }
+        // Converged accuracy runs honor the requested half-width.
+        if serial.stopped_early {
+            assert!(serial.half_width() <= 0.02);
+        }
+    }
+
+    #[test]
+    fn vector_estimates_match_values_and_mark_source_certain() {
+        let g = fan_graph();
+        let rss = RssEstimator::new(1_000, 9);
+        let ests = rss.from_estimates(&g, NodeId(0), Budget::fixed(1_000));
+        let values = rss.reliability_from(&g, NodeId(0));
+        for (e, v) in ests.iter().zip(&values) {
+            assert_eq!(e.value, *v);
+        }
+        assert_eq!(ests[0].value, 1.0);
+        assert_eq!(ests[0].stderr, 0.0);
+        assert_eq!((ests[0].ci_low, ests[0].ci_high), (1.0, 1.0));
     }
 
     #[test]

@@ -152,13 +152,29 @@ impl ParallelRuntime {
         &self,
         z: u64,
         work: impl Fn(u64, u64) -> T + Sync,
+        merge: impl FnMut(T),
+    ) {
+        self.run_sample_range(0, z, work, merge);
+    }
+
+    /// [`ParallelRuntime::run_samples`] over an arbitrary absolute sample
+    /// range `lo..hi` — the building block of adaptive stopping, where
+    /// each checkpoint round extends the already-drawn prefix. The shard
+    /// boundaries partition `lo..hi` contiguously and merge in ascending
+    /// order, so the same determinism contract applies.
+    pub fn run_sample_range<T: Send>(
+        &self,
+        lo: u64,
+        hi: u64,
+        work: impl Fn(u64, u64) -> T + Sync,
         mut merge: impl FnMut(T),
     ) {
-        if z == 0 {
+        if lo >= hi {
             return;
         }
+        let z = hi - lo;
         if self.threads <= 1 || z < 2 {
-            merge(work(0, z));
+            merge(work(lo, hi));
             return;
         }
         let workers = self.threads.min(z as usize);
@@ -166,13 +182,13 @@ impl ParallelRuntime {
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(workers);
             for w in 0..workers as u64 {
-                let lo = w * chunk;
-                let hi = ((w + 1) * chunk).min(z);
-                if lo >= hi {
+                let shard_lo = lo + w * chunk;
+                let shard_hi = (lo + (w + 1) * chunk).min(hi);
+                if shard_lo >= shard_hi {
                     break;
                 }
                 let work = &work;
-                handles.push(scope.spawn(move || work(lo, hi)));
+                handles.push(scope.spawn(move || work(shard_lo, shard_hi)));
             }
             // Join order == spawn order == ascending shard order.
             for h in handles {
@@ -283,6 +299,23 @@ mod tests {
                 |p| acc += p,
             );
             assert_eq!(acc, serial);
+        }
+    }
+
+    #[test]
+    fn run_sample_range_tiles_offset_ranges() {
+        for threads in [1, 2, 3, 8] {
+            let rt = ParallelRuntime::new(threads);
+            let mut seen = Vec::new();
+            rt.run_sample_range(100, 137, |lo, hi| (lo, hi), |r| seen.push(r));
+            let mut next = 100;
+            for (lo, hi) in seen {
+                assert_eq!(lo, next);
+                next = hi;
+            }
+            assert_eq!(next, 137);
+            // Empty range: work never runs.
+            rt.run_sample_range(5, 5, |_, _| panic!("empty range"), |_: ()| {});
         }
     }
 

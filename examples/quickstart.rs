@@ -38,9 +38,24 @@ fn main() {
         .with_l(20);
     let estimator = McEstimator::new(20_000, 42);
 
+    // The QueryEngine front door: freeze once, then ask for the base
+    // reliability to +-0.01 at 95% confidence — sampling stops as soon
+    // as the interval fits (docs/api.md).
+    let engine = QueryEngine::new(&g, estimator.clone());
+    let base = engine
+        .st(s, t, Budget::accuracy_capped(0.01, 0.05, 1 << 17))
+        .expect("nodes in range");
     println!(
-        "Base reliability R(depot -> customer) = {:.3}",
-        estimator.st_reliability(&g, s, t)
+        "Base reliability R(depot -> customer) = {:.3} (CI [{:.3}, {:.3}] from {} worlds{})",
+        base.value,
+        base.ci_low,
+        base.ci_high,
+        base.samples_used,
+        if base.stopped_early {
+            ", stopped early"
+        } else {
+            ""
+        },
     );
     println!(
         "Budget: k = {} new links with zeta = {}\n",
@@ -54,7 +69,7 @@ fn main() {
     ];
     for (desc, method) in methods {
         let outcome = method
-            .select(&g, &query, &estimator)
+            .select_budgeted(&g, &query, &estimator, Budget::fixed(20_000))
             .expect("selection succeeds");
         let links: Vec<String> = outcome
             .added

@@ -34,7 +34,11 @@
 //!   path-batch edge selection, and multi-source/target variants. All
 //!   selectors implement the generic [`core::EdgeSelector`] trait;
 //!   [`core::AnySelector`] provides a homogeneous value type where a
-//!   list of methods is needed.
+//!   list of methods is needed. [`core::QueryEngine`] is the unified
+//!   front door: builder-style `st`/`from`/`to`/`pairwise`/`batch`
+//!   queries under [`sampling::Budget`]s (fixed worlds, or "±eps at
+//!   confidence 1−delta" with deterministic adaptive stopping) returning
+//!   rich [`sampling::Estimate`]s — see `docs/api.md`.
 //!
 //! ## The hot path: freeze, then sample
 //!
@@ -89,13 +93,14 @@ pub use relmax_ugraph as ugraph;
 pub mod prelude {
     pub use crate::core::candidates::{CandidateEdge, CandidateSpace};
     pub use crate::core::elimination::SearchSpaceElimination;
+    pub use crate::core::engine::{QueryAnswer, QueryEngine, QueryError, ReliabilityQuery};
     pub use crate::core::multi::{Aggregate, MultiQuery, MultiSelector};
     pub use crate::core::path_selection::{BatchEdgeSelector, IndividualPathSelector};
     pub use crate::core::query::StQuery;
     pub use crate::core::selector::{AnySelector, EdgeSelector, Outcome};
     pub use crate::gen::prob::ProbModel;
     pub use crate::sampling::{
-        Estimator, ExactEstimator, McEstimator, ParallelRuntime, RssEstimator,
+        Budget, Estimate, Estimator, ExactEstimator, McEstimator, ParallelRuntime, RssEstimator,
     };
     pub use crate::ugraph::{CsrGraph, EdgeId, GraphView, NodeId, ProbGraph, UncertainGraph};
 }

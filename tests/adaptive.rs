@@ -1,0 +1,243 @@
+//! Accuracy budgets end to end: deterministic adaptive stopping must be
+//! bit-identical at every thread count, honor the requested confidence
+//! envelope across many seeded trials, and agree across every front door
+//! (estimator methods, `QueryEngine`, budgeted selectors).
+
+use relmax::prelude::*;
+use relmax::sampling::BatchQuery;
+use relmax::ugraph::exact::st_reliability_enumerate;
+
+/// The bridge fixture: two 2-hop routes plus a cross edge.
+fn bridge_graph() -> UncertainGraph {
+    let mut g = UncertainGraph::new(4, true);
+    g.add_edge(NodeId(0), NodeId(1), 0.6).unwrap();
+    g.add_edge(NodeId(0), NodeId(2), 0.4).unwrap();
+    g.add_edge(NodeId(1), NodeId(3), 0.5).unwrap();
+    g.add_edge(NodeId(2), NodeId(3), 0.7).unwrap();
+    g.add_edge(NodeId(1), NodeId(2), 0.3).unwrap();
+    g
+}
+
+/// A denser 6-node instance (still exactly solvable) for coverage sweeps.
+fn dense_graph() -> UncertainGraph {
+    let mut g = UncertainGraph::new(6, true);
+    let edges = [
+        (0, 1, 0.55),
+        (0, 2, 0.35),
+        (1, 2, 0.45),
+        (1, 3, 0.6),
+        (2, 4, 0.5),
+        (3, 4, 0.4),
+        (3, 5, 0.5),
+        (4, 5, 0.65),
+        (2, 5, 0.2),
+    ];
+    for (u, v, p) in edges {
+        g.add_edge(NodeId(u), NodeId(v), p).unwrap();
+    }
+    g
+}
+
+const BUDGET: Budget = Budget::Accuracy {
+    eps: 0.03,
+    delta: 0.05,
+    max_samples: 1 << 14,
+};
+
+/// Every budgeted kernel must produce the same bits at 1, 2, and 4
+/// worker threads — the thread matrix the CI job also runs via
+/// `RELMAX_THREADS`.
+#[test]
+fn accuracy_budgets_bit_identical_across_thread_matrix() {
+    let g = bridge_graph();
+    let csr = g.freeze();
+    let cands = [
+        CandidateEdge {
+            src: NodeId(0),
+            dst: NodeId(3),
+            prob: 0.5,
+        },
+        CandidateEdge {
+            src: NodeId(2),
+            dst: NodeId(1),
+            prob: 0.8,
+        },
+    ];
+    let reference = McEstimator::new(1, 0xAC);
+    let st = reference.st_estimate(&csr, NodeId(0), NodeId(3), BUDGET);
+    let from = reference.from_estimates(&csr, NodeId(0), BUDGET);
+    let to = reference.to_estimates(&csr, NodeId(3), BUDGET);
+    let scan = reference.scan_estimates(&csr, NodeId(0), NodeId(3), &cands, BUDGET);
+    let pairwise =
+        reference.pairwise_estimates(&csr, &[NodeId(0), NodeId(1)], &[NodeId(3)], BUDGET);
+    let rss_st = RssEstimator::new(1, 0xAC).st_estimate(&csr, NodeId(0), NodeId(3), BUDGET);
+    for threads in [2, 4] {
+        let mc = McEstimator::with_threads(1, 0xAC, threads);
+        assert_eq!(
+            st,
+            mc.st_estimate(&csr, NodeId(0), NodeId(3), BUDGET),
+            "t{threads}"
+        );
+        assert_eq!(
+            from,
+            mc.from_estimates(&csr, NodeId(0), BUDGET),
+            "t{threads}"
+        );
+        assert_eq!(to, mc.to_estimates(&csr, NodeId(3), BUDGET), "t{threads}");
+        assert_eq!(
+            scan,
+            mc.scan_estimates(&csr, NodeId(0), NodeId(3), &cands, BUDGET),
+            "t{threads}"
+        );
+        assert_eq!(
+            pairwise,
+            mc.pairwise_estimates(&csr, &[NodeId(0), NodeId(1)], &[NodeId(3)], BUDGET),
+            "t{threads}"
+        );
+        let rss = RssEstimator::with_threads(1, 0xAC, threads);
+        assert_eq!(
+            rss_st,
+            rss.st_estimate(&csr, NodeId(0), NodeId(3), BUDGET),
+            "t{threads}"
+        );
+    }
+}
+
+/// Batch answers through the engine inherit the same contract, at every
+/// combination of batch runtime and estimator runtime.
+#[test]
+fn engine_batches_bit_identical_across_runtimes() {
+    let g = bridge_graph();
+    let queries = [
+        BatchQuery::St(NodeId(0), NodeId(3)),
+        BatchQuery::From(NodeId(1)),
+        BatchQuery::To(NodeId(3)),
+    ];
+    let reference = QueryEngine::new(&g, McEstimator::new(1, 7))
+        .query()
+        .batch(&queries)
+        .budget(BUDGET)
+        .run()
+        .unwrap();
+    for batch_threads in [2, 4] {
+        for est_threads in [1, 4] {
+            let engine = QueryEngine::new(&g, McEstimator::with_threads(1, 7, est_threads))
+                .with_runtime(ParallelRuntime::new(batch_threads));
+            let answer = engine.query().batch(&queries).budget(BUDGET).run().unwrap();
+            assert_eq!(reference, answer, "batch={batch_threads} est={est_threads}");
+        }
+    }
+}
+
+/// The statistical contract over ≥20 seeded trials: whenever an accuracy
+/// budget reports `stopped_early`, its realized CI half-width is at most
+/// the requested `eps`; and the interval covers the exact reliability at
+/// well above the `1 - delta` rate (24 trials, each at 95%).
+#[test]
+fn realized_ci_width_honors_eps_over_seeded_trials() {
+    let eps = 0.03;
+    let delta = 0.05;
+    let budget = Budget::accuracy_capped(eps, delta, 1 << 15);
+    let fixtures = [
+        (bridge_graph(), NodeId(0), NodeId(3)),
+        (dense_graph(), NodeId(0), NodeId(5)),
+    ];
+    let mut trials = 0;
+    let mut covered = 0;
+    for (g, s, t) in &fixtures {
+        let exact = st_reliability_enumerate(g, *s, *t).unwrap();
+        let csr = g.freeze();
+        for seed in 0..12u64 {
+            let est = McEstimator::new(1, 0xC1 + seed).st_estimate(&csr, *s, *t, budget);
+            trials += 1;
+            assert!(est.samples_used <= 1 << 15);
+            if est.stopped_early {
+                assert!(
+                    est.half_width() <= eps + 1e-12,
+                    "seed {seed}: stopped early but half-width {} > {eps}",
+                    est.half_width()
+                );
+            }
+            if est.ci_low <= exact && exact <= est.ci_high {
+                covered += 1;
+            }
+        }
+    }
+    assert!(trials >= 20, "need at least 20 trials, ran {trials}");
+    // 95% nominal coverage; over 24 independent trials even 2 misses is
+    // already a ~1.6% event, so require at most one.
+    assert!(
+        covered >= trials - 1,
+        "CI covered the exact value only {covered}/{trials} times"
+    );
+}
+
+/// RSS under accuracy budgets: same eps contract, plus the stratified
+/// envelope must not need more worlds than MC's on a stratification-
+/// friendly fixture (the decided mass can only shrink the interval).
+#[test]
+fn rss_accuracy_budget_honors_eps_and_beats_mc_effort() {
+    let g = bridge_graph();
+    let csr = g.freeze();
+    let budget = Budget::accuracy_capped(0.03, 0.05, 1 << 15);
+    let mut rss_total = 0u64;
+    let mut mc_total = 0u64;
+    for seed in 0..10u64 {
+        let rss = RssEstimator::new(1, seed).st_estimate(&csr, NodeId(0), NodeId(3), budget);
+        let mc = McEstimator::new(1, seed).st_estimate(&csr, NodeId(0), NodeId(3), budget);
+        if rss.stopped_early {
+            assert!(rss.half_width() <= 0.03 + 1e-12, "seed {seed}: {rss:?}");
+        }
+        rss_total += rss.samples_used as u64;
+        mc_total += mc.samples_used as u64;
+    }
+    assert!(
+        rss_total <= mc_total,
+        "RSS spent {rss_total} worlds where MC spent {mc_total}"
+    );
+}
+
+/// Budgeted selection end to end: the outcome's estimates are consistent
+/// with direct engine queries under the same budget, and the selector
+/// result itself is thread-count-independent.
+#[test]
+fn budgeted_selection_is_consistent_and_thread_independent() {
+    let g = bridge_graph();
+    let q = StQuery::new(NodeId(0), NodeId(3), 2, 0.8)
+        .with_hop_limit(None)
+        .with_r(4);
+    let budget = Budget::accuracy_capped(0.05, 0.05, 1 << 13);
+    let reference = AnySelector::hill_climbing()
+        .select_budgeted(&g, &q, &McEstimator::new(1, 3), budget)
+        .unwrap();
+    assert_eq!(reference.base_estimate.value, reference.base_reliability);
+    assert_eq!(reference.added_estimates.len(), reference.added.len());
+    // The base estimate must match a direct engine query bit for bit
+    // (same snapshot layout, same budget, same seed).
+    let engine = QueryEngine::new(&g, McEstimator::new(1, 3));
+    let direct = engine.st(NodeId(0), NodeId(3), budget).unwrap();
+    assert_eq!(direct, reference.base_estimate);
+    for threads in [2, 4] {
+        let par = AnySelector::hill_climbing()
+            .select_budgeted(&g, &q, &McEstimator::with_threads(1, 3, threads), budget)
+            .unwrap();
+        assert_eq!(par.added, reference.added, "t{threads}");
+        assert_eq!(par.new_estimate, reference.new_estimate, "t{threads}");
+    }
+}
+
+/// Degenerate budgets and inputs keep their exact semantics.
+#[test]
+fn degenerate_cases() {
+    let g = bridge_graph();
+    let engine = QueryEngine::new(&g, McEstimator::new(100, 1));
+    // s == t short-circuits to an exact 1.0 under any budget.
+    let e = engine.st(NodeId(2), NodeId(2), BUDGET).unwrap();
+    assert_eq!((e.value, e.ci_low, e.ci_high), (1.0, 1.0, 1.0));
+    assert_eq!(e.samples_used, 0);
+    // The exact estimator reports zero-width intervals whatever the budget.
+    let exact_engine = QueryEngine::new(&g, ExactEstimator::new());
+    let e = exact_engine.st(NodeId(0), NodeId(3), BUDGET).unwrap();
+    assert_eq!(e.half_width(), 0.0);
+    assert!(!e.stopped_early);
+}
