@@ -28,7 +28,7 @@ fn main() {
         if smoke { " (smoke)" } else { "" }
     );
 
-    let bench = sampling_bench::run(samples, pipeline_queries);
+    let bench = sampling_bench::run(samples, pipeline_queries, smoke);
     for c in &bench.kernels {
         eprintln!(
             "  {:<18} dyn {:>9.2?}  csr {:>9.2?}  speedup {:>5.2}x  bit-identical: {}",
@@ -40,6 +40,24 @@ fn main() {
         );
     }
     eprintln!("  geomean speedup: {:.2}x", bench.geomean_speedup());
+    eprintln!(
+        "  packed kernel vs scalar reference ({} nodes, {} edges, simd: {}):",
+        bench.packed.nodes, bench.packed.edges, bench.packed.simd
+    );
+    for c in &bench.packed.kernels {
+        eprintln!(
+            "  {:<18} scalar {:>9.2?}  packed {:>9.2?}  speedup {:>5.2}x  bit-identical: {}",
+            c.kernel,
+            std::time::Duration::from_secs_f64(c.scalar_s),
+            std::time::Duration::from_secs_f64(c.packed_s),
+            c.speedup(),
+            c.bit_identical,
+        );
+    }
+    eprintln!(
+        "  packed geomean speedup: {:.2}x",
+        bench.packed.geomean_speedup()
+    );
     let a = &bench.adaptive;
     eprintln!(
         "  adaptive (eps {} delta {}): {}/{} queries stopped early, {} of {} worlds spent ({:.1}% saved), thread-identical: {}",
@@ -80,11 +98,30 @@ fn main() {
         "adaptive stopping saved nothing: {:?}",
         bench.adaptive
     );
+    // The packed kernel must agree with the scalar reference bit for bit
+    // at every scale; at full scale it must also clear the 3x floor on
+    // the st kernel (smoke graphs are too small for speedups to mean
+    // anything, so only identity is asserted there).
+    assert!(
+        bench.packed.kernels.iter().all(|c| c.bit_identical),
+        "packed kernel diverged from the scalar reference"
+    );
     if !smoke {
         assert!(
             bench.geomean_speedup() >= 2.0,
             "CSR walk fell below the 2x floor: {:.2}x",
             bench.geomean_speedup()
+        );
+        let st = bench
+            .packed
+            .kernels
+            .iter()
+            .find(|c| c.kernel == "mc_st")
+            .expect("st scenario present");
+        assert!(
+            st.speedup() >= 3.0,
+            "packed st kernel fell below the 3x floor: {:.2}x",
+            st.speedup()
         );
     }
 }

@@ -15,7 +15,7 @@ use relmax_gen::prob::ProbModel;
 use relmax_gen::queries::st_queries;
 use relmax_gen::synth;
 use relmax_sampling::legacy::DynMcEstimator;
-use relmax_sampling::{Budget, Estimator, McEstimator, ParallelRuntime};
+use relmax_sampling::{packed, Budget, Estimator, Kernel, McEstimator, ParallelRuntime};
 use relmax_ugraph::{CsrGraph, ExtraEdge, GraphView, NodeId, UncertainGraph};
 
 /// One measured comparison: the same estimate computed both ways.
@@ -83,6 +83,51 @@ impl AdaptiveScenario {
     }
 }
 
+/// One packed-vs-scalar kernel comparison: the same estimate computed by
+/// the lane-packed kernel and the scalar reference kernel.
+#[derive(Debug, Clone)]
+pub struct PackedComparison {
+    /// What was measured ("mc_st", "mc_from", "candidate_scan").
+    pub kernel: &'static str,
+    /// Sampled worlds per invocation.
+    pub samples: usize,
+    /// Seconds for the scalar reference kernel (`RELMAX_KERNEL=scalar`).
+    pub scalar_s: f64,
+    /// Seconds for the lane-packed kernel (the default).
+    pub packed_s: f64,
+    /// Whether the two kernels produced bit-identical estimates.
+    pub bit_identical: bool,
+}
+
+impl PackedComparison {
+    /// scalar / packed.
+    pub fn speedup(&self) -> f64 {
+        self.scalar_s / self.packed_s
+    }
+}
+
+/// The `packed` scenario: lane-packed 64-worlds-per-word kernel versus
+/// the scalar reference kernel on a production-sized graph.
+#[derive(Debug, Clone)]
+pub struct PackedScenario {
+    /// Nodes in the packed-scenario graph.
+    pub nodes: usize,
+    /// Edges (coins) in the packed-scenario graph.
+    pub edges: usize,
+    /// Whether the AVX-512 hash path was active on this host.
+    pub simd: bool,
+    /// Per-kernel comparisons.
+    pub kernels: Vec<PackedComparison>,
+}
+
+impl PackedScenario {
+    /// Geometric-mean speedup over all compared kernels.
+    pub fn geomean_speedup(&self) -> f64 {
+        let log_sum: f64 = self.kernels.iter().map(|c| c.speedup().ln()).sum();
+        (log_sum / self.kernels.len().max(1) as f64).exp()
+    }
+}
+
 /// Full result of one benchmark run.
 #[derive(Debug, Clone)]
 pub struct SamplingBench {
@@ -94,6 +139,8 @@ pub struct SamplingBench {
     pub samples: usize,
     /// Per-kernel comparisons.
     pub kernels: Vec<Comparison>,
+    /// Lane-packed kernel versus the scalar reference kernel.
+    pub packed: PackedScenario,
     /// Accuracy-budget adaptive stopping versus the fixed budget.
     pub adaptive: AdaptiveScenario,
     /// End-to-end BE pipeline seconds (elimination + selection), and the
@@ -134,6 +181,27 @@ impl SamplingBench {
         out.push_str(&format!(
             "  \"geomean_speedup\": {:.3},\n",
             self.geomean_speedup()
+        ));
+        let p = &self.packed;
+        out.push_str(&format!(
+            "  \"packed\": {{\"graph\": {{\"nodes\": {}, \"edges\": {}}}, \"simd\": {}, \"kernels\": [\n",
+            p.nodes, p.edges, p.simd
+        ));
+        for (i, c) in p.kernels.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"kernel\": \"{}\", \"samples\": {}, \"scalar_s\": {:.6}, \"packed_s\": {:.6}, \"speedup\": {:.3}, \"bit_identical\": {}}}{}\n",
+                c.kernel,
+                c.samples,
+                c.scalar_s,
+                c.packed_s,
+                c.speedup(),
+                c.bit_identical,
+                if i + 1 < p.kernels.len() { "," } else { "" },
+            ));
+        }
+        out.push_str(&format!(
+            "  ], \"geomean_speedup\": {:.3}}},\n",
+            p.geomean_speedup()
         ));
         let a = &self.adaptive;
         out.push_str(&format!(
@@ -217,6 +285,82 @@ pub fn run_adaptive_scenario(
     }
 }
 
+/// The `packed` scenario: time the lane-packed kernel against the scalar
+/// reference kernel (`Kernel::Scalar`) on identical worlds and assert
+/// bit-identity.
+///
+/// The graph is deliberately production-sized (100k nodes, ~500k edges
+/// at full size): per sampled world the scalar kernel re-streams the
+/// whole CSR neighborhood structure, while the packed kernel streams it
+/// once per 64 worlds — the regime the packed kernel exists for. `smoke`
+/// shrinks the graph and budgets to CI scale (bit-identity is still
+/// asserted; speedups of the tiny run are not meaningful).
+pub fn run_packed_scenario(smoke: bool) -> PackedScenario {
+    let (nodes, k, st_z, from_z, scan_z, cands) = if smoke {
+        (4_000, 10, 256, 128, 64, 20)
+    } else {
+        (100_000, 10, 1_000, 512, 256, 50)
+    };
+    let mut g = synth::watts_strogatz(nodes, k, 0.2, 0xbe9c);
+    ProbModel::Uniform { lo: 0.1, hi: 0.6 }.apply(&mut g, 0x77);
+    let csr = CsrGraph::freeze(&g);
+    let (s, t) = pick_far_pair(&g);
+    let packed = McEstimator::new(1, 0x5eed).with_kernel(Kernel::Packed);
+    let scalar = McEstimator::new(1, 0x5eed).with_kernel(Kernel::Scalar);
+    let reps = 2;
+    let mut kernels = Vec::new();
+
+    let st_budget = Budget::fixed(st_z);
+    // Warm both paths (page-in, scratch pools) before timing.
+    let _ = packed.st_estimate(&csr, s, t, st_budget);
+    let _ = scalar.st_estimate(&csr, s, t, st_budget);
+    let (scalar_st, scalar_st_s) = best_of(reps, || scalar.st_estimate(&csr, s, t, st_budget));
+    let (packed_st, packed_st_s) = best_of(reps, || packed.st_estimate(&csr, s, t, st_budget));
+    kernels.push(PackedComparison {
+        kernel: "mc_st",
+        samples: st_z,
+        scalar_s: scalar_st_s,
+        packed_s: packed_st_s,
+        bit_identical: scalar_st == packed_st,
+    });
+
+    let from_budget = Budget::fixed(from_z);
+    let (scalar_from, scalar_from_s) =
+        best_of(reps, || scalar.from_estimates(&csr, s, from_budget));
+    let (packed_from, packed_from_s) =
+        best_of(reps, || packed.from_estimates(&csr, s, from_budget));
+    kernels.push(PackedComparison {
+        kernel: "mc_from",
+        samples: from_z,
+        scalar_s: scalar_from_s,
+        packed_s: packed_from_s,
+        bit_identical: scalar_from == packed_from,
+    });
+
+    let scan_budget = Budget::fixed(scan_z);
+    let candidates = candidate_scan_set(&g, cands);
+    let (scalar_scan, scalar_scan_s) = best_of(reps, || {
+        scalar.scan_estimates(&csr, s, t, &candidates, scan_budget)
+    });
+    let (packed_scan, packed_scan_s) = best_of(reps, || {
+        packed.scan_estimates(&csr, s, t, &candidates, scan_budget)
+    });
+    kernels.push(PackedComparison {
+        kernel: "candidate_scan",
+        samples: scan_z,
+        scalar_s: scalar_scan_s,
+        packed_s: packed_scan_s,
+        bit_identical: scalar_scan == packed_scan,
+    });
+
+    PackedScenario {
+        nodes: g.num_nodes(),
+        edges: g.num_edges(),
+        simd: packed::simd_available(),
+        kernels,
+    }
+}
+
 /// The synthetic benchmark graph: Watts–Strogatz with ≥ `edges_floor`
 /// edges and uniform probabilities — dense enough that sampled-world BFS
 /// actually walks the graph, sparse enough to finish quickly.
@@ -235,15 +379,19 @@ pub fn bench_graph(nodes: usize, edges_floor: usize) -> UncertainGraph {
 /// Run the sampling microbenchmark.
 ///
 /// `samples` controls the per-kernel world count; `pipeline_queries`
-/// controls the end-to-end BE workload size (0 skips it).
-pub fn run(samples: usize, pipeline_queries: usize) -> SamplingBench {
+/// controls the end-to-end BE workload size (0 skips it);
+/// `packed_smoke` shrinks the packed-vs-scalar scenario to CI scale.
+pub fn run(samples: usize, pipeline_queries: usize, packed_smoke: bool) -> SamplingBench {
     let g = bench_graph(10_000, 12_000);
     let csr = CsrGraph::freeze(&g);
     let (s, t) = pick_far_pair(&g);
 
     let budget = Budget::fixed(samples);
     let legacy = DynMcEstimator::new(samples, 0x5eed);
-    let new = McEstimator::with_budget(budget, 0x5eed);
+    // Pin the kernel so the trajectory metric doesn't depend on the
+    // RELMAX_KERNEL environment: "csr" here means the current default
+    // stack (CSR snapshot + lane-packed kernel).
+    let new = McEstimator::with_budget(budget, 0x5eed).with_kernel(Kernel::Packed);
 
     let mut kernels = Vec::new();
 
@@ -299,7 +447,7 @@ pub fn run(samples: usize, pipeline_queries: usize) -> SamplingBench {
     let cand_budget = Budget::fixed(cand_z);
     let candidates = candidate_scan_set(&g, 100);
     let scan_legacy = DynMcEstimator::new(cand_z, 0x5eed);
-    let scan_new = McEstimator::with_budget(cand_budget, 0x5eed);
+    let scan_new = McEstimator::with_budget(cand_budget, 0x5eed).with_kernel(Kernel::Packed);
     let (legacy_sum, dyn_scan_s) = best_of(reps, || {
         let mut sum = 0.0;
         for &cand in &candidates {
@@ -332,6 +480,8 @@ pub fn run(samples: usize, pipeline_queries: usize) -> SamplingBench {
     // (low-variance) queries — that gap is the measured savings.
     let adaptive = run_adaptive_scenario(&g, &csr, 0.02, 0.05, (samples * 16).max(16_384));
 
+    let packed = run_packed_scenario(packed_smoke);
+
     let (be_pipeline_s, be_gain) = if pipeline_queries > 0 {
         bench_be_pipeline(pipeline_queries)
     } else {
@@ -343,6 +493,7 @@ pub fn run(samples: usize, pipeline_queries: usize) -> SamplingBench {
         edges: g.num_edges(),
         samples,
         kernels,
+        packed,
         adaptive,
         be_pipeline_s,
         be_gain,
@@ -419,18 +570,34 @@ mod tests {
 
     #[test]
     fn smoke_run_produces_sane_json() {
-        let bench = run(200, 0);
+        let bench = run(200, 0, true);
         assert!(bench.edges >= 5_000);
         assert_eq!(bench.kernels.len(), 4);
         for c in &bench.kernels {
             assert!(c.bit_identical, "{} estimates diverged", c.kernel);
             assert!(c.dyn_s > 0.0 && c.csr_s > 0.0);
         }
+        assert_eq!(bench.packed.kernels.len(), 3);
+        for c in &bench.packed.kernels {
+            assert!(c.bit_identical, "packed {} diverged from scalar", c.kernel);
+            assert!(c.scalar_s > 0.0 && c.packed_s > 0.0);
+        }
         let json = bench.to_json();
         assert!(json.contains("\"geomean_speedup\""));
         assert!(json.contains("st_reliability"));
+        assert!(json.contains("\"packed\""));
+        assert!(json.contains("mc_st"));
         assert!(json.contains("\"adaptive\""));
         assert!(json.contains("\"savings\""));
+    }
+
+    #[test]
+    fn packed_scenario_is_bit_identical_at_smoke_scale() {
+        let scenario = run_packed_scenario(true);
+        assert_eq!(scenario.kernels.len(), 3);
+        for c in &scenario.kernels {
+            assert!(c.bit_identical, "packed {} diverged from scalar", c.kernel);
+        }
     }
 
     #[test]

@@ -78,6 +78,13 @@ SELECT OPTIONS:
     --hops H | --no-hop-limit
                            candidate distance constraint [default: 3]
 
+ENVIRONMENT:
+    RELMAX_THREADS=N       default worker threads (overridden by --threads)
+    RELMAX_KERNEL=scalar   use the scalar reference Monte Carlo kernel
+                           instead of the lane-packed default; output is
+                           byte-identical either way (CI diffs it), the
+                           packed kernel is just several times faster
+
 EXAMPLES:
     relmax ingest data/toy.tsv -o toy.rgs
     relmax query toy.rgs --gen 100 --samples 2000 --format json

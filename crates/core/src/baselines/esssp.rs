@@ -160,7 +160,7 @@ pub fn select_esssp(
         });
         let mut best: Option<(f64, usize)> = None;
         for (ci, &improvement) in improvements.iter().enumerate() {
-            if improvement.is_finite() && best.map_or(true, |(bi, _)| improvement > bi) {
+            if improvement.is_finite() && best.is_none_or(|(bi, _)| improvement > bi) {
                 best = Some((improvement, ci));
             }
         }

@@ -73,7 +73,7 @@ impl EdgeSelector for ExactSelector {
             let extra: Vec<CandidateEdge> = idx.iter().map(|&i| candidates[i]).collect();
             let view = GraphView::new(&csr, extra);
             let r = est.st_estimate(&view, query.s, query.t, budget).value;
-            if best.as_ref().map_or(true, |(br, _)| r > *br) {
+            if best.as_ref().is_none_or(|(br, _)| r > *br) {
                 best = Some((r, idx.clone()));
             }
             // Advance the combination.

@@ -51,7 +51,7 @@ impl EdgeSelector for HillClimbingSelector {
             let mut best: Option<(f64, usize)> = None;
             for (i, r) in scores.iter().enumerate() {
                 let gain = r.value - current;
-                if best.map_or(true, |(bg, _)| gain > bg) {
+                if best.is_none_or(|(bg, _)| gain > bg) {
                     best = Some((gain, i));
                 }
             }

@@ -46,7 +46,7 @@ pub fn select_ima(
         let mut best: Option<(f64, usize)> = None;
         for (ci, &spread) in spreads.iter().enumerate() {
             let gain = spread - current;
-            if best.map_or(true, |(bg, _)| gain > bg) {
+            if best.is_none_or(|(bg, _)| gain > bg) {
                 best = Some((gain, ci));
             }
         }

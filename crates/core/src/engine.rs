@@ -58,6 +58,31 @@ use std::fmt;
 /// budget — used when a query sets none — is the estimator's own
 /// [`Estimator::default_budget`], overridable with
 /// [`QueryEngine::with_default_budget`].
+///
+/// ```
+/// use relmax_core::engine::{QueryAnswer, QueryEngine, QueryError};
+/// use relmax_sampling::{Budget, McEstimator};
+/// use relmax_ugraph::{NodeId, UncertainGraph};
+///
+/// let mut g = UncertainGraph::new(3, true);
+/// g.add_edge(NodeId(0), NodeId(1), 0.9).unwrap();
+/// g.add_edge(NodeId(1), NodeId(2), 0.9).unwrap();
+/// let engine = QueryEngine::new(&g, McEstimator::new(20_000, 7));
+///
+/// // Shorthand for the single-pair query:
+/// let est = engine.st(NodeId(0), NodeId(2), Budget::fixed(20_000)).unwrap();
+/// assert!((est.value - 0.81).abs() < 0.01);
+///
+/// // Vector target through the builder: R(0, v) for every node v.
+/// let answer = engine.query().from(NodeId(0)).run().unwrap();
+/// let QueryAnswer::Vector(per_node) = answer else { unreachable!() };
+/// assert_eq!(per_node.len(), 3);
+/// assert_eq!(per_node[0].value, 1.0); // a node always reaches itself
+///
+/// // Errors are structured, not stringly:
+/// let err = engine.st(NodeId(0), NodeId(9), Budget::fixed(100)).unwrap_err();
+/// assert!(matches!(err, QueryError::NodeOutOfRange { .. }));
+/// ```
 #[derive(Debug, Clone)]
 pub struct QueryEngine<E: Estimator> {
     csr: CsrGraph,

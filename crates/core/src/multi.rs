@@ -454,7 +454,7 @@ fn select_avg_batch<E: Estimator>(
             }
             let v = avg_on(&trial);
             let marginal = (v - current) / new_edges as f64;
-            if best.map_or(true, |(bm, _)| marginal > bm) {
+            if best.is_none_or(|(bm, _)| marginal > bm) {
                 best = Some((marginal, bi));
             }
         }
@@ -565,7 +565,7 @@ fn select_hc_multi<E: Estimator>(
                 .fold(&pairwise_values(est, &view, query, budget));
             view.pop_extra();
             let gain = v - current;
-            if best.map_or(true, |(bg, _)| gain > bg) {
+            if best.is_none_or(|(bg, _)| gain > bg) {
                 best = Some((gain, ci));
             }
         }

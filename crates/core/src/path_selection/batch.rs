@@ -115,7 +115,7 @@ impl EdgeSelector for BatchEdgeSelector {
                 // Marginal gain normalized by the number of new edges
                 // (§5.2.2: "normalized by the size of its candidate set").
                 let marginal = (r - current) / new_edges.len() as f64;
-                if best.map_or(true, |(bm, _)| marginal > bm) {
+                if best.is_none_or(|(bm, _)| marginal > bm) {
                     best = Some((marginal, bi));
                 }
             }

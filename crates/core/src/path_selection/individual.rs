@@ -55,7 +55,7 @@ impl EdgeSelector for IndividualPathSelector {
                 let mut trial = selected.clone();
                 trial.push(p);
                 let r = eval.reliability(&trial, est, budget);
-                if best.map_or(true, |(br, bp, _)| r > br || (r == br && p.prob > bp)) {
+                if best.is_none_or(|(br, bp, _)| r > br || (r == br && p.prob > bp)) {
                     best = Some((r, p.prob, pi));
                 }
             }

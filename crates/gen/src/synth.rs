@@ -50,11 +50,11 @@ pub fn erdos_renyi(n: usize, m: usize, seed: u64) -> UncertainGraph {
 /// `k ≪ n` regimes the paper uses (k = 5, 10).
 pub fn random_regular(n: usize, k: usize, seed: u64) -> UncertainGraph {
     assert!(k < n, "degree must be below node count");
-    assert!(n * k % 2 == 0, "n*k must be even");
+    assert!((n * k).is_multiple_of(2), "n*k must be even");
     let mut rng = StdRng::seed_from_u64(seed);
     'attempt: for _ in 0..200 {
         let mut stubs: Vec<u32> = (0..n as u32)
-            .flat_map(|v| std::iter::repeat(v).take(k))
+            .flat_map(|v| std::iter::repeat_n(v, k))
             .collect();
         stubs.shuffle(&mut rng);
         let mut g = UncertainGraph::with_capacity(n, false, n * k / 2);
@@ -88,7 +88,7 @@ pub fn random_regular(n: usize, k: usize, seed: u64) -> UncertainGraph {
 /// Watts–Strogatz small-world graph: ring lattice with `k` neighbors per
 /// node (`k` even), each edge rewired with probability `beta`.
 pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> UncertainGraph {
-    assert!(k % 2 == 0 && k >= 2, "k must be even and >= 2");
+    assert!(k.is_multiple_of(2) && k >= 2, "k must be even and >= 2");
     assert!(k < n, "k must be below n");
     assert!((0.0..=1.0).contains(&beta));
     let mut rng = StdRng::seed_from_u64(seed);

@@ -37,11 +37,17 @@ pub fn coin_flip(seed: u64, sample: u64, coin: u32, prob: f64) -> bool {
     coin_uniform(seed, sample, coin) < prob
 }
 
+/// Sample-index multiplier of the inner hash: `sample · SAMPLE_MUL`
+/// feeds the inner SplitMix64. Shared with the lane-packed kernel
+/// ([`crate::packed`]), which premultiplies block bases by it — one
+/// definition, so the two paths cannot silently diverge.
+pub(crate) const SAMPLE_MUL: u64 = 0xa076_1d64_78bd_642f;
+
 /// The raw 53-bit draw behind [`coin_uniform`] (the integer `k` such that
 /// the uniform is `k · 2⁻⁵³`).
 #[inline]
 pub fn coin_raw(seed: u64, sample: u64, coin: u32) -> u64 {
-    splitmix64(seed ^ splitmix64(sample.wrapping_mul(0xa076_1d64_78bd_642f) ^ coin as u64)) >> 11
+    splitmix64(seed ^ splitmix64(sample.wrapping_mul(SAMPLE_MUL) ^ coin as u64)) >> 11
 }
 
 /// Integer threshold `T` such that `coin_flip(…, prob) ⇔ coin_raw(…) < T`

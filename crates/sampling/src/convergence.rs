@@ -161,6 +161,31 @@ impl Budget {
 /// probability at least `1 - delta` (the budget's `delta`, or
 /// [`DEFAULT_DELTA`] for fixed budgets), by the distribution-free bounds
 /// described in the [module docs](self).
+///
+/// ```
+/// use relmax_sampling::{Budget, Estimator, McEstimator};
+/// use relmax_ugraph::{NodeId, UncertainGraph};
+///
+/// let mut g = UncertainGraph::new(2, true);
+/// g.add_edge(NodeId(0), NodeId(1), 0.3).unwrap();
+/// let mc = McEstimator::new(1, 7);
+/// let est = mc.st_estimate(&g.freeze(), NodeId(0), NodeId(1), Budget::fixed(10_000));
+/// assert!((est.value - 0.3).abs() < 0.02);
+/// assert!(est.ci_low <= est.value && est.value <= est.ci_high);
+/// assert_eq!(est.samples_used, 10_000);
+/// assert!(!est.stopped_early); // fixed budgets never stop early
+/// assert!(est.stderr > 0.0 && est.half_width() > 0.0);
+///
+/// // Accuracy budgets stop as soon as the interval fits the target.
+/// let est = mc.st_estimate(
+///     &g.freeze(),
+///     NodeId(0),
+///     NodeId(1),
+///     Budget::accuracy_capped(0.05, 0.05, 1 << 16),
+/// );
+/// assert!(est.half_width() <= 0.05);
+/// assert!(est.stopped_early && est.samples_used < 1 << 16);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Estimate {
     /// The point estimate of the reliability.

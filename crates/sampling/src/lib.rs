@@ -27,6 +27,10 @@
 //!   and the deterministic power-of-two-checkpoint adaptive stopping
 //!   loop behind accuracy budgets — plus the paper's index-of-dispersion
 //!   diagnostic (`ρ_Z = V_Z/R_Z < 0.001`) for picking `Z` per dataset.
+//! - [`packed`] — the lane-packed Monte Carlo kernel: 64 sampled worlds
+//!   per `u64` word, one branchless frontier fixpoint per block, folded
+//!   into the same integer hit counts as the scalar BFS (bit-identical;
+//!   `RELMAX_KERNEL=scalar` selects the scalar reference path).
 //! - [`legacy`] — the pre-CSR dynamic-dispatch Monte Carlo walker, kept
 //!   verbatim as the microbenchmark baseline and as the bit-identity
 //!   reference for the refactor.
@@ -68,6 +72,7 @@ pub mod convergence;
 pub mod exact;
 pub mod legacy;
 pub mod mc;
+pub mod packed;
 pub mod rss;
 pub mod runtime;
 
@@ -75,6 +80,7 @@ pub use batch::{BatchEstimate, BatchQuery, BatchResult, QueryBatch};
 pub use convergence::{converged_sample_size, dispersion_ratio, AdaptivePlan, Budget, Estimate};
 pub use exact::ExactEstimator;
 pub use mc::McEstimator;
+pub use packed::{Kernel, WorldBlock};
 pub use rss::RssEstimator;
 pub use runtime::ParallelRuntime;
 

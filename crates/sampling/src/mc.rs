@@ -2,6 +2,7 @@
 
 use crate::coins::coin_raw;
 use crate::convergence::{drive_budget, worst_bernoulli_half_width, Budget, Estimate};
+use crate::packed::{self, Kernel};
 use crate::runtime::ParallelRuntime;
 use crate::Estimator;
 use relmax_ugraph::{
@@ -19,6 +20,12 @@ use relmax_ugraph::{
 /// freeze once ([`relmax_ugraph::CsrGraph::freeze`]) and sample against
 /// the snapshot — the per-world BFS then walks flat arrays with zero
 /// allocations (epoch-stamped scratch from a thread-local pool).
+///
+/// Worlds are evaluated by the lane-packed kernel by default — 64
+/// sampled worlds per `u64` word, one frontier fixpoint per block
+/// ([`crate::packed`]) — with the scalar one-world-at-a-time BFS kept as
+/// the bit-identical reference path (`RELMAX_KERNEL=scalar` or
+/// [`McEstimator::with_kernel`]).
 ///
 /// Sampling is sharded over a [`ParallelRuntime`]
 /// ([`McEstimator::with_threads`] / [`McEstimator::with_runtime`]).
@@ -51,6 +58,10 @@ pub struct McEstimator {
     pub seed: u64,
     /// Sample-sharding executor (serial by default).
     pub runtime: ParallelRuntime,
+    /// Which Monte Carlo kernel runs the worlds: the lane-packed
+    /// 64-worlds-per-word kernel (default) or the scalar reference BFS.
+    /// Both are bit-identical; see [`crate::packed`].
+    pub kernel: Kernel,
 }
 
 impl McEstimator {
@@ -83,7 +94,17 @@ impl McEstimator {
             budget,
             seed,
             runtime,
+            kernel: Kernel::auto(),
         }
+    }
+
+    /// Select the Monte Carlo kernel explicitly (the constructors default
+    /// to [`Kernel::auto`], which honours `RELMAX_KERNEL`). Estimates are
+    /// bit-identical either way — this is a pure performance knob, kept
+    /// explicit so tests can run both kernels in one process.
+    pub fn with_kernel(mut self, kernel: Kernel) -> Self {
+        self.kernel = kernel;
+        self
     }
 
     fn reach_counts<G: ProbGraph>(
@@ -151,7 +172,12 @@ impl McEstimator {
                 hi,
                 |l, h| {
                     let mut local = vec![0u64; n];
-                    self.reach_counts(g, start, reverse, l, h, &mut local);
+                    match self.kernel {
+                        Kernel::Packed => {
+                            packed::reach_counts(g, self.seed, start, reverse, l, h, &mut local)
+                        }
+                        Kernel::Scalar => self.reach_counts(g, start, reverse, l, h, &mut local),
+                    }
                     local
                 },
                 |local| {
@@ -353,7 +379,10 @@ impl Estimator for McEstimator {
             self.runtime.run_sample_range(
                 lo,
                 hi,
-                |l, h| self.st_hits(g, s, t, l, h),
+                |l, h| match self.kernel {
+                    Kernel::Packed => packed::st_hits(g, self.seed, s, t, l, h),
+                    Kernel::Scalar => self.st_hits(g, s, t, l, h),
+                },
                 |h| hits += h,
             );
             worst_bernoulli_half_width([hits], hi, delta)
@@ -382,7 +411,10 @@ impl Estimator for McEstimator {
             self.runtime.run_sample_range(
                 lo,
                 hi,
-                |l, h| self.pairwise_counts(g, sources, targets, l, h),
+                |l, h| match self.kernel {
+                    Kernel::Packed => packed::pairwise_counts(g, self.seed, sources, targets, l, h),
+                    Kernel::Scalar => self.pairwise_counts(g, sources, targets, l, h),
+                },
                 |local| {
                     for (row, lrow) in counts.iter_mut().zip(local) {
                         for (c, l) in row.iter_mut().zip(lrow) {
@@ -431,7 +463,14 @@ impl Estimator for McEstimator {
             self.runtime.run_sample_range(
                 lo,
                 hi,
-                |l, h| self.scan_counts(g, s, t, candidates, l, h),
+                |l, h| match self.kernel {
+                    Kernel::Packed => {
+                        let mut local = vec![0u64; candidates.len()];
+                        packed::scan_counts(g, self.seed, s, t, candidates, l..h, &mut local);
+                        local
+                    }
+                    Kernel::Scalar => self.scan_counts(g, s, t, candidates, l, h),
+                },
                 |local| {
                     for (c, l) in counts.iter_mut().zip(local) {
                         *c += l;
@@ -643,6 +682,55 @@ mod tests {
     #[should_panic(expected = "at least one sample")]
     fn zero_samples_rejected() {
         let _ = McEstimator::new(0, 1);
+    }
+
+    #[test]
+    fn packed_kernel_bit_identical_to_scalar_reference() {
+        // Every budgeted kernel, packed vs scalar, including a sample
+        // count that leaves a masked tail block (1234 = 19·64 + 18).
+        let g = bridge_graph();
+        let csr = CsrGraph::freeze(&g);
+        let cands = vec![
+            ExtraEdge {
+                src: NodeId(0),
+                dst: NodeId(3),
+                prob: 0.5,
+            },
+            ExtraEdge {
+                src: NodeId(2),
+                dst: NodeId(1),
+                prob: 0.9,
+            },
+        ];
+        let packed = McEstimator::new(1234, 77).with_kernel(Kernel::Packed);
+        let scalar = McEstimator::new(1234, 77).with_kernel(Kernel::Scalar);
+        let b = Budget::fixed(1234);
+        assert_eq!(
+            packed.st_estimate(&csr, NodeId(0), NodeId(3), b),
+            scalar.st_estimate(&csr, NodeId(0), NodeId(3), b),
+        );
+        assert_eq!(
+            packed.from_estimates(&csr, NodeId(0), b),
+            scalar.from_estimates(&csr, NodeId(0), b),
+        );
+        assert_eq!(
+            packed.to_estimates(&csr, NodeId(3), b),
+            scalar.to_estimates(&csr, NodeId(3), b),
+        );
+        assert_eq!(
+            packed.pairwise_estimates(&csr, &[NodeId(0), NodeId(1)], &[NodeId(2), NodeId(3)], b),
+            scalar.pairwise_estimates(&csr, &[NodeId(0), NodeId(1)], &[NodeId(2), NodeId(3)], b),
+        );
+        assert_eq!(
+            packed.scan_estimates(&csr, NodeId(0), NodeId(3), &cands, b),
+            scalar.scan_estimates(&csr, NodeId(0), NodeId(3), &cands, b),
+        );
+        // Accuracy budgets stop at the same checkpoint with the same bits.
+        let acc = Budget::accuracy_capped(0.03, 0.05, 5000);
+        assert_eq!(
+            packed.st_estimate(&csr, NodeId(0), NodeId(3), acc),
+            scalar.st_estimate(&csr, NodeId(0), NodeId(3), acc),
+        );
     }
 
     /// The naive candidate scan every selector ran before the shared-world

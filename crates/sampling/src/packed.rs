@@ -1,0 +1,795 @@
+//! Lane-packed world sampling: 64 Monte Carlo worlds per machine word.
+//!
+//! The scalar kernels in [`crate::mc`] explore one possible world at a
+//! time: one BFS per sample, one coin flip per arc visit. This module
+//! packs **64 sampled worlds into the bit lanes of a `u64`** and runs one
+//! branchless frontier fixpoint per block of worlds instead:
+//!
+//! - a [`WorldBlock`] covers the sample indices `base..base + 64` (lane
+//!   `k` *is* scalar sample `base + k`; tail blocks mask the unused high
+//!   lanes);
+//! - per node, `reached` and `pending` are `u64` words whose bit `k`
+//!   means "reached in world `base + k`";
+//! - per arc `(v, u)`, propagation is word parallel:
+//!   `add = pending[v] & coin_lanes(...) & !reached[u]` advances all 64
+//!   worlds in a handful of word ops.
+//!
+//! ## Bit-identity with the scalar kernel
+//!
+//! Lane `k` of a block flips exactly the coins scalar sample `base + k`
+//! would flip: [`coin_lanes`] compares the **same stateless draw**
+//! `coin_raw(seed, base + k, coin)` against the same per-arc threshold
+//! (see `docs/internals.md` for the lane diagram). Reachability per lane
+//! is therefore the same pure function of the same coins, so folding a
+//! block into hit counts via `popcount` adds exactly the 0/1 indicators
+//! the scalar loop adds — integer sums, independent of block and shard
+//! boundaries. Every [`crate::convergence::Estimate`] downstream is
+//! bit-for-bit the scalar kernel's, at every thread count.
+//!
+//! The scalar path stays available as the reference implementation:
+//! select it with the `RELMAX_KERNEL=scalar` environment variable or
+//! [`McEstimator::with_kernel`](crate::McEstimator::with_kernel). The
+//! equivalence suite in `tests/determinism.rs` runs both and asserts
+//! bit-identity across graph shapes, tail blocks, and thread counts.
+//!
+//! ## Why it is faster
+//!
+//! The scalar BFS pays its loop overhead — stack traffic, visited
+//! checks, arc decoding, and one streaming pass over the CSR arrays —
+//! once per *arc per world*. The packed fixpoint pays it once per *arc
+//! per block*: each coin's 64 lane verdicts are hashed **once per
+//! block** ([`coin_lanes`], a fixed 64-wide loop of independent hash
+//! chains that pipelines where the scalar hash is interleaved with
+//! branchy BFS) and memoized, so every further touch of the arc inside
+//! the block is three word ops. Arcs none of whose lanes can still make
+//! progress are skipped without hashing at all. `BENCH_sampling.json`
+//! (see `docs/benchmarks.md`) records the measured speedup on the
+//! 100k-node packed benchmark scenario.
+
+use crate::coins::{splitmix64, SAMPLE_MUL};
+use relmax_ugraph::{CoinId, ExtraEdge, NodeId, ProbGraph};
+use std::cell::RefCell;
+use std::sync::OnceLock;
+
+/// Worlds per block: the bit width of the lane word.
+pub const LANES: usize = 64;
+
+/// `LANE_MUL[k] = k · C (mod 2⁶⁴)`: the per-lane offset of the inner
+/// hash input, precomputed so the per-lane draw costs one add instead of
+/// one multiply (`(base + k) · C = base · C + k · C` in wrapping
+/// arithmetic — bit-identical to [`coin_raw`](crate::coins::coin_raw)).
+const LANE_MUL: [u64; LANES] = {
+    let mut t = [0u64; LANES];
+    let mut k = 0;
+    while k < LANES {
+        t[k] = (k as u64).wrapping_mul(SAMPLE_MUL);
+        k += 1;
+    }
+    t
+};
+
+/// The raw 53-bit draw for lane `k` of a block whose premultiplied base
+/// is `base_mul = base · C`: bit-identical to
+/// `coin_raw(seed, base + k, coin)`.
+#[inline]
+fn lane_raw(seed: u64, base_mul: u64, k: u32, coin: CoinId) -> u64 {
+    splitmix64(seed ^ splitmix64(base_mul.wrapping_add(LANE_MUL[k as usize]) ^ coin as u64)) >> 11
+}
+
+/// Coin verdicts for all 64 lanes of a block: bit `k` of the result is
+/// set iff `coin_raw(seed, base + k, coin) < threshold`.
+///
+/// The kernels call this **once per coin per block** (an epoch-stamped
+/// memo); every later touch of the coin inside the block's fixpoint is
+/// pure word arithmetic. On x86-64 hosts with AVX-512DQ the 64 draws
+/// run eight SplitMix64 chains per instruction (an internal `simd`
+/// module, detected once at runtime); elsewhere a fixed 64-iteration
+/// loop of independent chains unrolls and pipelines. Both paths are
+/// bit-identical to 64 [`coin_raw`](crate::coins::coin_raw) calls. `base_mul` is
+/// [`WorldBlock::base_mul`].
+#[inline]
+pub fn coin_lanes(seed: u64, base_mul: u64, coin: CoinId, threshold: u64) -> u64 {
+    #[cfg(target_arch = "x86_64")]
+    if simd::available() {
+        // SAFETY: `available()` verified avx512f + avx512dq at runtime.
+        return unsafe { simd::coin_lanes(seed, base_mul, coin, threshold) };
+    }
+    coin_lanes_portable(seed, base_mul, coin, threshold)
+}
+
+/// Whether [`coin_lanes`] runs on the AVX-512 fast path on this host
+/// (bit-identical either way — this only matters for interpreting
+/// benchmark numbers, so `BENCH_sampling.json` records it).
+pub fn simd_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        simd::available()
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Portable [`coin_lanes`]: 64 independent hash chains in a fixed loop.
+#[inline]
+fn coin_lanes_portable(seed: u64, base_mul: u64, coin: CoinId, threshold: u64) -> u64 {
+    let mut mask = 0u64;
+    let mut k = 0u32;
+    while k < LANES as u32 {
+        mask |= ((lane_raw(seed, base_mul, k, coin) < threshold) as u64) << k;
+        k += 1;
+    }
+    mask
+}
+
+/// AVX-512 fast path for [`coin_lanes`]: SplitMix64 over eight 64-bit
+/// lanes per vector (`vpmullq` from AVX-512DQ makes the 64-bit multiply
+/// native), eight chunks covering the 64 block lanes. Bit-identical to
+/// the portable loop — the unit tests compare them draw for draw.
+#[cfg(target_arch = "x86_64")]
+mod simd {
+    use super::LANE_MUL;
+    use core::arch::x86_64::*;
+    use relmax_ugraph::CoinId;
+    use std::sync::OnceLock;
+
+    /// Whether this host has the required AVX-512 subsets (checked once).
+    #[inline]
+    pub fn available() -> bool {
+        static AVAILABLE: OnceLock<bool> = OnceLock::new();
+        *AVAILABLE.get_or_init(|| {
+            std::arch::is_x86_feature_detected!("avx512f")
+                && std::arch::is_x86_feature_detected!("avx512dq")
+        })
+    }
+
+    /// SplitMix64 finalizer over 8 lanes (same constants as
+    /// [`crate::coins::splitmix64`]).
+    #[inline]
+    #[target_feature(enable = "avx512f,avx512dq")]
+    fn splitmix8(z: __m512i) -> __m512i {
+        let z = _mm512_add_epi64(z, _mm512_set1_epi64(0x9e37_79b9_7f4a_7c15_u64 as i64));
+        let z = _mm512_mullo_epi64(
+            _mm512_xor_si512(z, _mm512_srli_epi64(z, 30)),
+            _mm512_set1_epi64(0xbf58_476d_1ce4_e5b9_u64 as i64),
+        );
+        let z = _mm512_mullo_epi64(
+            _mm512_xor_si512(z, _mm512_srli_epi64(z, 27)),
+            _mm512_set1_epi64(0x94d0_49bb_1331_11eb_u64 as i64),
+        );
+        _mm512_xor_si512(z, _mm512_srli_epi64(z, 31))
+    }
+
+    /// See [`super::coin_lanes`].
+    ///
+    /// # Safety
+    /// The caller must have verified [`available`] (avx512f + avx512dq).
+    #[target_feature(enable = "avx512f,avx512dq")]
+    pub unsafe fn coin_lanes(seed: u64, base_mul: u64, coin: CoinId, threshold: u64) -> u64 {
+        let seedv = _mm512_set1_epi64(seed as i64);
+        let basev = _mm512_set1_epi64(base_mul as i64);
+        let coinv = _mm512_set1_epi64(coin as u64 as i64);
+        let thv = _mm512_set1_epi64(threshold as i64);
+        let mut mask = 0u64;
+        for chunk in 0..8 {
+            // Inner hash input per lane: (base + k) · C ^ coin, with the
+            // premultiplied lane offsets loaded straight from LANE_MUL.
+            let lanes = _mm512_loadu_si512(LANE_MUL.as_ptr().add(chunk * 8) as *const __m512i);
+            let x = _mm512_xor_si512(_mm512_add_epi64(basev, lanes), coinv);
+            let outer = splitmix8(_mm512_xor_si512(seedv, splitmix8(x)));
+            let draw = _mm512_srli_epi64(outer, 11);
+            // 53-bit draws: the unsigned compare is exact.
+            let lt = _mm512_cmplt_epu64_mask(draw, thv);
+            mask |= (lt as u64) << (chunk * 8);
+        }
+        mask
+    }
+}
+
+/// One block of up to 64 consecutive sampled worlds.
+///
+/// Lane `k` of every word in the block corresponds to scalar sample
+/// `base + k`; `mask` has a bit set for each live lane (all 64 except in
+/// the tail block of a range).
+///
+/// ```
+/// use relmax_sampling::packed::WorldBlock;
+///
+/// let blocks: Vec<WorldBlock> = WorldBlock::span(0, 130).collect();
+/// assert_eq!(blocks.len(), 3);
+/// assert_eq!(blocks[0].base, 0);
+/// assert_eq!(blocks[0].mask, !0); // 64 live lanes
+/// assert_eq!(blocks[2].base, 128);
+/// assert_eq!(blocks[2].mask, 0b11); // tail block: worlds 128 and 129
+/// assert_eq!(blocks.iter().map(|b| b.lanes() as u64).sum::<u64>(), 130);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorldBlock {
+    /// Absolute sample index of lane 0.
+    pub base: u64,
+    /// Live lanes: bit `k` set iff world `base + k` is inside the range.
+    pub mask: u64,
+}
+
+impl WorldBlock {
+    /// The blocks tiling the absolute sample range `lo..hi`, in order.
+    /// All blocks are full except possibly the last (tail) block.
+    pub fn span(lo: u64, hi: u64) -> impl Iterator<Item = WorldBlock> {
+        let mut base = lo;
+        std::iter::from_fn(move || {
+            if base >= hi {
+                return None;
+            }
+            let lanes = (hi - base).min(LANES as u64);
+            let block = WorldBlock {
+                base,
+                mask: if lanes == LANES as u64 {
+                    !0
+                } else {
+                    (1u64 << lanes) - 1
+                },
+            };
+            base += lanes;
+            Some(block)
+        })
+    }
+
+    /// Number of live lanes in this block.
+    #[inline]
+    pub fn lanes(&self) -> u32 {
+        self.mask.count_ones()
+    }
+
+    /// The block base premultiplied by the coin hash's sample constant —
+    /// pass to [`coin_lanes`].
+    #[inline]
+    pub fn base_mul(&self) -> u64 {
+        self.base.wrapping_mul(SAMPLE_MUL)
+    }
+}
+
+/// One entry of the per-block coin memo: the epoch stamp and the cached
+/// 64-lane verdict word live in one 16-byte slot, so a memo probe
+/// touches a single cache line.
+#[derive(Debug, Clone, Copy, Default)]
+#[repr(align(16))]
+struct CoinSlot {
+    mark: u32,
+    mask: u64,
+}
+
+/// Per-block coin-mask memo: each coin's 64 lane verdicts are hashed on
+/// first touch and served from the cache for the rest of the block.
+/// Epoch-stamped, so starting the next block is one counter bump; a
+/// separate object from [`LaneScratch`] because one memo can back
+/// several fixpoints of the same block (forward + reverse scan passes,
+/// every source of a pairwise row).
+#[derive(Debug, Default)]
+struct CoinMemo {
+    slots: Vec<CoinSlot>,
+    epoch: u32,
+}
+
+impl CoinMemo {
+    /// Start a fresh epoch for a block over `m` coins.
+    fn begin(&mut self, m: usize) {
+        if self.slots.len() < m {
+            self.slots.resize(m, CoinSlot::default());
+        }
+        if self.epoch == u32::MAX {
+            self.slots.fill(CoinSlot::default());
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+    }
+
+    /// The 64-lane verdict word for `coin` in the current block.
+    #[inline]
+    fn get(&mut self, seed: u64, base_mul: u64, coin: CoinId, threshold: u64) -> u64 {
+        let slot = &mut self.slots[coin as usize];
+        if slot.mark == self.epoch {
+            slot.mask
+        } else {
+            let mask = coin_lanes(seed, base_mul, coin, threshold);
+            *slot = CoinSlot {
+                mark: self.epoch,
+                mask,
+            };
+            mask
+        }
+    }
+}
+
+/// Per-node lane state: the reach closure so far and the not-yet-
+/// propagated pending bits share a 16-byte slot, so the one random
+/// memory access per arc touches a single cache line.
+#[derive(Debug, Clone, Copy, Default)]
+#[repr(align(16))]
+struct NodeLanes {
+    reached: u64,
+    pending: u64,
+}
+
+/// Node state plus the frontier bitmaps of the level-synchronous
+/// fixpoint: `cur`/`next` hold one bit per node ("has pending lanes this
+/// round / next round"), `live` accumulates every node touched in the
+/// block so the next block clears `O(touched)` state instead of `O(n)`.
+#[derive(Debug, Default)]
+struct LaneScratch {
+    state: Vec<NodeLanes>,
+    cur: Vec<u64>,
+    next: Vec<u64>,
+    live: Vec<u64>,
+}
+
+impl LaneScratch {
+    /// Reset for the next block over `n` nodes: zero the state of every
+    /// node the previous block touched (all other words are already 0).
+    fn begin_block(&mut self, n: usize) {
+        let words = n.div_ceil(LANES);
+        if self.state.len() < n {
+            self.state.resize(n, NodeLanes::default());
+            self.cur.resize(words, 0);
+            self.next.resize(words, 0);
+            self.live.resize(words, 0);
+        }
+        // Sweep the full live bitmap (not just this graph's prefix) so a
+        // scratch reused across graphs of different sizes stays clean.
+        for wi in 0..self.live.len() {
+            let mut w = self.live[wi];
+            if w == 0 {
+                continue;
+            }
+            self.live[wi] = 0;
+            self.cur[wi] = 0;
+            self.next[wi] = 0;
+            while w != 0 {
+                let v = wi * LANES + w.trailing_zeros() as usize;
+                w &= w - 1;
+                self.state[v] = NodeLanes::default();
+            }
+        }
+    }
+
+    /// Seed the fixpoint: mark `v` reached in `lanes` and queue it.
+    #[inline]
+    fn seed(&mut self, v: NodeId, lanes: u64) {
+        self.state[v.index()] = NodeLanes {
+            reached: lanes,
+            pending: lanes,
+        };
+        let (w, b) = (v.index() >> 6, v.index() & 63);
+        self.cur[w] |= 1 << b;
+        self.live[w] |= 1 << b;
+    }
+
+    /// Nodes with any reached lane this block, ascending.
+    fn live_nodes(&self) -> impl Iterator<Item = usize> + '_ {
+        self.live.iter().enumerate().flat_map(|(wi, &word)| {
+            let mut w = word;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    return None;
+                }
+                let v = wi * LANES + w.trailing_zeros() as usize;
+                w &= w - 1;
+                Some(v)
+            })
+        })
+    }
+}
+
+thread_local! {
+    static SCRATCH_POOL: RefCell<Vec<LaneScratch>> = const { RefCell::new(Vec::new()) };
+    static MEMO_POOL: RefCell<Vec<CoinMemo>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Run `f` with a pooled value (mirrors `relmax_ugraph::with_scratch`:
+/// thread-local, zero steady-state allocation, safe to nest — nested
+/// uses simply draw another value). The pool is bounded so pathological
+/// nesting cannot hoard memory.
+fn with_pooled<T: Default, R>(
+    pool: &'static std::thread::LocalKey<RefCell<Vec<T>>>,
+    f: impl FnOnce(&mut T) -> R,
+) -> R {
+    let mut value = pool.with(|p| p.borrow_mut().pop()).unwrap_or_default();
+    let out = f(&mut value);
+    pool.with(|p| {
+        let mut p = p.borrow_mut();
+        if p.len() < 4 {
+            p.push(value);
+        }
+    });
+    out
+}
+
+/// Run `f` with a pooled [`LaneScratch`].
+fn with_lane_scratch<R>(f: impl FnOnce(&mut LaneScratch) -> R) -> R {
+    with_pooled(&SCRATCH_POOL, f)
+}
+
+/// Run `f` with a pooled [`CoinMemo`].
+fn with_coin_memo<R>(f: impl FnOnce(&mut CoinMemo) -> R) -> R {
+    with_pooled(&MEMO_POOL, f)
+}
+
+/// Run the packed frontier fixpoint for one block: level-synchronous
+/// rounds over the frontier bitmap until no lane makes progress.
+///
+/// Processing the frontier in rounds (and in ascending node order within
+/// a round) makes lanes that reach a node at the same BFS depth arrive
+/// as one wave, so a node's arcs are rescanned once per *distinct
+/// arrival depth* instead of once per lane — and the deposit into the
+/// destination's [`NodeLanes`] slot is branchless, keeping the random
+/// loads pipelined instead of serialized behind mispredicted branches.
+///
+/// `prune` (the `s-t` early exit) masks lanes that already reached the
+/// target out of further expansion — legal because coins are stateless,
+/// so *which* arcs get hashed never changes any lane's verdict.
+#[inline]
+fn fixpoint<G: ProbGraph>(
+    g: &G,
+    seed: u64,
+    block: WorldBlock,
+    ls: &mut LaneScratch,
+    memo: &mut CoinMemo,
+    reverse: bool,
+    prune: Option<NodeId>,
+) {
+    let base_mul = block.base_mul();
+    let words = g.num_nodes().div_ceil(LANES);
+    loop {
+        if let Some(t) = prune {
+            // Every live lane has its verdict: the whole block is done.
+            // Leftover frontier/pending state is cleared by the next
+            // `begin_block` (frontier bits are a subset of `live`).
+            if ls.state[t.index()].reached == block.mask {
+                return;
+            }
+        }
+        let mut any = 0u64;
+        for wi in 0..words {
+            let mut w = ls.cur[wi];
+            if w == 0 {
+                continue;
+            }
+            ls.cur[wi] = 0;
+            while w != 0 {
+                let v = wi * LANES + w.trailing_zeros() as usize;
+                w &= w - 1;
+                let mut new_bits = ls.state[v].pending;
+                ls.state[v].pending = 0;
+                if let Some(t) = prune {
+                    new_bits &= !ls.state[t.index()].reached;
+                }
+                if new_bits == 0 {
+                    continue;
+                }
+                let mut step = |(u, th, c): (NodeId, u64, CoinId)| {
+                    let mask = memo.get(seed, base_mul, c, th);
+                    let st = &mut ls.state[u.index()];
+                    let add = new_bits & mask & !st.reached;
+                    st.reached |= add;
+                    st.pending |= add;
+                    let nz = (add != 0) as u64;
+                    let (uw, ub) = (u.index() >> 6, u.index() & 63);
+                    ls.next[uw] |= nz << ub;
+                    ls.live[uw] |= nz << ub;
+                    any |= add;
+                };
+                if reverse {
+                    g.in_flips(NodeId(v as u32)).for_each(&mut step);
+                } else {
+                    g.out_flips(NodeId(v as u32)).for_each(&mut step);
+                }
+            }
+        }
+        if any == 0 {
+            return;
+        }
+        std::mem::swap(&mut ls.cur, &mut ls.next);
+    }
+}
+
+/// Packed `s-t` hit count for the absolute sample range `lo..hi`:
+/// bit-identical to the scalar per-world BFS count.
+pub fn st_hits<G: ProbGraph>(g: &G, seed: u64, s: NodeId, t: NodeId, lo: u64, hi: u64) -> u64 {
+    let n = g.num_nodes();
+    let m = g.num_coins();
+    let mut hits = 0u64;
+    with_lane_scratch(|ls| {
+        with_coin_memo(|memo| {
+            for block in WorldBlock::span(lo, hi) {
+                ls.begin_block(n);
+                memo.begin(m);
+                ls.seed(s, block.mask);
+                fixpoint(g, seed, block, ls, memo, false, Some(t));
+                hits += ls.state[t.index()].reached.count_ones() as u64;
+            }
+        });
+    });
+    hits
+}
+
+/// Packed per-node reach counts (forward from `start`, or reverse to it)
+/// for `lo..hi`, folded into `counts` by popcount — the same integers
+/// the scalar `accumulate_visited` sweep produces.
+pub fn reach_counts<G: ProbGraph>(
+    g: &G,
+    seed: u64,
+    start: NodeId,
+    reverse: bool,
+    lo: u64,
+    hi: u64,
+    counts: &mut [u64],
+) {
+    let n = g.num_nodes();
+    let m = g.num_coins();
+    with_lane_scratch(|ls| {
+        with_coin_memo(|memo| {
+            for block in WorldBlock::span(lo, hi) {
+                ls.begin_block(n);
+                memo.begin(m);
+                ls.seed(start, block.mask);
+                fixpoint(g, seed, block, ls, memo, reverse, None);
+                for v in ls.live_nodes() {
+                    counts[v] += ls.state[v].reached.count_ones() as u64;
+                }
+            }
+        });
+    });
+}
+
+/// Packed shared-world candidate-scan counts for `lo..hi`: the lane
+/// version of the forward/reverse reach decomposition. Connected lanes
+/// (`fwd[t]`) credit every candidate; for the rest, candidate `(u, v)`
+/// bridges lane `k` iff `fwd[u]`, `rev[v]`, and the candidate's own coin
+/// all hold in lane `k`.
+pub fn scan_counts<G: ProbGraph>(
+    g: &G,
+    seed: u64,
+    s: NodeId,
+    t: NodeId,
+    candidates: &[ExtraEdge],
+    span: std::ops::Range<u64>,
+    counts: &mut [u64],
+) {
+    let n = g.num_nodes();
+    let thresholds: Vec<u64> = candidates
+        .iter()
+        .map(|c| relmax_ugraph::flip_threshold(c.prob))
+        .collect();
+    // Single-candidate overlays all assign their extra edge the first
+    // coin id past the base graph (same id the scalar kernel uses).
+    let cand_coin = g.num_coins() as CoinId;
+    let directed = g.is_directed();
+    let m = g.num_coins();
+    with_lane_scratch(|fwd| {
+        with_lane_scratch(|rev| {
+            with_coin_memo(|memo| {
+                let mut raws = [0u64; LANES];
+                for block in WorldBlock::span(span.start, span.end) {
+                    fwd.begin_block(n);
+                    // One memo serves both passes: the reverse fixpoint
+                    // walks the same coins in the same block.
+                    memo.begin(m);
+                    fwd.seed(s, block.mask);
+                    fixpoint(g, seed, block, fwd, memo, false, None);
+                    let connected = fwd.state[t.index()].reached;
+                    if connected != 0 {
+                        let hit = connected.count_ones() as u64;
+                        for c in counts.iter_mut() {
+                            *c += hit;
+                        }
+                    }
+                    let open = block.mask & !connected;
+                    if open == 0 {
+                        continue;
+                    }
+                    // Reverse reach to t, restricted to still-open lanes.
+                    rev.begin_block(n);
+                    rev.seed(t, open);
+                    fixpoint(g, seed, block, rev, memo, true, None);
+                    // The candidate coin's raw draw per open lane;
+                    // candidates differ only in the threshold it is
+                    // compared against.
+                    let base_mul = block.base_mul();
+                    let mut lanes = open;
+                    while lanes != 0 {
+                        let k = lanes.trailing_zeros();
+                        lanes &= lanes - 1;
+                        raws[k as usize] = lane_raw(seed, base_mul, k, cand_coin);
+                    }
+                    for (i, cand) in candidates.iter().enumerate() {
+                        let mut bridges = fwd.state[cand.src.index()].reached
+                            & rev.state[cand.dst.index()].reached;
+                        if !directed {
+                            bridges |= fwd.state[cand.dst.index()].reached
+                                & rev.state[cand.src.index()].reached;
+                        }
+                        bridges &= open;
+                        let mut hit = 0u64;
+                        while bridges != 0 {
+                            let k = bridges.trailing_zeros();
+                            bridges &= bridges - 1;
+                            hit += (raws[k as usize] < thresholds[i]) as u64;
+                        }
+                        counts[i] += hit;
+                    }
+                }
+            });
+        });
+    });
+}
+
+/// Packed pairwise counts for `lo..hi`: each block instantiates a coin's
+/// lane verdicts at most once **across all sources** (the lane analogue
+/// of the scalar kernel's per-world coin memo), then every source runs
+/// its own fixpoint against the shared verdicts.
+pub fn pairwise_counts<G: ProbGraph>(
+    g: &G,
+    seed: u64,
+    sources: &[NodeId],
+    targets: &[NodeId],
+    lo: u64,
+    hi: u64,
+) -> Vec<Vec<u64>> {
+    let n = g.num_nodes();
+    let m = g.num_coins();
+    let mut counts = vec![vec![0u64; targets.len()]; sources.len()];
+    with_lane_scratch(|ls| {
+        with_coin_memo(|memo| {
+            for block in WorldBlock::span(lo, hi) {
+                // One coin epoch per block, shared by every source's
+                // fixpoint: each coin's 64 lanes are hashed at most once
+                // across all sources, like the scalar kernel's per-world
+                // coin memo.
+                memo.begin(m);
+                for (si, &s) in sources.iter().enumerate() {
+                    ls.begin_block(n);
+                    ls.seed(s, block.mask);
+                    fixpoint(g, seed, block, ls, memo, false, None);
+                    for (ti, &t) in targets.iter().enumerate() {
+                        counts[si][ti] += ls.state[t.index()].reached.count_ones() as u64;
+                    }
+                }
+            }
+        });
+    });
+    counts
+}
+
+/// Which Monte Carlo kernel an estimator runs.
+///
+/// Both kernels produce **bit-identical** estimates — [`Kernel::Packed`]
+/// is the default because it is several times faster; the scalar kernel
+/// is kept as the always-correct reference path for tests and
+/// cross-checks. The process default honours the `RELMAX_KERNEL`
+/// environment variable (`scalar` selects the reference path, anything
+/// else the packed one), read once and cached.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Kernel {
+    /// Lane-packed kernel: 64 worlds per `u64` word (this module).
+    #[default]
+    Packed,
+    /// Reference kernel: one world at a time, one BFS per sample.
+    Scalar,
+}
+
+/// Cached `RELMAX_KERNEL` parse.
+static ENV_KERNEL: OnceLock<Kernel> = OnceLock::new();
+
+impl Kernel {
+    /// The process-wide default: `RELMAX_KERNEL=scalar` selects
+    /// [`Kernel::Scalar`], anything else (or unset) [`Kernel::Packed`].
+    /// Read once per process and cached; tests that need both paths in
+    /// one process use `McEstimator::with_kernel` instead.
+    pub fn auto() -> Kernel {
+        *ENV_KERNEL.get_or_init(|| match std::env::var("RELMAX_KERNEL") {
+            Ok(v) if v.eq_ignore_ascii_case("scalar") => Kernel::Scalar,
+            _ => Kernel::Packed,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coins::coin_raw;
+    use relmax_ugraph::UncertainGraph;
+
+    #[test]
+    fn lane_raw_matches_coin_raw() {
+        // The premultiplied lane form must reproduce the scalar draw for
+        // every lane — this is the root of the packed kernel's
+        // bit-identity, so check it exhaustively over keys.
+        for &seed in &[0u64, 7, 0x5eed, u64::MAX] {
+            for &base in &[0u64, 64, 1 << 20, u64::MAX - 63] {
+                let base_mul = base.wrapping_mul(SAMPLE_MUL);
+                for k in [0u32, 1, 31, 63] {
+                    for coin in [0u32, 5, 1000] {
+                        assert_eq!(
+                            lane_raw(seed, base_mul, k, coin),
+                            coin_raw(seed, base.wrapping_add(k as u64), coin),
+                            "seed={seed} base={base} k={k} coin={coin}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn coin_lanes_matches_scalar_flips() {
+        let th = relmax_ugraph::flip_threshold(0.37);
+        for base in [0u64, 64, 100] {
+            let base_mul = base.wrapping_mul(SAMPLE_MUL);
+            let full = coin_lanes(9, base_mul, 3, th);
+            for k in 0..64u64 {
+                let scalar = coin_raw(9, base + k, 3) < th;
+                assert_eq!((full >> k) & 1 == 1, scalar, "base={base} lane={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn span_tiles_ranges_with_masked_tail() {
+        let blocks: Vec<WorldBlock> = WorldBlock::span(64, 200).collect();
+        assert_eq!(blocks.len(), 3);
+        assert_eq!(blocks[0], WorldBlock { base: 64, mask: !0 });
+        assert_eq!(
+            blocks[1],
+            WorldBlock {
+                base: 128,
+                mask: !0
+            }
+        );
+        assert_eq!(blocks[2].base, 192);
+        assert_eq!(blocks[2].lanes(), 8);
+        assert!(WorldBlock::span(5, 5).next().is_none());
+        // Unaligned lo: lane 0 is sample `lo`, not the enclosing multiple
+        // of 64 — shard boundaries need no alignment for correctness.
+        let odd: Vec<WorldBlock> = WorldBlock::span(10, 30).collect();
+        assert_eq!(odd.len(), 1);
+        assert_eq!(odd[0].base, 10);
+        assert_eq!(odd[0].lanes(), 20);
+    }
+
+    #[test]
+    fn packed_st_hits_match_scalar_bfs_counts() {
+        // A chain with a shortcut, directed.
+        let mut g = UncertainGraph::new(5, true);
+        g.add_edge(NodeId(0), NodeId(1), 0.7).unwrap();
+        g.add_edge(NodeId(1), NodeId(2), 0.6).unwrap();
+        g.add_edge(NodeId(2), NodeId(4), 0.5).unwrap();
+        g.add_edge(NodeId(0), NodeId(3), 0.4).unwrap();
+        g.add_edge(NodeId(3), NodeId(4), 0.8).unwrap();
+        let (s, t) = (NodeId(0), NodeId(4));
+        for (lo, hi) in [(0u64, 64u64), (0, 130), (64, 131), (7, 20)] {
+            let scalar: u64 = (lo..hi)
+                .map(|sample| {
+                    // Reference: per-world BFS over stateless coins.
+                    let mut reach = [false; 5];
+                    reach[s.index()] = true;
+                    let mut stack = vec![s];
+                    while let Some(v) = stack.pop() {
+                        g.out_flips(v).for_each(|(u, th, c)| {
+                            if !reach[u.index()] && coin_raw(11, sample, c) < th {
+                                reach[u.index()] = true;
+                                stack.push(u);
+                            }
+                        });
+                    }
+                    reach[t.index()] as u64
+                })
+                .sum();
+            assert_eq!(st_hits(&g, 11, s, t, lo, hi), scalar, "range {lo}..{hi}");
+        }
+    }
+
+    #[test]
+    fn kernel_default_is_packed() {
+        assert_eq!(Kernel::default(), Kernel::Packed);
+    }
+}

@@ -178,7 +178,11 @@ impl ParallelRuntime {
             return;
         }
         let workers = self.threads.min(z as usize);
-        let chunk = z.div_ceil(workers as u64);
+        // Shards are rounded up to whole 64-world blocks so the packed
+        // kernel sees at most one masked tail block per *call* instead of
+        // one per shard. Pure performance: totals are integer counts, so
+        // shard boundaries never affect results (see module docs).
+        let chunk = z.div_ceil(workers as u64).next_multiple_of(64).min(z);
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(workers);
             for w in 0..workers as u64 {

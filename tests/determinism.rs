@@ -219,6 +219,100 @@ fn selectors_identical_across_global_thread_counts() {
     }
 }
 
+/// The lane-packed kernel must be **bit-identical** to the scalar
+/// reference kernel (`RELMAX_KERNEL=scalar` /
+/// `McEstimator::with_kernel`) for every budgeted kernel, across random
+/// graph shapes (directed and undirected), sample counts that are not
+/// multiples of 64 (masked tail blocks), and thread counts 1/2/4 —
+/// the packed analogue of a proptest equivalence loop, seeded for
+/// reproducibility.
+#[test]
+fn packed_kernel_bit_identical_to_scalar_across_shapes_and_threads() {
+    use relmax::sampling::{Budget, Estimator, Kernel};
+    let mut rng = StdRng::seed_from_u64(0xD7);
+    // 1 world (degenerate), sub-block, exact blocks, and masked tails.
+    let sample_counts = [1usize, 63, 64, 100, 577, 1234];
+    for trial in 0..10 {
+        let (g, cands, s, t) = random_instance(&mut rng, trial % 2 == 0);
+        let csr = CsrGraph::freeze(&g);
+        let seed = rng.gen::<u64>();
+        let z = sample_counts[trial % sample_counts.len()];
+        let budget = Budget::fixed(z);
+        let scalar = McEstimator::new(z, seed).with_kernel(Kernel::Scalar);
+        let st = scalar.st_estimate(&csr, s, t, budget);
+        let from = scalar.from_estimates(&csr, s, budget);
+        let to = scalar.to_estimates(&csr, t, budget);
+        let pairwise = scalar.pairwise_estimates(&csr, &[s, t], &[t, s], budget);
+        let scan = scalar.scan_estimates(&csr, s, t, &cands, budget);
+        for threads in [1, 2, 4] {
+            let packed = McEstimator::with_threads(z, seed, threads).with_kernel(Kernel::Packed);
+            assert_eq!(
+                st,
+                packed.st_estimate(&csr, s, t, budget),
+                "st trial {trial} z={z} t{threads}"
+            );
+            assert_eq!(
+                from,
+                packed.from_estimates(&csr, s, budget),
+                "from trial {trial} z={z} t{threads}"
+            );
+            assert_eq!(
+                to,
+                packed.to_estimates(&csr, t, budget),
+                "to trial {trial} z={z} t{threads}"
+            );
+            assert_eq!(
+                pairwise,
+                packed.pairwise_estimates(&csr, &[s, t], &[t, s], budget),
+                "pairwise trial {trial} z={z} t{threads}"
+            );
+            assert_eq!(
+                scan,
+                packed.scan_estimates(&csr, s, t, &cands, budget),
+                "scan trial {trial} z={z} t{threads}"
+            );
+            // Adjacency walk and CSR snapshot agree on the packed path too.
+            assert_eq!(
+                st,
+                packed.st_estimate(&g, s, t, budget),
+                "adj trial {trial}"
+            );
+        }
+    }
+}
+
+/// Adaptive stopping must pick the same checkpoint with the same bits on
+/// both kernels: accuracy budgets are a pure function of the (identical)
+/// accumulated counts.
+#[test]
+fn packed_kernel_matches_scalar_under_accuracy_budgets() {
+    use relmax::sampling::{Budget, Estimator, Kernel};
+    let mut rng = StdRng::seed_from_u64(0xD8);
+    for trial in 0..6 {
+        let (g, cands, s, t) = random_instance(&mut rng, trial % 2 == 0);
+        let seed = rng.gen::<u64>();
+        // A cap that is not a multiple of 64 exercises the masked tail
+        // block at the final checkpoint.
+        let budget = Budget::accuracy_capped(0.04, 0.05, 3000);
+        let scalar = McEstimator::new(1, seed).with_kernel(Kernel::Scalar);
+        let st = scalar.st_estimate(&g, s, t, budget);
+        let scan = scalar.scan_estimates(&g, s, t, &cands, budget);
+        for threads in [1, 2, 4] {
+            let packed = McEstimator::with_threads(1, seed, threads).with_kernel(Kernel::Packed);
+            assert_eq!(
+                st,
+                packed.st_estimate(&g, s, t, budget),
+                "adaptive st trial {trial} t{threads}"
+            );
+            assert_eq!(
+                scan,
+                packed.scan_estimates(&g, s, t, &cands, budget),
+                "adaptive scan trial {trial} t{threads}"
+            );
+        }
+    }
+}
+
 /// Freezing must stay transparent under the parallel runtime: CSR
 /// snapshots and adjacency walks agree at every thread count.
 #[test]
