@@ -58,6 +58,20 @@ fn main() {
         "  packed geomean speedup: {:.2}x",
         bench.packed.geomean_speedup()
     );
+    eprintln!("  reliability index vs plain sampling:");
+    for c in &bench.index.workloads {
+        eprintln!(
+            "  {:<20} ({} nodes, {} comps, {} supernodes) unindexed {:>9.2?}  indexed {:>9.2?}  speedup {:>5.2}x  values identical: {}",
+            c.workload,
+            c.nodes,
+            c.components,
+            c.supernodes,
+            std::time::Duration::from_secs_f64(c.unindexed_s),
+            std::time::Duration::from_secs_f64(c.indexed_s),
+            c.speedup(),
+            c.bit_identical,
+        );
+    }
     let a = &bench.adaptive;
     eprintln!(
         "  adaptive (eps {} delta {}): {}/{} queries stopped early, {} of {} worlds spent ({:.1}% saved), thread-identical: {}",
@@ -106,11 +120,41 @@ fn main() {
         bench.packed.kernels.iter().all(|c| c.bit_identical),
         "packed kernel diverged from the scalar reference"
     );
+    // The reliability index must never change a value, at any scale; at
+    // full scale it must also pay ≥2x on its best-case workload while
+    // costing at most 5% on its worst case (smoke graphs are too small
+    // for the timings to mean anything, so only identity is asserted).
+    assert!(
+        bench.index.workloads.iter().all(|c| c.bit_identical),
+        "index routing changed a reliability value"
+    );
     if !smoke {
         assert!(
             bench.geomean_speedup() >= 2.0,
             "CSR walk fell below the 2x floor: {:.2}x",
             bench.geomean_speedup()
+        );
+        let connected = bench
+            .index
+            .workloads
+            .iter()
+            .find(|c| c.workload == "uncertain_connected")
+            .expect("connected workload present");
+        assert!(
+            connected.speedup() >= 0.95,
+            "index overhead broke the 0.95x floor on the connected workload: {:.2}x",
+            connected.speedup()
+        );
+        let partitioned = bench
+            .index
+            .workloads
+            .iter()
+            .find(|c| c.workload == "certain_partitioned")
+            .expect("partitioned workload present");
+        assert!(
+            partitioned.speedup() >= 2.0,
+            "index fell below the 2x floor on its best-case workload: {:.2}x",
+            partitioned.speedup()
         );
         let st = bench
             .packed

@@ -16,7 +16,8 @@ use relmax_gen::queries::st_queries;
 use relmax_gen::synth;
 use relmax_sampling::legacy::DynMcEstimator;
 use relmax_sampling::{packed, Budget, Estimator, Kernel, McEstimator, ParallelRuntime};
-use relmax_ugraph::{CsrGraph, ExtraEdge, GraphView, NodeId, UncertainGraph};
+use relmax_ugraph::{CsrGraph, ExtraEdge, GraphView, NodeId, RelIndex, UncertainGraph};
+use std::sync::Arc;
 
 /// One measured comparison: the same estimate computed both ways.
 #[derive(Debug, Clone)]
@@ -128,6 +129,51 @@ impl PackedScenario {
     }
 }
 
+/// One indexed-vs-unindexed comparison: the same s-t batch served with
+/// and without the freeze-time reliability index.
+#[derive(Debug, Clone)]
+pub struct IndexComparison {
+    /// Which workload ("uncertain_connected", "certain_partitioned").
+    pub workload: &'static str,
+    /// Nodes in the workload graph.
+    pub nodes: usize,
+    /// Edges (coins) in the workload graph.
+    pub edges: usize,
+    /// s-t queries in the batch.
+    pub queries: usize,
+    /// Sampled worlds per query.
+    pub samples: usize,
+    /// Supernodes after certain-edge condensation.
+    pub supernodes: usize,
+    /// Connected components of the possible graph.
+    pub components: usize,
+    /// Seconds for the plain (unindexed) batch.
+    pub unindexed_s: f64,
+    /// Seconds for the index-routed batch.
+    pub indexed_s: f64,
+    /// Whether every reliability value matched bit for bit. (Sampling-
+    /// effort fields legitimately differ on queries the index answers
+    /// without sampling; values never do.)
+    pub bit_identical: bool,
+}
+
+impl IndexComparison {
+    /// unindexed / indexed.
+    pub fn speedup(&self) -> f64 {
+        self.unindexed_s / self.indexed_s
+    }
+}
+
+/// The `index` scenario: reliability-index routing versus plain sampling
+/// on its best case (certain edges + disconnected components) and its
+/// worst case (fully uncertain, fully connected — the index can only
+/// add overhead there, bounded by the 0.95x floor the binary asserts).
+#[derive(Debug, Clone)]
+pub struct IndexScenario {
+    /// Per-workload comparisons.
+    pub workloads: Vec<IndexComparison>,
+}
+
 /// Full result of one benchmark run.
 #[derive(Debug, Clone)]
 pub struct SamplingBench {
@@ -141,6 +187,8 @@ pub struct SamplingBench {
     pub kernels: Vec<Comparison>,
     /// Lane-packed kernel versus the scalar reference kernel.
     pub packed: PackedScenario,
+    /// Reliability-index routing versus plain sampling.
+    pub index: IndexScenario,
     /// Accuracy-budget adaptive stopping versus the fixed budget.
     pub adaptive: AdaptiveScenario,
     /// End-to-end BE pipeline seconds (elimination + selection), and the
@@ -203,6 +251,25 @@ impl SamplingBench {
             "  ], \"geomean_speedup\": {:.3}}},\n",
             p.geomean_speedup()
         ));
+        out.push_str("  \"index\": {\"workloads\": [\n");
+        for (i, c) in self.index.workloads.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"workload\": \"{}\", \"graph\": {{\"nodes\": {}, \"edges\": {}}}, \"queries\": {}, \"samples\": {}, \"supernodes\": {}, \"components\": {}, \"unindexed_s\": {:.6}, \"indexed_s\": {:.6}, \"speedup\": {:.3}, \"bit_identical\": {}}}{}\n",
+                c.workload,
+                c.nodes,
+                c.edges,
+                c.queries,
+                c.samples,
+                c.supernodes,
+                c.components,
+                c.unindexed_s,
+                c.indexed_s,
+                c.speedup(),
+                c.bit_identical,
+                if i + 1 < self.index.workloads.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("  ]},\n");
         let a = &self.adaptive;
         out.push_str(&format!(
             "  \"adaptive\": {{\"eps\": {}, \"delta\": {}, \"max_samples\": {}, \"queries\": [\n",
@@ -361,6 +428,134 @@ pub fn run_packed_scenario(smoke: bool) -> PackedScenario {
     }
 }
 
+/// The index scenario's best-case graph: `components` disconnected
+/// Watts–Strogatz islands with ~30% of edges certain (`p == 1.0`), the
+/// regime the freeze-time reliability index exists for (cross-island
+/// queries short-circuit to 0 without sampling; certain edges condense
+/// into supernodes so sampled BFS walks a smaller graph).
+pub fn partitioned_certain_graph(
+    components: usize,
+    comp_nodes: usize,
+    k: usize,
+    seed: u64,
+) -> UncertainGraph {
+    let mut g = UncertainGraph::new(components * comp_nodes, false);
+    for c in 0..components {
+        let mut island = synth::watts_strogatz(comp_nodes, k, 0.2, seed + c as u64);
+        ProbModel::Uniform { lo: 0.3, hi: 0.9 }.apply(&mut island, seed ^ 0xc0de);
+        let off = (c * comp_nodes) as u32;
+        for (i, e) in island.edges().iter().enumerate() {
+            let prob = if i % 10 < 3 { 1.0 } else { e.prob };
+            g.add_edge(NodeId(e.src.0 + off), NodeId(e.dst.0 + off), prob)
+                .expect("island edges are fresh");
+        }
+    }
+    g
+}
+
+/// The `index` scenario: serve the same s-t batch with and without the
+/// reliability index and compare wall time plus value bit-identity.
+///
+/// Two workloads bound the design space: `uncertain_connected` (every
+/// probability strictly inside (0, 1), one component — the index is pure
+/// overhead, which must stay negligible) and `certain_partitioned`
+/// (islands + certain edges — short-circuits and condensation must pay).
+pub fn run_index_scenario(smoke: bool) -> IndexScenario {
+    let (nodes, comp_nodes, k, z, reps) = if smoke {
+        (4_000, 500, 10, 256, 2)
+    } else {
+        (100_000, 12_500, 10, 1_000, 2)
+    };
+    let budget = Budget::fixed(z);
+    let mut workloads = Vec::new();
+
+    // Worst case: the same fully-uncertain connected graph the packed
+    // scenario uses. Condensation finds nothing, there is one component —
+    // index routing degenerates to a per-query plan lookup.
+    let mut g = synth::watts_strogatz(nodes, k, 0.2, 0xbe9c);
+    ProbModel::Uniform { lo: 0.1, hi: 0.6 }.apply(&mut g, 0x77);
+    let pairs = st_queries(&g, 8, 4, 6, 0x1d1);
+    let csr = CsrGraph::freeze(&g);
+    workloads.push(compare_indexed(
+        "uncertain_connected",
+        &g,
+        &csr,
+        &pairs,
+        budget,
+        z,
+        reps,
+    ));
+
+    // Best case: disconnected islands, ~30% certain edges; the batch is
+    // mostly cross-island (short-circuits to 0.0 without sampling) plus
+    // a few within-island queries (sampled on the condensed graph).
+    let comps = 8;
+    let g = partitioned_certain_graph(comps, comp_nodes, k, 0x15a);
+    let cn = comp_nodes as u32;
+    let mut pairs: Vec<(NodeId, NodeId)> = (0..comps as u32)
+        .map(|c| {
+            let d = (c + 3) % comps as u32;
+            (NodeId(c * cn + 1), NodeId(d * cn + cn / 2))
+        })
+        .collect();
+    pairs.extend((0..4u32).map(|c| (NodeId(c * cn), NodeId(c * cn + cn / 3))));
+    let csr = CsrGraph::freeze(&g);
+    workloads.push(compare_indexed(
+        "certain_partitioned",
+        &g,
+        &csr,
+        &pairs,
+        budget,
+        z,
+        reps,
+    ));
+
+    IndexScenario { workloads }
+}
+
+/// Time one s-t batch with and without the index attached.
+fn compare_indexed(
+    workload: &'static str,
+    g: &UncertainGraph,
+    csr: &CsrGraph,
+    pairs: &[(NodeId, NodeId)],
+    budget: Budget,
+    samples: usize,
+    reps: usize,
+) -> IndexComparison {
+    let index = Arc::new(RelIndex::build(csr));
+    let stats = index.stats();
+    let plain = McEstimator::with_budget(budget, 0x5eed).with_kernel(Kernel::Packed);
+    let routed = plain.clone().with_rel_index(index);
+    let batch = |est: &McEstimator| {
+        pairs
+            .iter()
+            .map(|&(s, t)| est.st_estimate(csr, s, t, budget))
+            .collect::<Vec<_>>()
+    };
+    // Warm both paths before timing.
+    let _ = batch(&plain);
+    let _ = batch(&routed);
+    let (plain_est, unindexed_s) = best_of(reps, || batch(&plain));
+    let (routed_est, indexed_s) = best_of(reps, || batch(&routed));
+    let bit_identical = plain_est
+        .iter()
+        .zip(&routed_est)
+        .all(|(a, b)| a.value.to_bits() == b.value.to_bits());
+    IndexComparison {
+        workload,
+        nodes: g.num_nodes(),
+        edges: g.num_edges(),
+        queries: pairs.len(),
+        samples,
+        supernodes: stats.supernodes,
+        components: stats.components,
+        unindexed_s,
+        indexed_s,
+        bit_identical,
+    }
+}
+
 /// The synthetic benchmark graph: Watts–Strogatz with ≥ `edges_floor`
 /// edges and uniform probabilities — dense enough that sampled-world BFS
 /// actually walks the graph, sparse enough to finish quickly.
@@ -481,6 +676,7 @@ pub fn run(samples: usize, pipeline_queries: usize, packed_smoke: bool) -> Sampl
     let adaptive = run_adaptive_scenario(&g, &csr, 0.02, 0.05, (samples * 16).max(16_384));
 
     let packed = run_packed_scenario(packed_smoke);
+    let index = run_index_scenario(packed_smoke);
 
     let (be_pipeline_s, be_gain) = if pipeline_queries > 0 {
         bench_be_pipeline(pipeline_queries)
@@ -494,6 +690,7 @@ pub fn run(samples: usize, pipeline_queries: usize, packed_smoke: bool) -> Sampl
         samples,
         kernels,
         packed,
+        index,
         adaptive,
         be_pipeline_s,
         be_gain,
@@ -598,6 +795,27 @@ mod tests {
         for c in &scenario.kernels {
             assert!(c.bit_identical, "packed {} diverged from scalar", c.kernel);
         }
+    }
+
+    #[test]
+    fn index_scenario_is_value_identical_at_smoke_scale() {
+        let scenario = run_index_scenario(true);
+        assert_eq!(scenario.workloads.len(), 2);
+        for c in &scenario.workloads {
+            assert!(c.bit_identical, "index {} values diverged", c.workload);
+            assert!(c.unindexed_s > 0.0 && c.indexed_s > 0.0);
+        }
+        let connected = &scenario.workloads[0];
+        assert_eq!(connected.components, 1);
+        assert_eq!(connected.supernodes, connected.nodes); // nothing certain
+        let partitioned = &scenario.workloads[1];
+        assert_eq!(partitioned.components, 8);
+        assert!(
+            partitioned.supernodes < partitioned.nodes,
+            "certain edges must condense: {} supernodes on {} nodes",
+            partitioned.supernodes,
+            partitioned.nodes
+        );
     }
 
     #[test]

@@ -8,15 +8,17 @@
 
 use crate::opts::{run_err, CliError};
 use relmax_ugraph::edgelist::{self, EdgeListOptions};
-use relmax_ugraph::{snapshot, CsrGraph, UncertainGraph};
+use relmax_ugraph::{snapshot, CsrGraph, IndexSection, UncertainGraph};
 use std::fs::File;
 use std::io::Read;
 use std::path::Path;
 
 /// A graph loaded from disk, remembering which path it came in through.
 pub enum LoadedGraph {
-    /// A `.rgs` snapshot (already frozen).
-    Snapshot(CsrGraph),
+    /// A `.rgs` snapshot (already frozen), possibly carrying a persisted
+    /// reliability-index section (format v2 with the index flag set).
+    /// Boxed to keep the variant near the text variant's size.
+    Snapshot(Box<CsrGraph>, Option<IndexSection>),
     /// A parsed text edge list (mutable form).
     Text(UncertainGraph),
 }
@@ -24,16 +26,24 @@ pub enum LoadedGraph {
 impl LoadedGraph {
     /// The frozen form (free for snapshots, one `freeze` for text).
     pub fn into_frozen(self) -> CsrGraph {
+        self.into_parts().0
+    }
+
+    /// The frozen form plus any persisted index section.
+    ///
+    /// Text inputs and v1 / index-less v2 snapshots yield `None`; callers
+    /// that want index routing rebuild the index from the graph.
+    pub fn into_parts(self) -> (CsrGraph, Option<IndexSection>) {
         match self {
-            LoadedGraph::Snapshot(c) => c,
-            LoadedGraph::Text(g) => g.freeze(),
+            LoadedGraph::Snapshot(c, section) => (*c, section),
+            LoadedGraph::Text(g) => (g.freeze(), None),
         }
     }
 
     /// The mutable form (free for text, one `thaw` for snapshots).
     pub fn into_mutable(self) -> Result<UncertainGraph, CliError> {
         match self {
-            LoadedGraph::Snapshot(c) => c
+            LoadedGraph::Snapshot(c, _) => c
                 .thaw()
                 .map_err(|e| run_err(format!("snapshot cannot thaw to a mutable graph: {e}"))),
             LoadedGraph::Text(g) => Ok(g),
@@ -45,7 +55,7 @@ impl LoadedGraph {
 /// passed but the input sniffed as a snapshot, where orientation and node
 /// count are baked in — otherwise the flags would be dropped silently.
 pub fn warn_ignored_text_flags(loaded: &LoadedGraph, text_flags: &[&str], path: &str) {
-    if !text_flags.is_empty() && matches!(loaded, LoadedGraph::Snapshot(_)) {
+    if !text_flags.is_empty() && matches!(loaded, LoadedGraph::Snapshot(..)) {
         eprintln!(
             "note: {} only apply to text edge lists; {path} is a .rgs snapshot whose orientation and node count are fixed at ingest",
             text_flags.join("/"),
@@ -70,8 +80,8 @@ pub fn load(path: &str, text_opts: &EdgeListOptions) -> Result<LoadedGraph, CliE
         n
     };
     if snapshot::is_snapshot(&head[..read]) {
-        let csr = snapshot::load(p).map_err(|e| run_err(format!("{path}: {e}")))?;
-        Ok(LoadedGraph::Snapshot(csr))
+        let (csr, section) = snapshot::load_full(p).map_err(|e| run_err(format!("{path}: {e}")))?;
+        Ok(LoadedGraph::Snapshot(Box::new(csr), section))
     } else {
         let g = edgelist::parse_file(p, text_opts).map_err(|e| run_err(format!("{path}: {e}")))?;
         Ok(LoadedGraph::Text(g))

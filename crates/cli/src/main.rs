@@ -4,10 +4,14 @@
 //!
 //! - `relmax ingest`  — parse a text edge list, freeze it, write a `.rgs`
 //!   binary snapshot;
+//! - `relmax index`   — build the freeze-time reliability index and write
+//!   a format-v2 `.rgs` snapshot with the index section embedded;
 //! - `relmax query`   — serve a batch of `st`/`from`/`to` reliability
 //!   queries (from a query file or generated on the fly) against a
 //!   snapshot or edge list, sharded over the deterministic parallel
-//!   runtime;
+//!   runtime (routing through the reliability index unless `--no-index`
+//!   or `RELMAX_INDEX=off` — reliability values are bit-identical either
+//!   way; only sampling-effort fields differ on short-circuited queries);
 //! - `relmax select`  — run any edge-selection method under a budget and
 //!   report the chosen edges plus before/after reliability.
 //!
@@ -18,6 +22,7 @@
 //! file formats.
 
 mod graphio;
+mod index;
 mod ingest;
 mod jsonfmt;
 mod opts;
@@ -34,6 +39,9 @@ USAGE:
 COMMANDS:
     ingest <EDGES> -o <OUT.rgs>   parse + validate an edge list, freeze it,
                                   write a versioned binary snapshot
+    index  <GRAPH> -o <OUT.rgs>   build the reliability index (certain-edge
+                                  condensation + component decomposition)
+                                  and write a snapshot with it embedded
     query  <GRAPH> [OPTIONS]      run a batch of reliability queries
     select <GRAPH> [OPTIONS]      pick k edges to add with any method
     help                          print this message
@@ -67,6 +75,11 @@ QUERY OPTIONS:
     --min-hops A           generated pairs at least A hops apart [default: 2]
     --max-hops B           generated pairs at most B hops apart  [default: 5]
     --emit-queries FILE    also write the served workload to FILE
+    --no-index             skip the reliability index: plain sampling for
+                           every query. Reliability values stay
+                           bit-identical; only the sampling-effort fields
+                           (samples_used / stopped_early) can differ, on
+                           queries the index answers without sampling
 
 SELECT OPTIONS:
     --method NAME          BE IP MRP HC TopK Cent-Deg Cent-Bet EO ES ESSSP IMA
@@ -84,9 +97,13 @@ ENVIRONMENT:
                            instead of the lane-packed default; output is
                            byte-identical either way (CI diffs it), the
                            packed kernel is just several times faster
+    RELMAX_INDEX=off       disable the reliability index everywhere
+                           (same value-identity contract as --no-index;
+                           CI diffs indexed vs unindexed runs)
 
 EXAMPLES:
     relmax ingest data/toy.tsv -o toy.rgs
+    relmax index toy.rgs -o toy-indexed.rgs
     relmax query toy.rgs --gen 100 --samples 2000 --format json
     relmax query toy.rgs --gen 100 --eps 0.02 --delta 0.05 --verbose-estimates
     relmax select toy.rgs --method BE --source 0 --target 15 -k 3
@@ -101,6 +118,7 @@ fn main() -> ExitCode {
     let rest = &args[1..];
     let result = match cmd.as_str() {
         "ingest" => ingest::run(rest),
+        "index" => index::run(rest),
         "query" => query::run(rest),
         "select" => select::run(rest),
         "help" | "--help" | "-h" => {
@@ -108,7 +126,7 @@ fn main() -> ExitCode {
             return ExitCode::SUCCESS;
         }
         other => Err(opts::CliError::Usage(format!(
-            "unknown command {other:?} (expected ingest, query, select, or help)"
+            "unknown command {other:?} (expected ingest, index, query, select, or help)"
         ))),
     };
     match result {

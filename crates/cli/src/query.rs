@@ -21,7 +21,9 @@ use relmax_sampling::{
     BatchEstimate, BatchQuery, Budget, Estimator, McEstimator, ParallelRuntime, RssEstimator,
 };
 use relmax_ugraph::edgelist::EdgeListOptions;
-use relmax_ugraph::{CsrGraph, ProbGraph};
+use relmax_ugraph::index::index_enabled;
+use relmax_ugraph::{CsrGraph, ProbGraph, RelIndex};
+use std::sync::Arc;
 
 /// Run the subcommand.
 pub fn run(args: &[String]) -> Result<(), CliError> {
@@ -38,6 +40,7 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
     let mut threads: Option<usize> = None;
     let mut format = Format::Table;
     let mut verbose_estimates = false;
+    let mut no_index = false;
     let mut text_opts = EdgeListOptions::default();
     let mut text_flags: Vec<&str> = Vec::new();
 
@@ -58,6 +61,7 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
             "--threads" => threads = Some(opts::take_parsed(&mut it, a)?),
             "--format" => format = Format::parse(&opts::take_value(&mut it, a)?)?,
             "--verbose-estimates" => verbose_estimates = true,
+            "--no-index" => no_index = true,
             "--undirected" => {
                 text_opts.directed = false;
                 text_flags.push("--undirected");
@@ -103,7 +107,22 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
     let started = std::time::Instant::now();
     let loaded = graphio::load(&graph_path, &text_opts)?;
     graphio::warn_ignored_text_flags(&loaded, &text_flags, &graph_path);
-    let csr = loaded.into_frozen();
+    let (csr, stored_section) = loaded.into_parts();
+
+    // Index resolution: `--no-index` / `RELMAX_INDEX=off` force plain
+    // sampling; a section persisted in the snapshot (`relmax index`) is
+    // validated and reused; otherwise the index is rebuilt from the graph.
+    // Either way every estimate value is bit-identical (see
+    // docs/internals.md), so this is purely a performance switch.
+    let index = if no_index || !index_enabled() {
+        None
+    } else if let Some(section) = stored_section {
+        let idx = RelIndex::from_section(&csr, &section)
+            .map_err(|e| opts::run_err(format!("{graph_path}: stored index section: {e}")))?;
+        Some(Arc::new(idx))
+    } else {
+        Some(Arc::new(RelIndex::build(&csr)))
+    };
 
     let specs = if let Some(workload) = file_workload {
         workload.specs
@@ -172,6 +191,7 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
         EstimatorKind::Mc => serve(
             McEstimator::with_budget(budget, seed),
             csr,
+            index,
             runtime,
             &batch_queries,
             budget,
@@ -179,6 +199,7 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
         EstimatorKind::Rss => serve(
             RssEstimator::with_budget(budget, seed),
             csr,
+            index,
             runtime,
             &batch_queries,
             budget,
@@ -206,11 +227,12 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
 fn serve<E: Estimator>(
     est: E,
     csr: CsrGraph,
+    index: Option<Arc<RelIndex>>,
     runtime: ParallelRuntime,
     queries: &[BatchQuery],
     budget: Budget,
 ) -> Result<Vec<BatchEstimate>, CliError> {
-    let engine = QueryEngine::from_snapshot(csr, est).with_runtime(runtime);
+    let engine = QueryEngine::from_parts(csr, index, est).with_runtime(runtime);
     match engine
         .query()
         .batch(queries)

@@ -47,8 +47,10 @@
 use relmax_sampling::{
     BatchEstimate, BatchQuery, Budget, Estimate, Estimator, ParallelRuntime, QueryBatch,
 };
+use relmax_ugraph::index::{index_enabled, RelIndex};
 use relmax_ugraph::{CsrGraph, NodeId, ProbGraph, UncertainGraph};
 use std::fmt;
+use std::sync::Arc;
 
 /// A frozen graph plus an estimator plus a batch runtime: the one object
 /// that serves reliability queries.
@@ -86,6 +88,7 @@ use std::fmt;
 #[derive(Debug, Clone)]
 pub struct QueryEngine<E: Estimator> {
     csr: CsrGraph,
+    index: Option<Arc<RelIndex>>,
     est: E,
     runtime: ParallelRuntime,
     default_budget: Budget,
@@ -99,10 +102,40 @@ impl<E: Estimator> QueryEngine<E> {
 
     /// Build an engine over an already-frozen snapshot (e.g. loaded from
     /// a `.rgs` file).
+    ///
+    /// Unless `RELMAX_INDEX=off`, this builds the freeze-time reliability
+    /// index ([`RelIndex`]) and attaches it to the estimator, so queries
+    /// route through condensation / cross-component short-circuits /
+    /// per-query pruning with bit-identical estimate values. Use
+    /// [`QueryEngine::from_parts`] to supply a prebuilt (e.g. snapshot-
+    /// loaded) index, or `None` to force unindexed sampling.
     pub fn from_snapshot(csr: CsrGraph, est: E) -> Self {
+        let index = index_enabled().then(|| Arc::new(RelIndex::build(&csr)));
+        Self::from_parts(csr, index, est)
+    }
+
+    /// Build an engine over a snapshot plus an optional prebuilt index.
+    ///
+    /// The index must have been built from exactly `csr` (dimension
+    /// mismatches panic; deeper mismatches are the caller's contract —
+    /// [`RelIndex::from_section`] validates a persisted index against its
+    /// graph). `None` disables index routing for this engine regardless of
+    /// `RELMAX_INDEX`.
+    pub fn from_parts(csr: CsrGraph, index: Option<Arc<RelIndex>>, est: E) -> Self {
+        if let Some(idx) = &index {
+            assert!(
+                idx.matches(csr.num_nodes(), csr.num_coins(), csr.is_directed()),
+                "reliability index was built for a different graph"
+            );
+        }
+        let est = match &index {
+            Some(idx) => est.with_rel_index(Arc::clone(idx)),
+            None => est,
+        };
         let default_budget = est.default_budget();
         QueryEngine {
             csr,
+            index,
             est,
             runtime: ParallelRuntime::serial(),
             default_budget,
@@ -127,6 +160,11 @@ impl<E: Estimator> QueryEngine<E> {
     /// The frozen snapshot queries run against.
     pub fn graph(&self) -> &CsrGraph {
         &self.csr
+    }
+
+    /// The reliability index queries route through, if one is attached.
+    pub fn rel_index(&self) -> Option<&Arc<RelIndex>> {
+        self.index.as_ref()
     }
 
     /// The estimator answering the queries.
@@ -494,6 +532,41 @@ mod tests {
             .run()
             .unwrap_err();
         assert!(matches!(err, QueryError::NodeOutOfRange { .. }));
+    }
+
+    #[test]
+    fn index_routing_matches_unindexed_engine() {
+        // Certain cycle {0,1} condenses; {4,5} is a separate component.
+        let mut g = UncertainGraph::new(6, true);
+        g.add_edge(NodeId(0), NodeId(1), 1.0).unwrap();
+        g.add_edge(NodeId(1), NodeId(0), 1.0).unwrap();
+        g.add_edge(NodeId(1), NodeId(2), 0.6).unwrap();
+        g.add_edge(NodeId(2), NodeId(3), 0.5).unwrap();
+        g.add_edge(NodeId(4), NodeId(5), 0.7).unwrap();
+        let csr = g.freeze();
+        let est = McEstimator::new(3_000, 21);
+        let indexed = QueryEngine::from_snapshot(csr.clone(), est.clone());
+        let plain = QueryEngine::from_parts(csr.clone(), None, est);
+        assert!(indexed.rel_index().is_some());
+        assert!(plain.rel_index().is_none());
+        let idx = indexed.rel_index().unwrap();
+        assert_eq!(idx.num_supernodes(), 5);
+        assert_eq!(idx.num_components(), 2);
+
+        let a = indexed.query().st(NodeId(0), NodeId(3)).run().unwrap();
+        let b = plain.query().st(NodeId(0), NodeId(3)).run().unwrap();
+        assert_eq!(a, b); // Sample plan: full-Estimate bit identity.
+
+        let a = indexed.query().from(NodeId(0)).run().unwrap();
+        let b = plain.query().from(NodeId(0)).run().unwrap();
+        assert_eq!(a, b);
+
+        // Cross-component s-t short-circuits without sampling.
+        let e = indexed.query().st(NodeId(0), NodeId(5)).run().unwrap();
+        let e = e.scalar().unwrap();
+        assert_eq!((e.value, e.samples_used, e.stopped_early), (0.0, 0, true));
+        let plain_e = plain.query().st(NodeId(0), NodeId(5)).run().unwrap();
+        assert_eq!(plain_e.scalar().unwrap().value, 0.0);
     }
 
     #[test]

@@ -84,7 +84,9 @@ pub use packed::{Kernel, WorldBlock};
 pub use rss::RssEstimator;
 pub use runtime::ParallelRuntime;
 
+use relmax_ugraph::index::RelIndex;
 use relmax_ugraph::{ExtraEdge, GraphView, NodeId, ProbGraph};
+use std::sync::Arc;
 
 /// A sampling-based (or exact) reliability oracle.
 ///
@@ -193,6 +195,29 @@ pub trait Estimator: Sync {
 
     /// A short human-readable name ("MC", "RSS", "exact") for reports.
     fn name(&self) -> &'static str;
+
+    /// Attach a freeze-time reliability index ([`RelIndex`]) built from
+    /// the graph this estimator will be queried against.
+    ///
+    /// Estimators that can exploit the index route queries through it —
+    /// certain-SCC condensation, cross-component 0.0 short-circuits,
+    /// per-query s-t pruning — with **bit-identical estimate values** (the
+    /// index only removes work whose outcome is the same in every possible
+    /// world; see `relmax_ugraph::index`). The default implementation
+    /// ignores the index, which is always correct: it is a pure
+    /// performance layer. [`McEstimator`] overrides this; [`RssEstimator`]
+    /// deliberately does not (its stratification is tied to the concrete
+    /// graph structure, so rerouting would change which strata are drawn).
+    ///
+    /// The estimator only consults the index for graphs whose dimensions
+    /// match the one it was built from — overlay views (extra candidate
+    /// edges) and other graphs fall back to plain sampling automatically.
+    fn with_rel_index(self, _index: Arc<RelIndex>) -> Self
+    where
+        Self: Sized,
+    {
+        self
+    }
 
     // ------------------------------------------------------------------
     // Value-only compatibility shims (pre-QueryEngine API).

@@ -5,9 +5,11 @@ use crate::convergence::{drive_budget, worst_bernoulli_half_width, Budget, Estim
 use crate::packed::{self, Kernel};
 use crate::runtime::ParallelRuntime;
 use crate::Estimator;
+use relmax_ugraph::index::{PrunedGraph, RelIndex, StPlan};
 use relmax_ugraph::{
     flip_threshold, with_scratch, with_scratch_pair, CoinId, ExtraEdge, NodeId, ProbGraph,
 };
+use std::sync::Arc;
 
 /// Monte Carlo sampler (Fishman 1986), the paper's default estimator.
 ///
@@ -62,6 +64,12 @@ pub struct McEstimator {
     /// 64-worlds-per-word kernel (default) or the scalar reference BFS.
     /// Both are bit-identical; see [`crate::packed`].
     pub kernel: Kernel,
+    /// Optional freeze-time reliability index, attached via
+    /// [`Estimator::with_rel_index`]. Queries against the graph it was
+    /// built from route through condensation / short-circuits / pruning
+    /// with bit-identical estimate values; other graphs (overlay views in
+    /// particular) ignore it. `None` samples plainly.
+    pub index: Option<Arc<RelIndex>>,
 }
 
 impl McEstimator {
@@ -95,6 +103,7 @@ impl McEstimator {
             seed,
             runtime,
             kernel: Kernel::auto(),
+            index: None,
         }
     }
 
@@ -105,6 +114,32 @@ impl McEstimator {
     pub fn with_kernel(mut self, kernel: Kernel) -> Self {
         self.kernel = kernel;
         self
+    }
+
+    /// The attached index, if it was built for exactly this graph.
+    ///
+    /// The dimension guard is what keeps overlay scans correct: a
+    /// [`relmax_ugraph::GraphView`] has more coins than its base graph, so
+    /// it never matches and falls through to plain sampling.
+    fn active_index<G: ProbGraph>(&self, g: &G) -> Option<&RelIndex> {
+        let idx = self.index.as_deref()?;
+        idx.matches(g.num_nodes(), g.num_coins(), g.is_directed())
+            .then_some(idx)
+    }
+
+    /// The result of a provably-impossible query: exactly 0.0 in every
+    /// world, decided structurally with **zero sampled worlds** (and no
+    /// parallel-runtime spin-up). `stopped_early` is set — the query
+    /// stopped before its budget in the strongest possible sense.
+    fn impossible_estimate() -> Estimate {
+        Estimate {
+            value: 0.0,
+            stderr: 0.0,
+            ci_low: 0.0,
+            ci_high: 0.0,
+            samples_used: 0,
+            stopped_early: true,
+        }
     }
 
     fn reach_counts<G: ProbGraph>(
@@ -374,6 +409,139 @@ impl Estimator for McEstimator {
         if s == t {
             return Estimate::exact(1.0);
         }
+        if let Some(idx) = self.active_index(g) {
+            return match idx.st_plan(s, t) {
+                // Same certain supernode: connected in every world.
+                StPlan::Certain => Estimate::exact(1.0),
+                // No possible world connects them: structurally 0.0,
+                // decided without sampling a single world.
+                StPlan::Impossible => Self::impossible_estimate(),
+                // Sample on the condensed graph, masked to the supernodes
+                // that can lie on an s-t path. Both transformations
+                // preserve every world's verdict, and coins stay keyed to
+                // original ids, so hit counts — and hence the Estimate —
+                // are bit-identical to unindexed sampling.
+                StPlan::Sample { s, t, mask } => match mask {
+                    Some(mask) => {
+                        self.st_sampled(&PrunedGraph::new(idx.condensed(), &mask), s, t, budget)
+                    }
+                    None => self.st_sampled(idx.condensed(), s, t, budget),
+                },
+            };
+        }
+        self.st_sampled(g, s, t, budget)
+    }
+
+    fn from_estimates<G: ProbGraph>(&self, g: &G, s: NodeId, budget: Budget) -> Vec<Estimate> {
+        match self.active_index(g) {
+            // Per-supernode counts equal every member's per-node counts,
+            // so sampling the condensed graph and expanding is
+            // bit-identical (the checkpoint half-width is a max over the
+            // same multiset of counts).
+            Some(idx) if !idx.is_identity() => {
+                let per_super =
+                    self.vector_estimates(idx.condensed(), idx.supernode(s), false, budget);
+                idx.expand(&per_super)
+            }
+            _ => self.vector_estimates(g, s, false, budget),
+        }
+    }
+
+    fn to_estimates<G: ProbGraph>(&self, g: &G, t: NodeId, budget: Budget) -> Vec<Estimate> {
+        match self.active_index(g) {
+            Some(idx) if !idx.is_identity() => {
+                let per_super =
+                    self.vector_estimates(idx.condensed(), idx.supernode(t), true, budget);
+                idx.expand(&per_super)
+            }
+            _ => self.vector_estimates(g, t, true, budget),
+        }
+    }
+
+    fn pairwise_estimates<G: ProbGraph>(
+        &self,
+        g: &G,
+        sources: &[NodeId],
+        targets: &[NodeId],
+        budget: Budget,
+    ) -> Vec<Vec<Estimate>> {
+        if let Some(idx) = self.active_index(g) {
+            if !idx.is_identity() {
+                // Remap endpoints to supernodes; every world's verdict for
+                // (s, t) equals the condensed verdict for their supernodes.
+                let ss: Vec<NodeId> = sources.iter().map(|&s| idx.supernode(s)).collect();
+                let tt: Vec<NodeId> = targets.iter().map(|&t| idx.supernode(t)).collect();
+                return self.pairwise_sampled(idx.condensed(), &ss, &tt, budget);
+            }
+        }
+        self.pairwise_sampled(g, sources, targets, budget)
+    }
+
+    /// Shared-world candidate scan: walks each sampled world **once** for
+    /// all candidates (two BFS passes + one lookup per candidate) instead
+    /// of once per candidate, sample-sharded over the runtime. Bit-identical
+    /// to the default per-candidate overlay scan at any thread count; under
+    /// an accuracy budget the slowest-converging candidate gates stopping.
+    fn scan_estimates<G: ProbGraph>(
+        &self,
+        g: &G,
+        s: NodeId,
+        t: NodeId,
+        candidates: &[ExtraEdge],
+        budget: Budget,
+    ) -> Vec<Estimate> {
+        budget.assert_valid();
+        if candidates.is_empty() {
+            return Vec::new();
+        }
+        if s == t {
+            return vec![Estimate::exact(1.0); candidates.len()];
+        }
+        if let Some(idx) = self.active_index(g) {
+            if !idx.is_identity() {
+                // Candidates may bridge components, so no component
+                // short-circuit or path mask applies here — but the
+                // fwd/rev + bridging decomposition is endpoint-local, so
+                // condensation alone is safe: remap candidate endpoints
+                // and scan the condensed graph (same coin count, so the
+                // overlay coin id is unchanged too).
+                let mapped: Vec<ExtraEdge> = candidates
+                    .iter()
+                    .map(|c| ExtraEdge {
+                        src: idx.supernode(c.src),
+                        dst: idx.supernode(c.dst),
+                        prob: c.prob,
+                    })
+                    .collect();
+                return self.scan_sampled(
+                    idx.condensed(),
+                    idx.supernode(s),
+                    idx.supernode(t),
+                    &mapped,
+                    budget,
+                );
+            }
+        }
+        self.scan_sampled(g, s, t, candidates, budget)
+    }
+
+    fn name(&self) -> &'static str {
+        "MC"
+    }
+
+    fn with_rel_index(mut self, index: Arc<RelIndex>) -> Self {
+        self.index = Some(index);
+        self
+    }
+}
+
+/// Index-free sampling bodies. The public [`Estimator`] methods route
+/// through the attached [`RelIndex`] (when one matches the queried graph)
+/// and land here — on the original graph, the condensed graph, or a
+/// [`PrunedGraph`] over it — so these helpers never consult the index
+/// again.
+impl McEstimator {
+    fn st_sampled<G: ProbGraph>(&self, g: &G, s: NodeId, t: NodeId, budget: Budget) -> Estimate {
         let mut hits = 0u64;
         let (z, delta, stopped) = drive_budget(budget, |lo, hi, delta| {
             self.runtime.run_sample_range(
@@ -390,15 +558,7 @@ impl Estimator for McEstimator {
         Estimate::from_hits(hits, z, delta, stopped)
     }
 
-    fn from_estimates<G: ProbGraph>(&self, g: &G, s: NodeId, budget: Budget) -> Vec<Estimate> {
-        self.vector_estimates(g, s, false, budget)
-    }
-
-    fn to_estimates<G: ProbGraph>(&self, g: &G, t: NodeId, budget: Budget) -> Vec<Estimate> {
-        self.vector_estimates(g, t, true, budget)
-    }
-
-    fn pairwise_estimates<G: ProbGraph>(
+    fn pairwise_sampled<G: ProbGraph>(
         &self,
         g: &G,
         sources: &[NodeId],
@@ -438,12 +598,7 @@ impl Estimator for McEstimator {
             .collect()
     }
 
-    /// Shared-world candidate scan: walks each sampled world **once** for
-    /// all candidates (two BFS passes + one lookup per candidate) instead
-    /// of once per candidate, sample-sharded over the runtime. Bit-identical
-    /// to the default per-candidate overlay scan at any thread count; under
-    /// an accuracy budget the slowest-converging candidate gates stopping.
-    fn scan_estimates<G: ProbGraph>(
+    fn scan_sampled<G: ProbGraph>(
         &self,
         g: &G,
         s: NodeId,
@@ -451,13 +606,6 @@ impl Estimator for McEstimator {
         candidates: &[ExtraEdge],
         budget: Budget,
     ) -> Vec<Estimate> {
-        budget.assert_valid();
-        if candidates.is_empty() {
-            return Vec::new();
-        }
-        if s == t {
-            return vec![Estimate::exact(1.0); candidates.len()];
-        }
         let mut counts = vec![0u64; candidates.len()];
         let extend = |lo: u64, hi: u64, counts: &mut Vec<u64>| {
             self.runtime.run_sample_range(
@@ -486,10 +634,6 @@ impl Estimator for McEstimator {
             .into_iter()
             .map(|c| Estimate::from_hits(c, z, delta, stopped))
             .collect()
-    }
-
-    fn name(&self) -> &'static str {
-        "MC"
     }
 }
 
@@ -961,6 +1105,151 @@ mod tests {
         );
         assert_eq!(ests[0].value, fixed[0].value);
         assert_eq!(ests[1].value, fixed[1].value);
+    }
+
+    fn indexed(mc: &McEstimator, csr: &CsrGraph) -> McEstimator {
+        mc.clone().with_rel_index(Arc::new(RelIndex::build(csr)))
+    }
+
+    #[test]
+    fn cross_component_short_circuits_without_sampling() {
+        // Two islands: {0 -> 1} and {2 -> 3}. Any query across them is
+        // structurally impossible.
+        let mut g = UncertainGraph::new(4, true);
+        g.add_edge(NodeId(0), NodeId(1), 0.5).unwrap();
+        g.add_edge(NodeId(2), NodeId(3), 0.5).unwrap();
+        let csr = g.freeze();
+        let mc = indexed(&McEstimator::new(10_000, 7), &csr);
+        let est = mc.st_estimate(&csr, NodeId(0), NodeId(3), Budget::fixed(10_000));
+        assert_eq!(est.value, 0.0);
+        assert_eq!(est.samples_used, 0, "no worlds may be sampled");
+        assert!(est.stopped_early);
+        assert_eq!(est.stderr, 0.0);
+        assert_eq!((est.ci_low, est.ci_high), (0.0, 0.0));
+        // The sampled value agrees exactly (0 hits out of z is 0.0).
+        let plain = McEstimator::new(10_000, 7);
+        assert_eq!(
+            plain
+                .st_estimate(&csr, NodeId(0), NodeId(3), Budget::fixed(10_000))
+                .value,
+            0.0
+        );
+        // Directed dead ends inside one weak component short-circuit too.
+        let est = mc.st_estimate(&csr, NodeId(1), NodeId(0), Budget::fixed(10_000));
+        assert_eq!((est.value, est.samples_used), (0.0, 0));
+    }
+
+    #[test]
+    fn indexed_estimates_bit_identical_to_unindexed() {
+        // Certain cycle {0, 1}, uncertain tail, second component {4, 5}.
+        let mut g = UncertainGraph::new(6, true);
+        g.add_edge(NodeId(0), NodeId(1), 1.0).unwrap();
+        g.add_edge(NodeId(1), NodeId(0), 1.0).unwrap();
+        g.add_edge(NodeId(1), NodeId(2), 0.6).unwrap();
+        g.add_edge(NodeId(2), NodeId(3), 0.4).unwrap();
+        g.add_edge(NodeId(0), NodeId(3), 0.2).unwrap();
+        g.add_edge(NodeId(4), NodeId(5), 0.7).unwrap();
+        let csr = g.freeze();
+        let plain = McEstimator::new(3_000, 29);
+        let fast = indexed(&plain, &csr);
+        for budget in [
+            Budget::fixed(3_000),
+            Budget::accuracy_capped(0.04, 0.05, 4096),
+        ] {
+            // Sample-plan st queries: the full Estimate matches bit for bit.
+            assert_eq!(
+                fast.st_estimate(&csr, NodeId(0), NodeId(3), budget),
+                plain.st_estimate(&csr, NodeId(0), NodeId(3), budget),
+            );
+            // from/to/pairwise route through condensation + expansion.
+            assert_eq!(
+                fast.from_estimates(&csr, NodeId(0), budget),
+                plain.from_estimates(&csr, NodeId(0), budget),
+            );
+            assert_eq!(
+                fast.to_estimates(&csr, NodeId(3), budget),
+                plain.to_estimates(&csr, NodeId(3), budget),
+            );
+            assert_eq!(
+                fast.pairwise_estimates(
+                    &csr,
+                    &[NodeId(0), NodeId(2)],
+                    &[NodeId(1), NodeId(3)],
+                    budget
+                ),
+                plain.pairwise_estimates(
+                    &csr,
+                    &[NodeId(0), NodeId(2)],
+                    &[NodeId(1), NodeId(3)],
+                    budget
+                ),
+            );
+        }
+        // Same certain supernode: value agrees exactly (1.0 both ways).
+        let b = Budget::fixed(500);
+        assert_eq!(
+            fast.st_estimate(&csr, NodeId(0), NodeId(1), b).value,
+            plain.st_estimate(&csr, NodeId(0), NodeId(1), b).value,
+        );
+        // Candidate scans remap endpoints onto the condensed graph —
+        // including candidates that bridge the two components.
+        let cands = vec![
+            ExtraEdge {
+                src: NodeId(3),
+                dst: NodeId(4),
+                prob: 0.5,
+            },
+            ExtraEdge {
+                src: NodeId(5),
+                dst: NodeId(3),
+                prob: 0.9,
+            },
+            ExtraEdge {
+                src: NodeId(1),
+                dst: NodeId(3),
+                prob: 0.8,
+            },
+        ];
+        assert_eq!(
+            fast.scan_estimates(&csr, NodeId(0), NodeId(3), &cands, b),
+            plain.scan_estimates(&csr, NodeId(0), NodeId(3), &cands, b),
+        );
+        // Overlay views have a different coin space: the index must be
+        // ignored, not misapplied.
+        let view = GraphView::new(&csr, vec![cands[0]]);
+        assert_eq!(
+            fast.st_estimate(&view, NodeId(0), NodeId(4), b),
+            plain.st_estimate(&view, NodeId(0), NodeId(4), b),
+        );
+    }
+
+    #[test]
+    fn indexed_routing_is_thread_and_kernel_independent() {
+        let mut g = UncertainGraph::new(5, false);
+        g.add_edge(NodeId(0), NodeId(1), 1.0).unwrap();
+        g.add_edge(NodeId(1), NodeId(2), 0.5).unwrap();
+        g.add_edge(NodeId(2), NodeId(3), 0.5).unwrap();
+        g.add_edge(NodeId(2), NodeId(4), 0.5).unwrap();
+        let csr = g.freeze();
+        let b = Budget::fixed(2_048);
+        let reference = indexed(
+            &McEstimator::new(2_048, 3).with_kernel(Kernel::Scalar),
+            &csr,
+        )
+        .st_estimate(&csr, NodeId(0), NodeId(3), b);
+        for threads in [1, 2, 4] {
+            for kernel in [Kernel::Scalar, Kernel::Packed] {
+                let mc = indexed(
+                    &McEstimator::with_threads(2_048, 3, threads).with_kernel(kernel),
+                    &csr,
+                );
+                assert_eq!(
+                    mc.st_estimate(&csr, NodeId(0), NodeId(3), b),
+                    reference,
+                    "threads={threads} kernel={kernel:?}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -57,6 +57,7 @@ pub mod error;
 pub mod exact;
 pub mod fxhash;
 pub mod graph;
+pub mod index;
 pub mod scratch;
 pub mod snapshot;
 pub mod traverse;
@@ -66,6 +67,7 @@ pub mod world;
 pub use csr::CsrGraph;
 pub use error::GraphError;
 pub use graph::{Edge, EdgeId, NodeId, UncertainGraph};
+pub use index::{IndexSection, PrunedGraph, RelIndex, StPlan};
 pub use scratch::{with_scratch, with_scratch_pair, TraversalScratch};
 pub use view::{ExtraEdge, GraphView};
 pub use world::PossibleWorld;

@@ -8,7 +8,7 @@
 //! order, same coin ids, same `f64` probability bits — so seed-keyed
 //! estimates cannot change across a save/load cycle.
 //!
-//! ## Layout (version 1)
+//! ## Layout (versions 1 and 2)
 //!
 //! All integers and floats are **little-endian**; floats are stored as raw
 //! IEEE-754 bit patterns (`f64::to_bits`). The file is a fixed-size header
@@ -17,8 +17,9 @@
 //! ```text
 //! offset  size  field
 //! 0       4     magic, the ASCII bytes "RGSF"
-//! 4       4     format version (u32) — currently 1
-//! 8       4     flags (u32): bit 0 = directed
+//! 4       4     format version (u32) — 1 or 2
+//! 8       4     flags (u32): bit 0 = directed,
+//!               bit 1 = index section present (version ≥ 2 only)
 //! 12      8     num_nodes  (u64)
 //! 20      8     num_coins  (u64)
 //! 28      8     num_out_arcs (u64)
@@ -41,10 +42,24 @@
 //! in_coin    b × u32           only if directed
 //! coin_prob  m × f64           coin-indexed probability table
 //! coin_ends  m × (u32, u32)    coin-indexed endpoints (src, dst)
+//! super_of   n × u32           only if flags bit 1 — reliability-index
+//! comp_of    n × u32           only if flags bit 1 — label arrays
 //! ```
+//!
+//! **Version policy.** Version 2 (current) extends version 1 by exactly one
+//! optional trailer — the persisted [`RelIndex`](crate::index::RelIndex) labels (see
+//! [`crate::index`]) — gated by flags bit 1. A version-2 file without the
+//! index flag is byte-identical to the version-1 encoding apart from the
+//! version word, and this build reads versions
+//! [`MIN_FORMAT_VERSION`]`..=`[`FORMAT_VERSION`] (a v1 file with flag bit 1
+//! set is rejected as corrupt). Writers always emit [`FORMAT_VERSION`];
+//! readers rebuild the index lazily when the section is absent.
 //!
 //! Per-arc flip thresholds are *not* stored: [`crate::flip_threshold`] is a
 //! pure function of the probability, so [`read()`](fn@read) recomputes them exactly.
+//! Likewise the index section stores only the two per-node label arrays;
+//! everything else in a [`RelIndex`](crate::index::RelIndex) is derived deterministically from them
+//! plus the graph by [`RelIndex::from_section`](crate::index::RelIndex::from_section).
 //!
 //! [`read()`](fn@read) validates everything it cannot afford to trust: magic, version,
 //! checksum, offset monotonicity, and the ranges of every node id, coin id,
@@ -53,6 +68,7 @@
 
 use crate::csr::CsrGraph;
 use crate::flip_threshold;
+use crate::index::IndexSection;
 use std::fmt;
 use std::fs::File;
 use std::io::{self, BufReader, BufWriter, Read, Write};
@@ -61,11 +77,22 @@ use std::path::Path;
 /// The four magic bytes opening every `.rgs` file.
 pub const MAGIC: [u8; 4] = *b"RGSF";
 
-/// Current (and only) format version written by [`write()`](fn@write).
-pub const FORMAT_VERSION: u32 = 1;
+/// Current format version written by [`write()`](fn@write).
+pub const FORMAT_VERSION: u32 = 2;
+
+/// Oldest format version this build still reads. Version-1 files decode to
+/// the same [`CsrGraph`], bit for bit; they simply cannot carry an index
+/// section.
+pub const MIN_FORMAT_VERSION: u32 = 1;
 
 /// Size in bytes of the fixed header preceding the payload.
 pub const HEADER_BYTES: usize = 52;
+
+/// Header flag bit 0: the graph is directed.
+const FLAG_DIRECTED: u32 = 1;
+
+/// Header flag bit 1: an index section trails the payload (version ≥ 2).
+const FLAG_INDEX: u32 = 2;
 
 /// Errors loading or storing a `.rgs` snapshot.
 #[derive(Debug)]
@@ -108,7 +135,8 @@ impl fmt::Display for SnapshotError {
             }
             SnapshotError::UnsupportedVersion { found } => write!(
                 f,
-                "unsupported snapshot version {found} (this build reads version {FORMAT_VERSION})"
+                "unsupported snapshot version {found} (this build reads versions \
+                 {MIN_FORMAT_VERSION}..={FORMAT_VERSION})"
             ),
             SnapshotError::ChecksumMismatch { stored, computed } => write!(
                 f,
@@ -167,13 +195,39 @@ fn push_f64s(buf: &mut Vec<u8>, vals: &[f64]) {
     }
 }
 
-/// Serialize a snapshot to any writer in the version-1 layout.
-pub fn write<W: Write>(csr: &CsrGraph, mut w: W) -> io::Result<()> {
-    let payload = encode_payload(csr);
+/// Serialize a snapshot to any writer — graph only, no index section.
+/// Equivalent to [`write_full`] with `index: None`.
+pub fn write<W: Write>(csr: &CsrGraph, w: W) -> io::Result<()> {
+    write_full(csr, None, w)
+}
+
+/// Serialize a snapshot to any writer in the current-version layout,
+/// optionally trailing the persisted [`RelIndex`](crate::index::RelIndex) labels.
+///
+/// The section must belong to `csr` (same node count); pass the value of
+/// [`RelIndex::section`](crate::index::RelIndex::section) for an index built from this exact graph.
+pub fn write_full<W: Write>(
+    csr: &CsrGraph,
+    index: Option<&IndexSection>,
+    mut w: W,
+) -> io::Result<()> {
+    if let Some(sec) = index {
+        assert_eq!(
+            sec.super_of.len(),
+            csr.num_nodes,
+            "index section does not belong to this graph"
+        );
+        assert_eq!(sec.comp_of.len(), csr.num_nodes);
+    }
+    let payload = encode_payload(csr, index);
+    let mut flags = csr.directed as u32;
+    if index.is_some() {
+        flags |= FLAG_INDEX;
+    }
     let mut header = Vec::with_capacity(HEADER_BYTES);
     header.extend_from_slice(&MAGIC);
     header.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
-    header.extend_from_slice(&(csr.directed as u32).to_le_bytes());
+    header.extend_from_slice(&flags.to_le_bytes());
     header.extend_from_slice(&(csr.num_nodes as u64).to_le_bytes());
     header.extend_from_slice(&(csr.coin_prob.len() as u64).to_le_bytes());
     header.extend_from_slice(&(csr.out_dst.len() as u64).to_le_bytes());
@@ -185,13 +239,14 @@ pub fn write<W: Write>(csr: &CsrGraph, mut w: W) -> io::Result<()> {
     w.flush()
 }
 
-fn encode_payload(csr: &CsrGraph) -> Vec<u8> {
+fn encode_payload(csr: &CsrGraph, index: Option<&IndexSection>) -> Vec<u8> {
     let mut buf = Vec::with_capacity(payload_bytes(
         csr.num_nodes as u64,
         csr.coin_prob.len() as u64,
         csr.out_dst.len() as u64,
         csr.in_dst.len() as u64,
         csr.directed,
+        index.is_some(),
     ) as usize);
     push_u32s(&mut buf, &csr.out_off);
     push_u32s(&mut buf, &csr.out_dst);
@@ -208,12 +263,17 @@ fn encode_payload(csr: &CsrGraph) -> Vec<u8> {
         buf.extend_from_slice(&s.to_le_bytes());
         buf.extend_from_slice(&d.to_le_bytes());
     }
+    if let Some(sec) = index {
+        push_u32s(&mut buf, &sec.super_of);
+        push_u32s(&mut buf, &sec.comp_of);
+    }
     buf
 }
 
-fn payload_bytes(n: u64, m: u64, a: u64, b: u64, directed: bool) -> u64 {
+fn payload_bytes(n: u64, m: u64, a: u64, b: u64, directed: bool, index: bool) -> u64 {
     let off_sides = if directed { 2 } else { 1 };
-    (n + 1) * 4 * off_sides + (a + b) * 16 + m * 16
+    let index_bytes = if index { n * 8 } else { 0 };
+    (n + 1) * 4 * off_sides + (a + b) * 16 + m * 16 + index_bytes
 }
 
 /// Cursor over the validated payload slice.
@@ -264,8 +324,19 @@ fn corrupt(what: impl Into<String>) -> SnapshotError {
 
 /// Deserialize a snapshot from any reader, validating magic, version,
 /// checksum, and structural invariants. The returned graph is bit-identical
-/// to the [`CsrGraph`] that was written.
-pub fn read<R: Read>(mut r: R) -> Result<CsrGraph, SnapshotError> {
+/// to the [`CsrGraph`] that was written. Any index section is decoded and
+/// discarded; use [`read_full`] to keep it.
+pub fn read<R: Read>(r: R) -> Result<CsrGraph, SnapshotError> {
+    read_full(r).map(|(csr, _)| csr)
+}
+
+/// [`read()`](fn@read), but also returning the persisted index section when
+/// the snapshot carries one (version ≥ 2 with flag bit 1).
+///
+/// The labels are range-checked here; callers turn them into a usable
+/// [`RelIndex`](crate::index::RelIndex) via [`RelIndex::from_section`](crate::index::RelIndex::from_section), which verifies them against
+/// the graph structure and rebuilds from scratch if they do not hold.
+pub fn read_full<R: Read>(mut r: R) -> Result<(CsrGraph, Option<IndexSection>), SnapshotError> {
     // Magic is checked before the rest of the header is read, so a short
     // non-snapshot input reports "not a snapshot", not "truncated".
     let mut magic = [0u8; 4];
@@ -277,14 +348,22 @@ pub fn read<R: Read>(mut r: R) -> Result<CsrGraph, SnapshotError> {
     header[0..4].copy_from_slice(&magic);
     r.read_exact(&mut header[4..])?;
     let version = u32::from_le_bytes(header[4..8].try_into().unwrap());
-    if version != FORMAT_VERSION {
+    if !(MIN_FORMAT_VERSION..=FORMAT_VERSION).contains(&version) {
         return Err(SnapshotError::UnsupportedVersion { found: version });
     }
     let flags = u32::from_le_bytes(header[8..12].try_into().unwrap());
-    if flags > 1 {
-        return Err(corrupt(format!("unknown flag bits {flags:#x}")));
+    let known = if version >= 2 {
+        FLAG_DIRECTED | FLAG_INDEX
+    } else {
+        FLAG_DIRECTED
+    };
+    if flags & !known != 0 {
+        return Err(corrupt(format!(
+            "unknown flag bits {flags:#x} for version {version}"
+        )));
     }
-    let directed = flags & 1 == 1;
+    let directed = flags & FLAG_DIRECTED != 0;
+    let has_index = flags & FLAG_INDEX != 0;
     let u64_at = |lo: usize| u64::from_le_bytes(header[lo..lo + 8].try_into().unwrap());
     let (n, m, a, b) = (u64_at(12), u64_at(20), u64_at(28), u64_at(36));
     let stored_checksum = u64_at(44);
@@ -305,7 +384,7 @@ pub fn read<R: Read>(mut r: R) -> Result<CsrGraph, SnapshotError> {
     // of payload), so grow the buffer chunk by chunk as bytes actually
     // arrive: a lying header then fails with `Truncated` after one chunk
     // instead of aborting the process on a giant up-front allocation.
-    let expected = payload_bytes(n, m, a, b, directed);
+    let expected = payload_bytes(n, m, a, b, directed, has_index);
     const CHUNK: u64 = 16 << 20;
     let mut payload: Vec<u8> = Vec::new();
     let mut remaining = expected;
@@ -343,6 +422,27 @@ pub fn read<R: Read>(mut r: R) -> Result<CsrGraph, SnapshotError> {
     };
     let coin_prob = dec.f64s(m);
     let coin_ends = dec.pairs(m);
+    let section = if has_index {
+        let super_of = dec.u32s(n);
+        let comp_of = dec.u32s(n);
+        for (v, &s) in super_of.iter().enumerate() {
+            if s as usize >= n.max(1) {
+                return Err(corrupt(format!(
+                    "index supernode label {s} of node {v} out of range for {n} nodes"
+                )));
+            }
+        }
+        for (v, &c) in comp_of.iter().enumerate() {
+            if c as usize >= n.max(1) {
+                return Err(corrupt(format!(
+                    "index component label {c} of node {v} out of range for {n} nodes"
+                )));
+            }
+        }
+        Some(IndexSection { super_of, comp_of })
+    } else {
+        None
+    };
     debug_assert_eq!(dec.pos, payload.len());
 
     validate_side("out", &out_off, &out_dst, &out_coin, n, m, a)?;
@@ -362,22 +462,25 @@ pub fn read<R: Read>(mut r: R) -> Result<CsrGraph, SnapshotError> {
 
     let out_thresh = out_prob.iter().map(|&p| flip_threshold(p)).collect();
     let in_thresh = in_prob.iter().map(|&p| flip_threshold(p)).collect();
-    Ok(CsrGraph {
-        directed,
-        num_nodes: n,
-        out_off,
-        out_dst,
-        out_prob,
-        out_coin,
-        out_thresh,
-        in_off,
-        in_dst,
-        in_prob,
-        in_coin,
-        in_thresh,
-        coin_prob,
-        coin_ends,
-    })
+    Ok((
+        CsrGraph {
+            directed,
+            num_nodes: n,
+            out_off,
+            out_dst,
+            out_prob,
+            out_coin,
+            out_thresh,
+            in_off,
+            in_dst,
+            in_prob,
+            in_coin,
+            in_thresh,
+            coin_prob,
+            coin_ends,
+        },
+        section,
+    ))
 }
 
 fn validate_side(
@@ -426,16 +529,42 @@ pub fn save<P: AsRef<Path>>(csr: &CsrGraph, path: P) -> Result<(), SnapshotError
     Ok(())
 }
 
+/// [`write_full`] to a file path (buffered; creates or truncates).
+pub fn save_full<P: AsRef<Path>>(
+    csr: &CsrGraph,
+    index: Option<&IndexSection>,
+    path: P,
+) -> Result<(), SnapshotError> {
+    let f = File::create(path)?;
+    write_full(csr, index, BufWriter::new(f))?;
+    Ok(())
+}
+
 /// [`read()`](fn@read) from a file path (buffered).
 pub fn load<P: AsRef<Path>>(path: P) -> Result<CsrGraph, SnapshotError> {
     let f = File::open(path)?;
     read(BufReader::new(f))
 }
 
-/// In-memory round trip: encode to bytes.
+/// [`read_full`] from a file path (buffered).
+pub fn load_full<P: AsRef<Path>>(
+    path: P,
+) -> Result<(CsrGraph, Option<IndexSection>), SnapshotError> {
+    let f = File::open(path)?;
+    read_full(BufReader::new(f))
+}
+
+/// In-memory round trip: encode to bytes, no index section.
 pub fn to_bytes(csr: &CsrGraph) -> Vec<u8> {
     let mut buf = Vec::new();
     write(csr, &mut buf).expect("writing to a Vec cannot fail");
+    buf
+}
+
+/// In-memory round trip: encode to bytes with an optional index section.
+pub fn to_bytes_full(csr: &CsrGraph, index: Option<&IndexSection>) -> Vec<u8> {
+    let mut buf = Vec::new();
+    write_full(csr, index, &mut buf).expect("writing to a Vec cannot fail");
     buf
 }
 
@@ -443,6 +572,7 @@ pub fn to_bytes(csr: &CsrGraph) -> Vec<u8> {
 mod tests {
     use super::*;
     use crate::graph::UncertainGraph;
+    use crate::index::RelIndex;
     use crate::{NodeId, ProbGraph};
 
     fn diamond() -> CsrGraph {
@@ -571,6 +701,66 @@ mod tests {
         bytes[44..52].copy_from_slice(&checksum.to_le_bytes());
         let err = read(&bytes[..]).unwrap_err();
         assert!(matches!(err, SnapshotError::Corrupt { .. }), "{err}");
+    }
+
+    #[test]
+    fn index_section_round_trips() {
+        for csr in [diamond(), undirected_path()] {
+            let idx = RelIndex::build(&csr);
+            let section = idx.section();
+            let bytes = to_bytes_full(&csr, Some(&section));
+            let (back, got) = read_full(&bytes[..]).unwrap();
+            assert!(back == csr);
+            assert_eq!(got.as_ref(), Some(&section));
+            // The plain reader ignores the section but decodes the graph.
+            assert!(read(&bytes[..]).unwrap() == csr);
+            // Re-indexing from the stored labels reproduces the index.
+            assert_eq!(RelIndex::from_section(&back, &got.unwrap()).unwrap(), idx);
+        }
+    }
+
+    #[test]
+    fn v2_without_index_matches_v1_except_version_word() {
+        let csr = diamond();
+        let v2 = to_bytes(&csr);
+        assert_eq!(u32::from_le_bytes(v2[4..8].try_into().unwrap()), 2);
+        let mut v1 = v2.clone();
+        v1[4..8].copy_from_slice(&1u32.to_le_bytes());
+        // The checksum covers only the payload, so the patched file is a
+        // valid version-1 snapshot — and must still load bit-identically.
+        let (back, section) = read_full(&v1[..]).unwrap();
+        assert!(back == csr);
+        assert!(section.is_none());
+    }
+
+    #[test]
+    fn v1_with_index_flag_is_rejected() {
+        let csr = diamond();
+        let idx = RelIndex::build(&csr);
+        let mut bytes = to_bytes_full(&csr, Some(&idx.section()));
+        bytes[4..8].copy_from_slice(&1u32.to_le_bytes());
+        assert!(matches!(
+            read_full(&bytes[..]),
+            Err(SnapshotError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn out_of_range_index_labels_rejected() {
+        let csr = diamond();
+        let section = IndexSection {
+            super_of: vec![0, 1, 2, 99],
+            comp_of: vec![0, 0, 0, 0],
+        };
+        let mut bytes = to_bytes_full(&csr, Some(&section));
+        // Labels are written verbatim; fix the checksum so only the range
+        // check can reject them.
+        let checksum = fnv1a(&bytes[HEADER_BYTES..]);
+        bytes[44..52].copy_from_slice(&checksum.to_le_bytes());
+        assert!(matches!(
+            read_full(&bytes[..]),
+            Err(SnapshotError::Corrupt { .. })
+        ));
     }
 
     #[test]

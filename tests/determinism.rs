@@ -313,6 +313,149 @@ fn packed_kernel_matches_scalar_under_accuracy_budgets() {
     }
 }
 
+/// Random instance with the structure the reliability index exists for:
+/// two node banks with no edges between them (so cross-bank queries are
+/// impossible) and ~30% certain (`p == 1.0`) edges (so condensation
+/// actually merges supernodes). Candidates span both banks, exercising
+/// the scan path's endpoint remapping across components.
+fn random_partitioned_instance(
+    rng: &mut StdRng,
+    directed: bool,
+) -> (UncertainGraph, Vec<CandidateEdge>, NodeId, NodeId) {
+    let n1 = rng.gen_range(4usize..7);
+    let n2 = rng.gen_range(3usize..6);
+    let n = n1 + n2;
+    let mut g = UncertainGraph::new(n, directed);
+    for (lo, hi) in [(0u32, n1 as u32), (n1 as u32, n as u32)] {
+        for u in lo..hi {
+            for v in lo..hi {
+                if u != v && rng.gen_bool(0.35) {
+                    let p = if rng.gen_bool(0.3) {
+                        1.0
+                    } else {
+                        rng.gen_range(0.1..0.9)
+                    };
+                    let _ = g.add_edge(NodeId(u), NodeId(v), p);
+                }
+            }
+        }
+    }
+    let mut cands = Vec::new();
+    let mut guard = 0;
+    while cands.len() < 5 && guard < 300 {
+        guard += 1;
+        let u = rng.gen_range(0..n as u32);
+        let v = rng.gen_range(0..n as u32);
+        if u != v
+            && !g.has_edge(NodeId(u), NodeId(v))
+            && !cands
+                .iter()
+                .any(|c: &CandidateEdge| (c.src, c.dst) == (NodeId(u), NodeId(v)))
+        {
+            cands.push(CandidateEdge {
+                src: NodeId(u),
+                dst: NodeId(v),
+                prob: rng.gen_range(0.2..0.9),
+            });
+        }
+    }
+    // Odd trials query across the component boundary (the short-circuit
+    // path), even trials stay inside the first bank (the sampled path).
+    let t = if rng.gen_bool(0.5) {
+        NodeId(n as u32 - 1)
+    } else {
+        NodeId(n1 as u32 - 1)
+    };
+    (g, cands, NodeId(0), t)
+}
+
+/// Index routing is a pure performance layer: with the freeze-time
+/// reliability index attached, every kernel must reproduce the plain
+/// estimator's reliability **values** bit for bit — and for queries the
+/// index cannot answer outright (`StPlan::Sample`, plus every from / to /
+/// pairwise / scan call), the *entire* `Estimate` must match, across
+/// scalar/packed kernels, threads 1/2/4, and fixed/accuracy budgets.
+/// This is the `RELMAX_INDEX=off` escape hatch's contract, pinned at the
+/// estimator level (the env knob itself is OnceLock-cached, so the test
+/// attaches the index explicitly).
+#[test]
+fn index_routing_bit_identical_across_matrix() {
+    use relmax::sampling::{Budget, Estimator, Kernel};
+    use relmax::ugraph::{RelIndex, StPlan};
+    use std::sync::Arc;
+
+    let mut rng = StdRng::seed_from_u64(0xD9);
+    let mut sampled_plans = 0;
+    let mut short_circuits = 0;
+    for trial in 0..10 {
+        let (g, cands, s, t) = random_partitioned_instance(&mut rng, trial % 2 == 0);
+        let csr = CsrGraph::freeze(&g);
+        let idx = Arc::new(RelIndex::build(&csr));
+        let seed = rng.gen::<u64>();
+        let budgets = [
+            Budget::fixed(600),
+            Budget::accuracy_capped(0.05, 0.05, 2048),
+        ];
+        for budget in budgets {
+            let plain = McEstimator::new(1, seed).with_kernel(Kernel::Scalar);
+            let st = plain.st_estimate(&csr, s, t, budget);
+            let from = plain.from_estimates(&csr, s, budget);
+            let to = plain.to_estimates(&csr, t, budget);
+            let pairwise = plain.pairwise_estimates(&csr, &[s, t], &[t, s], budget);
+            let scan = plain.scan_estimates(&csr, s, t, &cands, budget);
+            for threads in [1, 2, 4] {
+                for kernel in [Kernel::Scalar, Kernel::Packed] {
+                    let routed = McEstimator::with_threads(1, seed, threads)
+                        .with_kernel(kernel)
+                        .with_rel_index(Arc::clone(&idx));
+                    let routed_st = routed.st_estimate(&csr, s, t, budget);
+                    match idx.st_plan(s, t) {
+                        StPlan::Sample { .. } => {
+                            sampled_plans += 1;
+                            assert_eq!(st, routed_st, "st trial {trial} t{threads} {kernel:?}");
+                        }
+                        // Certain / Impossible short-circuits answer
+                        // without sampling: the value is still exact
+                        // (sampling would hit all or no worlds), but the
+                        // effort fields legitimately differ.
+                        _ => {
+                            short_circuits += 1;
+                            assert_eq!(
+                                st.value.to_bits(),
+                                routed_st.value.to_bits(),
+                                "st value trial {trial} t{threads} {kernel:?}"
+                            );
+                        }
+                    }
+                    assert_eq!(
+                        from,
+                        routed.from_estimates(&csr, s, budget),
+                        "from trial {trial} t{threads} {kernel:?}"
+                    );
+                    assert_eq!(
+                        to,
+                        routed.to_estimates(&csr, t, budget),
+                        "to trial {trial} t{threads} {kernel:?}"
+                    );
+                    assert_eq!(
+                        pairwise,
+                        routed.pairwise_estimates(&csr, &[s, t], &[t, s], budget),
+                        "pairwise trial {trial} t{threads} {kernel:?}"
+                    );
+                    assert_eq!(
+                        scan,
+                        routed.scan_estimates(&csr, s, t, &cands, budget),
+                        "scan trial {trial} t{threads} {kernel:?}"
+                    );
+                }
+            }
+        }
+    }
+    // The draw must exercise both routes, or the matrix proves nothing.
+    assert!(sampled_plans > 0, "no trial took the pruned-sampling route");
+    assert!(short_circuits > 0, "no trial took the short-circuit route");
+}
+
 /// Freezing must stay transparent under the parallel runtime: CSR
 /// snapshots and adjacency walks agree at every thread count.
 #[test]

@@ -14,6 +14,7 @@ use relmax::prelude::*;
 use relmax::sampling::{BatchQuery, QueryBatch};
 use relmax::ugraph::edgelist::{self, EdgeListOptions};
 use relmax::ugraph::snapshot::{self, SnapshotError};
+use relmax::ugraph::RelIndex;
 
 /// Random graph with 5..20 nodes, random density, random orientation,
 /// probabilities spread across the full open interval including awkward
@@ -138,6 +139,73 @@ fn workload_files_round_trip_against_random_graphs() {
 }
 
 #[test]
+fn index_sections_round_trip_and_reindex_identically() {
+    let mut rng = StdRng::seed_from_u64(0x0106);
+    let mut nontrivial = 0;
+    for _ in 0..40 {
+        let g = random_graph(&mut rng);
+        let csr = g.freeze();
+        let idx = RelIndex::build(&csr);
+        if !idx.is_identity() {
+            nontrivial += 1;
+        }
+        // write(+section) -> read_full: same graph, same section, and the
+        // section revives into an index equal to a freshly built one.
+        let mut bytes = Vec::new();
+        snapshot::write_full(&csr, Some(&idx.section()), &mut bytes).expect("write");
+        let (back, section) = snapshot::read_full(&bytes[..]).expect("reload");
+        assert!(back == csr);
+        let section = section.expect("section persisted");
+        assert_eq!(section, idx.section());
+        let revived = RelIndex::from_section(&back, &section).expect("section validates");
+        assert!(revived == idx, "round-tripped index must equal rebuilt");
+        // The plain reader ignores the section; a v2 snapshot written
+        // without one reads back with `None`.
+        assert!(snapshot::read(&bytes[..]).expect("plain read") == csr);
+        let (_, none) = snapshot::read_full(&snapshot::to_bytes(&csr)[..]).expect("no-section");
+        assert!(none.is_none());
+    }
+    // `random_graph` draws p = 1.0 a quarter of the time, so most trials
+    // must exercise real condensation, not the identity index.
+    assert!(nontrivial >= 10, "only {nontrivial} non-identity indexes");
+}
+
+/// The committed pre-index fixture: a format-v1 `.rgs` written before the
+/// v2 bump must keep loading, byte-exactly, into the same CSR its graph
+/// freezes to today — and its index must be rebuildable on the side.
+#[test]
+fn v1_fixture_still_loads_after_v2_bump() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/tiny_v1.rgs");
+    let bytes = std::fs::read(path).expect("fixture committed");
+    assert_eq!(
+        u32::from_le_bytes(bytes[4..8].try_into().unwrap()),
+        1,
+        "fixture must stay format v1 — regenerate it only on purpose"
+    );
+
+    let mut g = UncertainGraph::new(5, true);
+    g.add_edge(NodeId(0), NodeId(1), 0.5).unwrap();
+    g.add_edge(NodeId(1), NodeId(2), 1.0).unwrap();
+    g.add_edge(NodeId(2), NodeId(3), 0.25).unwrap();
+    g.add_edge(NodeId(1), NodeId(3), 0.75).unwrap();
+    let expected = g.freeze();
+
+    let loaded = snapshot::read(&bytes[..]).expect("v1 loads under the v2 reader");
+    assert!(loaded == expected, "v1 payload decoded differently");
+    let (loaded, section) = snapshot::read_full(&bytes[..]).expect("v1 loads via read_full");
+    assert!(loaded == expected);
+    assert!(section.is_none(), "v1 cannot carry an index section");
+    // Index rebuild on a v1 load is the documented lazy path.
+    let idx = RelIndex::build(&loaded);
+    assert_eq!(idx.num_nodes(), 5);
+
+    // A v1 snapshot claiming the index flag is corrupt, not versioned.
+    let mut flagged = bytes.clone();
+    flagged[8] |= 2; // FLAG_INDEX
+    assert!(snapshot::read(&flagged[..]).is_err());
+}
+
+#[test]
 fn malformed_text_inputs_are_rejected_with_positions() {
     // Bad probability.
     let err = edgelist::parse_str("0 1 0.5\n1 2 -0.25\n", &EdgeListOptions::default()).unwrap_err();
@@ -168,12 +236,19 @@ fn malformed_snapshots_are_rejected() {
             "prefix of {len} bytes accepted"
         );
     }
-    // Wrong version.
+    // Wrong version — above the supported range (2 is valid since the
+    // index section landed) and below it (0 predates the format).
     let mut v = bytes.clone();
-    v[4..8].copy_from_slice(&2u32.to_le_bytes());
+    v[4..8].copy_from_slice(&99u32.to_le_bytes());
     assert!(matches!(
         snapshot::read(&v[..]),
-        Err(SnapshotError::UnsupportedVersion { found: 2 })
+        Err(SnapshotError::UnsupportedVersion { found: 99 })
+    ));
+    let mut v = bytes.clone();
+    v[4..8].copy_from_slice(&0u32.to_le_bytes());
+    assert!(matches!(
+        snapshot::read(&v[..]),
+        Err(SnapshotError::UnsupportedVersion { found: 0 })
     ));
     // Not a snapshot at all.
     assert!(matches!(
