@@ -13,7 +13,10 @@
 //!   or `RELMAX_INDEX=off` — reliability values are bit-identical either
 //!   way; only sampling-effort fields differ on short-circuited queries);
 //! - `relmax select`  — run any edge-selection method under a budget and
-//!   report the chosen edges plus before/after reliability.
+//!   report the chosen edges plus before/after reliability;
+//! - `relmax serve`   — stand up the long-running HTTP query service over
+//!   a snapshot (hot-swap reloads, request coalescing, admission
+//!   control; see `docs/server.md`).
 //!
 //! Everything on **stdout is deterministic**: bit-identical for a fixed
 //! seed at every thread count (`--threads` / `RELMAX_THREADS` only change
@@ -24,10 +27,15 @@
 mod graphio;
 mod index;
 mod ingest;
-mod jsonfmt;
 mod opts;
 mod query;
 mod select;
+mod serve;
+
+/// JSON emission lives in the server crate so `relmax query` and
+/// `relmax serve` render results through the same code (the wire-level
+/// byte-identity contract).
+use relmax_server::json as jsonfmt;
 
 use std::process::ExitCode;
 
@@ -44,6 +52,7 @@ COMMANDS:
                                   and write a snapshot with it embedded
     query  <GRAPH> [OPTIONS]      run a batch of reliability queries
     select <GRAPH> [OPTIONS]      pick k edges to add with any method
+    serve  <GRAPH> [OPTIONS]      serve reliability queries over HTTP
     help                          print this message
 
 GRAPH inputs are either a .rgs snapshot (detected by magic bytes) or a
@@ -91,6 +100,17 @@ SELECT OPTIONS:
     --hops H | --no-hop-limit
                            candidate distance constraint [default: 3]
 
+SERVE OPTIONS:
+    --port P               TCP port on 127.0.0.1 (0 = ephemeral; the
+                           chosen port is printed on startup) [default: 0]
+    --threads N            compute workers (sampling passes)
+    --io-threads N         HTTP workers (default: sized from --threads)
+    --queue-cap Q          admission bound: queued connections beyond Q
+                           are refused with 503 + Retry-After [default: 64]
+    (--estimator/--samples/--eps/--delta/--max-samples/--seed/--no-index
+    set the serving defaults; request bodies may override the budget with
+    `% accuracy` and the seed with `% seed`. See docs/server.md.)
+
 ENVIRONMENT:
     RELMAX_THREADS=N       default worker threads (overridden by --threads)
     RELMAX_KERNEL=scalar   use the scalar reference Monte Carlo kernel
@@ -107,6 +127,7 @@ EXAMPLES:
     relmax query toy.rgs --gen 100 --samples 2000 --format json
     relmax query toy.rgs --gen 100 --eps 0.02 --delta 0.05 --verbose-estimates
     relmax select toy.rgs --method BE --source 0 --target 15 -k 3
+    relmax serve toy.rgs --port 7070 --threads 4
 ";
 
 fn main() -> ExitCode {
@@ -121,12 +142,13 @@ fn main() -> ExitCode {
         "index" => index::run(rest),
         "query" => query::run(rest),
         "select" => select::run(rest),
+        "serve" => serve::run(rest),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             return ExitCode::SUCCESS;
         }
         other => Err(opts::CliError::Usage(format!(
-            "unknown command {other:?} (expected ingest, index, query, select, or help)"
+            "unknown command {other:?} (expected ingest, index, query, select, serve, or help)"
         ))),
     };
     match result {

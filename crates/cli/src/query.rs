@@ -303,34 +303,14 @@ fn print_json(
     specs: &[QuerySpec],
     results: &[BatchEstimate],
 ) {
-    let rendered = specs.iter().zip(results).map(|(q, r)| match (q, r) {
-        (QuerySpec::St(s, t), BatchEstimate::Scalar(e)) => format!(
-            "{{\"kind\":\"st\",\"s\":{},\"t\":{},\"reliability\":{},{}}}",
-            s.0,
-            t.0,
-            jsonfmt::num(e.value),
-            jsonfmt::estimate_fields(e),
-        ),
-        (q, BatchEstimate::Vector(estimates)) => {
-            let (kind, node) = match q {
-                QuerySpec::From(s) => ("from", s.0),
-                QuerySpec::To(t) => ("to", t.0),
-                QuerySpec::St(..) => unreachable!("st queries yield scalars"),
-            };
-            let (nonzero, mean, max) = r.summary();
-            let (z, early) = r.sampling_effort();
-            format!(
-                "{{\"kind\":\"{kind}\",\"node\":{node},\"nonzero\":{nonzero},\"mean\":{},\"max\":{},\"max_stderr\":{},\"samples_used\":{z},\"stopped_early\":{early},\"values\":{}}}",
-                jsonfmt::num(mean),
-                jsonfmt::num(max),
-                jsonfmt::num(r.max_stderr()),
-                jsonfmt::array(estimates.iter().map(|e| jsonfmt::num(e.value)))
-            )
-        }
-        (q, BatchEstimate::Scalar(_)) => {
-            unreachable!("{q} cannot yield a scalar")
-        }
-    });
+    // Entries render through the server crate's shared code, so a
+    // `relmax serve` response for the same workload + seed + budget
+    // carries a byte-identical `"results"` array (tests/server.rs pins
+    // this end to end).
+    let rendered = specs
+        .iter()
+        .zip(results)
+        .map(|(q, r)| relmax_server::render::result_entry(q, r));
     println!(
         "{{\"graph\":{{\"nodes\":{nodes},\"coins\":{coins},\"directed\":{directed}}},\"estimator\":{{\"name\":\"{}\",\"seed\":{seed},\"budget\":{}}},\"results\":{}}}",
         estimator.name(),

@@ -87,7 +87,10 @@ use std::sync::Arc;
 /// ```
 #[derive(Debug, Clone)]
 pub struct QueryEngine<E: Estimator> {
-    csr: CsrGraph,
+    // Shared, not owned: a serving process builds one engine per request
+    // (per-request seeds and budgets live in the estimator) over the same
+    // multi-gigabyte snapshot, so construction must be O(1) in graph size.
+    csr: Arc<CsrGraph>,
     index: Option<Arc<RelIndex>>,
     est: E,
     runtime: ParallelRuntime,
@@ -122,6 +125,18 @@ impl<E: Estimator> QueryEngine<E> {
     /// graph). `None` disables index routing for this engine regardless of
     /// `RELMAX_INDEX`.
     pub fn from_parts(csr: CsrGraph, index: Option<Arc<RelIndex>>, est: E) -> Self {
+        Self::from_shared(Arc::new(csr), index, est)
+    }
+
+    /// Build an engine over a *shared* snapshot plus an optional prebuilt
+    /// index — the serving-layer constructor.
+    ///
+    /// Construction is O(1) in graph size: the snapshot and index are
+    /// reference-counted, so a server can stamp out one engine per request
+    /// (carrying that request's seed and budget in its estimator) against
+    /// a snapshot held in a single hot-swappable `Arc`. Same contract as
+    /// [`QueryEngine::from_parts`] otherwise.
+    pub fn from_shared(csr: Arc<CsrGraph>, index: Option<Arc<RelIndex>>, est: E) -> Self {
         if let Some(idx) = &index {
             assert!(
                 idx.matches(csr.num_nodes(), csr.num_coins(), csr.is_directed()),
@@ -162,6 +177,12 @@ impl<E: Estimator> QueryEngine<E> {
         &self.csr
     }
 
+    /// The shared handle to the frozen snapshot (cheap to clone; the
+    /// serving layer keys coalesced work on snapshot identity through it).
+    pub fn shared_graph(&self) -> &Arc<CsrGraph> {
+        &self.csr
+    }
+
     /// The reliability index queries route through, if one is attached.
     pub fn rel_index(&self) -> Option<&Arc<RelIndex>> {
         self.index.as_ref()
@@ -198,6 +219,28 @@ impl<E: Estimator> QueryEngine<E> {
             QueryAnswer::Scalar(e) => Ok(e),
             _ => unreachable!("st queries yield scalars"),
         }
+    }
+
+    /// The answer an `st` query would get **without sampling**, if the
+    /// estimator can decide it structurally (`s == t`, or the reliability
+    /// index proves the pair certainly / never connected); `None` means
+    /// the query would sample.
+    ///
+    /// This is the coalescing accessor: a request coalescer must answer
+    /// short-circuited pairs directly (their estimates carry
+    /// `samples_used: 0`) and only merge genuinely-sampling queries into
+    /// a shared [`Estimator::from_estimates`] pass.
+    pub fn st_shortcircuit(&self, s: NodeId, t: NodeId) -> Result<Option<Estimate>, QueryError> {
+        self.check_node(s)?;
+        self.check_node(t)?;
+        Ok(self.est.st_shortcircuit(self.csr.as_ref(), s, t))
+    }
+
+    /// Whether this engine's estimator allows bit-identical same-source
+    /// `st` coalescing under fixed budgets — see
+    /// [`Estimator::coalescable_st`].
+    pub fn coalescable_st(&self) -> bool {
+        self.est.coalescable_st()
     }
 
     fn check_node(&self, node: NodeId) -> Result<(), QueryError> {
@@ -290,7 +333,7 @@ impl<E: Estimator> ReliabilityQuery<'_, E> {
         let engine = self.engine;
         let budget = self.budget.unwrap_or(engine.default_budget);
         let target = self.target.ok_or(QueryError::MissingTarget)?;
-        let g = &engine.csr;
+        let g = engine.csr.as_ref();
         let est = &engine.est;
         Ok(match target {
             Target::St(s, t) => {
@@ -567,6 +610,60 @@ mod tests {
         assert_eq!((e.value, e.samples_used, e.stopped_early), (0.0, 0, true));
         let plain_e = plain.query().st(NodeId(0), NodeId(5)).run().unwrap();
         assert_eq!(plain_e.scalar().unwrap().value, 0.0);
+    }
+
+    #[test]
+    fn coalescing_contract_st_equals_from_entry() {
+        // The serving layer merges same-source st queries into one
+        // from_estimates pass; that is sound only if the split answers are
+        // bit-identical to solo st queries (values AND effort fields) for
+        // fixed budgets, with short-circuited pairs answered directly.
+        let mut g = UncertainGraph::new(6, true);
+        g.add_edge(NodeId(0), NodeId(1), 1.0).unwrap();
+        g.add_edge(NodeId(1), NodeId(0), 1.0).unwrap();
+        g.add_edge(NodeId(1), NodeId(2), 0.6).unwrap();
+        g.add_edge(NodeId(2), NodeId(3), 0.5).unwrap();
+        g.add_edge(NodeId(4), NodeId(5), 0.7).unwrap();
+        let engine = QueryEngine::new(&g, McEstimator::new(2_000, 33));
+        assert!(engine.coalescable_st());
+        let budget = Budget::fixed(2_000);
+        let from = engine.query().from(NodeId(0)).budget(budget).run().unwrap();
+        let from = from.vector().unwrap();
+        for t in [NodeId(2), NodeId(3)] {
+            assert_eq!(engine.st_shortcircuit(NodeId(0), t).unwrap(), None);
+            let solo = engine.st(NodeId(0), t, budget).unwrap();
+            assert_eq!(solo, from[t.index()], "coalesced split differs at {t:?}");
+        }
+        // Short-circuited pairs must NOT be coalesced: their solo answers
+        // spend zero worlds, unlike the shared pass's entries.
+        let sc = engine.st_shortcircuit(NodeId(0), NodeId(1)).unwrap();
+        assert_eq!(sc.unwrap(), Estimate::exact(1.0)); // certain supernode
+        let sc = engine.st_shortcircuit(NodeId(0), NodeId(5)).unwrap();
+        let sc = sc.unwrap();
+        assert_eq!(
+            (sc.value, sc.samples_used, sc.stopped_early),
+            (0.0, 0, true)
+        );
+        assert_eq!(
+            sc,
+            engine.st(NodeId(0), NodeId(5), budget).unwrap(),
+            "short-circuit accessor must mirror st_estimate exactly"
+        );
+        // Bounds still validated through the accessor.
+        assert!(matches!(
+            engine.st_shortcircuit(NodeId(0), NodeId(99)),
+            Err(QueryError::NodeOutOfRange { .. })
+        ));
+        // Shared-snapshot engines serve the same answers.
+        let shared = QueryEngine::from_shared(
+            Arc::clone(engine.shared_graph()),
+            engine.rel_index().cloned(),
+            McEstimator::new(2_000, 33),
+        );
+        assert_eq!(
+            shared.st(NodeId(0), NodeId(3), budget).unwrap(),
+            engine.st(NodeId(0), NodeId(3), budget).unwrap()
+        );
     }
 
     #[test]

@@ -146,6 +146,70 @@ pub struct Workload {
     pub accuracy: Option<AccuracyDirective>,
 }
 
+/// One query in a *server request body* — the workload vocabulary plus
+/// the `pairwise` form, which has no place in flat workload files (its
+/// answer is a matrix) but maps directly onto the engine's pairwise
+/// target over the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireSpec {
+    /// Any flat workload query (`st` / `from` / `to` / bare pair).
+    Query(QuerySpec),
+    /// `pairwise s1,s2,… t1,t2,…` — the full `|S| × |T|` reliability
+    /// matrix for the listed sources and targets.
+    Pairwise {
+        /// Matrix row endpoints, in request order.
+        sources: Vec<NodeId>,
+        /// Matrix column endpoints, in request order.
+        targets: Vec<NodeId>,
+    },
+}
+
+impl WireSpec {
+    /// The largest node id the query references (for bounds validation
+    /// against a loaded graph).
+    pub fn max_node(&self) -> NodeId {
+        match self {
+            WireSpec::Query(q) => q.max_node(),
+            WireSpec::Pairwise { sources, targets } => sources
+                .iter()
+                .chain(targets)
+                .copied()
+                .max_by_key(|v| v.0)
+                .unwrap_or(NodeId(0)),
+        }
+    }
+}
+
+impl fmt::Display for WireSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireSpec::Query(q) => q.fmt(f),
+            WireSpec::Pairwise { sources, targets } => {
+                let join = |vs: &[NodeId]| {
+                    vs.iter()
+                        .map(|v| v.0.to_string())
+                        .collect::<Vec<_>>()
+                        .join(",")
+                };
+                write!(f, "pairwise {} {}", join(sources), join(targets))
+            }
+        }
+    }
+}
+
+/// A parsed `POST /query` request body: the `relmax serve` superset of
+/// the workload-file vocabulary — `pairwise` queries plus a `% seed S`
+/// directive for per-request seed pinning (see `docs/server.md`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireRequest {
+    /// Queries in body order.
+    pub specs: Vec<WireSpec>,
+    /// The `% accuracy` directive, if the body carried one.
+    pub accuracy: Option<AccuracyDirective>,
+    /// The `% seed` directive, if the body carried one.
+    pub seed: Option<u64>,
+}
+
 fn parse_accuracy(toks: &[&str], lineno: usize) -> Result<AccuracyDirective, WorkloadError> {
     let parse_f64 = |tok: &str, what: &str| -> Result<f64, WorkloadError> {
         let v: f64 = tok
@@ -183,13 +247,32 @@ pub fn parse_workload_reader<R: BufRead>(r: R) -> Result<Workload, WorkloadError
     parse_workload_lines(r).map(|(workload, _)| workload)
 }
 
-/// Shared parser: the workload plus the 1-based line of its directive
-/// (so the strict query parser can point its rejection at the right
-/// line).
-fn parse_workload_lines<R: BufRead>(r: R) -> Result<(Workload, Option<usize>), WorkloadError> {
+/// Parse a comma-separated node list (`0,4,17`) for `pairwise` queries.
+fn parse_node_list(tok: &str, what: &str, lineno: usize) -> Result<Vec<NodeId>, WorkloadError> {
+    let nodes: Vec<NodeId> = tok
+        .split(',')
+        .filter(|s| !s.is_empty())
+        .map(|s| parse_node(s, lineno))
+        .collect::<Result<_, _>>()?;
+    if nodes.is_empty() {
+        return Err(bad(lineno, format!("`pairwise` needs at least one {what}")));
+    }
+    Ok(nodes)
+}
+
+/// Shared parser core behind both grammars. `wire` admits the serve-only
+/// constructs (`pairwise` lines, `% seed`); the flat workload grammar
+/// rejects them with a pointer to the request-body format. Also returns
+/// the 1-based line of the accuracy directive so the strict query parser
+/// can point its rejection at the right line.
+fn parse_lines<R: BufRead>(
+    r: R,
+    wire: bool,
+) -> Result<(WireRequest, Option<usize>), WorkloadError> {
     let mut specs = Vec::new();
     let mut accuracy: Option<AccuracyDirective> = None;
     let mut accuracy_line: Option<usize> = None;
+    let mut seed: Option<u64> = None;
     for (i, line) in r.lines().enumerate() {
         let lineno = i + 1;
         let line = line?;
@@ -207,6 +290,24 @@ fn parse_workload_lines<R: BufRead>(r: R) -> Result<(Workload, Option<usize>), W
                     accuracy = Some(parse_accuracy(rest, lineno)?);
                     accuracy_line = Some(lineno);
                 }
+                ["seed", rest @ ..] if wire => {
+                    if seed.is_some() {
+                        return Err(bad(lineno, "duplicate `% seed` directive"));
+                    }
+                    seed = match rest {
+                        [tok] => Some(tok.parse::<u64>().map_err(|_| {
+                            bad(lineno, format!("{tok:?} is not a valid seed (u64)"))
+                        })?),
+                        _ => return Err(bad(lineno, "expected `% seed S`".to_string())),
+                    };
+                }
+                ["seed", ..] => {
+                    return Err(bad(
+                        lineno,
+                        "`% seed` is a request-body directive (relmax serve); \
+                         workload files take the seed from the CLI",
+                    ))
+                }
                 _ => {
                     return Err(bad(
                         lineno,
@@ -218,16 +319,33 @@ fn parse_workload_lines<R: BufRead>(r: R) -> Result<(Workload, Option<usize>), W
         }
         let toks: Vec<&str> = body.split_whitespace().collect();
         let spec = match toks.as_slice() {
-            ["st", s, t] => QuerySpec::St(parse_node(s, lineno)?, parse_node(t, lineno)?),
-            ["from", s] => QuerySpec::From(parse_node(s, lineno)?),
-            ["to", t] => QuerySpec::To(parse_node(t, lineno)?),
+            ["st", s, t] => QuerySpec::St(parse_node(s, lineno)?, parse_node(t, lineno)?).into(),
+            ["from", s] => QuerySpec::From(parse_node(s, lineno)?).into(),
+            ["to", t] => QuerySpec::To(parse_node(t, lineno)?).into(),
+            ["pairwise", srcs, dsts] if wire => WireSpec::Pairwise {
+                sources: parse_node_list(srcs, "source", lineno)?,
+                targets: parse_node_list(dsts, "target", lineno)?,
+            },
+            ["pairwise", ..] if wire => {
+                return Err(bad(
+                    lineno,
+                    "wrong arity for `pairwise` (expected `pairwise S1,S2,… T1,T2,…`)",
+                ))
+            }
+            ["pairwise", ..] => {
+                return Err(bad(
+                    lineno,
+                    "`pairwise` queries are request-body-only (relmax serve); \
+                     workload files take `st S T`, `from S`, or `to T`",
+                ))
+            }
             [kind @ ("st" | "from" | "to"), ..] => {
                 return Err(bad(
                     lineno,
                     format!("wrong arity for `{kind}` (expected `st S T`, `from S`, or `to T`)"),
                 ))
             }
-            [s, t] => QuerySpec::St(parse_node(s, lineno)?, parse_node(t, lineno)?),
+            [s, t] => QuerySpec::St(parse_node(s, lineno)?, parse_node(t, lineno)?).into(),
             _ => {
                 return Err(bad(
                     lineno,
@@ -237,7 +355,66 @@ fn parse_workload_lines<R: BufRead>(r: R) -> Result<(Workload, Option<usize>), W
         };
         specs.push(spec);
     }
-    Ok((Workload { specs, accuracy }, accuracy_line))
+    Ok((
+        WireRequest {
+            specs,
+            accuracy,
+            seed,
+        },
+        accuracy_line,
+    ))
+}
+
+impl From<QuerySpec> for WireSpec {
+    fn from(q: QuerySpec) -> Self {
+        WireSpec::Query(q)
+    }
+}
+
+/// Shared parser: the workload plus the 1-based line of its directive
+/// (so the strict query parser can point its rejection at the right
+/// line).
+fn parse_workload_lines<R: BufRead>(r: R) -> Result<(Workload, Option<usize>), WorkloadError> {
+    let (request, accuracy_line) = parse_lines(r, false)?;
+    let specs = request
+        .specs
+        .into_iter()
+        .map(|s| match s {
+            WireSpec::Query(q) => q,
+            WireSpec::Pairwise { .. } => unreachable!("flat grammar rejects pairwise"),
+        })
+        .collect();
+    Ok((
+        Workload {
+            specs,
+            accuracy: request.accuracy,
+        },
+        accuracy_line,
+    ))
+}
+
+/// Parse a `relmax serve` request body: the workload vocabulary plus
+/// `pairwise` queries and an optional `% seed S` directive.
+///
+/// ```
+/// use relmax_gen::workload::{parse_request_str, QuerySpec, WireSpec};
+/// use relmax_ugraph::NodeId;
+///
+/// let req = parse_request_str(
+///     "% accuracy 0.02 0.05\n% seed 7\nst 0 3\npairwise 0,1 2,3\n",
+/// ).unwrap();
+/// assert_eq!(req.seed, Some(7));
+/// assert_eq!(req.specs.len(), 2);
+/// assert_eq!(req.specs[0], WireSpec::Query(QuerySpec::St(NodeId(0), NodeId(3))));
+/// assert!(matches!(&req.specs[1], WireSpec::Pairwise { sources, .. } if sources.len() == 2));
+/// ```
+pub fn parse_request_str(s: &str) -> Result<WireRequest, WorkloadError> {
+    parse_request_reader(s.as_bytes())
+}
+
+/// Parse a `relmax serve` request body from any buffered reader.
+pub fn parse_request_reader<R: BufRead>(r: R) -> Result<WireRequest, WorkloadError> {
+    parse_lines(r, true).map(|(request, _)| request)
 }
 
 /// Parse a workload from a string.
@@ -446,5 +623,85 @@ mod tests {
     fn max_node_is_bound() {
         assert_eq!(QuerySpec::St(NodeId(2), NodeId(9)).max_node(), NodeId(9));
         assert_eq!(QuerySpec::To(NodeId(7)).max_node(), NodeId(7));
+    }
+
+    #[test]
+    fn wire_request_parses_full_vocabulary() {
+        let req = parse_request_str(
+            "# serve body\n% accuracy 0.02 0.05 10000\n% seed 42\n\
+             st 0 3\nfrom 1\nto 2\n4 5\npairwise 0,1 2,3,4\n",
+        )
+        .unwrap();
+        assert_eq!(req.seed, Some(42));
+        let acc = req.accuracy.unwrap();
+        assert_eq!(
+            (acc.eps, acc.delta, acc.max_samples),
+            (0.02, 0.05, Some(10_000))
+        );
+        assert_eq!(req.specs.len(), 5);
+        assert_eq!(
+            req.specs[3],
+            WireSpec::Query(QuerySpec::St(NodeId(4), NodeId(5)))
+        );
+        assert_eq!(
+            req.specs[4],
+            WireSpec::Pairwise {
+                sources: vec![NodeId(0), NodeId(1)],
+                targets: vec![NodeId(2), NodeId(3), NodeId(4)],
+            }
+        );
+    }
+
+    #[test]
+    fn wire_spec_round_trips_through_display() {
+        let req = parse_request_str("pairwise 0,1 2,3\nst 6 7\n").unwrap();
+        let text: String = req.specs.iter().map(|s| format!("{s}\n")).collect();
+        assert_eq!(text, "pairwise 0,1 2,3\nst 6 7\n");
+        assert_eq!(parse_request_str(&text).unwrap().specs, req.specs);
+    }
+
+    #[test]
+    fn wire_request_errors_report_position() {
+        for (text, needle) in [
+            ("% seed\n", "% seed S"),
+            ("% seed 1 2\n", "% seed S"),
+            ("% seed banana\n", "not a valid seed"),
+            ("% seed 1\n% seed 2\n", "duplicate"),
+            ("pairwise 0,1\n", "arity"),
+            ("pairwise 0,1 2 3\n", "arity"),
+            ("pairwise , 2\n", "at least one source"),
+            ("pairwise 0 ,\n", "at least one target"),
+            ("pairwise 0,x 2\n", "node id"),
+        ] {
+            let err = parse_request_str(text).unwrap_err();
+            let msg = err.to_string();
+            assert!(msg.contains("line"), "{text:?} -> {msg}");
+            assert!(msg.contains(needle), "{text:?} -> {msg}");
+        }
+    }
+
+    #[test]
+    fn flat_grammars_reject_wire_constructs() {
+        let err = parse_workload_str("st 0 1\npairwise 0,1 2\n").unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("line 2") && msg.contains("request-body"),
+            "{msg}"
+        );
+        let err = parse_workload_str("% seed 7\n").unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("line 1") && msg.contains("request-body"),
+            "{msg}"
+        );
+        let err = parse_queries_str("pairwise 0,1 2\n").unwrap_err();
+        assert!(err.to_string().contains("request-body"), "{err}");
+    }
+
+    #[test]
+    fn wire_max_node_is_bound() {
+        let req = parse_request_str("pairwise 0,9 2,3\nst 6 7\n").unwrap();
+        assert_eq!(req.specs[0].max_node(), NodeId(9));
+        assert_eq!(req.specs[1].max_node(), NodeId(7));
     }
 }

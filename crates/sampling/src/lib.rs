@@ -196,6 +196,33 @@ pub trait Estimator: Sync {
     /// A short human-readable name ("MC", "RSS", "exact") for reports.
     fn name(&self) -> &'static str;
 
+    /// The answer [`Estimator::st_estimate`] would return for `(s, t)`
+    /// *without sampling a single world*, if it can be decided
+    /// structurally — `s == t`, or an attached reliability index proving
+    /// the pair certainly / never connected. `None` means the query
+    /// samples.
+    ///
+    /// This is the contract the serving layer's request coalescer relies
+    /// on: a query with a short-circuit answer must be answered directly
+    /// (its `Estimate` carries `samples_used: 0`), never folded into a
+    /// shared sampling pass whose effort fields would differ.
+    fn st_shortcircuit<G: ProbGraph>(&self, _g: &G, s: NodeId, t: NodeId) -> Option<Estimate> {
+        (s == t).then(|| Estimate::exact(1.0))
+    }
+
+    /// Whether same-source `st` queries under one [`Budget::FixedSamples`]
+    /// budget may be merged into a single [`Estimator::from_estimates`]
+    /// pass and split per target, **bit for bit** — i.e. whether
+    /// `from_estimates(g, s, budget)[t]` equals
+    /// `st_estimate(g, s, t, budget)` exactly (values *and* effort
+    /// fields) for every non-short-circuited pair. [`McEstimator`]
+    /// guarantees this (both sides count the same worlds and build the
+    /// same `Estimate`); RSS does not (its stratification is target-
+    /// specific), so the default is `false`.
+    fn coalescable_st(&self) -> bool {
+        false
+    }
+
     /// Attach a freeze-time reliability index ([`RelIndex`]) built from
     /// the graph this estimator will be queried against.
     ///

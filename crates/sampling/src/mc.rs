@@ -406,28 +406,25 @@ impl Estimator for McEstimator {
 
     fn st_estimate<G: ProbGraph>(&self, g: &G, s: NodeId, t: NodeId, budget: Budget) -> Estimate {
         budget.assert_valid();
-        if s == t {
-            return Estimate::exact(1.0);
+        if let Some(decided) = self.st_shortcircuit(g, s, t) {
+            return decided;
         }
         if let Some(idx) = self.active_index(g) {
-            return match idx.st_plan(s, t) {
-                // Same certain supernode: connected in every world.
-                StPlan::Certain => Estimate::exact(1.0),
-                // No possible world connects them: structurally 0.0,
-                // decided without sampling a single world.
-                StPlan::Impossible => Self::impossible_estimate(),
-                // Sample on the condensed graph, masked to the supernodes
-                // that can lie on an s-t path. Both transformations
-                // preserve every world's verdict, and coins stay keyed to
-                // original ids, so hit counts — and hence the Estimate —
-                // are bit-identical to unindexed sampling.
-                StPlan::Sample { s, t, mask } => match mask {
+            // Certain/Impossible plans were consumed by `st_shortcircuit`;
+            // what remains is sampling on the condensed graph, masked to
+            // the supernodes that can lie on an s-t path. Both
+            // transformations preserve every world's verdict, and coins
+            // stay keyed to original ids, so hit counts — and hence the
+            // Estimate — are bit-identical to unindexed sampling.
+            if let StPlan::Sample { s, t, mask } = idx.st_plan(s, t) {
+                return match mask {
                     Some(mask) => {
                         self.st_sampled(&PrunedGraph::new(idx.condensed(), &mask), s, t, budget)
                     }
                     None => self.st_sampled(idx.condensed(), s, t, budget),
-                },
-            };
+                };
+            }
+            unreachable!("short-circuit plans are handled above");
         }
         self.st_sampled(g, s, t, budget)
     }
@@ -532,6 +529,24 @@ impl Estimator for McEstimator {
     fn with_rel_index(mut self, index: Arc<RelIndex>) -> Self {
         self.index = Some(index);
         self
+    }
+
+    fn st_shortcircuit<G: ProbGraph>(&self, g: &G, s: NodeId, t: NodeId) -> Option<Estimate> {
+        if s == t {
+            return Some(Estimate::exact(1.0));
+        }
+        match self.active_index(g)?.st_plan(s, t) {
+            // Same certain supernode: connected in every world.
+            StPlan::Certain => Some(Estimate::exact(1.0)),
+            // No possible world connects them: structurally 0.0, decided
+            // without sampling a single world.
+            StPlan::Impossible => Some(Self::impossible_estimate()),
+            StPlan::Sample { .. } => None,
+        }
+    }
+
+    fn coalescable_st(&self) -> bool {
+        true
     }
 }
 

@@ -1,9 +1,11 @@
 //! Hand-rolled JSON emission (the workspace is offline — no serde).
 //!
-//! Only what the CLI needs: string escaping and float formatting. Floats
-//! use Rust's `Display`, which prints the shortest decimal that parses
-//! back to the same `f64` — full precision, valid JSON, and deterministic,
-//! so JSON output participates in the byte-identity contract.
+//! Only what the wire surfaces need: string escaping, float formatting,
+//! and the estimate/budget/error object shapes shared by `relmax query`
+//! and `relmax serve`. Floats use Rust's `Display`, which prints the
+//! shortest decimal that parses back to the same `f64` — full precision,
+//! valid JSON, and deterministic, so JSON output participates in the
+//! byte-identity contract.
 
 /// Escape a string for inclusion inside JSON quotes.
 pub fn escape(s: &str) -> String {
@@ -24,7 +26,10 @@ pub fn escape(s: &str) -> String {
 
 /// Format an `f64` as a JSON number (shortest round-trip decimal).
 pub fn num(x: f64) -> String {
-    debug_assert!(x.is_finite(), "CLI never emits non-finite numbers");
+    debug_assert!(
+        x.is_finite(),
+        "wire output never carries non-finite numbers"
+    );
     format!("{x}")
 }
 
@@ -70,5 +75,61 @@ pub fn budget(b: &relmax_sampling::Budget) -> String {
             num(eps),
             num(delta),
         ),
+    }
+}
+
+/// The error body every non-2xx `relmax serve` response carries:
+/// `{"error":{"message":"…"}}`.
+pub fn error(message: &str) -> String {
+    format!("{{\"error\":{{\"message\":\"{}\"}}}}", escape(message))
+}
+
+/// An error anchored to a 1-based line of the request body:
+/// `{"error":{"line":N,"message":"…"}}` (mirrors edge-list / workload
+/// parse errors).
+pub fn error_at_line(line: usize, message: &str) -> String {
+    format!(
+        "{{\"error\":{{\"line\":{line},\"message\":\"{}\"}}}}",
+        escape(message)
+    )
+}
+
+/// An error anchored to a 1-based query of the request body:
+/// `{"error":{"query":N,"message":"…"}}`.
+pub fn error_at_query(query: usize, message: &str) -> String {
+    format!(
+        "{{\"error\":{{\"query\":{query},\"message\":\"{}\"}}}}",
+        escape(message)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_covers_controls_and_quotes() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn numbers_round_trip() {
+        for x in [0.0, 1.0, 0.125, 0.30000000000000004, 1e-12] {
+            assert_eq!(num(x).parse::<f64>().unwrap(), x);
+        }
+    }
+
+    #[test]
+    fn error_shapes_are_stable() {
+        assert_eq!(error("boom"), "{\"error\":{\"message\":\"boom\"}}");
+        assert_eq!(
+            error_at_line(3, "bad"),
+            "{\"error\":{\"line\":3,\"message\":\"bad\"}}"
+        );
+        assert_eq!(
+            error_at_query(2, "oob"),
+            "{\"error\":{\"query\":2,\"message\":\"oob\"}}"
+        );
     }
 }

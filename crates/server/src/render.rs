@@ -1,0 +1,93 @@
+//! Result-entry rendering shared by `relmax query` and `relmax serve`.
+//!
+//! Both front ends emit the same `"results":[…]` JSON array, built by the
+//! same code — which is what lets the black-box suite byte-compare a
+//! server response against CLI output for the same workload, seed, and
+//! budget. Pairwise entries exist only on the wire (the workload file
+//! format has no pairwise line), but render here alongside the rest.
+
+use crate::json;
+use relmax_gen::workload::QuerySpec;
+use relmax_sampling::{BatchEstimate, Estimate};
+use relmax_ugraph::NodeId;
+
+/// One st/from/to result as a JSON object — the exact shape `relmax
+/// query --format json` prints per entry.
+pub fn result_entry(q: &QuerySpec, r: &BatchEstimate) -> String {
+    match (q, r) {
+        (QuerySpec::St(s, t), BatchEstimate::Scalar(e)) => format!(
+            "{{\"kind\":\"st\",\"s\":{},\"t\":{},\"reliability\":{},{}}}",
+            s.0,
+            t.0,
+            json::num(e.value),
+            json::estimate_fields(e),
+        ),
+        (q, BatchEstimate::Vector(estimates)) => {
+            let (kind, node) = match q {
+                QuerySpec::From(s) => ("from", s.0),
+                QuerySpec::To(t) => ("to", t.0),
+                QuerySpec::St(..) => unreachable!("st queries yield scalars"),
+            };
+            let (nonzero, mean, max) = r.summary();
+            let (z, early) = r.sampling_effort();
+            format!(
+                "{{\"kind\":\"{kind}\",\"node\":{node},\"nonzero\":{nonzero},\"mean\":{},\"max\":{},\"max_stderr\":{},\"samples_used\":{z},\"stopped_early\":{early},\"values\":{}}}",
+                json::num(mean),
+                json::num(max),
+                json::num(r.max_stderr()),
+                json::array(estimates.iter().map(|e| json::num(e.value)))
+            )
+        }
+        (q, BatchEstimate::Scalar(_)) => {
+            unreachable!("{q} cannot yield a scalar")
+        }
+    }
+}
+
+/// A pairwise result as a JSON object (wire-only query kind):
+/// `values[i][j]` estimates `R(sources[i], targets[j])`.
+pub fn pairwise_entry(sources: &[NodeId], targets: &[NodeId], matrix: &[Vec<Estimate>]) -> String {
+    let all = || matrix.iter().flatten();
+    let z = all().map(|e| e.samples_used).max().unwrap_or(0);
+    let early = all().any(|e| e.stopped_early);
+    let max_stderr = all().map(|e| e.stderr).fold(0.0f64, f64::max);
+    format!(
+        "{{\"kind\":\"pairwise\",\"sources\":{},\"targets\":{},\"max_stderr\":{},\"samples_used\":{z},\"stopped_early\":{early},\"values\":{}}}",
+        json::array(sources.iter().map(|n| n.0.to_string())),
+        json::array(targets.iter().map(|n| n.0.to_string())),
+        json::num(max_stderr),
+        json::array(
+            matrix
+                .iter()
+                .map(|row| json::array(row.iter().map(|e| json::num(e.value))))
+        ),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn st_entry_shape_is_pinned() {
+        let e = Estimate::exact(1.0);
+        let entry = result_entry(
+            &QuerySpec::St(NodeId(0), NodeId(3)),
+            &BatchEstimate::Scalar(e),
+        );
+        assert_eq!(
+            entry,
+            "{\"kind\":\"st\",\"s\":0,\"t\":3,\"reliability\":1,\"stderr\":0,\"ci_low\":1,\"ci_high\":1,\"samples_used\":0,\"stopped_early\":false}"
+        );
+    }
+
+    #[test]
+    fn pairwise_entry_shape_is_pinned() {
+        let m = vec![vec![Estimate::exact(1.0), Estimate::exact(0.0)]];
+        let entry = pairwise_entry(&[NodeId(4)], &[NodeId(4), NodeId(5)], &m);
+        assert_eq!(
+            entry,
+            "{\"kind\":\"pairwise\",\"sources\":[4],\"targets\":[4,5],\"max_stderr\":0,\"samples_used\":0,\"stopped_early\":false,\"values\":[[1,0]]}"
+        );
+    }
+}

@@ -1,0 +1,452 @@
+//! The service itself: configuration, the accept/IO/compute pipeline,
+//! and the four-endpoint router.
+//!
+//! ## Pipeline
+//!
+//! ```text
+//! acceptor ──► bounded connection queue ──► IO workers ──► job queue ──► compute workers
+//!    │              (admission control:          │  parse HTTP + body,        │  coalesce +
+//!    └─ 503 + Retry-After on overflow            │  answer GET endpoints,     │  sample
+//!                                                │  enqueue query jobs,
+//!                                                └─ block on result slots
+//! ```
+//!
+//! Every response carries `Connection: close`; the connection queue is
+//! the only buffer, so `--queue-cap` bounds the number of requests the
+//! server will hold before shedding load.
+
+use crate::http::{self, HttpError, Request, Response};
+use crate::json;
+use crate::metrics::Metrics;
+use crate::render;
+use crate::state::{load_snapshot, AnyEngine, EngineKind, SharedSnapshot};
+use crate::work::{spawn_compute_pool, Job, JobQueue, Slot};
+use relmax_core::QueryAnswer;
+use relmax_gen::workload::{self, QuerySpec, WireSpec, WorkloadError};
+use relmax_sampling::convergence::DEFAULT_MAX_SAMPLES;
+use relmax_sampling::{BatchEstimate, Budget};
+use relmax_ugraph::ProbGraph;
+use std::collections::VecDeque;
+use std::io::Write;
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Server configuration (the CLI's `relmax serve` flags, resolved).
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Path to the graph to serve (`.rgs` snapshot or text edge list).
+    pub snapshot_path: String,
+    /// TCP port to bind on 127.0.0.1 (0 picks an ephemeral port; the
+    /// chosen one is printed on the `listening on …` line).
+    pub port: u16,
+    /// Compute workers (sampling passes run here).
+    pub threads: usize,
+    /// IO workers (HTTP parsing + response writing); 0 sizes the pool
+    /// automatically from `threads`.
+    pub io_threads: usize,
+    /// Admission bound: connections queued beyond this are refused with
+    /// `503` + `Retry-After`.
+    pub queue_cap: usize,
+    /// Default seed when a request body pins none (`% seed S`).
+    pub seed: u64,
+    /// Default budget when a request body carries no `% accuracy`
+    /// directive.
+    pub budget: Budget,
+    /// Estimator family serving the process.
+    pub estimator: EngineKind,
+    /// Whether the reliability index is built/loaded (false under
+    /// `--no-index`).
+    pub use_index: bool,
+}
+
+impl Config {
+    /// Defaults matching `relmax query`: MC estimator, 1000 worlds, seed
+    /// 42, index on, ephemeral port.
+    pub fn new(snapshot_path: impl Into<String>) -> Self {
+        Config {
+            snapshot_path: snapshot_path.into(),
+            port: 0,
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+                .min(8),
+            io_threads: 0,
+            queue_cap: 64,
+            seed: 42,
+            budget: Budget::FixedSamples(1000),
+            estimator: EngineKind::Mc,
+            use_index: true,
+        }
+    }
+
+    fn resolved_io_threads(&self) -> usize {
+        if self.io_threads > 0 {
+            self.io_threads
+        } else {
+            (self.threads * 4).clamp(4, 32)
+        }
+    }
+}
+
+/// The bounded connection queue between the acceptor and the IO pool.
+struct ConnQueue {
+    inner: Mutex<VecDeque<TcpStream>>,
+    cv: Condvar,
+    cap: usize,
+}
+
+impl ConnQueue {
+    fn new(cap: usize) -> Arc<Self> {
+        Arc::new(ConnQueue {
+            inner: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+            cap: cap.max(1),
+        })
+    }
+
+    /// Admit the connection, or hand it back when the queue is full.
+    fn try_push(&self, stream: TcpStream) -> Result<(), TcpStream> {
+        let mut q = self.inner.lock().expect("conn queue lock");
+        if q.len() >= self.cap {
+            return Err(stream);
+        }
+        q.push_back(stream);
+        self.cv.notify_one();
+        Ok(())
+    }
+
+    fn pop(&self) -> TcpStream {
+        let mut q = self.inner.lock().expect("conn queue lock");
+        loop {
+            if let Some(s) = q.pop_front() {
+                return s;
+            }
+            q = self.cv.wait(q).expect("conn queue lock");
+        }
+    }
+
+    fn depth(&self) -> usize {
+        self.inner.lock().expect("conn queue lock").len()
+    }
+}
+
+/// Everything the workers share.
+struct ServerState {
+    config: Config,
+    snapshot: SharedSnapshot,
+    metrics: Arc<Metrics>,
+    jobs: Arc<JobQueue>,
+    conns: Arc<ConnQueue>,
+}
+
+/// Load the snapshot, bind, print the `listening on http://…` line, and
+/// serve forever. Returns only on startup errors.
+pub fn run(config: Config) -> Result<(), String> {
+    let initial = load_snapshot(&config.snapshot_path, 1, config.use_index)?;
+    let listener = TcpListener::bind(("127.0.0.1", config.port))
+        .map_err(|e| format!("cannot bind 127.0.0.1:{}: {e}", config.port))?;
+    let addr = listener.local_addr().map_err(|e| e.to_string())?;
+    // The harness reads this line to learn the ephemeral port; flush so
+    // it is visible before the first request arrives.
+    println!("listening on http://{addr}");
+    let _ = std::io::stdout().flush();
+    eprintln!(
+        "serving {} ({} nodes, {} edges, generation 1) with {} compute / {} io workers",
+        config.snapshot_path,
+        initial.csr.num_nodes(),
+        initial.csr.num_coins(),
+        config.threads,
+        config.resolved_io_threads(),
+    );
+
+    let slow = test_slowdown();
+    let state = Arc::new(ServerState {
+        snapshot: SharedSnapshot::new(initial),
+        metrics: Arc::new(Metrics::new()),
+        jobs: JobQueue::new(),
+        conns: ConnQueue::new(config.queue_cap),
+        config,
+    });
+    spawn_compute_pool(
+        state.config.threads,
+        state.jobs.clone(),
+        state.metrics.clone(),
+        slow,
+    );
+    for _ in 0..state.config.resolved_io_threads() {
+        let state = state.clone();
+        std::thread::spawn(move || loop {
+            let stream = state.conns.pop();
+            handle_conn(stream, &state);
+        });
+    }
+
+    for stream in listener.incoming() {
+        let Ok(stream) = stream else { continue };
+        if let Err(stream) = state.conns.try_push(stream) {
+            Metrics::add(&state.metrics.rejected_total, 1);
+            reject_overloaded(stream);
+        }
+    }
+    Ok(())
+}
+
+/// The `RELMAX_SERVE_TEST_SLOW_MS` hook: a post-dequeue sleep in every
+/// compute worker so tests can deterministically fill the queues behind
+/// an inflight job (coalescing, admission control, generation pinning).
+fn test_slowdown() -> Option<Duration> {
+    let ms: u64 = std::env::var("RELMAX_SERVE_TEST_SLOW_MS")
+        .ok()?
+        .parse()
+        .ok()?;
+    (ms > 0).then(|| Duration::from_millis(ms))
+}
+
+/// Write the 503 directly from the acceptor thread: shedding load must
+/// not depend on the (saturated) worker pools.
+fn reject_overloaded(mut stream: TcpStream) {
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+    let resp = Response::json(
+        503,
+        json::error("server overloaded: connection queue is full"),
+    )
+    .with_header("Retry-After: 1");
+    let _ = resp.write_to(&mut stream);
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+fn handle_conn(mut stream: TcpStream, state: &ServerState) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+    let response = match http::read_request(&mut stream) {
+        Ok(req) => {
+            Metrics::add(&state.metrics.http_requests_total, 1);
+            route(&req, state)
+        }
+        Err(HttpError::Disconnect) => return,
+        Err(HttpError::BadRequest(msg)) => Response::json(400, json::error(&msg)),
+        Err(HttpError::LengthRequired) => Response::json(
+            411,
+            json::error("POST requests must carry a Content-Length header"),
+        ),
+        Err(HttpError::PayloadTooLarge) => Response::json(
+            413,
+            json::error(&format!(
+                "request body exceeds the {} byte limit",
+                http::MAX_BODY_BYTES
+            )),
+        ),
+    };
+    let _ = response.write_to(&mut stream);
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+fn route(req: &Request, state: &ServerState) -> Response {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => healthz(state),
+        ("GET", "/metrics") => metrics_page(state),
+        ("POST", "/query") => query(state, &req.body),
+        ("POST", "/reload") => reload(state, &req.body),
+        (_, "/healthz" | "/metrics") => Response::json(
+            405,
+            json::error(&format!("{} does not allow {}", req.path, req.method)),
+        )
+        .with_header("Allow: GET"),
+        (_, "/query" | "/reload") => Response::json(
+            405,
+            json::error(&format!("{} does not allow {}", req.path, req.method)),
+        )
+        .with_header("Allow: POST"),
+        _ => Response::json(
+            404,
+            json::error(&format!(
+                "no such endpoint {} (have /healthz, /metrics, /query, /reload)",
+                req.path
+            )),
+        ),
+    }
+}
+
+fn healthz(state: &ServerState) -> Response {
+    let snap = state.snapshot.get();
+    Response::json(
+        200,
+        format!(
+            "{{\"generation\":{},\"snapshot_version\":{},\"nodes\":{},\"edges\":{},\"directed\":{},\"index\":{},\"estimator\":\"{}\"}}",
+            snap.generation,
+            snap.format_version,
+            snap.csr.num_nodes(),
+            snap.csr.num_coins(),
+            snap.csr.is_directed(),
+            snap.index.is_some(),
+            state.config.estimator.name(),
+        ),
+    )
+}
+
+fn metrics_page(state: &ServerState) -> Response {
+    let generation = state.snapshot.get().generation;
+    Response::text(
+        200,
+        state.metrics.render(
+            generation,
+            state.conns.depth(),
+            state.config.queue_cap,
+            state.config.threads,
+            state.config.resolved_io_threads(),
+        ),
+    )
+}
+
+fn reload(state: &ServerState, body: &[u8]) -> Response {
+    let Ok(text) = std::str::from_utf8(body) else {
+        return Response::json(400, json::error("reload body is not valid UTF-8"));
+    };
+    let current = state.snapshot.get();
+    let path = match text.trim() {
+        "" => current.path.clone(),
+        p => p.to_string(),
+    };
+    // Load outside the snapshot lock: queries keep flowing against the
+    // old generation while the new one parses and validates.
+    match load_snapshot(&path, 0, state.config.use_index) {
+        Ok(snapshot) => {
+            let pinned = state.snapshot.swap(snapshot);
+            Metrics::add(&state.metrics.reloads_total, 1);
+            Response::json(
+                200,
+                format!(
+                    "{{\"generation\":{},\"snapshot_version\":{},\"nodes\":{},\"edges\":{},\"directed\":{}}}",
+                    pinned.generation,
+                    pinned.format_version,
+                    pinned.csr.num_nodes(),
+                    pinned.csr.num_coins(),
+                    pinned.csr.is_directed(),
+                ),
+            )
+        }
+        Err(msg) => {
+            // The old Arc keeps serving untouched; the caller learns why.
+            Metrics::add(&state.metrics.reload_failures_total, 1);
+            Response::json(409, json::error(&msg))
+        }
+    }
+}
+
+/// A per-spec answer: resolved inline (short-circuit) or pending on the
+/// compute pool.
+enum Pending {
+    Ready(QueryAnswer),
+    Queued(Arc<Slot>),
+}
+
+fn query(state: &ServerState, body: &[u8]) -> Response {
+    let Ok(text) = std::str::from_utf8(body) else {
+        return Response::json(400, json::error("query body is not valid UTF-8"));
+    };
+    let request = match workload::parse_request_str(text) {
+        Ok(r) => r,
+        Err(WorkloadError::BadRecord { line, reason }) => {
+            return Response::json(400, json::error_at_line(line, &reason))
+        }
+        Err(e) => return Response::json(400, json::error(&e.to_string())),
+    };
+    if request.specs.is_empty() {
+        return Response::json(400, json::error("request contains no queries"));
+    }
+    let seed = request.seed.unwrap_or(state.config.seed);
+    let budget = match request.accuracy {
+        Some(a) => {
+            Budget::accuracy_capped(a.eps, a.delta, a.max_samples.unwrap_or(DEFAULT_MAX_SAMPLES))
+        }
+        None => state.config.budget,
+    };
+
+    // Pin one generation for the whole request: bounds checks, the
+    // short-circuit pass, and every enqueued job see the same graph.
+    let snap = state.snapshot.get();
+    let nodes = snap.csr.num_nodes();
+    for (i, spec) in request.specs.iter().enumerate() {
+        if spec.max_node().index() >= nodes {
+            return Response::json(
+                422,
+                json::error_at_query(
+                    i + 1,
+                    &format!(
+                        "{spec} references node {} but the graph has {nodes} nodes",
+                        spec.max_node().0
+                    ),
+                ),
+            );
+        }
+    }
+
+    let engine = AnyEngine::build(&snap, state.config.estimator, budget, seed);
+    let mut answers = Vec::with_capacity(request.specs.len());
+    for spec in &request.specs {
+        if let WireSpec::Query(QuerySpec::St(s, t)) = *spec {
+            match engine.st_shortcircuit(s, t) {
+                Ok(Some(e)) => {
+                    Metrics::add(&state.metrics.index_short_circuits_total, 1);
+                    answers.push(Pending::Ready(QueryAnswer::Scalar(e)));
+                    continue;
+                }
+                Ok(None) => {}
+                Err(e) => return Response::json(500, json::error(&e.to_string())),
+            }
+        }
+        let slot = Slot::new();
+        state.jobs.push(Job {
+            spec: spec.clone(),
+            snapshot: snap.clone(),
+            kind: state.config.estimator,
+            budget,
+            seed,
+            slot: slot.clone(),
+        });
+        answers.push(Pending::Queued(slot));
+    }
+
+    let mut entries = Vec::with_capacity(answers.len());
+    for (spec, pending) in request.specs.iter().zip(answers) {
+        let answer = match pending {
+            Pending::Ready(a) => a,
+            Pending::Queued(slot) => match slot.wait() {
+                Ok(a) => a,
+                Err(msg) => return Response::json(500, json::error(&msg)),
+            },
+        };
+        entries.push(render_entry(spec, answer));
+    }
+    Metrics::add(&state.metrics.queries_total, request.specs.len() as u64);
+
+    Response::json(
+        200,
+        format!(
+            "{{\"generation\":{},\"graph\":{{\"nodes\":{},\"coins\":{},\"directed\":{}}},\"estimator\":{{\"name\":\"{}\",\"seed\":{seed},\"budget\":{}}},\"results\":{}}}",
+            snap.generation,
+            nodes,
+            snap.csr.num_coins(),
+            snap.csr.is_directed(),
+            state.config.estimator.name(),
+            json::budget(&budget),
+            json::array(entries),
+        ),
+    )
+}
+
+fn render_entry(spec: &WireSpec, answer: QueryAnswer) -> String {
+    match (spec, answer) {
+        (WireSpec::Query(q), QueryAnswer::Scalar(e)) => {
+            render::result_entry(q, &BatchEstimate::Scalar(e))
+        }
+        (WireSpec::Query(q), QueryAnswer::Vector(v)) => {
+            render::result_entry(q, &BatchEstimate::Vector(v))
+        }
+        (WireSpec::Pairwise { sources, targets }, QueryAnswer::Matrix(m)) => {
+            render::pairwise_entry(sources, targets, &m)
+        }
+        (spec, answer) => unreachable!("{spec} cannot yield a {answer:?}"),
+    }
+}

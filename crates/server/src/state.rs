@@ -1,0 +1,281 @@
+//! Serving state: the immutable snapshot behind an atomically swappable
+//! `Arc`, the loader that builds one from disk, and the estimator
+//! dispatch the compute pool runs queries through.
+
+use relmax_core::{QueryAnswer, QueryEngine, QueryError};
+use relmax_gen::workload::{QuerySpec, WireSpec};
+use relmax_sampling::{Budget, Estimate, McEstimator, RssEstimator};
+use relmax_ugraph::edgelist::{self, EdgeListOptions};
+use relmax_ugraph::index::index_enabled;
+use relmax_ugraph::{snapshot, CsrGraph, NodeId, RelIndex};
+use std::fs::File;
+use std::io::Read;
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+/// One immutable generation of serving state. Requests pin a generation
+/// by cloning the `Arc` once, so a concurrent `/reload` can never tear a
+/// response: everything a request renders comes from the same snapshot.
+#[derive(Debug)]
+pub struct Snapshot {
+    /// The frozen graph (shared with every engine built over it).
+    pub csr: Arc<CsrGraph>,
+    /// The reliability index, if enabled (rebuilt or loaded from the
+    /// `.rgs` index section).
+    pub index: Option<Arc<RelIndex>>,
+    /// Monotonic generation id, echoed in every response.
+    pub generation: u64,
+    /// `.rgs` format version the graph was loaded from (0 for text
+    /// edge-list ingests, which have no snapshot header).
+    pub format_version: u32,
+    /// The path the snapshot was loaded from.
+    pub path: String,
+}
+
+/// Load a graph file (`.rgs` snapshot or text edge list, sniffed by magic
+/// bytes exactly like the CLI) into a [`Snapshot`] with the given
+/// generation id. Errors are strings ready for the `409` body.
+pub fn load_snapshot(path: &str, generation: u64, use_index: bool) -> Result<Snapshot, String> {
+    let p = Path::new(path);
+    let mut head = [0u8; 8];
+    let read = {
+        let mut f = File::open(p).map_err(|e| format!("cannot open {path}: {e}"))?;
+        let mut n = 0;
+        while n < head.len() {
+            match f.read(&mut head[n..]) {
+                Ok(0) => break,
+                Ok(k) => n += k,
+                Err(e) => return Err(format!("cannot read {path}: {e}")),
+            }
+        }
+        n
+    };
+    let (csr, section, format_version) = if snapshot::is_snapshot(&head[..read]) {
+        let (csr, section) = snapshot::load_full(p).map_err(|e| format!("{path}: {e}"))?;
+        let version = snapshot::peek_version(&head[..read]).unwrap_or(0);
+        (csr, section, version)
+    } else {
+        let g = edgelist::parse_file(p, &EdgeListOptions::default())
+            .map_err(|e| format!("{path}: {e}"))?;
+        (g.freeze(), None, 0)
+    };
+    let index = if !use_index || !index_enabled() {
+        None
+    } else if let Some(section) = section {
+        let idx = RelIndex::from_section(&csr, &section)
+            .map_err(|e| format!("{path}: stored index section: {e}"))?;
+        Some(Arc::new(idx))
+    } else {
+        Some(Arc::new(RelIndex::build(&csr)))
+    };
+    Ok(Snapshot {
+        csr: Arc::new(csr),
+        index,
+        generation,
+        format_version,
+        path: path.to_string(),
+    })
+}
+
+/// The hot-swappable snapshot slot. Readers take the lock only long
+/// enough to clone the `Arc`; the swap assigns the next generation id
+/// under the same lock, so generations are strictly monotonic even under
+/// concurrent reloads.
+#[derive(Debug)]
+pub struct SharedSnapshot {
+    inner: Mutex<Arc<Snapshot>>,
+}
+
+impl SharedSnapshot {
+    /// Wrap the initial generation.
+    pub fn new(snapshot: Snapshot) -> Self {
+        SharedSnapshot {
+            inner: Mutex::new(Arc::new(snapshot)),
+        }
+    }
+
+    /// Pin the current generation.
+    pub fn get(&self) -> Arc<Snapshot> {
+        self.inner.lock().expect("snapshot lock").clone()
+    }
+
+    /// Install a freshly loaded snapshot, stamping it with the next
+    /// generation id. Returns the pinned new generation.
+    pub fn swap(&self, mut snapshot: Snapshot) -> Arc<Snapshot> {
+        let mut slot = self.inner.lock().expect("snapshot lock");
+        snapshot.generation = slot.generation + 1;
+        let next = Arc::new(snapshot);
+        *slot = next.clone();
+        next
+    }
+}
+
+/// Which estimator family a request runs under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EngineKind {
+    /// Plain Monte Carlo (coalescable: `from` vectors answer st queries
+    /// bit-identically).
+    Mc,
+    /// Recursive stratified sampling (target-specific; never coalesced).
+    Rss,
+}
+
+impl EngineKind {
+    /// Parse the CLI/spelling (`mc` | `rss`).
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "mc" => Ok(EngineKind::Mc),
+            "rss" => Ok(EngineKind::Rss),
+            other => Err(format!("unknown estimator {other:?} (expected mc|rss)")),
+        }
+    }
+
+    /// The wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineKind::Mc => "mc",
+            EngineKind::Rss => "rss",
+        }
+    }
+}
+
+/// Monomorphized [`QueryEngine`] dispatch. Construction is O(1) in graph
+/// size (the graph and index are shared `Arc`s), so every request — and
+/// every coalesced compute pass — builds its own engine carrying the
+/// request's seed and budget.
+pub enum AnyEngine {
+    /// Monte Carlo engine.
+    Mc(QueryEngine<McEstimator>),
+    /// RSS engine.
+    Rss(QueryEngine<RssEstimator>),
+}
+
+impl AnyEngine {
+    /// Build an engine over a pinned snapshot.
+    pub fn build(snap: &Snapshot, kind: EngineKind, budget: Budget, seed: u64) -> Self {
+        let csr = snap.csr.clone();
+        let index = snap.index.clone();
+        match kind {
+            EngineKind::Mc => AnyEngine::Mc(QueryEngine::from_shared(
+                csr,
+                index,
+                McEstimator::with_budget(budget, seed),
+            )),
+            EngineKind::Rss => AnyEngine::Rss(QueryEngine::from_shared(
+                csr,
+                index,
+                RssEstimator::with_budget(budget, seed),
+            )),
+        }
+    }
+
+    /// Whether an st query can be answered without sampling (trivial
+    /// `s == t`, or a reliability-index `Certain`/`Impossible` plan).
+    pub fn st_shortcircuit(&self, s: NodeId, t: NodeId) -> Result<Option<Estimate>, QueryError> {
+        match self {
+            AnyEngine::Mc(e) => e.st_shortcircuit(s, t),
+            AnyEngine::Rss(e) => e.st_shortcircuit(s, t),
+        }
+    }
+
+    /// Whether `from_estimates(s)[t]` equals `st_estimate(s, t)` bit for
+    /// bit under fixed budgets (the coalescing precondition).
+    pub fn coalescable_st(&self) -> bool {
+        match self {
+            AnyEngine::Mc(e) => e.coalescable_st(),
+            AnyEngine::Rss(e) => e.coalescable_st(),
+        }
+    }
+
+    /// The full `R(s, ·)` vector under `budget` (the shared coalescing
+    /// pass).
+    pub fn from_vector(&self, s: NodeId, budget: Budget) -> Result<Vec<Estimate>, QueryError> {
+        let answer = match self {
+            AnyEngine::Mc(e) => e.query().from(s).budget(budget).run()?,
+            AnyEngine::Rss(e) => e.query().from(s).budget(budget).run()?,
+        };
+        match answer {
+            QueryAnswer::Vector(v) => Ok(v),
+            _ => unreachable!("from queries yield vectors"),
+        }
+    }
+
+    /// Run one wire query spec under `budget`.
+    pub fn run_spec(&self, spec: &WireSpec, budget: Budget) -> Result<QueryAnswer, QueryError> {
+        macro_rules! run {
+            ($e:expr) => {{
+                let q = $e.query().budget(budget);
+                match spec {
+                    WireSpec::Query(QuerySpec::St(s, t)) => q.st(*s, *t),
+                    WireSpec::Query(QuerySpec::From(s)) => q.from(*s),
+                    WireSpec::Query(QuerySpec::To(t)) => q.to(*t),
+                    WireSpec::Pairwise { sources, targets } => q.pairwise(sources, targets),
+                }
+                .run()
+            }};
+        }
+        match self {
+            AnyEngine::Mc(e) => run!(e),
+            AnyEngine::Rss(e) => run!(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_snapshot() -> Snapshot {
+        let mut g = relmax_ugraph::UncertainGraph::new(3, true);
+        g.add_edge(NodeId(0), NodeId(1), 0.5).unwrap();
+        g.add_edge(NodeId(1), NodeId(2), 0.5).unwrap();
+        let csr = g.freeze();
+        let index = Some(Arc::new(RelIndex::build(&csr)));
+        Snapshot {
+            csr: Arc::new(csr),
+            index,
+            generation: 1,
+            format_version: 2,
+            path: "mem".to_string(),
+        }
+    }
+
+    #[test]
+    fn swap_assigns_monotonic_generations() {
+        let shared = SharedSnapshot::new(tiny_snapshot());
+        assert_eq!(shared.get().generation, 1);
+        let g2 = shared.swap(tiny_snapshot());
+        assert_eq!(g2.generation, 2);
+        assert_eq!(shared.get().generation, 2);
+        let g3 = shared.swap(tiny_snapshot());
+        assert_eq!(g3.generation, 3);
+    }
+
+    #[test]
+    fn engine_dispatch_honors_coalescability() {
+        let snap = tiny_snapshot();
+        let budget = Budget::fixed(64);
+        let mc = AnyEngine::build(&snap, EngineKind::Mc, budget, 7);
+        let rss = AnyEngine::build(&snap, EngineKind::Rss, budget, 7);
+        assert!(mc.coalescable_st());
+        assert!(!rss.coalescable_st());
+        // The coalescing premise, end to end through the dispatch layer.
+        let vec = mc.from_vector(NodeId(0), budget).unwrap();
+        let spec = WireSpec::Query(QuerySpec::St(NodeId(0), NodeId(2)));
+        let solo = mc.run_spec(&spec, budget).unwrap();
+        assert_eq!(solo.scalar().unwrap(), &vec[2]);
+    }
+
+    #[test]
+    fn shortcircuit_covers_trivial_and_index_plans() {
+        let snap = tiny_snapshot();
+        let mc = AnyEngine::build(&snap, EngineKind::Mc, Budget::fixed(8), 1);
+        let same = mc.st_shortcircuit(NodeId(1), NodeId(1)).unwrap().unwrap();
+        assert_eq!(same.value, 1.0);
+        // 2 -> 0 has no path in this DAG: the index proves impossibility.
+        let imp = mc.st_shortcircuit(NodeId(2), NodeId(0)).unwrap().unwrap();
+        assert_eq!(imp.value, 0.0);
+        assert!(mc.st_shortcircuit(NodeId(0), NodeId(2)).unwrap().is_none());
+        assert!(mc.st_shortcircuit(NodeId(0), NodeId(9)).is_err());
+    }
+}

@@ -183,6 +183,18 @@ pub fn is_snapshot(head: &[u8]) -> bool {
     head.len() >= MAGIC.len() && head[..MAGIC.len()] == MAGIC
 }
 
+/// The format version declared in a snapshot header prefix, if `head`
+/// carries the magic and at least the version word (8 bytes). A cheap peek
+/// for status surfaces (`relmax serve`'s `/healthz`); unlike
+/// [`read()`](fn@read) it does **not** validate that this build can decode
+/// the version.
+pub fn peek_version(head: &[u8]) -> Option<u32> {
+    if !is_snapshot(head) || head.len() < 8 {
+        return None;
+    }
+    Some(u32::from_le_bytes(head[4..8].try_into().unwrap()))
+}
+
 fn push_u32s(buf: &mut Vec<u8>, vals: &[u32]) {
     for v in vals {
         buf.extend_from_slice(&v.to_le_bytes());

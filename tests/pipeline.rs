@@ -85,11 +85,15 @@ fn estimator_swap_mc_vs_rss_same_quality() {
     let rss = RssEstimator::new(250, 13);
     let out_mc = BatchEdgeSelector.select(&g, &q, &mc).unwrap();
     let out_rss = BatchEdgeSelector.select(&g, &q, &rss).unwrap();
-    // Judge both solutions with one referee estimator.
-    let referee = McEstimator::new(4000, 99);
+    // Judge both solutions with one referee configuration, routed through
+    // the budgeted QueryEngine path (not the legacy f64 shims): freeze the
+    // overlaid view and ask for a scalar estimate.
     let judge = |added: &[CandidateEdge]| {
         let view = GraphView::new(&g, added.to_vec());
-        referee.st_reliability(&view, s, t)
+        let referee =
+            QueryEngine::from_snapshot(CsrGraph::freeze(&view), McEstimator::new(4000, 99));
+        let answer = referee.query().st(s, t).run().expect("referee query");
+        answer.scalar().expect("st answers are scalar").value
     };
     let (rm, rr) = (judge(&out_mc.added), judge(&out_rss.added));
     assert!((rm - rr).abs() < 0.1, "MC-driven {rm} vs RSS-driven {rr}");
@@ -161,9 +165,22 @@ fn selection_identical_when_driven_from_frozen_estimates() {
     let (s, t) = st_queries(&g, 1, 3, 5, 6)[0];
     let q = StQuery::new(s, t, 4, 0.5).with_r(25).with_l(10);
     let csr = g.freeze();
-    // Direct estimates agree bit-for-bit across layouts.
-    assert_eq!(est.st_reliability(&g, s, t), est.st_reliability(&csr, s, t));
-    assert_eq!(est.reliability_from(&g, s), est.reliability_from(&csr, s));
+    // Direct adjacency-walk estimates agree bit-for-bit (full Estimate,
+    // not just the point value) with the frozen QueryEngine path under the
+    // same explicit budget. The index stays off so even the
+    // sampling-effort fields must match.
+    let budget = Budget::fixed(300);
+    let engine = QueryEngine::from_parts(csr, None, McEstimator::with_budget(budget, 29));
+    let st = engine.query().st(s, t).run().expect("engine st");
+    assert_eq!(
+        est.st_estimate(&g, s, t, budget),
+        *st.scalar().expect("scalar answer")
+    );
+    let from = engine.query().from(s).run().expect("engine from");
+    assert_eq!(
+        est.from_estimates(&g, s, budget),
+        from.vector().expect("vector answer")
+    );
     // And the end-to-end selection is deterministic on top of them.
     let a = BatchEdgeSelector.select(&g, &q, &est).unwrap();
     let b = BatchEdgeSelector.select(&g, &q, &est).unwrap();

@@ -14,6 +14,7 @@ use relmax::prelude::*;
 use relmax::sampling::legacy::DynMcEstimator;
 use relmax::ugraph::exact::{st_reliability, ConditioningBudget};
 use relmax::ugraph::PossibleWorld;
+use std::sync::Arc;
 
 /// Random digraph with 4..8 nodes and up to 14 random edges.
 fn small_graph(rng: &mut StdRng, directed: bool) -> UncertainGraph {
@@ -88,57 +89,69 @@ fn mrp_probability_lower_bounds_reliability() {
     }
 }
 
-/// Satellite property (a): for any graph and seed, MC and RSS estimates on
-/// the frozen CSR snapshot are bit-identical to the adjacency-walk
-/// estimates — and MC additionally matches the preserved pre-refactor
-/// dyn-dispatch implementation.
+/// Satellite property (a): for any graph and seed, MC and RSS answers
+/// served by the [`QueryEngine`] over the frozen CSR snapshot are
+/// bit-identical (full `Estimate`, effort fields included) to the
+/// budgeted adjacency-walk estimates — and MC additionally matches the
+/// preserved pre-refactor dyn-dispatch implementation. The engines carry
+/// no index so nothing short-circuits.
 #[test]
-fn csr_estimates_bit_identical_to_adjacency_walk() {
+fn engine_estimates_bit_identical_to_adjacency_walk() {
     let mut rng = StdRng::seed_from_u64(103);
     for trial in 0..24 {
         let g = small_graph(&mut rng, trial % 2 == 0);
         let (s, t) = endpoints(&g);
-        let csr = g.freeze();
+        let csr = Arc::new(g.freeze());
         let seed = rng.gen::<u64>();
 
-        let mc = McEstimator::new(800, seed);
+        let budget = Budget::fixed(800);
+        let mc = McEstimator::with_budget(budget, seed);
+        let engine =
+            QueryEngine::from_shared(csr.clone(), None, McEstimator::with_budget(budget, seed));
+        let st = engine.query().st(s, t).run().expect("engine st");
         assert_eq!(
-            mc.st_reliability(&g, s, t),
-            mc.st_reliability(&csr, s, t),
+            mc.st_estimate(&g, s, t, budget),
+            *st.scalar().expect("scalar answer"),
             "MC st trial {trial}"
         );
         assert_eq!(
-            mc.reliability_from(&g, s),
-            mc.reliability_from(&csr, s),
+            mc.from_estimates(&g, s, budget),
+            engine.query().from(s).run().unwrap().vector().unwrap(),
             "MC from trial {trial}"
         );
         assert_eq!(
-            mc.reliability_to(&g, t),
-            mc.reliability_to(&csr, t),
+            mc.to_estimates(&g, t, budget),
+            engine.query().to(t).run().unwrap().vector().unwrap(),
             "MC to trial {trial}"
         );
 
         let legacy = DynMcEstimator::new(800, seed);
         assert_eq!(
             legacy.st_reliability(&g, s, t),
-            mc.st_reliability(&csr, s, t),
-            "legacy vs CSR trial {trial}"
+            st.scalar().unwrap().value,
+            "legacy vs engine trial {trial}"
         );
 
-        let rss = RssEstimator::new(400, seed);
+        let rss_budget = Budget::fixed(400);
+        let rss = RssEstimator::with_budget(rss_budget, seed);
+        let rss_engine = QueryEngine::from_shared(
+            csr.clone(),
+            None,
+            RssEstimator::with_budget(rss_budget, seed),
+        );
         assert_eq!(
-            rss.st_reliability(&g, s, t),
-            rss.st_reliability(&csr, s, t),
+            rss.st_estimate(&g, s, t, rss_budget),
+            *rss_engine.query().st(s, t).run().unwrap().scalar().unwrap(),
             "RSS st trial {trial}"
         );
         assert_eq!(
-            rss.reliability_from(&g, s),
-            rss.reliability_from(&csr, s),
+            rss.from_estimates(&g, s, rss_budget),
+            rss_engine.query().from(s).run().unwrap().vector().unwrap(),
             "RSS from trial {trial}"
         );
         assert_eq!(
-            rss.reliability_to(&g, t),
-            rss.reliability_to(&csr, t),
+            rss.to_estimates(&g, t, rss_budget),
+            rss_engine.query().to(t).run().unwrap().vector().unwrap(),
             "RSS to trial {trial}"
         );
     }
@@ -154,12 +167,28 @@ fn mc_and_rss_estimates_track_exact() {
         let (s, t) = endpoints(&g);
         let exact = st_reliability(&g, s, t, ConditioningBudget::default()).unwrap();
         let seed = rng.gen_range(0u64..1000);
-        let mc = McEstimator::new(6000, seed).st_reliability(&g, s, t);
+        // Sampled answers route through the QueryEngine facade — the same
+        // path `relmax query` and `relmax serve` take.
+        let mc = QueryEngine::new(&g, McEstimator::new(6000, seed))
+            .query()
+            .st(s, t)
+            .run()
+            .expect("mc engine")
+            .scalar()
+            .expect("scalar answer")
+            .value;
         assert!(
             (mc - exact).abs() < 0.06,
             "trial {trial}: mc={mc} exact={exact}"
         );
-        let rss = RssEstimator::new(4000, seed).st_reliability(&g, s, t);
+        let rss = QueryEngine::new(&g, RssEstimator::new(4000, seed))
+            .query()
+            .st(s, t)
+            .run()
+            .expect("rss engine")
+            .scalar()
+            .expect("scalar answer")
+            .value;
         assert!(
             (rss - exact).abs() < 0.06,
             "trial {trial}: rss={rss} exact={exact}"
@@ -256,18 +285,27 @@ fn undirected_reliability_is_symmetric() {
 
 #[test]
 fn pairwise_world_sharing_matches_per_source_vectors() {
-    // The shared-world pairwise override must agree bit-for-bit with the
-    // per-source vector estimates on any graph, any seed.
+    // The shared-world pairwise answer must agree bit-for-bit (full
+    // `Estimate`) with the per-source vector answers on any graph, any
+    // seed — both served through the QueryEngine, with the index off so
+    // no entry short-circuits.
     let mut rng = StdRng::seed_from_u64(110);
     for trial in 0..24 {
         let g = small_graph(&mut rng, trial % 2 == 0);
         let n = g.num_nodes() as u32;
         let sources = [NodeId(0), NodeId(1)];
         let targets = [NodeId(n - 2), NodeId(n - 1)];
-        let mc = McEstimator::new(500, rng.gen::<u64>());
-        let matrix = mc.pairwise_reliability(&g, &sources, &targets);
+        let engine =
+            QueryEngine::from_parts(g.freeze(), None, McEstimator::new(500, rng.gen::<u64>()));
+        let answer = engine
+            .query()
+            .pairwise(&sources, &targets)
+            .run()
+            .expect("pairwise");
+        let matrix = answer.matrix().expect("matrix answer");
         for (si, &s) in sources.iter().enumerate() {
-            let from = mc.reliability_from(&g, s);
+            let from = engine.query().from(s).run().expect("from");
+            let from = from.vector().expect("vector answer");
             for (ti, &t) in targets.iter().enumerate() {
                 assert_eq!(matrix[si][ti], from[t.index()], "trial {trial} ({si},{ti})");
             }

@@ -1,0 +1,629 @@
+//! Black-box suite for `relmax serve`: spawns the real binary on an
+//! ephemeral port and drives it with a hand-rolled HTTP/1.1 client.
+//!
+//! What is pinned here, end to end over the wire:
+//!
+//! * **byte identity** — response bodies are identical across compute
+//!   thread counts, across the scalar/packed Monte-Carlo kernels, and the
+//!   `"results"` array is byte-identical to `relmax query --format json`
+//!   for the same workload + seed + budget;
+//! * **protocol faults** — truncated requests, missing `Content-Length`,
+//!   oversized bodies, malformed query bodies, mid-request disconnects,
+//!   and corrupt reloads each map to one pinned status code + error
+//!   shape, and none of them wedge the server;
+//! * **hot swap** — a reload storm under concurrent query bursts never
+//!   tears a response (every body is consistent with exactly one snapshot
+//!   generation) and a corrupt reload leaves the old generation serving;
+//! * **coalescing** — concurrent same-source st-queries merge into one
+//!   `from` pass (visible in `/metrics`) and return bytes identical to
+//!   uncoalesced runs;
+//! * **admission control** — beyond `--queue-cap`, connections are shed
+//!   with `503` + `Retry-After`.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{Shutdown, TcpStream};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::{Mutex, Once};
+use std::time::Duration;
+
+// ---------------------------------------------------------------- harness
+
+/// Path to the `relmax` binary, building it on demand (plain
+/// `cargo test` does not build bin targets of other workspace members).
+fn relmax_bin() -> PathBuf {
+    let mut dir = std::env::current_exe().expect("test binary path");
+    dir.pop();
+    if dir.ends_with("deps") {
+        dir.pop();
+    }
+    let bin = dir.join(format!("relmax{}", std::env::consts::EXE_SUFFIX));
+    static BUILD: Once = Once::new();
+    BUILD.call_once(|| {
+        if bin.exists() {
+            return;
+        }
+        let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+        let mut cmd = Command::new(cargo);
+        cmd.args(["build", "-p", "relmax-cli", "--quiet"]);
+        if dir.ends_with("release") {
+            cmd.arg("--release");
+        }
+        let status = cmd.status().expect("cargo build -p relmax-cli");
+        assert!(status.success(), "building the relmax binary failed");
+    });
+    assert!(bin.exists(), "relmax binary missing at {}", bin.display());
+    bin
+}
+
+/// A scratch directory unique to this test process.
+fn scratch(label: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("relmax-serve-{}-{label}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+/// Ingest `data/toy.tsv` into a `.rgs` snapshot inside `dir`.
+fn ingest_toy(dir: &Path) -> PathBuf {
+    let out = dir.join("toy.rgs");
+    let status = Command::new(relmax_bin())
+        .args(["ingest", "data/toy.tsv", "-o"])
+        .arg(&out)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .status()
+        .expect("relmax ingest");
+    assert!(status.success(), "ingest failed");
+    out
+}
+
+/// A spawned server, killed on drop.
+struct Server {
+    child: Child,
+    addr: String,
+}
+
+impl Server {
+    /// Spawn `relmax serve` with extra args/env and wait for the
+    /// `listening on http://…` line to learn the ephemeral port.
+    fn spawn(snapshot: &Path, args: &[&str], envs: &[(&str, &str)]) -> Server {
+        let mut cmd = Command::new(relmax_bin());
+        cmd.arg("serve")
+            .arg(snapshot)
+            .args(["--port", "0"])
+            .args(args)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null());
+        for (k, v) in envs {
+            cmd.env(k, v);
+        }
+        let mut child = cmd.spawn().expect("spawn relmax serve");
+        let stdout = child.stdout.take().expect("server stdout");
+        let mut line = String::new();
+        BufReader::new(stdout)
+            .read_line(&mut line)
+            .expect("read listening line");
+        let addr = line
+            .trim()
+            .strip_prefix("listening on http://")
+            .unwrap_or_else(|| panic!("unexpected startup line {line:?}"))
+            .to_string();
+        Server { child, addr }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// A parsed HTTP response.
+#[derive(Debug)]
+struct Reply {
+    status: u16,
+    headers: Vec<(String, String)>,
+    body: String,
+}
+
+impl Reply {
+    fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Send raw bytes, half-close the write side, read the full response.
+fn raw(addr: &str, bytes: &[u8]) -> Reply {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(20))).unwrap();
+    s.write_all(bytes).expect("write request");
+    let _ = s.shutdown(Shutdown::Write);
+    let mut buf = Vec::new();
+    s.read_to_end(&mut buf).expect("read response");
+    parse_reply(&buf)
+}
+
+fn parse_reply(buf: &[u8]) -> Reply {
+    let text = String::from_utf8_lossy(buf);
+    let (head, body) = text
+        .split_once("\r\n\r\n")
+        .unwrap_or_else(|| panic!("no header terminator in {text:?}"));
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().expect("status line");
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("unparsable status line {status_line:?}"));
+    let headers = lines
+        .filter_map(|l| l.split_once(':'))
+        .map(|(k, v)| (k.trim().to_string(), v.trim().to_string()))
+        .collect();
+    Reply {
+        status,
+        headers,
+        body: body.to_string(),
+    }
+}
+
+/// A well-formed request with an optional body.
+fn http(addr: &str, method: &str, path: &str, body: Option<&str>) -> Reply {
+    let mut req = format!("{method} {path} HTTP/1.1\r\nHost: test\r\n");
+    if let Some(b) = body {
+        req.push_str(&format!("Content-Length: {}\r\n", b.len()));
+    }
+    req.push_str("\r\n");
+    if let Some(b) = body {
+        req.push_str(b);
+    }
+    raw(addr, req.as_bytes())
+}
+
+fn query(addr: &str, body: &str) -> Reply {
+    http(addr, "POST", "/query", Some(body))
+}
+
+/// Extract an integer field (`"key":N`) from a flat JSON body.
+fn json_u64(body: &str, key: &str) -> u64 {
+    let pat = format!("\"{key}\":");
+    let start = body
+        .find(&pat)
+        .unwrap_or_else(|| panic!("no {pat:?} in {body:?}"))
+        + pat.len();
+    body[start..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect::<String>()
+        .parse()
+        .unwrap_or_else(|_| panic!("non-numeric {pat:?} in {body:?}"))
+}
+
+/// A flat `key value` metric from a `/metrics` body.
+fn metric(addr: &str, key: &str) -> u64 {
+    let reply = http(addr, "GET", "/metrics", None);
+    assert_eq!(reply.status, 200);
+    reply
+        .body
+        .lines()
+        .find_map(|l| l.strip_prefix(&format!("{key} ")))
+        .unwrap_or_else(|| panic!("no metric {key:?} in:\n{}", reply.body))
+        .parse()
+        .unwrap_or_else(|_| panic!("metric {key} is not an integer"))
+}
+
+// -------------------------------------------------- wire-level bit identity
+
+#[test]
+fn response_bytes_identical_across_threads_and_kernels() {
+    let dir = scratch("identity");
+    let rgs = ingest_toy(&dir);
+    let body = "% seed 7\nst 0 3\nfrom 1\nto 3\n2 5\npairwise 0,1 2,3\n";
+
+    let baseline = {
+        let srv = Server::spawn(&rgs, &["--threads", "1"], &[("RELMAX_THREADS", "1")]);
+        let reply = query(&srv.addr, body);
+        assert_eq!(reply.status, 200, "{}", reply.body);
+        reply.body
+    };
+    let threaded = {
+        let srv = Server::spawn(&rgs, &["--threads", "4"], &[("RELMAX_THREADS", "4")]);
+        query(&srv.addr, body).body
+    };
+    let scalar_kernel = {
+        let srv = Server::spawn(&rgs, &["--threads", "4"], &[("RELMAX_KERNEL", "scalar")]);
+        query(&srv.addr, body).body
+    };
+    assert_eq!(baseline, threaded, "thread count changed response bytes");
+    assert_eq!(baseline, scalar_kernel, "kernel changed response bytes");
+
+    // Repeating the identical request on one server is also byte-stable.
+    let srv = Server::spawn(&rgs, &["--threads", "2"], &[]);
+    assert_eq!(query(&srv.addr, body).body, query(&srv.addr, body).body);
+}
+
+#[test]
+fn server_results_match_query_cli_byte_for_byte() {
+    let dir = scratch("vs-cli");
+    let rgs = ingest_toy(&dir);
+    // The same specs, once as a server request body (seed pinned by the
+    // `% seed` directive) and once as a workload file (seed via --seed).
+    let specs = "st 0 3\nfrom 1\nto 3\n2 5\n";
+    let workload = dir.join("wl.txt");
+    std::fs::write(&workload, specs).unwrap();
+
+    let srv = Server::spawn(&rgs, &["--threads", "2"], &[]);
+    let server_body = query(&srv.addr, &format!("% seed 7\n{specs}")).body;
+
+    let cli = Command::new(relmax_bin())
+        .arg("query")
+        .arg(&rgs)
+        .arg("--queries")
+        .arg(&workload)
+        .args(["--seed", "7", "--samples", "1000", "--format", "json"])
+        .stderr(Stdio::null())
+        .output()
+        .expect("relmax query");
+    assert!(cli.status.success());
+    let cli_body = String::from_utf8(cli.stdout).unwrap();
+
+    let tail = |s: &str| {
+        let i = s.find("\"results\":").expect("results array");
+        s[i..].trim_end().to_string()
+    };
+    assert_eq!(
+        tail(&server_body),
+        tail(&cli_body),
+        "server and CLI disagree on the same workload"
+    );
+
+    // Accuracy budgets ride the same contract: `% accuracy` on the wire
+    // vs --eps/--delta/--max-samples on the CLI.
+    let acc_body = query(
+        &srv.addr,
+        &format!("% accuracy 0.05 0.05 8192\n% seed 7\n{specs}"),
+    )
+    .body;
+    let cli_acc = Command::new(relmax_bin())
+        .arg("query")
+        .arg(&rgs)
+        .arg("--queries")
+        .arg(&workload)
+        .args([
+            "--seed",
+            "7",
+            "--eps",
+            "0.05",
+            "--delta",
+            "0.05",
+            "--max-samples",
+            "8192",
+            "--format",
+            "json",
+        ])
+        .stderr(Stdio::null())
+        .output()
+        .expect("relmax query (accuracy)");
+    assert!(cli_acc.status.success());
+    assert_eq!(
+        tail(&acc_body),
+        tail(&String::from_utf8(cli_acc.stdout).unwrap()),
+        "accuracy-budget results diverge from the CLI"
+    );
+}
+
+// ------------------------------------------------------- protocol faults
+
+#[test]
+fn fault_injection_pins_status_codes_and_error_shapes() {
+    let dir = scratch("faults");
+    let rgs = ingest_toy(&dir);
+    let srv = Server::spawn(&rgs, &["--threads", "1"], &[]);
+    let addr = &srv.addr;
+
+    // Truncated request line: bytes end before the header terminator.
+    let r = raw(addr, b"GET /healthz");
+    assert_eq!(r.status, 400);
+    assert!(r.body.contains("truncated"), "{}", r.body);
+
+    // POST without Content-Length.
+    let r = raw(addr, b"POST /query HTTP/1.1\r\nHost: t\r\n\r\n");
+    assert_eq!(r.status, 411);
+    assert!(r.body.contains("Content-Length"), "{}", r.body);
+
+    // Oversized body: rejected from the declared length alone.
+    let r = raw(
+        addr,
+        b"POST /query HTTP/1.1\r\nHost: t\r\nContent-Length: 1048577\r\n\r\n",
+    );
+    assert_eq!(r.status, 413);
+
+    // Malformed query body: line-numbered error JSON.
+    let r = query(addr, "st 0 3\nst 5\n");
+    assert_eq!(r.status, 400);
+    assert!(r.body.contains("\"line\":2"), "{}", r.body);
+    assert!(r.body.contains("arity"), "{}", r.body);
+
+    let r = query(addr, "% budget 100\n");
+    assert_eq!(r.status, 400);
+    assert!(r.body.contains("\"line\":1"), "{}", r.body);
+    assert!(r.body.contains("unknown directive"), "{}", r.body);
+
+    // Node out of range: 422, query-numbered.
+    let r = query(addr, "st 0 3\nst 0 99\n");
+    assert_eq!(r.status, 422);
+    assert!(r.body.contains("\"query\":2"), "{}", r.body);
+    assert!(r.body.contains("16 nodes"), "{}", r.body);
+
+    // Empty request.
+    let r = query(addr, "# only comments\n");
+    assert_eq!(r.status, 400);
+    assert!(r.body.contains("no queries"), "{}", r.body);
+
+    // Binary garbage is a 400, not a panic.
+    let r = raw(
+        addr,
+        b"POST /query HTTP/1.1\r\nHost: t\r\nContent-Length: 2\r\n\r\n\xff\xfe",
+    );
+    assert_eq!(r.status, 400);
+    assert!(r.body.contains("UTF-8"), "{}", r.body);
+
+    // Unknown endpoint / wrong method.
+    let r = http(addr, "GET", "/nope", None);
+    assert_eq!(r.status, 404);
+    let r = http(addr, "GET", "/query", None);
+    assert_eq!(r.status, 405);
+    assert_eq!(r.header("Allow"), Some("POST"));
+    let r = http(addr, "POST", "/metrics", Some(""));
+    assert_eq!(r.status, 405);
+    assert_eq!(r.header("Allow"), Some("GET"));
+
+    // Mid-request disconnect: declare 50 body bytes, send 4, vanish.
+    {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(b"POST /query HTTP/1.1\r\nHost: t\r\nContent-Length: 50\r\n\r\nst 0")
+            .unwrap();
+        drop(s);
+    }
+
+    // After all of the above the server still answers cleanly.
+    let r = http(addr, "GET", "/healthz", None);
+    assert_eq!(r.status, 200);
+    assert_eq!(json_u64(&r.body, "generation"), 1);
+    let r = query(addr, "st 0 3\n");
+    assert_eq!(r.status, 200, "{}", r.body);
+}
+
+#[test]
+fn corrupt_reload_keeps_the_old_snapshot_serving() {
+    let dir = scratch("reload");
+    let rgs = ingest_toy(&dir);
+    let srv = Server::spawn(&rgs, &["--threads", "1"], &[]);
+    let addr = &srv.addr;
+
+    let before = query(addr, "% seed 3\nst 0 3\nfrom 1\n");
+    assert_eq!(before.status, 200);
+    assert_eq!(json_u64(&before.body, "generation"), 1);
+
+    // Corrupt copy: flip the last payload byte (checksum mismatch).
+    let mut bytes = std::fs::read(&rgs).unwrap();
+    *bytes.last_mut().unwrap() ^= 0xff;
+    let corrupt = dir.join("corrupt.rgs");
+    std::fs::write(&corrupt, &bytes).unwrap();
+
+    let r = http(addr, "POST", "/reload", Some(corrupt.to_str().unwrap()));
+    assert_eq!(r.status, 409, "{}", r.body);
+    assert!(r.body.contains("checksum"), "{}", r.body);
+
+    // A missing path is also a 409, not a crash.
+    let r = http(addr, "POST", "/reload", Some("/nonexistent/nowhere.rgs"));
+    assert_eq!(r.status, 409);
+
+    // The old generation is still serving, bit-identically.
+    let health = http(addr, "GET", "/healthz", None);
+    assert_eq!(json_u64(&health.body, "generation"), 1);
+    let after = query(addr, "% seed 3\nst 0 3\nfrom 1\n");
+    assert_eq!(after.body, before.body);
+    assert_eq!(metric(addr, "reload_failures_total"), 2);
+    assert_eq!(metric(addr, "reloads_total"), 0);
+
+    // An empty reload body re-reads the current path and bumps the
+    // generation; the answers do not move (same snapshot bytes).
+    let r = http(addr, "POST", "/reload", Some(""));
+    assert_eq!(r.status, 200, "{}", r.body);
+    assert_eq!(json_u64(&r.body, "generation"), 2);
+    let reloaded = query(addr, "% seed 3\nst 0 3\nfrom 1\n");
+    assert_eq!(json_u64(&reloaded.body, "generation"), 2);
+    assert_eq!(
+        reloaded
+            .body
+            .replace("\"generation\":2", "\"generation\":1"),
+        before.body,
+    );
+}
+
+// ------------------------------------------------- hot swap + coalescing
+
+#[test]
+fn coalescing_merges_concurrent_same_source_st_queries_bit_identically() {
+    let dir = scratch("coalesce");
+    let rgs = ingest_toy(&dir);
+    // One compute worker + a post-dequeue sleep: the first dequeued job
+    // waits while the sibling requests enqueue, then steals them.
+    let srv = Server::spawn(
+        &rgs,
+        &["--threads", "1"],
+        &[("RELMAX_SERVE_TEST_SLOW_MS", "250")],
+    );
+    let targets = [3u32, 5, 7];
+
+    // Sequential baseline: arrivals are serial, nothing coalesces.
+    let solo: Vec<String> = targets
+        .iter()
+        .map(|t| {
+            let r = query(&srv.addr, &format!("% seed 9\nst 0 {t}\n"));
+            assert_eq!(r.status, 200, "{}", r.body);
+            r.body
+        })
+        .collect();
+    assert_eq!(metric(&srv.addr, "coalesced_queries_total"), 0);
+
+    // Concurrent burst: same source, same seed, same budget.
+    let replies: Vec<String> = std::thread::scope(|scope| {
+        let handles: Vec<_> = targets
+            .iter()
+            .map(|t| {
+                let addr = srv.addr.clone();
+                scope.spawn(move || query(&addr, &format!("% seed 9\nst 0 {t}\n")).body)
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    for (concurrent, sequential) in replies.iter().zip(&solo) {
+        assert_eq!(concurrent, sequential, "coalescing changed response bytes");
+    }
+    let coalesced = metric(&srv.addr, "coalesced_queries_total");
+    assert!(
+        coalesced >= 2,
+        "expected >= 2 coalesced st-queries, metrics say {coalesced}"
+    );
+}
+
+#[test]
+fn hot_swap_never_tears_responses_under_concurrent_reloads() {
+    let dir = scratch("hotswap");
+    let rgs = ingest_toy(&dir);
+    // A second, structurally different graph (8 nodes) to alternate with.
+    let alt = dir.join("alt.tsv");
+    std::fs::write(
+        &alt,
+        "% nodes 8\n% directed\n0 1 0.7\n1 2 0.7\n2 3 0.7\n3 4 0.6\n4 5 0.6\n5 6 0.6\n6 7 0.6\n0 3 0.4\n",
+    )
+    .unwrap();
+
+    let srv = Server::spawn(&rgs, &["--threads", "2"], &[]);
+    let addr = srv.addr.clone();
+    // generation -> node count, learned from reload responses (generation
+    // 1 is the initial snapshot).
+    let seen = Mutex::new(HashMap::from([(1u64, 16u64)]));
+
+    std::thread::scope(|scope| {
+        let reloader = {
+            let addr = addr.clone();
+            let seen = &seen;
+            let alt = alt.clone();
+            let rgs = rgs.clone();
+            scope.spawn(move || {
+                for i in 0..6 {
+                    let path = if i % 2 == 0 { &alt } else { &rgs };
+                    let r = http(&addr, "POST", "/reload", Some(path.to_str().unwrap()));
+                    assert_eq!(r.status, 200, "{}", r.body);
+                    seen.lock()
+                        .unwrap()
+                        .insert(json_u64(&r.body, "generation"), json_u64(&r.body, "nodes"));
+                    std::thread::sleep(Duration::from_millis(25));
+                }
+            })
+        };
+        for _ in 0..2 {
+            let addr = addr.clone();
+            let seen = &seen;
+            scope.spawn(move || {
+                let mut last_generation = 0u64;
+                for _ in 0..15 {
+                    // Nodes 0..=3 exist in both graphs.
+                    let r = query(&addr, "% seed 5\nst 0 3\nfrom 1\n");
+                    assert_eq!(r.status, 200, "{}", r.body);
+                    let generation = json_u64(&r.body, "generation");
+                    let nodes = json_u64(&r.body, "nodes");
+                    // Sequential requests observe non-decreasing
+                    // generations (each request pins at arrival).
+                    assert!(generation >= last_generation);
+                    last_generation = generation;
+                    // The `from` vector is as long as the graph the
+                    // response claims: a torn render (graph from one
+                    // generation, header from another) cannot pass.
+                    let values = r.body.rfind("\"values\":[").expect("from values");
+                    let end = r.body[values..].find(']').unwrap() + values;
+                    let count = r.body[values + 10..end].split(',').count() as u64;
+                    assert_eq!(count, nodes, "torn response: {}", r.body);
+                    // And the generation must be one a reload (or startup)
+                    // actually produced, with exactly this node count.
+                    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+                    loop {
+                        if let Some(&n) = seen.lock().unwrap().get(&generation) {
+                            assert_eq!(n, nodes, "generation {generation} mixed graphs");
+                            break;
+                        }
+                        assert!(
+                            std::time::Instant::now() < deadline,
+                            "response cites unknown generation {generation}"
+                        );
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                }
+            });
+        }
+        reloader.join().unwrap();
+    });
+
+    assert_eq!(metric(&addr, "reloads_total"), 6);
+    assert_eq!(metric(&addr, "reload_failures_total"), 0);
+}
+
+// ------------------------------------------------------ admission control
+
+#[test]
+fn admission_control_sheds_load_with_503_and_retry_after() {
+    let dir = scratch("admission");
+    let rgs = ingest_toy(&dir);
+    // One IO worker, a one-slot connection queue, and slow compute: the
+    // first query pins the IO worker, the second fills the queue, the
+    // rest must bounce.
+    let srv = Server::spawn(
+        &rgs,
+        &["--threads", "1", "--io-threads", "1", "--queue-cap", "1"],
+        &[("RELMAX_SERVE_TEST_SLOW_MS", "600")],
+    );
+    let addr = srv.addr.clone();
+
+    let statuses: Vec<u16> = std::thread::scope(|scope| {
+        let slow = {
+            let addr = addr.clone();
+            scope.spawn(move || query(&addr, "st 0 3\n").status)
+        };
+        std::thread::sleep(Duration::from_millis(150));
+        let burst: Vec<_> = (0..6)
+            .map(|_| {
+                let addr = addr.clone();
+                scope.spawn(move || {
+                    let r = query(&addr, "st 0 5\n");
+                    if r.status == 503 {
+                        assert_eq!(r.header("Retry-After"), Some("1"));
+                        assert!(r.body.contains("overloaded"), "{}", r.body);
+                    }
+                    r.status
+                })
+            })
+            .collect();
+        let mut all = vec![slow.join().unwrap()];
+        all.extend(burst.into_iter().map(|h| h.join().unwrap()));
+        all
+    });
+
+    assert_eq!(statuses[0], 200, "the inflight query must complete");
+    assert!(
+        statuses[1..].contains(&503),
+        "no request was shed: {statuses:?}"
+    );
+    assert!(
+        statuses[1..].contains(&200),
+        "every request was shed: {statuses:?}"
+    );
+    assert!(metric(&addr, "rejected_total") >= 1);
+}
