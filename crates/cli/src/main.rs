@@ -12,6 +12,9 @@
 //!   runtime (routing through the reliability index unless `--no-index`
 //!   or `RELMAX_INDEX=off` — reliability values are bit-identical either
 //!   way; only sampling-effort fields differ on short-circuited queries);
+//! - `relmax update`  — apply a delta script (edge inserts, probability
+//!   changes, deletions) to a snapshot as a `DeltaOverlay` and write
+//!   the compacted result, bit-identical to a from-scratch re-freeze;
 //! - `relmax select`  — run any edge-selection method under a budget and
 //!   report the chosen edges plus before/after reliability;
 //! - `relmax serve`   — stand up the long-running HTTP query service over
@@ -31,6 +34,7 @@ mod opts;
 mod query;
 mod select;
 mod serve;
+mod update;
 
 /// JSON emission lives in the server crate so `relmax query` and
 /// `relmax serve` render results through the same code (the wire-level
@@ -51,6 +55,10 @@ COMMANDS:
                                   condensation + component decomposition)
                                   and write a snapshot with it embedded
     query  <GRAPH> [OPTIONS]      run a batch of reliability queries
+    update <GRAPH> --updates FILE -o <OUT.rgs>
+                                  apply an update script (insert/setp/delete)
+                                  as a delta overlay and write the compacted
+                                  snapshot (bit-identical to a re-freeze)
     select <GRAPH> [OPTIONS]      pick k edges to add with any method
     serve  <GRAPH> [OPTIONS]      serve reliability queries over HTTP
     help                          print this message
@@ -90,6 +98,13 @@ QUERY OPTIONS:
                            (samples_used / stopped_early) can differ, on
                            queries the index answers without sampling
 
+UPDATE OPTIONS:
+    --updates FILE         update script: `insert U V P`, `setp U V P`,
+                           `delete U V`, one per line, `#` comments;
+                           applied in order, all-or-nothing. If the input
+                           snapshot embeds a reliability index it is
+                           rebuilt over the updated graph
+
 SELECT OPTIONS:
     --method NAME          BE IP MRP HC TopK Cent-Deg Cent-Bet EO ES ESSSP IMA
     --source S, --target T query endpoints (required)
@@ -107,6 +122,9 @@ SERVE OPTIONS:
     --io-threads N         HTTP workers (default: sized from --threads)
     --queue-cap Q          admission bound: queued connections beyond Q
                            are refused with 503 + Retry-After [default: 64]
+    --compact-after N      fold pending POST /update deltas into a fresh
+                           snapshot in the background once N accumulate
+                           (POST /compact always triggers one manually)
     (--estimator/--samples/--eps/--delta/--max-samples/--seed/--no-index
     set the serving defaults; request bodies may override the budget with
     `% accuracy` and the seed with `% seed`. See docs/server.md.)
@@ -141,6 +159,7 @@ fn main() -> ExitCode {
         "ingest" => ingest::run(rest),
         "index" => index::run(rest),
         "query" => query::run(rest),
+        "update" => update::run(rest),
         "select" => select::run(rest),
         "serve" => serve::run(rest),
         "help" | "--help" | "-h" => {
@@ -148,7 +167,7 @@ fn main() -> ExitCode {
             return ExitCode::SUCCESS;
         }
         other => Err(opts::CliError::Usage(format!(
-            "unknown command {other:?} (expected ingest, index, query, select, serve, or help)"
+            "unknown command {other:?} (expected ingest, index, query, update, select, serve, or help)"
         ))),
     };
     match result {

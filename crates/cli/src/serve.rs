@@ -21,6 +21,7 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
     let mut budget_flags = BudgetFlags::default();
     let mut seed = 42u64;
     let mut no_index = false;
+    let mut compact_after: Option<usize> = None;
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -36,6 +37,7 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
             "--max-samples" => budget_flags.max_samples = Some(opts::take_parsed(&mut it, a)?),
             "--seed" => seed = opts::take_parsed(&mut it, a)?,
             "--no-index" => no_index = true,
+            "--compact-after" => compact_after = Some(opts::take_parsed(&mut it, a)?),
             other => opts::positional(&mut graph_path, other, "graph input")?,
         }
     }
@@ -65,6 +67,10 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
         EstimatorKind::Rss => EngineKind::Rss,
     };
     config.use_index = !no_index;
+    if compact_after == Some(0) {
+        return Err(opts::usage("--compact-after must be at least 1"));
+    }
+    config.compact_after = compact_after;
 
     relmax_server::run(config).map_err(opts::run_err)
 }

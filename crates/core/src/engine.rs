@@ -47,8 +47,10 @@
 use relmax_sampling::{
     BatchEstimate, BatchQuery, Budget, Estimate, Estimator, ParallelRuntime, QueryBatch,
 };
-use relmax_ugraph::index::{index_enabled, RelIndex};
-use relmax_ugraph::{CsrGraph, NodeId, ProbGraph, UncertainGraph};
+use relmax_ugraph::index::{index_enabled, RelIndex, StPlan};
+use relmax_ugraph::{
+    CsrGraph, DeltaOverlay, GraphError, GraphUpdate, NodeId, ProbGraph, UncertainGraph,
+};
 use std::fmt;
 use std::sync::Arc;
 
@@ -92,6 +94,11 @@ pub struct QueryEngine<E: Estimator> {
     // multi-gigabyte snapshot, so construction must be O(1) in graph size.
     csr: Arc<CsrGraph>,
     index: Option<Arc<RelIndex>>,
+    /// Pending edge updates layered over `csr` — see
+    /// [`QueryEngine::apply_delta`]. When set, queries sample the overlay
+    /// (with a detached estimator; the index is kept only for the
+    /// per-component bypass in [`QueryEngine::st_shortcircuit`]).
+    delta: Option<Arc<DeltaOverlay>>,
     est: E,
     runtime: ParallelRuntime,
     default_budget: Budget,
@@ -151,6 +158,7 @@ impl<E: Estimator> QueryEngine<E> {
         QueryEngine {
             csr,
             index,
+            delta: None,
             est,
             runtime: ParallelRuntime::serial(),
             default_budget,
@@ -186,6 +194,11 @@ impl<E: Estimator> QueryEngine<E> {
     /// The reliability index queries route through, if one is attached.
     pub fn rel_index(&self) -> Option<&Arc<RelIndex>> {
         self.index.as_ref()
+    }
+
+    /// The pending delta overlay, if updates have been applied.
+    pub fn delta(&self) -> Option<&Arc<DeltaOverlay>> {
+        self.delta.as_ref()
     }
 
     /// The estimator answering the queries.
@@ -233,7 +246,49 @@ impl<E: Estimator> QueryEngine<E> {
     pub fn st_shortcircuit(&self, s: NodeId, t: NodeId) -> Result<Option<Estimate>, QueryError> {
         self.check_node(s)?;
         self.check_node(t)?;
+        if self.delta.is_some() {
+            return Ok(self.delta_shortcircuit(s, t));
+        }
         Ok(self.est.st_shortcircuit(self.csr.as_ref(), s, t))
+    }
+
+    /// The short-circuit decision for an `st` query against the delta
+    /// overlay. The engine decides this itself — the estimator runs
+    /// detached when a delta is attached — by bypassing the *base* index
+    /// per component: an update whose endpoints all lie outside `comp(s)`
+    /// and `comp(t)` cannot change `R(s, t)` (possible-graph components
+    /// have no crossing edges in any world, and an insert bridging the two
+    /// components has an endpoint *in* them), so the base plan's Certain /
+    /// Impossible verdicts remain exact. Any update touching either
+    /// component sends the query to sampling on the overlay.
+    fn delta_shortcircuit(&self, s: NodeId, t: NodeId) -> Option<Estimate> {
+        if s == t {
+            return Some(Estimate::exact(1.0));
+        }
+        let delta = self.delta.as_ref()?;
+        let idx = self.index.as_ref()?;
+        let (cs, ct) = (idx.component(s), idx.component(t));
+        if delta.touched_nodes().any(|v| {
+            let c = idx.component(v);
+            c == cs || c == ct
+        }) {
+            return None;
+        }
+        match idx.st_plan(s, t) {
+            StPlan::Certain => Some(Estimate::exact(1.0)),
+            // Mirrors the estimator's impossible short-circuit exactly:
+            // structurally 0.0, zero worlds, stopped before its budget in
+            // the strongest sense.
+            StPlan::Impossible => Some(Estimate {
+                value: 0.0,
+                stderr: 0.0,
+                ci_low: 0.0,
+                ci_high: 0.0,
+                samples_used: 0,
+                stopped_early: true,
+            }),
+            StPlan::Sample { .. } => None,
+        }
     }
 
     /// Whether this engine's estimator allows bit-identical same-source
@@ -251,6 +306,102 @@ impl<E: Estimator> QueryEngine<E> {
             });
         }
         Ok(())
+    }
+
+    /// Execute `target` against a concrete graph (the frozen snapshot, or
+    /// the delta overlay when updates are pending). Monomorphized per
+    /// graph type, so both paths inline the estimator's full BFS.
+    fn dispatch<G: ProbGraph>(
+        &self,
+        g: &G,
+        target: Target,
+        budget: Budget,
+    ) -> Result<QueryAnswer, QueryError> {
+        let est = &self.est;
+        Ok(match target {
+            Target::St(s, t) => {
+                self.check_node(s)?;
+                self.check_node(t)?;
+                QueryAnswer::Scalar(est.st_estimate(g, s, t, budget))
+            }
+            Target::From(s) => {
+                self.check_node(s)?;
+                QueryAnswer::Vector(est.from_estimates(g, s, budget))
+            }
+            Target::To(t) => {
+                self.check_node(t)?;
+                QueryAnswer::Vector(est.to_estimates(g, t, budget))
+            }
+            Target::Pairwise(sources, targets) => {
+                for &v in sources.iter().chain(&targets) {
+                    self.check_node(v)?;
+                }
+                QueryAnswer::Matrix(est.pairwise_estimates(g, &sources, &targets, budget))
+            }
+            Target::Batch(queries) => {
+                for q in &queries {
+                    self.check_node(q.max_node())?;
+                }
+                QueryAnswer::Batch(
+                    QueryBatch::new(self.runtime).run_budgeted(est, g, &queries, budget),
+                )
+            }
+        })
+    }
+}
+
+impl<E: Estimator + Clone> QueryEngine<E> {
+    /// A new engine with `updates` applied on top of this engine's pending
+    /// delta (or directly on its snapshot if none) — the `POST /update`
+    /// and `relmax update` entry point.
+    ///
+    /// The snapshot and index are shared, not copied; only the overlay is
+    /// cloned and extended, so this is cheap relative to a re-freeze. The
+    /// returned engine samples the overlay with a **detached** estimator
+    /// (no [`RelIndex`] attached — a deletion-only overlay can share the
+    /// base dimensions, so the estimator's own dimension guard cannot be
+    /// trusted to keep the stale index out) while keeping the base index
+    /// for the per-component bypass in [`QueryEngine::st_shortcircuit`].
+    ///
+    /// Fails — leaving `self` untouched — if any update is invalid
+    /// (unknown node, bad probability, duplicate or missing edge).
+    pub fn apply_delta(&self, updates: &[GraphUpdate]) -> Result<Self, GraphError> {
+        let mut overlay = match &self.delta {
+            Some(d) => d.as_ref().clone(),
+            None => DeltaOverlay::new(Arc::clone(&self.csr)),
+        };
+        overlay.apply(updates)?;
+        Ok(self.clone().with_delta(Arc::new(overlay)))
+    }
+
+    /// Attach an already-built overlay (the serving layer shares one
+    /// overlay `Arc` across per-request engines). The overlay must be
+    /// layered over exactly this engine's snapshot.
+    pub fn with_delta(mut self, delta: Arc<DeltaOverlay>) -> Self {
+        assert!(
+            Arc::ptr_eq(delta.base(), &self.csr),
+            "delta overlay was built over a different snapshot"
+        );
+        self.est = self.est.without_rel_index();
+        self.delta = Some(delta);
+        self
+    }
+
+    /// Fold the pending delta into a fresh frozen snapshot and return an
+    /// engine over it — coin ids preserved, index rebuilt (iff this engine
+    /// carried one), estimator re-attached. Queries against the compacted
+    /// engine are bit-identical to queries against the overlay. Without a
+    /// pending delta this is a plain clone.
+    pub fn compact(&self) -> Self {
+        let Some(delta) = &self.delta else {
+            return self.clone();
+        };
+        let csr = Arc::new(delta.compact());
+        let index = self.index.as_ref().map(|_| Arc::new(RelIndex::build(&csr)));
+        let mut engine = Self::from_shared(csr, index, self.est.without_rel_index());
+        engine.runtime = self.runtime;
+        engine.default_budget = self.default_budget;
+        engine
     }
 }
 
@@ -333,37 +484,25 @@ impl<E: Estimator> ReliabilityQuery<'_, E> {
         let engine = self.engine;
         let budget = self.budget.unwrap_or(engine.default_budget);
         let target = self.target.ok_or(QueryError::MissingTarget)?;
-        let g = engine.csr.as_ref();
-        let est = &engine.est;
-        Ok(match target {
-            Target::St(s, t) => {
-                engine.check_node(s)?;
-                engine.check_node(t)?;
-                QueryAnswer::Scalar(est.st_estimate(g, s, t, budget))
-            }
-            Target::From(s) => {
-                engine.check_node(s)?;
-                QueryAnswer::Vector(est.from_estimates(g, s, budget))
-            }
-            Target::To(t) => {
-                engine.check_node(t)?;
-                QueryAnswer::Vector(est.to_estimates(g, t, budget))
-            }
-            Target::Pairwise(sources, targets) => {
-                for &v in sources.iter().chain(&targets) {
-                    engine.check_node(v)?;
+        match &engine.delta {
+            Some(delta) => {
+                // The estimator is detached when a delta is attached, so
+                // the engine supplies the structural st short-circuits
+                // itself — keeping the coalescing accessor's contract
+                // ([`QueryEngine::st_shortcircuit`] mirrors `st` answers
+                // exactly) intact under mutation.
+                if let Target::St(s, t) = &target {
+                    let (s, t) = (*s, *t);
+                    engine.check_node(s)?;
+                    engine.check_node(t)?;
+                    if let Some(e) = engine.delta_shortcircuit(s, t) {
+                        return Ok(QueryAnswer::Scalar(e));
+                    }
                 }
-                QueryAnswer::Matrix(est.pairwise_estimates(g, &sources, &targets, budget))
+                engine.dispatch(delta.as_ref(), target, budget)
             }
-            Target::Batch(queries) => {
-                for q in &queries {
-                    engine.check_node(q.max_node())?;
-                }
-                QueryAnswer::Batch(
-                    QueryBatch::new(engine.runtime).run_budgeted(est, g, &queries, budget),
-                )
-            }
-        })
+            None => engine.dispatch(engine.csr.as_ref(), target, budget),
+        }
     }
 }
 
@@ -664,6 +803,126 @@ mod tests {
             shared.st(NodeId(0), NodeId(3), budget).unwrap(),
             engine.st(NodeId(0), NodeId(3), budget).unwrap()
         );
+    }
+
+    #[test]
+    fn apply_delta_matches_refrozen_graph() {
+        let mut g = bridge();
+        let csr = Arc::new(g.freeze());
+        let budget = Budget::fixed(1_500);
+        let engine = QueryEngine::from_shared(csr, None, McEstimator::with_budget(budget, 77));
+        let updated = engine
+            .apply_delta(&[
+                GraphUpdate::Insert {
+                    src: NodeId(3),
+                    dst: NodeId(0),
+                    prob: 0.3,
+                },
+                GraphUpdate::SetProb {
+                    src: NodeId(0),
+                    dst: NodeId(1),
+                    prob: 0.9,
+                },
+                GraphUpdate::Delete {
+                    src: NodeId(0),
+                    dst: NodeId(2),
+                },
+            ])
+            .unwrap();
+        assert_eq!(updated.delta().unwrap().pending(), 3);
+        // Mirror the same sequence on the mutable graph, then refreeze.
+        g.add_edge(NodeId(3), NodeId(0), 0.3).unwrap();
+        g.update_edge(NodeId(0), NodeId(1), 0.9).unwrap();
+        g.delete_edge(NodeId(0), NodeId(2)).unwrap();
+        let oracle =
+            QueryEngine::from_parts(g.freeze(), None, McEstimator::with_budget(budget, 77));
+        assert_eq!(
+            updated.query().st(NodeId(0), NodeId(3)).run().unwrap(),
+            oracle.query().st(NodeId(0), NodeId(3)).run().unwrap()
+        );
+        assert_eq!(
+            updated.query().from(NodeId(0)).run().unwrap(),
+            oracle.query().from(NodeId(0)).run().unwrap()
+        );
+        // Compaction folds the overlay into an equal snapshot.
+        let compacted = updated.compact();
+        assert!(compacted.delta().is_none());
+        assert!(*compacted.graph() == *oracle.graph());
+        assert_eq!(
+            compacted.query().to(NodeId(3)).run().unwrap(),
+            oracle.query().to(NodeId(3)).run().unwrap()
+        );
+        // Invalid updates leave the engine untouched.
+        assert!(matches!(
+            updated.apply_delta(&[GraphUpdate::Delete {
+                src: NodeId(0),
+                dst: NodeId(2),
+            }]),
+            Err(GraphError::MissingEdge { src: 0, dst: 2 })
+        ));
+        assert_eq!(updated.delta().unwrap().pending(), 3);
+    }
+
+    #[test]
+    fn delta_shortcircuit_bypasses_untouched_components() {
+        // Components {0,1,2,3} (certain cycle {0,1}), {4,5}, {6,7}.
+        let mut g = UncertainGraph::new(8, true);
+        g.add_edge(NodeId(0), NodeId(1), 1.0).unwrap();
+        g.add_edge(NodeId(1), NodeId(0), 1.0).unwrap();
+        g.add_edge(NodeId(1), NodeId(2), 0.6).unwrap();
+        g.add_edge(NodeId(2), NodeId(3), 0.5).unwrap();
+        g.add_edge(NodeId(4), NodeId(5), 0.7).unwrap();
+        g.add_edge(NodeId(6), NodeId(7), 0.4).unwrap();
+        let budget = Budget::fixed(1_000);
+        let engine = QueryEngine::from_snapshot(g.freeze(), McEstimator::new(1_000, 3));
+        assert!(engine.rel_index().is_some());
+
+        // An update confined to component {4,5}: the estimator detaches,
+        // but the engine keeps serving base-index verdicts for the
+        // untouched components.
+        let updated = engine
+            .apply_delta(&[GraphUpdate::SetProb {
+                src: NodeId(4),
+                dst: NodeId(5),
+                prob: 0.9,
+            }])
+            .unwrap();
+        assert!(updated.estimator().index.is_none(), "estimator detached");
+        assert_eq!(
+            updated.st_shortcircuit(NodeId(0), NodeId(1)).unwrap(),
+            Some(Estimate::exact(1.0)),
+            "certain pair in an untouched component"
+        );
+        assert_eq!(
+            updated.st(NodeId(0), NodeId(1), budget).unwrap(),
+            Estimate::exact(1.0)
+        );
+        let sc = updated.st_shortcircuit(NodeId(0), NodeId(6)).unwrap();
+        let sc = sc.expect("impossible pair between untouched components");
+        assert_eq!(
+            (sc.value, sc.samples_used, sc.stopped_early),
+            (0.0, 0, true)
+        );
+        assert_eq!(sc, updated.st(NodeId(0), NodeId(6), budget).unwrap());
+
+        // A query into the touched component refuses the stale verdict and
+        // samples instead.
+        assert_eq!(updated.st_shortcircuit(NodeId(0), NodeId(5)).unwrap(), None);
+        let e = updated.st(NodeId(0), NodeId(5), budget).unwrap();
+        assert_eq!(e.value, 0.0);
+        assert!(e.samples_used > 0, "sampled, not short-circuited");
+
+        // An insert bridging two components has an endpoint in them, so
+        // the bypass catches it: the pair now samples and can connect.
+        let bridged = updated
+            .apply_delta(&[GraphUpdate::Insert {
+                src: NodeId(3),
+                dst: NodeId(4),
+                prob: 1.0,
+            }])
+            .unwrap();
+        assert_eq!(bridged.st_shortcircuit(NodeId(0), NodeId(5)).unwrap(), None);
+        assert!(bridged.st(NodeId(0), NodeId(5), budget).unwrap().value > 0.0);
     }
 
     #[test]

@@ -23,7 +23,10 @@
 //!   "Queries");
 //! - [`workload`] — the query-*file* format served by the `relmax` CLI:
 //!   parse/emit `st`/`from`/`to` records and generate paper-style random
-//!   `s-t` batches ready to write to disk.
+//!   `s-t` batches ready to write to disk;
+//! - [`updates`] — the update-*script* format behind `relmax update` and
+//!   the serve `POST /update` endpoint: parse/emit `insert`/`setp`/
+//!   `delete` records applied as a `DeltaOverlay` on a frozen snapshot.
 
 pub mod prob;
 pub mod proxy;
@@ -31,6 +34,7 @@ pub mod queries;
 pub mod sensor;
 pub mod stats;
 pub mod synth;
+pub mod updates;
 pub mod workload;
 
 pub use prob::ProbModel;
@@ -38,4 +42,5 @@ pub use proxy::DatasetProxy;
 pub use queries::{multi_queries, st_queries, st_queries_at_distance};
 pub use sensor::SensorLab;
 pub use stats::GraphStats;
+pub use updates::UpdateRequest;
 pub use workload::QuerySpec;

@@ -1,0 +1,331 @@
+//! Update-script files: the textual delta format behind `relmax update`
+//! and the `relmax serve` `POST /update` endpoint.
+//!
+//! One update per line, applied in file order on top of a frozen
+//! snapshot (see `docs/updates.md`):
+//!
+//! ```text
+//! # comments and blank lines are ignored
+//! insert 3 0 0.25    # add edge 3 -> 0 with probability 0.25
+//! setp 0 1 0.9       # change the probability of existing edge 0 -> 1
+//! delete 0 2         # remove existing edge 0 -> 2
+//! ```
+//!
+//! The wire grammar (request bodies for `POST /update`) additionally
+//! accepts a `% expect-generation N` directive: the server rejects the
+//! whole batch with `409 Conflict` unless the currently served snapshot
+//! generation equals `N`, giving clients compare-and-swap semantics
+//! against concurrent reloads. The flat file grammar rejects the
+//! directive — a CLI update run has no generation to race against.
+//!
+//! Parsing is purely syntactic: node bounds, duplicate inserts, and
+//! missing-edge errors surface later, when the updates are applied to a
+//! concrete graph through `relmax_ugraph::DeltaOverlay` (which reports
+//! them per update, so callers can number their diagnostics).
+
+use crate::workload::WorkloadError;
+use relmax_ugraph::{GraphUpdate, NodeId};
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, Write};
+use std::path::Path;
+
+/// A parsed `POST /update` request body: the updates in body order plus
+/// the optional `% expect-generation` guard.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UpdateRequest {
+    /// Updates in body order.
+    pub updates: Vec<GraphUpdate>,
+    /// The `% expect-generation` directive, if the body carried one.
+    pub expect_generation: Option<u64>,
+}
+
+fn bad(line: usize, reason: impl Into<String>) -> WorkloadError {
+    WorkloadError::BadRecord {
+        line,
+        reason: reason.into(),
+    }
+}
+
+fn parse_node(tok: &str, line: usize) -> Result<NodeId, WorkloadError> {
+    tok.parse::<u32>()
+        .map(NodeId)
+        .map_err(|_| bad(line, format!("{tok:?} is not a node id")))
+}
+
+fn parse_prob(tok: &str, line: usize) -> Result<f64, WorkloadError> {
+    let p: f64 = tok
+        .parse()
+        .map_err(|_| bad(line, format!("{tok:?} is not a probability")))?;
+    if !p.is_finite() || !(0.0..=1.0).contains(&p) {
+        return Err(bad(
+            line,
+            format!("probability must lie in [0, 1], got {tok}"),
+        ));
+    }
+    Ok(p)
+}
+
+/// Shared parser core behind both grammars. `wire` admits the serve-only
+/// `% expect-generation` directive; the flat file grammar rejects it
+/// with a pointer to the request-body format.
+fn parse_update_lines<R: BufRead>(r: R, wire: bool) -> Result<UpdateRequest, WorkloadError> {
+    let mut updates = Vec::new();
+    let mut expect_generation: Option<u64> = None;
+    for (i, line) in r.lines().enumerate() {
+        let lineno = i + 1;
+        let line = line?;
+        let body = line.split('#').next().unwrap_or("").trim();
+        if body.is_empty() {
+            continue;
+        }
+        if let Some(directive) = body.strip_prefix('%') {
+            let toks: Vec<&str> = directive.split_whitespace().collect();
+            match toks.as_slice() {
+                ["expect-generation", rest @ ..] if wire => {
+                    if expect_generation.is_some() {
+                        return Err(bad(lineno, "duplicate `% expect-generation` directive"));
+                    }
+                    expect_generation = match rest {
+                        [tok] => Some(tok.parse::<u64>().map_err(|_| {
+                            bad(lineno, format!("{tok:?} is not a valid generation (u64)"))
+                        })?),
+                        _ => return Err(bad(lineno, "expected `% expect-generation N`")),
+                    };
+                }
+                ["expect-generation", ..] => {
+                    return Err(bad(
+                        lineno,
+                        "`% expect-generation` is a request-body directive (relmax serve); \
+                         update files apply unconditionally",
+                    ))
+                }
+                _ => {
+                    return Err(bad(
+                        lineno,
+                        format!("unknown directive {body:?} (expected `% expect-generation N`)"),
+                    ))
+                }
+            }
+            continue;
+        }
+        let toks: Vec<&str> = body.split_whitespace().collect();
+        let update = match toks.as_slice() {
+            ["insert", u, v, p] => GraphUpdate::Insert {
+                src: parse_node(u, lineno)?,
+                dst: parse_node(v, lineno)?,
+                prob: parse_prob(p, lineno)?,
+            },
+            ["setp", u, v, p] => GraphUpdate::SetProb {
+                src: parse_node(u, lineno)?,
+                dst: parse_node(v, lineno)?,
+                prob: parse_prob(p, lineno)?,
+            },
+            ["delete", u, v] => GraphUpdate::Delete {
+                src: parse_node(u, lineno)?,
+                dst: parse_node(v, lineno)?,
+            },
+            [kind @ ("insert" | "setp" | "delete"), ..] => {
+                return Err(bad(
+                    lineno,
+                    format!(
+                        "wrong arity for `{kind}` (expected `insert U V P`, \
+                         `setp U V P`, or `delete U V`)"
+                    ),
+                ))
+            }
+            _ => {
+                return Err(bad(
+                    lineno,
+                    format!(
+                        "expected `insert U V P`, `setp U V P`, or `delete U V`; found {body:?}"
+                    ),
+                ))
+            }
+        };
+        updates.push(update);
+    }
+    Ok(UpdateRequest {
+        updates,
+        expect_generation,
+    })
+}
+
+/// Parse an update file (flat grammar: no directives) from a string.
+///
+/// ```
+/// use relmax_gen::updates::parse_updates_str;
+/// use relmax_ugraph::{GraphUpdate, NodeId};
+///
+/// let ups = parse_updates_str("# batch\ninsert 3 0 0.25\ndelete 0 2\n").unwrap();
+/// assert_eq!(ups.len(), 2);
+/// assert_eq!(
+///     ups[1],
+///     GraphUpdate::Delete { src: NodeId(0), dst: NodeId(2) }
+/// );
+/// ```
+pub fn parse_updates_str(s: &str) -> Result<Vec<GraphUpdate>, WorkloadError> {
+    parse_updates_reader(s.as_bytes())
+}
+
+/// Parse an update file from any buffered reader (flat grammar).
+pub fn parse_updates_reader<R: BufRead>(r: R) -> Result<Vec<GraphUpdate>, WorkloadError> {
+    parse_update_lines(r, false).map(|req| req.updates)
+}
+
+/// Parse an update file from a path (flat grammar).
+pub fn parse_updates_file<P: AsRef<Path>>(path: P) -> Result<Vec<GraphUpdate>, WorkloadError> {
+    let f = File::open(path)?;
+    parse_updates_reader(BufReader::new(f))
+}
+
+/// Parse a `relmax serve` `POST /update` request body: the update
+/// vocabulary plus the optional `% expect-generation N` guard.
+///
+/// ```
+/// use relmax_gen::updates::parse_update_request_str;
+///
+/// let req = parse_update_request_str(
+///     "% expect-generation 4\nsetp 0 1 0.9\n",
+/// ).unwrap();
+/// assert_eq!(req.expect_generation, Some(4));
+/// assert_eq!(req.updates.len(), 1);
+/// ```
+pub fn parse_update_request_str(s: &str) -> Result<UpdateRequest, WorkloadError> {
+    parse_update_request_reader(s.as_bytes())
+}
+
+/// Parse a `POST /update` request body from any buffered reader.
+pub fn parse_update_request_reader<R: BufRead>(r: R) -> Result<UpdateRequest, WorkloadError> {
+    parse_update_lines(r, true)
+}
+
+/// Render one update in the file format (the inverse of the parser's
+/// per-line grammar; probabilities print with Rust's shortest
+/// round-trippable `f64` formatting).
+pub fn update_line(u: &GraphUpdate) -> String {
+    match u {
+        GraphUpdate::Insert { src, dst, prob } => format!("insert {} {} {}", src.0, dst.0, prob),
+        GraphUpdate::SetProb { src, dst, prob } => format!("setp {} {} {}", src.0, dst.0, prob),
+        GraphUpdate::Delete { src, dst } => format!("delete {} {}", src.0, dst.0),
+    }
+}
+
+/// Write updates in the file format, one per line, preserving order.
+/// Round-trips through [`parse_updates_reader`].
+pub fn write_updates<W: Write>(updates: &[GraphUpdate], mut w: W) -> io::Result<()> {
+    for u in updates {
+        writeln!(w, "{}", update_line(u))?;
+    }
+    w.flush()
+}
+
+/// [`write_updates`] into a `String`.
+pub fn updates_to_text(updates: &[GraphUpdate]) -> String {
+    let mut buf = Vec::new();
+    write_updates(updates, &mut buf).expect("writing to a Vec cannot fail");
+    String::from_utf8(buf).expect("update text is ASCII")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_preserves_order_and_kinds() {
+        let ups = vec![
+            GraphUpdate::Insert {
+                src: NodeId(3),
+                dst: NodeId(0),
+                prob: 0.25,
+            },
+            GraphUpdate::SetProb {
+                src: NodeId(0),
+                dst: NodeId(1),
+                prob: 0.9,
+            },
+            GraphUpdate::Delete {
+                src: NodeId(0),
+                dst: NodeId(2),
+            },
+        ];
+        let text = updates_to_text(&ups);
+        assert_eq!(text, "insert 3 0 0.25\nsetp 0 1 0.9\ndelete 0 2\n");
+        assert_eq!(parse_updates_str(&text).unwrap(), ups);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let ups =
+            parse_updates_str("# header\n\ninsert 1 2 0.5 # inline\n  \ndelete 1 2\n").unwrap();
+        assert_eq!(ups.len(), 2);
+    }
+
+    #[test]
+    fn malformed_lines_report_position() {
+        for (text, needle) in [
+            ("insert 0 1\n", "arity"),
+            ("setp 0 1 0.5 9\n", "arity"),
+            ("delete 0\n", "arity"),
+            ("insert a 1 0.5\n", "node id"),
+            ("insert 0 1 two\n", "probability"),
+            ("insert 0 1 1.5\n", "[0, 1]"),
+            ("insert 0 1 nan\n", "[0, 1]"),
+            ("upsert 0 1 0.5\n", "expected"),
+        ] {
+            let err = parse_updates_str(text).unwrap_err();
+            let msg = err.to_string();
+            assert!(
+                msg.contains("line 1") && msg.contains(needle),
+                "{text:?} -> {msg}"
+            );
+        }
+    }
+
+    #[test]
+    fn wire_grammar_accepts_expect_generation() {
+        let req =
+            parse_update_request_str("# body\n% expect-generation 7\ninsert 0 1 0.5\ndelete 2 3\n")
+                .unwrap();
+        assert_eq!(req.expect_generation, Some(7));
+        assert_eq!(req.updates.len(), 2);
+        // The directive is optional.
+        let req = parse_update_request_str("setp 0 1 0.5\n").unwrap();
+        assert_eq!(req.expect_generation, None);
+    }
+
+    #[test]
+    fn wire_directive_errors_report_position() {
+        for (text, needle) in [
+            ("% expect-generation\n", "expect-generation N"),
+            ("% expect-generation 1 2\n", "expect-generation N"),
+            ("% expect-generation banana\n", "not a valid generation"),
+            (
+                "% expect-generation 1\n% expect-generation 2\n",
+                "duplicate",
+            ),
+            ("% accuracy 0.1 0.05\n", "unknown directive"),
+        ] {
+            let err = parse_update_request_str(text).unwrap_err();
+            let msg = err.to_string();
+            assert!(msg.contains("line"), "{text:?} -> {msg}");
+            assert!(msg.contains(needle), "{text:?} -> {msg}");
+        }
+    }
+
+    #[test]
+    fn flat_grammar_rejects_wire_directive() {
+        let err = parse_updates_str("insert 0 1 0.5\n% expect-generation 3\n").unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("line 2") && msg.contains("request-body"),
+            "{msg}"
+        );
+    }
+
+    #[test]
+    fn boundary_probabilities_parse() {
+        let ups = parse_updates_str("insert 0 1 0\ninsert 1 2 1\ninsert 2 3 1.0\n").unwrap();
+        assert!(matches!(ups[0], GraphUpdate::Insert { prob, .. } if prob == 0.0));
+        assert!(matches!(ups[1], GraphUpdate::Insert { prob, .. } if prob == 1.0));
+    }
+}

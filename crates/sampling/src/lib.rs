@@ -246,6 +246,23 @@ pub trait Estimator: Sync {
         self
     }
 
+    /// A copy of this estimator with any attached [`RelIndex`] detached —
+    /// the overlay hook of the delta layer.
+    ///
+    /// A [`relmax_ugraph::DeltaOverlay`] can share the base snapshot's
+    /// dimensions (a deletion-only overlay keeps the coin count), so the
+    /// dimension guard in [`Estimator::with_rel_index`] implementations is
+    /// not enough to keep a stale index from engaging; engines that sample
+    /// an overlay detach the index explicitly with this hook instead. The
+    /// default is a plain clone, correct for estimators that never attach
+    /// an index.
+    fn without_rel_index(&self) -> Self
+    where
+        Self: Clone + Sized,
+    {
+        self.clone()
+    }
+
     // ------------------------------------------------------------------
     // Value-only compatibility shims (pre-QueryEngine API).
     // ------------------------------------------------------------------

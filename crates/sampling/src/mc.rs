@@ -531,6 +531,12 @@ impl Estimator for McEstimator {
         self
     }
 
+    fn without_rel_index(&self) -> Self {
+        let mut e = self.clone();
+        e.index = None;
+        e
+    }
+
     fn st_shortcircuit<G: ProbGraph>(&self, g: &G, s: NodeId, t: NodeId) -> Option<Estimate> {
         if s == t {
             return Some(Estimate::exact(1.0));

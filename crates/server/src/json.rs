@@ -103,6 +103,15 @@ pub fn error_at_query(query: usize, message: &str) -> String {
     )
 }
 
+/// An error anchored to a 1-based update of a `/update` request body:
+/// `{"error":{"update":N,"message":"…"}}`.
+pub fn error_at_update(update: usize, message: &str) -> String {
+    format!(
+        "{{\"error\":{{\"update\":{update},\"message\":\"{}\"}}}}",
+        escape(message)
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -130,6 +139,10 @@ mod tests {
         assert_eq!(
             error_at_query(2, "oob"),
             "{\"error\":{\"query\":2,\"message\":\"oob\"}}"
+        );
+        assert_eq!(
+            error_at_update(4, "dup"),
+            "{\"error\":{\"update\":4,\"message\":\"dup\"}}"
         );
     }
 }

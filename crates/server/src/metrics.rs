@@ -29,6 +29,18 @@ pub struct Metrics {
     pub reloads_total: AtomicU64,
     /// Rejected `/reload` attempts (corrupt or unreadable snapshots).
     pub reload_failures_total: AtomicU64,
+    /// Individual updates applied through `/update` (each line of an
+    /// accepted batch).
+    pub updates_total: AtomicU64,
+    /// Rejected `/update` batches (parse errors, generation mismatches,
+    /// semantic apply failures).
+    pub update_failures_total: AtomicU64,
+    /// Completed compactions (overlay folded into a fresh snapshot and
+    /// swapped in).
+    pub compactions_total: AtomicU64,
+    /// Abandoned compactions (lost the install race to a concurrent
+    /// update or reload, or failed to persist the snapshot).
+    pub compaction_failures_total: AtomicU64,
 }
 
 impl Metrics {
@@ -44,6 +56,10 @@ impl Metrics {
             rejected_total: AtomicU64::new(0),
             reloads_total: AtomicU64::new(0),
             reload_failures_total: AtomicU64::new(0),
+            updates_total: AtomicU64::new(0),
+            update_failures_total: AtomicU64::new(0),
+            compactions_total: AtomicU64::new(0),
+            compaction_failures_total: AtomicU64::new(0),
         }
     }
 
@@ -109,6 +125,26 @@ impl Metrics {
                 .load(Ordering::Relaxed)
                 .to_string(),
         );
+        line(
+            "updates_total",
+            self.updates_total.load(Ordering::Relaxed).to_string(),
+        );
+        line(
+            "update_failures_total",
+            self.update_failures_total
+                .load(Ordering::Relaxed)
+                .to_string(),
+        );
+        line(
+            "compactions_total",
+            self.compactions_total.load(Ordering::Relaxed).to_string(),
+        );
+        line(
+            "compaction_failures_total",
+            self.compaction_failures_total
+                .load(Ordering::Relaxed)
+                .to_string(),
+        );
         line("queue_depth", queue_depth.to_string());
         line("queue_cap", queue_cap.to_string());
         line("threads", threads.to_string());
@@ -145,6 +181,10 @@ mod tests {
             "rejected_total ",
             "reloads_total ",
             "reload_failures_total ",
+            "updates_total ",
+            "update_failures_total ",
+            "compactions_total ",
+            "compaction_failures_total ",
             "queue_depth 1",
             "queue_cap 64",
             "threads 2",

@@ -1,5 +1,6 @@
 //! The service itself: configuration, the accept/IO/compute pipeline,
-//! and the four-endpoint router.
+//! and the six-endpoint router (`/healthz`, `/metrics`, `/query`,
+//! `/reload`, `/update`, `/compact`).
 //!
 //! ## Pipeline
 //!
@@ -19,16 +20,18 @@ use crate::http::{self, HttpError, Request, Response};
 use crate::json;
 use crate::metrics::Metrics;
 use crate::render;
-use crate::state::{load_snapshot, AnyEngine, EngineKind, SharedSnapshot};
+use crate::state::{load_snapshot, AnyEngine, EngineKind, SharedSnapshot, Snapshot};
 use crate::work::{spawn_compute_pool, Job, JobQueue, Slot};
 use relmax_core::QueryAnswer;
+use relmax_gen::updates::{self, UpdateRequest};
 use relmax_gen::workload::{self, QuerySpec, WireSpec, WorkloadError};
 use relmax_sampling::convergence::DEFAULT_MAX_SAMPLES;
 use relmax_sampling::{BatchEstimate, Budget};
-use relmax_ugraph::ProbGraph;
+use relmax_ugraph::{snapshot, DeltaOverlay, ProbGraph, RelIndex};
 use std::collections::VecDeque;
 use std::io::Write;
 use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
@@ -58,6 +61,10 @@ pub struct Config {
     /// Whether the reliability index is built/loaded (false under
     /// `--no-index`).
     pub use_index: bool,
+    /// Fold the delta overlay into a fresh snapshot in the background
+    /// once this many updates are pending (`None` disables the
+    /// automatic trigger; `POST /compact` always works).
+    pub compact_after: Option<usize>,
 }
 
 impl Config {
@@ -77,6 +84,7 @@ impl Config {
             budget: Budget::FixedSamples(1000),
             estimator: EngineKind::Mc,
             use_index: true,
+            compact_after: None,
         }
     }
 
@@ -138,6 +146,14 @@ struct ServerState {
     metrics: Arc<Metrics>,
     jobs: Arc<JobQueue>,
     conns: Arc<ConnQueue>,
+    /// Serializes `/update` batches: concurrent updates queue on this
+    /// lock instead of losing the generation CAS and surfacing spurious
+    /// 409s. Reloads and compaction installs stay lock-free — the CAS in
+    /// [`SharedSnapshot::swap_if_generation`] arbitrates those races.
+    updates: Mutex<()>,
+    /// Claimed by the automatic background compactor so an update storm
+    /// spawns one folding thread, not one per batch over the threshold.
+    compacting: AtomicBool,
 }
 
 /// Load the snapshot, bind, print the `listening on http://…` line, and
@@ -167,6 +183,8 @@ pub fn run(config: Config) -> Result<(), String> {
         jobs: JobQueue::new(),
         conns: ConnQueue::new(config.queue_cap),
         config,
+        updates: Mutex::new(()),
+        compacting: AtomicBool::new(false),
     });
     spawn_compute_pool(
         state.config.threads,
@@ -216,7 +234,7 @@ fn reject_overloaded(mut stream: TcpStream) {
     let _ = stream.shutdown(Shutdown::Both);
 }
 
-fn handle_conn(mut stream: TcpStream, state: &ServerState) {
+fn handle_conn(mut stream: TcpStream, state: &Arc<ServerState>) {
     let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
     let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
     let response = match http::read_request(&mut stream) {
@@ -242,18 +260,20 @@ fn handle_conn(mut stream: TcpStream, state: &ServerState) {
     let _ = stream.shutdown(Shutdown::Both);
 }
 
-fn route(req: &Request, state: &ServerState) -> Response {
+fn route(req: &Request, state: &Arc<ServerState>) -> Response {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => healthz(state),
         ("GET", "/metrics") => metrics_page(state),
         ("POST", "/query") => query(state, &req.body),
         ("POST", "/reload") => reload(state, &req.body),
+        ("POST", "/update") => update(state, &req.body),
+        ("POST", "/compact") => compact_now(state),
         (_, "/healthz" | "/metrics") => Response::json(
             405,
             json::error(&format!("{} does not allow {}", req.path, req.method)),
         )
         .with_header("Allow: GET"),
-        (_, "/query" | "/reload") => Response::json(
+        (_, "/query" | "/reload" | "/update" | "/compact") => Response::json(
             405,
             json::error(&format!("{} does not allow {}", req.path, req.method)),
         )
@@ -261,7 +281,7 @@ fn route(req: &Request, state: &ServerState) -> Response {
         _ => Response::json(
             404,
             json::error(&format!(
-                "no such endpoint {} (have /healthz, /metrics, /query, /reload)",
+                "no such endpoint {} (have /healthz, /metrics, /query, /reload, /update, /compact)",
                 req.path
             )),
         ),
@@ -273,13 +293,14 @@ fn healthz(state: &ServerState) -> Response {
     Response::json(
         200,
         format!(
-            "{{\"generation\":{},\"snapshot_version\":{},\"nodes\":{},\"edges\":{},\"directed\":{},\"index\":{},\"estimator\":\"{}\"}}",
+            "{{\"generation\":{},\"snapshot_version\":{},\"nodes\":{},\"edges\":{},\"directed\":{},\"index\":{},\"pending_updates\":{},\"estimator\":\"{}\"}}",
             snap.generation,
             snap.format_version,
             snap.csr.num_nodes(),
-            snap.csr.num_coins(),
+            snap.num_coins(),
             snap.csr.is_directed(),
             snap.index.is_some(),
+            snap.pending_updates(),
             state.config.estimator.name(),
         ),
     )
@@ -332,6 +353,211 @@ fn reload(state: &ServerState, body: &[u8]) -> Response {
             Response::json(409, json::error(&msg))
         }
     }
+}
+
+/// `POST /update` — apply a batch of graph updates as a delta overlay.
+///
+/// The batch is all-or-nothing: it parses fully (else `400`), passes the
+/// optional `% expect-generation` guard (else `409`), and every record
+/// applies cleanly (else `422` naming the first offender) before a new
+/// generation is installed. The new snapshot shares the frozen graph and
+/// index `Arc`s with the old one and differs only in the overlay, so
+/// installation is O(1) and queries pinned to the old `Arc` are
+/// untouched. A concurrent `/reload` that wins the install race turns
+/// into a `409` here (the overlay was built against a graph no longer
+/// being served).
+fn update(state: &Arc<ServerState>, body: &[u8]) -> Response {
+    let Ok(text) = std::str::from_utf8(body) else {
+        Metrics::add(&state.metrics.update_failures_total, 1);
+        return Response::json(400, json::error("update body is not valid UTF-8"));
+    };
+    let UpdateRequest {
+        updates: batch,
+        expect_generation,
+    } = match updates::parse_update_request_str(text) {
+        Ok(r) => r,
+        Err(WorkloadError::BadRecord { line, reason }) => {
+            Metrics::add(&state.metrics.update_failures_total, 1);
+            return Response::json(400, json::error_at_line(line, &reason));
+        }
+        Err(e) => {
+            Metrics::add(&state.metrics.update_failures_total, 1);
+            return Response::json(400, json::error(&e.to_string()));
+        }
+    };
+    if batch.is_empty() {
+        Metrics::add(&state.metrics.update_failures_total, 1);
+        return Response::json(400, json::error("request contains no updates"));
+    }
+
+    // Serialize update batches: concurrent POST /update calls line up
+    // here instead of racing the generation CAS below.
+    let _guard = state.updates.lock().expect("update lock");
+    let current = state.snapshot.get();
+    if let Some(expected) = expect_generation {
+        if current.generation != expected {
+            Metrics::add(&state.metrics.update_failures_total, 1);
+            return Response::json(
+                409,
+                json::error(&format!(
+                    "expected generation {expected} but the server is at generation {}",
+                    current.generation
+                )),
+            );
+        }
+    }
+    let mut overlay = match &current.delta {
+        Some(d) => d.as_ref().clone(),
+        None => DeltaOverlay::new(current.csr.clone()),
+    };
+    for (i, u) in batch.iter().enumerate() {
+        if let Err(e) = overlay.apply_one(u) {
+            Metrics::add(&state.metrics.update_failures_total, 1);
+            return Response::json(422, json::error_at_update(i + 1, &e.to_string()));
+        }
+    }
+    let pending = overlay.pending();
+    let next = Snapshot {
+        csr: current.csr.clone(),
+        index: current.index.clone(),
+        generation: 0,
+        format_version: current.format_version,
+        path: current.path.clone(),
+        index_stored: current.index_stored,
+        delta: Some(Arc::new(overlay)),
+    };
+    match state.snapshot.swap_if_generation(next, current.generation) {
+        Some(pinned) => {
+            Metrics::add(&state.metrics.updates_total, batch.len() as u64);
+            maybe_spawn_compaction(state, pending);
+            Response::json(
+                200,
+                format!(
+                    "{{\"generation\":{},\"applied\":{},\"pending_updates\":{pending}}}",
+                    pinned.generation,
+                    batch.len(),
+                ),
+            )
+        }
+        None => {
+            Metrics::add(&state.metrics.update_failures_total, 1);
+            Response::json(
+                409,
+                json::error("snapshot generation changed while applying updates; retry"),
+            )
+        }
+    }
+}
+
+/// Fold the pending overlay into a fresh delta-free snapshot: re-freeze
+/// through the overlay (bit-identical to freezing the updated graph from
+/// scratch), rebuild the index if one is serving, persist a format-v2
+/// `.rgs` next to the source file, and CAS-install the result.
+///
+/// Runs on the calling IO thread (`POST /compact`) or a detached
+/// background thread (the `--compact-after` trigger) — never on the
+/// compute pool, so in-flight queries keep sampling against their pinned
+/// snapshots throughout. If an update or reload installs a newer
+/// generation while folding, the result is discarded (`409`): the
+/// compaction was of a graph no longer being served.
+fn compact_now(state: &ServerState) -> Response {
+    let pinned = state.snapshot.get();
+    let Some(delta) = pinned.delta.clone() else {
+        return Response::json(
+            200,
+            format!(
+                "{{\"generation\":{},\"compacted\":false,\"pending_updates\":0}}",
+                pinned.generation
+            ),
+        );
+    };
+    if let Some(ms) = test_slow_compact() {
+        std::thread::sleep(ms);
+    }
+    let csr = delta.compact();
+    let index = pinned
+        .index
+        .as_ref()
+        .map(|_| Arc::new(RelIndex::build(&csr)));
+    let out_path = compacted_path(&pinned.path);
+    // Persist the index section only when the source snapshot stored
+    // one — the same rule `relmax update` applies — so the compacted
+    // file is byte-identical to the CLI's output over the same input.
+    let section = if pinned.index_stored {
+        index.as_ref().map(|i| i.section())
+    } else {
+        None
+    };
+    if let Err(e) = snapshot::save_full(&csr, section.as_ref(), &out_path) {
+        Metrics::add(&state.metrics.compaction_failures_total, 1);
+        return Response::json(500, json::error(&format!("{out_path}: {e}")));
+    }
+    let next = Snapshot {
+        csr: Arc::new(csr),
+        index,
+        generation: 0,
+        format_version: 2,
+        path: out_path.clone(),
+        index_stored: section.is_some(),
+        delta: None,
+    };
+    match state.snapshot.swap_if_generation(next, pinned.generation) {
+        Some(installed) => {
+            Metrics::add(&state.metrics.compactions_total, 1);
+            Response::json(
+                200,
+                format!(
+                    "{{\"generation\":{},\"compacted\":true,\"pending_updates\":0,\"snapshot\":\"{}\"}}",
+                    installed.generation,
+                    json::escape(&out_path),
+                ),
+            )
+        }
+        None => {
+            Metrics::add(&state.metrics.compaction_failures_total, 1);
+            Response::json(
+                409,
+                json::error("snapshot generation changed during compaction; retry"),
+            )
+        }
+    }
+}
+
+/// Spawn the background compactor when the pending-update count crosses
+/// `--compact-after`. At most one folding thread runs at a time; a storm
+/// of qualifying updates extends the running fold's obsolescence window
+/// (it aborts on the generation CAS) rather than piling up threads.
+fn maybe_spawn_compaction(state: &Arc<ServerState>, pending: usize) {
+    let Some(threshold) = state.config.compact_after else {
+        return;
+    };
+    if pending < threshold || state.compacting.swap(true, Ordering::AcqRel) {
+        return;
+    }
+    let state = state.clone();
+    std::thread::spawn(move || {
+        let _ = compact_now(&state);
+        state.compacting.store(false, Ordering::Release);
+    });
+}
+
+/// Where a compacted snapshot lands: `<source>.compacted.rgs`, with any
+/// previous `.compacted.rgs` suffix stripped first so repeated
+/// compactions overwrite one sibling file instead of growing the name.
+fn compacted_path(path: &str) -> String {
+    let base = path.strip_suffix(".compacted.rgs").unwrap_or(path);
+    format!("{base}.compacted.rgs")
+}
+
+/// The `RELMAX_SERVE_TEST_SLOW_COMPACT_MS` hook: stretch the folding
+/// window so tests can prove queries and updates keep flowing while a
+/// compaction is in flight, and that a stale fold loses the install CAS.
+fn test_slow_compact() -> Option<Duration> {
+    let ms: u64 = std::env::var("RELMAX_SERVE_TEST_SLOW_COMPACT_MS")
+        .ok()?
+        .parse()
+        .ok()?;
+    (ms > 0).then(|| Duration::from_millis(ms))
 }
 
 /// A per-spec answer: resolved inline (short-circuit) or pending on the
@@ -427,7 +653,7 @@ fn query(state: &ServerState, body: &[u8]) -> Response {
             "{{\"generation\":{},\"graph\":{{\"nodes\":{},\"coins\":{},\"directed\":{}}},\"estimator\":{{\"name\":\"{}\",\"seed\":{seed},\"budget\":{}}},\"results\":{}}}",
             snap.generation,
             nodes,
-            snap.csr.num_coins(),
+            snap.num_coins(),
             snap.csr.is_directed(),
             state.config.estimator.name(),
             json::budget(&budget),

@@ -7,7 +7,7 @@ use relmax_gen::workload::{QuerySpec, WireSpec};
 use relmax_sampling::{Budget, Estimate, McEstimator, RssEstimator};
 use relmax_ugraph::edgelist::{self, EdgeListOptions};
 use relmax_ugraph::index::index_enabled;
-use relmax_ugraph::{snapshot, CsrGraph, NodeId, RelIndex};
+use relmax_ugraph::{snapshot, CsrGraph, DeltaOverlay, NodeId, RelIndex};
 use std::fs::File;
 use std::io::Read;
 use std::path::Path;
@@ -30,6 +30,37 @@ pub struct Snapshot {
     pub format_version: u32,
     /// The path the snapshot was loaded from.
     pub path: String,
+    /// Whether the source `.rgs` file embedded an index section.
+    /// Compaction persists an index section only when this is set, so
+    /// the compacted file is byte-identical to `relmax update` output
+    /// over the same input (the CLI applies the same rule).
+    pub index_stored: bool,
+    /// Pending graph updates layered over `csr` by `POST /update`
+    /// (`None` for freshly loaded or compacted snapshots). The overlay is
+    /// built over this exact `csr` `Arc`; engines attach it so queries
+    /// see the updated graph without a re-freeze, and compaction folds it
+    /// back into a fresh delta-free snapshot.
+    pub delta: Option<Arc<DeltaOverlay>>,
+}
+
+impl Snapshot {
+    /// How many updates are layered over the frozen graph (0 when
+    /// `delta` is `None`).
+    pub fn pending_updates(&self) -> usize {
+        self.delta.as_ref().map_or(0, |d| d.pending())
+    }
+
+    /// Coin count of the graph actually being served: the overlay
+    /// extends the base coin space with one appended coin per insert or
+    /// re-probe, and responses must report the dimensions queries run
+    /// against.
+    pub fn num_coins(&self) -> usize {
+        use relmax_ugraph::ProbGraph;
+        self.delta.as_ref().map_or_else(
+            || self.csr.num_coins(),
+            |d| ProbGraph::num_coins(d.as_ref()),
+        )
+    }
 }
 
 /// Load a graph file (`.rgs` snapshot or text edge list, sniffed by magic
@@ -59,6 +90,7 @@ pub fn load_snapshot(path: &str, generation: u64, use_index: bool) -> Result<Sna
             .map_err(|e| format!("{path}: {e}"))?;
         (g.freeze(), None, 0)
     };
+    let index_stored = section.is_some();
     let index = if !use_index || !index_enabled() {
         None
     } else if let Some(section) = section {
@@ -74,6 +106,8 @@ pub fn load_snapshot(path: &str, generation: u64, use_index: bool) -> Result<Sna
         generation,
         format_version,
         path: path.to_string(),
+        index_stored,
+        delta: None,
     })
 }
 
@@ -107,6 +141,27 @@ impl SharedSnapshot {
         let next = Arc::new(snapshot);
         *slot = next.clone();
         next
+    }
+
+    /// Compare-and-swap install: stamp and install `snapshot` only if
+    /// the currently served generation is still `expected` — otherwise
+    /// return `None` and leave the slot untouched. `/update` and the
+    /// background compactor build their snapshots against a pinned
+    /// generation outside the lock, so a concurrent reload (or another
+    /// update) must abort the stale install rather than overwrite it.
+    pub fn swap_if_generation(
+        &self,
+        mut snapshot: Snapshot,
+        expected: u64,
+    ) -> Option<Arc<Snapshot>> {
+        let mut slot = self.inner.lock().expect("snapshot lock");
+        if slot.generation != expected {
+            return None;
+        }
+        snapshot.generation = slot.generation + 1;
+        let next = Arc::new(snapshot);
+        *slot = next.clone();
+        Some(next)
     }
 }
 
@@ -151,21 +206,31 @@ pub enum AnyEngine {
 }
 
 impl AnyEngine {
-    /// Build an engine over a pinned snapshot.
+    /// Build an engine over a pinned snapshot. If the snapshot carries a
+    /// delta overlay, the engine routes every query through it (and
+    /// detaches the per-estimate index fast path; the engine-level
+    /// component bypass still short-circuits untouched components), so
+    /// answers reflect the updated graph without a re-freeze.
     pub fn build(snap: &Snapshot, kind: EngineKind, budget: Budget, seed: u64) -> Self {
         let csr = snap.csr.clone();
         let index = snap.index.clone();
         match kind {
-            EngineKind::Mc => AnyEngine::Mc(QueryEngine::from_shared(
-                csr,
-                index,
-                McEstimator::with_budget(budget, seed),
-            )),
-            EngineKind::Rss => AnyEngine::Rss(QueryEngine::from_shared(
-                csr,
-                index,
-                RssEstimator::with_budget(budget, seed),
-            )),
+            EngineKind::Mc => {
+                let mut e =
+                    QueryEngine::from_shared(csr, index, McEstimator::with_budget(budget, seed));
+                if let Some(delta) = &snap.delta {
+                    e = e.with_delta(delta.clone());
+                }
+                AnyEngine::Mc(e)
+            }
+            EngineKind::Rss => {
+                let mut e =
+                    QueryEngine::from_shared(csr, index, RssEstimator::with_budget(budget, seed));
+                if let Some(delta) = &snap.delta {
+                    e = e.with_delta(delta.clone());
+                }
+                AnyEngine::Rss(e)
+            }
         }
     }
 
@@ -237,6 +302,8 @@ mod tests {
             generation: 1,
             format_version: 2,
             path: "mem".to_string(),
+            index_stored: false,
+            delta: None,
         }
     }
 
@@ -249,6 +316,43 @@ mod tests {
         assert_eq!(shared.get().generation, 2);
         let g3 = shared.swap(tiny_snapshot());
         assert_eq!(g3.generation, 3);
+    }
+
+    #[test]
+    fn conditional_swap_aborts_on_stale_generation() {
+        let shared = SharedSnapshot::new(tiny_snapshot());
+        // Built against generation 1 and installed before anything moved.
+        let g2 = shared.swap_if_generation(tiny_snapshot(), 1).unwrap();
+        assert_eq!(g2.generation, 2);
+        // A snapshot still built against generation 1 lost the race.
+        assert!(shared.swap_if_generation(tiny_snapshot(), 1).is_none());
+        assert_eq!(shared.get().generation, 2);
+    }
+
+    #[test]
+    fn delta_snapshots_route_queries_through_the_overlay() {
+        let base = tiny_snapshot();
+        // Delete the only 1 -> 2 edge: R(0, 2) must drop to zero.
+        let mut overlay = DeltaOverlay::new(base.csr.clone());
+        overlay
+            .apply(&[relmax_ugraph::GraphUpdate::Delete {
+                src: NodeId(1),
+                dst: NodeId(2),
+            }])
+            .unwrap();
+        let snap = Snapshot {
+            delta: Some(Arc::new(overlay)),
+            ..base
+        };
+        assert_eq!(snap.pending_updates(), 1);
+        let budget = Budget::fixed(64);
+        let mc = AnyEngine::build(&snap, EngineKind::Mc, budget, 7);
+        let spec = WireSpec::Query(QuerySpec::St(NodeId(0), NodeId(2)));
+        let ans = mc.run_spec(&spec, budget).unwrap();
+        assert_eq!(ans.scalar().unwrap().value, 0.0);
+        // The coalescing premise survives the overlay.
+        let vec = mc.from_vector(NodeId(0), budget).unwrap();
+        assert_eq!(ans.scalar().unwrap(), &vec[2]);
     }
 
     #[test]

@@ -263,6 +263,8 @@ mod tests {
             generation: 1,
             format_version: 2,
             path: "mem".to_string(),
+            index_stored: false,
+            delta: None,
         })
     }
 

@@ -30,6 +30,13 @@ pub enum GraphError {
         /// The node index.
         node: u32,
     },
+    /// Attempted to update or delete an edge that does not exist.
+    MissingEdge {
+        /// Source node index.
+        src: u32,
+        /// Destination node index.
+        dst: u32,
+    },
     /// The graph is too large for an exact algorithm.
     TooLargeForExact {
         /// Number of undetermined edges.
@@ -55,6 +62,9 @@ impl fmt::Display for GraphError {
                 write!(f, "edge ({src} -> {dst}) already exists")
             }
             GraphError::SelfLoop { node } => write!(f, "self-loop on node {node} rejected"),
+            GraphError::MissingEdge { src, dst } => {
+                write!(f, "edge ({src} -> {dst}) does not exist")
+            }
             GraphError::TooLargeForExact { edges, max } => {
                 write!(
                     f,
@@ -84,6 +94,8 @@ mod tests {
         assert!(e.to_string().contains("1 -> 2"));
         let e = GraphError::SelfLoop { node: 4 };
         assert!(e.to_string().contains('4'));
+        let e = GraphError::MissingEdge { src: 3, dst: 5 };
+        assert!(e.to_string().contains("3 -> 5"));
         let e = GraphError::TooLargeForExact { edges: 99, max: 30 };
         assert!(e.to_string().contains("99"));
     }

@@ -81,6 +81,13 @@ pub struct Edge {
 pub struct UncertainGraph {
     directed: bool,
     edges: Vec<Edge>,
+    /// `dead[e]` marks a tombstoned (deleted or re-probed) edge record. The
+    /// record — and its coin id — is retained so every surviving edge keeps
+    /// its coin id verbatim across mutations; dead edges are simply absent
+    /// from the adjacency lists and pair index.
+    dead: Vec<bool>,
+    /// Number of `true` entries in `dead`.
+    num_dead: usize,
     /// `out_adj[v]` = `(neighbor, edge)` pairs leaving `v` (or incident, if
     /// undirected).
     out_adj: Vec<Vec<(NodeId, EdgeId)>>,
@@ -88,7 +95,7 @@ pub struct UncertainGraph {
     /// alias nothing for undirected graphs (we reuse `out_adj` there).
     in_adj: Vec<Vec<(NodeId, EdgeId)>>,
     /// Ordered-pair index for O(1) `has_edge`; undirected edges are keyed by
-    /// the normalized (min, max) pair.
+    /// the normalized (min, max) pair. Holds live edges only.
     index: FxHashMap<(u32, u32), EdgeId>,
 }
 
@@ -98,6 +105,8 @@ impl UncertainGraph {
         UncertainGraph {
             directed,
             edges: Vec::new(),
+            dead: Vec::new(),
+            num_dead: 0,
             out_adj: vec![Vec::new(); n],
             in_adj: if directed {
                 vec![Vec::new(); n]
@@ -158,6 +167,7 @@ impl UncertainGraph {
             dst: v,
             prob: p,
         });
+        self.dead.push(false);
         self.index.insert(key, id);
         self.out_adj[u.index()].push((v, id));
         if self.directed {
@@ -169,6 +179,12 @@ impl UncertainGraph {
     }
 
     /// Overwrite the probability of an existing edge.
+    ///
+    /// Note: this rewrites the probability **in place**, reusing the coin
+    /// id — sampled worlds change for that coin. The delta-overlay pipeline
+    /// uses [`UncertainGraph::update_edge`] instead, which retires the old
+    /// coin and appends a fresh one so untouched coin streams stay
+    /// bit-identical.
     pub fn set_prob(&mut self, e: EdgeId, p: f64) -> Result<(), GraphError> {
         if !(0.0..=1.0).contains(&p) || !p.is_finite() {
             return Err(GraphError::InvalidProbability { prob: p });
@@ -177,15 +193,84 @@ impl UncertainGraph {
         Ok(())
     }
 
+    /// Delete the edge `u -> v` (normalized for undirected graphs).
+    ///
+    /// The edge record is tombstoned, not removed: its coin id stays
+    /// allocated (with the original probability) so every other edge keeps
+    /// its coin id verbatim — the invariant [`crate::DeltaOverlay`] and the
+    /// overlay-vs-refreeze equivalence tests rely on. The tombstone is
+    /// invisible to adjacency, `has_edge`, degrees, and world sampling (its
+    /// coin is never flipped because no arc references it); exact
+    /// world-enumeration paths that scan the raw [`UncertainGraph::edges`]
+    /// slice should be run on graphs without tombstones.
+    ///
+    /// Returns the retired [`EdgeId`].
+    pub fn delete_edge(&mut self, u: NodeId, v: NodeId) -> Result<EdgeId, GraphError> {
+        self.check_node(u)?;
+        self.check_node(v)?;
+        let key = self.key(u, v);
+        let Some(id) = self.index.remove(&key) else {
+            return Err(GraphError::MissingEdge { src: u.0, dst: v.0 });
+        };
+        let (a, b) = {
+            let e = &self.edges[id.index()];
+            (e.src, e.dst)
+        };
+        self.out_adj[a.index()].retain(|&(_, e)| e != id);
+        if self.directed {
+            self.in_adj[b.index()].retain(|&(_, e)| e != id);
+        } else {
+            self.out_adj[b.index()].retain(|&(_, e)| e != id);
+        }
+        self.dead[id.index()] = true;
+        self.num_dead += 1;
+        Ok(id)
+    }
+
+    /// Re-probe the edge `u -> v`: retire its coin and append a fresh edge
+    /// record (new coin id, new probability) for the same node pair.
+    ///
+    /// This is the mutation the delta layer uses for probability updates —
+    /// unchanged edges keep their coin ids verbatim, while the changed
+    /// edge draws from a brand-new coin stream, so results are
+    /// deterministically reproducible without perturbing any untouched
+    /// coin. Returns the **new** [`EdgeId`]. The update is atomic: on any
+    /// validation error the graph is unchanged.
+    pub fn update_edge(&mut self, u: NodeId, v: NodeId, p: f64) -> Result<EdgeId, GraphError> {
+        if !(0.0..=1.0).contains(&p) || !p.is_finite() {
+            return Err(GraphError::InvalidProbability { prob: p });
+        }
+        self.delete_edge(u, v)?;
+        let id = self
+            .add_edge(u, v, p)
+            .expect("re-adding a just-deleted edge cannot fail");
+        Ok(id)
+    }
+
+    /// Whether edge record `e` is live (not tombstoned by
+    /// [`UncertainGraph::delete_edge`] / [`UncertainGraph::update_edge`]).
+    #[inline]
+    pub fn is_alive(&self, e: EdgeId) -> bool {
+        !self.dead[e.index()]
+    }
+
     /// Number of nodes.
     #[inline]
     pub fn num_nodes(&self) -> usize {
         self.out_adj.len()
     }
 
-    /// Number of logical edges (coins).
+    /// Number of live edges (tombstoned records excluded).
     #[inline]
     pub fn num_edges(&self) -> usize {
+        self.edges.len() - self.num_dead
+    }
+
+    /// Number of coin ids ever allocated, retired ones included. Equals
+    /// [`UncertainGraph::num_edges`] unless edges were deleted or
+    /// re-probed.
+    #[inline]
+    pub fn num_coins(&self) -> usize {
         self.edges.len()
     }
 
@@ -201,7 +286,9 @@ impl UncertainGraph {
         &self.edges[e.index()]
     }
 
-    /// All edges in insertion order.
+    /// All edge records in insertion (= coin id) order, **including**
+    /// tombstoned ones — index with care on mutated graphs (see
+    /// [`UncertainGraph::is_alive`]).
     #[inline]
     pub fn edges(&self) -> &[Edge] {
         &self.edges
@@ -273,9 +360,21 @@ impl UncertainGraph {
             return self.clone();
         }
         let mut g = UncertainGraph::with_capacity(self.num_nodes(), true, self.num_edges());
-        for e in &self.edges {
-            g.add_edge(e.dst, e.src, e.prob)
-                .expect("reversing a valid graph cannot fail");
+        for (i, e) in self.edges.iter().enumerate() {
+            if self.dead[i] {
+                // Preserve the tombstone verbatim so coin ids stay aligned
+                // with the forward graph.
+                g.edges.push(Edge {
+                    src: e.dst,
+                    dst: e.src,
+                    prob: e.prob,
+                });
+                g.dead.push(true);
+                g.num_dead += 1;
+            } else {
+                g.add_edge(e.dst, e.src, e.prob)
+                    .expect("reversing a valid graph cannot fail");
+            }
         }
         g
     }
@@ -309,6 +408,7 @@ impl UncertainGraph {
         use std::mem::size_of;
         let mut bytes = size_of::<Self>();
         bytes += self.edges.capacity() * size_of::<Edge>();
+        bytes += self.dead.capacity() * size_of::<bool>();
         for adj in &self.out_adj {
             bytes += adj.capacity() * size_of::<(NodeId, EdgeId)>();
         }
@@ -396,7 +496,7 @@ impl ProbGraph for UncertainGraph {
 
     #[inline]
     fn num_coins(&self) -> usize {
-        self.num_edges()
+        self.num_coins()
     }
 
     #[inline]
@@ -563,6 +663,78 @@ mod tests {
     fn max_degrees() {
         let g = diamond();
         assert_eq!(g.max_degrees(), (2, 2));
+    }
+
+    #[test]
+    fn delete_edge_tombstones_but_keeps_coin_ids() {
+        let mut g = diamond();
+        let retired = g.delete_edge(NodeId(0), NodeId(2)).unwrap();
+        assert_eq!(retired, EdgeId(1));
+        assert!(!g.is_alive(retired));
+        assert!(!g.has_edge(NodeId(0), NodeId(2)));
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.num_coins(), 4);
+        assert_eq!(g.out_degree(NodeId(0)), 1);
+        assert_eq!(g.in_degree(NodeId(2)), 0);
+        // The retired coin keeps its original probability; surviving coins
+        // are untouched.
+        assert_eq!(g.coin_prob(1), 0.6);
+        assert_eq!(g.coin_prob(3), 0.8);
+        // The pair is free again: re-adding appends a fresh coin.
+        let fresh = g.add_edge(NodeId(0), NodeId(2), 0.25).unwrap();
+        assert_eq!(fresh, EdgeId(4));
+        assert_eq!(g.num_edges(), 4);
+        assert!(matches!(
+            g.delete_edge(NodeId(1), NodeId(2)),
+            Err(GraphError::MissingEdge { src: 1, dst: 2 })
+        ));
+    }
+
+    #[test]
+    fn update_edge_retires_and_appends() {
+        let mut g = diamond();
+        let id = g.update_edge(NodeId(0), NodeId(1), 0.9).unwrap();
+        assert_eq!(id, EdgeId(4));
+        assert!(!g.is_alive(EdgeId(0)));
+        assert_eq!(g.coin_prob(0), 0.5); // retired coin keeps old prob
+        assert_eq!(g.coin_prob(4), 0.9);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.num_coins(), 5);
+        assert_eq!(g.edge_between(NodeId(0), NodeId(1)), Some(id));
+        // Atomic on bad probability: nothing retired.
+        assert!(g.update_edge(NodeId(0), NodeId(2), 1.5).is_err());
+        assert!(g.is_alive(EdgeId(1)));
+        // Missing pair is reported, not created.
+        assert!(matches!(
+            g.update_edge(NodeId(3), NodeId(0), 0.5),
+            Err(GraphError::MissingEdge { .. })
+        ));
+    }
+
+    #[test]
+    fn undirected_delete_clears_both_adjacency_sides() {
+        let mut g = UncertainGraph::new(3, false);
+        g.add_edge(NodeId(0), NodeId(1), 0.4).unwrap();
+        g.add_edge(NodeId(1), NodeId(2), 0.6).unwrap();
+        g.delete_edge(NodeId(1), NodeId(0)).unwrap(); // reverse orientation
+        assert!(!g.has_edge(NodeId(0), NodeId(1)));
+        assert_eq!(g.out_degree(NodeId(0)), 0);
+        assert_eq!(g.out_degree(NodeId(1)), 1);
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.num_coins(), 2);
+    }
+
+    #[test]
+    fn reversed_preserves_tombstones_and_coin_alignment() {
+        let mut g = diamond();
+        g.delete_edge(NodeId(0), NodeId(2)).unwrap();
+        let r = g.reversed();
+        assert_eq!(r.num_edges(), 3);
+        assert_eq!(r.num_coins(), 4);
+        assert!(!r.is_alive(EdgeId(1)));
+        assert!(!r.has_edge(NodeId(2), NodeId(0)));
+        assert_eq!(r.coin_prob(1), 0.6);
+        assert_eq!(r.coin_endpoints(3), (NodeId(3), NodeId(2)));
     }
 
     #[test]

@@ -52,6 +52,7 @@
 #![deny(missing_docs)]
 
 pub mod csr;
+pub mod delta;
 pub mod edgelist;
 pub mod error;
 pub mod exact;
@@ -65,6 +66,7 @@ pub mod view;
 pub mod world;
 
 pub use csr::CsrGraph;
+pub use delta::{DeltaOverlay, GraphUpdate};
 pub use error::GraphError;
 pub use graph::{Edge, EdgeId, NodeId, UncertainGraph};
 pub use index::{IndexSection, PrunedGraph, RelIndex, StPlan};

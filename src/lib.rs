@@ -102,5 +102,7 @@ pub mod prelude {
     pub use crate::sampling::{
         Budget, Estimate, Estimator, ExactEstimator, McEstimator, ParallelRuntime, RssEstimator,
     };
-    pub use crate::ugraph::{CsrGraph, EdgeId, GraphView, NodeId, ProbGraph, UncertainGraph};
+    pub use crate::ugraph::{
+        CsrGraph, DeltaOverlay, EdgeId, GraphUpdate, GraphView, NodeId, ProbGraph, UncertainGraph,
+    };
 }

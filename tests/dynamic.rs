@@ -1,0 +1,382 @@
+//! Dynamic graphs: the overlay-vs-refreeze equivalence suite.
+//!
+//! A [`DeltaOverlay`] layers edge inserts, probability updates, and
+//! deletions over a frozen snapshot without re-freezing. The product
+//! contract these tests lock down: **queries against the overlay are
+//! bit-identical to queries against a from-scratch re-freeze of the
+//! mutated graph** — full `Estimate`s, sampling-effort fields included —
+//! for every kernel (scalar / lane-packed), every thread count, and both
+//! budget shapes (fixed worlds and adaptive accuracy). The discipline
+//! that makes it hold: unchanged edges keep their coin ids verbatim, and
+//! every insert / re-probe appends a fresh coin instead of rewriting one
+//! (see `docs/updates.md`).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use relmax::prelude::*;
+use relmax::sampling::Kernel;
+use relmax::ugraph::index::RelIndex;
+use std::sync::Arc;
+
+/// Deterministic 12-node digraph: a connected lattice with one weak
+/// long-range shortcut, enough structure that single-edge updates move
+/// reliabilities measurably.
+fn fixture() -> UncertainGraph {
+    let mut g = UncertainGraph::new(12, true);
+    let edges: &[(u32, u32, f64)] = &[
+        (0, 1, 0.6),
+        (0, 2, 0.4),
+        (1, 3, 0.5),
+        (2, 3, 0.7),
+        (3, 4, 0.55),
+        (3, 5, 0.35),
+        (4, 6, 0.8),
+        (5, 6, 0.45),
+        (6, 7, 0.65),
+        (6, 8, 0.25),
+        (7, 9, 0.5),
+        (8, 9, 0.6),
+        (9, 10, 0.7),
+        (10, 11, 0.5),
+        (2, 8, 0.3),
+        (1, 10, 0.15),
+    ];
+    for &(u, v, p) in edges {
+        g.add_edge(NodeId(u), NodeId(v), p).unwrap();
+    }
+    g
+}
+
+/// The canonical mixed update sequence: insert, re-probe, delete, then
+/// the pathological tails — delete a just-inserted edge, re-insert a
+/// deleted pair, re-probe an appended coin.
+fn mixed_updates() -> Vec<GraphUpdate> {
+    let ins = |src, dst, prob| GraphUpdate::Insert {
+        src: NodeId(src),
+        dst: NodeId(dst),
+        prob,
+    };
+    let setp = |src, dst, prob| GraphUpdate::SetProb {
+        src: NodeId(src),
+        dst: NodeId(dst),
+        prob,
+    };
+    let del = |src, dst| GraphUpdate::Delete {
+        src: NodeId(src),
+        dst: NodeId(dst),
+    };
+    vec![
+        ins(11, 0, 0.35),
+        setp(0, 1, 0.9),
+        del(1, 3),
+        ins(4, 9, 0.55),
+        del(11, 0),      // delete a pending insert
+        ins(1, 3, 0.2),  // re-insert a deleted pair: a fresh coin
+        setp(4, 9, 0.7), // re-probe an appended edge
+    ]
+}
+
+/// Replay one update onto the mutable mirror graph (the refreeze oracle).
+fn mirror(g: &mut UncertainGraph, u: &GraphUpdate) {
+    match *u {
+        GraphUpdate::Insert { src, dst, prob } => {
+            g.add_edge(src, dst, prob).unwrap();
+        }
+        GraphUpdate::SetProb { src, dst, prob } => {
+            g.update_edge(src, dst, prob).unwrap();
+        }
+        GraphUpdate::Delete { src, dst } => {
+            g.delete_edge(src, dst).unwrap();
+        }
+    }
+}
+
+/// Run the four query shapes on both engines and demand full-`Estimate`
+/// equality (values, stderr, CI, samples_used, stopped_early).
+fn assert_answers_identical<E: relmax::sampling::Estimator>(
+    overlay: &QueryEngine<E>,
+    oracle: &QueryEngine<E>,
+    label: &str,
+) {
+    let pairs = [(NodeId(0), NodeId(11)), (NodeId(2), NodeId(9))];
+    for (s, t) in pairs {
+        assert_eq!(
+            overlay.query().st(s, t).run().unwrap(),
+            oracle.query().st(s, t).run().unwrap(),
+            "{label}: st {s:?}->{t:?}"
+        );
+    }
+    assert_eq!(
+        overlay.query().from(NodeId(0)).run().unwrap(),
+        oracle.query().from(NodeId(0)).run().unwrap(),
+        "{label}: from 0"
+    );
+    assert_eq!(
+        overlay.query().to(NodeId(11)).run().unwrap(),
+        oracle.query().to(NodeId(11)).run().unwrap(),
+        "{label}: to 11"
+    );
+    let (sources, targets) = ([NodeId(0), NodeId(1)], [NodeId(10), NodeId(11)]);
+    assert_eq!(
+        overlay.query().pairwise(&sources, &targets).run().unwrap(),
+        oracle.query().pairwise(&sources, &targets).run().unwrap(),
+        "{label}: pairwise"
+    );
+}
+
+/// The tentpole matrix: overlay vs refreeze, bit-identical for every
+/// kernel × thread count × budget shape × query shape.
+#[test]
+fn overlay_bit_identical_to_refreeze_across_kernels_threads_and_budgets() {
+    let mut g = fixture();
+    let base = Arc::new(g.freeze());
+    let ups = mixed_updates();
+    for u in &ups {
+        mirror(&mut g, u);
+    }
+    let refrozen = Arc::new(g.freeze());
+
+    let budgets = [
+        Budget::fixed(1024),
+        Budget::accuracy_capped(0.05, 0.05, 1 << 12),
+    ];
+    for kernel in [Kernel::Scalar, Kernel::Packed] {
+        for threads in [1usize, 2, 4] {
+            for (bi, &budget) in budgets.iter().enumerate() {
+                let est = || {
+                    McEstimator::with_budget_runtime(budget, 4242, ParallelRuntime::new(threads))
+                        .with_kernel(kernel)
+                };
+                let overlay = QueryEngine::from_shared(base.clone(), None, est())
+                    .apply_delta(&ups)
+                    .unwrap();
+                assert_eq!(overlay.delta().unwrap().pending(), ups.len());
+                let oracle = QueryEngine::from_shared(refrozen.clone(), None, est());
+                let label = format!("kernel={kernel:?} threads={threads} budget#{bi}");
+                assert_answers_identical(&overlay, &oracle, &label);
+            }
+        }
+    }
+}
+
+/// The same contract holds for the recursive stratified estimator.
+#[test]
+fn rss_overlay_bit_identical_to_refreeze() {
+    let mut g = fixture();
+    let base = Arc::new(g.freeze());
+    let ups = mixed_updates();
+    for u in &ups {
+        mirror(&mut g, u);
+    }
+    let refrozen = Arc::new(g.freeze());
+
+    let budget = Budget::fixed(512);
+    for threads in [1usize, 2] {
+        let est = || RssEstimator::with_budget_runtime(budget, 99, ParallelRuntime::new(threads));
+        let overlay = QueryEngine::from_shared(base.clone(), None, est())
+            .apply_delta(&ups)
+            .unwrap();
+        let oracle = QueryEngine::from_shared(refrozen.clone(), None, est());
+        assert_answers_identical(&overlay, &oracle, &format!("rss threads={threads}"));
+    }
+}
+
+/// Indexed engines under mutation: the estimator detaches (its index
+/// predates the overlay), but the engine keeps serving the base index's
+/// structural verdicts for components no update touched — and refuses
+/// them the moment a component is touched.
+#[test]
+fn indexed_overlay_short_circuits_untouched_components_only() {
+    // Three components: A = {0,1,2,3} with a certain 2-cycle {0,1},
+    // B = {4,5,6}, C = {7,8}.
+    let mut g = UncertainGraph::new(9, true);
+    g.add_edge(NodeId(0), NodeId(1), 1.0).unwrap();
+    g.add_edge(NodeId(1), NodeId(0), 1.0).unwrap();
+    g.add_edge(NodeId(1), NodeId(2), 0.6).unwrap();
+    g.add_edge(NodeId(2), NodeId(3), 0.5).unwrap();
+    g.add_edge(NodeId(4), NodeId(5), 0.7).unwrap();
+    g.add_edge(NodeId(5), NodeId(6), 0.4).unwrap();
+    g.add_edge(NodeId(7), NodeId(8), 0.3).unwrap();
+    let base = Arc::new(g.freeze());
+    let index = Arc::new(RelIndex::build(&base));
+    let budget = Budget::fixed(2048);
+    let est = || McEstimator::with_budget(budget, 7);
+
+    // Updates confined to component B.
+    let ups = [
+        GraphUpdate::SetProb {
+            src: NodeId(4),
+            dst: NodeId(5),
+            prob: 0.9,
+        },
+        GraphUpdate::Insert {
+            src: NodeId(6),
+            dst: NodeId(4),
+            prob: 0.2,
+        },
+    ];
+    let indexed = QueryEngine::from_shared(base.clone(), Some(index), est())
+        .apply_delta(&ups)
+        .unwrap();
+    let plain = QueryEngine::from_shared(base.clone(), None, est())
+        .apply_delta(&ups)
+        .unwrap();
+
+    // Untouched components keep their structural answers: zero worlds.
+    let e = indexed.st(NodeId(0), NodeId(1), budget).unwrap();
+    assert_eq!((e.value, e.samples_used), (1.0, 0), "certain pair");
+    let e = indexed.st(NodeId(0), NodeId(7), budget).unwrap();
+    assert_eq!(
+        (e.value, e.samples_used, e.stopped_early),
+        (0.0, 0, true),
+        "cross-component pair"
+    );
+
+    // Sampled queries are bit-identical with and without the index
+    // attached — the overlay path never consults it for estimation.
+    for (s, t) in [(NodeId(0), NodeId(3)), (NodeId(4), NodeId(6))] {
+        assert_eq!(
+            indexed.st(s, t, budget).unwrap(),
+            plain.st(s, t, budget).unwrap(),
+            "sampled {s:?}->{t:?}"
+        );
+    }
+
+    // Touched component: the stale verdict is refused, sampling sees the
+    // new edge.
+    assert_eq!(indexed.st_shortcircuit(NodeId(4), NodeId(6)).unwrap(), None);
+    assert!(
+        indexed
+            .st(NodeId(4), NodeId(6), budget)
+            .unwrap()
+            .samples_used
+            > 0
+    );
+
+    // A bridging insert touches both sides; the impossible verdict dies.
+    let bridged = indexed
+        .apply_delta(&[GraphUpdate::Insert {
+            src: NodeId(3),
+            dst: NodeId(7),
+            prob: 1.0,
+        }])
+        .unwrap();
+    assert_eq!(bridged.st_shortcircuit(NodeId(0), NodeId(8)).unwrap(), None);
+    assert!(bridged.st(NodeId(0), NodeId(8), budget).unwrap().value > 0.0);
+}
+
+/// Compaction folds the overlay into a snapshot **equal** to the
+/// re-freeze (arrays and coin table included) that serves identically.
+#[test]
+fn compaction_folds_to_the_refrozen_snapshot_and_serves_identically() {
+    let mut g = fixture();
+    let base = Arc::new(g.freeze());
+    let ups = mixed_updates();
+    for u in &ups {
+        mirror(&mut g, u);
+    }
+    let refrozen = g.freeze();
+
+    let budget = Budget::fixed(1024);
+    let overlay = QueryEngine::from_shared(base, None, McEstimator::with_budget(budget, 21))
+        .apply_delta(&ups)
+        .unwrap();
+
+    // The overlay itself compacts to the refrozen snapshot...
+    assert!(overlay.delta().unwrap().compact() == refrozen);
+    // ...and so does the engine-level fold.
+    let compacted = overlay.compact();
+    assert!(compacted.delta().is_none());
+    assert!(*compacted.graph() == refrozen);
+    assert_answers_identical(&overlay, &compacted, "overlay vs compacted");
+}
+
+/// Seeded property loop: random interleavings of updates and queries
+/// against a refreeze-after-every-update oracle, directed and
+/// undirected, with a mid-sequence compaction that must not move any
+/// answer.
+#[test]
+fn random_update_sequences_match_refreeze_after_every_update() {
+    let mut rng = StdRng::seed_from_u64(2026);
+    for trial in 0..10 {
+        let directed = trial % 2 == 0;
+        let n = rng.gen_range(5usize..9);
+        let mut g = UncertainGraph::new(n, directed);
+        for _ in 0..rng.gen_range(4usize..12) {
+            let u = rng.gen_range(0..n as u32);
+            let v = rng.gen_range(0..n as u32);
+            if u != v {
+                let _ = g.add_edge(NodeId(u), NodeId(v), rng.gen_range(0.05..0.95));
+            }
+        }
+        let budget = Budget::fixed(512);
+        let seed = rng.gen::<u64>();
+        let mut engine = QueryEngine::from_shared(
+            Arc::new(g.freeze()),
+            None,
+            McEstimator::with_budget(budget, seed),
+        );
+
+        for step in 0..8 {
+            let up = random_update(&mut rng, &g);
+            engine = engine.apply_delta(std::slice::from_ref(&up)).unwrap();
+            mirror(&mut g, &up);
+            let oracle =
+                QueryEngine::from_parts(g.freeze(), None, McEstimator::with_budget(budget, seed));
+            let s = NodeId(rng.gen_range(0..n as u32));
+            let t = NodeId(rng.gen_range(0..n as u32));
+            assert_eq!(
+                engine.query().st(s, t).run().unwrap(),
+                oracle.query().st(s, t).run().unwrap(),
+                "trial {trial} step {step}: st {s:?}->{t:?} after {up:?}"
+            );
+            if step % 3 == 0 {
+                assert_eq!(
+                    engine.query().from(s).run().unwrap(),
+                    oracle.query().from(s).run().unwrap(),
+                    "trial {trial} step {step}: from {s:?}"
+                );
+            }
+            // Halfway through, fold the overlay and keep layering updates
+            // over the compacted snapshot.
+            if step == 3 {
+                engine = engine.compact();
+                assert!(engine.delta().is_none());
+                assert!(
+                    *engine.graph() == g.freeze(),
+                    "trial {trial}: compact != refreeze"
+                );
+            }
+        }
+    }
+}
+
+/// A valid random update for the current state of `g`: delete or
+/// re-probe an existing edge, or insert a missing one.
+fn random_update(rng: &mut StdRng, g: &UncertainGraph) -> GraphUpdate {
+    let n = g.num_nodes() as u32;
+    loop {
+        let (u, v) = (rng.gen_range(0..n), rng.gen_range(0..n));
+        if u == v {
+            continue;
+        }
+        let (src, dst) = (NodeId(u), NodeId(v));
+        return if g.has_edge(src, dst) {
+            if rng.gen_bool(0.5) {
+                GraphUpdate::SetProb {
+                    src,
+                    dst,
+                    prob: rng.gen_range(0.05..0.95),
+                }
+            } else {
+                GraphUpdate::Delete { src, dst }
+            }
+        } else {
+            GraphUpdate::Insert {
+                src,
+                dst,
+                prob: rng.gen_range(0.05..0.95),
+            }
+        };
+    }
+}

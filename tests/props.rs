@@ -312,3 +312,68 @@ fn pairwise_world_sharing_matches_per_source_vectors() {
         }
     }
 }
+
+/// Satellite property (c): deleting a **certain** (p = 1.0) edge must
+/// invalidate the reliability index's condensation for that component.
+/// The index condenses certain-edge cycles into supernodes at freeze
+/// time; once a delta deletes one of those edges the "certainly
+/// connected" verdict is a lie, so the engine has to refuse the
+/// short-circuit and sample the overlay — matching a full re-freeze.
+#[test]
+fn deleting_a_certain_edge_invalidates_index_condensation() {
+    let mut rng = StdRng::seed_from_u64(111);
+    for trial in 0..24 {
+        let mut g = small_graph(&mut rng, true);
+        // Plant a certain 2-cycle so the index condenses {0, 1}.
+        let (a, b) = (NodeId(0), NodeId(1));
+        for (u, v) in [(a, b), (b, a)] {
+            if g.has_edge(u, v) {
+                g.delete_edge(u, v).unwrap();
+            }
+            g.add_edge(u, v, 1.0).unwrap();
+        }
+        let budget = Budget::fixed(600);
+        let seed = rng.gen::<u64>();
+        let engine = QueryEngine::from_parts(
+            g.freeze(),
+            Some(Arc::new(relmax::ugraph::RelIndex::build(&g.freeze()))),
+            McEstimator::with_budget(budget, seed),
+        );
+        // The condensation serves the certain pair without sampling.
+        assert_eq!(
+            engine.st_shortcircuit(a, b).unwrap(),
+            Some(Estimate::exact(1.0)),
+            "trial {trial}: certain pair should short-circuit"
+        );
+        // Delete one certain edge: the supernode premise is dead, so the
+        // stale verdict must not survive...
+        let updated = engine
+            .apply_delta(&[GraphUpdate::Delete { src: a, dst: b }])
+            .unwrap();
+        assert_eq!(
+            updated.st_shortcircuit(a, b).unwrap(),
+            None,
+            "trial {trial}: stale certain verdict survived the delete"
+        );
+        // ...and the sampled answer matches a from-scratch re-freeze,
+        // full Estimate.
+        g.delete_edge(a, b).unwrap();
+        let oracle =
+            QueryEngine::from_parts(g.freeze(), None, McEstimator::with_budget(budget, seed));
+        assert_eq!(
+            updated.query().st(a, b).run().unwrap(),
+            oracle.query().st(a, b).run().unwrap(),
+            "trial {trial}: overlay != refreeze after certain-edge delete"
+        );
+        // The reverse certain edge (b -> a) still exists, so the exact
+        // solver agrees the sampled direction is now genuinely uncertain
+        // unless some other path keeps it at 1.
+        let exact = st_reliability(&g, a, b, ConditioningBudget::default()).unwrap();
+        let sampled = updated.query().st(a, b).run().unwrap();
+        assert!(
+            (sampled.scalar().unwrap().value - exact).abs() < 0.08,
+            "trial {trial}: sampled={} exact={exact}",
+            sampled.scalar().unwrap().value
+        );
+    }
+}

@@ -627,3 +627,365 @@ fn admission_control_sheds_load_with_503_and_retry_after() {
     );
     assert!(metric(&addr, "rejected_total") >= 1);
 }
+
+// ------------------------------------------------- dynamic graph updates
+
+fn update(addr: &str, body: &str) -> Reply {
+    http(addr, "POST", "/update", Some(body))
+}
+
+fn compact(addr: &str) -> Reply {
+    http(addr, "POST", "/compact", Some(""))
+}
+
+#[test]
+fn update_fault_taxonomy_pins_status_codes_and_leaves_state_untouched() {
+    let dir = scratch("upd-faults");
+    let rgs = ingest_toy(&dir);
+    let srv = Server::spawn(&rgs, &["--threads", "1"], &[]);
+    let addr = &srv.addr;
+
+    // Parse errors: 400 with a line-numbered body.
+    let r = update(addr, "insert 0 1\n");
+    assert_eq!(r.status, 400, "{}", r.body);
+    assert!(
+        r.body.contains("\"line\":1") && r.body.contains("arity"),
+        "{}",
+        r.body
+    );
+    let r = update(addr, "insert 0 1 1.5\n");
+    assert_eq!(r.status, 400);
+    assert!(r.body.contains("[0, 1]"), "{}", r.body);
+    let r = update(addr, "% accuracy 0.1 0.05\nsetp 0 1 0.5\n");
+    assert_eq!(r.status, 400);
+    assert!(r.body.contains("unknown directive"), "{}", r.body);
+    let r = update(addr, "# nothing but comments\n");
+    assert_eq!(r.status, 400);
+    assert!(r.body.contains("no updates"), "{}", r.body);
+
+    // Semantic errors: 422 naming the offending update; the whole batch
+    // is refused even when earlier records were fine.
+    let r = update(addr, "insert 15 0 0.5\ndelete 3 4\n");
+    assert_eq!(r.status, 422, "{}", r.body);
+    assert!(
+        r.body.contains("\"update\":2") && r.body.contains("does not exist"),
+        "{}",
+        r.body
+    );
+    let r = update(addr, "insert 0 1 0.5\n"); // already exists
+    assert_eq!(r.status, 422);
+    let r = update(addr, "setp 0 99 0.5\n"); // node out of bounds
+    assert_eq!(r.status, 422);
+    assert!(r.body.contains("16 nodes"), "{}", r.body);
+    let r = update(addr, "insert 5 5 0.5\n"); // self-loop
+    assert_eq!(r.status, 422);
+
+    // Generation guard: 409 when the compare-and-swap premise is stale.
+    let r = update(addr, "% expect-generation 9\ndelete 0 1\n");
+    assert_eq!(r.status, 409, "{}", r.body);
+    assert!(r.body.contains("generation"), "{}", r.body);
+
+    // Wrong methods.
+    let r = http(addr, "GET", "/update", None);
+    assert_eq!(r.status, 405);
+    assert_eq!(r.header("Allow"), Some("POST"));
+    let r = http(addr, "GET", "/compact", None);
+    assert_eq!(r.status, 405);
+    assert_eq!(r.header("Allow"), Some("POST"));
+
+    // None of the rejected batches installed anything.
+    let h = http(addr, "GET", "/healthz", None);
+    assert_eq!(json_u64(&h.body, "generation"), 1);
+    assert_eq!(json_u64(&h.body, "pending_updates"), 0);
+    assert_eq!(metric(addr, "updates_total"), 0);
+    assert!(metric(addr, "update_failures_total") >= 8);
+
+    // Compacting with nothing pending is a cheap no-op.
+    let r = compact(addr);
+    assert_eq!(r.status, 200, "{}", r.body);
+    assert!(r.body.contains("\"compacted\":false"), "{}", r.body);
+    assert_eq!(json_u64(&r.body, "generation"), 1);
+
+    // A well-formed batch with the right guard goes through.
+    let r = update(
+        addr,
+        "% expect-generation 1\ninsert 15 0 0.5\nsetp 0 1 0.9\n",
+    );
+    assert_eq!(r.status, 200, "{}", r.body);
+    assert_eq!(json_u64(&r.body, "generation"), 2);
+    assert_eq!(json_u64(&r.body, "applied"), 2);
+    assert_eq!(json_u64(&r.body, "pending_updates"), 2);
+    assert_eq!(metric(addr, "updates_total"), 2);
+    let h = http(addr, "GET", "/healthz", None);
+    assert_eq!(json_u64(&h.body, "pending_updates"), 2);
+    // One appended coin per insert and per re-probe: 27 + 2.
+    assert_eq!(json_u64(&h.body, "edges"), 29);
+}
+
+#[test]
+fn overlay_serves_byte_identical_to_refrozen_snapshot_and_across_compaction() {
+    let dir = scratch("upd-identity");
+    let rgs = ingest_toy(&dir);
+    let ups = "insert 3 9 0.35\nsetp 0 1 0.9\ndelete 0 4\n";
+    let upfile = dir.join("ups.txt");
+    std::fs::write(&upfile, ups).unwrap();
+
+    // Refreeze offline with the CLI: the equivalence oracle.
+    let refrozen = dir.join("refrozen.rgs");
+    let st = Command::new(relmax_bin())
+        .arg("update")
+        .arg(&rgs)
+        .args(["--updates"])
+        .arg(&upfile)
+        .arg("-o")
+        .arg(&refrozen)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .status()
+        .expect("relmax update");
+    assert!(st.success());
+
+    let body = "% seed 11\nst 0 15\nfrom 0\nto 15\npairwise 0,1 14,15\nst 3 9\n";
+    let tail = |s: &str| {
+        let i = s.find("\"results\":").expect("results array");
+        s[i..].to_string()
+    };
+
+    // --no-index on both sides so the byte-identity contract covers every
+    // field, sampling effort included (no short-circuits to differ on).
+    for threads in ["1", "4"] {
+        let overlay_srv = Server::spawn(&rgs, &["--threads", threads, "--no-index"], &[]);
+        let r = update(&overlay_srv.addr, ups);
+        assert_eq!(r.status, 200, "{}", r.body);
+        let served = query(&overlay_srv.addr, body);
+        assert_eq!(served.status, 200, "{}", served.body);
+
+        let refrozen_srv = Server::spawn(&refrozen, &["--threads", threads, "--no-index"], &[]);
+        let expect = query(&refrozen_srv.addr, body);
+        assert_eq!(expect.status, 200, "{}", expect.body);
+        assert_eq!(
+            tail(&served.body),
+            tail(&expect.body),
+            "overlay vs refreeze diverged at threads={threads}"
+        );
+
+        // Fold the overlay on the live server: same bytes, new generation,
+        // and the persisted snapshot byte-equals the CLI's refreeze.
+        let c = compact(&overlay_srv.addr);
+        assert_eq!(c.status, 200, "{}", c.body);
+        assert!(c.body.contains("\"compacted\":true"), "{}", c.body);
+        let after = query(&overlay_srv.addr, body);
+        assert_eq!(json_u64(&after.body, "generation"), 3);
+        assert_eq!(
+            tail(&after.body),
+            tail(&served.body),
+            "compaction moved results"
+        );
+        let compacted_file = format!("{}.compacted.rgs", rgs.display());
+        assert_eq!(
+            std::fs::read(&compacted_file).expect("compacted snapshot"),
+            std::fs::read(&refrozen).unwrap(),
+            "server compaction and CLI refreeze wrote different snapshots"
+        );
+    }
+}
+
+#[test]
+fn inflight_queries_stay_pinned_across_update_installs() {
+    let dir = scratch("upd-pin");
+    let rgs = ingest_toy(&dir);
+    // Slow compute: the inflight query holds its pinned snapshot while
+    // the update installs a new generation underneath it.
+    let srv = Server::spawn(
+        &rgs,
+        &["--threads", "1"],
+        &[("RELMAX_SERVE_TEST_SLOW_MS", "400")],
+    );
+    let addr = srv.addr.clone();
+    let body = "% seed 3\nst 0 15\n";
+    let before = query(&addr, body);
+    assert_eq!(before.status, 200, "{}", before.body);
+    assert_eq!(json_u64(&before.body, "generation"), 1);
+
+    let (inflight, upd) = std::thread::scope(|scope| {
+        let q = {
+            let addr = addr.clone();
+            scope.spawn(move || query(&addr, body))
+        };
+        std::thread::sleep(Duration::from_millis(120));
+        // Cut every inbound edge of node 15 while the query is sampling.
+        let u = update(&addr, "delete 7 15\ndelete 11 15\ndelete 14 15\n");
+        (q.join().unwrap(), u)
+    });
+    assert_eq!(upd.status, 200, "{}", upd.body);
+    // The inflight query answered from the pre-update world, bit-identically.
+    assert_eq!(
+        inflight.body, before.body,
+        "inflight query observed the overlay"
+    );
+    // New queries see the overlay: node 15 became unreachable.
+    let after = query(&addr, body);
+    assert_eq!(json_u64(&after.body, "generation"), 2);
+    assert!(after.body.contains("\"reliability\":0,"), "{}", after.body);
+}
+
+#[test]
+fn update_storm_is_monotonic_and_drains_through_compaction() {
+    let dir = scratch("upd-storm");
+    let rgs = ingest_toy(&dir);
+    let srv = Server::spawn(
+        &rgs,
+        &["--threads", "2", "--compact-after", "6"],
+        &[("RELMAX_SERVE_TEST_SLOW_COMPACT_MS", "200")],
+    );
+    let addr = srv.addr.clone();
+
+    // 4 clients x 4 disjoint inserts, racing the background compactor.
+    let lists: [&[&str]; 4] = [
+        &[
+            "insert 15 0 0.5",
+            "insert 15 1 0.5",
+            "insert 15 2 0.5",
+            "insert 15 3 0.5",
+        ],
+        &[
+            "insert 15 4 0.5",
+            "insert 15 5 0.5",
+            "insert 15 6 0.5",
+            "insert 15 7 0.5",
+        ],
+        &[
+            "insert 14 0 0.5",
+            "insert 14 1 0.5",
+            "insert 14 2 0.5",
+            "insert 14 3 0.5",
+        ],
+        &[
+            "insert 13 0 0.5",
+            "insert 13 1 0.5",
+            "insert 13 2 0.5",
+            "insert 13 3 0.5",
+        ],
+    ];
+    let generations = Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for list in lists {
+            let addr = addr.clone();
+            let generations = &generations;
+            scope.spawn(move || {
+                let mut last = 0u64;
+                for u in list {
+                    let r = update(&addr, &format!("{u}\n"));
+                    assert_eq!(r.status, 200, "{}", r.body);
+                    let g = json_u64(&r.body, "generation");
+                    assert!(
+                        g > last,
+                        "client generations must increase: {g} after {last}"
+                    );
+                    last = g;
+                    generations.lock().unwrap().push(g);
+                }
+            });
+        }
+        // Queries keep flowing during the storm and any background folds.
+        let addr2 = addr.clone();
+        scope.spawn(move || {
+            let mut last = 0u64;
+            for _ in 0..10 {
+                let r = query(&addr2, "% seed 5\nst 0 3\nfrom 1\n");
+                assert_eq!(r.status, 200, "{}", r.body);
+                let g = json_u64(&r.body, "generation");
+                assert!(g >= last, "pinned generations went backwards");
+                last = g;
+                // Torn-overlay check: the `from` vector is as long as the
+                // graph the response header claims.
+                let nodes = json_u64(&r.body, "nodes");
+                let values = r.body.rfind("\"values\":[").expect("from values");
+                let end = r.body[values..].find(']').unwrap() + values;
+                let count = r.body[values + 10..end].split(',').count() as u64;
+                assert_eq!(count, nodes, "torn response: {}", r.body);
+            }
+        });
+    });
+
+    // Every accepted batch installed its own distinct generation.
+    let mut gens = generations.into_inner().unwrap();
+    assert_eq!(gens.len(), 16);
+    gens.sort_unstable();
+    gens.dedup();
+    assert_eq!(gens.len(), 16, "two update batches shared a generation");
+
+    // The overlay eventually folds to zero pending updates (manual nudges
+    // may lose install races with the background compactor; that's fine).
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let h = http(&addr, "GET", "/healthz", None);
+        if json_u64(&h.body, "pending_updates") == 0 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "compaction never drained: {}",
+            h.body
+        );
+        let _ = compact(&addr);
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    assert!(metric(&addr, "compactions_total") >= 1);
+
+    // All 16 inserted coins survived the folds and the new edges serve.
+    let h = http(&addr, "GET", "/healthz", None);
+    assert_eq!(json_u64(&h.body, "edges"), 27 + 16);
+    let r = query(&addr, "st 13 3\n");
+    assert_eq!(r.status, 200, "{}", r.body);
+    assert!(!r.body.contains("\"reliability\":0,"), "{}", r.body);
+}
+
+#[test]
+fn compaction_runs_off_the_query_path() {
+    let dir = scratch("upd-nonblock");
+    let rgs = ingest_toy(&dir);
+    let srv = Server::spawn(
+        &rgs,
+        &["--threads", "2"],
+        &[("RELMAX_SERVE_TEST_SLOW_COMPACT_MS", "900")],
+    );
+    let addr = srv.addr.clone();
+    let r = update(&addr, "insert 15 0 0.5\n");
+    assert_eq!(r.status, 200, "{}", r.body);
+    let before = query(&addr, "% seed 4\nst 0 15\n");
+    assert_eq!(before.status, 200, "{}", before.body);
+    assert_eq!(json_u64(&before.body, "generation"), 2);
+
+    std::thread::scope(|scope| {
+        let c = {
+            let addr = addr.clone();
+            scope.spawn(move || compact(&addr))
+        };
+        std::thread::sleep(Duration::from_millis(200));
+        // The slow fold is in flight; queries must not wait behind it.
+        let t0 = std::time::Instant::now();
+        let during = query(&addr, "% seed 4\nst 0 15\n");
+        let elapsed = t0.elapsed();
+        assert_eq!(during.status, 200, "{}", during.body);
+        assert_eq!(json_u64(&during.body, "generation"), 2);
+        assert_eq!(during.body, before.body, "mid-compaction query moved");
+        assert!(
+            elapsed < Duration::from_millis(600),
+            "query blocked behind compaction: {elapsed:?}"
+        );
+        let c = c.join().unwrap();
+        assert_eq!(c.status, 200, "{}", c.body);
+        assert!(c.body.contains("\"compacted\":true"), "{}", c.body);
+    });
+
+    // After the swap: same results, new generation.
+    let after = query(&addr, "% seed 4\nst 0 15\n");
+    assert_eq!(json_u64(&after.body, "generation"), 3);
+    let tail = |s: &str| s[s.find("\"results\":").unwrap()..].to_string();
+    assert_eq!(
+        tail(&after.body),
+        tail(&before.body),
+        "compaction moved results"
+    );
+}
