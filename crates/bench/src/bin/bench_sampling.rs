@@ -85,6 +85,25 @@ fn main() {
         a.bit_identical_across_threads,
     );
 
+    let m = &bench.mmap;
+    eprintln!(
+        "  mmap ({} nodes, {} edges, {} snapshot bytes, mapped: {}): load heap {:.2?} / mmap {:.2?} / trusted {:.2?}, {} queries x {} worlds heap {:.2?} / mmap {:.2?}, resident heap {} / mmap {}, bit-identical: {}",
+        m.nodes,
+        m.edges,
+        m.snapshot_bytes,
+        m.mapped,
+        std::time::Duration::from_secs_f64(m.heap_load_s),
+        std::time::Duration::from_secs_f64(m.mmap_load_s),
+        std::time::Duration::from_secs_f64(m.trusted_load_s),
+        m.queries,
+        m.samples,
+        std::time::Duration::from_secs_f64(m.heap_query_s),
+        std::time::Duration::from_secs_f64(m.mmap_query_s),
+        m.heap_resident_bytes,
+        m.mmap_resident_bytes,
+        m.bit_identical,
+    );
+
     let json = bench.to_json();
     print!("{json}");
     if let Err(e) = std::fs::write(&out_path, &json) {
@@ -128,6 +147,23 @@ fn main() {
         bench.index.workloads.iter().all(|c| c.bit_identical),
         "index routing changed a reliability value"
     );
+    // The zero-copy path must never change an estimate, at any scale; on
+    // linux it must also actually engage (every column borrowed from the
+    // mapped region, nothing re-heapified behind our back).
+    assert!(
+        bench.mmap.bit_identical,
+        "mapped snapshot produced different estimates than the heap load"
+    );
+    // (`resident_bytes` counts the struct header itself, so "fully
+    // borrowed" shows up as a few hundred bytes, not zero.)
+    if cfg!(target_os = "linux") {
+        assert!(
+            bench.mmap.mapped
+                && bench.mmap.mmap_resident_bytes * 100 <= bench.mmap.heap_resident_bytes,
+            "zero-copy load did not engage on linux: {:?}",
+            bench.mmap
+        );
+    }
     if !smoke {
         assert!(
             bench.geomean_speedup() >= 2.0,

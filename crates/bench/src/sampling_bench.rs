@@ -16,7 +16,9 @@ use relmax_gen::queries::st_queries;
 use relmax_gen::synth;
 use relmax_sampling::legacy::DynMcEstimator;
 use relmax_sampling::{packed, Budget, Estimator, Kernel, McEstimator, ParallelRuntime};
-use relmax_ugraph::{CsrGraph, ExtraEdge, GraphView, NodeId, RelIndex, UncertainGraph};
+use relmax_ugraph::{
+    edgelist, snapshot, CsrGraph, ExtraEdge, GraphView, NodeId, RelIndex, UncertainGraph,
+};
 use std::sync::Arc;
 
 /// One measured comparison: the same estimate computed both ways.
@@ -174,6 +176,48 @@ pub struct IndexScenario {
     pub workloads: Vec<IndexComparison>,
 }
 
+/// The `mmap` scenario: the zero-copy snapshot path versus the heap
+/// loader — one `.rgs` file built through the full gen → streaming
+/// ingest → save pipeline, opened both ways, identical query batch
+/// against each.
+#[derive(Debug, Clone)]
+pub struct MmapScenario {
+    /// Nodes in the ring-chords scenario graph.
+    pub nodes: usize,
+    /// Edges (coins) in the scenario graph.
+    pub edges: usize,
+    /// On-disk size of the v3 snapshot.
+    pub snapshot_bytes: u64,
+    /// Whether `map_full` actually produced a zero-copy graph (false on
+    /// platforms without the raw-mmap path, where it falls back to a
+    /// buffered read).
+    pub mapped: bool,
+    /// Seconds to load via the heap path (`load_full`).
+    pub heap_load_s: f64,
+    /// Seconds to open via the validated zero-copy map (`map_full`).
+    pub mmap_load_s: f64,
+    /// Seconds to open via the trusted map (`map_full_trusted`: geometry
+    /// checks only, no checksum rehash — the serve-reload path).
+    pub trusted_load_s: f64,
+    /// s-t queries in the timed batch.
+    pub queries: usize,
+    /// Sampled worlds per query.
+    pub samples: usize,
+    /// Seconds for the batch against the heap-loaded graph.
+    pub heap_query_s: f64,
+    /// Seconds for the same batch against the mapped graph.
+    pub mmap_query_s: f64,
+    /// Whether every estimate matched bit for bit across the two loads.
+    pub bit_identical: bool,
+    /// Heap bytes owned by the heap-loaded graph's columns.
+    pub heap_resident_bytes: usize,
+    /// Heap bytes owned by the mapped graph's columns (0 when fully
+    /// zero-copy: every column borrows the mapped region).
+    pub mmap_resident_bytes: usize,
+    /// Process peak RSS (`VmHWM`) after the scenario, if measurable.
+    pub peak_rss_bytes: Option<u64>,
+}
+
 /// Full result of one benchmark run.
 #[derive(Debug, Clone)]
 pub struct SamplingBench {
@@ -191,6 +235,8 @@ pub struct SamplingBench {
     pub index: IndexScenario,
     /// Accuracy-budget adaptive stopping versus the fixed budget.
     pub adaptive: AdaptiveScenario,
+    /// Zero-copy snapshot loading versus the heap path.
+    pub mmap: MmapScenario,
     /// End-to-end BE pipeline seconds (elimination + selection), and the
     /// measured reliability gain, on a smaller proxy workload.
     pub be_pipeline_s: f64,
@@ -293,6 +339,27 @@ impl SamplingBench {
             a.adaptive_total,
             a.savings(),
             a.bit_identical_across_threads,
+        ));
+        let m = &self.mmap;
+        out.push_str(&format!(
+            "  \"mmap\": {{\"graph\": {{\"nodes\": {}, \"edges\": {}}}, \"snapshot_bytes\": {}, \"mapped\": {}, \"heap_load_s\": {:.6}, \"mmap_load_s\": {:.6}, \"trusted_load_s\": {:.6}, \"queries\": {}, \"samples\": {}, \"heap_query_s\": {:.6}, \"mmap_query_s\": {:.6}, \"bit_identical\": {}, \"heap_resident_bytes\": {}, \"mmap_resident_bytes\": {}, \"peak_rss_bytes\": {}}},\n",
+            m.nodes,
+            m.edges,
+            m.snapshot_bytes,
+            m.mapped,
+            m.heap_load_s,
+            m.mmap_load_s,
+            m.trusted_load_s,
+            m.queries,
+            m.samples,
+            m.heap_query_s,
+            m.mmap_query_s,
+            m.bit_identical,
+            m.heap_resident_bytes,
+            m.mmap_resident_bytes,
+            m.peak_rss_bytes
+                .map(|b| b.to_string())
+                .unwrap_or_else(|| "null".to_string()),
         ));
         out.push_str(&format!(
             "  \"be_pipeline\": {{\"seconds\": {:.6}, \"mean_gain\": {:.4}}}\n",
@@ -556,6 +623,93 @@ fn compare_indexed(
     }
 }
 
+/// Measure the zero-copy snapshot path against the heap loader.
+///
+/// Builds a ring-chords instance through the full storage pipeline
+/// (streamed text edge list → streaming two-pass freeze → v3 `.rgs`),
+/// then opens the snapshot three ways — heap `load_full`, validated
+/// `map_full`, trusted `map_full_trusted` — and runs an identical
+/// fixed-budget s-t batch against the heap and mapped graphs. The
+/// estimates must match bit for bit; the resident-bytes split shows
+/// what zero-copy actually keeps off the heap.
+pub fn run_mmap_scenario(smoke: bool) -> MmapScenario {
+    let (n, k, queries, samples) = if smoke {
+        (20_000, 8, 4, 64)
+    } else {
+        (500_000, 10, 8, 64)
+    };
+    let rc = synth::RingChords::new(n, k, 0x9a75);
+    let dir = std::env::temp_dir();
+    let pid = std::process::id();
+    let tsv = dir.join(format!("relmax-bench-mmap-{pid}.tsv"));
+    let rgs = dir.join(format!("relmax-bench-mmap-{pid}.rgs"));
+
+    {
+        let f = std::fs::File::create(&tsv).expect("create bench edge list");
+        rc.write_text(std::io::BufWriter::new(f))
+            .expect("write bench edge list");
+    }
+    let opts = edgelist::EdgeListOptions::default();
+    let (frozen, _) = edgelist::freeze_path(&tsv, &opts).expect("streaming freeze");
+    snapshot::save(&frozen, &rgs).expect("save snapshot");
+    drop(frozen);
+    let snapshot_bytes = std::fs::metadata(&rgs).map(|m| m.len()).unwrap_or(0);
+
+    let (heap_loaded, heap_load_s) = timed(|| snapshot::load_full(&rgs).expect("heap load"));
+    let (mapped_loaded, mmap_load_s) = timed(|| snapshot::map_full(&rgs).expect("mmap load"));
+    let (_trusted, trusted_load_s) =
+        timed(|| snapshot::map_full_trusted(&rgs).expect("trusted load"));
+    let (heap, _) = heap_loaded;
+    let (mapped, _) = mapped_loaded;
+
+    let budget = Budget::fixed(samples);
+    let est = McEstimator::with_budget(budget, 0x5eed).with_kernel(Kernel::Packed);
+    let pairs: Vec<(NodeId, NodeId)> = (0..queries)
+        .map(|i| {
+            let s = i * n / queries;
+            (NodeId(s as u32), NodeId(((s + n / 2) % n) as u32))
+        })
+        .collect();
+
+    // Warm both graphs (fault the mapped pages in) before timing.
+    let _ = est.st_estimate(&heap, pairs[0].0, pairs[0].1, budget);
+    let _ = est.st_estimate(&mapped, pairs[0].0, pairs[0].1, budget);
+
+    let (heap_vals, heap_query_s) = timed(|| {
+        pairs
+            .iter()
+            .map(|&(s, t)| est.st_estimate(&heap, s, t, budget))
+            .collect::<Vec<_>>()
+    });
+    let (mmap_vals, mmap_query_s) = timed(|| {
+        pairs
+            .iter()
+            .map(|&(s, t)| est.st_estimate(&mapped, s, t, budget))
+            .collect::<Vec<_>>()
+    });
+
+    let scenario = MmapScenario {
+        nodes: n,
+        edges: rc.num_edges(),
+        snapshot_bytes,
+        mapped: mapped.is_zero_copy(),
+        heap_load_s,
+        mmap_load_s,
+        trusted_load_s,
+        queries,
+        samples,
+        heap_query_s,
+        mmap_query_s,
+        bit_identical: heap_vals == mmap_vals,
+        heap_resident_bytes: heap.resident_bytes(),
+        mmap_resident_bytes: mapped.resident_bytes(),
+        peak_rss_bytes: crate::mem::vm_hwm_bytes(),
+    };
+    let _ = std::fs::remove_file(&tsv);
+    let _ = std::fs::remove_file(&rgs);
+    scenario
+}
+
 /// The synthetic benchmark graph: Watts–Strogatz with ≥ `edges_floor`
 /// edges and uniform probabilities — dense enough that sampled-world BFS
 /// actually walks the graph, sparse enough to finish quickly.
@@ -677,6 +831,7 @@ pub fn run(samples: usize, pipeline_queries: usize, packed_smoke: bool) -> Sampl
 
     let packed = run_packed_scenario(packed_smoke);
     let index = run_index_scenario(packed_smoke);
+    let mmap = run_mmap_scenario(packed_smoke);
 
     let (be_pipeline_s, be_gain) = if pipeline_queries > 0 {
         bench_be_pipeline(pipeline_queries)
@@ -692,6 +847,7 @@ pub fn run(samples: usize, pipeline_queries: usize, packed_smoke: bool) -> Sampl
         packed,
         index,
         adaptive,
+        mmap,
         be_pipeline_s,
         be_gain,
     }

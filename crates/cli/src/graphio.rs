@@ -80,7 +80,9 @@ pub fn load(path: &str, text_opts: &EdgeListOptions) -> Result<LoadedGraph, CliE
         n
     };
     if snapshot::is_snapshot(&head[..read]) {
-        let (csr, section) = snapshot::load_full(p).map_err(|e| run_err(format!("{path}: {e}")))?;
+        // Zero-copy mapped load by default (RELMAX_MMAP=off opts out):
+        // v3 snapshots borrow their columns straight from the page cache.
+        let (csr, section) = snapshot::open_full(p).map_err(|e| run_err(format!("{path}: {e}")))?;
         Ok(LoadedGraph::Snapshot(Box::new(csr), section))
     } else {
         let g = edgelist::parse_file(p, text_opts).map_err(|e| run_err(format!("{path}: {e}")))?;

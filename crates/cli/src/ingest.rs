@@ -1,4 +1,8 @@
 //! `relmax ingest` — edge list in, validated `.rgs` snapshot out.
+//!
+//! Uses the streaming two-pass freezer, so multi-GB edge lists are
+//! ingested with transient memory proportional to the node count (plus a
+//! duplicate-edge set), never buffering the full record list.
 
 use crate::opts::{self, CliError};
 use relmax_ugraph::edgelist::{self, EdgeListOptions};
@@ -8,6 +12,7 @@ use relmax_ugraph::{snapshot, ProbGraph};
 pub fn run(args: &[String]) -> Result<(), CliError> {
     let mut input: Option<String> = None;
     let mut out: Option<String> = None;
+    let mut verbose = false;
     let mut text_opts = EdgeListOptions::default();
 
     let mut it = args.iter();
@@ -16,6 +21,7 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
             "-o" | "--out" => out = Some(opts::take_value(&mut it, a)?),
             "--undirected" => text_opts.directed = false,
             "--nodes" => text_opts.nodes = Some(opts::take_parsed(&mut it, a)?),
+            "-v" | "--verbose" => verbose = true,
             other => opts::positional(&mut input, other, "input edge list")?,
         }
     }
@@ -23,9 +29,8 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
     let out = opts::required(out, "`-o <OUT.rgs>` output path")?;
 
     let started = std::time::Instant::now();
-    let g = edgelist::parse_file(&input, &text_opts)
+    let (csr, stats) = edgelist::freeze_path(&input, &text_opts)
         .map_err(|e| opts::run_err(format!("{input}: {e}")))?;
-    let csr = g.freeze();
     snapshot::save(&csr, &out).map_err(|e| opts::run_err(format!("{out}: {e}")))?;
 
     let bytes = std::fs::metadata(&out).map(|m| m.len()).unwrap_or(0);
@@ -40,6 +45,13 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
         },
         csr.num_arcs(),
     );
+    if verbose {
+        eprintln!(
+            "peak streaming buffers: {} bytes (degree tallies / cursors + dedup set; \
+             final snapshot arrays excluded)",
+            stats.peak_transient_bytes
+        );
+    }
     eprintln!("ingest took {:.3}s", started.elapsed().as_secs_f64());
     Ok(())
 }

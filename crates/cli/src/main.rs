@@ -1,11 +1,13 @@
 //! `relmax` — the command-line front end of the workspace.
 //!
-//! Three subcommands turn the library into a runnable system:
+//! The subcommands turn the library into a runnable system:
 //!
-//! - `relmax ingest`  — parse a text edge list, freeze it, write a `.rgs`
-//!   binary snapshot;
+//! - `relmax gen`     — write a deterministic synthetic edge list
+//!   (ring-chords family) with O(1) memory at any scale;
+//! - `relmax ingest`  — parse a text edge list (streaming, bounded
+//!   memory), freeze it, write a `.rgs` binary snapshot;
 //! - `relmax index`   — build the freeze-time reliability index and write
-//!   a format-v2 `.rgs` snapshot with the index section embedded;
+//!   a `.rgs` snapshot with the index section embedded;
 //! - `relmax query`   — serve a batch of `st`/`from`/`to` reliability
 //!   queries (from a query file or generated on the fly) against a
 //!   snapshot or edge list, sharded over the deterministic parallel
@@ -27,6 +29,7 @@
 //! `docs/cli.md` for a worked walkthrough and `docs/formats.md` for the
 //! file formats.
 
+mod gen;
 mod graphio;
 mod index;
 mod ingest;
@@ -49,8 +52,14 @@ USAGE:
     relmax <COMMAND> [ARGS]
 
 COMMANDS:
+    gen --nodes N -o <OUT.tsv>    write a deterministic ring-chords edge
+                                  list (--degree K, --seed S); streams with
+                                  O(1) memory at any scale
     ingest <EDGES> -o <OUT.rgs>   parse + validate an edge list, freeze it,
                                   write a versioned binary snapshot
+                                  (streaming two-pass: transient memory is
+                                  O(nodes), never the full record list;
+                                  -v/--verbose reports peak buffer bytes)
     index  <GRAPH> -o <OUT.rgs>   build the reliability index (certain-edge
                                   condensation + component decomposition)
                                   and write a snapshot with it embedded
@@ -156,6 +165,7 @@ fn main() -> ExitCode {
     };
     let rest = &args[1..];
     let result = match cmd.as_str() {
+        "gen" => gen::run(rest),
         "ingest" => ingest::run(rest),
         "index" => index::run(rest),
         "query" => query::run(rest),
@@ -167,7 +177,7 @@ fn main() -> ExitCode {
             return ExitCode::SUCCESS;
         }
         other => Err(opts::CliError::Usage(format!(
-            "unknown command {other:?} (expected ingest, index, query, update, select, serve, or help)"
+            "unknown command {other:?} (expected gen, ingest, index, query, update, select, serve, or help)"
         ))),
     };
     match result {

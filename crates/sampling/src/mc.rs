@@ -463,11 +463,27 @@ impl Estimator for McEstimator {
         budget: Budget,
     ) -> Vec<Vec<Estimate>> {
         if let Some(idx) = self.active_index(g) {
-            if !idx.is_identity() {
+            let partitioned = idx.num_components() > 1;
+            if !idx.is_identity() || partitioned {
                 // Remap endpoints to supernodes; every world's verdict for
                 // (s, t) equals the condensed verdict for their supernodes.
                 let ss: Vec<NodeId> = sources.iter().map(|&s| idx.supernode(s)).collect();
                 let tt: Vec<NodeId> = targets.iter().map(|&t| idx.supernode(t)).collect();
+                if partitioned {
+                    // Partition the query matrix by possible-graph
+                    // component: a world's BFS never crosses a component
+                    // boundary, so cross-component cells are 0 in every
+                    // world and each component group samples only its own
+                    // (sources × targets) sub-matrix.
+                    let groups = component_groups(idx, sources, targets);
+                    return self.pairwise_sampled_partitioned(
+                        idx.condensed(),
+                        &ss,
+                        &tt,
+                        &groups,
+                        budget,
+                    );
+                }
                 return self.pairwise_sampled(idx.condensed(), &ss, &tt, budget);
             }
         }
@@ -619,6 +635,75 @@ impl McEstimator {
             .collect()
     }
 
+    /// [`McEstimator::pairwise_sampled`], partitioned by graph component.
+    ///
+    /// `groups` lists, per component, the indices into `sources` /
+    /// `targets` that live there (components missing either side are
+    /// dropped by [`component_groups`]). The runtime fans out
+    /// `(component group × sample shard)` work items, so components
+    /// parallelize *in addition to* sample sharding; each work item walks
+    /// only its component's sub-matrix.
+    ///
+    /// Bit-identical to the unpartitioned call on the same graph: coin
+    /// flips are stateless (`(seed, sample, coin)`-keyed), so a group's
+    /// counts equal the corresponding cells of the full matrix, and the
+    /// cells this method never touches are exactly those an unpartitioned
+    /// BFS can never hit (cross-component pairs: 0 in every world). The
+    /// adaptive-stopping half-width folds over the full matrix — zeros
+    /// included — so checkpoint decisions match too.
+    fn pairwise_sampled_partitioned<G: ProbGraph>(
+        &self,
+        g: &G,
+        sources: &[NodeId],
+        targets: &[NodeId],
+        groups: &[(Vec<u32>, Vec<u32>)],
+        budget: Budget,
+    ) -> Vec<Vec<Estimate>> {
+        budget.assert_valid();
+        let gsrc: Vec<Vec<NodeId>> = groups
+            .iter()
+            .map(|(si, _)| si.iter().map(|&i| sources[i as usize]).collect())
+            .collect();
+        let gtgt: Vec<Vec<NodeId>> = groups
+            .iter()
+            .map(|(_, ti)| ti.iter().map(|&j| targets[j as usize]).collect())
+            .collect();
+        let mut counts = vec![vec![0u64; targets.len()]; sources.len()];
+        let extend = |lo: u64, hi: u64, counts: &mut Vec<Vec<u64>>| {
+            self.runtime.run_partitioned_sample_range(
+                groups.len(),
+                lo,
+                hi,
+                |gi, l, h| match self.kernel {
+                    Kernel::Packed => {
+                        packed::pairwise_counts(g, self.seed, &gsrc[gi], &gtgt[gi], l, h)
+                    }
+                    Kernel::Scalar => self.pairwise_counts(g, &gsrc[gi], &gtgt[gi], l, h),
+                },
+                |gi, local| {
+                    let (si, ti) = &groups[gi];
+                    for (&r, lrow) in si.iter().zip(local) {
+                        for (&c, l) in ti.iter().zip(lrow) {
+                            counts[r as usize][c as usize] += l;
+                        }
+                    }
+                },
+            );
+        };
+        let (z, delta, stopped) = drive_budget(budget, |lo, hi, delta| {
+            extend(lo, hi, &mut counts);
+            worst_bernoulli_half_width(counts.iter().flatten().copied(), hi, delta)
+        });
+        counts
+            .into_iter()
+            .map(|row| {
+                row.into_iter()
+                    .map(|c| Estimate::from_hits(c, z, delta, stopped))
+                    .collect()
+            })
+            .collect()
+    }
+
     fn scan_sampled<G: ProbGraph>(
         &self,
         g: &G,
@@ -656,6 +741,37 @@ impl McEstimator {
             .map(|c| Estimate::from_hits(c, z, delta, stopped))
             .collect()
     }
+}
+
+/// Group query-matrix indices by possible-graph component: one
+/// `(source indices, target indices)` entry per component that has **both**
+/// sides present, in first-encounter order (sources scanned before
+/// targets), so the grouping is deterministic. Components with only
+/// sources or only targets contribute nothing — every cell they touch is
+/// cross-component, i.e. 0 in every possible world.
+fn component_groups(
+    idx: &RelIndex,
+    sources: &[NodeId],
+    targets: &[NodeId],
+) -> Vec<(Vec<u32>, Vec<u32>)> {
+    let mut slot: std::collections::HashMap<u32, usize> = std::collections::HashMap::new();
+    let mut groups: Vec<(Vec<u32>, Vec<u32>)> = Vec::new();
+    let mut group_of = |c: u32, groups: &mut Vec<(Vec<u32>, Vec<u32>)>| {
+        *slot.entry(c).or_insert_with(|| {
+            groups.push((Vec::new(), Vec::new()));
+            groups.len() - 1
+        })
+    };
+    for (i, &s) in sources.iter().enumerate() {
+        let gi = group_of(idx.component(s), &mut groups);
+        groups[gi].0.push(i as u32);
+    }
+    for (j, &t) in targets.iter().enumerate() {
+        let gi = group_of(idx.component(t), &mut groups);
+        groups[gi].1.push(j as u32);
+    }
+    groups.retain(|(si, ti)| !si.is_empty() && !ti.is_empty());
+    groups
 }
 
 #[cfg(test)]
@@ -1158,6 +1274,63 @@ mod tests {
         // Directed dead ends inside one weak component short-circuit too.
         let est = mc.st_estimate(&csr, NodeId(1), NodeId(0), Budget::fixed(10_000));
         assert_eq!((est.value, est.samples_used), (0.0, 0));
+    }
+
+    #[test]
+    fn partitioned_pairwise_bit_identical_across_kernels_and_threads() {
+        // Three possible-graph components: {0, 1, 2} (certain 2-cycle, so
+        // condensation is non-trivial), {3, 4}, and isolated {5}. Sources
+        // and targets are spread across all three, so the partitioned
+        // path has multiple real groups *and* cross-component zero cells.
+        let mut g = UncertainGraph::new(6, true);
+        g.add_edge(NodeId(0), NodeId(1), 1.0).unwrap();
+        g.add_edge(NodeId(1), NodeId(0), 1.0).unwrap();
+        g.add_edge(NodeId(1), NodeId(2), 0.6).unwrap();
+        g.add_edge(NodeId(3), NodeId(4), 0.7).unwrap();
+        g.add_edge(NodeId(4), NodeId(3), 0.2).unwrap();
+        let csr = g.freeze();
+        let sources = [NodeId(0), NodeId(3), NodeId(5), NodeId(2)];
+        let targets = [NodeId(2), NodeId(4), NodeId(0), NodeId(5), NodeId(3)];
+        for budget in [
+            Budget::fixed(2_048),
+            Budget::accuracy_capped(0.05, 0.05, 4096),
+        ] {
+            // Index-free serial scalar sampling is the reference.
+            let reference = McEstimator::new(2_048, 13)
+                .with_kernel(Kernel::Scalar)
+                .pairwise_estimates(&csr, &sources, &targets, budget);
+            for threads in [1, 4] {
+                for kernel in [Kernel::Scalar, Kernel::Packed] {
+                    let mc = indexed(
+                        &McEstimator::with_threads(2_048, 13, threads).with_kernel(kernel),
+                        &csr,
+                    );
+                    let got = mc.pairwise_estimates(&csr, &sources, &targets, budget);
+                    assert_eq!(got, reference, "threads={threads} kernel={kernel:?}");
+                }
+            }
+            // Cross-component cells are exact zeros (never sampled).
+            assert_eq!(reference[0][1].value, 0.0); // comp A -> comp B
+            assert_eq!(reference[2][0].value, 0.0); // isolated 5 -> comp A
+        }
+    }
+
+    #[test]
+    fn component_groups_partition_by_side_presence() {
+        let mut g = UncertainGraph::new(5, true);
+        g.add_edge(NodeId(0), NodeId(1), 0.5).unwrap();
+        g.add_edge(NodeId(2), NodeId(3), 0.5).unwrap();
+        // Node 4 isolated: a component with a source but no target.
+        let csr = g.freeze();
+        let idx = RelIndex::build(&csr);
+        let groups = component_groups(
+            &idx,
+            &[NodeId(0), NodeId(4), NodeId(2)],
+            &[NodeId(3), NodeId(1)],
+        );
+        // {0,1} has source 0 / target 1; {2,3} has source 2 / target 3;
+        // {4} is dropped (no targets there).
+        assert_eq!(groups, vec![(vec![0], vec![1]), (vec![2], vec![0])]);
     }
 
     #[test]

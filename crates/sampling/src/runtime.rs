@@ -201,6 +201,49 @@ impl ParallelRuntime {
         });
     }
 
+    /// Two-dimensional sharding: fan `(partition group × sample shard)`
+    /// work items across the workers.
+    ///
+    /// The sample range `lo..hi` is tiled into the same contiguous,
+    /// 64-world-aligned shards as [`ParallelRuntime::run_sample_range`],
+    /// and `work(group, shard_lo, shard_hi)` runs once per (group, shard)
+    /// pair. Items are claimed dynamically (partition groups can differ
+    /// wildly in cost), but `merge(group, result)` always sees results in
+    /// group-major, ascending-shard order regardless of scheduling — the
+    /// same determinism contract as the one-dimensional runners.
+    ///
+    /// This is what lets a caller that has partitioned its work by graph
+    /// component keep *both* axes of parallelism: with fewer groups than
+    /// workers the sample shards still spread the load, and with many
+    /// groups a short sample range still balances.
+    pub fn run_partitioned_sample_range<T: Send>(
+        &self,
+        groups: usize,
+        lo: u64,
+        hi: u64,
+        work: impl Fn(usize, u64, u64) -> T + Sync,
+        mut merge: impl FnMut(usize, T),
+    ) {
+        if lo >= hi || groups == 0 {
+            return;
+        }
+        let z = hi - lo;
+        let workers = self.threads.min(z as usize).max(1);
+        let chunk = z.div_ceil(workers as u64).next_multiple_of(64).min(z);
+        let shards: Vec<(u64, u64)> = (0u64..)
+            .map(|k| (lo + k * chunk, (lo + (k + 1) * chunk).min(hi)))
+            .take_while(|&(slo, shi)| slo < shi)
+            .collect();
+        let per_group = shards.len();
+        let results = self.map(groups * per_group, |i| {
+            let (slo, shi) = shards[i % per_group];
+            work(i / per_group, slo, shi)
+        });
+        for (i, r) in results.into_iter().enumerate() {
+            merge(i / per_group, r);
+        }
+    }
+
     /// Evaluate `f(0), f(1), …, f(len - 1)` across the workers and return
     /// the results **in index order**.
     ///
@@ -320,6 +363,44 @@ mod tests {
             assert_eq!(next, 137);
             // Empty range: work never runs.
             rt.run_sample_range(5, 5, |_, _| panic!("empty range"), |_: ()| {});
+        }
+    }
+
+    #[test]
+    fn partitioned_range_tiles_every_group_in_order() {
+        for threads in [1, 2, 3, 8] {
+            let rt = ParallelRuntime::new(threads);
+            let mut seen: Vec<(usize, u64, u64)> = Vec::new();
+            rt.run_partitioned_sample_range(
+                3,
+                100,
+                357,
+                |g, lo, hi| (g, lo, hi),
+                |g, (wg, lo, hi)| {
+                    assert_eq!(g, wg);
+                    seen.push((g, lo, hi));
+                },
+            );
+            // Group-major, each group tiling 100..357 in ascending order,
+            // with identical shard boundaries across groups.
+            let shards: Vec<(u64, u64)> = seen
+                .iter()
+                .filter(|&&(g, _, _)| g == 0)
+                .map(|&(_, lo, hi)| (lo, hi))
+                .collect();
+            let mut next = 100;
+            for &(lo, hi) in &shards {
+                assert_eq!(lo, next);
+                next = hi;
+            }
+            assert_eq!(next, 357);
+            let expect: Vec<(usize, u64, u64)> = (0..3)
+                .flat_map(|g| shards.iter().map(move |&(lo, hi)| (g, lo, hi)))
+                .collect();
+            assert_eq!(seen, expect);
+            // Degenerate inputs: no groups or an empty range run nothing.
+            rt.run_partitioned_sample_range(0, 0, 10, |_, _, _| panic!(), |_, _: ()| {});
+            rt.run_partitioned_sample_range(3, 5, 5, |_, _, _| panic!(), |_, _: ()| {});
         }
     }
 

@@ -451,8 +451,10 @@ fn update(state: &Arc<ServerState>, body: &[u8]) -> Response {
 
 /// Fold the pending overlay into a fresh delta-free snapshot: re-freeze
 /// through the overlay (bit-identical to freezing the updated graph from
-/// scratch), rebuild the index if one is serving, persist a format-v2
-/// `.rgs` next to the source file, and CAS-install the result.
+/// scratch), rebuild the index if one is serving, persist a current-format
+/// `.rgs` next to the source file, and CAS-install the result — reopened
+/// through the trusted zero-copy map, so the new generation serves from
+/// the page cache.
 ///
 /// Runs on the calling IO thread (`POST /compact`) or a detached
 /// background thread (the `--compact-after` trigger) — never on the
@@ -492,11 +494,20 @@ fn compact_now(state: &ServerState) -> Response {
         Metrics::add(&state.metrics.compaction_failures_total, 1);
         return Response::json(500, json::error(&format!("{out_path}: {e}")));
     }
+    // Install the generation through the trusted zero-copy path over the
+    // file just written: the swapped-in columns live in the page cache
+    // instead of keeping a second heap copy alive, and the geometry
+    // re-validation catches torn writes. The heap copy is the (bit-
+    // identical) fallback if mapping is disabled or fails.
+    let csr = match snapshot::open_full_trusted(&out_path) {
+        Ok((mapped, _)) => mapped,
+        Err(_) => csr,
+    };
     let next = Snapshot {
         csr: Arc::new(csr),
         index,
         generation: 0,
-        format_version: 2,
+        format_version: snapshot::FORMAT_VERSION,
         path: out_path.clone(),
         index_stored: section.is_some(),
         delta: None,

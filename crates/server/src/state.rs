@@ -82,7 +82,11 @@ pub fn load_snapshot(path: &str, generation: u64, use_index: bool) -> Result<Sna
         n
     };
     let (csr, section, format_version) = if snapshot::is_snapshot(&head[..read]) {
-        let (csr, section) = snapshot::load_full(p).map_err(|e| format!("{path}: {e}"))?;
+        // Zero-copy mapped load (RELMAX_MMAP=off opts out): reloads of
+        // large snapshots stop doubling resident memory during the swap
+        // window, since the new generation's columns live in the page
+        // cache rather than a second heap copy.
+        let (csr, section) = snapshot::open_full(p).map_err(|e| format!("{path}: {e}"))?;
         let version = snapshot::peek_version(&head[..read]).unwrap_or(0);
         (csr, section, version)
     } else {

@@ -27,6 +27,7 @@
 
 use crate::graph::NodeId;
 use crate::{flip_threshold, Arc, CoinId, FlipArc, ProbGraph};
+use relmax_store::Block;
 use std::fmt;
 
 /// An immutable flat-array snapshot of an uncertain graph.
@@ -46,27 +47,35 @@ use std::fmt;
 /// let arcs: Vec<_> = csr.out_arcs(NodeId(1)).collect();
 /// assert_eq!(arcs, vec![(NodeId(2), 0.8, 1)]);
 /// ```
+/// Every column is a [`Block`]: owned on the heap after a `freeze`, or
+/// borrowed zero-copy from a mapped `.rgs` v3 snapshot (see
+/// `snapshot::map_full`). `Block` derefs to `&[T]`, so the sampling
+/// kernels compile to the same loads either way.
 #[derive(Clone, PartialEq)]
 pub struct CsrGraph {
     pub(crate) directed: bool,
     pub(crate) num_nodes: usize,
     /// `out_off[v]..out_off[v + 1]` indexes `v`'s slice of the arc arrays.
-    pub(crate) out_off: Vec<u32>,
-    pub(crate) out_dst: Vec<u32>,
-    pub(crate) out_prob: Vec<f64>,
-    pub(crate) out_coin: Vec<u32>,
+    pub(crate) out_off: Block<u32>,
+    pub(crate) out_dst: Block<u32>,
+    pub(crate) out_prob: Block<f64>,
+    pub(crate) out_coin: Block<u32>,
     /// Per-arc integer flip thresholds (see [`flip_threshold`]).
-    pub(crate) out_thresh: Vec<u64>,
+    pub(crate) out_thresh: Block<u64>,
     /// Reverse CSR; empty for undirected graphs (out arrays are symmetric).
-    pub(crate) in_off: Vec<u32>,
-    pub(crate) in_dst: Vec<u32>,
-    pub(crate) in_prob: Vec<f64>,
-    pub(crate) in_coin: Vec<u32>,
-    pub(crate) in_thresh: Vec<u64>,
+    pub(crate) in_off: Block<u32>,
+    pub(crate) in_dst: Block<u32>,
+    pub(crate) in_prob: Block<f64>,
+    pub(crate) in_coin: Block<u32>,
+    pub(crate) in_thresh: Block<u64>,
     /// Coin-indexed probability table (`coin_prob[c] = p(c)`).
-    pub(crate) coin_prob: Vec<f64>,
-    /// Coin-indexed endpoints as `(src, dst)`.
-    pub(crate) coin_ends: Vec<(u32, u32)>,
+    pub(crate) coin_prob: Block<f64>,
+    /// Coin-indexed source endpoints (`coin_src[c]` = src of coin `c`).
+    /// Split into two parallel `u32` columns (rather than `(u32, u32)`
+    /// pairs) so each is a fixed-width primitive array that can be
+    /// borrowed directly from a mapped file.
+    pub(crate) coin_src: Block<u32>,
+    pub(crate) coin_dst: Block<u32>,
 }
 
 impl CsrGraph {
@@ -80,11 +89,13 @@ impl CsrGraph {
         let directed = g.is_directed();
 
         let mut coin_prob = vec![0.0f64; m];
-        let mut coin_ends = vec![(0u32, 0u32); m];
+        let mut coin_src = vec![0u32; m];
+        let mut coin_dst = vec![0u32; m];
         for c in 0..m as CoinId {
             coin_prob[c as usize] = g.coin_prob(c);
             let (s, d) = g.coin_endpoints(c);
-            coin_ends[c as usize] = (s.0, d.0);
+            coin_src[c as usize] = s.0;
+            coin_dst[c as usize] = d.0;
         }
 
         let (out_off, out_dst, out_prob, out_coin) = build_side(n, |v| g.out_arcs(v));
@@ -94,23 +105,24 @@ impl CsrGraph {
             (Vec::new(), Vec::new(), Vec::new(), Vec::new())
         };
 
-        let out_thresh = out_prob.iter().map(|&p| flip_threshold(p)).collect();
-        let in_thresh = in_prob.iter().map(|&p| flip_threshold(p)).collect();
+        let out_thresh: Vec<u64> = out_prob.iter().map(|&p| flip_threshold(p)).collect();
+        let in_thresh: Vec<u64> = in_prob.iter().map(|&p| flip_threshold(p)).collect();
         CsrGraph {
             directed,
             num_nodes: n,
-            out_off,
-            out_dst,
-            out_prob,
-            out_coin,
-            out_thresh,
-            in_off,
-            in_dst,
-            in_prob,
-            in_coin,
-            in_thresh,
-            coin_prob,
-            coin_ends,
+            out_off: out_off.into(),
+            out_dst: out_dst.into(),
+            out_prob: out_prob.into(),
+            out_coin: out_coin.into(),
+            out_thresh: out_thresh.into(),
+            in_off: in_off.into(),
+            in_dst: in_dst.into(),
+            in_prob: in_prob.into(),
+            in_coin: in_coin.into(),
+            in_thresh: in_thresh.into(),
+            coin_prob: coin_prob.into(),
+            coin_src: coin_src.into(),
+            coin_dst: coin_dst.into(),
         }
     }
 
@@ -204,26 +216,40 @@ impl CsrGraph {
         let m = self.coin_prob.len();
         let mut g = crate::UncertainGraph::with_capacity(self.num_nodes, self.directed, m);
         for c in 0..m {
-            let (s, d) = self.coin_ends[c];
-            g.add_edge(NodeId(s), NodeId(d), self.coin_prob[c])?;
+            g.add_edge(
+                NodeId(self.coin_src[c]),
+                NodeId(self.coin_dst[c]),
+                self.coin_prob[c],
+            )?;
         }
         Ok(g)
     }
 
-    /// Exact resident bytes of the snapshot arrays.
+    /// Exact resident *heap* bytes of the snapshot arrays. Columns
+    /// borrowed from a mapped snapshot contribute zero here — their pages
+    /// are demand-paged file cache, shared across clones, and accounted
+    /// by the mapping (the whole point of the zero-copy path).
     pub fn resident_bytes(&self) -> usize {
-        use std::mem::size_of;
-        size_of::<Self>()
-            + (self.out_off.capacity() + self.in_off.capacity()) * size_of::<u32>()
-            + (self.out_dst.capacity()
-                + self.out_coin.capacity()
-                + self.in_dst.capacity()
-                + self.in_coin.capacity())
-                * size_of::<u32>()
-            + (self.out_prob.capacity() + self.in_prob.capacity() + self.coin_prob.capacity())
-                * size_of::<f64>()
-            + (self.out_thresh.capacity() + self.in_thresh.capacity()) * size_of::<u64>()
-            + self.coin_ends.capacity() * size_of::<(u32, u32)>()
+        std::mem::size_of::<Self>()
+            + self.out_off.heap_bytes()
+            + self.out_dst.heap_bytes()
+            + self.out_prob.heap_bytes()
+            + self.out_coin.heap_bytes()
+            + self.out_thresh.heap_bytes()
+            + self.in_off.heap_bytes()
+            + self.in_dst.heap_bytes()
+            + self.in_prob.heap_bytes()
+            + self.in_coin.heap_bytes()
+            + self.in_thresh.heap_bytes()
+            + self.coin_prob.heap_bytes()
+            + self.coin_src.heap_bytes()
+            + self.coin_dst.heap_bytes()
+    }
+
+    /// True when the CSR/coin columns are borrowed from a mapped snapshot
+    /// (the zero-copy load path) rather than owned on the heap.
+    pub fn is_zero_copy(&self) -> bool {
+        self.out_dst.is_mapped()
     }
 }
 
@@ -394,8 +420,10 @@ impl ProbGraph for CsrGraph {
 
     #[inline]
     fn coin_endpoints(&self, c: CoinId) -> (NodeId, NodeId) {
-        let (s, d) = self.coin_ends[c as usize];
-        (NodeId(s), NodeId(d))
+        (
+            NodeId(self.coin_src[c as usize]),
+            NodeId(self.coin_dst[c as usize]),
+        )
     }
 }
 

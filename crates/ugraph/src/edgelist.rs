@@ -32,8 +32,11 @@
 //! Every parse error carries its 1-based line number. See
 //! `docs/formats.md` for the format specification.
 
+use crate::csr::CsrGraph;
 use crate::error::GraphError;
+use crate::flip_threshold;
 use crate::graph::{NodeId, UncertainGraph};
+use std::collections::HashSet;
 use std::fmt;
 use std::fs::File;
 use std::io::{self, BufRead, BufReader, Write};
@@ -132,6 +135,60 @@ fn bad(line: usize, reason: impl Into<String>) -> EdgeListError {
 /// One parsed record: `(line number, src, dst, prob)`.
 type Record = (usize, u32, u32, f64);
 
+/// Classify one raw input line: `None` for blanks, comments, and
+/// directives (directives mutate `directed`/`nodes` in place, later ones
+/// overriding earlier), `Some((src, dst, prob))` for an edge record.
+///
+/// This is the single source of truth for line-level **syntax**: both the
+/// all-at-once parser ([`parse_reader`]) and the streaming freezer
+/// ([`freeze_with`]) run every line through it, so the two paths reject
+/// the same inputs with byte-identical messages.
+fn classify(
+    raw: &str,
+    lineno: usize,
+    directed: &mut bool,
+    nodes: &mut Option<usize>,
+) -> Result<Option<(u32, u32, f64)>, EdgeListError> {
+    // Strip trailing comment, then surrounding whitespace.
+    let body = raw.split('#').next().unwrap_or("").trim();
+    if body.is_empty() {
+        return Ok(None);
+    }
+    if let Some(directive) = body.strip_prefix('%') {
+        apply_directive(directive.trim(), lineno, directed, nodes)?;
+        return Ok(None);
+    }
+    let mut fields = body.split_whitespace();
+    let (s, d, p) = match (fields.next(), fields.next(), fields.next(), fields.next()) {
+        (Some(s), Some(d), Some(p), None) => (s, d, p),
+        (_, _, _, Some(extra)) => {
+            return Err(bad(
+                lineno,
+                format!("expected `src dst prob`, found extra field {extra:?}"),
+            ))
+        }
+        _ => {
+            return Err(bad(
+                lineno,
+                format!(
+                    "expected `src dst prob`, found {} field(s)",
+                    body.split_whitespace().count()
+                ),
+            ))
+        }
+    };
+    let src: u32 = s
+        .parse()
+        .map_err(|_| bad(lineno, format!("source {s:?} is not a node id")))?;
+    let dst: u32 = d
+        .parse()
+        .map_err(|_| bad(lineno, format!("destination {d:?} is not a node id")))?;
+    let prob: f64 = p
+        .parse()
+        .map_err(|_| bad(lineno, format!("probability {p:?} is not a number")))?;
+    Ok(Some((src, dst, prob)))
+}
+
 /// Parse an edge list from any buffered reader.
 pub fn parse_reader<R: BufRead>(
     r: R,
@@ -145,45 +202,11 @@ pub fn parse_reader<R: BufRead>(
     for (i, line) in r.lines().enumerate() {
         let lineno = i + 1;
         let line = line?;
-        // Strip trailing comment, then surrounding whitespace.
-        let body = line.split('#').next().unwrap_or("").trim();
-        if body.is_empty() {
-            continue;
+        if let Some((src, dst, prob)) = classify(&line, lineno, &mut directed, &mut declared_nodes)?
+        {
+            max_id = Some(max_id.unwrap_or(0).max(src).max(dst));
+            records.push((lineno, src, dst, prob));
         }
-        if let Some(directive) = body.strip_prefix('%') {
-            apply_directive(directive.trim(), lineno, &mut directed, &mut declared_nodes)?;
-            continue;
-        }
-        let mut fields = body.split_whitespace();
-        let (s, d, p) = match (fields.next(), fields.next(), fields.next(), fields.next()) {
-            (Some(s), Some(d), Some(p), None) => (s, d, p),
-            (_, _, _, Some(extra)) => {
-                return Err(bad(
-                    lineno,
-                    format!("expected `src dst prob`, found extra field {extra:?}"),
-                ))
-            }
-            _ => {
-                return Err(bad(
-                    lineno,
-                    format!(
-                        "expected `src dst prob`, found {} field(s)",
-                        body.split_whitespace().count()
-                    ),
-                ))
-            }
-        };
-        let src: u32 = s
-            .parse()
-            .map_err(|_| bad(lineno, format!("source {s:?} is not a node id")))?;
-        let dst: u32 = d
-            .parse()
-            .map_err(|_| bad(lineno, format!("destination {d:?} is not a node id")))?;
-        let prob: f64 = p
-            .parse()
-            .map_err(|_| bad(lineno, format!("probability {p:?} is not a number")))?;
-        max_id = Some(max_id.unwrap_or(0).max(src).max(dst));
-        records.push((lineno, src, dst, prob));
     }
 
     let n = declared_nodes.unwrap_or_else(|| max_id.map_or(0, |m| m as usize + 1));
@@ -312,6 +335,289 @@ pub fn write_file<P: AsRef<Path>>(g: &UncertainGraph, path: P) -> io::Result<()>
     write_writer(g, io::BufWriter::new(f))
 }
 
+// ---------------------------------------------------------------------------
+// Streaming ingestion: edge list -> CsrGraph without buffering the records
+// ---------------------------------------------------------------------------
+
+/// Statistics from a streaming freeze ([`freeze_path`] / [`freeze_with`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamStats {
+    /// Nodes in the frozen graph.
+    pub nodes: usize,
+    /// Edge records ingested (one coin each).
+    pub edges: usize,
+    /// Final orientation after all directives.
+    pub directed: bool,
+    /// Peak bytes held in *transient* buffers over the whole run: the
+    /// per-role degree tallies in pass 1, then the placement cursors plus
+    /// the duplicate-edge set in pass 2. The final CSR arrays themselves
+    /// (the product) and the reader's line buffer are excluded. The
+    /// duplicate-set term is an estimate: 8-byte key plus one control
+    /// byte per slot at the set's allocated capacity.
+    pub peak_transient_bytes: usize,
+}
+
+/// Grow-on-demand degree tally (node ids are sparse until pass 1 ends).
+fn bump(deg: &mut Vec<u32>, id: u32) {
+    let i = id as usize;
+    if deg.len() <= i {
+        deg.resize(i + 1, 0);
+    }
+    deg[i] += 1;
+}
+
+/// The two passes of a streaming freeze disagreed — the underlying input
+/// was modified between them.
+fn input_changed() -> EdgeListError {
+    EdgeListError::Io(io::Error::new(
+        io::ErrorKind::InvalidData,
+        "edge list changed between streaming passes",
+    ))
+}
+
+/// Freeze an edge-list file straight into a [`CsrGraph`] with bounded
+/// transient memory, bypassing the mutable [`UncertainGraph`] stage.
+///
+/// Equivalent to `CsrGraph::freeze(&parse_file(path, opts)?)` —
+/// bit-identical output (same node count, orientation, coin ids,
+/// adjacency order, probability bits) and the same error on the same
+/// line for any malformed input — but the edge records are never held in
+/// memory at once. Two passes over the file: pass 1 validates syntax and
+/// tallies degrees (`O(n)` transient state), pass 2 re-reads, validates
+/// semantics in [`UncertainGraph::add_edge`] order, and scatters each
+/// record directly into its final CSR slot (`O(n)` cursors plus an
+/// `O(m)` duplicate-edge set, still far below buffering full records).
+///
+/// The file must not change between the passes; if it does, the freeze
+/// fails with an I/O error rather than returning a corrupt graph.
+pub fn freeze_path<P: AsRef<Path>>(
+    path: P,
+    opts: &EdgeListOptions,
+) -> Result<(CsrGraph, StreamStats), EdgeListError> {
+    let path = path.as_ref();
+    freeze_with(|| File::open(path).map(BufReader::new), opts)
+}
+
+/// [`freeze_path`] over an in-memory string (each "pass" re-reads it).
+pub fn freeze_str(
+    s: &str,
+    opts: &EdgeListOptions,
+) -> Result<(CsrGraph, StreamStats), EdgeListError> {
+    freeze_with(|| Ok(s.as_bytes()), opts)
+}
+
+/// Streaming freeze over any re-openable source: `open` is called once
+/// per pass and must yield the same byte stream each time.
+pub fn freeze_with<R, F>(
+    mut open: F,
+    opts: &EdgeListOptions,
+) -> Result<(CsrGraph, StreamStats), EdgeListError>
+where
+    R: BufRead,
+    F: FnMut() -> io::Result<R>,
+{
+    // ---- pass 1: syntax, directives, and graph shape ----
+    //
+    // Degrees are tallied per endpoint *role* (source / destination)
+    // rather than per final side, because an orientation directive may
+    // appear anywhere in the file: only after pass 1 completes is the
+    // final `directed` known, and the role tallies combine either way.
+    let mut directed = opts.directed;
+    let mut declared = opts.nodes;
+    let mut max_id: Option<u32> = None;
+    let mut m: usize = 0;
+    let mut deg_src: Vec<u32> = Vec::new();
+    let mut deg_dst: Vec<u32> = Vec::new();
+    for (i, line) in open()?.lines().enumerate() {
+        let lineno = i + 1;
+        let line = line?;
+        if let Some((src, dst, _)) = classify(&line, lineno, &mut directed, &mut declared)? {
+            max_id = Some(max_id.unwrap_or(0).max(src).max(dst));
+            bump(&mut deg_src, src);
+            bump(&mut deg_dst, dst);
+            m += 1;
+        }
+    }
+    let n = declared.unwrap_or_else(|| max_id.map_or(0, |x| x as usize + 1));
+    let pass1_bytes = (deg_src.capacity() + deg_dst.capacity()) * std::mem::size_of::<u32>();
+
+    // Prefix-sum the degrees into final offset arrays. Node ids at or
+    // beyond a declared `n` may have tallies; they are ignored here and
+    // rejected (NodeOutOfBounds) before placement in pass 2.
+    let deg = |d: &Vec<u32>, v: usize| d.get(v).copied().unwrap_or(0) as u64;
+    let mut out_off: Vec<u32> = Vec::with_capacity(n + 1);
+    out_off.push(0);
+    let mut a: u64 = 0;
+    for v in 0..n {
+        a += if directed {
+            deg(&deg_src, v)
+        } else {
+            deg(&deg_src, v) + deg(&deg_dst, v)
+        };
+        assert!(a <= u32::MAX as u64, "graph exceeds u32 arc capacity");
+        out_off.push(a as u32);
+    }
+    let a = a as usize;
+    let (in_off, b) = if directed {
+        let mut off: Vec<u32> = Vec::with_capacity(n + 1);
+        off.push(0);
+        let mut b: u64 = 0;
+        for v in 0..n {
+            b += deg(&deg_dst, v);
+            assert!(b <= u32::MAX as u64, "graph exceeds u32 arc capacity");
+            off.push(b as u32);
+        }
+        (off, b as usize)
+    } else {
+        (Vec::new(), 0)
+    };
+    drop(deg_src);
+    drop(deg_dst);
+
+    // ---- final arrays + transient placement state ----
+    let mut out_dst = vec![0u32; a];
+    let mut out_prob = vec![0.0f64; a];
+    let mut out_coin = vec![0u32; a];
+    let mut in_dst = vec![0u32; b];
+    let mut in_prob = vec![0.0f64; b];
+    let mut in_coin = vec![0u32; b];
+    let mut coin_prob = vec![0.0f64; m];
+    let mut coin_src = vec![0u32; m];
+    let mut coin_dst = vec![0u32; m];
+    let mut cur_out: Vec<u32> = out_off[..n].to_vec();
+    let mut cur_in: Vec<u32> = if directed {
+        in_off[..n].to_vec()
+    } else {
+        Vec::new()
+    };
+    let mut seen: HashSet<(u32, u32)> = HashSet::with_capacity(m);
+
+    // ---- pass 2: semantic validation + direct placement ----
+    //
+    // File order equals `add_edge` call order equals adjacency append
+    // order, so advancing a per-node cursor reproduces
+    // `CsrGraph::freeze`'s layout exactly. The checks below replicate
+    // `UncertainGraph::add_edge`: same order, same error payloads.
+    let mut directed2 = opts.directed;
+    let mut declared2 = opts.nodes;
+    let mut next: usize = 0; // record index = coin id
+    for (i, line) in open()?.lines().enumerate() {
+        let lineno = i + 1;
+        let line = line?;
+        let Some((src, dst, prob)) = classify(&line, lineno, &mut directed2, &mut declared2)?
+        else {
+            continue;
+        };
+        for v in [src, dst] {
+            if v as usize >= n {
+                return Err(EdgeListError::Graph {
+                    line: lineno,
+                    source: GraphError::NodeOutOfBounds {
+                        node: v,
+                        num_nodes: n,
+                    },
+                });
+            }
+        }
+        if src == dst {
+            return Err(EdgeListError::Graph {
+                line: lineno,
+                source: GraphError::SelfLoop { node: src },
+            });
+        }
+        if !(0.0..=1.0).contains(&prob) || !prob.is_finite() {
+            return Err(EdgeListError::Graph {
+                line: lineno,
+                source: GraphError::InvalidProbability { prob },
+            });
+        }
+        let key = if directed || src <= dst {
+            (src, dst)
+        } else {
+            (dst, src)
+        };
+        if !seen.insert(key) {
+            return Err(EdgeListError::Graph {
+                line: lineno,
+                source: GraphError::DuplicateEdge { src, dst },
+            });
+        }
+        if next >= m {
+            return Err(input_changed());
+        }
+        let c = next as u32;
+        coin_prob[next] = prob;
+        coin_src[next] = src;
+        coin_dst[next] = dst;
+        next += 1;
+        let slot = cur_out[src as usize] as usize;
+        if slot >= a {
+            return Err(input_changed());
+        }
+        out_dst[slot] = dst;
+        out_prob[slot] = prob;
+        out_coin[slot] = c;
+        cur_out[src as usize] += 1;
+        if directed {
+            let slot = cur_in[dst as usize] as usize;
+            if slot >= b {
+                return Err(input_changed());
+            }
+            in_dst[slot] = src;
+            in_prob[slot] = prob;
+            in_coin[slot] = c;
+            cur_in[dst as usize] += 1;
+        } else {
+            let slot = cur_out[dst as usize] as usize;
+            if slot >= a {
+                return Err(input_changed());
+            }
+            out_dst[slot] = src;
+            out_prob[slot] = prob;
+            out_coin[slot] = c;
+            cur_out[dst as usize] += 1;
+        }
+    }
+    if next != m || directed2 != directed {
+        return Err(input_changed());
+    }
+    for v in 0..n {
+        if cur_out[v] != out_off[v + 1] || (directed && cur_in[v] != in_off[v + 1]) {
+            return Err(input_changed());
+        }
+    }
+
+    let pass2_bytes = (cur_out.capacity() + cur_in.capacity()) * std::mem::size_of::<u32>()
+        + seen.capacity() * (std::mem::size_of::<(u32, u32)>() + 1);
+    let stats = StreamStats {
+        nodes: n,
+        edges: m,
+        directed,
+        peak_transient_bytes: pass1_bytes.max(pass2_bytes),
+    };
+
+    let out_thresh: Vec<u64> = out_prob.iter().map(|&p| flip_threshold(p)).collect();
+    let in_thresh: Vec<u64> = in_prob.iter().map(|&p| flip_threshold(p)).collect();
+    let csr = CsrGraph {
+        directed,
+        num_nodes: n,
+        out_off: out_off.into(),
+        out_dst: out_dst.into(),
+        out_prob: out_prob.into(),
+        out_coin: out_coin.into(),
+        out_thresh: out_thresh.into(),
+        in_off: in_off.into(),
+        in_dst: in_dst.into(),
+        in_prob: in_prob.into(),
+        in_coin: in_coin.into(),
+        in_thresh: in_thresh.into(),
+        coin_prob: coin_prob.into(),
+        coin_src: coin_src.into(),
+        coin_dst: coin_dst.into(),
+    };
+    Ok((csr, stats))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -437,5 +743,115 @@ mod tests {
         assert_eq!(g.out_arcs(NodeId(0)).count(), 1);
         let err = from_edges(2, true, [(0, 1, 2.0)]).unwrap_err();
         assert!(err.to_string().contains("not in [0, 1]"));
+    }
+
+    /// The buffered reference: parse everything, then freeze.
+    fn reference(s: &str, opts: &EdgeListOptions) -> CsrGraph {
+        parse_str(s, opts).unwrap().freeze()
+    }
+
+    #[test]
+    fn streaming_freeze_matches_buffered_freeze() {
+        let opts = EdgeListOptions::default();
+        let cases = [
+            "",
+            "# only a comment\n",
+            "0 1 0.5\n1 2 0.25\n2 0 1.0\n",
+            "% nodes 10\n0 1 0.5\n7 3 0.125\n",
+            "% undirected\n0 1 0.5\n2 1 0.75\n3 0 0.0\n",
+            // Orientation directive *after* edges: the whole file is
+            // reinterpreted, which is exactly why degrees are tallied
+            // per endpoint role in pass 1.
+            "0 1 0.5\n1 2 0.25\n% undirected\n2 0 0.75\n",
+            "% nodes 4\n% directed\n3 0 1e-12\n0 3 0.999\n",
+        ];
+        for text in cases {
+            let (csr, stats) = freeze_str(text, &opts).unwrap();
+            let want = reference(text, &opts);
+            assert!(csr == want, "mismatch for {text:?}");
+            assert_eq!(stats.nodes, want.num_nodes(), "nodes for {text:?}");
+            assert_eq!(stats.edges, want.num_coins(), "edges for {text:?}");
+            assert_eq!(stats.directed, want.is_directed());
+        }
+    }
+
+    #[test]
+    fn streaming_freeze_matches_on_random_graphs() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0x5eed_1157);
+        for trial in 0..20 {
+            let directed = trial % 2 == 0;
+            let n = rng.gen_range(1..40u32);
+            let mut g = UncertainGraph::new(n as usize, directed);
+            for _ in 0..rng.gen_range(0..120) {
+                let u = NodeId(rng.gen_range(0..n));
+                let v = NodeId(rng.gen_range(0..n));
+                let p: f64 = rng.gen();
+                let _ = g.add_edge(u, v, p); // dups / self-loops skipped
+            }
+            let text = to_text(&g);
+            let opts = EdgeListOptions::default();
+            let (csr, stats) = freeze_str(&text, &opts).unwrap();
+            assert!(csr == g.freeze(), "trial {trial} diverged");
+            assert_eq!(stats.edges, g.num_edges());
+        }
+    }
+
+    #[test]
+    fn streaming_freeze_error_parity() {
+        // Every malformed input must fail streaming with the *same*
+        // rendered error as the buffered path — including the ordering
+        // rule that a syntax error anywhere in the file beats a semantic
+        // error on an earlier line (syntax is checked in pass 1, before
+        // any semantics run).
+        let cases = [
+            "0 5 0.5\nbogus line\n",            // semantics line 1, syntax line 2
+            "% nodes 2\n0 1 0.5\n0 5 0.5\n",    // out of bounds
+            "0 1 0.5\n2 2 0.5\n",               // self-loop
+            "0 1 0.5\n1 2 1.5\n",               // prob out of range
+            "0 1 0.5\n1 2 NaN\n",               // prob not finite
+            "0 1 0.5\n0 1 0.6\n",               // duplicate (directed)
+            "% undirected\n0 1 0.5\n1 0 0.6\n", // reversed duplicate
+            "0 1\n",
+            "0 1 0.5 9\n",
+            "a 1 0.5\n",
+            "0 1 zero\n",
+            "% nodes many\n",
+            "% frobnicate\n",
+            "1 0 0.2\n0 3 0.4\n5 1 0.9\n% nodes 3\n", // late shrink directive
+        ];
+        let opts = EdgeListOptions::default();
+        for text in cases {
+            let buffered = parse_str(text, &opts).map(|g| g.freeze());
+            let streamed = freeze_str(text, &opts);
+            match (buffered, streamed) {
+                (Err(b), Err(s)) => {
+                    assert_eq!(b.to_string(), s.to_string(), "for {text:?}")
+                }
+                (b, s) => panic!(
+                    "expected both paths to fail for {text:?}: buffered ok={}, streamed ok={}",
+                    b.is_ok(),
+                    s.is_ok()
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_freeze_reads_files() {
+        let mut g = UncertainGraph::new(6, false);
+        g.add_edge(NodeId(0), NodeId(1), 0.5).unwrap();
+        g.add_edge(NodeId(4), NodeId(2), 0.25).unwrap();
+        g.add_edge(NodeId(1), NodeId(5), 1.0 / 3.0).unwrap();
+        let path =
+            std::env::temp_dir().join(format!("relmax-edgelist-stream-{}.txt", std::process::id()));
+        write_file(&g, &path).unwrap();
+        let (csr, stats) = freeze_path(&path, &EdgeListOptions::default()).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(csr == g.freeze());
+        assert_eq!(stats.edges, 3);
+        assert!(!stats.directed);
+        assert!(stats.peak_transient_bytes > 0);
     }
 }

@@ -688,7 +688,7 @@ fn build_condensed(csr: &CsrGraph, super_of: &[u32], num_super: usize) -> CsrGra
 
     let (out_off, out_dst, out_prob, out_coin) =
         build_side(&csr.out_off, &csr.out_dst, &csr.out_prob, &csr.out_coin);
-    let out_thresh = out_prob.iter().map(|&p| flip_threshold(p)).collect();
+    let out_thresh: Vec<u64> = out_prob.iter().map(|&p| flip_threshold(p)).collect();
     let (in_off, in_dst, in_prob, in_coin) = if csr.directed {
         build_side(&csr.in_off, &csr.in_dst, &csr.in_prob, &csr.in_coin)
     } else {
@@ -698,22 +698,29 @@ fn build_condensed(csr: &CsrGraph, super_of: &[u32], num_super: usize) -> CsrGra
     CsrGraph {
         directed: csr.directed,
         num_nodes: num_super,
-        out_off,
-        out_dst,
-        out_prob,
-        out_coin,
-        out_thresh,
-        in_off,
-        in_dst,
-        in_prob,
-        in_coin,
-        in_thresh,
+        out_off: out_off.into(),
+        out_dst: out_dst.into(),
+        out_prob: out_prob.into(),
+        out_coin: out_coin.into(),
+        out_thresh: out_thresh.into(),
+        in_off: in_off.into(),
+        in_dst: in_dst.into(),
+        in_prob: in_prob.into(),
+        in_coin: in_coin.into(),
+        in_thresh: in_thresh.into(),
         coin_prob: csr.coin_prob.clone(),
-        coin_ends: csr
-            .coin_ends
+        coin_src: csr
+            .coin_src
             .iter()
-            .map(|&(s, d)| (super_of[s as usize], super_of[d as usize]))
-            .collect(),
+            .map(|&s| super_of[s as usize])
+            .collect::<Vec<u32>>()
+            .into(),
+        coin_dst: csr
+            .coin_dst
+            .iter()
+            .map(|&d| super_of[d as usize])
+            .collect::<Vec<u32>>()
+            .into(),
     }
 }
 

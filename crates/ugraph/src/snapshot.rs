@@ -8,85 +8,131 @@
 //! order, same coin ids, same `f64` probability bits — so seed-keyed
 //! estimates cannot change across a save/load cycle.
 //!
-//! ## Layout (versions 1 and 2)
+//! ## Layout (version 3, current)
 //!
 //! All integers and floats are **little-endian**; floats are stored as raw
-//! IEEE-754 bit patterns (`f64::to_bits`). The file is a fixed-size header
-//! followed by one contiguous payload:
+//! IEEE-754 bit patterns (`f64::to_bits`). A version-3 file is a fixed
+//! header, a section table, and then one section per column array, each
+//! starting on a 64-byte boundary ([`relmax_store::SECTION_ALIGN`]) with
+//! zero padding in between:
 //!
 //! ```text
-//! offset  size  field
-//! 0       4     magic, the ASCII bytes "RGSF"
-//! 4       4     format version (u32) — 1 or 2
-//! 8       4     flags (u32): bit 0 = directed,
-//!               bit 1 = index section present (version ≥ 2 only)
-//! 12      8     num_nodes  (u64)
-//! 20      8     num_coins  (u64)
-//! 28      8     num_out_arcs (u64)
-//! 36      8     num_in_arcs  (u64) — 0 for undirected graphs
-//! 44      8     FNV-1a 64 checksum of the payload bytes
-//! 52      —     payload
+//! offset  size      field
+//! 0       4         magic, the ASCII bytes "RGSF"
+//! 4       4         format version (u32) — 3
+//! 8       4         flags (u32): bit 0 = directed, bit 1 = index section
+//! 12      8         num_nodes n (u64)
+//! 20      8         num_coins m (u64)
+//! 28      8         num_out_arcs a (u64)
+//! 36      8         num_in_arcs b (u64) — 0 for undirected graphs
+//! 44      8         FNV-1a 64 of bytes [52, 64 + 32·count) — table hash
+//! 52      4         section count (u32)
+//! 56      8         reserved, must be zero
+//! 64      32·count  section table
+//! ...               sections, 64-byte-aligned, zero-padded between;
+//!                   the file ends exactly at the last section's end
 //! ```
 //!
-//! The payload concatenates, in order (writing `n = num_nodes`,
+//! Each 32-byte table entry is `{ id: u32, flags: u32, offset: u64,
+//! length: u64, checksum: u64 }` where `flags` must be zero (a nonzero
+//! value marks a section feature this build does not understand —
+//! [`SnapshotError::UnknownSection`]), `offset` is absolute from the start
+//! of the file and 64-byte-aligned, `length` is the exact byte length
+//! (excluding padding), and `checksum` is the FNV-1a 64 of the section
+//! bytes. Sections appear in one canonical order (writing `n = num_nodes`,
 //! `m = num_coins`, `a = num_out_arcs`, `b = num_in_arcs`):
 //!
 //! ```text
-//! out_off    (n + 1) × u32     CSR offsets, out side
-//! out_dst    a × u32           arc targets
-//! out_prob   a × f64           arc probabilities (raw bits)
-//! out_coin   a × u32           arc coin ids
-//! in_off     (n + 1) × u32     only if directed
-//! in_dst     b × u32           only if directed
-//! in_prob    b × f64           only if directed
-//! in_coin    b × u32           only if directed
-//! coin_prob  m × f64           coin-indexed probability table
-//! coin_ends  m × (u32, u32)    coin-indexed endpoints (src, dst)
-//! super_of   n × u32           only if flags bit 1 — reliability-index
-//! comp_of    n × u32           only if flags bit 1 — label arrays
+//! id  name        elems   type  present
+//! 1   out_off     n + 1   u32   always
+//! 2   out_dst     a       u32   always
+//! 3   out_prob    a       f64   always
+//! 4   out_coin    a       u32   always
+//! 5   out_thresh  a       u64   always
+//! 6   in_off      n + 1   u32   directed only
+//! 7   in_dst      b       u32   directed only
+//! 8   in_prob     b       f64   directed only
+//! 9   in_coin     b       u32   directed only
+//! 10  in_thresh   b       u64   directed only
+//! 11  coin_prob   m       f64   always
+//! 12  coin_src    m       u32   always
+//! 13  coin_dst    m       u32   always
+//! 14  super_of    n       u32   flags bit 1 only
+//! 15  comp_of     n       u32   flags bit 1 only
 //! ```
 //!
-//! **Version policy.** Version 2 (current) extends version 1 by exactly one
-//! optional trailer — the persisted [`RelIndex`](crate::index::RelIndex) labels (see
-//! [`crate::index`]) — gated by flags bit 1. A version-2 file without the
-//! index flag is byte-identical to the version-1 encoding apart from the
-//! version word, and this build reads versions
-//! [`MIN_FORMAT_VERSION`]`..=`[`FORMAT_VERSION`] (a v1 file with flag bit 1
-//! set is rejected as corrupt). Writers always emit [`FORMAT_VERSION`];
-//! readers rebuild the index lazily when the section is absent.
+//! The sectioned layout exists for **zero-copy loading**: every section is
+//! a fixed-width primitive array at a 64-byte-aligned offset, so
+//! [`map_full`] can hand the [`CsrGraph`] borrowed slices straight into a
+//! memory-mapped file ([`relmax_store::Mapping`]) instead of decoding onto
+//! the heap. Version 3 therefore *stores* the per-arc flip thresholds
+//! (sections 5/10) rather than recomputing them at load time; untrusted
+//! readers verify `thresh[i] == flip_threshold(prob[i])` element-wise, and
+//! [`map_full_trusted`] — for re-reading a file this process just wrote —
+//! skips the per-element and checksum work while still validating all
+//! geometry. Per-section checksums (instead of v1/v2's single payload
+//! hash) are what make that trusted fast path safe to offer: integrity is
+//! still verifiable section-by-section whenever it is wanted.
 //!
-//! Per-arc flip thresholds are *not* stored: [`crate::flip_threshold`] is a
-//! pure function of the probability, so [`read()`](fn@read) recomputes them exactly.
-//! Likewise the index section stores only the two per-node label arrays;
-//! everything else in a [`RelIndex`](crate::index::RelIndex) is derived deterministically from them
-//! plus the graph by [`RelIndex::from_section`](crate::index::RelIndex::from_section).
+//! ## Layout (versions 1 and 2, legacy)
 //!
-//! [`read()`](fn@read) validates everything it cannot afford to trust: magic, version,
-//! checksum, offset monotonicity, and the ranges of every node id, coin id,
-//! and probability. A snapshot that passes is safe to traverse without
-//! bounds anxiety. See `docs/formats.md` for the same layout prose-first.
+//! Versions 1 and 2 use a 52-byte header (identical to bytes `0..52`
+//! above, except the hash at offset 44 covers the whole payload) followed
+//! by one contiguous payload: `out_off, out_dst, out_prob, out_coin,
+//! [in_off, in_dst, in_prob, in_coin,] coin_prob, coin_ends` with
+//! `coin_ends` interleaved as `m × (u32 src, u32 dst)` pairs, and — in
+//! version 2 with flags bit 1 — `super_of, comp_of` trailers. Thresholds
+//! are not stored; legacy readers recompute them via
+//! [`crate::flip_threshold`]. This build still reads both (decoding onto
+//! the heap — there is no zero-copy path for unaligned legacy layouts),
+//! and [`write_v2`] can still produce them for fixtures and tooling.
+//!
+//! **Version policy.** Writers always emit [`FORMAT_VERSION`]; readers
+//! accept [`MIN_FORMAT_VERSION`]`..=`[`FORMAT_VERSION`]. A version bump is
+//! required whenever a change would make an old reader mis-decode the
+//! bytes; new optional content gets a new section id + flag bit instead,
+//! and readers reject ids/flags they do not recognize rather than
+//! guessing. Alignment is part of the format contract: readers reject
+//! sections that are not 64-byte-aligned ([`SnapshotError::Misaligned`])
+//! so the zero-copy path never depends on luck.
+//!
+//! Readers validate everything they cannot afford to trust: magic,
+//! version, checksums, offset monotonicity, and the ranges of every node
+//! id, coin id, probability, and stored threshold. A snapshot that passes
+//! is safe to traverse without bounds anxiety. See `docs/formats.md` for
+//! the same layout prose-first.
 
 use crate::csr::CsrGraph;
 use crate::flip_threshold;
 use crate::index::IndexSection;
+use relmax_store::{Block, BlockError, Fnv64, Mapping, Pod, SECTION_ALIGN};
 use std::fmt;
 use std::fs::File;
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::path::Path;
+use std::sync::Arc;
 
 /// The four magic bytes opening every `.rgs` file.
 pub const MAGIC: [u8; 4] = *b"RGSF";
 
 /// Current format version written by [`write()`](fn@write).
-pub const FORMAT_VERSION: u32 = 2;
+pub const FORMAT_VERSION: u32 = 3;
 
-/// Oldest format version this build still reads. Version-1 files decode to
-/// the same [`CsrGraph`], bit for bit; they simply cannot carry an index
-/// section.
+/// Oldest format version this build still reads. Version-1 and version-2
+/// files decode to the same [`CsrGraph`], bit for bit; they simply decode
+/// onto the heap instead of mapping zero-copy.
 pub const MIN_FORMAT_VERSION: u32 = 1;
 
-/// Size in bytes of the fixed header preceding the payload.
+/// Size in bytes of the fixed header common to every version (through the
+/// hash word at offset 44). Version 3 continues with the section count,
+/// reserved bytes, and the table; versions 1–2 continue with the payload.
 pub const HEADER_BYTES: usize = 52;
+
+/// File offset where the version-3 section table begins.
+pub const V3_TABLE_OFFSET: usize = 64;
+
+/// Size in bytes of one version-3 section-table entry.
+pub const SECTION_ENTRY_BYTES: usize = 32;
 
 /// Header flag bit 0: the graph is directed.
 const FLAG_DIRECTED: u32 = 1;
@@ -94,12 +140,55 @@ const FLAG_DIRECTED: u32 = 1;
 /// Header flag bit 1: an index section trails the payload (version ≥ 2).
 const FLAG_INDEX: u32 = 2;
 
+/// Chunk size for streaming payload/section reads: bounds transient
+/// allocations and caps the damage of a lying header.
+const CHUNK: u64 = 16 << 20;
+
+// Section ids, in canonical file order (see the module docs).
+const SEC_OUT_OFF: u32 = 1;
+const SEC_OUT_DST: u32 = 2;
+const SEC_OUT_PROB: u32 = 3;
+const SEC_OUT_COIN: u32 = 4;
+const SEC_OUT_THRESH: u32 = 5;
+const SEC_IN_OFF: u32 = 6;
+const SEC_IN_DST: u32 = 7;
+const SEC_IN_PROB: u32 = 8;
+const SEC_IN_COIN: u32 = 9;
+const SEC_IN_THRESH: u32 = 10;
+const SEC_COIN_PROB: u32 = 11;
+const SEC_COIN_SRC: u32 = 12;
+const SEC_COIN_DST: u32 = 13;
+const SEC_SUPER_OF: u32 = 14;
+const SEC_COMP_OF: u32 = 15;
+
+/// Human-readable name of a known section id, `None` for foreign ids.
+fn section_name(id: u32) -> Option<&'static str> {
+    Some(match id {
+        SEC_OUT_OFF => "out_off",
+        SEC_OUT_DST => "out_dst",
+        SEC_OUT_PROB => "out_prob",
+        SEC_OUT_COIN => "out_coin",
+        SEC_OUT_THRESH => "out_thresh",
+        SEC_IN_OFF => "in_off",
+        SEC_IN_DST => "in_dst",
+        SEC_IN_PROB => "in_prob",
+        SEC_IN_COIN => "in_coin",
+        SEC_IN_THRESH => "in_thresh",
+        SEC_COIN_PROB => "coin_prob",
+        SEC_COIN_SRC => "coin_src",
+        SEC_COIN_DST => "coin_dst",
+        SEC_SUPER_OF => "super_of",
+        SEC_COMP_OF => "comp_of",
+        _ => return None,
+    })
+}
+
 /// Errors loading or storing a `.rgs` snapshot.
 #[derive(Debug)]
 pub enum SnapshotError {
     /// An underlying I/O failure (file missing, permission, disk).
     Io(io::Error),
-    /// The input ended before the declared header + payload was read.
+    /// The input ended before the declared header + sections were read.
     Truncated,
     /// The first four bytes were not [`MAGIC`] — not a snapshot file.
     BadMagic {
@@ -111,14 +200,33 @@ pub enum SnapshotError {
         /// The version number found in the header.
         found: u32,
     },
-    /// The payload bytes do not hash to the header's checksum.
+    /// Bytes do not hash to the recorded checksum (the payload hash for
+    /// versions 1–2; the table hash or a per-section checksum for v3).
     ChecksumMismatch {
-        /// Checksum recorded in the header.
+        /// Checksum recorded in the file.
         stored: u64,
-        /// Checksum computed over the payload actually read.
+        /// Checksum computed over the bytes actually read.
         computed: u64,
     },
-    /// The payload decoded but failed structural validation.
+    /// A version-3 section table entry carries a section id or feature
+    /// flags this build does not understand, so the file cannot be decoded
+    /// without guessing.
+    UnknownSection {
+        /// The section id found in the table entry.
+        id: u32,
+        /// The entry's flag word (must be zero in this version).
+        flags: u32,
+    },
+    /// A version-3 section does not start on the required
+    /// [`SECTION_ALIGN`]-byte boundary, so it can never be mapped
+    /// zero-copy; the file was not produced by a conforming writer.
+    Misaligned {
+        /// The id of the offending section.
+        section: u32,
+        /// The unaligned file offset recorded for it.
+        offset: u64,
+    },
+    /// The file decoded but failed structural validation.
     Corrupt {
         /// Human-readable description of the inconsistency.
         what: String,
@@ -140,7 +248,16 @@ impl fmt::Display for SnapshotError {
             ),
             SnapshotError::ChecksumMismatch { stored, computed } => write!(
                 f,
-                "snapshot checksum mismatch: header says {stored:#018x}, payload hashes to {computed:#018x}"
+                "snapshot checksum mismatch: file says {stored:#018x}, bytes hash to {computed:#018x}"
+            ),
+            SnapshotError::UnknownSection { id, flags } => write!(
+                f,
+                "snapshot section id {id} with flags {flags:#x} is not one this build understands"
+            ),
+            SnapshotError::Misaligned { section, offset } => write!(
+                f,
+                "snapshot section {section} starts at offset {offset}, \
+                 which is not {SECTION_ALIGN}-byte aligned"
             ),
             SnapshotError::Corrupt { what } => write!(f, "corrupt snapshot: {what}"),
         }
@@ -166,15 +283,13 @@ impl From<io::Error> for SnapshotError {
     }
 }
 
-/// FNV-1a 64-bit hash — the payload checksum. Not cryptographic; it guards
-/// against truncation, bit rot, and version-skew accidents, not attackers.
+/// FNV-1a 64-bit hash — the snapshot checksum. Not cryptographic; it
+/// guards against truncation, bit rot, and version-skew accidents, not
+/// attackers. (Re-exported logic from [`relmax_store::fnv1a`]; writers and
+/// readers stream it chunk-by-chunk via [`relmax_store::Fnv64`] instead of
+/// materializing a second copy of multi-GB payloads.)
 pub fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
+    relmax_store::fnv1a(bytes)
 }
 
 /// Whether `head` starts with the `.rgs` magic bytes (cheap format sniff;
@@ -195,16 +310,156 @@ pub fn peek_version(head: &[u8]) -> Option<u32> {
     Some(u32::from_le_bytes(head[4..8].try_into().unwrap()))
 }
 
-fn push_u32s(buf: &mut Vec<u8>, vals: &[u32]) {
-    for v in vals {
-        buf.extend_from_slice(&v.to_le_bytes());
+/// Round `x` up to the next [`SECTION_ALIGN`]-byte boundary.
+fn align64(x: u64) -> u64 {
+    let a = SECTION_ALIGN as u64;
+    (x + (a - 1)) & !(a - 1)
+}
+
+fn corrupt(what: impl Into<String>) -> SnapshotError {
+    SnapshotError::Corrupt { what: what.into() }
+}
+
+/// Byte width + element count of one expected section.
+#[derive(Clone, Copy)]
+struct SectionSpec {
+    id: u32,
+    elems: u64,
+    elem_bytes: u64,
+}
+
+/// The canonical section list a header with these counts/flags implies.
+/// Writers emit exactly this; readers reject any deviation.
+fn expected_specs(n: u64, m: u64, a: u64, b: u64, directed: bool, index: bool) -> Vec<SectionSpec> {
+    let spec = |id, elems, elem_bytes| SectionSpec {
+        id,
+        elems,
+        elem_bytes,
+    };
+    let mut v = vec![
+        spec(SEC_OUT_OFF, n + 1, 4),
+        spec(SEC_OUT_DST, a, 4),
+        spec(SEC_OUT_PROB, a, 8),
+        spec(SEC_OUT_COIN, a, 4),
+        spec(SEC_OUT_THRESH, a, 8),
+    ];
+    if directed {
+        v.push(spec(SEC_IN_OFF, n + 1, 4));
+        v.push(spec(SEC_IN_DST, b, 4));
+        v.push(spec(SEC_IN_PROB, b, 8));
+        v.push(spec(SEC_IN_COIN, b, 4));
+        v.push(spec(SEC_IN_THRESH, b, 8));
+    }
+    v.push(spec(SEC_COIN_PROB, m, 8));
+    v.push(spec(SEC_COIN_SRC, m, 4));
+    v.push(spec(SEC_COIN_DST, m, 4));
+    if index {
+        v.push(spec(SEC_SUPER_OF, n, 4));
+        v.push(spec(SEC_COMP_OF, n, 4));
+    }
+    v
+}
+
+/// A borrowed column array waiting to be hashed or written. The writer
+/// visits each column exactly twice — once to checksum, once to emit — so
+/// no second copy of the payload ever exists in memory.
+enum Col<'a> {
+    U32(&'a [u32]),
+    U64(&'a [u64]),
+    F64(&'a [f64]),
+}
+
+impl<'a> Col<'a> {
+    fn byte_len(&self) -> u64 {
+        match self {
+            Col::U32(s) => s.len() as u64 * 4,
+            Col::U64(s) => s.len() as u64 * 8,
+            Col::F64(s) => s.len() as u64 * 8,
+        }
+    }
+
+    /// Feed the column's little-endian byte image to `f` in chunks.
+    ///
+    /// On little-endian hosts the in-memory representation *is* the file
+    /// representation (for `f64`, the IEEE bit pattern `to_bits` would
+    /// produce), so the whole column goes through as one borrowed slice —
+    /// no conversion, no copy. Big-endian hosts convert per element
+    /// through a bounded buffer.
+    #[cfg(target_endian = "little")]
+    fn for_chunks(&self, f: &mut dyn FnMut(&[u8]) -> io::Result<()>) -> io::Result<()> {
+        // SAFETY: u32/u64/f64 have no padding and their little-endian
+        // in-memory bytes equal their on-disk encoding on this cfg.
+        let bytes: &[u8] = unsafe {
+            match *self {
+                Col::U32(s) => std::slice::from_raw_parts(s.as_ptr() as *const u8, s.len() * 4),
+                Col::U64(s) => std::slice::from_raw_parts(s.as_ptr() as *const u8, s.len() * 8),
+                Col::F64(s) => std::slice::from_raw_parts(s.as_ptr() as *const u8, s.len() * 8),
+            }
+        };
+        f(bytes)
+    }
+
+    #[cfg(target_endian = "big")]
+    fn for_chunks(&self, f: &mut dyn FnMut(&[u8]) -> io::Result<()>) -> io::Result<()> {
+        const BUF: usize = 1 << 16;
+        let mut buf: Vec<u8> = Vec::with_capacity(BUF + 8);
+        macro_rules! drain {
+            ($slice:expr, $enc:expr) => {
+                for v in $slice {
+                    buf.extend_from_slice(&$enc(v));
+                    if buf.len() >= BUF {
+                        f(&buf)?;
+                        buf.clear();
+                    }
+                }
+            };
+        }
+        match *self {
+            Col::U32(s) => drain!(s, |v: &u32| v.to_le_bytes()),
+            Col::U64(s) => drain!(s, |v: &u64| v.to_le_bytes()),
+            Col::F64(s) => drain!(s, |v: &f64| v.to_bits().to_le_bytes()),
+        }
+        if !buf.is_empty() {
+            f(&buf)?;
+        }
+        Ok(())
+    }
+
+    fn checksum(&self) -> u64 {
+        let mut h = Fnv64::new();
+        self.for_chunks(&mut |c| {
+            h.update(c);
+            Ok(())
+        })
+        .expect("hashing cannot fail");
+        h.finish()
     }
 }
 
-fn push_f64s(buf: &mut Vec<u8>, vals: &[f64]) {
-    for v in vals {
-        buf.extend_from_slice(&v.to_bits().to_le_bytes());
+/// The columns of `csr` (+ optional index labels) in canonical v3 order.
+fn graph_cols<'a>(csr: &'a CsrGraph, index: Option<&'a IndexSection>) -> Vec<(u32, Col<'a>)> {
+    let mut v = vec![
+        (SEC_OUT_OFF, Col::U32(csr.out_off.as_slice())),
+        (SEC_OUT_DST, Col::U32(csr.out_dst.as_slice())),
+        (SEC_OUT_PROB, Col::F64(csr.out_prob.as_slice())),
+        (SEC_OUT_COIN, Col::U32(csr.out_coin.as_slice())),
+        (SEC_OUT_THRESH, Col::U64(csr.out_thresh.as_slice())),
+    ];
+    if csr.directed {
+        v.push((SEC_IN_OFF, Col::U32(csr.in_off.as_slice())));
+        v.push((SEC_IN_DST, Col::U32(csr.in_dst.as_slice())));
+        v.push((SEC_IN_PROB, Col::F64(csr.in_prob.as_slice())));
+        v.push((SEC_IN_COIN, Col::U32(csr.in_coin.as_slice())));
+        v.push((SEC_IN_THRESH, Col::U64(csr.in_thresh.as_slice())));
     }
+    v.push((SEC_COIN_PROB, Col::F64(csr.coin_prob.as_slice())));
+    v.push((SEC_COIN_SRC, Col::U32(csr.coin_src.as_slice())));
+    v.push((SEC_COIN_DST, Col::U32(csr.coin_dst.as_slice())));
+    if let Some(sec) = index {
+        v.push((SEC_SUPER_OF, Col::U32(&sec.super_of[..])));
+        v.push((SEC_COMP_OF, Col::U32(&sec.comp_of[..])));
+    }
+    v
 }
 
 /// Serialize a snapshot to any writer — graph only, no index section.
@@ -213,11 +468,17 @@ pub fn write<W: Write>(csr: &CsrGraph, w: W) -> io::Result<()> {
     write_full(csr, None, w)
 }
 
-/// Serialize a snapshot to any writer in the current-version layout,
-/// optionally trailing the persisted [`RelIndex`](crate::index::RelIndex) labels.
+/// Serialize a snapshot to any writer in the current-version (v3)
+/// sectioned layout, optionally trailing the persisted
+/// [`RelIndex`](crate::index::RelIndex) labels.
 ///
 /// The section must belong to `csr` (same node count); pass the value of
 /// [`RelIndex::section`](crate::index::RelIndex::section) for an index built from this exact graph.
+///
+/// The writer streams: each column is hashed in place to fill the section
+/// table, then emitted directly from the graph's own arrays — the payload
+/// is never materialized a second time, so peak memory stays `O(1)` above
+/// the graph itself no matter how large the snapshot is.
 pub fn write_full<W: Write>(
     csr: &CsrGraph,
     index: Option<&IndexSection>,
@@ -231,7 +492,42 @@ pub fn write_full<W: Write>(
         );
         assert_eq!(sec.comp_of.len(), csr.num_nodes);
     }
-    let payload = encode_payload(csr, index);
+    let cols = graph_cols(csr, index);
+    let table_end = (V3_TABLE_OFFSET + cols.len() * SECTION_ENTRY_BYTES) as u64;
+
+    // Pass 1: checksum every column and lay out the section table.
+    struct Planned {
+        id: u32,
+        off: u64,
+        len: u64,
+        sum: u64,
+    }
+    let mut planned = Vec::with_capacity(cols.len());
+    let mut pos = table_end;
+    for (id, col) in &cols {
+        let off = align64(pos);
+        let len = col.byte_len();
+        planned.push(Planned {
+            id: *id,
+            off,
+            len,
+            sum: col.checksum(),
+        });
+        pos = off + len;
+    }
+
+    let mut table = Vec::with_capacity(12 + cols.len() * SECTION_ENTRY_BYTES);
+    table.extend_from_slice(&(cols.len() as u32).to_le_bytes());
+    table.extend_from_slice(&[0u8; 8]);
+    for p in &planned {
+        table.extend_from_slice(&p.id.to_le_bytes());
+        table.extend_from_slice(&0u32.to_le_bytes());
+        table.extend_from_slice(&p.off.to_le_bytes());
+        table.extend_from_slice(&p.len.to_le_bytes());
+        table.extend_from_slice(&p.sum.to_le_bytes());
+    }
+    let table_hash = fnv1a(&table);
+
     let mut flags = csr.directed as u32;
     if index.is_some() {
         flags |= FLAG_INDEX;
@@ -244,6 +540,78 @@ pub fn write_full<W: Write>(
     header.extend_from_slice(&(csr.coin_prob.len() as u64).to_le_bytes());
     header.extend_from_slice(&(csr.out_dst.len() as u64).to_le_bytes());
     header.extend_from_slice(&(csr.in_dst.len() as u64).to_le_bytes());
+    header.extend_from_slice(&table_hash.to_le_bytes());
+    debug_assert_eq!(header.len(), HEADER_BYTES);
+    w.write_all(&header)?;
+    w.write_all(&table)?;
+
+    // Pass 2: emit padding + section bytes straight from the arrays.
+    let zeros = [0u8; SECTION_ALIGN];
+    let mut pos = table_end;
+    for ((_, col), p) in cols.iter().zip(&planned) {
+        w.write_all(&zeros[..(p.off - pos) as usize])?;
+        col.for_chunks(&mut |c| w.write_all(c))?;
+        pos = p.off + p.len;
+    }
+    w.flush()
+}
+
+// ---------------------------------------------------------------------------
+// Legacy (version 2) writer — for fixtures, compatibility tests, and tools
+// that need to produce files older builds can read.
+// ---------------------------------------------------------------------------
+
+fn push_u32s(buf: &mut Vec<u8>, vals: &[u32]) {
+    for v in vals {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+fn push_f64s(buf: &mut Vec<u8>, vals: &[f64]) {
+    for v in vals {
+        buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+}
+
+/// Serialize in the **legacy version-2** contiguous layout — no index
+/// section. Equivalent to [`write_v2_full`] with `index: None`.
+pub fn write_v2<W: Write>(csr: &CsrGraph, w: W) -> io::Result<()> {
+    write_v2_full(csr, None, w)
+}
+
+/// Serialize in the **legacy version-2** contiguous layout (see the
+/// module docs). Current builds read the result bit-identically to the v3
+/// encoding of the same graph; older builds that predate v3 can read it
+/// too. Unlike [`write_full`] this materializes the payload once in memory
+/// (the single-payload-hash layout requires it), so it is only suitable
+/// for graphs that comfortably fit on the heap — which is every graph a
+/// v2-era build could load anyway.
+pub fn write_v2_full<W: Write>(
+    csr: &CsrGraph,
+    index: Option<&IndexSection>,
+    mut w: W,
+) -> io::Result<()> {
+    if let Some(sec) = index {
+        assert_eq!(
+            sec.super_of.len(),
+            csr.num_nodes,
+            "index section does not belong to this graph"
+        );
+        assert_eq!(sec.comp_of.len(), csr.num_nodes);
+    }
+    let payload = encode_payload_v2(csr, index);
+    let mut flags = csr.directed as u32;
+    if index.is_some() {
+        flags |= FLAG_INDEX;
+    }
+    let mut header = Vec::with_capacity(HEADER_BYTES);
+    header.extend_from_slice(&MAGIC);
+    header.extend_from_slice(&2u32.to_le_bytes());
+    header.extend_from_slice(&flags.to_le_bytes());
+    header.extend_from_slice(&(csr.num_nodes as u64).to_le_bytes());
+    header.extend_from_slice(&(csr.coin_prob.len() as u64).to_le_bytes());
+    header.extend_from_slice(&(csr.out_dst.len() as u64).to_le_bytes());
+    header.extend_from_slice(&(csr.in_dst.len() as u64).to_le_bytes());
     header.extend_from_slice(&fnv1a(&payload).to_le_bytes());
     debug_assert_eq!(header.len(), HEADER_BYTES);
     w.write_all(&header)?;
@@ -251,8 +619,8 @@ pub fn write_full<W: Write>(
     w.flush()
 }
 
-fn encode_payload(csr: &CsrGraph, index: Option<&IndexSection>) -> Vec<u8> {
-    let mut buf = Vec::with_capacity(payload_bytes(
+fn encode_payload_v2(csr: &CsrGraph, index: Option<&IndexSection>) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(legacy_payload_bytes(
         csr.num_nodes as u64,
         csr.coin_prob.len() as u64,
         csr.out_dst.len() as u64,
@@ -271,7 +639,7 @@ fn encode_payload(csr: &CsrGraph, index: Option<&IndexSection>) -> Vec<u8> {
         push_u32s(&mut buf, &csr.in_coin);
     }
     push_f64s(&mut buf, &csr.coin_prob);
-    for &(s, d) in &csr.coin_ends {
+    for (&s, &d) in csr.coin_src.iter().zip(csr.coin_dst.iter()) {
         buf.extend_from_slice(&s.to_le_bytes());
         buf.extend_from_slice(&d.to_le_bytes());
     }
@@ -282,13 +650,38 @@ fn encode_payload(csr: &CsrGraph, index: Option<&IndexSection>) -> Vec<u8> {
     buf
 }
 
-fn payload_bytes(n: u64, m: u64, a: u64, b: u64, directed: bool, index: bool) -> u64 {
+fn legacy_payload_bytes(n: u64, m: u64, a: u64, b: u64, directed: bool, index: bool) -> u64 {
     let off_sides = if directed { 2 } else { 1 };
     let index_bytes = if index { n * 8 } else { 0 };
     (n + 1) * 4 * off_sides + (a + b) * 16 + m * 16 + index_bytes
 }
 
-/// Cursor over the validated payload slice.
+// ---------------------------------------------------------------------------
+// Decoding helpers shared by the streaming readers.
+// ---------------------------------------------------------------------------
+
+fn vec_u32(bytes: &[u8]) -> Vec<u32> {
+    bytes
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+        .collect()
+}
+
+fn vec_u64(bytes: &[u8]) -> Vec<u64> {
+    bytes
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+        .collect()
+}
+
+fn vec_f64(bytes: &[u8]) -> Vec<f64> {
+    bytes
+        .chunks_exact(8)
+        .map(|c| f64::from_bits(u64::from_le_bytes(c.try_into().unwrap())))
+        .collect()
+}
+
+/// Cursor over a validated legacy payload slice.
 struct Decoder<'a> {
     buf: &'a [u8],
     pos: usize,
@@ -304,196 +697,29 @@ impl<'a> Decoder<'a> {
     }
 
     fn u32s(&mut self, count: usize) -> Vec<u32> {
-        self.take(count * 4)
-            .chunks_exact(4)
-            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
-            .collect()
+        vec_u32(self.take(count * 4))
     }
 
     fn f64s(&mut self, count: usize) -> Vec<f64> {
-        self.take(count * 8)
-            .chunks_exact(8)
-            .map(|c| f64::from_bits(u64::from_le_bytes(c.try_into().unwrap())))
-            .collect()
+        vec_f64(self.take(count * 8))
     }
 
-    fn pairs(&mut self, count: usize) -> Vec<(u32, u32)> {
-        self.take(count * 8)
-            .chunks_exact(8)
-            .map(|c| {
-                (
-                    u32::from_le_bytes(c[..4].try_into().unwrap()),
-                    u32::from_le_bytes(c[4..].try_into().unwrap()),
-                )
-            })
-            .collect()
-    }
-}
-
-fn corrupt(what: impl Into<String>) -> SnapshotError {
-    SnapshotError::Corrupt { what: what.into() }
-}
-
-/// Deserialize a snapshot from any reader, validating magic, version,
-/// checksum, and structural invariants. The returned graph is bit-identical
-/// to the [`CsrGraph`] that was written. Any index section is decoded and
-/// discarded; use [`read_full`] to keep it.
-pub fn read<R: Read>(r: R) -> Result<CsrGraph, SnapshotError> {
-    read_full(r).map(|(csr, _)| csr)
-}
-
-/// [`read()`](fn@read), but also returning the persisted index section when
-/// the snapshot carries one (version ≥ 2 with flag bit 1).
-///
-/// The labels are range-checked here; callers turn them into a usable
-/// [`RelIndex`](crate::index::RelIndex) via [`RelIndex::from_section`](crate::index::RelIndex::from_section), which verifies them against
-/// the graph structure and rebuilds from scratch if they do not hold.
-pub fn read_full<R: Read>(mut r: R) -> Result<(CsrGraph, Option<IndexSection>), SnapshotError> {
-    // Magic is checked before the rest of the header is read, so a short
-    // non-snapshot input reports "not a snapshot", not "truncated".
-    let mut magic = [0u8; 4];
-    r.read_exact(&mut magic)?;
-    if magic != MAGIC {
-        return Err(SnapshotError::BadMagic { found: magic });
-    }
-    let mut header = [0u8; HEADER_BYTES];
-    header[0..4].copy_from_slice(&magic);
-    r.read_exact(&mut header[4..])?;
-    let version = u32::from_le_bytes(header[4..8].try_into().unwrap());
-    if !(MIN_FORMAT_VERSION..=FORMAT_VERSION).contains(&version) {
-        return Err(SnapshotError::UnsupportedVersion { found: version });
-    }
-    let flags = u32::from_le_bytes(header[8..12].try_into().unwrap());
-    let known = if version >= 2 {
-        FLAG_DIRECTED | FLAG_INDEX
-    } else {
-        FLAG_DIRECTED
-    };
-    if flags & !known != 0 {
-        return Err(corrupt(format!(
-            "unknown flag bits {flags:#x} for version {version}"
-        )));
-    }
-    let directed = flags & FLAG_DIRECTED != 0;
-    let has_index = flags & FLAG_INDEX != 0;
-    let u64_at = |lo: usize| u64::from_le_bytes(header[lo..lo + 8].try_into().unwrap());
-    let (n, m, a, b) = (u64_at(12), u64_at(20), u64_at(28), u64_at(36));
-    let stored_checksum = u64_at(44);
-
-    // CSR arrays index nodes/arcs/coins with u32, so anything larger than
-    // u32::MAX elements cannot be a snapshot this library wrote.
-    let max = u32::MAX as u64;
-    if n > max || m > max || a > max || b > max {
-        return Err(corrupt(format!(
-            "declared sizes exceed u32 capacity (n={n}, m={m}, arcs={a}/{b})"
-        )));
-    }
-    if !directed && b != 0 {
-        return Err(corrupt("undirected snapshot declares in-arcs"));
-    }
-
-    // The declared size is untrusted (a 52-byte header can claim ~240 GB
-    // of payload), so grow the buffer chunk by chunk as bytes actually
-    // arrive: a lying header then fails with `Truncated` after one chunk
-    // instead of aborting the process on a giant up-front allocation.
-    let expected = payload_bytes(n, m, a, b, directed, has_index);
-    const CHUNK: u64 = 16 << 20;
-    let mut payload: Vec<u8> = Vec::new();
-    let mut remaining = expected;
-    while remaining > 0 {
-        let step = remaining.min(CHUNK) as usize;
-        let filled = payload.len();
-        payload.resize(filled + step, 0);
-        r.read_exact(&mut payload[filled..])?;
-        remaining -= step as u64;
-    }
-    if r.read(&mut [0u8; 1])? != 0 {
-        return Err(corrupt("trailing bytes after declared payload"));
-    }
-    let computed = fnv1a(&payload);
-    if computed != stored_checksum {
-        return Err(SnapshotError::ChecksumMismatch {
-            stored: stored_checksum,
-            computed,
-        });
-    }
-
-    let (n, m, a, b) = (n as usize, m as usize, a as usize, b as usize);
-    let mut dec = Decoder {
-        buf: &payload,
-        pos: 0,
-    };
-    let out_off = dec.u32s(n + 1);
-    let out_dst = dec.u32s(a);
-    let out_prob = dec.f64s(a);
-    let out_coin = dec.u32s(a);
-    let (in_off, in_dst, in_prob, in_coin) = if directed {
-        (dec.u32s(n + 1), dec.u32s(b), dec.f64s(b), dec.u32s(b))
-    } else {
-        (Vec::new(), Vec::new(), Vec::new(), Vec::new())
-    };
-    let coin_prob = dec.f64s(m);
-    let coin_ends = dec.pairs(m);
-    let section = if has_index {
-        let super_of = dec.u32s(n);
-        let comp_of = dec.u32s(n);
-        for (v, &s) in super_of.iter().enumerate() {
-            if s as usize >= n.max(1) {
-                return Err(corrupt(format!(
-                    "index supernode label {s} of node {v} out of range for {n} nodes"
-                )));
-            }
+    /// Interleaved `(u32, u32)` pairs, split into two parallel columns.
+    fn pair_cols(&mut self, count: usize) -> (Vec<u32>, Vec<u32>) {
+        let raw = self.take(count * 8);
+        let mut first = Vec::with_capacity(count);
+        let mut second = Vec::with_capacity(count);
+        for c in raw.chunks_exact(8) {
+            first.push(u32::from_le_bytes(c[..4].try_into().unwrap()));
+            second.push(u32::from_le_bytes(c[4..].try_into().unwrap()));
         }
-        for (v, &c) in comp_of.iter().enumerate() {
-            if c as usize >= n.max(1) {
-                return Err(corrupt(format!(
-                    "index component label {c} of node {v} out of range for {n} nodes"
-                )));
-            }
-        }
-        Some(IndexSection { super_of, comp_of })
-    } else {
-        None
-    };
-    debug_assert_eq!(dec.pos, payload.len());
-
-    validate_side("out", &out_off, &out_dst, &out_coin, n, m, a)?;
-    validate_probs("out arc", &out_prob)?;
-    if directed {
-        validate_side("in", &in_off, &in_dst, &in_coin, n, m, b)?;
-        validate_probs("in arc", &in_prob)?;
+        (first, second)
     }
-    validate_probs("coin", &coin_prob)?;
-    for (c, &(s, d)) in coin_ends.iter().enumerate() {
-        if s as usize >= n || d as usize >= n {
-            return Err(corrupt(format!(
-                "coin {c} endpoints ({s}, {d}) out of range for {n} nodes"
-            )));
-        }
-    }
-
-    let out_thresh = out_prob.iter().map(|&p| flip_threshold(p)).collect();
-    let in_thresh = in_prob.iter().map(|&p| flip_threshold(p)).collect();
-    Ok((
-        CsrGraph {
-            directed,
-            num_nodes: n,
-            out_off,
-            out_dst,
-            out_prob,
-            out_coin,
-            out_thresh,
-            in_off,
-            in_dst,
-            in_prob,
-            in_coin,
-            in_thresh,
-            coin_prob,
-            coin_ends,
-        },
-        section,
-    ))
 }
+
+// ---------------------------------------------------------------------------
+// Shared structural validation.
+// ---------------------------------------------------------------------------
 
 fn validate_side(
     side: &str,
@@ -534,6 +760,716 @@ fn validate_probs(what: &str, probs: &[f64]) -> Result<(), SnapshotError> {
     Ok(())
 }
 
+/// v3 stores thresholds instead of recomputing them; since
+/// [`flip_threshold`] is a pure function of the probability, any stored
+/// value that disagrees is corruption, not an alternative encoding.
+fn validate_thresh(side: &str, prob: &[f64], thresh: &[u64]) -> Result<(), SnapshotError> {
+    for (i, (&p, &t)) in prob.iter().zip(thresh.iter()).enumerate() {
+        if t != flip_threshold(p) {
+            return Err(corrupt(format!(
+                "{side} arc {i} stored threshold {t} does not match probability {p}"
+            )));
+        }
+    }
+    Ok(())
+}
+
+fn validate_index_labels(sec: &IndexSection, n: usize) -> Result<(), SnapshotError> {
+    for (v, &s) in sec.super_of.iter().enumerate() {
+        if s as usize >= n.max(1) {
+            return Err(corrupt(format!(
+                "index supernode label {s} of node {v} out of range for {n} nodes"
+            )));
+        }
+    }
+    for (v, &c) in sec.comp_of.iter().enumerate() {
+        if c as usize >= n.max(1) {
+            return Err(corrupt(format!(
+                "index component label {c} of node {v} out of range for {n} nodes"
+            )));
+        }
+    }
+    Ok(())
+}
+
+type SideSlices<'a> = (&'a [u32], &'a [u32], &'a [f64], &'a [u32], &'a [u64]);
+
+#[allow(clippy::too_many_arguments)]
+fn validate_decoded(
+    directed: bool,
+    n: usize,
+    m: usize,
+    a: usize,
+    b: usize,
+    out: SideSlices<'_>,
+    inn: SideSlices<'_>,
+    coin_prob: &[f64],
+    coin_src: &[u32],
+    coin_dst: &[u32],
+    index: Option<&IndexSection>,
+) -> Result<(), SnapshotError> {
+    let (o_off, o_dst, o_prob, o_coin, o_thresh) = out;
+    validate_side("out", o_off, o_dst, o_coin, n, m, a)?;
+    validate_probs("out arc", o_prob)?;
+    validate_thresh("out", o_prob, o_thresh)?;
+    if directed {
+        let (i_off, i_dst, i_prob, i_coin, i_thresh) = inn;
+        validate_side("in", i_off, i_dst, i_coin, n, m, b)?;
+        validate_probs("in arc", i_prob)?;
+        validate_thresh("in", i_prob, i_thresh)?;
+    }
+    validate_probs("coin", coin_prob)?;
+    for (c, (&s, &d)) in coin_src.iter().zip(coin_dst.iter()).enumerate() {
+        if s as usize >= n || d as usize >= n {
+            return Err(corrupt(format!(
+                "coin {c} endpoints ({s}, {d}) out of range for {n} nodes"
+            )));
+        }
+    }
+    if let Some(sec) = index {
+        validate_index_labels(sec, n)?;
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// v3 header + section-table parsing, shared by the stream and map readers.
+// ---------------------------------------------------------------------------
+
+struct V3Header {
+    directed: bool,
+    has_index: bool,
+    n: u64,
+    m: u64,
+    a: u64,
+    b: u64,
+    table_hash: u64,
+}
+
+fn parse_v3_header(header: &[u8; HEADER_BYTES]) -> Result<V3Header, SnapshotError> {
+    let flags = u32::from_le_bytes(header[8..12].try_into().unwrap());
+    if flags & !(FLAG_DIRECTED | FLAG_INDEX) != 0 {
+        return Err(corrupt(format!(
+            "unknown flag bits {flags:#x} for version 3"
+        )));
+    }
+    let u64_at = |lo: usize| u64::from_le_bytes(header[lo..lo + 8].try_into().unwrap());
+    let (n, m, a, b) = (u64_at(12), u64_at(20), u64_at(28), u64_at(36));
+    // CSR arrays index nodes/arcs/coins with u32, so anything larger than
+    // u32::MAX elements cannot be a snapshot this library wrote.
+    let max = u32::MAX as u64;
+    if n > max || m > max || a > max || b > max {
+        return Err(corrupt(format!(
+            "declared sizes exceed u32 capacity (n={n}, m={m}, arcs={a}/{b})"
+        )));
+    }
+    let directed = flags & FLAG_DIRECTED != 0;
+    if !directed && b != 0 {
+        return Err(corrupt("undirected snapshot declares in-arcs"));
+    }
+    Ok(V3Header {
+        directed,
+        has_index: flags & FLAG_INDEX != 0,
+        n,
+        m,
+        a,
+        b,
+        table_hash: u64_at(44),
+    })
+}
+
+/// One validated section-table entry.
+struct Entry {
+    id: u32,
+    off: u64,
+    len: u64,
+    sum: u64,
+    elems: usize,
+}
+
+/// Validate the raw table bytes against the canonical spec list: known
+/// ids in canonical order, zero entry flags, 64-byte-aligned contiguous
+/// offsets, exact lengths. `table_end` is the file offset one past the
+/// table (where the first section's alignment run begins).
+fn parse_entries(
+    table: &[u8],
+    specs: &[SectionSpec],
+    table_end: u64,
+) -> Result<Vec<Entry>, SnapshotError> {
+    debug_assert_eq!(table.len(), specs.len() * SECTION_ENTRY_BYTES);
+    let mut entries = Vec::with_capacity(specs.len());
+    let mut expected_off = align64(table_end);
+    for (i, spec) in specs.iter().enumerate() {
+        let e = &table[i * SECTION_ENTRY_BYTES..(i + 1) * SECTION_ENTRY_BYTES];
+        let id = u32::from_le_bytes(e[0..4].try_into().unwrap());
+        let sflags = u32::from_le_bytes(e[4..8].try_into().unwrap());
+        let off = u64::from_le_bytes(e[8..16].try_into().unwrap());
+        let len = u64::from_le_bytes(e[16..24].try_into().unwrap());
+        let sum = u64::from_le_bytes(e[24..32].try_into().unwrap());
+        if section_name(id).is_none() || sflags != 0 {
+            return Err(SnapshotError::UnknownSection { id, flags: sflags });
+        }
+        if id != spec.id {
+            return Err(corrupt(format!(
+                "section {i} has id {id}, expected {} ({})",
+                spec.id,
+                section_name(spec.id).unwrap_or("?")
+            )));
+        }
+        if off % SECTION_ALIGN as u64 != 0 {
+            return Err(SnapshotError::Misaligned {
+                section: id,
+                offset: off,
+            });
+        }
+        if off != expected_off {
+            return Err(corrupt(format!(
+                "section {id} at offset {off}, expected {expected_off} \
+                 (sections must be contiguous modulo alignment)"
+            )));
+        }
+        let want_len = spec.elems * spec.elem_bytes;
+        if len != want_len {
+            return Err(corrupt(format!(
+                "section {id} declares {len} bytes, expected {want_len}"
+            )));
+        }
+        entries.push(Entry {
+            id,
+            off,
+            len,
+            sum,
+            elems: spec.elems as usize,
+        });
+        expected_off = align64(off + len);
+    }
+    Ok(entries)
+}
+
+// ---------------------------------------------------------------------------
+// Streaming readers.
+// ---------------------------------------------------------------------------
+
+/// Deserialize a snapshot from any reader, validating magic, version,
+/// checksums, and structural invariants. The returned graph is
+/// bit-identical to the [`CsrGraph`] that was written. Any index section
+/// is decoded and discarded; use [`read_full`] to keep it.
+pub fn read<R: Read>(r: R) -> Result<CsrGraph, SnapshotError> {
+    read_full(r).map(|(csr, _)| csr)
+}
+
+/// [`read()`](fn@read), but also returning the persisted index section when
+/// the snapshot carries one (version ≥ 2 with flag bit 1).
+///
+/// The labels are range-checked here; callers turn them into a usable
+/// [`RelIndex`](crate::index::RelIndex) via [`RelIndex::from_section`](crate::index::RelIndex::from_section), which verifies them against
+/// the graph structure and rebuilds from scratch if they do not hold.
+///
+/// This is the streaming path: it decodes onto the heap from any `Read`,
+/// hashing chunk-by-chunk as bytes arrive. For zero-copy loading of a v3
+/// *file*, use [`map_full`].
+pub fn read_full<R: Read>(mut r: R) -> Result<(CsrGraph, Option<IndexSection>), SnapshotError> {
+    // Magic is checked before the rest of the header is read, so a short
+    // non-snapshot input reports "not a snapshot", not "truncated".
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if magic != MAGIC {
+        return Err(SnapshotError::BadMagic { found: magic });
+    }
+    let mut header = [0u8; HEADER_BYTES];
+    header[0..4].copy_from_slice(&magic);
+    r.read_exact(&mut header[4..])?;
+    let version = u32::from_le_bytes(header[4..8].try_into().unwrap());
+    if !(MIN_FORMAT_VERSION..=FORMAT_VERSION).contains(&version) {
+        return Err(SnapshotError::UnsupportedVersion { found: version });
+    }
+    if version >= 3 {
+        read_v3(&mut r, &header)
+    } else {
+        read_legacy(&mut r, &header, version)
+    }
+}
+
+/// Version 1/2 contiguous-payload reader (see the module docs).
+fn read_legacy<R: Read>(
+    r: &mut R,
+    header: &[u8; HEADER_BYTES],
+    version: u32,
+) -> Result<(CsrGraph, Option<IndexSection>), SnapshotError> {
+    let flags = u32::from_le_bytes(header[8..12].try_into().unwrap());
+    let known = if version >= 2 {
+        FLAG_DIRECTED | FLAG_INDEX
+    } else {
+        FLAG_DIRECTED
+    };
+    if flags & !known != 0 {
+        return Err(corrupt(format!(
+            "unknown flag bits {flags:#x} for version {version}"
+        )));
+    }
+    let directed = flags & FLAG_DIRECTED != 0;
+    let has_index = flags & FLAG_INDEX != 0;
+    let u64_at = |lo: usize| u64::from_le_bytes(header[lo..lo + 8].try_into().unwrap());
+    let (n, m, a, b) = (u64_at(12), u64_at(20), u64_at(28), u64_at(36));
+    let stored_checksum = u64_at(44);
+
+    let max = u32::MAX as u64;
+    if n > max || m > max || a > max || b > max {
+        return Err(corrupt(format!(
+            "declared sizes exceed u32 capacity (n={n}, m={m}, arcs={a}/{b})"
+        )));
+    }
+    if !directed && b != 0 {
+        return Err(corrupt("undirected snapshot declares in-arcs"));
+    }
+
+    // The declared size is untrusted (a 52-byte header can claim ~240 GB
+    // of payload), so grow the buffer chunk by chunk as bytes actually
+    // arrive: a lying header then fails with `Truncated` after one chunk
+    // instead of aborting the process on a giant up-front allocation. The
+    // checksum streams over the same chunks — no second pass, no copy.
+    let expected = legacy_payload_bytes(n, m, a, b, directed, has_index);
+    let mut payload: Vec<u8> = Vec::new();
+    let mut remaining = expected;
+    let mut hash = Fnv64::new();
+    while remaining > 0 {
+        let step = remaining.min(CHUNK) as usize;
+        let filled = payload.len();
+        payload.resize(filled + step, 0);
+        r.read_exact(&mut payload[filled..])?;
+        hash.update(&payload[filled..]);
+        remaining -= step as u64;
+    }
+    if r.read(&mut [0u8; 1])? != 0 {
+        return Err(corrupt("trailing bytes after declared payload"));
+    }
+    let computed = hash.finish();
+    if computed != stored_checksum {
+        return Err(SnapshotError::ChecksumMismatch {
+            stored: stored_checksum,
+            computed,
+        });
+    }
+
+    let (n, m, a, b) = (n as usize, m as usize, a as usize, b as usize);
+    let mut dec = Decoder {
+        buf: &payload,
+        pos: 0,
+    };
+    let out_off = dec.u32s(n + 1);
+    let out_dst = dec.u32s(a);
+    let out_prob = dec.f64s(a);
+    let out_coin = dec.u32s(a);
+    let (in_off, in_dst, in_prob, in_coin) = if directed {
+        (dec.u32s(n + 1), dec.u32s(b), dec.f64s(b), dec.u32s(b))
+    } else {
+        (Vec::new(), Vec::new(), Vec::new(), Vec::new())
+    };
+    let coin_prob = dec.f64s(m);
+    let (coin_src, coin_dst) = dec.pair_cols(m);
+    let section = if has_index {
+        Some(IndexSection {
+            super_of: dec.u32s(n),
+            comp_of: dec.u32s(n),
+        })
+    } else {
+        None
+    };
+    debug_assert_eq!(dec.pos, payload.len());
+
+    // Thresholds are not stored in v1/v2: recompute, which also makes the
+    // shared threshold validation trivially pass.
+    let out_thresh: Vec<u64> = out_prob.iter().map(|&p| flip_threshold(p)).collect();
+    let in_thresh: Vec<u64> = in_prob.iter().map(|&p| flip_threshold(p)).collect();
+    validate_decoded(
+        directed,
+        n,
+        m,
+        a,
+        b,
+        (&out_off, &out_dst, &out_prob, &out_coin, &out_thresh),
+        (&in_off, &in_dst, &in_prob, &in_coin, &in_thresh),
+        &coin_prob,
+        &coin_src,
+        &coin_dst,
+        section.as_ref(),
+    )?;
+
+    Ok((
+        CsrGraph {
+            directed,
+            num_nodes: n,
+            out_off: out_off.into(),
+            out_dst: out_dst.into(),
+            out_prob: out_prob.into(),
+            out_coin: out_coin.into(),
+            out_thresh: out_thresh.into(),
+            in_off: in_off.into(),
+            in_dst: in_dst.into(),
+            in_prob: in_prob.into(),
+            in_coin: in_coin.into(),
+            in_thresh: in_thresh.into(),
+            coin_prob: coin_prob.into(),
+            coin_src: coin_src.into(),
+            coin_dst: coin_dst.into(),
+        },
+        section,
+    ))
+}
+
+/// Version 3 sectioned-layout stream reader: table, then one chunked
+/// read + hash per section, decoded onto the heap.
+fn read_v3<R: Read>(
+    r: &mut R,
+    header: &[u8; HEADER_BYTES],
+) -> Result<(CsrGraph, Option<IndexSection>), SnapshotError> {
+    let h = parse_v3_header(header)?;
+    let specs = expected_specs(h.n, h.m, h.a, h.b, h.directed, h.has_index);
+
+    // Count word + reserved bytes. The count is validated against the
+    // header-implied spec list *before* the table is allocated, so a lying
+    // count cannot force a giant allocation.
+    let mut pre = [0u8; 12];
+    r.read_exact(&mut pre)?;
+    let count = u32::from_le_bytes(pre[0..4].try_into().unwrap());
+    if count as usize != specs.len() {
+        return Err(corrupt(format!(
+            "section count {count}, expected {} for this header",
+            specs.len()
+        )));
+    }
+    let mut table = vec![0u8; specs.len() * SECTION_ENTRY_BYTES];
+    r.read_exact(&mut table)?;
+    let mut th = Fnv64::new();
+    th.update(&pre);
+    th.update(&table);
+    let computed = th.finish();
+    if computed != h.table_hash {
+        return Err(SnapshotError::ChecksumMismatch {
+            stored: h.table_hash,
+            computed,
+        });
+    }
+    if pre[4..12] != [0u8; 8] {
+        return Err(corrupt("reserved header bytes are not zero"));
+    }
+    let table_end = (V3_TABLE_OFFSET + table.len()) as u64;
+    let entries = parse_entries(&table, &specs, table_end)?;
+
+    // Stream the sections in file order, hashing each as it arrives.
+    let mut raw: Vec<Vec<u8>> = Vec::with_capacity(entries.len());
+    let mut pos = table_end;
+    let mut pad = [0u8; SECTION_ALIGN];
+    for e in &entries {
+        r.read_exact(&mut pad[..(e.off - pos) as usize])?;
+        let mut buf: Vec<u8> = Vec::new();
+        let mut remaining = e.len;
+        let mut hash = Fnv64::new();
+        while remaining > 0 {
+            let step = remaining.min(CHUNK) as usize;
+            let filled = buf.len();
+            buf.resize(filled + step, 0);
+            r.read_exact(&mut buf[filled..])?;
+            hash.update(&buf[filled..]);
+            remaining -= step as u64;
+        }
+        let computed = hash.finish();
+        if computed != e.sum {
+            return Err(SnapshotError::ChecksumMismatch {
+                stored: e.sum,
+                computed,
+            });
+        }
+        raw.push(buf);
+        pos = e.off + e.len;
+    }
+    if r.read(&mut [0u8; 1])? != 0 {
+        return Err(corrupt("trailing bytes after the last section"));
+    }
+
+    // Decode in canonical order (parse_entries pinned the order already).
+    let mut raw = raw.into_iter();
+    let mut take = || raw.next().expect("entry count validated");
+    let out_off = vec_u32(&take());
+    let out_dst = vec_u32(&take());
+    let out_prob = vec_f64(&take());
+    let out_coin = vec_u32(&take());
+    let out_thresh = vec_u64(&take());
+    let (in_off, in_dst, in_prob, in_coin, in_thresh) = if h.directed {
+        (
+            vec_u32(&take()),
+            vec_u32(&take()),
+            vec_f64(&take()),
+            vec_u32(&take()),
+            vec_u64(&take()),
+        )
+    } else {
+        (Vec::new(), Vec::new(), Vec::new(), Vec::new(), Vec::new())
+    };
+    let coin_prob = vec_f64(&take());
+    let coin_src = vec_u32(&take());
+    let coin_dst = vec_u32(&take());
+    let section = if h.has_index {
+        Some(IndexSection {
+            super_of: vec_u32(&take()),
+            comp_of: vec_u32(&take()),
+        })
+    } else {
+        None
+    };
+
+    let (n, m, a, b) = (h.n as usize, h.m as usize, h.a as usize, h.b as usize);
+    validate_decoded(
+        h.directed,
+        n,
+        m,
+        a,
+        b,
+        (&out_off, &out_dst, &out_prob, &out_coin, &out_thresh),
+        (&in_off, &in_dst, &in_prob, &in_coin, &in_thresh),
+        &coin_prob,
+        &coin_src,
+        &coin_dst,
+        section.as_ref(),
+    )?;
+
+    Ok((
+        CsrGraph {
+            directed: h.directed,
+            num_nodes: n,
+            out_off: out_off.into(),
+            out_dst: out_dst.into(),
+            out_prob: out_prob.into(),
+            out_coin: out_coin.into(),
+            out_thresh: out_thresh.into(),
+            in_off: in_off.into(),
+            in_dst: in_dst.into(),
+            in_prob: in_prob.into(),
+            in_coin: in_coin.into(),
+            in_thresh: in_thresh.into(),
+            coin_prob: coin_prob.into(),
+            coin_src: coin_src.into(),
+            coin_dst: coin_dst.into(),
+        },
+        section,
+    ))
+}
+
+// ---------------------------------------------------------------------------
+// Zero-copy map loading.
+// ---------------------------------------------------------------------------
+
+/// Borrow one section out of the mapping as a typed [`Block`].
+fn borrow_col<T: Pod>(map: &Arc<Mapping>, e: &Entry) -> Result<Block<T>, SnapshotError> {
+    Block::from_mapping(map, e.off as usize, e.elems).map_err(|err| match err {
+        BlockError::OutOfBounds => SnapshotError::Truncated,
+        BlockError::Misaligned => SnapshotError::Misaligned {
+            section: e.id,
+            offset: e.off,
+        },
+    })
+}
+
+/// Load a snapshot **zero-copy**: the file is memory-mapped (see
+/// [`relmax_store::Mapping`] — a raw-syscall map on Linux, an aligned heap
+/// read elsewhere) and, for version-3 files on little-endian hosts, the
+/// returned graph's CSR/coin/threshold columns are borrowed slices over
+/// the mapped region. Allocation is `O(1)` in the graph size: only the
+/// graph struct, the mapping bookkeeping, and (when present) the index
+/// label vectors touch the heap, and resident memory grows with the pages
+/// queries actually touch rather than the file size.
+///
+/// Validation is the same as [`read_full`]: table hash, per-section
+/// checksums, and every structural invariant. Legacy (v1/v2) files and
+/// big-endian hosts fall back to the streaming decoder over the mapped
+/// bytes — same result, heap-owned columns.
+///
+/// Estimates over a mapped graph are **bit-identical** to estimates over
+/// a heap-loaded one: the bytes are the same bytes.
+///
+/// Safety note: the mapping assumes the file is not truncated in place
+/// while loaded (writers in this workspace write-then-rename). See the
+/// [`relmax_store::Mapping`] docs.
+pub fn map_full<P: AsRef<Path>>(
+    path: P,
+) -> Result<(CsrGraph, Option<IndexSection>), SnapshotError> {
+    map_impl(path.as_ref(), false)
+}
+
+/// [`map_full`] for files this process (or an equally trusted peer) just
+/// wrote: geometry — header sanity, section table shape, alignment, exact
+/// file length — is still fully validated, but the table hash, per-section
+/// checksums, and per-element range/threshold scans are skipped, so the
+/// load is `O(sections)` instead of `O(bytes)`. Used by `relmax serve`'s
+/// reload and compaction swap paths, where the snapshot was produced
+/// moments earlier by this codebase.
+pub fn map_full_trusted<P: AsRef<Path>>(
+    path: P,
+) -> Result<(CsrGraph, Option<IndexSection>), SnapshotError> {
+    map_impl(path.as_ref(), true)
+}
+
+fn map_impl(path: &Path, trusted: bool) -> Result<(CsrGraph, Option<IndexSection>), SnapshotError> {
+    let map = Arc::new(Mapping::open(path)?);
+    let bytes = map.as_bytes();
+    if bytes.len() < MAGIC.len() {
+        return Err(SnapshotError::Truncated);
+    }
+    if bytes[..4] != MAGIC {
+        return Err(SnapshotError::BadMagic {
+            found: bytes[..4].try_into().unwrap(),
+        });
+    }
+    if bytes.len() < 8 {
+        return Err(SnapshotError::Truncated);
+    }
+    let version = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+    if !(MIN_FORMAT_VERSION..=FORMAT_VERSION).contains(&version) {
+        return Err(SnapshotError::UnsupportedVersion { found: version });
+    }
+    if version < 3 || cfg!(target_endian = "big") {
+        // No zero-copy for unaligned legacy layouts or foreign byte order:
+        // decode the mapped bytes onto the heap instead. Same graph, bit
+        // for bit.
+        return read_full(bytes);
+    }
+
+    if bytes.len() < V3_TABLE_OFFSET {
+        return Err(SnapshotError::Truncated);
+    }
+    let header: &[u8; HEADER_BYTES] = bytes[..HEADER_BYTES].try_into().unwrap();
+    let h = parse_v3_header(header)?;
+    let specs = expected_specs(h.n, h.m, h.a, h.b, h.directed, h.has_index);
+    let count = u32::from_le_bytes(bytes[52..56].try_into().unwrap());
+    if count as usize != specs.len() {
+        return Err(corrupt(format!(
+            "section count {count}, expected {} for this header",
+            specs.len()
+        )));
+    }
+    let table_end = V3_TABLE_OFFSET + specs.len() * SECTION_ENTRY_BYTES;
+    if bytes.len() < table_end {
+        return Err(SnapshotError::Truncated);
+    }
+    if !trusted {
+        let computed = fnv1a(&bytes[HEADER_BYTES..table_end]);
+        if computed != h.table_hash {
+            return Err(SnapshotError::ChecksumMismatch {
+                stored: h.table_hash,
+                computed,
+            });
+        }
+    }
+    if bytes[56..64] != [0u8; 8] {
+        return Err(corrupt("reserved header bytes are not zero"));
+    }
+    let entries = parse_entries(&bytes[V3_TABLE_OFFSET..table_end], &specs, table_end as u64)?;
+    let file_end = entries
+        .last()
+        .map(|e| e.off + e.len)
+        .unwrap_or(table_end as u64);
+    if (bytes.len() as u64) < file_end {
+        return Err(SnapshotError::Truncated);
+    }
+    if (bytes.len() as u64) > file_end {
+        return Err(corrupt("trailing bytes after the last section"));
+    }
+    if !trusted {
+        for e in &entries {
+            let computed = fnv1a(&bytes[e.off as usize..(e.off + e.len) as usize]);
+            if computed != e.sum {
+                return Err(SnapshotError::ChecksumMismatch {
+                    stored: e.sum,
+                    computed,
+                });
+            }
+        }
+    }
+
+    let mut it = entries.iter();
+    let mut next = || it.next().expect("entry count validated");
+    let out_off: Block<u32> = borrow_col(&map, next())?;
+    let out_dst: Block<u32> = borrow_col(&map, next())?;
+    let out_prob: Block<f64> = borrow_col(&map, next())?;
+    let out_coin: Block<u32> = borrow_col(&map, next())?;
+    let out_thresh: Block<u64> = borrow_col(&map, next())?;
+    let (in_off, in_dst, in_prob, in_coin, in_thresh) = if h.directed {
+        (
+            borrow_col::<u32>(&map, next())?,
+            borrow_col::<u32>(&map, next())?,
+            borrow_col::<f64>(&map, next())?,
+            borrow_col::<u32>(&map, next())?,
+            borrow_col::<u64>(&map, next())?,
+        )
+    } else {
+        (
+            Block::new(),
+            Block::new(),
+            Block::new(),
+            Block::new(),
+            Block::new(),
+        )
+    };
+    let coin_prob: Block<f64> = borrow_col(&map, next())?;
+    let coin_src: Block<u32> = borrow_col(&map, next())?;
+    let coin_dst: Block<u32> = borrow_col(&map, next())?;
+    let section = if h.has_index {
+        // Index labels are small (8 bytes/node) and feed a rebuild that
+        // wants owned vectors anyway, so they are copied out rather than
+        // borrowed.
+        let s: Block<u32> = borrow_col(&map, next())?;
+        let c: Block<u32> = borrow_col(&map, next())?;
+        Some(IndexSection {
+            super_of: s.to_vec(),
+            comp_of: c.to_vec(),
+        })
+    } else {
+        None
+    };
+
+    let (n, m, a, b) = (h.n as usize, h.m as usize, h.a as usize, h.b as usize);
+    if !trusted {
+        validate_decoded(
+            h.directed,
+            n,
+            m,
+            a,
+            b,
+            (&out_off, &out_dst, &out_prob, &out_coin, &out_thresh),
+            (&in_off, &in_dst, &in_prob, &in_coin, &in_thresh),
+            &coin_prob,
+            &coin_src,
+            &coin_dst,
+            section.as_ref(),
+        )?;
+    }
+
+    Ok((
+        CsrGraph {
+            directed: h.directed,
+            num_nodes: n,
+            out_off,
+            out_dst,
+            out_prob,
+            out_coin,
+            out_thresh,
+            in_off,
+            in_dst,
+            in_prob,
+            in_coin,
+            in_thresh,
+            coin_prob,
+            coin_src,
+            coin_dst,
+        },
+        section,
+    ))
+}
+
+// ---------------------------------------------------------------------------
+// Path-level and in-memory conveniences.
+// ---------------------------------------------------------------------------
+
 /// [`write()`](fn@write) to a file path (buffered; creates or truncates).
 pub fn save<P: AsRef<Path>>(csr: &CsrGraph, path: P) -> Result<(), SnapshotError> {
     let f = File::create(path)?;
@@ -566,6 +1502,47 @@ pub fn load_full<P: AsRef<Path>>(
     read_full(BufReader::new(f))
 }
 
+/// Whether [`open_full`] maps snapshots zero-copy. On by default; the
+/// `RELMAX_MMAP` environment variable set to `off`, `0`, `no`, or `false`
+/// (case-insensitive) is the escape hatch that forces the buffered heap
+/// path everywhere — a pure performance/residency knob, never a
+/// correctness one, since both paths produce bit-identical graphs.
+pub fn mmap_enabled() -> bool {
+    match std::env::var("RELMAX_MMAP") {
+        Ok(v) => !matches!(
+            v.to_ascii_lowercase().as_str(),
+            "off" | "0" | "no" | "false"
+        ),
+        Err(_) => true,
+    }
+}
+
+/// The default production load path for snapshot files: zero-copy
+/// [`map_full`] unless `RELMAX_MMAP=off` (see [`mmap_enabled`]), in which
+/// case the buffered [`load_full`]. Full validation either way.
+pub fn open_full<P: AsRef<Path>>(
+    path: P,
+) -> Result<(CsrGraph, Option<IndexSection>), SnapshotError> {
+    if mmap_enabled() {
+        map_full(path)
+    } else {
+        load_full(path)
+    }
+}
+
+/// [`open_full`] for snapshots this process just wrote: routes to the
+/// checksum-skipping [`map_full_trusted`] when mapping is enabled, and to
+/// the fully-validating buffered path under `RELMAX_MMAP=off`.
+pub fn open_full_trusted<P: AsRef<Path>>(
+    path: P,
+) -> Result<(CsrGraph, Option<IndexSection>), SnapshotError> {
+    if mmap_enabled() {
+        map_full_trusted(path)
+    } else {
+        load_full(path)
+    }
+}
+
 /// In-memory round trip: encode to bytes, no index section.
 pub fn to_bytes(csr: &CsrGraph) -> Vec<u8> {
     let mut buf = Vec::new();
@@ -577,6 +1554,21 @@ pub fn to_bytes(csr: &CsrGraph) -> Vec<u8> {
 pub fn to_bytes_full(csr: &CsrGraph, index: Option<&IndexSection>) -> Vec<u8> {
     let mut buf = Vec::new();
     write_full(csr, index, &mut buf).expect("writing to a Vec cannot fail");
+    buf
+}
+
+/// In-memory encode in the **legacy version-2** layout, no index section.
+pub fn to_bytes_v2(csr: &CsrGraph) -> Vec<u8> {
+    let mut buf = Vec::new();
+    write_v2(csr, &mut buf).expect("writing to a Vec cannot fail");
+    buf
+}
+
+/// In-memory encode in the **legacy version-2** layout with an optional
+/// index section.
+pub fn to_bytes_v2_full(csr: &CsrGraph, index: Option<&IndexSection>) -> Vec<u8> {
+    let mut buf = Vec::new();
+    write_v2_full(csr, index, &mut buf).expect("writing to a Vec cannot fail");
     buf
 }
 
@@ -603,6 +1595,54 @@ mod tests {
         g.freeze()
     }
 
+    /// Parsed view of a v3 byte image's section table, for test surgery.
+    struct TEntry {
+        id: u32,
+        /// Byte position of this 32-byte entry inside `bytes`.
+        pos: usize,
+        off: usize,
+        len: usize,
+    }
+
+    fn entries_of(bytes: &[u8]) -> Vec<TEntry> {
+        let count = u32::from_le_bytes(bytes[52..56].try_into().unwrap()) as usize;
+        (0..count)
+            .map(|i| {
+                let pos = V3_TABLE_OFFSET + i * SECTION_ENTRY_BYTES;
+                TEntry {
+                    id: u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()),
+                    pos,
+                    off: u64::from_le_bytes(bytes[pos + 8..pos + 16].try_into().unwrap()) as usize,
+                    len: u64::from_le_bytes(bytes[pos + 16..pos + 24].try_into().unwrap()) as usize,
+                }
+            })
+            .collect()
+    }
+
+    fn table_end(bytes: &[u8]) -> usize {
+        let count = u32::from_le_bytes(bytes[52..56].try_into().unwrap()) as usize;
+        V3_TABLE_OFFSET + count * SECTION_ENTRY_BYTES
+    }
+
+    /// Recompute one section's table checksum after patching its bytes.
+    fn fix_section_sum(bytes: &mut [u8], entry_index: usize) {
+        let e = &entries_of(bytes)[entry_index];
+        let sum = fnv1a(&bytes[e.off..e.off + e.len]);
+        let pos = e.pos;
+        bytes[pos + 24..pos + 32].copy_from_slice(&sum.to_le_bytes());
+    }
+
+    /// Recompute the header's table hash after patching the table.
+    fn fix_table_hash(bytes: &mut [u8]) {
+        let end = table_end(bytes);
+        let hash = fnv1a(&bytes[HEADER_BYTES..end]);
+        bytes[44..52].copy_from_slice(&hash.to_le_bytes());
+    }
+
+    fn tmp_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("relmax-snap-{tag}-{}.rgs", std::process::id()))
+    }
+
     #[test]
     fn round_trip_is_equal_directed_and_undirected() {
         for csr in [diamond(), undirected_path()] {
@@ -618,6 +1658,38 @@ mod tests {
         let back = read(&to_bytes(&csr)[..]).unwrap();
         assert!(back == csr);
         assert_eq!(back.num_nodes(), 0);
+    }
+
+    #[test]
+    fn v3_layout_invariants() {
+        let csr = diamond();
+        let idx = RelIndex::build(&csr);
+        let bytes = to_bytes_full(&csr, Some(&idx.section()));
+        assert_eq!(peek_version(&bytes), Some(3));
+        let entries = entries_of(&bytes);
+        // Directed + index: the full 15-section canonical list.
+        assert_eq!(
+            entries.iter().map(|e| e.id).collect::<Vec<_>>(),
+            (1..=15).collect::<Vec<_>>()
+        );
+        let mut expected_off = {
+            let e = table_end(&bytes) as u64;
+            align64(e) as usize
+        };
+        for e in &entries {
+            assert_eq!(e.off % SECTION_ALIGN, 0, "section {} misaligned", e.id);
+            assert_eq!(e.off, expected_off, "section {} not contiguous", e.id);
+            expected_off = align64((e.off + e.len) as u64) as usize;
+        }
+        let last = entries.last().unwrap();
+        assert_eq!(
+            bytes.len(),
+            last.off + last.len,
+            "file must end at last section"
+        );
+        // The table hash covers [52, table_end).
+        let stored = u64::from_le_bytes(bytes[44..52].try_into().unwrap());
+        assert_eq!(stored, fnv1a(&bytes[HEADER_BYTES..table_end(&bytes)]));
     }
 
     #[test]
@@ -651,7 +1723,15 @@ mod tests {
     #[test]
     fn truncation_rejected_at_every_length() {
         let bytes = to_bytes(&diamond());
-        for len in [0, 3, HEADER_BYTES - 1, HEADER_BYTES, bytes.len() - 1] {
+        for len in [
+            0,
+            3,
+            HEADER_BYTES - 1,
+            HEADER_BYTES,
+            63,
+            100,
+            bytes.len() - 1,
+        ] {
             let err = read(&bytes[..len]).unwrap_err();
             assert!(
                 matches!(err, SnapshotError::Truncated),
@@ -662,8 +1742,8 @@ mod tests {
 
     #[test]
     fn lying_header_sizes_fail_without_huge_allocation() {
-        // A 52-byte header claiming ~240 GB of payload must fail with
-        // `Truncated` after at most one chunk — not abort on allocation.
+        // A header claiming ~u32::MAX of everything must fail with
+        // `Truncated` once the bytes run out — not abort on allocation.
         let mut bytes = Vec::new();
         bytes.extend_from_slice(&MAGIC);
         bytes.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
@@ -689,6 +1769,21 @@ mod tests {
     }
 
     #[test]
+    fn table_corruption_fails_table_hash() {
+        let mut bytes = to_bytes(&diamond());
+        // Flip a bit inside the first entry's checksum field.
+        bytes[V3_TABLE_OFFSET + 24] ^= 1;
+        assert!(matches!(
+            read(&bytes[..]),
+            Err(SnapshotError::ChecksumMismatch { .. })
+        ));
+        assert!(matches!(
+            read_bytes_via_map(&bytes, false),
+            Err(SnapshotError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
     fn trailing_bytes_rejected() {
         let mut bytes = to_bytes(&diamond());
         bytes.push(0);
@@ -700,19 +1795,162 @@ mod tests {
 
     #[test]
     fn out_of_range_prob_rejected_even_with_valid_checksum() {
-        // Rewrite one payload f64 to 2.0 and fix the checksum: structural
-        // validation must still reject it.
-        let csr = diamond();
-        let mut bytes = to_bytes(&csr);
-        let n = csr.num_nodes;
-        // out_prob starts after out_off ((n+1) u32) + out_dst (a u32).
-        let a = csr.out_dst.len();
-        let prob0 = HEADER_BYTES + (n + 1) * 4 + a * 4;
-        bytes[prob0..prob0 + 8].copy_from_slice(&2.0f64.to_bits().to_le_bytes());
-        let checksum = fnv1a(&bytes[HEADER_BYTES..]);
-        bytes[44..52].copy_from_slice(&checksum.to_le_bytes());
+        // Rewrite one out_prob f64 to 2.0 and repair both checksum layers:
+        // structural validation must still reject it.
+        let mut bytes = to_bytes(&diamond());
+        let (i, e) = entries_of(&bytes)
+            .into_iter()
+            .enumerate()
+            .find(|(_, e)| e.id == SEC_OUT_PROB)
+            .expect("out_prob section present");
+        bytes[e.off..e.off + 8].copy_from_slice(&2.0f64.to_bits().to_le_bytes());
+        fix_section_sum(&mut bytes, i);
+        fix_table_hash(&mut bytes);
         let err = read(&bytes[..]).unwrap_err();
         assert!(matches!(err, SnapshotError::Corrupt { .. }), "{err}");
+    }
+
+    #[test]
+    fn stored_threshold_mismatch_rejected() {
+        // Corrupt one stored threshold (with repaired checksums): v3
+        // readers must verify thresh == flip_threshold(prob).
+        let mut bytes = to_bytes(&diamond());
+        let (i, e) = entries_of(&bytes)
+            .into_iter()
+            .enumerate()
+            .find(|(_, e)| e.id == SEC_OUT_THRESH)
+            .expect("out_thresh section present");
+        let cur = u64::from_le_bytes(bytes[e.off..e.off + 8].try_into().unwrap());
+        bytes[e.off..e.off + 8].copy_from_slice(&(cur + 1).to_le_bytes());
+        fix_section_sum(&mut bytes, i);
+        fix_table_hash(&mut bytes);
+        let err = read(&bytes[..]).unwrap_err();
+        assert!(
+            matches!(&err, SnapshotError::Corrupt { what } if what.contains("threshold")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn unknown_section_flag_rejected() {
+        let mut bytes = to_bytes(&diamond());
+        // Set a feature flag on the second entry and repair the table hash.
+        let pos = V3_TABLE_OFFSET + SECTION_ENTRY_BYTES + 4;
+        bytes[pos..pos + 4].copy_from_slice(&1u32.to_le_bytes());
+        fix_table_hash(&mut bytes);
+        assert!(matches!(
+            read(&bytes[..]),
+            Err(SnapshotError::UnknownSection {
+                id: SEC_OUT_DST,
+                flags: 1
+            })
+        ));
+        assert!(matches!(
+            read_bytes_via_map(&bytes, false),
+            Err(SnapshotError::UnknownSection { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_section_id_rejected() {
+        let mut bytes = to_bytes(&diamond());
+        let pos = V3_TABLE_OFFSET; // first entry's id word
+        bytes[pos..pos + 4].copy_from_slice(&200u32.to_le_bytes());
+        fix_table_hash(&mut bytes);
+        assert!(matches!(
+            read(&bytes[..]),
+            Err(SnapshotError::UnknownSection { id: 200, flags: 0 })
+        ));
+    }
+
+    #[test]
+    fn misaligned_section_rejected() {
+        let mut bytes = to_bytes(&diamond());
+        let e = &entries_of(&bytes)[0];
+        let bad = (e.off + 4) as u64;
+        bytes[e.pos + 8..e.pos + 16].copy_from_slice(&bad.to_le_bytes());
+        fix_table_hash(&mut bytes);
+        assert!(matches!(
+            read(&bytes[..]),
+            Err(SnapshotError::Misaligned {
+                section: SEC_OUT_OFF,
+                ..
+            })
+        ));
+        assert!(matches!(
+            read_bytes_via_map(&bytes, false),
+            Err(SnapshotError::Misaligned { .. })
+        ));
+    }
+
+    /// Write `bytes` to a temp file and load through the map path.
+    fn read_bytes_via_map(
+        bytes: &[u8],
+        trusted: bool,
+    ) -> Result<(CsrGraph, Option<IndexSection>), SnapshotError> {
+        let p = tmp_path(&format!("viamap-{}-{trusted}", fnv1a(bytes)));
+        std::fs::write(&p, bytes).expect("write temp snapshot");
+        let r = if trusted {
+            map_full_trusted(&p)
+        } else {
+            map_full(&p)
+        };
+        std::fs::remove_file(&p).ok();
+        r
+    }
+
+    #[test]
+    fn map_full_matches_read_and_is_zero_copy() {
+        for csr in [diamond(), undirected_path()] {
+            let idx = RelIndex::build(&csr);
+            let bytes = to_bytes_full(&csr, Some(&idx.section()));
+            let (mapped, section) = read_bytes_via_map(&bytes, false).expect("map loads");
+            assert!(mapped == csr, "mapped graph differs from written graph");
+            assert_eq!(section.as_ref(), Some(&idx.section()));
+            if cfg!(target_endian = "little") {
+                assert!(mapped.is_zero_copy(), "v3 map load must borrow columns");
+                assert!(
+                    mapped.resident_bytes() < csr.resident_bytes(),
+                    "mapped graph must not copy columns onto the heap"
+                );
+            }
+            // Trusted load: same graph, same section.
+            let (trusted, tsec) = read_bytes_via_map(&bytes, true).expect("trusted map loads");
+            assert!(trusted == csr);
+            assert_eq!(tsec, section);
+        }
+    }
+
+    #[test]
+    fn map_full_reads_legacy_v2_files_heap_owned() {
+        let csr = diamond();
+        let bytes = to_bytes_v2(&csr);
+        assert_eq!(peek_version(&bytes), Some(2));
+        let (back, section) = read_bytes_via_map(&bytes, false).expect("v2 maps via fallback");
+        assert!(back == csr);
+        assert!(section.is_none());
+        assert!(!back.is_zero_copy(), "legacy layouts decode onto the heap");
+    }
+
+    #[test]
+    fn trusted_map_skips_checksums_but_not_geometry() {
+        let csr = diamond();
+        let mut bytes = to_bytes(&csr);
+        // Corrupt a payload byte without repairing checksums: untrusted
+        // rejects, trusted (geometry-only) accepts.
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        assert!(matches!(
+            read_bytes_via_map(&bytes, false),
+            Err(SnapshotError::ChecksumMismatch { .. })
+        ));
+        assert!(read_bytes_via_map(&bytes, true).is_ok());
+        // But truncation is geometry: trusted still rejects.
+        let cut = &bytes[..bytes.len() - 8];
+        assert!(matches!(
+            read_bytes_via_map(cut, true),
+            Err(SnapshotError::Truncated)
+        ));
     }
 
     #[test]
@@ -732,24 +1970,26 @@ mod tests {
     }
 
     #[test]
-    fn v2_without_index_matches_v1_except_version_word() {
+    fn v2_encoder_matches_v1_except_version_word() {
         let csr = diamond();
-        let v2 = to_bytes(&csr);
+        let v2 = to_bytes_v2(&csr);
         assert_eq!(u32::from_le_bytes(v2[4..8].try_into().unwrap()), 2);
         let mut v1 = v2.clone();
         v1[4..8].copy_from_slice(&1u32.to_le_bytes());
-        // The checksum covers only the payload, so the patched file is a
-        // valid version-1 snapshot — and must still load bit-identically.
+        // The legacy checksum covers only the payload, so the patched file
+        // is a valid version-1 snapshot — and must load bit-identically.
         let (back, section) = read_full(&v1[..]).unwrap();
         assert!(back == csr);
         assert!(section.is_none());
+        // And the v3 encoding decodes to the same graph as the v2 one.
+        assert!(read(&to_bytes(&csr)[..]).unwrap() == read(&v2[..]).unwrap());
     }
 
     #[test]
     fn v1_with_index_flag_is_rejected() {
         let csr = diamond();
         let idx = RelIndex::build(&csr);
-        let mut bytes = to_bytes_full(&csr, Some(&idx.section()));
+        let mut bytes = to_bytes_v2_full(&csr, Some(&idx.section()));
         bytes[4..8].copy_from_slice(&1u32.to_le_bytes());
         assert!(matches!(
             read_full(&bytes[..]),
@@ -764,13 +2004,15 @@ mod tests {
             super_of: vec![0, 1, 2, 99],
             comp_of: vec![0, 0, 0, 0],
         };
-        let mut bytes = to_bytes_full(&csr, Some(&section));
-        // Labels are written verbatim; fix the checksum so only the range
-        // check can reject them.
-        let checksum = fnv1a(&bytes[HEADER_BYTES..]);
-        bytes[44..52].copy_from_slice(&checksum.to_le_bytes());
+        // Labels are written verbatim with valid checksums, so only the
+        // range check can reject them.
+        let bytes = to_bytes_full(&csr, Some(&section));
         assert!(matches!(
             read_full(&bytes[..]),
+            Err(SnapshotError::Corrupt { .. })
+        ));
+        assert!(matches!(
+            read_bytes_via_map(&bytes, false),
             Err(SnapshotError::Corrupt { .. })
         ));
     }
@@ -784,5 +2026,12 @@ mod tests {
             computed: 2,
         };
         assert!(e.to_string().contains("mismatch"));
+        let e = SnapshotError::UnknownSection { id: 42, flags: 8 };
+        assert!(e.to_string().contains("42"), "{e}");
+        let e = SnapshotError::Misaligned {
+            section: 3,
+            offset: 100,
+        };
+        assert!(e.to_string().contains("aligned"), "{e}");
     }
 }

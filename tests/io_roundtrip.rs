@@ -174,7 +174,7 @@ fn index_sections_round_trip_and_reindex_identically() {
 /// v2 bump must keep loading, byte-exactly, into the same CSR its graph
 /// freezes to today — and its index must be rebuildable on the side.
 #[test]
-fn v1_fixture_still_loads_after_v2_bump() {
+fn v1_fixture_still_loads_after_version_bumps() {
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/tiny_v1.rgs");
     let bytes = std::fs::read(path).expect("fixture committed");
     assert_eq!(
@@ -190,7 +190,7 @@ fn v1_fixture_still_loads_after_v2_bump() {
     g.add_edge(NodeId(1), NodeId(3), 0.75).unwrap();
     let expected = g.freeze();
 
-    let loaded = snapshot::read(&bytes[..]).expect("v1 loads under the v2 reader");
+    let loaded = snapshot::read(&bytes[..]).expect("v1 loads under the current reader");
     assert!(loaded == expected, "v1 payload decoded differently");
     let (loaded, section) = snapshot::read_full(&bytes[..]).expect("v1 loads via read_full");
     assert!(loaded == expected);
@@ -203,6 +203,202 @@ fn v1_fixture_still_loads_after_v2_bump() {
     let mut flagged = bytes.clone();
     flagged[8] |= 2; // FLAG_INDEX
     assert!(snapshot::read(&flagged[..]).is_err());
+}
+
+/// The graph behind `tests/fixtures/tiny_v2.rgs`: six nodes with a
+/// certain 2-cycle (1 ⇄ 2 condenses into one supernode) and a separate
+/// component, so the embedded index section is non-trivial.
+fn v2_fixture_graph() -> UncertainGraph {
+    let mut g = UncertainGraph::new(6, true);
+    g.add_edge(NodeId(0), NodeId(1), 0.5).unwrap();
+    g.add_edge(NodeId(1), NodeId(2), 1.0).unwrap();
+    g.add_edge(NodeId(2), NodeId(1), 1.0).unwrap();
+    g.add_edge(NodeId(2), NodeId(3), 0.25).unwrap();
+    g.add_edge(NodeId(1), NodeId(3), 0.75).unwrap();
+    g.add_edge(NodeId(4), NodeId(5), 1.0 / 3.0).unwrap();
+    g
+}
+
+/// Regenerates the committed v2 fixture. Deliberately `#[ignore]`d: the
+/// fixture must only change on purpose, with the format history in view.
+/// `cargo test --test io_roundtrip regenerate_v2_fixture -- --ignored`
+#[test]
+#[ignore = "writes tests/fixtures/tiny_v2.rgs — run only to regenerate it"]
+fn regenerate_v2_fixture() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/tiny_v2.rgs");
+    let csr = v2_fixture_graph().freeze();
+    let idx = RelIndex::build(&csr);
+    let mut bytes = Vec::new();
+    snapshot::write_v2_full(&csr, Some(&idx.section()), &mut bytes).unwrap();
+    std::fs::write(path, &bytes).unwrap();
+}
+
+/// The committed pre-v3 fixture: a format-v2 `.rgs` (single payload
+/// hash, embedded index section) must keep loading after the v3 bump —
+/// through the heap reader *and* through the zero-copy entry point
+/// (which falls back to a heap decode for legacy versions) — into
+/// byte-identical CSRs that answer queries exactly like a fresh freeze.
+#[test]
+fn v2_fixture_loads_identically_on_both_paths() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/tiny_v2.rgs");
+    let bytes = std::fs::read(path).expect("fixture committed");
+    assert_eq!(
+        u32::from_le_bytes(bytes[4..8].try_into().unwrap()),
+        2,
+        "fixture must stay format v2 — regenerate it only on purpose"
+    );
+
+    let expected = v2_fixture_graph().freeze();
+    let (heap, section) = snapshot::read_full(&bytes[..]).expect("v2 heap load");
+    assert!(heap == expected, "v2 payload decoded differently");
+    let section = section.expect("fixture embeds an index section");
+    let revived = RelIndex::from_section(&heap, &section).expect("section validates");
+    assert!(revived == RelIndex::build(&heap));
+    assert!(!revived.is_identity(), "fixture index must be non-trivial");
+
+    let (mapped, msec) = snapshot::map_full(path).expect("v2 via map_full");
+    assert!(mapped == heap, "mapped fallback decoded differently");
+    assert_eq!(msec.as_ref(), Some(&section));
+    assert!(
+        !mapped.is_zero_copy(),
+        "legacy layouts cannot be borrowed zero-copy"
+    );
+
+    // Same estimates from both loads, serial and sharded.
+    for threads in [1, 4] {
+        let mc = McEstimator::with_threads(1_000, 7, threads);
+        assert_eq!(
+            mc.st_reliability(&heap, NodeId(0), NodeId(3)),
+            mc.st_reliability(&mapped, NodeId(0), NodeId(3)),
+        );
+    }
+}
+
+/// v3 section-table corruption must map to the structured errors, not
+/// panics or generic checksum noise — on the byte reader and on the
+/// mapped open alike.
+#[test]
+fn v3_malformed_section_tables_are_rejected() {
+    // Entry layout: table starts at byte 64 (52-byte header + count u32 +
+    // 8 reserved); each 32-byte entry is {id u32, flags u32, offset u64,
+    // len u64, checksum u64}. The table hash lives at header[44..52].
+    fn table_end(bytes: &[u8]) -> usize {
+        let count = u32::from_le_bytes(bytes[52..56].try_into().unwrap()) as usize;
+        64 + count * snapshot::SECTION_ENTRY_BYTES
+    }
+    fn fix_table_hash(bytes: &mut [u8]) {
+        let end = table_end(bytes);
+        let hash = snapshot::fnv1a(&bytes[snapshot::HEADER_BYTES..end]);
+        bytes[44..52].copy_from_slice(&hash.to_le_bytes());
+    }
+
+    let mut g = UncertainGraph::new(4, true);
+    g.add_edge(NodeId(0), NodeId(1), 0.5).unwrap();
+    g.add_edge(NodeId(1), NodeId(2), 0.75).unwrap();
+    g.add_edge(NodeId(2), NodeId(3), 0.25).unwrap();
+    let bytes = snapshot::to_bytes(&g.freeze());
+    assert_eq!(u32::from_le_bytes(bytes[4..8].try_into().unwrap()), 3);
+
+    // Feature flags this build does not understand: refuse, don't guess.
+    let mut v = bytes.clone();
+    v[68..72].copy_from_slice(&0x8000_0000u32.to_le_bytes());
+    fix_table_hash(&mut v);
+    assert!(matches!(
+        snapshot::read(&v[..]),
+        Err(SnapshotError::UnknownSection {
+            id: 1,
+            flags: 0x8000_0000
+        })
+    ));
+
+    // Unknown section id.
+    let mut v = bytes.clone();
+    v[64..68].copy_from_slice(&77u32.to_le_bytes());
+    fix_table_hash(&mut v);
+    assert!(matches!(
+        snapshot::read(&v[..]),
+        Err(SnapshotError::UnknownSection { id: 77, flags: 0 })
+    ));
+
+    // An offset off the 64-byte grid can never be mapped zero-copy.
+    let mut v = bytes.clone();
+    let off = u64::from_le_bytes(v[72..80].try_into().unwrap());
+    v[72..80].copy_from_slice(&(off + 8).to_le_bytes());
+    fix_table_hash(&mut v);
+    assert!(matches!(
+        snapshot::read(&v[..]),
+        Err(SnapshotError::Misaligned {
+            section: 1,
+            offset: o
+        }) if o == off + 8
+    ));
+
+    // The mapped open must reject the same corruption the same way.
+    let path =
+        std::env::temp_dir().join(format!("relmax-io-misaligned-{}.rgs", std::process::id()));
+    std::fs::write(&path, &v).unwrap();
+    assert!(matches!(
+        snapshot::map_full(&path),
+        Err(SnapshotError::Misaligned { section: 1, .. })
+    ));
+    let _ = std::fs::remove_file(&path);
+
+    // Table tampering without a recomputed hash is caught before any
+    // entry is even parsed.
+    let mut v = bytes.clone();
+    v[68] ^= 1;
+    assert!(matches!(
+        snapshot::read(&v[..]),
+        Err(SnapshotError::ChecksumMismatch { .. })
+    ));
+
+    // Truncation at every prefix of the header + table must fail cleanly.
+    for len in 0..table_end(&bytes) {
+        assert!(
+            matches!(snapshot::read(&bytes[..len]), Err(SnapshotError::Truncated)),
+            "prefix of {len} bytes accepted"
+        );
+    }
+}
+
+/// The zero-copy contract, end to end: `save` → {`load_full`,
+/// `map_full`, `map_full_trusted`} must produce equal CSRs and
+/// bit-identical estimates at every thread count, for random graphs.
+#[test]
+fn heap_and_mapped_loads_answer_identically_for_random_graphs() {
+    let mut rng = StdRng::seed_from_u64(0x0107);
+    let path = std::env::temp_dir().join(format!("relmax-io-roundtrip-{}.rgs", std::process::id()));
+    let mut zero_copy_seen = false;
+    for _ in 0..20 {
+        let g = random_graph(&mut rng);
+        let csr = g.freeze();
+        snapshot::save(&csr, &path).unwrap();
+        let (heap, _) = snapshot::load_full(&path).unwrap();
+        let (mapped, _) = snapshot::map_full(&path).unwrap();
+        let (trusted, _) = snapshot::map_full_trusted(&path).unwrap();
+        assert!(heap == csr, "heap load diverged");
+        assert!(mapped == csr, "mapped load diverged");
+        assert!(trusted == csr, "trusted load diverged");
+        zero_copy_seen |= mapped.is_zero_copy();
+        if g.num_edges() == 0 {
+            continue;
+        }
+        let (s, t) = (NodeId(0), NodeId(g.num_nodes() as u32 - 1));
+        for threads in [1, 4] {
+            let mc = McEstimator::with_threads(500, 7, threads);
+            let reference = mc.st_reliability(&csr, s, t);
+            assert_eq!(reference, mc.st_reliability(&heap, s, t));
+            assert_eq!(reference, mc.st_reliability(&mapped, s, t));
+            assert_eq!(reference, mc.st_reliability(&trusted, s, t));
+        }
+    }
+    let _ = std::fs::remove_file(&path);
+    if cfg!(target_os = "linux") {
+        assert!(
+            zero_copy_seen,
+            "map_full never engaged the zero-copy path on linux"
+        );
+    }
 }
 
 #[test]
