@@ -30,8 +30,8 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
     let mut graph_path: Option<String> = None;
     let mut queries_path: Option<String> = None;
     let mut gen_count: Option<usize> = None;
-    let mut min_hops = 2u32;
-    let mut max_hops = 5u32;
+    let mut min_hops: Option<u32> = None;
+    let mut max_hops: Option<u32> = None;
     let mut emit_queries: Option<String> = None;
     let mut estimator = EstimatorKind::Mc;
     let mut samples = 1000usize;
@@ -49,8 +49,8 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
         match a.as_str() {
             "--queries" => queries_path = Some(opts::take_value(&mut it, a)?),
             "--gen" => gen_count = Some(opts::take_parsed(&mut it, a)?),
-            "--min-hops" => min_hops = opts::take_parsed(&mut it, a)?,
-            "--max-hops" => max_hops = opts::take_parsed(&mut it, a)?,
+            "--min-hops" => min_hops = Some(opts::take_parsed(&mut it, a)?),
+            "--max-hops" => max_hops = Some(opts::take_parsed(&mut it, a)?),
             "--emit-queries" => emit_queries = Some(opts::take_value(&mut it, a)?),
             "--estimator" => estimator = EstimatorKind::parse(&opts::take_value(&mut it, a)?)?,
             "--samples" | "-z" => samples = opts::take_parsed(&mut it, a)?,
@@ -77,13 +77,28 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
     if samples == 0 {
         return Err(opts::usage("--samples must be at least 1"));
     }
-    if min_hops > max_hops || min_hops == 0 {
-        return Err(opts::usage(format!(
-            "need 1 <= --min-hops <= --max-hops, got {min_hops}..{max_hops}"
-        )));
-    }
     if queries_path.is_some() && gen_count.is_some() {
         return Err(opts::usage("--queries and --gen are mutually exclusive"));
+    }
+    // The hop flags are overloaded by workload source. With `--gen` they
+    // bound the *generation band* (defaults 2..5, the paper's §8.1 draw).
+    // With `--queries`, `--max-hops D` hop-bounds every st/set query —
+    // overriding the file's `% max-hops` directive — and `--min-hops`
+    // has no meaning at all, so passing it is a usage error rather than
+    // a silently ignored flag.
+    if queries_path.is_some() && min_hops.is_some() {
+        return Err(opts::usage(
+            "--min-hops only applies to --gen (the generated hop band); \
+             with --queries, use --max-hops to hop-bound st/set queries",
+        ));
+    }
+    if gen_count.is_some() {
+        let (lo, hi) = (min_hops.unwrap_or(2), max_hops.unwrap_or(5));
+        if lo > hi || lo == 0 {
+            return Err(opts::usage(format!(
+                "need 1 <= --min-hops <= --max-hops, got {lo}..{hi}"
+            )));
+        }
     }
     // Usage checks stay ahead of graph loading: a missing workload must
     // not cost a multi-second parse + freeze of a large dataset first.
@@ -103,6 +118,15 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
         None => None,
     };
     let budget = budget_flags.resolve(samples, file_workload.as_ref().and_then(|w| w.accuracy))?;
+    // The effective hop bound for st/set queries: an explicit CLI
+    // `--max-hops` wins over the workload file's `% max-hops` directive.
+    // Generated workloads are never bounded (`--max-hops` is the
+    // generation band there).
+    let hop_bound: Option<u32> = if queries_path.is_some() {
+        max_hops.or(file_workload.as_ref().and_then(|w| w.max_hops))
+    } else {
+        None
+    };
 
     let started = std::time::Instant::now();
     let loaded = graphio::load(&graph_path, &text_opts)?;
@@ -128,10 +152,11 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
         workload.specs
     } else {
         let count = gen_count.expect("presence checked above");
-        let generated = workload::st_workload(&csr, count, min_hops, max_hops, seed);
+        let (lo, hi) = (min_hops.unwrap_or(2), max_hops.unwrap_or(5));
+        let generated = workload::st_workload(&csr, count, lo, hi, seed);
         if generated.len() < count {
             eprintln!(
-                "note: graph supplied only {} of {count} requested queries in the {min_hops}..{max_hops} hop band",
+                "note: graph supplied only {} of {count} requested queries in the {lo}..{hi} hop band",
                 generated.len()
             );
         }
@@ -144,6 +169,26 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
                 i + 1,
                 q.max_node().0,
                 csr.num_nodes()
+            )));
+        }
+    }
+    // Constrained shapes (set/hops, or anything hop-bounded) need an
+    // estimator that supports them; fail loudly rather than silently
+    // answering the unconstrained query.
+    if estimator == EstimatorKind::Rss {
+        let offender = specs.iter().find(|q| {
+            matches!(q, QuerySpec::Set(..) | QuerySpec::Hops(..))
+                || (hop_bound.is_some() && q.hop_boundable())
+        });
+        if let Some(q) = offender {
+            return Err(opts::run_err(format!(
+                "the rss estimator does not support constrained query shapes \
+                 (found `{q}`{}); use --estimator mc",
+                if hop_bound.is_some() {
+                    " under a max-hops bound"
+                } else {
+                    ""
+                }
             )));
         }
     }
@@ -167,6 +212,9 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
                 }),
                 Budget::FixedSamples(_) => None,
             },
+            // Likewise the *resolved* hop bound, so a CLI override is
+            // baked into the replay file.
+            max_hops: hop_bound,
         };
         workload::write_workload(&emitted, &mut f)
             .map_err(|e| opts::run_err(format!("{path}: {e}")))?;
@@ -174,10 +222,18 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
 
     let batch_queries: Vec<BatchQuery> = specs
         .iter()
-        .map(|q| match *q {
-            QuerySpec::St(s, t) => BatchQuery::St(s, t),
-            QuerySpec::From(s) => BatchQuery::From(s),
-            QuerySpec::To(t) => BatchQuery::To(t),
+        .map(|q| match q {
+            QuerySpec::St(s, t) => match hop_bound {
+                Some(d) => BatchQuery::StWithin(*s, *t, d),
+                None => BatchQuery::St(*s, *t),
+            },
+            QuerySpec::From(s) => BatchQuery::From(*s),
+            QuerySpec::To(t) => BatchQuery::To(*t),
+            QuerySpec::Set(sources, targets) => {
+                BatchQuery::Set(sources.clone(), targets.clone(), hop_bound)
+            }
+            QuerySpec::TopK(s, k) => BatchQuery::TopK(*s, *k),
+            QuerySpec::Hops(s, t) => BatchQuery::Hops(*s, *t),
         })
         .collect();
 
@@ -209,7 +265,7 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
     match format {
         Format::Table => print_table(&specs, &results, verbose_estimates),
         Format::Json => print_json(
-            nodes, coins, directed, estimator, seed, &budget, &specs, &results,
+            nodes, coins, directed, estimator, seed, &budget, hop_bound, &specs, &results,
         ),
     }
     eprintln!(
@@ -260,7 +316,7 @@ fn print_table(specs: &[QuerySpec], results: &[BatchEstimate], verbose: bool) {
                 "-".to_string(),
                 "-".to_string(),
             ],
-            BatchEstimate::Vector(_) => {
+            BatchEstimate::Vector(_) | BatchEstimate::Ranking(_) => {
                 let (nonzero, mean, max) = r.summary();
                 vec![
                     (i + 1).to_string(),
@@ -270,6 +326,15 @@ fn print_table(specs: &[QuerySpec], results: &[BatchEstimate], verbose: bool) {
                     nonzero.to_string(),
                 ]
             }
+            // Hops rows reuse the `max` column for the conditional
+            // expected hop count (suffixed `h` to keep it unambiguous).
+            BatchEstimate::Hops(h) => vec![
+                (i + 1).to_string(),
+                q.to_string(),
+                format!("{:.6}", h.reliability.value),
+                format!("{:.3}h", h.expected_hops),
+                "-".to_string(),
+            ],
         };
         if verbose {
             let (z, early) = r.sampling_effort();
@@ -277,7 +342,13 @@ fn print_table(specs: &[QuerySpec], results: &[BatchEstimate], verbose: bool) {
                 BatchEstimate::Scalar(e) => {
                     (format!("{:.6}", e.ci_low), format!("{:.6}", e.ci_high))
                 }
-                BatchEstimate::Vector(_) => ("-".to_string(), "-".to_string()),
+                BatchEstimate::Hops(h) => (
+                    format!("{:.6}", h.reliability.ci_low),
+                    format!("{:.6}", h.reliability.ci_high),
+                ),
+                BatchEstimate::Vector(_) | BatchEstimate::Ranking(_) => {
+                    ("-".to_string(), "-".to_string())
+                }
             };
             row.extend([
                 format!("{:.6}", r.max_stderr()),
@@ -300,6 +371,7 @@ fn print_json(
     estimator: EstimatorKind,
     seed: u64,
     budget: &Budget,
+    hop_bound: Option<u32>,
     specs: &[QuerySpec],
     results: &[BatchEstimate],
 ) {
@@ -310,7 +382,7 @@ fn print_json(
     let rendered = specs
         .iter()
         .zip(results)
-        .map(|(q, r)| relmax_server::render::result_entry(q, r));
+        .map(|(q, r)| relmax_server::render::result_entry(q, hop_bound, r));
     println!(
         "{{\"graph\":{{\"nodes\":{nodes},\"coins\":{coins},\"directed\":{directed}}},\"estimator\":{{\"name\":\"{}\",\"seed\":{seed},\"budget\":{}}},\"results\":{}}}",
         estimator.name(),

@@ -206,6 +206,219 @@ fn select_golden_output() {
 }
 
 #[test]
+fn hop_flags_are_pinned_for_file_workloads() {
+    let rgs = ingest_toy("hopflags.rgs");
+    let wl = tmp("hopflag.txt");
+    fs::write(&wl, "st 0 15\n").unwrap();
+    // --min-hops only means anything for --gen (the generation band);
+    // with --queries it is a usage error, never a silently ignored flag.
+    let out = relmax(
+        &[
+            "query",
+            rgs.to_str().unwrap(),
+            "--queries",
+            wl.to_str().unwrap(),
+            "--min-hops",
+            "2",
+        ],
+        &[],
+    );
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--min-hops only applies to --gen"), "{err}");
+
+    // `% max-hops` in the file reshapes st into st_within...
+    let directive = tmp("hopflag-directive.txt");
+    fs::write(&directive, "% max-hops 6\nst 0 15\n").unwrap();
+    let base = [
+        "query",
+        rgs.to_str().unwrap(),
+        "--queries",
+        directive.to_str().unwrap(),
+        "--samples",
+        "500",
+        "--format",
+        "json",
+    ];
+    let from_file = stdout_of(&base, &[]);
+    assert!(from_file.contains("\"kind\":\"st_within\""), "{from_file}");
+    assert!(from_file.contains("\"max_hops\":6"), "{from_file}");
+    // ...and an explicit --max-hops overrides the directive.
+    let mut with_flag = base.to_vec();
+    with_flag.extend_from_slice(&["--max-hops", "2"]);
+    let overridden = stdout_of(&with_flag, &[]);
+    assert!(overridden.contains("\"max_hops\":2"), "{overridden}");
+}
+
+#[test]
+fn rss_rejects_constrained_workloads_with_a_clear_error() {
+    let rgs = ingest_toy("rss-constrained.rgs");
+    let wl = tmp("rss-constrained.txt");
+    fs::write(&wl, "st 0 15\nset 0,1 14,15\n").unwrap();
+    let out = relmax(
+        &[
+            "query",
+            rgs.to_str().unwrap(),
+            "--queries",
+            wl.to_str().unwrap(),
+            "--estimator",
+            "rss",
+        ],
+        &[],
+    );
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("rss estimator does not support constrained query shapes"),
+        "{err}"
+    );
+
+    // A hop bound makes even plain st queries constrained under rss.
+    let st_only = tmp("rss-st.txt");
+    fs::write(&st_only, "st 0 15\n").unwrap();
+    let out = relmax(
+        &[
+            "query",
+            rgs.to_str().unwrap(),
+            "--queries",
+            st_only.to_str().unwrap(),
+            "--estimator",
+            "rss",
+            "--max-hops",
+            "3",
+        ],
+        &[],
+    );
+    assert_eq!(out.status.code(), Some(1));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("under a max-hops bound"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Top-k rides the from-vector kernel, which rss serves fine.
+    let topk = tmp("rss-topk.txt");
+    fs::write(&topk, "topk 0 3\n").unwrap();
+    let out = stdout_of(
+        &[
+            "query",
+            rgs.to_str().unwrap(),
+            "--queries",
+            topk.to_str().unwrap(),
+            "--estimator",
+            "rss",
+            "--format",
+            "json",
+        ],
+        &[],
+    );
+    assert!(out.contains("\"kind\":\"topk\""), "{out}");
+}
+
+#[test]
+fn constrained_queries_byte_identical_across_threads_and_kernels() {
+    let rgs = ingest_toy("constrained-threads.rgs");
+    let wl = tmp("constrained-threads.txt");
+    fs::write(
+        &wl,
+        "% max-hops 4\nst 0 15\nset 0,1 14,15\ntopk 0 3\nhops 0 15\n",
+    )
+    .unwrap();
+    for format in ["table", "json"] {
+        let args = [
+            "query",
+            rgs.to_str().unwrap(),
+            "--queries",
+            wl.to_str().unwrap(),
+            "--samples",
+            "500",
+            "--format",
+            format,
+        ];
+        let t1 = stdout_of(&args, &[("RELMAX_THREADS", "1")]);
+        let t4 = stdout_of(&args, &[("RELMAX_THREADS", "4")]);
+        let scalar = stdout_of(
+            &args,
+            &[("RELMAX_THREADS", "4"), ("RELMAX_KERNEL", "scalar")],
+        );
+        assert_eq!(
+            t1, t4,
+            "constrained stdout must not depend on thread count ({format})"
+        );
+        assert_eq!(
+            t1, scalar,
+            "constrained stdout must not depend on the kernel ({format})"
+        );
+    }
+}
+
+#[test]
+fn constrained_query_golden_output() {
+    let rgs = ingest_toy("constrained-golden.rgs");
+    let queries = fixture("constrained_queries.txt");
+    let out = stdout_of(
+        &[
+            "query",
+            rgs.to_str().unwrap(),
+            "--queries",
+            queries.to_str().unwrap(),
+            "--samples",
+            "1000",
+            "--seed",
+            "42",
+        ],
+        &[("RELMAX_THREADS", "2")],
+    );
+    assert_golden(&fixture("constrained_golden.txt"), &out);
+}
+
+#[test]
+fn emitted_constrained_workload_replays_identically() {
+    // A CLI --max-hops override is baked into the emitted file as a
+    // `% max-hops` directive, so the replay needs no flags.
+    let rgs = ingest_toy("emit-hops.rgs");
+    let wl = tmp("emit-hops-src.txt");
+    fs::write(&wl, "st 0 15\nset 0,1 14,15\n").unwrap();
+    let qfile = tmp("emit-hops.txt");
+    let generated = stdout_of(
+        &[
+            "query",
+            rgs.to_str().unwrap(),
+            "--queries",
+            wl.to_str().unwrap(),
+            "--max-hops",
+            "3",
+            "--samples",
+            "300",
+            "--format",
+            "json",
+            "--emit-queries",
+            qfile.to_str().unwrap(),
+        ],
+        &[],
+    );
+    let emitted = fs::read_to_string(&qfile).unwrap();
+    assert!(
+        emitted.contains("% max-hops 3\n"),
+        "emitted file lacks the hop directive: {emitted}"
+    );
+    let replayed = stdout_of(
+        &[
+            "query",
+            rgs.to_str().unwrap(),
+            "--queries",
+            qfile.to_str().unwrap(),
+            "--samples",
+            "300",
+            "--format",
+            "json",
+        ],
+        &[],
+    );
+    assert_eq!(generated, replayed);
+}
+
+#[test]
 fn emitted_workload_replays_identically() {
     let rgs = ingest_toy("emit.rgs");
     let qfile = tmp("emitted.txt");

@@ -45,7 +45,8 @@
 //! `relmax_sampling::convergence`).
 
 use relmax_sampling::{
-    BatchEstimate, BatchQuery, Budget, Estimate, Estimator, ParallelRuntime, QueryBatch,
+    BatchEstimate, BatchQuery, Budget, Estimate, Estimator, HopsEstimate, ParallelRuntime,
+    QueryBatch,
 };
 use relmax_ugraph::index::{index_enabled, RelIndex, StPlan};
 use relmax_ugraph::{
@@ -338,9 +339,50 @@ impl<E: Estimator> QueryEngine<E> {
                 }
                 QueryAnswer::Matrix(est.pairwise_estimates(g, &sources, &targets, budget))
             }
+            Target::StWithin(s, t, max_hops) => {
+                self.check_node(s)?;
+                self.check_node(t)?;
+                let e = est
+                    .st_within_estimate(g, s, t, max_hops, budget)
+                    .ok_or(QueryError::UnsupportedShape { shape: "st_within" })?;
+                QueryAnswer::Scalar(e)
+            }
+            Target::Set(sources, targets, max_hops) => {
+                for &v in sources.iter().chain(&targets) {
+                    self.check_node(v)?;
+                }
+                let e = est
+                    .set_estimate(g, &sources, &targets, max_hops, budget)
+                    .ok_or(QueryError::UnsupportedShape { shape: "set" })?;
+                QueryAnswer::Scalar(e)
+            }
+            Target::TopK(s, k) => {
+                self.check_node(s)?;
+                QueryAnswer::Ranking(est.topk_estimates(g, s, k, budget))
+            }
+            Target::Hops(s, t) => {
+                self.check_node(s)?;
+                self.check_node(t)?;
+                let h = est
+                    .expected_hops_estimate(g, s, t, budget)
+                    .ok_or(QueryError::UnsupportedShape { shape: "hops" })?;
+                QueryAnswer::Hops(h)
+            }
             Target::Batch(queries) => {
                 for q in &queries {
                     self.check_node(q.max_node())?;
+                    // `run_budgeted` has no per-item error channel (it fans
+                    // out over a runtime), so unsupported shapes must be
+                    // rejected before the batch starts.
+                    if q.is_constrained() && !est.supports_constrained() {
+                        let shape = match q {
+                            BatchQuery::StWithin(..) => "st_within",
+                            BatchQuery::Set(..) => "set",
+                            BatchQuery::Hops(..) => "hops",
+                            _ => unreachable!("is_constrained covers exactly these shapes"),
+                        };
+                        return Err(QueryError::UnsupportedShape { shape });
+                    }
                 }
                 QueryAnswer::Batch(
                     QueryBatch::new(self.runtime).run_budgeted(est, g, &queries, budget),
@@ -412,6 +454,10 @@ enum Target {
     From(NodeId),
     To(NodeId),
     Pairwise(Vec<NodeId>, Vec<NodeId>),
+    StWithin(NodeId, NodeId, u32),
+    Set(Vec<NodeId>, Vec<NodeId>, Option<u32>),
+    TopK(NodeId, usize),
+    Hops(NodeId, NodeId),
     Batch(Vec<BatchQuery>),
 }
 
@@ -451,6 +497,52 @@ impl<E: Estimator> ReliabilityQuery<'_, E> {
     /// Target: the full `|sources| × |targets|` reliability matrix.
     pub fn pairwise(mut self, sources: &[NodeId], targets: &[NodeId]) -> Self {
         self.target = Some(Target::Pairwise(sources.to_vec(), targets.to_vec()));
+        self
+    }
+
+    /// Target: hop-bounded reliability — the probability that a sampled
+    /// world contains an `s → t` path of at most `max_hops` edges.
+    /// `max_hops = 0` degenerates to `s == t`. Requires an estimator with
+    /// [`Estimator::supports_constrained`].
+    pub fn st_within(mut self, s: NodeId, t: NodeId, max_hops: u32) -> Self {
+        self.target = Some(Target::StWithin(s, t, max_hops));
+        self
+    }
+
+    /// Target: set reliability — the probability that *any* source reaches
+    /// *any* target, estimated in one shared-world pass (not a combination
+    /// of per-pair estimates). Requires [`Estimator::supports_constrained`].
+    pub fn set(mut self, sources: &[NodeId], targets: &[NodeId]) -> Self {
+        self.target = Some(Target::Set(sources.to_vec(), targets.to_vec(), None));
+        self
+    }
+
+    /// Target: hop-bounded set reliability — [`ReliabilityQuery::set`]
+    /// where every witnessing path must use at most `max_hops` edges.
+    pub fn set_within(mut self, sources: &[NodeId], targets: &[NodeId], max_hops: u32) -> Self {
+        self.target = Some(Target::Set(
+            sources.to_vec(),
+            targets.to_vec(),
+            Some(max_hops),
+        ));
+        self
+    }
+
+    /// Target: the `k` most reliable targets from `s`, ranked by estimated
+    /// reliability (descending), ties broken by ascending node id. The
+    /// source itself is excluded. Works with every estimator (it rides on
+    /// [`Estimator::from_estimates`]).
+    pub fn topk(mut self, s: NodeId, k: usize) -> Self {
+        self.target = Some(Target::TopK(s, k));
+        self
+    }
+
+    /// Target: expected reliable hop distance — the mean shortest-path hop
+    /// count from `s` to `t` over worlds where `t` is reachable, paired
+    /// with the reliability estimate itself. Requires
+    /// [`Estimator::supports_constrained`].
+    pub fn expected_hops(mut self, s: NodeId, t: NodeId) -> Self {
+        self.target = Some(Target::Hops(s, t));
         self
     }
 
@@ -516,6 +608,11 @@ pub enum QueryAnswer {
     /// `pairwise` queries: `matrix[i][j]` estimates
     /// `R(sources[i], targets[j])`.
     Matrix(Vec<Vec<Estimate>>),
+    /// `topk` queries: `(target, estimate)` pairs, most reliable first,
+    /// ties broken by ascending node id, at most `k` entries.
+    Ranking(Vec<(NodeId, Estimate)>),
+    /// `expected_hops` queries: reliability plus hop-distance moments.
+    Hops(HopsEstimate),
     /// `batch` queries: one answer per input query, in input order.
     Batch(Vec<BatchEstimate>),
 }
@@ -545,6 +642,22 @@ impl QueryAnswer {
         }
     }
 
+    /// The ranked `(target, estimate)` pairs, if this was a `topk` query.
+    pub fn ranking(&self) -> Option<&[(NodeId, Estimate)]> {
+        match self {
+            QueryAnswer::Ranking(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The hop-distance estimate, if this was an `expected_hops` query.
+    pub fn hops(&self) -> Option<&HopsEstimate> {
+        match self {
+            QueryAnswer::Hops(h) => Some(h),
+            _ => None,
+        }
+    }
+
     /// The batch answers, if this was a `batch` query.
     pub fn batch(&self) -> Option<&[BatchEstimate]> {
         match self {
@@ -566,6 +679,13 @@ pub enum QueryError {
         /// Number of nodes in the engine's graph.
         nodes: usize,
     },
+    /// The engine's estimator cannot answer this query shape — see
+    /// [`Estimator::supports_constrained`]. Constrained shapes never fall
+    /// back silently to an unconstrained answer.
+    UnsupportedShape {
+        /// The rejected shape (`"st_within"`, `"set"`, or `"hops"`).
+        shape: &'static str,
+    },
 }
 
 impl fmt::Display for QueryError {
@@ -578,6 +698,11 @@ impl fmt::Display for QueryError {
                 f,
                 "query references node {} but the graph has {nodes} nodes",
                 node.0
+            ),
+            QueryError::UnsupportedShape { shape } => write!(
+                f,
+                "this engine's estimator does not support `{shape}` queries \
+                 (constrained shapes need Estimator::supports_constrained)"
             ),
         }
     }
@@ -923,6 +1048,206 @@ mod tests {
             .unwrap();
         assert_eq!(bridged.st_shortcircuit(NodeId(0), NodeId(5)).unwrap(), None);
         assert!(bridged.st(NodeId(0), NodeId(5), budget).unwrap().value > 0.0);
+    }
+
+    #[test]
+    fn constrained_shapes_match_direct_estimator_calls() {
+        let g = bridge();
+        let csr = g.freeze();
+        let est = McEstimator::new(2_000, 19);
+        let budget = Budget::fixed(2_000);
+        let engine = QueryEngine::from_parts(csr.clone(), None, est.clone());
+
+        let a = engine
+            .query()
+            .st_within(NodeId(0), NodeId(3), 2)
+            .budget(budget)
+            .run()
+            .unwrap();
+        let direct = est
+            .st_within_estimate(&csr, NodeId(0), NodeId(3), 2, budget)
+            .unwrap();
+        assert_eq!(a.scalar().unwrap(), &direct);
+
+        let a = engine
+            .query()
+            .set(&[NodeId(0), NodeId(1)], &[NodeId(3)])
+            .budget(budget)
+            .run()
+            .unwrap();
+        let direct = est
+            .set_estimate(&csr, &[NodeId(0), NodeId(1)], &[NodeId(3)], None, budget)
+            .unwrap();
+        assert_eq!(a.scalar().unwrap(), &direct);
+
+        let a = engine
+            .query()
+            .set_within(&[NodeId(0)], &[NodeId(3)], 2)
+            .budget(budget)
+            .run()
+            .unwrap();
+        let direct = est
+            .set_estimate(&csr, &[NodeId(0)], &[NodeId(3)], Some(2), budget)
+            .unwrap();
+        assert_eq!(a.scalar().unwrap(), &direct);
+
+        let a = engine
+            .query()
+            .expected_hops(NodeId(0), NodeId(3))
+            .budget(budget)
+            .run()
+            .unwrap();
+        let direct = est
+            .expected_hops_estimate(&csr, NodeId(0), NodeId(3), budget)
+            .unwrap();
+        assert_eq!(a.hops().unwrap(), &direct);
+
+        let a = engine
+            .query()
+            .topk(NodeId(0), 2)
+            .budget(budget)
+            .run()
+            .unwrap();
+        let direct = est.topk_estimates(&csr, NodeId(0), 2, budget);
+        assert_eq!(a.ranking().unwrap(), &direct[..]);
+        assert_eq!(direct.len(), 2);
+        // Source excluded, order non-increasing, ties by node id.
+        assert!(direct.iter().all(|(v, _)| *v != NodeId(0)));
+        assert!(direct[0].1.value >= direct[1].1.value);
+    }
+
+    #[test]
+    fn constrained_shapes_error_on_unsupporting_estimators() {
+        let g = bridge();
+        let engine = QueryEngine::new(&g, RssEstimator::new(500, 9));
+        let err = engine
+            .query()
+            .st_within(NodeId(0), NodeId(3), 2)
+            .run()
+            .unwrap_err();
+        assert_eq!(err, QueryError::UnsupportedShape { shape: "st_within" });
+        assert!(err.to_string().contains("st_within"));
+        let err = engine
+            .query()
+            .set(&[NodeId(0)], &[NodeId(3)])
+            .run()
+            .unwrap_err();
+        assert_eq!(err, QueryError::UnsupportedShape { shape: "set" });
+        let err = engine
+            .query()
+            .expected_hops(NodeId(0), NodeId(3))
+            .run()
+            .unwrap_err();
+        assert_eq!(err, QueryError::UnsupportedShape { shape: "hops" });
+        // Batches are rejected up front — no per-item error channel.
+        let err = engine
+            .query()
+            .batch(&[
+                BatchQuery::St(NodeId(0), NodeId(3)),
+                BatchQuery::StWithin(NodeId(0), NodeId(3), 2),
+            ])
+            .run()
+            .unwrap_err();
+        assert_eq!(err, QueryError::UnsupportedShape { shape: "st_within" });
+        // Top-k rides on from_estimates and works everywhere.
+        let a = engine.query().topk(NodeId(0), 3).run().unwrap();
+        assert_eq!(a.ranking().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn constrained_batch_matches_solo_queries() {
+        let g = bridge();
+        let est = McEstimator::new(1_000, 27);
+        let budget = Budget::fixed(1_000);
+        let queries = vec![
+            BatchQuery::StWithin(NodeId(0), NodeId(3), 2),
+            BatchQuery::Set(vec![NodeId(0)], vec![NodeId(1), NodeId(3)], Some(3)),
+            BatchQuery::TopK(NodeId(0), 2),
+            BatchQuery::Hops(NodeId(0), NodeId(3)),
+        ];
+        let serial = QueryEngine::new(&g, est.clone());
+        let parallel = QueryEngine::new(&g, est).with_runtime(ParallelRuntime::new(4));
+        let a = serial.query().batch(&queries).budget(budget).run().unwrap();
+        let b = parallel
+            .query()
+            .batch(&queries)
+            .budget(budget)
+            .run()
+            .unwrap();
+        assert_eq!(a, b); // bit-identical across batch runtimes
+        let answers = a.batch().unwrap();
+        assert_eq!(
+            answers[0],
+            BatchEstimate::Scalar(
+                *serial
+                    .query()
+                    .st_within(NodeId(0), NodeId(3), 2)
+                    .budget(budget)
+                    .run()
+                    .unwrap()
+                    .scalar()
+                    .unwrap()
+            )
+        );
+        assert!(matches!(&answers[2], BatchEstimate::Ranking(r) if r.len() == 2));
+        assert!(matches!(&answers[3], BatchEstimate::Hops(_)));
+    }
+
+    #[test]
+    fn constrained_shapes_survive_delta_overlays() {
+        // The overlay path detaches the index; constrained queries must
+        // keep working there (they never route through the index anyway).
+        let g = bridge();
+        let budget = Budget::fixed(1_500);
+        let engine = QueryEngine::from_snapshot(g.freeze(), McEstimator::with_budget(budget, 41));
+        let updated = engine
+            .apply_delta(&[GraphUpdate::SetProb {
+                src: NodeId(0),
+                dst: NodeId(1),
+                prob: 0.9,
+            }])
+            .unwrap();
+        // Oracle: the same mutation, refrozen.
+        let mut g2 = bridge();
+        g2.update_edge(NodeId(0), NodeId(1), 0.9).unwrap();
+        let oracle =
+            QueryEngine::from_parts(g2.freeze(), None, McEstimator::with_budget(budget, 41));
+        assert_eq!(
+            updated
+                .query()
+                .st_within(NodeId(0), NodeId(3), 2)
+                .run()
+                .unwrap(),
+            oracle
+                .query()
+                .st_within(NodeId(0), NodeId(3), 2)
+                .run()
+                .unwrap()
+        );
+        assert_eq!(
+            updated
+                .query()
+                .set(&[NodeId(0), NodeId(2)], &[NodeId(3)])
+                .run()
+                .unwrap(),
+            oracle
+                .query()
+                .set(&[NodeId(0), NodeId(2)], &[NodeId(3)])
+                .run()
+                .unwrap()
+        );
+        assert_eq!(
+            updated
+                .query()
+                .expected_hops(NodeId(0), NodeId(3))
+                .run()
+                .unwrap(),
+            oracle
+                .query()
+                .expected_hops(NodeId(0), NodeId(3))
+                .run()
+                .unwrap()
+        );
     }
 
     #[test]

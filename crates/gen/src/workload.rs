@@ -8,19 +8,27 @@
 //! ```text
 //! # comments and blank lines are ignored
 //! % accuracy 0.01 0.05 100000   # optional: eps delta [max_samples]
+//! % max-hops 4   # optional: hop-bound every st/set query in this file
 //! st 0 41        # R(0, 41)
 //! 3 17           # bare pair == st
 //! from 0         # R(0, v) for every node v
 //! to 41          # R(v, 41) for every node v
+//! set 0,3 41,17  # any listed source reaches any listed target
+//! topk 0 5       # the 5 most reliable targets from node 0
+//! hops 0 41      # expected reliable hop distance 0 -> 41
 //! ```
 //!
 //! The `% accuracy` directive lets a workload file carry its own
 //! [`AccuracyDirective`] ("answer every query to ±eps at confidence
 //! 1−delta"), which the CLI maps to a sampling `Budget` unless
-//! overridden on the command line. [`parse_workload_str`] and friends
-//! return the directive alongside the queries; the plain
-//! [`parse_queries_str`] family rejects directives, preserving the
-//! original stricter format.
+//! overridden on the command line. The `% max-hops D` directive
+//! hop-bounds every `st` and `set` query in the file (other shapes are
+//! unaffected; `hops` in particular must stay unbounded to measure the
+//! full distance distribution) — the consumer applies it when mapping
+//! specs onto engine queries, and an explicit CLI `--max-hops` overrides
+//! it. [`parse_workload_str`] and friends return the directives
+//! alongside the queries; the plain [`parse_queries_str`] family rejects
+//! directives, preserving the original stricter format.
 //!
 //! Queries keep file order, and the batch runtime answers them in that
 //! order, so a workload file pins the byte layout of a run's output.
@@ -38,7 +46,7 @@ use std::path::Path;
 /// One parsed workload query (mirrors
 /// `relmax_sampling::batch::BatchQuery`, which layering keeps out of this
 /// crate — the CLI maps between the two).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum QuerySpec {
     /// `R(s, t)` for one pair.
     St(NodeId, NodeId),
@@ -46,18 +54,47 @@ pub enum QuerySpec {
     From(NodeId),
     /// `R(v, t)` for every `v`.
     To(NodeId),
+    /// `set S1,S2,… T1,T2,…` — the probability that any listed source
+    /// reaches any listed target (one shared-world pass, not a per-pair
+    /// combination). Hop-bounded by the file's `% max-hops` directive.
+    Set(Vec<NodeId>, Vec<NodeId>),
+    /// `topk S K` — the `K` most reliable targets from `S`, ranked.
+    TopK(NodeId, usize),
+    /// `hops S T` — expected reliable hop distance from `S` to `T`.
+    /// Never hop-bounded (the point is the full distance distribution).
+    Hops(NodeId, NodeId),
 }
 
 impl QuerySpec {
     /// The largest node id the query references (for bounds validation
     /// against a loaded graph).
     pub fn max_node(&self) -> NodeId {
-        match *self {
-            QuerySpec::St(s, t) => NodeId(s.0.max(t.0)),
-            QuerySpec::From(s) => s,
-            QuerySpec::To(t) => t,
+        match self {
+            QuerySpec::St(s, t) | QuerySpec::Hops(s, t) => NodeId(s.0.max(t.0)),
+            QuerySpec::From(s) | QuerySpec::TopK(s, _) => *s,
+            QuerySpec::To(t) => *t,
+            QuerySpec::Set(sources, targets) => sources
+                .iter()
+                .chain(targets)
+                .copied()
+                .max_by_key(|v| v.0)
+                .unwrap_or(NodeId(0)),
         }
     }
+
+    /// Whether the file-level `% max-hops` directive applies to this
+    /// query: reachability shapes (`st`, `set`) are bounded; `from`/`to`/
+    /// `topk` vectors and `hops` distances are not.
+    pub fn hop_boundable(&self) -> bool {
+        matches!(self, QuerySpec::St(..) | QuerySpec::Set(..))
+    }
+}
+
+fn join_nodes(vs: &[NodeId]) -> String {
+    vs.iter()
+        .map(|v| v.0.to_string())
+        .collect::<Vec<_>>()
+        .join(",")
 }
 
 impl fmt::Display for QuerySpec {
@@ -66,6 +103,11 @@ impl fmt::Display for QuerySpec {
             QuerySpec::St(s, t) => write!(f, "st {} {}", s.0, t.0),
             QuerySpec::From(s) => write!(f, "from {}", s.0),
             QuerySpec::To(t) => write!(f, "to {}", t.0),
+            QuerySpec::Set(sources, targets) => {
+                write!(f, "set {} {}", join_nodes(sources), join_nodes(targets))
+            }
+            QuerySpec::TopK(s, k) => write!(f, "topk {} {k}", s.0),
+            QuerySpec::Hops(s, t) => write!(f, "hops {} {}", s.0, t.0),
         }
     }
 }
@@ -144,6 +186,9 @@ pub struct Workload {
     pub specs: Vec<QuerySpec>,
     /// The `% accuracy` directive, if the file carried one.
     pub accuracy: Option<AccuracyDirective>,
+    /// The `% max-hops` directive, if the file carried one: hop-bound
+    /// every [`QuerySpec::hop_boundable`] query in the file.
+    pub max_hops: Option<u32>,
 }
 
 /// One query in a *server request body* — the workload vocabulary plus
@@ -185,13 +230,12 @@ impl fmt::Display for WireSpec {
         match self {
             WireSpec::Query(q) => q.fmt(f),
             WireSpec::Pairwise { sources, targets } => {
-                let join = |vs: &[NodeId]| {
-                    vs.iter()
-                        .map(|v| v.0.to_string())
-                        .collect::<Vec<_>>()
-                        .join(",")
-                };
-                write!(f, "pairwise {} {}", join(sources), join(targets))
+                write!(
+                    f,
+                    "pairwise {} {}",
+                    join_nodes(sources),
+                    join_nodes(targets)
+                )
             }
         }
     }
@@ -208,6 +252,9 @@ pub struct WireRequest {
     pub accuracy: Option<AccuracyDirective>,
     /// The `% seed` directive, if the body carried one.
     pub seed: Option<u64>,
+    /// The `% max-hops` directive, if the body carried one: hop-bound
+    /// every [`QuerySpec::hop_boundable`] query in the request.
+    pub max_hops: Option<u32>,
 }
 
 fn parse_accuracy(toks: &[&str], lineno: usize) -> Result<AccuracyDirective, WorkloadError> {
@@ -247,15 +294,21 @@ pub fn parse_workload_reader<R: BufRead>(r: R) -> Result<Workload, WorkloadError
     parse_workload_lines(r).map(|(workload, _)| workload)
 }
 
-/// Parse a comma-separated node list (`0,4,17`) for `pairwise` queries.
-fn parse_node_list(tok: &str, what: &str, lineno: usize) -> Result<Vec<NodeId>, WorkloadError> {
+/// Parse a comma-separated node list (`0,4,17`) for `pairwise`/`set`
+/// queries.
+fn parse_node_list(
+    tok: &str,
+    kind: &str,
+    what: &str,
+    lineno: usize,
+) -> Result<Vec<NodeId>, WorkloadError> {
     let nodes: Vec<NodeId> = tok
         .split(',')
         .filter(|s| !s.is_empty())
         .map(|s| parse_node(s, lineno))
         .collect::<Result<_, _>>()?;
     if nodes.is_empty() {
-        return Err(bad(lineno, format!("`pairwise` needs at least one {what}")));
+        return Err(bad(lineno, format!("`{kind}` needs at least one {what}")));
     }
     Ok(nodes)
 }
@@ -263,16 +316,18 @@ fn parse_node_list(tok: &str, what: &str, lineno: usize) -> Result<Vec<NodeId>, 
 /// Shared parser core behind both grammars. `wire` admits the serve-only
 /// constructs (`pairwise` lines, `% seed`); the flat workload grammar
 /// rejects them with a pointer to the request-body format. Also returns
-/// the 1-based line of the accuracy directive so the strict query parser
-/// can point its rejection at the right line.
+/// the 1-based line of the first shared directive (`% accuracy` /
+/// `% max-hops`) so the strict query parser can point its rejection at
+/// the right line.
 fn parse_lines<R: BufRead>(
     r: R,
     wire: bool,
 ) -> Result<(WireRequest, Option<usize>), WorkloadError> {
     let mut specs = Vec::new();
     let mut accuracy: Option<AccuracyDirective> = None;
-    let mut accuracy_line: Option<usize> = None;
+    let mut directive_line: Option<usize> = None;
     let mut seed: Option<u64> = None;
+    let mut max_hops: Option<u32> = None;
     for (i, line) in r.lines().enumerate() {
         let lineno = i + 1;
         let line = line?;
@@ -288,7 +343,19 @@ fn parse_lines<R: BufRead>(
                         return Err(bad(lineno, "duplicate `% accuracy` directive"));
                     }
                     accuracy = Some(parse_accuracy(rest, lineno)?);
-                    accuracy_line = Some(lineno);
+                    directive_line.get_or_insert(lineno);
+                }
+                ["max-hops", rest @ ..] => {
+                    if max_hops.is_some() {
+                        return Err(bad(lineno, "duplicate `% max-hops` directive"));
+                    }
+                    max_hops = match rest {
+                        [tok] => Some(tok.parse::<u32>().map_err(|_| {
+                            bad(lineno, format!("{tok:?} is not a valid hop bound (u32)"))
+                        })?),
+                        _ => return Err(bad(lineno, "expected `% max-hops D`".to_string())),
+                    };
+                    directive_line.get_or_insert(lineno);
                 }
                 ["seed", rest @ ..] if wire => {
                     if seed.is_some() {
@@ -311,7 +378,10 @@ fn parse_lines<R: BufRead>(
                 _ => {
                     return Err(bad(
                         lineno,
-                        format!("unknown directive {body:?} (expected `% accuracy ...`)"),
+                        format!(
+                            "unknown directive {body:?} \
+                             (expected `% accuracy ...` or `% max-hops D`)"
+                        ),
                     ))
                 }
             }
@@ -322,9 +392,25 @@ fn parse_lines<R: BufRead>(
             ["st", s, t] => QuerySpec::St(parse_node(s, lineno)?, parse_node(t, lineno)?).into(),
             ["from", s] => QuerySpec::From(parse_node(s, lineno)?).into(),
             ["to", t] => QuerySpec::To(parse_node(t, lineno)?).into(),
+            ["set", srcs, dsts] => QuerySpec::Set(
+                parse_node_list(srcs, "set", "source", lineno)?,
+                parse_node_list(dsts, "set", "target", lineno)?,
+            )
+            .into(),
+            ["topk", s, k] => {
+                let k = k
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&k| k > 0)
+                    .ok_or_else(|| bad(lineno, format!("{k:?} is not a valid k (positive)")))?;
+                QuerySpec::TopK(parse_node(s, lineno)?, k).into()
+            }
+            ["hops", s, t] => {
+                QuerySpec::Hops(parse_node(s, lineno)?, parse_node(t, lineno)?).into()
+            }
             ["pairwise", srcs, dsts] if wire => WireSpec::Pairwise {
-                sources: parse_node_list(srcs, "source", lineno)?,
-                targets: parse_node_list(dsts, "target", lineno)?,
+                sources: parse_node_list(srcs, "pairwise", "source", lineno)?,
+                targets: parse_node_list(dsts, "pairwise", "target", lineno)?,
             },
             ["pairwise", ..] if wire => {
                 return Err(bad(
@@ -339,17 +425,23 @@ fn parse_lines<R: BufRead>(
                      workload files take `st S T`, `from S`, or `to T`",
                 ))
             }
-            [kind @ ("st" | "from" | "to"), ..] => {
+            [kind @ ("st" | "from" | "to" | "set" | "topk" | "hops"), ..] => {
                 return Err(bad(
                     lineno,
-                    format!("wrong arity for `{kind}` (expected `st S T`, `from S`, or `to T`)"),
+                    format!(
+                        "wrong arity for `{kind}` (expected `st S T`, `from S`, `to T`, \
+                         `set S1,S2,… T1,T2,…`, `topk S K`, or `hops S T`)"
+                    ),
                 ))
             }
             [s, t] => QuerySpec::St(parse_node(s, lineno)?, parse_node(t, lineno)?).into(),
             _ => {
                 return Err(bad(
                     lineno,
-                    format!("expected `st S T`, `from S`, `to T`, or `S T`; found {body:?}"),
+                    format!(
+                        "expected `st S T`, `from S`, `to T`, `set S1,… T1,…`, \
+                         `topk S K`, `hops S T`, or `S T`; found {body:?}"
+                    ),
                 ))
             }
         };
@@ -360,8 +452,9 @@ fn parse_lines<R: BufRead>(
             specs,
             accuracy,
             seed,
+            max_hops,
         },
-        accuracy_line,
+        directive_line,
     ))
 }
 
@@ -375,7 +468,7 @@ impl From<QuerySpec> for WireSpec {
 /// (so the strict query parser can point its rejection at the right
 /// line).
 fn parse_workload_lines<R: BufRead>(r: R) -> Result<(Workload, Option<usize>), WorkloadError> {
-    let (request, accuracy_line) = parse_lines(r, false)?;
+    let (request, directive_line) = parse_lines(r, false)?;
     let specs = request
         .specs
         .into_iter()
@@ -388,8 +481,9 @@ fn parse_workload_lines<R: BufRead>(r: R) -> Result<(Workload, Option<usize>), W
         Workload {
             specs,
             accuracy: request.accuracy,
+            max_hops: request.max_hops,
         },
-        accuracy_line,
+        directive_line,
     ))
 }
 
@@ -478,14 +572,18 @@ pub fn write_queries<W: Write>(specs: &[QuerySpec], mut w: W) -> io::Result<()> 
     w.flush()
 }
 
-/// Write a full workload: the `% accuracy` directive (if any) followed by
-/// the queries. Round-trips through [`parse_workload_reader`].
+/// Write a full workload: the `% accuracy` / `% max-hops` directives (if
+/// any) followed by the queries. Round-trips through
+/// [`parse_workload_reader`].
 pub fn write_workload<W: Write>(workload: &Workload, mut w: W) -> io::Result<()> {
     if let Some(acc) = &workload.accuracy {
         match acc.max_samples {
             Some(cap) => writeln!(w, "% accuracy {} {} {cap}", acc.eps, acc.delta)?,
             None => writeln!(w, "% accuracy {} {}", acc.eps, acc.delta)?,
         }
+    }
+    if let Some(hops) = workload.max_hops {
+        writeln!(w, "% max-hops {hops}")?;
     }
     write_queries(&workload.specs, w)
 }
@@ -574,6 +672,7 @@ mod tests {
                 delta: 0.05,
                 max_samples: Some(50_000),
             }),
+            max_hops: None,
         };
         let mut buf = Vec::new();
         write_workload(&w, &mut buf).unwrap();
@@ -623,6 +722,85 @@ mod tests {
     fn max_node_is_bound() {
         assert_eq!(QuerySpec::St(NodeId(2), NodeId(9)).max_node(), NodeId(9));
         assert_eq!(QuerySpec::To(NodeId(7)).max_node(), NodeId(7));
+        assert_eq!(
+            QuerySpec::Set(vec![NodeId(3), NodeId(11)], vec![NodeId(4)]).max_node(),
+            NodeId(11)
+        );
+        assert_eq!(QuerySpec::TopK(NodeId(6), 3).max_node(), NodeId(6));
+        assert_eq!(QuerySpec::Hops(NodeId(1), NodeId(8)).max_node(), NodeId(8));
+    }
+
+    #[test]
+    fn constrained_forms_round_trip() {
+        let specs = vec![
+            QuerySpec::Set(vec![NodeId(0), NodeId(3)], vec![NodeId(41), NodeId(17)]),
+            QuerySpec::TopK(NodeId(0), 5),
+            QuerySpec::Hops(NodeId(0), NodeId(41)),
+            QuerySpec::St(NodeId(1), NodeId(2)),
+        ];
+        let text = queries_to_text(&specs);
+        assert_eq!(text, "set 0,3 41,17\ntopk 0 5\nhops 0 41\nst 1 2\n");
+        assert_eq!(parse_queries_str(&text).unwrap(), specs);
+        // The wire grammar parses the same vocabulary.
+        let wire = parse_request_str(&text).unwrap();
+        assert_eq!(wire.specs.len(), 4);
+        assert_eq!(wire.specs[0], WireSpec::Query(specs[0].clone()));
+    }
+
+    #[test]
+    fn max_hops_directive_round_trips() {
+        let w = parse_workload_str("% max-hops 4\nst 0 3\nset 0,1 2\nhops 0 3\n").unwrap();
+        assert_eq!(w.max_hops, Some(4));
+        assert_eq!(w.specs.len(), 3);
+        // The directive targets reachability shapes only.
+        assert!(w.specs[0].hop_boundable());
+        assert!(w.specs[1].hop_boundable());
+        assert!(!w.specs[2].hop_boundable());
+        assert!(!QuerySpec::From(NodeId(0)).hop_boundable());
+        assert!(!QuerySpec::TopK(NodeId(0), 2).hop_boundable());
+        let mut buf = Vec::new();
+        write_workload(&w, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("% max-hops 4\n"), "{text}");
+        assert_eq!(parse_workload_str(&text).unwrap(), w);
+        // The wire grammar carries it too.
+        let req = parse_request_str("% max-hops 2\n% seed 7\nst 0 1\n").unwrap();
+        assert_eq!(req.max_hops, Some(2));
+        // `% max-hops 0` is legal: only s == t (or source∩target) survive.
+        assert_eq!(
+            parse_workload_str("% max-hops 0\n").unwrap().max_hops,
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn constrained_form_errors_report_position() {
+        for (text, needle) in [
+            ("set 0,1\n", "arity"),
+            ("set 0,1 2 3\n", "arity"),
+            ("set , 2\n", "at least one source"),
+            ("set 0 ,\n", "at least one target"),
+            ("set 0,x 2\n", "node id"),
+            ("topk 0\n", "arity"),
+            ("topk 0 0\n", "valid k"),
+            ("topk 0 -1\n", "valid k"),
+            ("hops 0\n", "arity"),
+            ("hops 0 1 2\n", "arity"),
+            ("% max-hops\n", "max-hops D"),
+            ("% max-hops 1 2\n", "max-hops D"),
+            ("% max-hops banana\n", "hop bound"),
+            ("% max-hops -3\n", "hop bound"),
+            ("% max-hops 2\n% max-hops 3\n", "duplicate"),
+        ] {
+            let err = parse_workload_str(text).unwrap_err();
+            let msg = err.to_string();
+            assert!(msg.contains("line"), "{text:?} -> {msg}");
+            assert!(msg.contains(needle), "{text:?} -> {msg}");
+        }
+        // The strict query parser rejects the directive, pointing at its
+        // line.
+        let err = parse_queries_str("st 0 1\n% max-hops 3\n").unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
     }
 
     #[test]

@@ -26,13 +26,20 @@
 //! giant queries; both at once oversubscribes but still yields identical
 //! bits.
 
-use crate::convergence::{Budget, Estimate};
+use crate::convergence::{Budget, Estimate, HopsEstimate};
 use crate::runtime::ParallelRuntime;
 use crate::Estimator;
 use relmax_ugraph::{CsrGraph, NodeId, ProbGraph, UncertainGraph};
 
 /// One reliability query in a batch workload.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// The constrained shapes ([`BatchQuery::StWithin`], [`BatchQuery::Set`],
+/// [`BatchQuery::Hops`]) are only answerable by estimators whose
+/// [`Estimator::supports_constrained`] is true — callers must check
+/// *before* batching (the batch executor panics on an unsupported shape,
+/// because its per-query fan-out has no error channel). Top-k works for
+/// every estimator (it is a ranking over `from_estimates`).
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum BatchQuery {
     /// `R(s, t)` — a single source-target pair.
     St(NodeId, NodeId),
@@ -40,38 +47,78 @@ pub enum BatchQuery {
     From(NodeId),
     /// `R(v, t)` for every node `v` (reverse reachability vector).
     To(NodeId),
+    /// `R_d(s, t)` — reachability within a hop bound.
+    StWithin(NodeId, NodeId, u32),
+    /// Set reliability: any source reaches any target, optionally within
+    /// a hop bound, in one shared-world pass.
+    Set(Vec<NodeId>, Vec<NodeId>, Option<u32>),
+    /// The `k` most reliable targets from a source, deterministically
+    /// ranked (value descending, node id ascending on ties).
+    TopK(NodeId, usize),
+    /// Expected reliable hop distance of a pair (plus its reliability).
+    Hops(NodeId, NodeId),
 }
 
 impl BatchQuery {
     /// The largest node id this query references (for bounds validation).
+    /// Empty set sides reference no node and report `NodeId(0)`.
     pub fn max_node(&self) -> NodeId {
-        match *self {
-            BatchQuery::St(s, t) => NodeId(s.0.max(t.0)),
-            BatchQuery::From(s) => s,
-            BatchQuery::To(t) => t,
+        match self {
+            BatchQuery::St(s, t) | BatchQuery::Hops(s, t) | BatchQuery::StWithin(s, t, _) => {
+                NodeId(s.0.max(t.0))
+            }
+            BatchQuery::From(s) | BatchQuery::TopK(s, _) => *s,
+            BatchQuery::To(t) => *t,
+            BatchQuery::Set(sources, targets, _) => NodeId(
+                sources
+                    .iter()
+                    .chain(targets)
+                    .map(|v| v.0)
+                    .max()
+                    .unwrap_or(0),
+            ),
         }
+    }
+
+    /// Whether answering this query requires
+    /// [`Estimator::supports_constrained`].
+    pub fn is_constrained(&self) -> bool {
+        matches!(
+            self,
+            BatchQuery::StWithin(..) | BatchQuery::Set(..) | BatchQuery::Hops(..)
+        )
     }
 }
 
 /// The answer to one [`BatchQuery`].
 #[derive(Debug, Clone, PartialEq)]
 pub enum BatchResult {
-    /// Scalar `R(s, t)` for an [`BatchQuery::St`] query.
+    /// Scalar `R(s, t)` for an [`BatchQuery::St`] / [`BatchQuery::StWithin`]
+    /// / [`BatchQuery::Set`] query.
     Scalar(f64),
     /// Per-node reliability vector for a [`BatchQuery::From`] /
     /// [`BatchQuery::To`] query, indexed by node id.
     Vector(Vec<f64>),
+    /// Ranked `(target, reliability)` pairs for a [`BatchQuery::TopK`]
+    /// query, most reliable first.
+    Ranking(Vec<(NodeId, f64)>),
+    /// `(reliability, expected hops)` for a [`BatchQuery::Hops`] query.
+    Hops(f64, f64),
 }
 
 impl BatchResult {
-    /// Summary statistics `(nonzero, mean, max)` over the result — the
-    /// scalar case counts itself as one node. Used by table-style output
-    /// where a full vector does not fit.
+    /// Summary statistics `(nonzero, mean, max)` over the result's
+    /// reliability values — the scalar case counts itself as one node.
+    /// Used by table-style output where a full vector does not fit.
     pub fn summary(&self) -> (usize, f64, f64) {
-        summarize(match self {
-            BatchResult::Scalar(r) => std::slice::from_ref(r),
-            BatchResult::Vector(v) => v.as_slice(),
-        })
+        match self {
+            BatchResult::Scalar(r) | BatchResult::Hops(r, _) => summarize(std::slice::from_ref(r)),
+            BatchResult::Vector(v) => summarize(v.as_slice()),
+            BatchResult::Ranking(pairs) => {
+                let values: Vec<f64> = pairs.iter().map(|&(_, r)| r).collect();
+                summarize(&values)
+            }
+        }
     }
 }
 
@@ -90,11 +137,18 @@ fn summarize(values: &[f64]) -> (usize, f64, f64) {
 /// [`BatchResult`], but carrying full [`Estimate`]s.
 #[derive(Debug, Clone, PartialEq)]
 pub enum BatchEstimate {
-    /// Scalar estimate for a [`BatchQuery::St`] query.
+    /// Scalar estimate for a [`BatchQuery::St`] / [`BatchQuery::StWithin`]
+    /// / [`BatchQuery::Set`] query.
     Scalar(Estimate),
     /// Per-node estimates for a [`BatchQuery::From`] / [`BatchQuery::To`]
     /// query, indexed by node id.
     Vector(Vec<Estimate>),
+    /// Ranked `(target, estimate)` pairs for a [`BatchQuery::TopK`]
+    /// query, most reliable first.
+    Ranking(Vec<(NodeId, Estimate)>),
+    /// Joint reliability + hop-distance estimate for a
+    /// [`BatchQuery::Hops`] query.
+    Hops(HopsEstimate),
 }
 
 impl BatchEstimate {
@@ -103,6 +157,10 @@ impl BatchEstimate {
         match self {
             BatchEstimate::Scalar(e) => BatchResult::Scalar(e.value),
             BatchEstimate::Vector(v) => BatchResult::Vector(v.iter().map(|e| e.value).collect()),
+            BatchEstimate::Ranking(pairs) => {
+                BatchResult::Ranking(pairs.iter().map(|&(v, e)| (v, e.value)).collect())
+            }
+            BatchEstimate::Hops(h) => BatchResult::Hops(h.reliability.value, h.expected_hops),
         }
     }
 
@@ -113,8 +171,9 @@ impl BatchEstimate {
     }
 
     /// Worlds spent answering this query and whether an accuracy budget
-    /// stopped before its cap. Vector answers share one sampling run, so
-    /// the first entry speaks for all (empty vectors report `(0, false)`).
+    /// stopped before its cap. Vector and ranking answers share one
+    /// sampling run, so the first entry speaks for all (empty answers
+    /// report `(0, false)`).
     pub fn sampling_effort(&self) -> (usize, bool) {
         match self {
             BatchEstimate::Scalar(e) => (e.samples_used, e.stopped_early),
@@ -122,6 +181,11 @@ impl BatchEstimate {
                 .first()
                 .map(|e| (e.samples_used, e.stopped_early))
                 .unwrap_or((0, false)),
+            BatchEstimate::Ranking(pairs) => pairs
+                .first()
+                .map(|(_, e)| (e.samples_used, e.stopped_early))
+                .unwrap_or((0, false)),
+            BatchEstimate::Hops(h) => (h.reliability.samples_used, h.reliability.stopped_early),
         }
     }
 
@@ -130,6 +194,10 @@ impl BatchEstimate {
         match self {
             BatchEstimate::Scalar(e) => e.stderr,
             BatchEstimate::Vector(v) => v.iter().map(|e| e.stderr).fold(0.0f64, f64::max),
+            BatchEstimate::Ranking(pairs) => {
+                pairs.iter().map(|(_, e)| e.stderr).fold(0.0f64, f64::max)
+            }
+            BatchEstimate::Hops(h) => h.reliability.stderr,
         }
     }
 }
@@ -176,10 +244,25 @@ impl QueryBatch {
         queries: &[BatchQuery],
         budget: Budget,
     ) -> Vec<BatchEstimate> {
-        self.runtime.map(queries.len(), |i| match queries[i] {
-            BatchQuery::St(s, t) => BatchEstimate::Scalar(est.st_estimate(g, s, t, budget)),
-            BatchQuery::From(s) => BatchEstimate::Vector(est.from_estimates(g, s, budget)),
-            BatchQuery::To(t) => BatchEstimate::Vector(est.to_estimates(g, t, budget)),
+        const UNSUPPORTED: &str = "estimator does not support constrained query shapes; \
+             check Estimator::supports_constrained before batching";
+        self.runtime.map(queries.len(), |i| match &queries[i] {
+            BatchQuery::St(s, t) => BatchEstimate::Scalar(est.st_estimate(g, *s, *t, budget)),
+            BatchQuery::From(s) => BatchEstimate::Vector(est.from_estimates(g, *s, budget)),
+            BatchQuery::To(t) => BatchEstimate::Vector(est.to_estimates(g, *t, budget)),
+            BatchQuery::StWithin(s, t, d) => BatchEstimate::Scalar(
+                est.st_within_estimate(g, *s, *t, *d, budget)
+                    .expect(UNSUPPORTED),
+            ),
+            BatchQuery::Set(sources, targets, max_hops) => BatchEstimate::Scalar(
+                est.set_estimate(g, sources, targets, *max_hops, budget)
+                    .expect(UNSUPPORTED),
+            ),
+            BatchQuery::TopK(s, k) => BatchEstimate::Ranking(est.topk_estimates(g, *s, *k, budget)),
+            BatchQuery::Hops(s, t) => BatchEstimate::Hops(
+                est.expected_hops_estimate(g, *s, *t, budget)
+                    .expect(UNSUPPORTED),
+            ),
         })
     }
 
@@ -308,6 +391,58 @@ mod tests {
     fn max_node_bounds() {
         assert_eq!(BatchQuery::St(NodeId(3), NodeId(9)).max_node(), NodeId(9));
         assert_eq!(BatchQuery::From(NodeId(4)).max_node(), NodeId(4));
+    }
+
+    #[test]
+    fn constrained_batch_matches_direct_calls_at_any_thread_count() {
+        let g = bridge();
+        let csr = g.freeze();
+        let est = McEstimator::new(2_048, 11);
+        let b = Budget::fixed(2_048);
+        let queries = vec![
+            BatchQuery::StWithin(NodeId(0), NodeId(3), 2),
+            BatchQuery::Set(vec![NodeId(0)], vec![NodeId(2), NodeId(3)], Some(2)),
+            BatchQuery::TopK(NodeId(0), 2),
+            BatchQuery::Hops(NodeId(0), NodeId(3)),
+        ];
+        let serial =
+            QueryBatch::new(ParallelRuntime::serial()).run_budgeted(&est, &csr, &queries, b);
+        assert_eq!(
+            serial[0],
+            BatchEstimate::Scalar(
+                est.st_within_estimate(&csr, NodeId(0), NodeId(3), 2, b)
+                    .unwrap()
+            )
+        );
+        assert_eq!(
+            serial[1],
+            BatchEstimate::Scalar(
+                est.set_estimate(&csr, &[NodeId(0)], &[NodeId(2), NodeId(3)], Some(2), b)
+                    .unwrap()
+            )
+        );
+        assert_eq!(
+            serial[2],
+            BatchEstimate::Ranking(est.topk_estimates(&csr, NodeId(0), 2, b))
+        );
+        assert_eq!(
+            serial[3],
+            BatchEstimate::Hops(
+                est.expected_hops_estimate(&csr, NodeId(0), NodeId(3), b)
+                    .unwrap()
+            )
+        );
+        for threads in [2, 4] {
+            let par = QueryBatch::new(ParallelRuntime::new(threads))
+                .run_budgeted(&est, &csr, &queries, b);
+            assert_eq!(serial, par, "threads={threads}");
+        }
+        // Shape metadata used by validation layers.
+        assert!(queries[0].is_constrained());
+        assert!(!queries[2].is_constrained());
+        assert_eq!(queries[1].max_node(), NodeId(3));
+        assert!(est.supports_constrained());
+        assert!(!RssEstimator::new(10, 1).supports_constrained());
     }
 
     #[test]

@@ -263,6 +263,55 @@ impl Estimate {
     }
 }
 
+/// A joint reliability + hop-distance estimate: what an expected-
+/// reliable-hop-distance query returns.
+///
+/// `reliability` is the plain (unbounded) `s-t` reliability estimate over
+/// the sampled worlds. `hop_sum` adds, over exactly the reachable sampled
+/// worlds, each world's shortest hop distance from `s` to `t` — an
+/// integer accumulator, so the whole struct is bit-identical across
+/// threads, kernels, and shard boundaries. `expected_hops` is the derived
+/// conditional mean `hop_sum / hits` (0.0 when no sampled world connects
+/// the pair). The *unconditional* unbiased quantity is `hop_sum / Z`,
+/// which estimates `Σ_G Pr(G) · d_G(s,t) · 1{s ⇝ t in G}` — recover it
+/// as `expected_hops · reliability.value`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HopsEstimate {
+    /// Reliability of the pair over the same sampled worlds.
+    pub reliability: Estimate,
+    /// Mean shortest hop distance conditioned on reachability (0.0 when
+    /// `reliability.value` is 0).
+    pub expected_hops: f64,
+    /// Sum of shortest hop distances over the reachable sampled worlds.
+    pub hop_sum: u64,
+}
+
+impl HopsEstimate {
+    /// Build from the sampled moments: `hits` reachable worlds out of
+    /// `n`, whose shortest-distance sum is `hop_sum`.
+    pub fn from_moments(hits: u64, hop_sum: u64, n: u64, delta: f64, stopped_early: bool) -> Self {
+        HopsEstimate {
+            reliability: Estimate::from_hits(hits, n, delta, stopped_early),
+            expected_hops: if hits > 0 {
+                hop_sum as f64 / hits as f64
+            } else {
+                0.0
+            },
+            hop_sum,
+        }
+    }
+
+    /// An exact zero-uncertainty result (`s == t`: reliability 1 at
+    /// distance 0; impossible pairs: reliability 0 at distance 0).
+    pub fn exact(reliability: Estimate) -> Self {
+        HopsEstimate {
+            reliability,
+            expected_hops: 0.0,
+            hop_sum: 0,
+        }
+    }
+}
+
 /// Hoeffding half-width for a mean of `n` iid `[0, 1]` draws at
 /// confidence `1 - delta`: `sqrt(ln(2/δ) / 2n)`.
 pub fn hoeffding_half_width(n: u64, delta: f64) -> f64 {

@@ -77,7 +77,9 @@ pub mod rss;
 pub mod runtime;
 
 pub use batch::{BatchEstimate, BatchQuery, BatchResult, QueryBatch};
-pub use convergence::{converged_sample_size, dispersion_ratio, AdaptivePlan, Budget, Estimate};
+pub use convergence::{
+    converged_sample_size, dispersion_ratio, AdaptivePlan, Budget, Estimate, HopsEstimate,
+};
 pub use exact::ExactEstimator;
 pub use mc::McEstimator;
 pub use packed::{Kernel, WorldBlock};
@@ -191,6 +193,104 @@ pub trait Estimator: Sync {
             let view = GraphView::new(g, vec![candidates[i]]);
             self.st_estimate(&view, s, t, budget)
         })
+    }
+
+    /// Whether this estimator answers the constrained query shapes —
+    /// [`Estimator::st_within_estimate`], [`Estimator::set_estimate`],
+    /// [`Estimator::expected_hops_estimate`] return `Some` exactly when
+    /// this is true. Callers that cannot thread an `Option` through
+    /// (batch executors, servers validating a request up front) check
+    /// this instead. Top-k needs no support flag (it ranks
+    /// [`Estimator::from_estimates`], which every estimator has).
+    fn supports_constrained(&self) -> bool {
+        false
+    }
+
+    /// Estimate the hop-bounded reliability `R_d(s, t, G)` — the
+    /// probability that `t` is reachable from `s` along a path of at most
+    /// `max_hops` arcs (the conditional-reliability measure of
+    /// arXiv 1608.04474 with a hop cost) — under `budget`.
+    ///
+    /// Returns `None` when the estimator does not support hop-bounded
+    /// queries (the default); callers surface that as an "unsupported
+    /// query shape" error rather than silently falling back to the
+    /// unbounded measure. [`McEstimator`] implements it with a strictly
+    /// level-synchronous kernel, bit-identical across threads and
+    /// kernels; attached indexes are bypassed except for structurally
+    /// impossible pairs (condensation does not preserve hop counts).
+    fn st_within_estimate<G: ProbGraph>(
+        &self,
+        _g: &G,
+        _s: NodeId,
+        _t: NodeId,
+        _max_hops: u32,
+        _budget: Budget,
+    ) -> Option<Estimate> {
+        None
+    }
+
+    /// Estimate the set reliability — the probability that *any* source
+    /// reaches *any* target, optionally within `max_hops` arcs, in one
+    /// shared-world pass — under `budget`.
+    ///
+    /// `None` (the default) means the estimator does not support set
+    /// queries; see [`Estimator::st_within_estimate`] for the contract.
+    fn set_estimate<G: ProbGraph>(
+        &self,
+        _g: &G,
+        _sources: &[NodeId],
+        _targets: &[NodeId],
+        _max_hops: Option<u32>,
+        _budget: Budget,
+    ) -> Option<Estimate> {
+        None
+    }
+
+    /// Estimate the expected reliable hop distance of `(s, t)`: the pair's
+    /// reliability plus the mean shortest hop distance over exactly the
+    /// sampled worlds that connect the pair (see [`HopsEstimate`]).
+    ///
+    /// `None` (the default) means the estimator does not support hop
+    /// accounting; see [`Estimator::st_within_estimate`] for the contract.
+    fn expected_hops_estimate<G: ProbGraph>(
+        &self,
+        _g: &G,
+        _s: NodeId,
+        _t: NodeId,
+        _budget: Budget,
+    ) -> Option<HopsEstimate> {
+        None
+    }
+
+    /// The `k` most reliable targets from `s`, ranked deterministically:
+    /// one [`Estimator::from_estimates`] pass, sorted by estimated value
+    /// descending with ascending node id breaking ties (`f64::total_cmp`,
+    /// so the order is total even in edge cases). `s` itself is excluded;
+    /// fewer than `k` nodes yields a shorter vector. Works for every
+    /// estimator, and inherits the underlying pass's determinism
+    /// guarantees (including index routing, which preserves values bit
+    /// for bit).
+    fn topk_estimates<G: ProbGraph>(
+        &self,
+        g: &G,
+        s: NodeId,
+        k: usize,
+        budget: Budget,
+    ) -> Vec<(NodeId, Estimate)> {
+        let mut ranked: Vec<(NodeId, Estimate)> = self
+            .from_estimates(g, s, budget)
+            .into_iter()
+            .enumerate()
+            .filter(|&(i, _)| i != s.index())
+            .map(|(i, e)| (NodeId(i as u32), e))
+            .collect();
+        ranked.sort_by(|a, b| {
+            b.1.value
+                .total_cmp(&a.1.value)
+                .then_with(|| a.0.index().cmp(&b.0.index()))
+        });
+        ranked.truncate(k);
+        ranked
     }
 
     /// A short human-readable name ("MC", "RSS", "exact") for reports.

@@ -343,6 +343,69 @@ impl McEstimator {
         hits
     }
 
+    /// Scalar reference for the hop-bounded / set kernels: one strictly
+    /// level-synchronous multi-source BFS per sampled world, flipping the
+    /// same stateless `(seed, sample, coin)` keys as the packed
+    /// [`packed::set_counts`] — the per-world verdict and first-arrival
+    /// depth are pure functions of those coins, so the two kernels fold
+    /// into bit-identical `(hits, hop_sum)` integers.
+    fn set_moments<G: ProbGraph>(
+        &self,
+        g: &G,
+        sources: &[NodeId],
+        targets: &[NodeId],
+        max_hops: Option<u32>,
+        lo: u64,
+        hi: u64,
+    ) -> (u64, u64) {
+        let n = g.num_nodes();
+        let cap = max_hops.unwrap_or(u32::MAX);
+        let mut is_target = vec![false; n];
+        for &t in targets {
+            is_target[t.index()] = true;
+        }
+        if sources.iter().any(|&s| is_target[s.index()]) {
+            // Source ∩ target: a 0-hop hit in every world.
+            return (hi - lo, 0);
+        }
+        let mut hits = 0u64;
+        let mut hop_sum = 0u64;
+        let mut dist = vec![u32::MAX; n];
+        let mut queue = std::collections::VecDeque::new();
+        for sample in lo..hi {
+            dist.fill(u32::MAX);
+            queue.clear();
+            for &s in sources {
+                if dist[s.index()] == u32::MAX {
+                    dist[s.index()] = 0;
+                    queue.push_back(s);
+                }
+            }
+            let mut arrival: Option<u32> = None;
+            while arrival.is_none() {
+                let Some(v) = queue.pop_front() else { break };
+                let dv = dist[v.index()];
+                if dv >= cap {
+                    break; // BFS order: everything left is at depth ≥ cap
+                }
+                g.out_flips(v).for_each(|(u, th, c)| {
+                    if dist[u.index()] == u32::MAX && coin_raw(self.seed, sample, c) < th {
+                        dist[u.index()] = dv + 1;
+                        if is_target[u.index()] && arrival.is_none() {
+                            arrival = Some(dv + 1);
+                        }
+                        queue.push_back(u);
+                    }
+                });
+            }
+            if let Some(d) = arrival {
+                hits += 1;
+                hop_sum += d as u64;
+            }
+        }
+        (hits, hop_sum)
+    }
+
     /// Shared-world pairwise counts for `lo..hi`: each sample instantiates
     /// its world's coins at most once across all sources (memoized flips),
     /// so every row is evaluated on literally the same world.
@@ -570,6 +633,93 @@ impl Estimator for McEstimator {
     fn coalescable_st(&self) -> bool {
         true
     }
+
+    fn supports_constrained(&self) -> bool {
+        true
+    }
+
+    fn st_within_estimate<G: ProbGraph>(
+        &self,
+        g: &G,
+        s: NodeId,
+        t: NodeId,
+        max_hops: u32,
+        budget: Budget,
+    ) -> Option<Estimate> {
+        budget.assert_valid();
+        if s == t {
+            return Some(Estimate::exact(1.0)); // 0 hops fits every bound
+        }
+        // Only the structural-impossibility short-circuit survives a hop
+        // bound: `Certain` (same certain-SCC) proves connectivity but not
+        // within d hops, and condensation collapses hop counts — so
+        // constrained queries always sample the raw graph.
+        if self.all_pairs_impossible(g, &[s], &[t]) {
+            return Some(Self::impossible_estimate());
+        }
+        Some(self.set_sampled(g, &[s], &[t], Some(max_hops), budget).0)
+    }
+
+    fn set_estimate<G: ProbGraph>(
+        &self,
+        g: &G,
+        sources: &[NodeId],
+        targets: &[NodeId],
+        max_hops: Option<u32>,
+        budget: Budget,
+    ) -> Option<Estimate> {
+        budget.assert_valid();
+        if sources.is_empty() || targets.is_empty() {
+            return Some(Self::impossible_estimate());
+        }
+        if sources.iter().any(|s| targets.contains(s)) {
+            return Some(Estimate::exact(1.0)); // shared node: 0-hop hit
+        }
+        if self.all_pairs_impossible(g, sources, targets) {
+            return Some(Self::impossible_estimate());
+        }
+        Some(self.set_sampled(g, sources, targets, max_hops, budget).0)
+    }
+
+    fn expected_hops_estimate<G: ProbGraph>(
+        &self,
+        g: &G,
+        s: NodeId,
+        t: NodeId,
+        budget: Budget,
+    ) -> Option<crate::convergence::HopsEstimate> {
+        budget.assert_valid();
+        if s == t {
+            return Some(crate::convergence::HopsEstimate::exact(Estimate::exact(
+                1.0,
+            )));
+        }
+        if self.all_pairs_impossible(g, &[s], &[t]) {
+            return Some(crate::convergence::HopsEstimate::exact(
+                Self::impossible_estimate(),
+            ));
+        }
+        let mut hits = 0u64;
+        let mut hop_sum = 0u64;
+        let (z, delta, stopped) = drive_budget(budget, |lo, hi, delta| {
+            self.runtime.run_sample_range(
+                lo,
+                hi,
+                |l, h| match self.kernel {
+                    Kernel::Packed => packed::st_hop_moments(g, self.seed, s, t, None, l, h),
+                    Kernel::Scalar => self.set_moments(g, &[s], &[t], None, l, h),
+                },
+                |(h, d)| {
+                    hits += h;
+                    hop_sum += d;
+                },
+            );
+            worst_bernoulli_half_width([hits], hi, delta)
+        });
+        Some(crate::convergence::HopsEstimate::from_moments(
+            hits, hop_sum, z, delta, stopped,
+        ))
+    }
 }
 
 /// Index-free sampling bodies. The public [`Estimator`] methods route
@@ -593,6 +743,61 @@ impl McEstimator {
             worst_bernoulli_half_width([hits], hi, delta)
         });
         Estimate::from_hits(hits, z, delta, stopped)
+    }
+
+    /// Budgeted set-reliability / hop-moment sampling: the shared body
+    /// behind [`Estimator::st_within_estimate`], [`Estimator::set_estimate`],
+    /// and [`Estimator::expected_hops_estimate`]. Returns the reliability
+    /// estimate plus the integer hop-distance sum over hitting worlds.
+    fn set_sampled<G: ProbGraph>(
+        &self,
+        g: &G,
+        sources: &[NodeId],
+        targets: &[NodeId],
+        max_hops: Option<u32>,
+        budget: Budget,
+    ) -> (Estimate, u64) {
+        let mut hits = 0u64;
+        let mut hop_sum = 0u64;
+        let (z, delta, stopped) = drive_budget(budget, |lo, hi, delta| {
+            self.runtime.run_sample_range(
+                lo,
+                hi,
+                |l, h| match self.kernel {
+                    Kernel::Packed => {
+                        packed::set_counts(g, self.seed, sources, targets, max_hops, l, h)
+                    }
+                    Kernel::Scalar => self.set_moments(g, sources, targets, max_hops, l, h),
+                },
+                |(h, d)| {
+                    hits += h;
+                    hop_sum += d;
+                },
+            );
+            worst_bernoulli_half_width([hits], hi, delta)
+        });
+        (Estimate::from_hits(hits, z, delta, stopped), hop_sum)
+    }
+
+    /// Whether the attached index proves every `(s, t)` pair of the query
+    /// structurally impossible — the only index verdict that survives a
+    /// hop bound (condensed certain-SCCs collapse hop counts, so
+    /// `Certain` plans and condensation are never used for constrained
+    /// shapes; impossibility is bound-independent).
+    fn all_pairs_impossible<G: ProbGraph>(
+        &self,
+        g: &G,
+        sources: &[NodeId],
+        targets: &[NodeId],
+    ) -> bool {
+        match self.active_index(g) {
+            Some(idx) => sources.iter().all(|&s| {
+                targets
+                    .iter()
+                    .all(|&t| matches!(idx.st_plan(s, t), StPlan::Impossible))
+            }),
+            None => false,
+        }
     }
 
     fn pairwise_sampled<G: ProbGraph>(
@@ -1444,6 +1649,184 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn constrained_shapes_bit_identical_across_kernels_and_threads() {
+        // All four new shapes, packed vs scalar, 1/2/4 threads, with a
+        // sample count that leaves a masked tail block (1234 = 19·64+18).
+        let g = bridge_graph();
+        let csr = CsrGraph::freeze(&g);
+        let b = Budget::fixed(1234);
+        let sources = [NodeId(0), NodeId(1)];
+        let targets = [NodeId(2), NodeId(3)];
+        let reference = McEstimator::new(1234, 77).with_kernel(Kernel::Scalar);
+        let r_within = reference
+            .st_within_estimate(&csr, NodeId(0), NodeId(3), 2, b)
+            .unwrap();
+        let r_set = reference
+            .set_estimate(&csr, &sources, &targets, Some(2), b)
+            .unwrap();
+        let r_hops = reference
+            .expected_hops_estimate(&csr, NodeId(0), NodeId(3), b)
+            .unwrap();
+        let r_topk = reference.topk_estimates(&csr, NodeId(0), 3, b);
+        for threads in [1, 2, 4] {
+            for kernel in [Kernel::Scalar, Kernel::Packed] {
+                let mc = McEstimator::with_threads(1234, 77, threads).with_kernel(kernel);
+                assert_eq!(
+                    mc.st_within_estimate(&csr, NodeId(0), NodeId(3), 2, b)
+                        .unwrap(),
+                    r_within,
+                    "threads={threads} kernel={kernel:?}"
+                );
+                assert_eq!(
+                    mc.set_estimate(&csr, &sources, &targets, Some(2), b)
+                        .unwrap(),
+                    r_set,
+                    "threads={threads} kernel={kernel:?}"
+                );
+                assert_eq!(
+                    mc.expected_hops_estimate(&csr, NodeId(0), NodeId(3), b)
+                        .unwrap(),
+                    r_hops,
+                    "threads={threads} kernel={kernel:?}"
+                );
+                assert_eq!(
+                    mc.topk_estimates(&csr, NodeId(0), 3, b),
+                    r_topk,
+                    "threads={threads} kernel={kernel:?}"
+                );
+            }
+        }
+        // Adjacency walk vs CSR snapshot: same worlds, same bits.
+        assert_eq!(
+            reference
+                .st_within_estimate(&g, NodeId(0), NodeId(3), 2, b)
+                .unwrap(),
+            r_within
+        );
+    }
+
+    #[test]
+    fn constrained_accuracy_budget_is_a_fixed_budget_prefix() {
+        let g = bridge_graph();
+        let mc = McEstimator::new(1, 7);
+        let budget = Budget::accuracy_capped(0.05, 0.05, 4096);
+        let est = mc
+            .st_within_estimate(&g, NodeId(0), NodeId(3), 2, budget)
+            .unwrap();
+        assert!(est.samples_used <= 4096);
+        let fixed = mc
+            .st_within_estimate(&g, NodeId(0), NodeId(3), 2, Budget::fixed(est.samples_used))
+            .unwrap();
+        assert_eq!(est.value, fixed.value);
+    }
+
+    #[test]
+    fn hop_bound_monotone_and_capped_by_unbounded() {
+        let g = bridge_graph();
+        let mc = McEstimator::new(4096, 7);
+        let b = Budget::fixed(4096);
+        let r1 = mc
+            .st_within_estimate(&g, NodeId(0), NodeId(3), 1, b)
+            .unwrap()
+            .value;
+        let r2 = mc
+            .st_within_estimate(&g, NodeId(0), NodeId(3), 2, b)
+            .unwrap()
+            .value;
+        let r3 = mc
+            .st_within_estimate(&g, NodeId(0), NodeId(3), 3, b)
+            .unwrap()
+            .value;
+        let full = mc.st_estimate(&g, NodeId(0), NodeId(3), b).value;
+        assert_eq!(r1, 0.0); // shortest possible path has 2 arcs
+        assert!(r1 <= r2 && r2 <= r3);
+        // Hop-bound samples share worlds with the plain kernel (common
+        // random numbers), so diameter-sized bounds agree exactly.
+        assert_eq!(r3, full);
+    }
+
+    #[test]
+    fn constrained_shapes_bypass_the_index_except_impossible() {
+        // Certain 2-cycle {0,1} would condense; hop-bounded queries must
+        // sample the raw graph (condensation corrupts hop counts), while
+        // structurally impossible pairs still short-circuit.
+        let mut g = UncertainGraph::new(6, true);
+        g.add_edge(NodeId(0), NodeId(1), 1.0).unwrap();
+        g.add_edge(NodeId(1), NodeId(0), 1.0).unwrap();
+        g.add_edge(NodeId(1), NodeId(2), 0.6).unwrap();
+        g.add_edge(NodeId(4), NodeId(5), 0.7).unwrap();
+        let csr = g.freeze();
+        let plain = McEstimator::new(2048, 13);
+        let fast = indexed(&plain, &csr);
+        let b = Budget::fixed(2048);
+        assert_eq!(
+            fast.st_within_estimate(&csr, NodeId(0), NodeId(2), 2, b),
+            plain.st_within_estimate(&csr, NodeId(0), NodeId(2), 2, b),
+        );
+        assert_eq!(
+            fast.expected_hops_estimate(&csr, NodeId(0), NodeId(2), b),
+            plain.expected_hops_estimate(&csr, NodeId(0), NodeId(2), b),
+        );
+        // Cross-component: decided without sampling.
+        let est = fast
+            .st_within_estimate(&csr, NodeId(0), NodeId(5), 3, b)
+            .unwrap();
+        assert_eq!((est.value, est.samples_used), (0.0, 0));
+        let set = fast
+            .set_estimate(
+                &csr,
+                &[NodeId(0), NodeId(2)],
+                &[NodeId(4), NodeId(5)],
+                None,
+                b,
+            )
+            .unwrap();
+        assert_eq!((set.value, set.samples_used), (0.0, 0));
+        let hops = fast
+            .expected_hops_estimate(&csr, NodeId(0), NodeId(5), b)
+            .unwrap();
+        assert_eq!(hops.reliability.samples_used, 0);
+        assert_eq!((hops.expected_hops, hops.hop_sum), (0.0, 0));
+    }
+
+    #[test]
+    fn topk_ranking_is_deterministic_and_tie_broken() {
+        // 0 → {1, 2, 3} with 1 and 3 sharing an identical coin-for-coin
+        // reliability is hard to arrange; instead pin the contract on a
+        // graph where two targets are *certainly* reached (both 1.0): the
+        // tie must break by ascending node id.
+        let mut g = UncertainGraph::new(4, true);
+        g.add_edge(NodeId(0), NodeId(2), 1.0).unwrap();
+        g.add_edge(NodeId(0), NodeId(3), 1.0).unwrap();
+        g.add_edge(NodeId(0), NodeId(1), 0.5).unwrap();
+        let mc = McEstimator::new(1024, 5);
+        let b = Budget::fixed(1024);
+        let top = mc.topk_estimates(&g, NodeId(0), 2, b);
+        assert_eq!(top.len(), 2);
+        assert_eq!((top[0].0, top[1].0), (NodeId(2), NodeId(3)));
+        assert_eq!((top[0].1.value, top[1].1.value), (1.0, 1.0));
+        // k beyond n-1 truncates; the source itself never appears.
+        let all = mc.topk_estimates(&g, NodeId(0), 10, b);
+        assert_eq!(all.len(), 3);
+        assert!(all.iter().all(|(v, _)| *v != NodeId(0)));
+    }
+
+    #[test]
+    fn set_estimate_degenerate_inputs() {
+        let g = bridge_graph();
+        let mc = McEstimator::new(256, 3);
+        let b = Budget::fixed(256);
+        // Shared node: certain at 0 hops.
+        let e = mc
+            .set_estimate(&g, &[NodeId(0), NodeId(2)], &[NodeId(2)], Some(0), b)
+            .unwrap();
+        assert_eq!((e.value, e.samples_used), (1.0, 0));
+        // Empty side: impossible.
+        let e = mc.set_estimate(&g, &[], &[NodeId(2)], None, b).unwrap();
+        assert_eq!((e.value, e.samples_used), (0.0, 0));
     }
 
     #[test]

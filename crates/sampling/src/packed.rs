@@ -321,6 +321,10 @@ struct LaneScratch {
     cur: Vec<u64>,
     next: Vec<u64>,
     live: Vec<u64>,
+    /// Frontier snapshot buffer of [`fixpoint_levels`]: `(node, lanes)`
+    /// pairs drained from `cur`/`pending` before a round propagates, so
+    /// deposits made during the round cannot leak into it.
+    wave: Vec<(u32, u64)>,
 }
 
 impl LaneScratch {
@@ -490,6 +494,166 @@ fn fixpoint<G: ProbGraph>(
         }
         std::mem::swap(&mut ls.cur, &mut ls.next);
     }
+}
+
+/// Run the *strictly* level-synchronous packed fixpoint for one block,
+/// tracking per-lane first arrival at any of `targets`.
+///
+/// [`fixpoint`] lets a node still on the current frontier forward
+/// same-round deposits one round early (harmless for reachability
+/// verdicts, wrong for hop accounting), so this variant snapshots the
+/// whole frontier into `ls.wave` **before** any propagation: round `r`
+/// advances exactly the lanes that arrived at depth `r − 1`, making a
+/// lane's arrival round equal to its world's shortest hop distance.
+///
+/// Returns `(hit, depth_sum)`: `hit` has a bit per lane whose world
+/// reaches some target within `max_hops` arcs, and `depth_sum` is the sum
+/// over hit lanes of the first-arrival hop distance (0 for lanes where a
+/// target was seeded). Hit lanes are masked out of further expansion —
+/// legal because coins are stateless, so pruning never changes a verdict.
+fn fixpoint_levels<G: ProbGraph>(
+    g: &G,
+    seed: u64,
+    block: WorldBlock,
+    ls: &mut LaneScratch,
+    memo: &mut CoinMemo,
+    targets: &[NodeId],
+    max_hops: u32,
+) -> (u64, u64) {
+    let base_mul = block.base_mul();
+    let words = g.num_nodes().div_ceil(LANES);
+    // Lanes where a target is already reached at seed time: depth 0.
+    let mut hit = 0u64;
+    for &t in targets {
+        hit |= ls.state[t.index()].reached;
+    }
+    hit &= block.mask;
+    let mut depth_sum = 0u64;
+    let mut round = 0u32;
+    let mut wave = std::mem::take(&mut ls.wave);
+    while hit != block.mask && round < max_hops {
+        round += 1;
+        // Snapshot the frontier before touching any state.
+        wave.clear();
+        for wi in 0..words {
+            let mut w = ls.cur[wi];
+            if w == 0 {
+                continue;
+            }
+            ls.cur[wi] = 0;
+            while w != 0 {
+                let v = wi * LANES + w.trailing_zeros() as usize;
+                w &= w - 1;
+                let new_bits = ls.state[v].pending & !hit;
+                ls.state[v].pending = 0;
+                if new_bits != 0 {
+                    wave.push((v as u32, new_bits));
+                }
+            }
+        }
+        if wave.is_empty() {
+            break;
+        }
+        let mut any = 0u64;
+        for &(v, new_bits) in &wave {
+            let mut step = |(u, th, c): (NodeId, u64, CoinId)| {
+                let mask = memo.get(seed, base_mul, c, th);
+                let st = &mut ls.state[u.index()];
+                let add = new_bits & mask & !st.reached;
+                st.reached |= add;
+                st.pending |= add;
+                let nz = (add != 0) as u64;
+                let (uw, ub) = (u.index() >> 6, u.index() & 63);
+                ls.cur[uw] |= nz << ub;
+                ls.live[uw] |= nz << ub;
+                any |= add;
+            };
+            g.out_flips(NodeId(v)).for_each(&mut step);
+        }
+        // Lanes whose first target arrival is this round.
+        let mut fresh = 0u64;
+        for &t in targets {
+            fresh |= ls.state[t.index()].reached;
+        }
+        fresh &= !hit & block.mask;
+        depth_sum += round as u64 * fresh.count_ones() as u64;
+        hit |= fresh;
+        if any == 0 {
+            break;
+        }
+    }
+    ls.wave = wave;
+    (hit, depth_sum)
+}
+
+/// Packed set-reliability counts for the absolute sample range `lo..hi`:
+/// one multi-source strictly level-synchronous fixpoint per block.
+///
+/// Returns `(hits, depth_sum)`: `hits` counts the sampled worlds in which
+/// *any* source reaches *any* target within `max_hops` arcs (`None` =
+/// unbounded), and `depth_sum` accumulates the per-world first-arrival
+/// hop distance over exactly those worlds (0 when a node is both source
+/// and target). Both are plain integer sums over lanes, so shard and
+/// block boundaries cannot change them — bit-identical to the scalar
+/// level-synchronous reference in `mc.rs` at any thread count.
+pub fn set_counts<G: ProbGraph>(
+    g: &G,
+    seed: u64,
+    sources: &[NodeId],
+    targets: &[NodeId],
+    max_hops: Option<u32>,
+    lo: u64,
+    hi: u64,
+) -> (u64, u64) {
+    let n = g.num_nodes();
+    let m = g.num_coins();
+    let cap = max_hops.unwrap_or(u32::MAX);
+    let mut hits = 0u64;
+    let mut depth_sum = 0u64;
+    with_lane_scratch(|ls| {
+        with_coin_memo(|memo| {
+            for block in WorldBlock::span(lo, hi) {
+                ls.begin_block(n);
+                memo.begin(m);
+                for &s in sources {
+                    ls.seed(s, block.mask);
+                }
+                let (hit, ds) = fixpoint_levels(g, seed, block, ls, memo, targets, cap);
+                hits += hit.count_ones() as u64;
+                depth_sum += ds;
+            }
+        });
+    });
+    (hits, depth_sum)
+}
+
+/// Packed hop-bounded `s-t` hit count for `lo..hi`: worlds in which `t`
+/// is reachable from `s` along at most `max_hops` arcs.
+pub fn st_hits_within<G: ProbGraph>(
+    g: &G,
+    seed: u64,
+    s: NodeId,
+    t: NodeId,
+    max_hops: u32,
+    lo: u64,
+    hi: u64,
+) -> u64 {
+    set_counts(g, seed, &[s], &[t], Some(max_hops), lo, hi).0
+}
+
+/// Packed `s-t` hop moments for `lo..hi`: `(hits, depth_sum)` where
+/// `depth_sum` adds each reachable world's shortest hop distance —
+/// the sampled ingredients of the expected reliable hop distance.
+pub fn st_hop_moments<G: ProbGraph>(
+    g: &G,
+    seed: u64,
+    s: NodeId,
+    t: NodeId,
+    max_hops: Option<u32>,
+    lo: u64,
+    hi: u64,
+) -> (u64, u64) {
+    set_counts(g, seed, &[s], &[t], max_hops, lo, hi)
 }
 
 /// Packed `s-t` hit count for the absolute sample range `lo..hi`:
@@ -791,5 +955,108 @@ mod tests {
     #[test]
     fn kernel_default_is_packed() {
         assert_eq!(Kernel::default(), Kernel::Packed);
+    }
+
+    /// Per-world multi-source level-synchronous BFS over stateless coins:
+    /// the obviously-correct reference for the hop-bounded lane kernel.
+    fn world_set_moments(
+        g: &UncertainGraph,
+        seed: u64,
+        sources: &[NodeId],
+        targets: &[NodeId],
+        max_hops: Option<u32>,
+        lo: u64,
+        hi: u64,
+    ) -> (u64, u64) {
+        let cap = max_hops.unwrap_or(u32::MAX);
+        let mut hits = 0u64;
+        let mut depth_sum = 0u64;
+        for sample in lo..hi {
+            let mut dist = vec![u32::MAX; g.num_nodes()];
+            let mut queue = std::collections::VecDeque::new();
+            for &s in sources {
+                if dist[s.index()] == u32::MAX {
+                    dist[s.index()] = 0;
+                    queue.push_back(s);
+                }
+            }
+            let mut arrival = targets
+                .iter()
+                .filter(|t| dist[t.index()] == 0)
+                .map(|_| 0u32)
+                .min();
+            while arrival.is_none() {
+                let Some(v) = queue.pop_front() else { break };
+                let dv = dist[v.index()];
+                if dv >= cap {
+                    continue;
+                }
+                let mut found = None;
+                g.out_flips(v).for_each(|(u, th, c)| {
+                    if dist[u.index()] == u32::MAX && coin_raw(seed, sample, c) < th {
+                        dist[u.index()] = dv + 1;
+                        if targets.contains(&u) && found.is_none() {
+                            found = Some(dv + 1);
+                        }
+                        queue.push_back(u);
+                    }
+                });
+                arrival = found;
+            }
+            if let Some(d) = arrival {
+                hits += 1;
+                depth_sum += d as u64;
+            }
+        }
+        (hits, depth_sum)
+    }
+
+    /// Cycle + shortcut + detour: distinct per-world hop distances, so
+    /// depth accounting is actually exercised (a kernel that lets
+    /// same-round deposits propagate early would undercount depths here).
+    fn hoppy_graph() -> UncertainGraph {
+        let mut g = UncertainGraph::new(6, true);
+        g.add_edge(NodeId(0), NodeId(1), 0.7).unwrap();
+        g.add_edge(NodeId(1), NodeId(2), 0.6).unwrap();
+        g.add_edge(NodeId(2), NodeId(5), 0.5).unwrap();
+        g.add_edge(NodeId(0), NodeId(5), 0.2).unwrap(); // 1-hop shortcut
+        g.add_edge(NodeId(0), NodeId(3), 0.4).unwrap();
+        g.add_edge(NodeId(3), NodeId(4), 0.8).unwrap();
+        g.add_edge(NodeId(4), NodeId(5), 0.8).unwrap();
+        g.add_edge(NodeId(5), NodeId(0), 0.5).unwrap(); // cycle back
+        g
+    }
+
+    #[test]
+    fn hop_bounded_counts_match_per_world_bfs() {
+        let g = hoppy_graph();
+        let (s, t) = (NodeId(0), NodeId(5));
+        for max_hops in [Some(0), Some(1), Some(2), Some(3), None] {
+            for (lo, hi) in [(0u64, 64u64), (0, 130), (64, 131), (7, 20)] {
+                let want = world_set_moments(&g, 13, &[s], &[t], max_hops, lo, hi);
+                let got = st_hop_moments(&g, 13, s, t, max_hops, lo, hi);
+                assert_eq!(got, want, "max_hops={max_hops:?} range {lo}..{hi}");
+                if let Some(h) = max_hops {
+                    assert_eq!(st_hits_within(&g, 13, s, t, h, lo, hi), want.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn set_counts_match_per_world_bfs() {
+        let g = hoppy_graph();
+        let sources = [NodeId(0), NodeId(3)];
+        let targets = [NodeId(2), NodeId(5)];
+        for max_hops in [Some(1), Some(2), None] {
+            for (lo, hi) in [(0u64, 64u64), (0, 200), (5, 70)] {
+                let want = world_set_moments(&g, 29, &sources, &targets, max_hops, lo, hi);
+                let got = set_counts(&g, 29, &sources, &targets, max_hops, lo, hi);
+                assert_eq!(got, want, "max_hops={max_hops:?} range {lo}..{hi}");
+            }
+        }
+        // Source ∩ target: every world hits at depth 0.
+        let (hits, ds) = set_counts(&g, 29, &[NodeId(2)], &[NodeId(2)], Some(0), 0, 100);
+        assert_eq!((hits, ds), (100, 0));
     }
 }

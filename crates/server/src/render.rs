@@ -11,22 +11,75 @@ use relmax_gen::workload::QuerySpec;
 use relmax_sampling::{BatchEstimate, Estimate};
 use relmax_ugraph::NodeId;
 
-/// One st/from/to result as a JSON object — the exact shape `relmax
-/// query --format json` prints per entry.
-pub fn result_entry(q: &QuerySpec, r: &BatchEstimate) -> String {
+fn node_array(nodes: &[NodeId]) -> String {
+    json::array(nodes.iter().map(|n| n.0.to_string()))
+}
+
+/// One workload-query result as a JSON object — the exact shape `relmax
+/// query --format json` prints per entry. `max_hops` is the *effective*
+/// hop bound for this run (CLI `--max-hops` or the `% max-hops`
+/// directive); it reshapes `st` entries into `st_within` and stamps `set`
+/// entries, and is ignored by every shape the bound does not apply to
+/// (see `QuerySpec::hop_boundable`).
+pub fn result_entry(q: &QuerySpec, max_hops: Option<u32>, r: &BatchEstimate) -> String {
+    let bound = max_hops.filter(|_| q.hop_boundable());
     match (q, r) {
-        (QuerySpec::St(s, t), BatchEstimate::Scalar(e)) => format!(
-            "{{\"kind\":\"st\",\"s\":{},\"t\":{},\"reliability\":{},{}}}",
+        (QuerySpec::St(s, t), BatchEstimate::Scalar(e)) => match bound {
+            Some(d) => format!(
+                "{{\"kind\":\"st_within\",\"s\":{},\"t\":{},\"max_hops\":{d},\"reliability\":{},{}}}",
+                s.0,
+                t.0,
+                json::num(e.value),
+                json::estimate_fields(e),
+            ),
+            None => format!(
+                "{{\"kind\":\"st\",\"s\":{},\"t\":{},\"reliability\":{},{}}}",
+                s.0,
+                t.0,
+                json::num(e.value),
+                json::estimate_fields(e),
+            ),
+        },
+        (QuerySpec::Set(sources, targets), BatchEstimate::Scalar(e)) => {
+            let hops = match bound {
+                Some(d) => format!("\"max_hops\":{d},"),
+                None => String::new(),
+            };
+            format!(
+                "{{\"kind\":\"set\",\"sources\":{},\"targets\":{},{hops}\"reliability\":{},{}}}",
+                node_array(sources),
+                node_array(targets),
+                json::num(e.value),
+                json::estimate_fields(e),
+            )
+        }
+        (QuerySpec::TopK(s, k), BatchEstimate::Ranking(pairs)) => {
+            let (z, early) = r.sampling_effort();
+            format!(
+                "{{\"kind\":\"topk\",\"s\":{},\"k\":{k},\"samples_used\":{z},\"stopped_early\":{early},\"targets\":{}}}",
+                s.0,
+                json::array(pairs.iter().map(|(v, e)| format!(
+                    "{{\"node\":{},\"reliability\":{},{}}}",
+                    v.0,
+                    json::num(e.value),
+                    json::estimate_fields(e),
+                ))),
+            )
+        }
+        (QuerySpec::Hops(s, t), BatchEstimate::Hops(h)) => format!(
+            "{{\"kind\":\"hops\",\"s\":{},\"t\":{},\"reliability\":{},\"expected_hops\":{},\"hop_sum\":{},{}}}",
             s.0,
             t.0,
-            json::num(e.value),
-            json::estimate_fields(e),
+            json::num(h.reliability.value),
+            json::num(h.expected_hops),
+            h.hop_sum,
+            json::estimate_fields(&h.reliability),
         ),
         (q, BatchEstimate::Vector(estimates)) => {
             let (kind, node) = match q {
                 QuerySpec::From(s) => ("from", s.0),
                 QuerySpec::To(t) => ("to", t.0),
-                QuerySpec::St(..) => unreachable!("st queries yield scalars"),
+                _ => unreachable!("{q} cannot yield a vector"),
             };
             let (nonzero, mean, max) = r.summary();
             let (z, early) = r.sampling_effort();
@@ -38,9 +91,7 @@ pub fn result_entry(q: &QuerySpec, r: &BatchEstimate) -> String {
                 json::array(estimates.iter().map(|e| json::num(e.value)))
             )
         }
-        (q, BatchEstimate::Scalar(_)) => {
-            unreachable!("{q} cannot yield a scalar")
-        }
+        (q, r) => unreachable!("{q} cannot yield a {r:?}"),
     }
 }
 
@@ -73,12 +124,76 @@ mod tests {
         let e = Estimate::exact(1.0);
         let entry = result_entry(
             &QuerySpec::St(NodeId(0), NodeId(3)),
+            None,
             &BatchEstimate::Scalar(e),
         );
         assert_eq!(
             entry,
             "{\"kind\":\"st\",\"s\":0,\"t\":3,\"reliability\":1,\"stderr\":0,\"ci_low\":1,\"ci_high\":1,\"samples_used\":0,\"stopped_early\":false}"
         );
+    }
+
+    #[test]
+    fn st_within_entry_shape_is_pinned() {
+        let e = Estimate::exact(1.0);
+        let entry = result_entry(
+            &QuerySpec::St(NodeId(0), NodeId(3)),
+            Some(4),
+            &BatchEstimate::Scalar(e),
+        );
+        assert_eq!(
+            entry,
+            "{\"kind\":\"st_within\",\"s\":0,\"t\":3,\"max_hops\":4,\"reliability\":1,\"stderr\":0,\"ci_low\":1,\"ci_high\":1,\"samples_used\":0,\"stopped_early\":false}"
+        );
+    }
+
+    #[test]
+    fn set_entry_shape_is_pinned() {
+        let e = Estimate::exact(0.0);
+        let q = QuerySpec::Set(vec![NodeId(0), NodeId(1)], vec![NodeId(3)]);
+        assert_eq!(
+            result_entry(&q, None, &BatchEstimate::Scalar(e)),
+            "{\"kind\":\"set\",\"sources\":[0,1],\"targets\":[3],\"reliability\":0,\"stderr\":0,\"ci_low\":0,\"ci_high\":0,\"samples_used\":0,\"stopped_early\":false}"
+        );
+        assert_eq!(
+            result_entry(&q, Some(2), &BatchEstimate::Scalar(e)),
+            "{\"kind\":\"set\",\"sources\":[0,1],\"targets\":[3],\"max_hops\":2,\"reliability\":0,\"stderr\":0,\"ci_low\":0,\"ci_high\":0,\"samples_used\":0,\"stopped_early\":false}"
+        );
+    }
+
+    #[test]
+    fn topk_entry_shape_is_pinned() {
+        let pairs = vec![
+            (NodeId(2), Estimate::exact(1.0)),
+            (NodeId(1), Estimate::exact(0.0)),
+        ];
+        let entry = result_entry(
+            &QuerySpec::TopK(NodeId(0), 2),
+            // A hop bound never applies to rankings.
+            Some(3),
+            &BatchEstimate::Ranking(pairs),
+        );
+        assert_eq!(
+            entry,
+            "{\"kind\":\"topk\",\"s\":0,\"k\":2,\"samples_used\":0,\"stopped_early\":false,\"targets\":[{\"node\":2,\"reliability\":1,\"stderr\":0,\"ci_low\":1,\"ci_high\":1,\"samples_used\":0,\"stopped_early\":false},{\"node\":1,\"reliability\":0,\"stderr\":0,\"ci_low\":0,\"ci_high\":0,\"samples_used\":0,\"stopped_early\":false}]}"
+        );
+    }
+
+    #[test]
+    fn hops_entry_shape_is_pinned() {
+        let h = relmax_sampling::HopsEstimate::from_moments(32, 80, 64, 0.05, false);
+        let entry = result_entry(
+            &QuerySpec::Hops(NodeId(0), NodeId(3)),
+            Some(3), // ignored: hops queries are never bounded
+            &BatchEstimate::Hops(h),
+        );
+        assert!(
+            entry.starts_with(
+                "{\"kind\":\"hops\",\"s\":0,\"t\":3,\"reliability\":0.5,\"expected_hops\":2.5,\"hop_sum\":80,"
+            ),
+            "{entry}"
+        );
+        assert!(entry.contains("\"samples_used\":64"), "{entry}");
     }
 
     #[test]

@@ -620,17 +620,51 @@ fn query(state: &ServerState, body: &[u8]) -> Response {
     }
 
     let engine = AnyEngine::build(&snap, state.config.estimator, budget, seed);
+    let max_hops = request.max_hops;
+    // Constrained shapes (set, hops, or any hop-bounded query) need an
+    // estimator that supports them; reject with a 422 naming the first
+    // offender before anything is enqueued — never a silent fallback.
+    if !engine.supports_constrained() {
+        for (i, spec) in request.specs.iter().enumerate() {
+            let constrained = match spec {
+                WireSpec::Query(q @ (QuerySpec::St(..) | QuerySpec::Set(..))) => {
+                    max_hops.is_some() && q.hop_boundable() || matches!(q, QuerySpec::Set(..))
+                }
+                WireSpec::Query(QuerySpec::Hops(..)) => true,
+                _ => false,
+            };
+            if constrained {
+                return Response::json(
+                    422,
+                    json::error_at_query(
+                        i + 1,
+                        &format!(
+                            "estimator \"{}\" does not support constrained query shapes \
+                             (set/hops/max-hops); use the mc estimator",
+                            state.config.estimator.name()
+                        ),
+                    ),
+                );
+            }
+        }
+    }
     let mut answers = Vec::with_capacity(request.specs.len());
     for spec in &request.specs {
-        if let WireSpec::Query(QuerySpec::St(s, t)) = *spec {
-            match engine.st_shortcircuit(s, t) {
-                Ok(Some(e)) => {
-                    Metrics::add(&state.metrics.index_short_circuits_total, 1);
-                    answers.push(Pending::Ready(QueryAnswer::Scalar(e)));
-                    continue;
+        // The structural short-circuit mirrors *unbounded* st answers
+        // only — a `Certain` verdict says nothing about path length, so
+        // hop-bounded requests always go to the estimator (which handles
+        // its own degenerate cases bit-identically to the CLI).
+        if max_hops.is_none() {
+            if let WireSpec::Query(QuerySpec::St(s, t)) = spec {
+                match engine.st_shortcircuit(*s, *t) {
+                    Ok(Some(e)) => {
+                        Metrics::add(&state.metrics.index_short_circuits_total, 1);
+                        answers.push(Pending::Ready(QueryAnswer::Scalar(e)));
+                        continue;
+                    }
+                    Ok(None) => {}
+                    Err(e) => return Response::json(500, json::error(&e.to_string())),
                 }
-                Ok(None) => {}
-                Err(e) => return Response::json(500, json::error(&e.to_string())),
             }
         }
         let slot = Slot::new();
@@ -640,6 +674,7 @@ fn query(state: &ServerState, body: &[u8]) -> Response {
             kind: state.config.estimator,
             budget,
             seed,
+            max_hops,
             slot: slot.clone(),
         });
         answers.push(Pending::Queued(slot));
@@ -654,7 +689,7 @@ fn query(state: &ServerState, body: &[u8]) -> Response {
                 Err(msg) => return Response::json(500, json::error(&msg)),
             },
         };
-        entries.push(render_entry(spec, answer));
+        entries.push(render_entry(spec, max_hops, answer));
     }
     Metrics::add(&state.metrics.queries_total, request.specs.len() as u64);
 
@@ -673,13 +708,19 @@ fn query(state: &ServerState, body: &[u8]) -> Response {
     )
 }
 
-fn render_entry(spec: &WireSpec, answer: QueryAnswer) -> String {
+fn render_entry(spec: &WireSpec, max_hops: Option<u32>, answer: QueryAnswer) -> String {
     match (spec, answer) {
         (WireSpec::Query(q), QueryAnswer::Scalar(e)) => {
-            render::result_entry(q, &BatchEstimate::Scalar(e))
+            render::result_entry(q, max_hops, &BatchEstimate::Scalar(e))
         }
         (WireSpec::Query(q), QueryAnswer::Vector(v)) => {
-            render::result_entry(q, &BatchEstimate::Vector(v))
+            render::result_entry(q, max_hops, &BatchEstimate::Vector(v))
+        }
+        (WireSpec::Query(q), QueryAnswer::Ranking(r)) => {
+            render::result_entry(q, max_hops, &BatchEstimate::Ranking(r))
+        }
+        (WireSpec::Query(q), QueryAnswer::Hops(h)) => {
+            render::result_entry(q, max_hops, &BatchEstimate::Hops(h))
         }
         (WireSpec::Pairwise { sources, targets }, QueryAnswer::Matrix(m)) => {
             render::pairwise_entry(sources, targets, &m)

@@ -269,16 +269,41 @@ impl AnyEngine {
         }
     }
 
-    /// Run one wire query spec under `budget`.
-    pub fn run_spec(&self, spec: &WireSpec, budget: Budget) -> Result<QueryAnswer, QueryError> {
+    /// Whether the underlying estimator answers constrained shapes
+    /// (hop-bounded st, set reliability, expected hops). The request
+    /// handler rejects unsupported shapes with a `422` before enqueueing.
+    pub fn supports_constrained(&self) -> bool {
+        use relmax_sampling::Estimator;
+        match self {
+            AnyEngine::Mc(e) => e.estimator().supports_constrained(),
+            AnyEngine::Rss(e) => e.estimator().supports_constrained(),
+        }
+    }
+
+    /// Run one wire query spec under `budget`. `max_hops` is the
+    /// request-level `% max-hops` bound; it turns `st` into `st_within`
+    /// and bounds `set`, and is ignored by every other shape.
+    pub fn run_spec(
+        &self,
+        spec: &WireSpec,
+        budget: Budget,
+        max_hops: Option<u32>,
+    ) -> Result<QueryAnswer, QueryError> {
         macro_rules! run {
             ($e:expr) => {{
                 let q = $e.query().budget(budget);
-                match spec {
-                    WireSpec::Query(QuerySpec::St(s, t)) => q.st(*s, *t),
-                    WireSpec::Query(QuerySpec::From(s)) => q.from(*s),
-                    WireSpec::Query(QuerySpec::To(t)) => q.to(*t),
-                    WireSpec::Pairwise { sources, targets } => q.pairwise(sources, targets),
+                match (spec, max_hops) {
+                    (WireSpec::Query(QuerySpec::St(s, t)), Some(d)) => q.st_within(*s, *t, d),
+                    (WireSpec::Query(QuerySpec::St(s, t)), None) => q.st(*s, *t),
+                    (WireSpec::Query(QuerySpec::From(s)), _) => q.from(*s),
+                    (WireSpec::Query(QuerySpec::To(t)), _) => q.to(*t),
+                    (WireSpec::Query(QuerySpec::Set(srcs, dsts)), Some(d)) => {
+                        q.set_within(srcs, dsts, d)
+                    }
+                    (WireSpec::Query(QuerySpec::Set(srcs, dsts)), None) => q.set(srcs, dsts),
+                    (WireSpec::Query(QuerySpec::TopK(s, k)), _) => q.topk(*s, *k),
+                    (WireSpec::Query(QuerySpec::Hops(s, t)), _) => q.expected_hops(*s, *t),
+                    (WireSpec::Pairwise { sources, targets }, _) => q.pairwise(sources, targets),
                 }
                 .run()
             }};
@@ -352,7 +377,7 @@ mod tests {
         let budget = Budget::fixed(64);
         let mc = AnyEngine::build(&snap, EngineKind::Mc, budget, 7);
         let spec = WireSpec::Query(QuerySpec::St(NodeId(0), NodeId(2)));
-        let ans = mc.run_spec(&spec, budget).unwrap();
+        let ans = mc.run_spec(&spec, budget, None).unwrap();
         assert_eq!(ans.scalar().unwrap().value, 0.0);
         // The coalescing premise survives the overlay.
         let vec = mc.from_vector(NodeId(0), budget).unwrap();
@@ -370,7 +395,7 @@ mod tests {
         // The coalescing premise, end to end through the dispatch layer.
         let vec = mc.from_vector(NodeId(0), budget).unwrap();
         let spec = WireSpec::Query(QuerySpec::St(NodeId(0), NodeId(2)));
-        let solo = mc.run_spec(&spec, budget).unwrap();
+        let solo = mc.run_spec(&spec, budget, None).unwrap();
         assert_eq!(solo.scalar().unwrap(), &vec[2]);
     }
 

@@ -76,6 +76,9 @@ pub struct Job {
     pub budget: Budget,
     /// Per-request seed.
     pub seed: u64,
+    /// The request's `% max-hops` bound, applied to hop-boundable specs
+    /// by the engine dispatch.
+    pub max_hops: Option<u32>,
     /// Where the answer goes.
     pub slot: Arc<Slot>,
 }
@@ -93,11 +96,16 @@ pub struct CoalesceKey {
 }
 
 impl Job {
-    /// The coalescing key, if this job is eligible: an st query under a
-    /// fixed budget. (The estimator's own `coalescable_st` gate is
-    /// checked by the worker, which has the engine in hand.)
+    /// The coalescing key, if this job is eligible: an *unbounded* st
+    /// query under a fixed budget. A `% max-hops` bound disqualifies the
+    /// job — hop-bounded answers cannot be split out of a `from` vector.
+    /// (The estimator's own `coalescable_st` gate is checked by the
+    /// worker, which has the engine in hand.)
     pub fn coalesce_key(&self) -> Option<CoalesceKey> {
-        let WireSpec::Query(QuerySpec::St(s, _)) = self.spec else {
+        if self.max_hops.is_some() {
+            return None;
+        }
+        let WireSpec::Query(QuerySpec::St(s, _)) = &self.spec else {
             return None;
         };
         let Budget::FixedSamples(samples) = self.budget else {
@@ -108,14 +116,14 @@ impl Job {
             kind: self.kind,
             seed: self.seed,
             samples,
-            source: s,
+            source: *s,
         })
     }
 
     /// The target node, when this is an st job.
     fn st_target(&self) -> Option<NodeId> {
-        match self.spec {
-            WireSpec::Query(QuerySpec::St(_, t)) => Some(t),
+        match &self.spec {
+            WireSpec::Query(QuerySpec::St(_, t)) => Some(*t),
             _ => None,
         }
     }
@@ -221,7 +229,7 @@ pub fn process(job: Job, queue: &JobQueue, metrics: &Metrics) {
             }
         }
     }
-    let result = engine.run_spec(&job.spec, job.budget);
+    let result = engine.run_spec(&job.spec, job.budget, job.max_hops);
     if let Ok(answer) = &result {
         Metrics::add(&metrics.samples_total, answer_samples(answer));
     }
@@ -241,6 +249,10 @@ pub fn answer_samples(answer: &QueryAnswer) -> u64 {
             .map(|e| e.samples_used)
             .max()
             .unwrap_or(0) as u64,
+        QueryAnswer::Ranking(pairs) => {
+            pairs.iter().map(|(_, e)| e.samples_used).max().unwrap_or(0) as u64
+        }
+        QueryAnswer::Hops(h) => h.reliability.samples_used as u64,
         QueryAnswer::Batch(_) => unreachable!("the service never enqueues batch answers"),
     }
 }
@@ -276,6 +288,7 @@ mod tests {
             kind: EngineKind::Mc,
             budget: Budget::fixed(512),
             seed,
+            max_hops: None,
             slot: slot.clone(),
         };
         (job, slot)
@@ -358,8 +371,48 @@ mod tests {
             kind: EngineKind::Mc,
             budget: Budget::accuracy(0.05, 0.05),
             seed: 1,
+            max_hops: None,
             slot,
         };
         assert!(job.coalesce_key().is_none());
+    }
+
+    #[test]
+    fn hop_bounded_jobs_never_coalesce() {
+        let snap = chain_snapshot();
+        let (mut job, _slot) = st_job(&snap, 0, 2, 9);
+        assert!(job.coalesce_key().is_some());
+        job.max_hops = Some(3);
+        assert!(
+            job.coalesce_key().is_none(),
+            "a from vector cannot answer hop-bounded st queries"
+        );
+    }
+
+    #[test]
+    fn constrained_jobs_resolve_through_the_pool_path() {
+        let snap = chain_snapshot();
+        let metrics = Metrics::new();
+        let queue = JobQueue::new();
+        let specs = vec![
+            WireSpec::Query(QuerySpec::Set(vec![NodeId(0)], vec![NodeId(3), NodeId(4)])),
+            WireSpec::Query(QuerySpec::TopK(NodeId(0), 2)),
+            WireSpec::Query(QuerySpec::Hops(NodeId(0), NodeId(3))),
+        ];
+        for spec in specs {
+            let slot = Slot::new();
+            let job = Job {
+                spec,
+                snapshot: snap.clone(),
+                kind: EngineKind::Mc,
+                budget: Budget::fixed(256),
+                seed: 5,
+                max_hops: Some(2),
+                slot: slot.clone(),
+            };
+            process(job, &queue, &metrics);
+            let answer = slot.wait().unwrap();
+            assert!(answer_samples(&answer) > 0);
+        }
     }
 }

@@ -2,6 +2,7 @@
 
 use crate::error::GraphError;
 use crate::graph::NodeId;
+use crate::traverse::{world_hop_distance, world_set_reaches};
 use crate::world::PossibleWorld;
 use crate::ProbGraph;
 
@@ -37,6 +38,89 @@ pub fn st_reliability_enumerate<G: ProbGraph>(
         }
     }
     Ok(total)
+}
+
+fn check_enum_size<G: ProbGraph>(g: &G) -> Result<usize, GraphError> {
+    let m = g.num_coins();
+    if m > MAX_ENUM_COINS {
+        return Err(GraphError::TooLargeForExact {
+            edges: m,
+            max: MAX_ENUM_COINS,
+        });
+    }
+    Ok(m)
+}
+
+/// Exact hop-bounded `s-t` reliability: the probability that `t` is
+/// reachable from `s` along a path of at most `max_hops` arcs, by
+/// enumerating all `2^m` possible worlds.
+pub fn st_within_reliability_enumerate<G: ProbGraph>(
+    g: &G,
+    s: NodeId,
+    t: NodeId,
+    max_hops: u32,
+) -> Result<f64, GraphError> {
+    let m = check_enum_size(g)?;
+    if s == t {
+        return Ok(1.0);
+    }
+    let mut total = 0.0;
+    for mask in 0u64..(1u64 << m) {
+        let world = PossibleWorld::from_mask(m, mask);
+        if matches!(world_hop_distance(g, &world, s, t), Some(d) if d <= max_hops) {
+            total += world.probability(g);
+        }
+    }
+    Ok(total)
+}
+
+/// Exact set reliability: the probability that *any* source reaches *any*
+/// target (optionally within `max_hops` arcs), by enumerating all `2^m`
+/// possible worlds. This is the union event `⋃_{s,t} {s ⇝ t}`, which
+/// inclusion–exclusion expresses over the per-pair events — the enumeration
+/// here is the ground truth the sampled set estimator is tested against.
+pub fn set_reliability_enumerate<G: ProbGraph>(
+    g: &G,
+    sources: &[NodeId],
+    targets: &[NodeId],
+    max_hops: Option<u32>,
+) -> Result<f64, GraphError> {
+    let m = check_enum_size(g)?;
+    if sources.is_empty() || targets.is_empty() {
+        return Ok(0.0);
+    }
+    let mut total = 0.0;
+    for mask in 0u64..(1u64 << m) {
+        let world = PossibleWorld::from_mask(m, mask);
+        if world_set_reaches(g, &world, sources, targets, max_hops) {
+            total += world.probability(g);
+        }
+    }
+    Ok(total)
+}
+
+/// Exact expected-reliable-hop-distance ingredients for `(s, t)`:
+/// `(reliability, hop_mass)` where `hop_mass = Σ_G Pr(G) · d_G(s,t)` summed
+/// over worlds `G` in which `t` is reachable (`d_G` the shortest hop
+/// distance in that world). The conditional expected hop distance is
+/// `hop_mass / reliability` when reliability is positive.
+pub fn expected_hops_enumerate<G: ProbGraph>(
+    g: &G,
+    s: NodeId,
+    t: NodeId,
+) -> Result<(f64, f64), GraphError> {
+    let m = check_enum_size(g)?;
+    let mut rel = 0.0;
+    let mut hop_mass = 0.0;
+    for mask in 0u64..(1u64 << m) {
+        let world = PossibleWorld::from_mask(m, mask);
+        if let Some(d) = world_hop_distance(g, &world, s, t) {
+            let p = world.probability(g);
+            rel += p;
+            hop_mass += p * d as f64;
+        }
+    }
+    Ok((rel, hop_mass))
 }
 
 #[cfg(test)]
@@ -151,5 +235,78 @@ mod tests {
             st_reliability_enumerate(&g, NodeId(0), NodeId(1)).unwrap(),
             0.0
         );
+    }
+
+    /// Diamond with a long detour: s→t exists both as a 2-hop path and a
+    /// 3-hop path, so the hop bound partitions the reliability cleanly.
+    fn detour_graph() -> UncertainGraph {
+        let mut g = UncertainGraph::new(5, true);
+        g.add_edge(NodeId(0), NodeId(1), 0.5).unwrap(); // s→a
+        g.add_edge(NodeId(1), NodeId(4), 0.5).unwrap(); // a→t (2 hops)
+        g.add_edge(NodeId(0), NodeId(2), 0.5).unwrap(); // s→b
+        g.add_edge(NodeId(2), NodeId(3), 0.5).unwrap(); // b→c
+        g.add_edge(NodeId(3), NodeId(4), 0.5).unwrap(); // c→t (3 hops)
+        g
+    }
+
+    #[test]
+    fn hop_bound_partitions_reliability() {
+        let g = detour_graph();
+        let (s, t) = (NodeId(0), NodeId(4));
+        let r1 = st_within_reliability_enumerate(&g, s, t, 1).unwrap();
+        let r2 = st_within_reliability_enumerate(&g, s, t, 2).unwrap();
+        let r3 = st_within_reliability_enumerate(&g, s, t, 3).unwrap();
+        let r = st_reliability_enumerate(&g, s, t).unwrap();
+        assert_eq!(r1, 0.0);
+        assert!((r2 - 0.25).abs() < 1e-12); // 0.5 * 0.5 via a
+        assert!((r3 - r).abs() < 1e-12); // the full diameter
+                                         // Monotone in the bound, capped by unbounded reliability.
+        assert!(r2 <= r3 && r3 <= r + 1e-12);
+    }
+
+    #[test]
+    fn set_reliability_is_the_union_event() {
+        let g = detour_graph();
+        let (s, a, t) = (NodeId(0), NodeId(1), NodeId(4));
+        let r_st = st_reliability_enumerate(&g, s, t).unwrap();
+        let r_at = st_reliability_enumerate(&g, a, t).unwrap();
+        let set = set_reliability_enumerate(&g, &[s, a], &[t], None).unwrap();
+        // Fréchet bounds: max ≤ union ≤ min(1, sum).
+        assert!(set >= r_st.max(r_at) - 1e-12);
+        assert!(set <= (r_st + r_at).min(1.0) + 1e-12);
+        // Single pair degenerates to plain s-t reliability.
+        let solo = set_reliability_enumerate(&g, &[s], &[t], None).unwrap();
+        assert!((solo - r_st).abs() < 1e-12);
+        // Overlapping source/target is certain; empty side is impossible.
+        assert_eq!(
+            set_reliability_enumerate(&g, &[t], &[t], None).unwrap(),
+            1.0
+        );
+        assert_eq!(set_reliability_enumerate(&g, &[], &[t], None).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn expected_hops_on_series_chain() {
+        // s→a→t with probs 0.5, 0.8: reachable only at distance 2.
+        let mut g = UncertainGraph::new(3, true);
+        g.add_edge(NodeId(0), NodeId(1), 0.5).unwrap();
+        g.add_edge(NodeId(1), NodeId(2), 0.8).unwrap();
+        let (rel, mass) = expected_hops_enumerate(&g, NodeId(0), NodeId(2)).unwrap();
+        assert!((rel - 0.4).abs() < 1e-12);
+        assert!((mass - 0.8).abs() < 1e-12); // 0.4 * 2 hops
+                                             // Conditional mean is exactly 2.
+        assert!((mass / rel - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expected_hops_mixes_short_and_long_paths() {
+        let g = detour_graph();
+        let (rel, mass) = expected_hops_enumerate(&g, NodeId(0), NodeId(4)).unwrap();
+        let r2 = st_within_reliability_enumerate(&g, NodeId(0), NodeId(4), 2).unwrap();
+        let r3 = st_within_reliability_enumerate(&g, NodeId(0), NodeId(4), 3).unwrap();
+        // Mass decomposes over the distance distribution:
+        // P(d=2)·2 + P(d=3)·3 where P(d=3) = r3 - r2.
+        assert!((mass - (r2 * 2.0 + (r3 - r2) * 3.0)).abs() < 1e-12);
+        assert!((rel - r3).abs() < 1e-12);
     }
 }

@@ -22,4 +22,7 @@ pub mod conditioning;
 pub mod enumerate;
 
 pub use conditioning::{st_reliability, ConditioningBudget};
-pub use enumerate::st_reliability_enumerate;
+pub use enumerate::{
+    expected_hops_enumerate, set_reliability_enumerate, st_reliability_enumerate,
+    st_within_reliability_enumerate,
+};

@@ -89,6 +89,98 @@ pub fn world_reaches<G: ProbGraph>(g: &G, world: &PossibleWorld, s: NodeId, t: N
     false
 }
 
+/// Shortest hop distance from `s` to `t` using only edges whose coin is
+/// present in `world`, or `None` when `t` is unreachable in that world.
+///
+/// Level-synchronous BFS: the returned distance is the minimum number of
+/// arcs on any present path, so `world_hop_distance(..) <= Some(d)` is the
+/// event "reachable within `d` hops" that the hop-bounded estimators
+/// sample. `s == t` is distance 0.
+pub fn world_hop_distance<G: ProbGraph>(
+    g: &G,
+    world: &PossibleWorld,
+    s: NodeId,
+    t: NodeId,
+) -> Option<u32> {
+    if s == t {
+        return Some(0);
+    }
+    let mut dist = vec![UNREACHABLE; g.num_nodes()];
+    dist[s.index()] = 0;
+    let mut queue = VecDeque::new();
+    queue.push_back(s);
+    while let Some(v) = queue.pop_front() {
+        let dv = dist[v.index()];
+        for (u, _, c) in g.out_arcs(v) {
+            if world.contains(c) && dist[u.index()] == UNREACHABLE {
+                if u == t {
+                    return Some(dv + 1);
+                }
+                dist[u.index()] = dv + 1;
+                queue.push_back(u);
+            }
+        }
+    }
+    None
+}
+
+/// Whether `t` is reachable from `s` within `max_hops` arcs in `world`.
+pub fn world_reaches_within<G: ProbGraph>(
+    g: &G,
+    world: &PossibleWorld,
+    s: NodeId,
+    t: NodeId,
+    max_hops: u32,
+) -> bool {
+    matches!(world_hop_distance(g, world, s, t), Some(d) if d <= max_hops)
+}
+
+/// Whether *any* source reaches *any* target in `world`, optionally within
+/// `max_hops` arcs — the set-reliability event. A node appearing in both
+/// lists counts as an immediate (0-hop) hit.
+pub fn world_set_reaches<G: ProbGraph>(
+    g: &G,
+    world: &PossibleWorld,
+    sources: &[NodeId],
+    targets: &[NodeId],
+    max_hops: Option<u32>,
+) -> bool {
+    let mut is_target = vec![false; g.num_nodes()];
+    for &t in targets {
+        is_target[t.index()] = true;
+    }
+    if sources.iter().any(|&s| is_target[s.index()]) {
+        return true;
+    }
+    // Multi-source level-synchronous BFS: seed every source at depth 0.
+    let mut dist = vec![UNREACHABLE; g.num_nodes()];
+    let mut queue = VecDeque::new();
+    for &s in sources {
+        if dist[s.index()] == UNREACHABLE {
+            dist[s.index()] = 0;
+            queue.push_back(s);
+        }
+    }
+    while let Some(v) = queue.pop_front() {
+        let dv = dist[v.index()];
+        if let Some(h) = max_hops {
+            if dv >= h {
+                continue;
+            }
+        }
+        for (u, _, c) in g.out_arcs(v) {
+            if world.contains(c) && dist[u.index()] == UNREACHABLE {
+                if is_target[u.index()] {
+                    return true;
+                }
+                dist[u.index()] = dv + 1;
+                queue.push_back(u);
+            }
+        }
+    }
+    false
+}
+
 /// All nodes reachable from `s` in `world` (including `s`), as a boolean
 /// mask. Used when one sampled world must answer reachability for many
 /// targets at once (multi-target queries, influence spread).
@@ -191,6 +283,55 @@ mod tests {
         assert_eq!(mask, vec![true, true, true, true, false]);
         assert!(world_reaches(&g, &w, NodeId(0), NodeId(3)));
         assert!(!world_reaches(&g, &w, NodeId(0), NodeId(4)));
+    }
+
+    #[test]
+    fn world_hop_distance_is_shortest_present_path() {
+        let g = path5();
+        let all = PossibleWorld::from_mask(4, 0b1111);
+        assert_eq!(world_hop_distance(&g, &all, NodeId(0), NodeId(0)), Some(0));
+        assert_eq!(world_hop_distance(&g, &all, NodeId(0), NodeId(3)), Some(3));
+        let broken = PossibleWorld::from_mask(4, 0b0101); // edge 1 absent
+        assert_eq!(world_hop_distance(&g, &broken, NodeId(0), NodeId(2)), None);
+        assert!(world_reaches_within(&g, &all, NodeId(0), NodeId(3), 3));
+        assert!(!world_reaches_within(&g, &all, NodeId(0), NodeId(3), 2));
+    }
+
+    #[test]
+    fn world_set_reaches_any_pair() {
+        let g = path5();
+        let all = PossibleWorld::from_mask(4, 0b1111);
+        // 0 reaches 4 unbounded, but not within 3 hops; 1 reaches 4 in 3.
+        assert!(world_set_reaches(
+            &g,
+            &all,
+            &[NodeId(0)],
+            &[NodeId(4)],
+            None
+        ));
+        assert!(!world_set_reaches(
+            &g,
+            &all,
+            &[NodeId(0)],
+            &[NodeId(4)],
+            Some(3)
+        ));
+        assert!(world_set_reaches(
+            &g,
+            &all,
+            &[NodeId(0), NodeId(1)],
+            &[NodeId(4)],
+            Some(3)
+        ));
+        // Overlapping source/target is a 0-hop hit even in the empty world.
+        let none = PossibleWorld::from_mask(4, 0);
+        assert!(world_set_reaches(
+            &g,
+            &none,
+            &[NodeId(2)],
+            &[NodeId(2)],
+            Some(0)
+        ));
     }
 
     #[test]

@@ -456,6 +456,114 @@ fn index_routing_bit_identical_across_matrix() {
     assert!(short_circuits > 0, "no trial took the short-circuit route");
 }
 
+/// The constrained query vocabulary — hop-bounded s-t, set reliability
+/// (bounded and not), expected hops, and top-k rankings — must be
+/// **bit-identical** across threads 1/2/4, scalar vs lane-packed kernels,
+/// and with the reliability index attached or not, including sample
+/// counts that are not multiples of 64 (masked tail lanes). The only
+/// sanctioned divergence is the index's all-pairs-impossible
+/// short-circuit, which answers without sampling: there the value bits
+/// must still match (both sides are exactly zero), but the effort fields
+/// legitimately differ.
+#[test]
+fn constrained_shapes_bit_identical_across_kernels_threads_and_index() {
+    use relmax::sampling::{Budget, Estimator, Kernel};
+    use relmax::ugraph::{RelIndex, StPlan};
+    use std::sync::Arc;
+
+    let mut rng = StdRng::seed_from_u64(0xDA);
+    let sample_counts = [63usize, 100, 577, 1234];
+    for trial in 0..8 {
+        let (g, _cands, s, t) = random_instance(&mut rng, trial % 2 == 0);
+        let csr = CsrGraph::freeze(&g);
+        let idx = Arc::new(RelIndex::build(&csr));
+        let seed = rng.gen::<u64>();
+        let z = sample_counts[trial % sample_counts.len()];
+        let budget = Budget::fixed(z);
+        let n = csr.num_nodes() as u32;
+        let (sources, targets) = (vec![s, NodeId(1)], vec![t, NodeId(n - 2)]);
+        let impossible = |ss: &[NodeId], ts: &[NodeId]| {
+            ss.iter().all(|&a| {
+                ts.iter()
+                    .all(|&b| matches!(idx.st_plan(a, b), StPlan::Impossible))
+            })
+        };
+        let st_impossible = impossible(&[s], &[t]);
+        let set_impossible = impossible(&sources, &targets);
+
+        let scalar = McEstimator::new(z, seed).with_kernel(Kernel::Scalar);
+        let st_within = scalar.st_within_estimate(&csr, s, t, 3, budget).unwrap();
+        let set_bounded = scalar
+            .set_estimate(&csr, &sources, &targets, Some(2), budget)
+            .unwrap();
+        let set_free = scalar
+            .set_estimate(&csr, &sources, &targets, None, budget)
+            .unwrap();
+        let hops = scalar.expected_hops_estimate(&csr, s, t, budget).unwrap();
+        let topk = scalar.topk_estimates(&csr, s, 3, budget);
+
+        for threads in [1usize, 2, 4] {
+            for kernel in [Kernel::Scalar, Kernel::Packed] {
+                for indexed in [false, true] {
+                    let mut est = McEstimator::with_threads(z, seed, threads).with_kernel(kernel);
+                    if indexed {
+                        est = est.with_rel_index(Arc::clone(&idx));
+                    }
+                    let label = format!("trial {trial} z={z} t{threads} {kernel:?} idx={indexed}");
+                    let got_st = est.st_within_estimate(&csr, s, t, 3, budget).unwrap();
+                    let got_hops = est.expected_hops_estimate(&csr, s, t, budget).unwrap();
+                    if indexed && st_impossible {
+                        assert_eq!(
+                            st_within.value.to_bits(),
+                            got_st.value.to_bits(),
+                            "st_within value {label}"
+                        );
+                        assert_eq!(
+                            hops.reliability.value.to_bits(),
+                            got_hops.reliability.value.to_bits(),
+                            "hops value {label}"
+                        );
+                    } else {
+                        assert_eq!(st_within, got_st, "st_within {label}");
+                        assert_eq!(hops, got_hops, "hops {label}");
+                        // The snapshot layout is transparent on the
+                        // constrained path too.
+                        assert_eq!(
+                            st_within,
+                            est.st_within_estimate(&g, s, t, 3, budget).unwrap(),
+                            "adjacency st_within {label}"
+                        );
+                    }
+                    let got_bounded = est
+                        .set_estimate(&csr, &sources, &targets, Some(2), budget)
+                        .unwrap();
+                    let got_free = est
+                        .set_estimate(&csr, &sources, &targets, None, budget)
+                        .unwrap();
+                    if indexed && set_impossible {
+                        assert_eq!(
+                            set_bounded.value.to_bits(),
+                            got_bounded.value.to_bits(),
+                            "set bounded value {label}"
+                        );
+                        assert_eq!(
+                            set_free.value.to_bits(),
+                            got_free.value.to_bits(),
+                            "set free value {label}"
+                        );
+                    } else {
+                        assert_eq!(set_bounded, got_bounded, "set bounded {label}");
+                        assert_eq!(set_free, got_free, "set free {label}");
+                    }
+                    // Rankings ride the from-vector kernel, which the
+                    // index never short-circuits: full equality always.
+                    assert_eq!(topk, est.topk_estimates(&csr, s, 3, budget), "topk {label}");
+                }
+            }
+        }
+    }
+}
+
 /// Freezing must stay transparent under the parallel runtime: CSR
 /// snapshots and adjacency walks agree at every thread count.
 #[test]

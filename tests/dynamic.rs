@@ -159,6 +159,68 @@ fn overlay_bit_identical_to_refreeze_across_kernels_threads_and_budgets() {
     }
 }
 
+/// The overlay-vs-refreeze contract extends to the constrained query
+/// vocabulary: hop-bounded s-t, set reliability (bounded and unbounded),
+/// top-k rankings, and expected hop distance all answer bit-identically
+/// on a delta overlay and on a from-scratch refreeze, for both kernels.
+#[test]
+fn constrained_queries_on_overlays_match_refreeze() {
+    let mut g = fixture();
+    let base = Arc::new(g.freeze());
+    let ups = mixed_updates();
+    for u in &ups {
+        mirror(&mut g, u);
+    }
+    let refrozen = Arc::new(g.freeze());
+    let budget = Budget::fixed(1024);
+    let (s, t) = (NodeId(0), NodeId(11));
+    let (sources, targets) = ([NodeId(0), NodeId(1)], [NodeId(10), NodeId(11)]);
+    for kernel in [Kernel::Scalar, Kernel::Packed] {
+        let est = || {
+            McEstimator::with_budget_runtime(budget, 4242, ParallelRuntime::new(2))
+                .with_kernel(kernel)
+        };
+        let overlay = QueryEngine::from_shared(base.clone(), None, est())
+            .apply_delta(&ups)
+            .unwrap();
+        let oracle = QueryEngine::from_shared(refrozen.clone(), None, est());
+        let label = format!("kernel={kernel:?}");
+        assert_eq!(
+            overlay.query().st_within(s, t, 4).run().unwrap(),
+            oracle.query().st_within(s, t, 4).run().unwrap(),
+            "{label}: st_within"
+        );
+        assert_eq!(
+            overlay.query().set(&sources, &targets).run().unwrap(),
+            oracle.query().set(&sources, &targets).run().unwrap(),
+            "{label}: set"
+        );
+        assert_eq!(
+            overlay
+                .query()
+                .set_within(&sources, &targets, 3)
+                .run()
+                .unwrap(),
+            oracle
+                .query()
+                .set_within(&sources, &targets, 3)
+                .run()
+                .unwrap(),
+            "{label}: set_within"
+        );
+        assert_eq!(
+            overlay.query().topk(s, 4).run().unwrap(),
+            oracle.query().topk(s, 4).run().unwrap(),
+            "{label}: topk"
+        );
+        assert_eq!(
+            overlay.query().expected_hops(s, t).run().unwrap(),
+            oracle.query().expected_hops(s, t).run().unwrap(),
+            "{label}: expected_hops"
+        );
+    }
+}
+
 /// The same contract holds for the recursive stratified estimator.
 #[test]
 fn rss_overlay_bit_identical_to_refreeze() {

@@ -316,6 +316,117 @@ fn server_results_match_query_cli_byte_for_byte() {
     );
 }
 
+#[test]
+fn constrained_wire_forms_answer_and_match_the_cli_byte_for_byte() {
+    let dir = scratch("constrained");
+    let rgs = ingest_toy(&dir);
+    // Every constrained shape at once: a hop-bounded st (via the
+    // `% max-hops` directive), set reliability (the directive applies
+    // here too), a top-k ranking, and an expected-hops query.
+    let specs = "st 0 15\nset 0,1 14,15\ntopk 0 3\nhops 0 15\n";
+    let body = format!("% seed 7\n% max-hops 4\n{specs}");
+
+    let srv = Server::spawn(&rgs, &["--threads", "2"], &[]);
+    let reply = query(&srv.addr, &body);
+    assert_eq!(reply.status, 200, "{}", reply.body);
+    for needle in [
+        "\"kind\":\"st_within\"",
+        "\"max_hops\":4",
+        "\"kind\":\"set\"",
+        "\"kind\":\"topk\"",
+        "\"targets\":[{\"node\":",
+        "\"kind\":\"hops\"",
+        "\"expected_hops\":",
+        "\"hop_sum\":",
+    ] {
+        assert!(
+            reply.body.contains(needle),
+            "missing {needle}: {}",
+            reply.body
+        );
+    }
+
+    // Byte identity across thread counts and kernels for the constrained
+    // vocabulary, same contract as the unconstrained shapes.
+    let threaded = {
+        let srv = Server::spawn(&rgs, &["--threads", "4"], &[("RELMAX_THREADS", "4")]);
+        query(&srv.addr, &body).body
+    };
+    let scalar_kernel = {
+        let srv = Server::spawn(&rgs, &["--threads", "4"], &[("RELMAX_KERNEL", "scalar")]);
+        query(&srv.addr, &body).body
+    };
+    assert_eq!(
+        reply.body, threaded,
+        "thread count changed constrained bytes"
+    );
+    assert_eq!(
+        reply.body, scalar_kernel,
+        "kernel changed constrained bytes"
+    );
+
+    // The same workload through `relmax query --format json` carries a
+    // byte-identical results array (the file spells the directive, the
+    // CLI pins the seed).
+    let workload = dir.join("constrained.txt");
+    std::fs::write(&workload, format!("% max-hops 4\n{specs}")).unwrap();
+    let cli = Command::new(relmax_bin())
+        .arg("query")
+        .arg(&rgs)
+        .arg("--queries")
+        .arg(&workload)
+        .args(["--seed", "7", "--samples", "1000", "--format", "json"])
+        .stderr(Stdio::null())
+        .output()
+        .expect("relmax query");
+    assert!(cli.status.success());
+    let tail = |s: &str| {
+        let i = s.find("\"results\":").expect("results array");
+        s[i..].trim_end().to_string()
+    };
+    assert_eq!(
+        tail(&reply.body),
+        tail(&String::from_utf8(cli.stdout).unwrap()),
+        "server and CLI disagree on the constrained workload"
+    );
+}
+
+#[test]
+fn unsupported_constrained_shapes_are_422_under_rss() {
+    let dir = scratch("constrained-rss");
+    let rgs = ingest_toy(&dir);
+    let srv = Server::spawn(&rgs, &["--threads", "1", "--estimator", "rss"], &[]);
+    let addr = &srv.addr;
+
+    // A set query is constrained regardless of any hop bound; the error
+    // names the first offending query, not the whole batch.
+    let r = query(addr, "st 0 3\nset 0,1 14,15\n");
+    assert_eq!(r.status, 422, "{}", r.body);
+    assert!(r.body.contains("\"query\":2"), "{}", r.body);
+    assert!(
+        r.body.contains("does not support constrained query shapes"),
+        "{}",
+        r.body
+    );
+
+    // A hop bound turns plain st queries constrained too.
+    let r = query(addr, "% max-hops 3\nst 0 3\n");
+    assert_eq!(r.status, 422, "{}", r.body);
+    assert!(r.body.contains("\"query\":1"), "{}", r.body);
+
+    let r = query(addr, "hops 0 15\n");
+    assert_eq!(r.status, 422, "{}", r.body);
+
+    // Top-k rides the from-vector kernel, which every estimator serves.
+    let r = query(addr, "topk 0 3\n");
+    assert_eq!(r.status, 200, "{}", r.body);
+    assert!(r.body.contains("\"kind\":\"topk\""), "{}", r.body);
+
+    // Rejections left the server healthy.
+    let r = query(addr, "st 0 3\n");
+    assert_eq!(r.status, 200, "{}", r.body);
+}
+
 // ------------------------------------------------------- protocol faults
 
 #[test]

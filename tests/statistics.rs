@@ -4,7 +4,10 @@
 //! variance than MC on a stratification-friendly fixture.
 
 use relmax::prelude::*;
-use relmax::ugraph::exact::st_reliability_enumerate;
+use relmax::ugraph::exact::{
+    expected_hops_enumerate, set_reliability_enumerate, st_reliability_enumerate,
+    st_within_reliability_enumerate,
+};
 
 /// `ε` such that `P(|X̂ − p| ≥ ε) ≤ δ` for a mean of `z` iid `[0,1]`
 /// draws (Hoeffding): `ε = sqrt(ln(2/δ) / (2z))`.
@@ -181,6 +184,163 @@ fn scan_candidates_within_hoeffding_bound_of_exact_overlays() {
                 (scans[i] - exact).abs() <= eps,
                 "seed {seed} cand {i}: |{} - {exact}| > {eps}",
                 scans[i]
+            );
+        }
+    }
+}
+
+/// Hop-bounded MC estimates concentrate on the enumerated hop-bounded
+/// reliability: 72 seeded trials (3 fixtures × 3 bounds × 8 seeds), each
+/// inside the Hoeffding envelope. The bound `d = 1` also checks the
+/// degenerate single-arc case against enumeration.
+#[test]
+fn hop_bounded_mc_within_hoeffding_bound_of_exact() {
+    let z = 4_000;
+    let eps = hoeffding_eps(z, 1e-8);
+    for (g, s, t) in fixtures() {
+        for d in [1u32, 2, 3] {
+            let exact = st_within_reliability_enumerate(&g, s, t, d).unwrap();
+            for seed in 0..8u64 {
+                let est = McEstimator::new(z, 0x5747 + seed)
+                    .st_within_estimate(&g, s, t, d, Budget::fixed(z))
+                    .expect("MC supports hop-bounded queries");
+                assert!(
+                    (est.value - exact).abs() <= eps,
+                    "d={d} seed {seed}: |{} - {exact}| > {eps}",
+                    est.value
+                );
+            }
+        }
+    }
+}
+
+/// Set reliability (any source reaches any target, one shared-world pass)
+/// against full enumeration, bounded and unbounded, plus the union-bound
+/// sandwich the exact values must satisfy: the set reliability is at
+/// least the best single pair (Fréchet) and at most the sum over pairs
+/// (Boole).
+#[test]
+fn set_reliability_within_hoeffding_bound_of_exact() {
+    let z = 4_000;
+    let eps = hoeffding_eps(z, 1e-8);
+    for (g, s, t) in fixtures() {
+        let n = g.num_nodes() as u32;
+        let sources = [s, NodeId(1)];
+        let targets = [t, NodeId(n - 2)];
+        for bound in [None, Some(2u32)] {
+            let exact = set_reliability_enumerate(&g, &sources, &targets, bound).unwrap();
+            let pair = |s: NodeId, t: NodeId| match bound {
+                Some(d) => st_within_reliability_enumerate(&g, s, t, d).unwrap(),
+                None => st_reliability_enumerate(&g, s, t).unwrap(),
+            };
+            let pairs: Vec<f64> = sources
+                .iter()
+                .flat_map(|&s| targets.iter().map(move |&t| pair(s, t)))
+                .collect();
+            let best = pairs.iter().cloned().fold(0.0f64, f64::max);
+            let sum: f64 = pairs.iter().sum();
+            assert!(
+                exact >= best - 1e-12 && exact <= sum + 1e-12,
+                "bound {bound:?}: exact {exact} outside [{best}, {sum}]"
+            );
+            for seed in 0..8u64 {
+                let est = McEstimator::new(z, 0x5747 + seed)
+                    .set_estimate(&g, &sources, &targets, bound, Budget::fixed(z))
+                    .expect("MC supports set queries");
+                assert!(
+                    (est.value - exact).abs() <= eps,
+                    "bound {bound:?} seed {seed}: |{} - {exact}| > {eps}",
+                    est.value
+                );
+            }
+        }
+    }
+}
+
+/// Top-k rankings agree with the enumerated reliabilities over 24 seeded
+/// trials (3 fixtures × 8 seeds): every reported value sits in the
+/// Hoeffding envelope of its node's exact reliability, every admitted
+/// node is within `2ε` of the true k-th reliability (the tightest claim
+/// a concentration bound supports near ties), and ties break by node id —
+/// the pinned deterministic order.
+#[test]
+fn topk_ranking_agrees_with_exact_over_seeded_trials() {
+    let z = 4_000;
+    let eps = hoeffding_eps(z, 1e-8);
+    let k = 3;
+    for (g, s, _t) in fixtures() {
+        let n = g.num_nodes() as u32;
+        let exact: Vec<f64> = (0..n)
+            .map(|v| st_reliability_enumerate(&g, s, NodeId(v)).unwrap())
+            .collect();
+        let mut ranked_exact: Vec<f64> = (0..n)
+            .filter(|&v| NodeId(v) != s)
+            .map(|v| exact[v as usize])
+            .collect();
+        ranked_exact.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        let kth = ranked_exact[k - 1];
+        for seed in 0..8u64 {
+            let ranked =
+                McEstimator::new(z, 0x5747 + seed).topk_estimates(&g, s, k, Budget::fixed(z));
+            assert_eq!(ranked.len(), k, "seed {seed}");
+            for w in ranked.windows(2) {
+                let ordered = w[0].1.value > w[1].1.value
+                    || (w[0].1.value == w[1].1.value && w[0].0 < w[1].0);
+                assert!(ordered, "seed {seed}: ranking order broke at {w:?}");
+            }
+            for (v, e) in &ranked {
+                let truth = exact[v.0 as usize];
+                assert!(
+                    (e.value - truth).abs() <= eps,
+                    "seed {seed} node {}: |{} - {truth}| > {eps}",
+                    v.0,
+                    e.value
+                );
+                assert!(
+                    truth >= kth - 2.0 * eps,
+                    "seed {seed}: node {} (exact {truth}) displaced the true top-{k} (kth {kth})",
+                    v.0
+                );
+            }
+        }
+    }
+}
+
+/// Expected-hop estimates are unbiased against enumeration: over 24
+/// seeded trials the unconditional hop mass `hop_sum / Z` (each world
+/// contributes its shortest hop distance in `[0, n−1]`, zero when
+/// unreachable) lands within a range-scaled Hoeffding envelope of the
+/// exact `Σ Pr(G)·d_G(s,t)`, the reliability within the plain envelope,
+/// and the reported conditional expectation is exactly their quotient.
+#[test]
+fn expected_hops_unbiased_against_enumeration() {
+    let z = 4_000;
+    let eps = hoeffding_eps(z, 1e-8);
+    for (g, s, t) in fixtures() {
+        let (rel, hop_mass) = expected_hops_enumerate(&g, s, t).unwrap();
+        let range = (g.num_nodes() - 1) as f64;
+        for seed in 0..8u64 {
+            let h = McEstimator::new(z, 0x5747 + seed)
+                .expected_hops_estimate(&g, s, t, Budget::fixed(z))
+                .expect("MC supports expected-hops queries");
+            assert_eq!(h.reliability.samples_used, z, "seed {seed}");
+            assert!(
+                (h.reliability.value - rel).abs() <= eps,
+                "seed {seed}: |{} - {rel}| > {eps}",
+                h.reliability.value
+            );
+            let mass = h.hop_sum as f64 / z as f64;
+            assert!(
+                (mass - hop_mass).abs() <= range * eps,
+                "seed {seed}: |{mass} - {hop_mass}| > {}",
+                range * eps
+            );
+            let hits = (h.reliability.value * z as f64).round();
+            assert!(hits > 0.0, "seed {seed}: no reachable world sampled");
+            assert_eq!(
+                h.expected_hops.to_bits(),
+                (h.hop_sum as f64 / hits).to_bits(),
+                "seed {seed}: expected_hops is not hop_sum / hits"
             );
         }
     }
